@@ -1,0 +1,47 @@
+// Command jas assembles JVA assembly text into a JEF module.
+//
+// Usage:
+//
+//	jas [-o out.jef] file.jas
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/asm"
+)
+
+func main() {
+	out := flag.String("o", "", "output path (default: input with .jef suffix)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: jas [-o out.jef] file.jas")
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+	src, err := os.ReadFile(in)
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := asm.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = strings.TrimSuffix(in, filepath.Ext(in)) + ".jef"
+	}
+	if err := os.WriteFile(path, mod.Marshal(), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println(path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "jas:", err)
+	os.Exit(1)
+}

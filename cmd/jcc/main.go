@@ -1,0 +1,76 @@
+// Command jcc compiles MiniC source files to JEF modules (or JVA assembly
+// text with -S) — the reproduction's gcc.
+//
+// Usage:
+//
+//	jcc [-o out.jef] [-S] [-O2] [-pic] [-shared] [-module name] file.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/cc"
+)
+
+func main() {
+	out := flag.String("o", "", "output path (default: input with .jef/.s suffix)")
+	asmOut := flag.Bool("S", false, "emit JVA assembly text instead of a module")
+	o2 := flag.Bool("O2", false, "enable optimisations (folding, jump tables)")
+	pic := flag.Bool("pic", false, "generate position-independent code")
+	shared := flag.Bool("shared", false, "build a shared object (implies -pic)")
+	module := flag.String("module", "", "module soname (default: file base name)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: jcc [flags] file.c")
+		flag.Usage()
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+	src, err := os.ReadFile(in)
+	if err != nil {
+		fatal(err)
+	}
+	name := *module
+	if name == "" {
+		name = strings.TrimSuffix(filepath.Base(in), filepath.Ext(in))
+		if *shared {
+			name += ".jef"
+		}
+	}
+	opts := cc.Options{
+		Module: name, O2: *o2, PIC: *pic, Shared: *shared,
+		NoRuntime: *shared,
+	}
+	if *asmOut {
+		text, err := cc.GenAsm(string(src), opts)
+		if err != nil {
+			fatal(err)
+		}
+		writeOut(*out, in, ".s", []byte(text))
+		return
+	}
+	mod, err := cc.Compile(string(src), opts)
+	if err != nil {
+		fatal(err)
+	}
+	writeOut(*out, in, ".jef", mod.Marshal())
+}
+
+func writeOut(out, in, ext string, data []byte) {
+	if out == "" {
+		out = strings.TrimSuffix(in, filepath.Ext(in)) + ext
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println(out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "jcc:", err)
+	os.Exit(1)
+}

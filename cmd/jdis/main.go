@@ -1,0 +1,131 @@
+// Command jdis inspects JEF modules: headers, sections, symbols, imports,
+// and an objdump-style disassembly of the executable sections with
+// recovered basic-block and function boundaries.
+//
+// Usage:
+//
+//	jdis [-d] [-cfg] module.jef
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/isa"
+	"repro/internal/jefdir"
+)
+
+func main() {
+	dis := flag.Bool("d", true, "disassemble executable sections")
+	showCFG := flag.Bool("cfg", false, "annotate recovered blocks and functions")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: jdis [-d] [-cfg] module.jef")
+		os.Exit(2)
+	}
+	mod, err := jefdir.ReadModule(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jdis:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("module %s: %s, %s, symbols=%s, base=%#x entry=%#x\n",
+		mod.Name, mod.Type, picString(mod.PIC), mod.SymLevel, mod.Base, mod.Entry)
+	if len(mod.Needed) > 0 {
+		fmt.Printf("needs: %v\n", mod.Needed)
+	}
+	fmt.Println("\nsections:")
+	for _, s := range mod.Sections {
+		flags := ""
+		if s.Executable() {
+			flags += "X"
+		}
+		if s.Flags != 0 && !s.Executable() {
+			flags += "W"
+		}
+		fmt.Printf("  %-10s %#08x  %6d bytes  %s\n", s.Name, s.Addr, len(s.Data), flags)
+	}
+	if len(mod.Imports) > 0 {
+		fmt.Println("\nimports:")
+		for _, im := range mod.Imports {
+			fmt.Printf("  %-16s plt=%#x got=%#x\n", im.Name, im.PLT, im.GOT)
+		}
+	}
+	fmt.Println("\nsymbols:")
+	sorted := mod.Symbols
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Addr < sorted[j].Addr })
+	for _, s := range sorted {
+		exp := " "
+		if s.Exported {
+			exp = "g"
+		}
+		fmt.Printf("  %#08x %s %-6v %s\n", s.Addr, exp, s.Kind, s.Name)
+	}
+
+	if !*dis {
+		return
+	}
+	var g *cfg.Graph
+	var funcAt func(uint64) string
+	blockStarts := map[uint64]bool{}
+	if *showCFG {
+		g, err = cfg.Build(mod)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jdis: cfg:", err)
+			os.Exit(1)
+		}
+		for a := range g.Blocks {
+			blockStarts[a] = true
+		}
+		funcAt = func(a uint64) string {
+			if f := g.FuncAt(a); f != nil && f.Entry == a {
+				return f.Name
+			}
+			return ""
+		}
+	}
+
+	symAt := map[uint64]string{}
+	for _, s := range mod.Symbols {
+		symAt[s.Addr] = s.Name
+	}
+	for _, sec := range mod.ExecSections() {
+		fmt.Printf("\ndisassembly of %s:\n", sec.Name)
+		pc := sec.Addr
+		end := sec.Addr + uint64(len(sec.Data))
+		for pc < end {
+			if name, ok := symAt[pc]; ok {
+				fmt.Printf("\n%s:\n", name)
+			} else if *showCFG {
+				if fn := funcAt(pc); fn != "" {
+					fmt.Printf("\n%s:\n", fn)
+				}
+			}
+			if *showCFG && blockStarts[pc] {
+				fmt.Printf("  ; -- block %#x\n", pc)
+			}
+			in, err := isa.Decode(sec.Data[pc-sec.Addr:], pc)
+			if err != nil {
+				fmt.Printf("%8x:\t.byte %#02x        ; data\n", pc, sec.Data[pc-sec.Addr])
+				pc++
+				continue
+			}
+			marker := ""
+			if *showCFG && g != nil && !g.IsInstrBoundary(pc) {
+				marker = "   ; unreached"
+			}
+			fmt.Printf("%8x:\t%s%s\n", pc, isa.Disasm(&in), marker)
+			pc += uint64(in.Size)
+		}
+	}
+}
+
+func picString(pic bool) string {
+	if pic {
+		return "PIC"
+	}
+	return "non-PIC"
+}

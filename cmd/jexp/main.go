@@ -1,0 +1,84 @@
+// Command jexp regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	jexp [-scale n] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|all [benchmarks...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "workload iteration scale")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr,
+			"usage: jexp [-scale n] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|all [benchmarks...]")
+		os.Exit(2)
+	}
+	which := args[0]
+	benches := args[1:]
+
+	run := func(name string) {
+		switch name {
+		case "fig7":
+			fig, err := experiments.Fig7(*scale, benches...)
+			printFig(fig, err, "slowdown")
+		case "fig8":
+			fig, err := experiments.Fig8(*scale, benches...)
+			printFig(fig, err, "slowdown")
+		case "fig9":
+			fig, err := experiments.Fig9(*scale, benches...)
+			printFig(fig, err, "slowdown")
+		case "fig10":
+			r, err := experiments.Fig10()
+			check(err)
+			fmt.Println(r.Format())
+		case "fig11":
+			fig, err := experiments.Fig11(*scale, benches...)
+			printFig(fig, err, "slowdown")
+		case "fig12":
+			fig, err := experiments.Fig12(*scale, benches...)
+			printFig(fig, err, "% DAIR")
+		case "fig13":
+			fig, err := experiments.Fig13(benches...)
+			printFig(fig, err, "% AIR")
+		case "fig14":
+			fig, err := experiments.Fig14(*scale, benches...)
+			printFig(fig, err, "% dynamic")
+		case "soundness":
+			rs, err := experiments.Soundness(*scale)
+			check(err)
+			fmt.Println(experiments.FormatSoundness(rs))
+		default:
+			fmt.Fprintf(os.Stderr, "jexp: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+	if which == "all" {
+		for _, n := range []string{"fig7", "fig8", "fig9", "fig10", "fig11",
+			"fig12", "fig13", "fig14", "soundness"} {
+			run(n)
+		}
+		return
+	}
+	run(which)
+}
+
+func printFig(fig *experiments.Figure, err error, unit string) {
+	check(err)
+	fmt.Println(fig.Format(unit))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jexp:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,142 @@
+// Command jrun executes a JEF program under Janitizer's hybrid dynamic
+// modifier: it loads the program and its dependencies, picks up any .jrw
+// rewrite-rule files written by the janitizer static analyzer, and runs the
+// chosen security tool — falling back to pure dynamic analysis for modules
+// without rules, exactly as the framework prescribes.
+//
+// Usage:
+//
+//	jrun [-tool jasan|jcfi|none] [-libdir dir] [-rules dir] [-stats] main.jef
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dbm"
+	"repro/internal/jasan"
+	"repro/internal/jcfi"
+	"repro/internal/jefdir"
+	"repro/internal/loader"
+	"repro/internal/rules"
+	"repro/internal/vm"
+)
+
+func main() {
+	toolName := flag.String("tool", "jasan", "security technique: jasan, jcfi or none")
+	libdir := flag.String("libdir", "", "directory of dependency .jef modules")
+	rulesDir := flag.String("rules", "", "directory of .jrw rewrite-rule files")
+	stats := flag.Bool("stats", false, "print cycle and coverage statistics")
+	maxInstrs := flag.Uint64("max-instrs", 1_000_000_000, "instruction budget")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: jrun [flags] main.jef")
+		os.Exit(2)
+	}
+	main, err := jefdir.ReadModule(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	reg, err := jefdir.Load(*libdir)
+	if err != nil {
+		fatal(err)
+	}
+
+	var tool core.Tool
+	var report func() []string
+	switch *toolName {
+	case "jasan":
+		jt := jasan.New(jasan.Config{UseLiveness: true})
+		tool = jt
+		report = func() []string {
+			var out []string
+			for _, v := range jt.Report.Violations {
+				out = append(out, v.String())
+			}
+			return out
+		}
+	case "jcfi":
+		ct := jcfi.New(jcfi.DefaultConfig)
+		tool = ct
+		report = func() []string {
+			var out []string
+			for _, v := range ct.Report.Violations {
+				out = append(out, v.String())
+			}
+			return out
+		}
+	case "none":
+		tool = nullTool{}
+		report = func() []string { return nil }
+	default:
+		fatal(fmt.Errorf("unknown tool %q", *toolName))
+	}
+
+	files := map[string]*rules.File{}
+	if *rulesDir != "" {
+		entries, err := os.ReadDir(*rulesDir)
+		if err != nil {
+			fatal(err)
+		}
+		for _, e := range entries {
+			if !strings.HasSuffix(e.Name(), "."+*toolName+".jrw") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(*rulesDir, e.Name()))
+			if err != nil {
+				fatal(err)
+			}
+			f, err := rules.Unmarshal(data)
+			if err != nil {
+				fatal(err)
+			}
+			files[f.Module] = f
+		}
+	}
+
+	m := vm.New()
+	m.Out = os.Stdout
+	m.InstallDefaultServices()
+	m.MaxInstrs = *maxInstrs
+	proc := loader.NewProcess(m, reg)
+	rt := core.NewRuntime(m, proc, tool, files)
+	lm, err := proc.LoadProgram(main)
+	if err != nil {
+		fatal(err)
+	}
+	runErr := rt.Run(lm.RuntimeAddr(main.Entry))
+	for _, line := range report() {
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "cycles=%d instrs=%d blocks: static=%d noop=%d fallback=%d (%.1f%% dynamic)\n",
+			m.Cycles, m.Instrs,
+			rt.Coverage.StaticInstrumented, rt.Coverage.StaticNoOp, rt.Coverage.Fallback,
+			100*rt.Coverage.DynamicFraction())
+	}
+	if runErr != nil {
+		fatal(runErr)
+	}
+	os.Exit(int(m.ExitStatus & 0xff))
+}
+
+type nullTool struct{}
+
+func (nullTool) Name() string                                { return "none" }
+func (nullTool) StaticPass(*core.StaticContext) []rules.Rule { return nil }
+func (nullTool) RuntimeInit(*core.Runtime) error             { return nil }
+func (nullTool) Instrument(bc *dbm.BlockContext, _ map[uint64][]rules.Rule) []dbm.CInstr {
+	return dbm.NullClient{}.OnBlock(bc)
+}
+func (nullTool) DynFallback(bc *dbm.BlockContext) []dbm.CInstr {
+	return dbm.NullClient{}.OnBlock(bc)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "jrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,584 @@
+package analysis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/isa"
+	"repro/internal/libj"
+	"repro/internal/obj"
+)
+
+func buildGraph(t *testing.T, src string) (*obj.Module, *cfg.Graph) {
+	t.Helper()
+	mod, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	g, err := cfg.Build(mod)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	return mod, g
+}
+
+// instrAt returns the instruction at the i-th position of the function
+// containing sym.
+func instrAt(t *testing.T, g *cfg.Graph, mod *obj.Module, sym string, idx int) *isa.Instr {
+	t.Helper()
+	s := mod.FindSymbol(sym)
+	if s == nil {
+		t.Fatalf("no symbol %s", sym)
+	}
+	fn := g.FuncAt(s.Addr)
+	if fn == nil {
+		t.Fatalf("no function at %s", sym)
+	}
+	n := 0
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			if n == idx {
+				return &b.Instrs[i]
+			}
+			n++
+		}
+	}
+	t.Fatalf("function %s has fewer than %d instrs", sym, idx+1)
+	return nil
+}
+
+func TestRegMaskBasics(t *testing.T) {
+	var m RegMask
+	m = m.With(isa.R3).With(isa.R7)
+	if !m.Has(isa.R3) || !m.Has(isa.R7) || m.Has(isa.R4) {
+		t.Fatal("mask membership wrong")
+	}
+	if m.Count() != 2 {
+		t.Fatalf("count = %d", m.Count())
+	}
+	m = m.Without(isa.R3)
+	if m.Has(isa.R3) || m.Count() != 1 {
+		t.Fatal("Without broken")
+	}
+	regs := (CalleeSaved).Regs()
+	if len(regs) != 3 || regs[0] != isa.R12 || regs[2] != isa.FP {
+		t.Fatalf("CalleeSaved.Regs = %v", regs)
+	}
+	// Property: Count equals len(Regs).
+	f := func(v uint16) bool { return RegMask(v).Count() == len(RegMask(v).Regs()) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLivenessStraightLine(t *testing.T) {
+	mod, g := buildGraph(t, `
+.module t
+.entry f
+.section .text
+f:
+    mov r1, 1      ; (0)
+    mov r2, 2      ; (1)
+    add r1, r2     ; (2) uses r1,r2
+    mov r0, r1     ; (3)
+    ret            ; (4)
+`)
+	l := ComputeLiveness(g, false)
+	// At (2), r1 and r2 must be live-in.
+	in2 := instrAt(t, g, mod, "f", 2)
+	p := l.LiveIn(in2.Addr)
+	if !p.Regs.Has(isa.R1) || !p.Regs.Has(isa.R2) {
+		t.Errorf("live-in at add = %v, want r1,r2", p.Regs.Regs())
+	}
+	// At (1), r2's pending def means r2 not live-in; r1 is.
+	in1 := instrAt(t, g, mod, "f", 1)
+	p = l.LiveIn(in1.Addr)
+	if p.Regs.Has(isa.R2) {
+		t.Error("r2 live before its def")
+	}
+	if !p.Regs.Has(isa.R1) {
+		t.Error("r1 not live before use")
+	}
+	// Dead registers are available as scratch.
+	free := l.FreeRegs(in1.Addr, 2)
+	if len(free) != 2 {
+		t.Fatalf("free regs = %v", free)
+	}
+	for _, r := range free {
+		if r == isa.R1 || r == isa.SP || r == isa.FP {
+			t.Errorf("bad free reg %v", r)
+		}
+	}
+}
+
+func TestFlagLiveness(t *testing.T) {
+	mod, g := buildGraph(t, `
+.module t
+.entry f
+.section .text
+f:
+    mov r3, 5      ; (0) flags dead here? cmp below will set them
+    cmp r1, 0      ; (1)
+    mov r4, 6      ; (2) flags LIVE here (je still to come)
+    je .x          ; (3)
+    ret
+.x:
+    ret
+`)
+	l := ComputeLiveness(g, false)
+	in2 := instrAt(t, g, mod, "f", 2)
+	if !l.LiveIn(in2.Addr).Flags {
+		t.Error("flags must be live between cmp and je")
+	}
+	in0 := instrAt(t, g, mod, "f", 0)
+	if l.LiveIn(in0.Addr).Flags {
+		t.Error("flags must be dead before the setting cmp")
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	mod, g := buildGraph(t, `
+.module t
+.entry f
+.section .text
+f:
+    mov r1, 10     ; (0)
+.loop:
+    sub r1, 1      ; (1)
+    cmp r1, 0      ; (2)
+    jg .loop       ; (3)
+    ret
+`)
+	l := ComputeLiveness(g, false)
+	// r1 is live around the back edge.
+	in1 := instrAt(t, g, mod, "f", 1)
+	if !l.LiveIn(in1.Addr).Regs.Has(isa.R1) {
+		t.Error("loop-carried r1 not live at loop head")
+	}
+}
+
+func TestLivenessAtIndirectBranchIsConservative(t *testing.T) {
+	mod, g := buildGraph(t, `
+.module t
+.entry f
+.section .text
+f:
+    mov r6, r1     ; (0)
+    jmpi r6        ; (1)
+`)
+	l := ComputeLiveness(g, false)
+	// Everything (incl. flags) must be treated as live at the unknown
+	// indirect branch itself.
+	jmpi := instrAt(t, g, mod, "f", 1)
+	p := l.LiveIn(jmpi.Addr)
+	if !p.Flags {
+		t.Error("flags not conservatively live at unknown jmpi")
+	}
+	if p.Regs != AllRegs {
+		t.Errorf("regs = %v, want all live", p.Regs.Regs())
+	}
+	if got := l.FreeRegs(jmpi.Addr, 4); len(got) != 0 {
+		t.Errorf("free regs at unknown jmpi = %v, want none", got)
+	}
+	// Before the mov that redefines r6, the old r6 value is dead — the
+	// dataflow may legitimately hand it out as scratch.
+	in0 := instrAt(t, g, mod, "f", 0)
+	if l.LiveIn(in0.Addr).Regs.Has(isa.R6) {
+		t.Error("r6 live before its redefinition")
+	}
+}
+
+func TestLivenessUnknownAddressConservative(t *testing.T) {
+	l := &Liveness{points: map[uint64]LivePoint{}}
+	p := l.LiveIn(0x123456)
+	if p.Regs != AllRegs || !p.Flags {
+		t.Error("unknown address must report everything live")
+	}
+}
+
+func TestCallBoundaryLiveness(t *testing.T) {
+	mod, g := buildGraph(t, `
+.module t
+.entry f
+.section .text
+f:
+    mov r1, 1      ; (0) arg
+    call g         ; (1)
+    mov r2, r0     ; (2) result
+    ret
+g:
+    mov r0, 9
+    ret
+`)
+	l := ComputeLiveness(g, false)
+	in1 := instrAt(t, g, mod, "f", 1)
+	p := l.LiveIn(in1.Addr)
+	if !p.Regs.Has(isa.R1) {
+		t.Error("argument register not live at call")
+	}
+	// r0 is set by the callee; it must not be live before the call.
+	if p.Regs.Has(isa.R0) {
+		t.Error("r0 live before call despite being defined by it")
+	}
+}
+
+// TestLivenessSoundnessProperty: any register actually read by an
+// instruction is in the live-in set of that instruction (may-live
+// over-approximation can never miss a real use).
+func TestLivenessSoundnessProperty(t *testing.T) {
+	lj, err := libj.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(lj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := ComputeLiveness(g, false)
+	checked := 0
+	for _, b := range g.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			p := l.LiveIn(in.Addr)
+			for _, u := range in.RegUses(nil) {
+				if !p.Regs.Has(u) {
+					t.Errorf("instr %#x %s: used reg %v not live-in",
+						in.Addr, isa.Disasm(in), u)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no uses checked")
+	}
+}
+
+func TestClobberAnalysisFindsViolation(t *testing.T) {
+	lj, err := libj.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(lj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clob := ComputeClobbers(g)
+	sym := lj.FindSymbol("clobber_counter")
+	mask, ok := clob[sym.Addr]
+	if !ok || !mask.Has(isa.R12) {
+		t.Fatalf("clobber_counter violation not detected: %v", clob)
+	}
+	// Well-behaved functions must not be flagged.
+	for _, name := range []string{"memcpy", "strlen", "qsort"} {
+		s := lj.FindSymbol(name)
+		if m, bad := clob[s.Addr]; bad {
+			t.Errorf("%s wrongly flagged as clobbering %v", name, m.Regs())
+		}
+	}
+}
+
+func TestCanaryDetection(t *testing.T) {
+	mod, g := buildGraph(t, `
+.module t
+.entry f
+.section .text
+f:
+    push fp
+    mov fp, sp
+    sub sp, 32
+    ldg r6
+    stq [fp-8], r6     ; canary install
+    mov r6, 0
+    ; ... body ...
+    ldq r7, [fp-8]     ; canary check reload
+    ldg r8
+    cmp r7, r8
+    jne .fail
+    mov sp, fp
+    pop fp
+    ret
+.fail:
+    hlt
+`)
+	sites := FindCanaries(g)
+	if len(sites) != 1 {
+		t.Fatalf("canary sites = %d, want 1", len(sites))
+	}
+	s := sites[0]
+	if s.SlotBase != isa.FP || s.SlotDisp != -8 {
+		t.Errorf("slot = [%v%+d], want [fp-8]", s.SlotBase, s.SlotDisp)
+	}
+	if len(s.CheckAddrs) != 1 {
+		t.Errorf("check addrs = %v, want exactly the reload", s.CheckAddrs)
+	}
+	// PoisonAt is the instruction AFTER the store (Fig. 6).
+	store := mod.FindSymbol("f")
+	_ = store
+	blk := g.BlockAt(s.StoreAddr)
+	var storeIdx int
+	for i := range blk.Instrs {
+		if blk.Instrs[i].Addr == s.StoreAddr {
+			storeIdx = i
+		}
+	}
+	if s.PoisonAt != blk.Instrs[storeIdx+1].Addr {
+		t.Errorf("PoisonAt = %#x, want next instruction %#x",
+			s.PoisonAt, blk.Instrs[storeIdx+1].Addr)
+	}
+}
+
+func TestNoCanaryFalsePositive(t *testing.T) {
+	_, g := buildGraph(t, `
+.module t
+.entry f
+.section .text
+f:
+    ldg r6
+    mov r6, 0        ; canary value overwritten before any store
+    stq [fp-8], r6
+    ret
+`)
+	if sites := FindCanaries(g); len(sites) != 0 {
+		t.Fatalf("false canary site: %+v", sites)
+	}
+}
+
+func TestLoopDetectionAndInduction(t *testing.T) {
+	mod, g := buildGraph(t, `
+.module t
+.entry f
+.section .text
+f:
+    mov r7, 0          ; i = 0
+    la r6, arr
+.loop:
+    ldxq r8, [r6+r7*8] ; arr[i] — induction access
+    ldq r9, [r6+0]     ; arr[0] — invariant access
+    add r7, 1
+    cmp r7, 100
+    jl .loop
+    ret
+.section .data
+arr:
+    .zero 800
+`)
+	la := AnalyzeLoops(g)
+	if len(la.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(la.Loops))
+	}
+	loop := la.Loops[0]
+	if loop.Induction == nil {
+		t.Fatal("induction variable not found")
+	}
+	if loop.Induction.Reg != isa.R7 || loop.Induction.Stride != 1 {
+		t.Errorf("induction = %+v", loop.Induction)
+	}
+	if !loop.Induction.Bounded || loop.Induction.Bound != 100 {
+		t.Errorf("bound = %+v", loop.Induction)
+	}
+	// Access classifications.
+	ind := instrAt(t, g, mod, "f", 2) // ldxq
+	if la.ClassOf(ind.Addr) != AccessInduction {
+		t.Errorf("ldxq class = %v, want induction", la.ClassOf(ind.Addr))
+	}
+	inv := instrAt(t, g, mod, "f", 3) // ldq arr[0]
+	if la.ClassOf(inv.Addr) != AccessInvariant {
+		t.Errorf("ldq class = %v, want invariant", la.ClassOf(inv.Addr))
+	}
+}
+
+func TestLoopAccessUnknownWhenBaseVaries(t *testing.T) {
+	mod, g := buildGraph(t, `
+.module t
+.entry f
+.section .text
+f:
+    la r6, arr
+.loop:
+    ldq r8, [r6+0]     ; base changes each iteration: pointer chase
+    add r6, 8
+    cmp r6, 100
+    jl .loop
+    ret
+.section .data
+arr:
+    .zero 800
+`)
+	la := AnalyzeLoops(g)
+	load := instrAt(t, g, mod, "f", 1)
+	if got := la.ClassOf(load.Addr); got != AccessUnknown {
+		t.Errorf("pointer-chase load class = %v, want unknown", got)
+	}
+}
+
+func TestDefUseAndOrigins(t *testing.T) {
+	mod, g := buildGraph(t, `
+.module t
+.entry f
+.section .text
+f:
+    trap 1             ; (0) malloc-like: defines r0
+    mov r6, r0         ; (1)
+    add r6, 16         ; (2)
+    ldq r7, [r6+0]     ; (3) use of r6: provenance = trap
+    ret
+`)
+	du := ComputeDefUse(g)
+	load := instrAt(t, g, mod, "f", 3)
+	mov := instrAt(t, g, mod, "f", 1)
+	add := instrAt(t, g, mod, "f", 2)
+	defs := du.DefsOf(load.Addr, isa.R6)
+	if len(defs) != 1 || defs[0] != add.Addr {
+		t.Fatalf("direct defs of r6 at load = %#x, want [%#x]", defs, add.Addr)
+	}
+	if !du.ReachesFrom(load.Addr, isa.R6, add.Addr) {
+		t.Error("ReachesFrom failed for direct def")
+	}
+	// Transitive origin: trap (allocation site).
+	trap := instrAt(t, g, mod, "f", 0)
+	origins := du.TraceOrigins(g, load.Addr, isa.R6)
+	found := false
+	for _, o := range origins {
+		if o == trap.Addr {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("origins = %#x, want to include trap at %#x (via %#x)",
+			origins, trap.Addr, mov.Addr)
+	}
+}
+
+func TestDefUseMergesAtJoin(t *testing.T) {
+	mod, g := buildGraph(t, `
+.module t
+.entry f
+.section .text
+f:
+    cmp r1, 0      ; (0)
+    je .b          ; (1)
+    mov r6, 1      ; (2)
+    jmp .join      ; (3)
+.b:
+    mov r6, 2      ; (4)
+.join:
+    mov r0, r6     ; (5) both defs reach
+    ret
+`)
+	du := ComputeDefUse(g)
+	use := instrAt(t, g, mod, "f", 5)
+	defs := du.DefsOf(use.Addr, isa.R6)
+	if len(defs) != 2 {
+		t.Fatalf("defs at join = %d (%#x), want 2", len(defs), defs)
+	}
+}
+
+func TestStackSize(t *testing.T) {
+	_, g := buildGraph(t, `
+.module t
+.entry f
+.section .text
+f:
+    push fp
+    mov fp, sp
+    sub sp, 48
+    mov r0, 0
+    mov sp, fp
+    pop fp
+    ret
+`)
+	var fn *cfg.Function
+	for _, f := range g.Funcs {
+		if f.Name == "f" || f.Name == "_entry" {
+			fn = f
+		}
+	}
+	if fn == nil {
+		t.Fatal("no function")
+	}
+	if got := StackSize(fn); got != 56 {
+		t.Fatalf("stack size = %d, want 56 (8 push + 48 locals)", got)
+	}
+}
+
+func TestInterproceduralLivenessKeepsClobberedCalleeSavedLive(t *testing.T) {
+	// Caller uses r12 after calling clobber-style callee. With plain
+	// conventions r12 stays live across the call either way (it is
+	// callee-saved); the point of the interprocedural pass is that the
+	// Clobbers map flags the callee so tools can fall back to entry/exit
+	// save-restore (§4.1.2). Verify the map is exposed through Liveness.
+	_, g := buildGraph(t, `
+.module t
+.entry f
+.section .text
+f:
+    mov r12, 7
+    call bad
+    mov r0, r12
+    ret
+bad:
+    mov r12, 0      ; clobbers callee-saved without saving
+    ret
+`)
+	l := ComputeLiveness(g, true)
+	if len(l.Clobbers) == 0 {
+		t.Fatal("interprocedural pass found no clobbers")
+	}
+	found := false
+	for _, m := range l.Clobbers {
+		if m.Has(isa.R12) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("r12 clobber not recorded")
+	}
+	// Without interproc, Clobbers stays empty.
+	l2 := ComputeLiveness(g, false)
+	if len(l2.Clobbers) != 0 {
+		t.Error("intra-only liveness should not populate Clobbers")
+	}
+}
+
+// TestSCEVNotHoistableWithoutJlLatch: loops bounded by other predicates
+// (jne here) must not be classified for exclusive-bound hoisting
+// arithmetic; the access stays AccessInduction (classification) but the
+// jasan hoister separately requires the jl latch — assert the latch shape
+// is visible so that check has something to key on.
+func TestSCEVNotHoistableWithoutJlLatch(t *testing.T) {
+	_, g := buildGraph(t, `
+.module t
+.entry f
+.section .text
+f:
+    mov r7, 0
+    la r6, arr
+.loop:
+    ldxq r8, [r6+r7*8]
+    add r7, 1
+    cmp r7, 100
+    jne .loop
+    ret
+.section .data
+arr:
+    .zero 800
+`)
+	la := AnalyzeLoops(g)
+	if len(la.Loops) != 1 {
+		t.Fatalf("loops = %d", len(la.Loops))
+	}
+	latch := g.Blocks[la.Loops[0].Latch]
+	if latch == nil {
+		t.Fatal("no latch block")
+	}
+	if latch.Terminator().Op == isa.OpJl {
+		t.Fatal("test needs a non-jl latch")
+	}
+	// The induction info itself is still found (bound recorded).
+	if la.Loops[0].Induction == nil || !la.Loops[0].Induction.Bounded {
+		t.Error("induction with bound should still be recognised")
+	}
+}

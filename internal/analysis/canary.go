@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/isa"
+)
+
+// CanarySite describes one stack-canary installation in a function prologue
+// and its matching epilogue check (§3.3.3, Fig. 6). JASan poisons the canary
+// slot's shadow right after the store and unpoisons it right before the
+// check, so any overflow that reaches the slot traps immediately.
+type CanarySite struct {
+	Func uint64 // function entry
+	// StoreAddr is the address of the instruction storing the canary to
+	// the stack; PoisonAt is the address of the *following* instruction,
+	// where the POISON_CANARY rule attaches (Fig. 6b).
+	StoreAddr uint64
+	PoisonAt  uint64
+	// Slot identifies the stack slot: base register and displacement.
+	SlotBase isa.Register
+	SlotDisp int32
+	// CheckAddrs are addresses of epilogue instructions that reload the
+	// canary slot for verification; UNPOISON_CANARY rules attach there.
+	CheckAddrs []uint64
+}
+
+// FindCanaries scans every function for the canary idiom:
+//
+//	ldg  rX            ; load the canary secret
+//	stq  [sp/fp+d], rX ; install it in the frame
+//
+// and, for the matching check,
+//
+//	ldq  rY, [sp/fp+d] ; reload the slot
+//	ldg  rZ            ; (order may vary)
+//	cmp  ...
+//
+// Identified canary code "must not be disturbed by code modification"
+// (§3.3.3); JASan additionally uses the sites for shadow poisoning.
+func FindCanaries(g *cfg.Graph) []CanarySite {
+	var out []CanarySite
+	for _, fn := range g.Funcs {
+		for _, b := range fn.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op != isa.OpLdG {
+					continue
+				}
+				// Look ahead in the block for the canary store of rX.
+				site := matchCanaryStore(b, i)
+				if site == nil {
+					continue
+				}
+				site.Func = fn.Entry
+				site.CheckAddrs = findCanaryChecks(fn, site)
+				out = append(out, *site)
+			}
+		}
+	}
+	return out
+}
+
+// matchCanaryStore finds `stq [sp/fp+d], rX` after the ldg at index i,
+// allowing unrelated instructions in between as long as rX is not
+// redefined.
+func matchCanaryStore(b *cfg.BasicBlock, i int) *CanarySite {
+	canReg := b.Instrs[i].Rd
+	for j := i + 1; j < len(b.Instrs); j++ {
+		in := &b.Instrs[j]
+		if in.Op == isa.OpStQ && in.Rd == canReg &&
+			(in.Rb == isa.SP || in.Rb == isa.FP) {
+			poisonAt := in.Addr + uint64(in.Size)
+			if j+1 < len(b.Instrs) {
+				poisonAt = b.Instrs[j+1].Addr
+			}
+			return &CanarySite{
+				StoreAddr: in.Addr,
+				PoisonAt:  poisonAt,
+				SlotBase:  in.Rb,
+				SlotDisp:  in.Disp,
+			}
+		}
+		for _, d := range in.RegDefs(nil) {
+			if d == canReg {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// findCanaryChecks locates reloads of the canary slot elsewhere in the
+// function (the epilogue verification) — loads from the same base+disp that
+// are followed in their block by an ldg (fresh secret for comparison).
+func findCanaryChecks(fn *cfg.Function, site *CanarySite) []uint64 {
+	var out []uint64
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Addr == site.StoreAddr {
+				continue
+			}
+			if in.Op == isa.OpLdQ && in.Rb == site.SlotBase &&
+				in.Disp == site.SlotDisp && blockHasLdg(b, i) {
+				out = append(out, in.Addr)
+			}
+		}
+	}
+	return out
+}
+
+func blockHasLdg(b *cfg.BasicBlock, from int) bool {
+	for j := from + 1; j < len(b.Instrs); j++ {
+		if b.Instrs[j].Op == isa.OpLdG {
+			return true
+		}
+	}
+	return false
+}

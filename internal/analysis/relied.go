@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/isa"
+)
+
+// ReliedUpon computes, for each function, the caller-saved registers that
+// some caller keeps live ACROSS a call into it without saving them — the
+// ipa-ra pattern of §4.1.2: the compiler knows the callee's transitive
+// extent does not touch those registers and breaks the calling convention.
+// Standard intra-procedural liveness inside the callee concludes they are
+// free scratch; instrumentation that trusts it clobbers the caller.
+//
+// Detection: a caller-saved register (other than r0, which the call itself
+// defines) that is live-in at a call's fall-through instruction can only be
+// correct if the caller relies on the callee preserving it. The register
+// must then survive the callee's whole dynamic extent, so the reliance
+// propagates transitively through the callee's own direct calls.
+// (A compiler can only apply ipa-ra when the callee's transitive extent is
+// fully visible, so the propagation never needs to cross module boundaries
+// or indirect calls: such callees clobber conservatively and attract no
+// reliance in the first place.)
+func ReliedUpon(g *cfg.Graph, l *Liveness) map[uint64]RegMask {
+	relied := map[uint64]RegMask{}
+	for _, blk := range g.Blocks {
+		term := blk.Terminator()
+		if term.Op != isa.OpCall {
+			continue
+		}
+		fall := term.Addr + uint64(term.Size)
+		p, known := l.points[fall]
+		if !known {
+			continue
+		}
+		if r := p.Regs & CallerSaved &^ maskOf(isa.R0); r != 0 {
+			relied[term.Target()] |= r
+		}
+	}
+	// Propagate through the direct call graph to a fixpoint: the register
+	// must survive everything the relied-upon function calls, too.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range g.Funcs {
+			mask := relied[fn.Entry]
+			if mask == 0 {
+				continue
+			}
+			for _, blk := range fn.Blocks {
+				term := blk.Terminator()
+				if term.Op != isa.OpCall {
+					continue
+				}
+				t := term.Target()
+				if relied[t]&mask != mask {
+					relied[t] |= mask
+					changed = true
+				}
+			}
+		}
+	}
+	return relied
+}

@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/isa"
+)
+
+// ipaRaProg hand-writes the §4.1.2 pattern: the caller keeps a value in
+// caller-saved r8 across a direct call, because it "knows" the callee never
+// touches r8 (gcc's ipa-ra). The callee has a memory access JASan would
+// instrument; its intra-procedural liveness sees r8 as dead everywhere.
+const ipaRaProg = `
+.module t
+.entry _start
+.section .text
+_start:
+    mov r8, 1000        ; value the caller relies on
+    call leaf           ; ipa-ra: r8 deliberately NOT saved
+    add r8, 1           ; ...and used afterwards
+    mov r1, r8
+    mov r0, 1
+    syscall
+leaf:
+    la r6, slot
+    ldq r7, [r6+0]      ; instrumented memory access
+    add r7, 1
+    stq [r6+0], r7
+    ret
+.section .data
+slot:
+    .quad 5
+`
+
+func buildIpaRa(t *testing.T) *cfg.Graph {
+	t.Helper()
+	mod, err := asm.Assemble(ipaRaProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestReliedUponDetectsIpaRaPattern(t *testing.T) {
+	g := buildIpaRa(t)
+	l := ComputeLiveness(g, false)
+	relied := ReliedUpon(g, l)
+	var leaf *cfg.Function
+	for _, fn := range g.Funcs {
+		if fn.Name == "leaf" {
+			leaf = fn
+		}
+	}
+	if leaf == nil {
+		t.Fatal("no leaf function")
+	}
+	mask, ok := relied[leaf.Entry]
+	if !ok || !mask.Has(isa.R8) {
+		t.Fatalf("relied[leaf] = %v, want r8", mask.Regs())
+	}
+}
+
+func TestIpaRaHazardExistsWithoutInterproc(t *testing.T) {
+	// Intra-procedural liveness considers r8 free inside leaf — the
+	// unsound scratch choice the paper warns about.
+	g := buildIpaRa(t)
+	l := ComputeLiveness(g, false)
+	var accessAddr uint64
+	for _, fn := range g.Funcs {
+		if fn.Name != "leaf" {
+			continue
+		}
+		for _, b := range fn.Blocks {
+			for i := range b.Instrs {
+				if b.Instrs[i].Op == isa.OpLdQ {
+					accessAddr = b.Instrs[i].Addr
+				}
+			}
+		}
+	}
+	if accessAddr == 0 {
+		t.Fatal("no access found in leaf")
+	}
+	if l.LiveIn(accessAddr).Regs.Has(isa.R8) {
+		t.Fatal("intra-procedural liveness already keeps r8 live: test is vacuous")
+	}
+}
+
+func TestInterprocLivenessProtectsReliedRegisters(t *testing.T) {
+	g := buildIpaRa(t)
+	l := ComputeLiveness(g, true)
+	for _, fn := range g.Funcs {
+		if fn.Name != "leaf" {
+			continue
+		}
+		for _, b := range fn.Blocks {
+			for i := range b.Instrs {
+				a := b.Instrs[i].Addr
+				if !l.LiveIn(a).Regs.Has(isa.R8) {
+					t.Errorf("r8 not live at %#x inside relied-upon leaf", a)
+				}
+				for _, r := range l.FreeRegs(a, 8) {
+					if r == isa.R8 {
+						t.Errorf("FreeRegs hands out relied r8 at %#x", a)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReliedPropagatesThroughCalls(t *testing.T) {
+	// A relies-on-r9 call to mid, which itself calls inner: the reliance
+	// must reach inner too — r9 has to survive the whole extent.
+	mod, err := asm.Assemble(`
+.module t
+.entry _start
+.section .text
+_start:
+    mov r9, 7
+    call mid
+    mov r1, r9
+    mov r0, 1
+    syscall
+mid:
+    push fp
+    mov fp, sp
+    call inner
+    mov sp, fp
+    pop fp
+    ret
+inner:
+    mov r0, 3
+    ret
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := ComputeLiveness(g, false)
+	relied := ReliedUpon(g, l)
+	for _, name := range []string{"mid", "inner"} {
+		found := false
+		for _, fn := range g.Funcs {
+			if fn.Name == name && relied[fn.Entry].Has(isa.R9) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("reliance on r9 did not reach %s", name)
+		}
+	}
+}

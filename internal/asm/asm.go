@@ -1,0 +1,527 @@
+// Package asm implements jas, a two-pass assembler from JVA textual
+// assembly to JEF modules.
+//
+// Source structure:
+//
+//	.module name          module soname
+//	.type exec|shared     module type (default exec)
+//	.pic                  position-independent (default position-dependent)
+//	.base 0x400000        link-time base for non-PIC modules
+//	.entry _start         entry symbol (executables)
+//	.needs libj.jef       declared dependency (ldd-visible)
+//	.import malloc        imported function: synthesizes a PLT stub + GOT slot
+//	.global name          export symbol `name`
+//	.strip full|exports|stripped   symbol table level (default full)
+//	.section .text        switch section
+//
+//	label:                define a symbol (labels starting with '.' are
+//	                      assembly-local and never enter the symbol table)
+//	mnemonic operands     one instruction (see package isa)
+//	.quad v | sym | sym+off    8-byte datum (symbolic values relocated in PIC)
+//	.long v | sym              4-byte datum
+//	.byte v, v, ...            bytes
+//	.ascii "..." / .asciz "..."
+//	.zero n                    n zero bytes
+//	.align n                   pad with zeros to an n-byte boundary
+//
+// Pseudo-instruction: `la rd, sym` materialises a symbol address — a 64-bit
+// absolute immediate in non-PIC modules, a PC-relative LeaPC in PIC modules.
+// Direct calls/jumps to imported functions are routed through their PLT stub.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/obj"
+)
+
+// Error is an assembly diagnostic with source position.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+// itemKind discriminates parsed items within a section.
+type itemKind uint8
+
+const (
+	itemInstr itemKind = iota
+	itemLabel
+	itemData  // raw bytes known at parse time
+	itemQuad  // 8-byte symbolic value
+	itemLong  // 4-byte symbolic value
+	itemAlign // pad to boundary
+)
+
+// operand is a parsed instruction operand.
+type operand struct {
+	kind opKind
+	reg  isa.Register
+	ri   isa.Register
+	rb   isa.Register
+	val  int64  // immediate or displacement
+	sym  string // symbol reference
+}
+
+type opKind uint8
+
+const (
+	opReg  opKind = iota // r3
+	opImm                // 42
+	opMem                // [rb+disp]
+	opMemX               // [rb+ri(*8)+disp]
+	opPC                 // [pc+disp]
+	opSym                // label
+)
+
+// item is one parsed source element.
+type item struct {
+	kind  itemKind
+	line  int
+	in    isa.Instr // itemInstr: partially filled instruction
+	ops   []operand // itemInstr: original operands for fixup
+	mn    string    // itemInstr: mnemonic (for error messages)
+	name  string    // itemLabel: symbol name
+	bytes []byte    // itemData
+	sym   string    // itemQuad/itemLong symbol ("" for pure value)
+	val   int64     // itemQuad/itemLong addend or value; itemAlign boundary
+	size  uint64    // assigned during layout
+	addr  uint64    // assigned during layout
+}
+
+// section accumulates items for one output section.
+type section struct {
+	name  string
+	items []item
+	flags uint8
+}
+
+// assembler holds parse state.
+type assembler struct {
+	modName  string
+	modType  obj.ModuleType
+	pic      bool
+	base     uint64
+	entrySym string
+	symLevel obj.SymTabLevel
+	needs    []string
+	imports  []string
+	globals  map[string]bool
+	sections []*section
+	cur      *section
+	line     int
+}
+
+func (a *assembler) errf(format string, args ...interface{}) error {
+	return &Error{Line: a.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (a *assembler) sectionNamed(name string) *section {
+	for _, s := range a.sections {
+		if s.name == name {
+			return s
+		}
+	}
+	flags := uint8(0)
+	switch name {
+	case ".text", ".init", ".fini", ".plt":
+		flags = obj.SecExec
+	case ".data", ".bss", ".got":
+		flags = obj.SecWrite
+	}
+	s := &section{name: name, flags: flags}
+	a.sections = append(a.sections, s)
+	return s
+}
+
+// Assemble assembles one source file into a JEF module.
+func Assemble(src string) (*obj.Module, error) {
+	a := &assembler{
+		modType:  obj.Exec,
+		base:     isa.LayoutExecBase,
+		symLevel: obj.SymFull,
+		globals:  map[string]bool{},
+	}
+	for i, raw := range strings.Split(src, "\n") {
+		a.line = i + 1
+		if err := a.parseLine(raw); err != nil {
+			return nil, err
+		}
+	}
+	return a.finish()
+}
+
+// parseLine handles one source line.
+func (a *assembler) parseLine(raw string) error {
+	line := stripComment(raw)
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return nil
+	}
+	// Label definitions may share a line with an instruction.
+	for {
+		idx := labelEnd(line)
+		if idx < 0 {
+			break
+		}
+		name := line[:idx]
+		if err := a.defineLabel(name); err != nil {
+			return err
+		}
+		line = strings.TrimSpace(line[idx+1:])
+		if line == "" {
+			return nil
+		}
+	}
+	if strings.HasPrefix(line, ".") {
+		return a.parseDirective(line)
+	}
+	return a.parseInstr(line)
+}
+
+// labelEnd returns the index of the ':' terminating a leading label, or -1.
+func labelEnd(line string) int {
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if c == ':' {
+			if i == 0 {
+				return -1
+			}
+			return i
+		}
+		if !isIdentChar(c) && !(i == 0 && c == '.') && c != '.' {
+			return -1
+		}
+	}
+	return -1
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			inStr = !inStr
+		case '\\':
+			if inStr {
+				i++
+			}
+		case ';', '#':
+			if !inStr {
+				return line[:i]
+			}
+		case '/':
+			if !inStr && i+1 < len(line) && line[i+1] == '/' {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+func (a *assembler) defineLabel(name string) error {
+	if a.cur == nil {
+		a.cur = a.sectionNamed(".text")
+	}
+	a.cur.items = append(a.cur.items, item{kind: itemLabel, line: a.line, name: name})
+	return nil
+}
+
+// parseDirective handles lines beginning with '.'.
+func (a *assembler) parseDirective(line string) error {
+	word, rest := splitWord(line)
+	rest = strings.TrimSpace(rest)
+	switch word {
+	case ".module":
+		a.modName = rest
+	case ".type":
+		switch rest {
+		case "exec":
+			a.modType = obj.Exec
+		case "shared":
+			a.modType = obj.SharedObj
+		default:
+			return a.errf(".type: want exec or shared, got %q", rest)
+		}
+	case ".pic":
+		a.pic = true
+	case ".base":
+		v, err := parseInt(rest)
+		if err != nil {
+			return a.errf(".base: %v", err)
+		}
+		a.base = uint64(v)
+	case ".entry":
+		a.entrySym = rest
+	case ".needs":
+		a.needs = append(a.needs, rest)
+	case ".import":
+		a.imports = append(a.imports, rest)
+	case ".global":
+		a.globals[rest] = true
+	case ".strip":
+		switch rest {
+		case "full":
+			a.symLevel = obj.SymFull
+		case "exports":
+			a.symLevel = obj.SymExports
+		case "stripped":
+			a.symLevel = obj.SymStripped
+		default:
+			return a.errf(".strip: want full, exports or stripped, got %q", rest)
+		}
+	case ".section":
+		a.cur = a.sectionNamed(rest)
+	case ".quad", ".long":
+		if a.cur == nil {
+			return a.errf("%s outside section", word)
+		}
+		kind := itemQuad
+		if word == ".long" {
+			kind = itemLong
+		}
+		for _, f := range splitOperands(rest) {
+			sym, addend, err := parseSymExpr(f)
+			if err != nil {
+				return a.errf("%s: %v", word, err)
+			}
+			a.cur.items = append(a.cur.items,
+				item{kind: kind, line: a.line, sym: sym, val: addend})
+		}
+	case ".byte":
+		if a.cur == nil {
+			return a.errf(".byte outside section")
+		}
+		var bs []byte
+		for _, f := range splitOperands(rest) {
+			v, err := parseInt(f)
+			if err != nil {
+				return a.errf(".byte: %v", err)
+			}
+			bs = append(bs, byte(v))
+		}
+		a.cur.items = append(a.cur.items, item{kind: itemData, line: a.line, bytes: bs})
+	case ".ascii", ".asciz":
+		s, err := strconv.Unquote(rest)
+		if err != nil {
+			return a.errf("%s: bad string %s: %v", word, rest, err)
+		}
+		b := []byte(s)
+		if word == ".asciz" {
+			b = append(b, 0)
+		}
+		a.cur.items = append(a.cur.items, item{kind: itemData, line: a.line, bytes: b})
+	case ".zero":
+		n, err := parseInt(rest)
+		if err != nil || n < 0 {
+			return a.errf(".zero: bad count %q", rest)
+		}
+		a.cur.items = append(a.cur.items,
+			item{kind: itemData, line: a.line, bytes: make([]byte, n)})
+	case ".align":
+		n, err := parseInt(rest)
+		if err != nil || n <= 0 || n&(n-1) != 0 {
+			return a.errf(".align: bad boundary %q", rest)
+		}
+		a.cur.items = append(a.cur.items, item{kind: itemAlign, line: a.line, val: n})
+	default:
+		return a.errf("unknown directive %s", word)
+	}
+	return nil
+}
+
+func splitWord(s string) (string, string) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], s[i+1:]
+}
+
+// splitOperands splits on commas not inside brackets or strings.
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 && !inStr {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	last := strings.TrimSpace(s[start:])
+	if last != "" {
+		out = append(out, last)
+	}
+	return out
+}
+
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("empty integer")
+	}
+	return strconv.ParseInt(s, 0, 64)
+}
+
+// parseSymExpr parses `42`, `sym` or `sym+8` / `sym-8`.
+func parseSymExpr(s string) (sym string, addend int64, err error) {
+	s = strings.TrimSpace(s)
+	if v, e := parseInt(s); e == nil {
+		return "", v, nil
+	}
+	// find +/- splitting symbol and addend (not leading)
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			v, e := parseInt(s[i:])
+			if e != nil {
+				return "", 0, fmt.Errorf("bad addend in %q", s)
+			}
+			return s[:i], v, nil
+		}
+	}
+	if !isIdentStart(s) {
+		return "", 0, fmt.Errorf("bad expression %q", s)
+	}
+	return s, 0, nil
+}
+
+func isIdentStart(s string) bool {
+	if s == "" {
+		return false
+	}
+	c := s[0]
+	return c == '_' || c == '.' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func parseReg(s string) (isa.Register, bool) {
+	switch s {
+	case "sp":
+		return isa.SP, true
+	case "fp":
+		return isa.FP, true
+	}
+	if len(s) >= 2 && s[0] == 'r' {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < isa.NumRegs {
+			return isa.Register(n), true
+		}
+	}
+	return 0, false
+}
+
+// parseOperand classifies one operand string.
+func parseOperand(s string) (operand, error) {
+	s = strings.TrimSpace(s)
+	if r, ok := parseReg(s); ok {
+		return operand{kind: opReg, reg: r}, nil
+	}
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return operand{}, fmt.Errorf("unterminated memory operand %q", s)
+		}
+		return parseMem(s[1 : len(s)-1])
+	}
+	if v, err := parseInt(s); err == nil {
+		return operand{kind: opImm, val: v}, nil
+	}
+	if isIdentStart(s) {
+		sym, addend, err := parseSymExpr(s)
+		if err != nil {
+			return operand{}, err
+		}
+		return operand{kind: opSym, sym: sym, val: addend}, nil
+	}
+	return operand{}, fmt.Errorf("bad operand %q", s)
+}
+
+// parseMem parses the inside of [...]: rb, rb+disp, rb-disp, rb+ri,
+// rb+ri*8, rb+ri+disp, rb+ri*8+disp, pc+disp, pc+sym.
+func parseMem(s string) (operand, error) {
+	parts := splitAddExpr(s)
+	if len(parts) == 0 {
+		return operand{}, fmt.Errorf("empty memory operand")
+	}
+	op := operand{kind: opMem}
+	first := strings.TrimSpace(parts[0])
+	if first == "pc" {
+		op.kind = opPC
+		for _, p := range parts[1:] {
+			p = strings.TrimSpace(p)
+			if v, err := parseInt(p); err == nil {
+				op.val += v
+				continue
+			}
+			name := strings.TrimPrefix(p, "+")
+			if !isIdentStart(name) {
+				return operand{}, fmt.Errorf("bad pc-relative term %q", p)
+			}
+			if op.sym != "" {
+				return operand{}, fmt.Errorf("multiple symbols in %q", s)
+			}
+			op.sym = name
+		}
+		return op, nil
+	}
+	rb, ok := parseReg(first)
+	if !ok {
+		return operand{}, fmt.Errorf("bad base register %q", first)
+	}
+	op.rb = rb
+	seenIndex := false
+	for _, p := range parts[1:] {
+		p = strings.TrimSpace(p)
+		// Index register term: "+ri" or "+ri*8" (scale is implied by the
+		// mnemonic's access width, so "*8" is accepted documentation).
+		t := strings.TrimSuffix(strings.TrimPrefix(p, "+"), "*8")
+		if r, ok := parseReg(t); ok {
+			if seenIndex {
+				return operand{}, fmt.Errorf("two index registers in %q", s)
+			}
+			seenIndex = true
+			op.kind = opMemX
+			op.ri = r
+			continue
+		}
+		v, err := parseInt(p)
+		if err != nil {
+			return operand{}, fmt.Errorf("bad memory term %q", p)
+		}
+		op.val += v
+	}
+	return op, nil
+}
+
+// splitAddExpr splits "a+b-c" into ["a", "+b", "-c"] keeping signs.
+func splitAddExpr(s string) []string {
+	var out []string
+	start := 0
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			out = append(out, s[start:i])
+			start = i
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}

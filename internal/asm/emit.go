@@ -1,0 +1,570 @@
+package asm
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/obj"
+)
+
+// mnemonic tables. RR-vs-RI ALU selection happens on operand shape.
+var aluRR = map[string]isa.Op{
+	"add": isa.OpAddRR, "sub": isa.OpSubRR, "mul": isa.OpMulRR,
+	"div": isa.OpDivRR, "rem": isa.OpRemRR, "and": isa.OpAndRR,
+	"or": isa.OpOrRR, "xor": isa.OpXorRR, "shl": isa.OpShlRR,
+	"shr": isa.OpShrRR, "cmp": isa.OpCmpRR, "test": isa.OpTestRR,
+}
+
+var aluRI = map[string]isa.Op{
+	"add": isa.OpAddRI, "sub": isa.OpSubRI, "mul": isa.OpMulRI,
+	"and": isa.OpAndRI, "or": isa.OpOrRI, "xor": isa.OpXorRI,
+	"shl": isa.OpShlRI, "shr": isa.OpShrRI, "cmp": isa.OpCmpRI,
+}
+
+var branches = map[string]isa.Op{
+	"jmp": isa.OpJmp, "je": isa.OpJe, "jne": isa.OpJne, "jl": isa.OpJl,
+	"jle": isa.OpJle, "jg": isa.OpJg, "jge": isa.OpJge, "jb": isa.OpJb,
+	"jae": isa.OpJae, "call": isa.OpCall,
+}
+
+var loads = map[string]isa.Op{
+	"ldq": isa.OpLdQ, "ldb": isa.OpLdB, "lea": isa.OpLea,
+}
+
+var stores = map[string]isa.Op{
+	"stq": isa.OpStQ, "stb": isa.OpStB,
+}
+
+var loadsX = map[string]isa.Op{
+	"ldxq": isa.OpLdXQ, "ldxb": isa.OpLdXB,
+	"leax": isa.OpLeaX, "leaxb": isa.OpLeaXB,
+}
+
+var storesX = map[string]isa.Op{
+	"stxq": isa.OpStXQ, "stxb": isa.OpStXB,
+}
+
+var nullary = map[string]isa.Op{
+	"ret": isa.OpRet, "syscall": isa.OpSyscall, "nop": isa.OpNop,
+	"hlt": isa.OpHlt, "pushf": isa.OpPushF, "popf": isa.OpPopF,
+}
+
+var unaryReg = map[string]isa.Op{
+	"push": isa.OpPush, "pop": isa.OpPop, "not": isa.OpNot,
+	"neg": isa.OpNeg, "jmpi": isa.OpJmpI, "calli": isa.OpCallI,
+	"ldg": isa.OpLdG,
+}
+
+// laSize is the layout size of the `la` pseudo-instruction: MovRI (10 bytes)
+// in non-PIC modules, LeaPC (6 bytes) in PIC modules.
+func (a *assembler) laSize() uint64 {
+	if a.pic {
+		return uint64(isa.EncodedSize(isa.OpLeaPC))
+	}
+	return uint64(isa.EncodedSize(isa.OpMovRI))
+}
+
+// parseInstr parses one instruction line into an item.
+func (a *assembler) parseInstr(line string) error {
+	if a.cur == nil {
+		a.cur = a.sectionNamed(".text")
+	}
+	mn, rest := splitWord(line)
+	var ops []operand
+	for _, f := range splitOperands(rest) {
+		op, err := parseOperand(f)
+		if err != nil {
+			return a.errf("%s: %v", mn, err)
+		}
+		ops = append(ops, op)
+	}
+	it := item{kind: itemInstr, line: a.line, mn: mn, ops: ops}
+
+	bad := func() error {
+		return a.errf("%s: unsupported operand combination", mn)
+	}
+	nOps := func(n int) bool { return len(ops) == n }
+	// asSym reinterprets an operand in a symbol-only position: names that
+	// happen to look like registers (a function called "fp", say) are
+	// symbols there.
+	asSym := func(op operand) operand {
+		if op.kind == opReg {
+			return operand{kind: opSym, sym: op.reg.String()}
+		}
+		return op
+	}
+
+	switch {
+	case mn == "la":
+		if !nOps(2) || ops[0].kind != opReg {
+			return bad()
+		}
+		ops[1] = asSym(ops[1])
+		it.ops = ops
+		if ops[1].kind != opSym {
+			return bad()
+		}
+		// Opcode chosen at emit time (MovRI vs LeaPC); size known now.
+		it.in = isa.Instr{Op: isa.OpMovRI, Rd: ops[0].reg}
+		if a.pic {
+			it.in.Op = isa.OpLeaPC
+		}
+	case mn == "mov":
+		if !nOps(2) || ops[0].kind != opReg {
+			return bad()
+		}
+		switch ops[1].kind {
+		case opReg:
+			it.in = isa.Instr{Op: isa.OpMovRR, Rd: ops[0].reg, Rb: ops[1].reg}
+		case opImm:
+			it.in = isa.Instr{Op: isa.OpMovRI, Rd: ops[0].reg, Imm: ops[1].val}
+		default:
+			return bad()
+		}
+	case mn == "trap":
+		if !nOps(1) || ops[0].kind != opImm {
+			return bad()
+		}
+		it.in = isa.Instr{Op: isa.OpTrap, Imm: ops[0].val}
+	case nullary[mn] != 0:
+		if !nOps(0) {
+			return bad()
+		}
+		it.in = isa.Instr{Op: nullary[mn]}
+	case unaryReg[mn] != 0:
+		if !nOps(1) || ops[0].kind != opReg {
+			return bad()
+		}
+		it.in = isa.Instr{Op: unaryReg[mn], Rd: ops[0].reg}
+	case mn == "ldpc" || mn == "leapc":
+		op := isa.OpLdPC
+		if mn == "leapc" {
+			op = isa.OpLeaPC
+		}
+		if nOps(2) && ops[0].kind == opReg && ops[1].kind == opPC {
+			it.in = isa.Instr{Op: op, Rd: ops[0].reg, Disp: int32(ops[1].val)}
+		} else if nOps(2) && ops[0].kind == opReg &&
+			asSym(ops[1]).kind == opSym {
+			ops[1] = asSym(ops[1])
+			it.ops = ops
+			it.in = isa.Instr{Op: op, Rd: ops[0].reg}
+		} else {
+			return bad()
+		}
+	case loads[mn] != 0 || loadsX[mn] != 0:
+		if !nOps(2) || ops[0].kind != opReg {
+			return bad()
+		}
+		switch {
+		case ops[1].kind == opMem && loads[mn] != 0:
+			it.in = isa.Instr{Op: loads[mn], Rd: ops[0].reg,
+				Rb: ops[1].rb, Disp: int32(ops[1].val)}
+		case ops[1].kind == opMemX && loadsX[mn] != 0:
+			it.in = isa.Instr{Op: loadsX[mn], Rd: ops[0].reg,
+				Rb: ops[1].rb, Ri: ops[1].ri, Disp: int32(ops[1].val)}
+		default:
+			return bad()
+		}
+	case stores[mn] != 0 || storesX[mn] != 0:
+		if !nOps(2) || ops[1].kind != opReg {
+			return bad()
+		}
+		switch {
+		case ops[0].kind == opMem && stores[mn] != 0:
+			it.in = isa.Instr{Op: stores[mn], Rd: ops[1].reg,
+				Rb: ops[0].rb, Disp: int32(ops[0].val)}
+		case ops[0].kind == opMemX && storesX[mn] != 0:
+			it.in = isa.Instr{Op: storesX[mn], Rd: ops[1].reg,
+				Rb: ops[0].rb, Ri: ops[0].ri, Disp: int32(ops[0].val)}
+		default:
+			return bad()
+		}
+	case aluRR[mn] != 0 || aluRI[mn] != 0:
+		if !nOps(2) || ops[0].kind != opReg {
+			return bad()
+		}
+		switch {
+		case ops[1].kind == opReg && aluRR[mn] != 0:
+			it.in = isa.Instr{Op: aluRR[mn], Rd: ops[0].reg, Rb: ops[1].reg}
+		case ops[1].kind == opImm && aluRI[mn] != 0:
+			it.in = isa.Instr{Op: aluRI[mn], Rd: ops[0].reg, Imm: ops[1].val}
+		default:
+			return bad()
+		}
+	case branches[mn] != 0:
+		if !nOps(1) {
+			return bad()
+		}
+		ops[0] = asSym(ops[0])
+		it.ops = ops
+		if ops[0].kind != opSym {
+			return bad()
+		}
+		it.in = isa.Instr{Op: branches[mn]}
+	default:
+		return a.errf("unknown mnemonic %q", mn)
+	}
+	a.cur.items = append(a.cur.items, it)
+	return nil
+}
+
+// canonical section layout order; unknown sections follow in declaration
+// order.
+var sectionOrder = map[string]int{
+	".init": 0, ".plt": 1, ".text": 2, ".fini": 3,
+	".rodata": 4, ".data": 5, ".got": 6,
+}
+
+const (
+	pltEntrySize = 24 // bytes per PLT slot (slot 0 is the resolver stub)
+	gotSlotSize  = 8
+)
+
+// finish runs layout, symbol resolution and emission.
+func (a *assembler) finish() (*obj.Module, error) {
+	if a.modName == "" {
+		return nil, fmt.Errorf("asm: missing .module directive")
+	}
+	base := a.base
+	if a.pic {
+		base = 0
+	}
+
+	// Synthesize .plt and .got for imports.
+	if len(a.imports) > 0 {
+		plt := a.sectionNamed(".plt")
+		plt.items = append(plt.items, item{
+			kind:  itemData,
+			bytes: make([]byte, pltEntrySize*(len(a.imports)+1)),
+		})
+		got := a.sectionNamed(".got")
+		got.items = append(got.items, item{
+			kind:  itemData,
+			bytes: make([]byte, gotSlotSize*len(a.imports)),
+		})
+	}
+
+	// Order sections canonically.
+	ordered := append([]*section(nil), a.sections...)
+	stableSortSections(ordered)
+
+	// Pass 1: layout. Assign addresses to every item and collect symbols.
+	symAddr := map[string]uint64{}
+	addr := base
+	for _, sec := range ordered {
+		addr = align(addr, 16)
+		secStart := addr
+		for i := range sec.items {
+			it := &sec.items[i]
+			it.addr = addr
+			switch it.kind {
+			case itemInstr:
+				if it.mn == "la" {
+					it.size = a.laSize()
+				} else {
+					it.size = uint64(isa.EncodedSize(it.in.Op))
+				}
+			case itemLabel:
+				if _, dup := symAddr[it.name]; dup {
+					return nil, &Error{Line: it.line,
+						Msg: fmt.Sprintf("duplicate label %q", it.name)}
+				}
+				symAddr[it.name] = addr
+			case itemData:
+				it.size = uint64(len(it.bytes))
+			case itemQuad:
+				it.size = 8
+			case itemLong:
+				it.size = 4
+			case itemAlign:
+				it.size = align(addr, uint64(it.val)) - addr
+			}
+			addr += it.size
+		}
+		_ = secStart
+	}
+
+	// Import PLT/GOT addresses.
+	pltBase, gotBase := uint64(0), uint64(0)
+	for _, sec := range ordered {
+		if len(sec.items) == 0 {
+			continue
+		}
+		switch sec.name {
+		case ".plt":
+			pltBase = sec.items[0].addr
+		case ".got":
+			gotBase = sec.items[0].addr
+		}
+	}
+	imports := make([]obj.Import, len(a.imports))
+	importIdx := map[string]int{}
+	for k, name := range a.imports {
+		imports[k] = obj.Import{
+			Name: name,
+			PLT:  pltBase + uint64(pltEntrySize*(k+1)),
+			GOT:  gotBase + uint64(gotSlotSize*k),
+		}
+		importIdx[name] = k
+	}
+
+	// resolve maps a symbol reference to its link-time address; import
+	// names resolve to their PLT stubs.
+	resolve := func(sym string, it *item) (uint64, error) {
+		if v, ok := symAddr[sym]; ok {
+			return v, nil
+		}
+		if k, ok := importIdx[sym]; ok {
+			return imports[k].PLT, nil
+		}
+		return 0, &Error{Line: it.line, Msg: fmt.Sprintf("undefined symbol %q", sym)}
+	}
+
+	// Pass 2: emit bytes.
+	mod := &obj.Module{
+		Name:     a.modName,
+		Type:     a.modType,
+		PIC:      a.pic,
+		SymLevel: a.symLevel,
+		Base:     a.base,
+		Needed:   a.needs,
+		Imports:  imports,
+	}
+	if a.pic {
+		mod.Base = 0
+	}
+
+	for _, sec := range ordered {
+		if len(sec.items) == 0 {
+			continue
+		}
+		secAddr := sec.items[0].addr
+		var data []byte
+		emitAt := func() uint64 { return secAddr + uint64(len(data)) }
+		for i := range sec.items {
+			it := &sec.items[i]
+			// pad to the laid-out address (alignment gaps)
+			for emitAt() < it.addr {
+				data = append(data, 0)
+			}
+			switch it.kind {
+			case itemLabel:
+				if it.name[0] != '.' {
+					kind := obj.SymObject
+					if sec.flags&obj.SecExec != 0 {
+						kind = obj.SymFunc
+					}
+					mod.Symbols = append(mod.Symbols, obj.Symbol{
+						Name: it.name, Addr: it.addr, Kind: kind,
+						Exported: a.globals[it.name],
+					})
+				}
+			case itemData:
+				if sec.name == ".plt" && len(a.imports) > 0 && i == 0 {
+					data = a.emitPLT(data, pltBase, imports)
+				} else if sec.name == ".got" && len(a.imports) > 0 && i == 0 {
+					data = a.emitGOT(data, pltBase, imports, mod)
+				} else {
+					data = append(data, it.bytes...)
+				}
+			case itemQuad, itemLong:
+				v := it.val
+				if it.sym != "" {
+					s, err := resolve(it.sym, it)
+					if err != nil {
+						return nil, err
+					}
+					v += int64(s)
+					if a.pic && it.kind == itemQuad {
+						mod.Relocs = append(mod.Relocs, obj.Reloc{
+							Kind: obj.RelRebase, Where: it.addr,
+						})
+					}
+				}
+				if it.kind == itemQuad {
+					data = appendLE(data, uint64(v), 8)
+				} else {
+					data = appendLE(data, uint64(v), 4)
+				}
+			case itemAlign:
+				for n := uint64(0); n < it.size; n++ {
+					data = append(data, 0)
+				}
+			case itemInstr:
+				var err error
+				data, err = a.emitInstr(data, it, resolve)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		mod.Sections = append(mod.Sections, obj.Section{
+			Name: sec.name, Addr: secAddr, Data: data, Flags: sec.flags,
+		})
+	}
+
+	// Symbol sizes: distance to the next symbol in the same section, or to
+	// section end.
+	fillSymbolSizes(mod)
+
+	if a.entrySym != "" {
+		e, ok := symAddr[a.entrySym]
+		if !ok {
+			return nil, fmt.Errorf("asm: entry symbol %q undefined", a.entrySym)
+		}
+		mod.Entry = e
+	}
+	if err := mod.Validate(); err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return mod, nil
+}
+
+// emitInstr encodes one instruction item, resolving symbolic operands.
+func (a *assembler) emitInstr(data []byte, it *item,
+	resolve func(string, *item) (uint64, error)) ([]byte, error) {
+
+	in := it.in
+	in.Addr = it.addr
+	in.Size = uint32(it.size)
+	nextPC := it.addr + it.size
+
+	switch {
+	case it.mn == "la":
+		target, err := resolve(it.ops[1].sym, it)
+		if err != nil {
+			return nil, err
+		}
+		target += uint64(it.ops[1].val)
+		if a.pic {
+			in.Op = isa.OpLeaPC
+			in.Disp = int32(int64(target) - int64(nextPC))
+		} else {
+			in.Op = isa.OpMovRI
+			in.Imm = int64(target)
+		}
+	case in.Op == isa.OpLdPC || in.Op == isa.OpLeaPC:
+		if len(it.ops) == 2 && it.ops[1].kind == opSym {
+			target, err := resolve(it.ops[1].sym, it)
+			if err != nil {
+				return nil, err
+			}
+			in.Disp = int32(int64(target+uint64(it.ops[1].val)) - int64(nextPC))
+		}
+	case branches[it.mn] != 0:
+		target, err := resolve(it.ops[0].sym, it)
+		if err != nil {
+			return nil, err
+		}
+		in.Disp = int32(int64(target+uint64(it.ops[0].val)) - int64(nextPC))
+	}
+	return isa.Encode(data, &in), nil
+}
+
+// emitPLT generates the PLT: slot 0 is the shared lazy-resolution stub that
+// ends in `push r0; ret` — deliberately using a return instruction to enter
+// the resolved function, reproducing the ld.so lazy-binding control-flow
+// abnormality (§4.2.3). Slot k+1 belongs to import k:
+//
+//	ldpc r11, [got_k]   ; jump through GOT
+//	jmpi r11
+//	lazy_k: mov r11, k  ; first call lands here via the initial GOT value
+//	jmp plt0
+func (a *assembler) emitPLT(data []byte, pltBase uint64, imports []obj.Import) []byte {
+	emit := func(in isa.Instr, at uint64) uint64 {
+		in.Addr = at
+		in.Size = isa.EncodedSize(in.Op)
+		data = isa.Encode(data, &in)
+		return at + uint64(in.Size)
+	}
+	pad := func(at, until uint64) uint64 {
+		for at < until {
+			at = emit(isa.Instr{Op: isa.OpNop}, at)
+		}
+		return at
+	}
+	// Slot 0: resolver stub.
+	at := pltBase
+	at = emit(isa.Instr{Op: isa.OpTrap, Imm: isa.TrapResolve}, at)
+	at = emit(isa.Instr{Op: isa.OpPush, Rd: isa.R0}, at)
+	at = emit(isa.Instr{Op: isa.OpRet}, at)
+	at = pad(at, pltBase+pltEntrySize)
+	// Import slots.
+	for k, im := range imports {
+		entry := pltBase + uint64(pltEntrySize*(k+1))
+		ldpcSize := uint64(isa.EncodedSize(isa.OpLdPC))
+		at = emit(isa.Instr{Op: isa.OpLdPC, Rd: isa.R11,
+			Disp: int32(int64(im.GOT) - int64(entry+ldpcSize))}, entry)
+		at = emit(isa.Instr{Op: isa.OpJmpI, Rd: isa.R11}, at)
+		// lazy stub at entry+8
+		at = emit(isa.Instr{Op: isa.OpMovRI, Rd: isa.R11, Imm: int64(k)}, at)
+		jmpSize := uint64(isa.EncodedSize(isa.OpJmp))
+		at = emit(isa.Instr{Op: isa.OpJmp,
+			Disp: int32(int64(pltBase) - int64(at+jmpSize))}, at)
+		at = pad(at, entry+pltEntrySize)
+	}
+	return data
+}
+
+// emitGOT fills initial GOT values: the link-time address of each import's
+// lazy stub (PLT slot + 8). Each slot also carries a RelGotFunc reloc naming
+// the symbol, so eager loaders can bind directly and lazy loaders of PIC
+// modules know to rebase.
+func (a *assembler) emitGOT(data []byte, pltBase uint64,
+	imports []obj.Import, mod *obj.Module) []byte {
+	for _, im := range imports {
+		lazy := im.PLT + 8
+		data = appendLE(data, lazy, 8)
+		mod.Relocs = append(mod.Relocs, obj.Reloc{
+			Kind: obj.RelGotFunc, Where: im.GOT, Sym: im.Name,
+		})
+	}
+	return data
+}
+
+func appendLE(b []byte, v uint64, n int) []byte {
+	for i := 0; i < n; i++ {
+		b = append(b, byte(v>>(8*i)))
+	}
+	return b
+}
+
+func align(v, n uint64) uint64 { return (v + n - 1) &^ (n - 1) }
+
+func stableSortSections(secs []*section) {
+	// insertion sort by canonical rank (stable, tiny input)
+	rank := func(s *section) int {
+		if r, ok := sectionOrder[s.name]; ok {
+			return r
+		}
+		return 100
+	}
+	for i := 1; i < len(secs); i++ {
+		for j := i; j > 0 && rank(secs[j]) < rank(secs[j-1]); j-- {
+			secs[j], secs[j-1] = secs[j-1], secs[j]
+		}
+	}
+}
+
+// fillSymbolSizes assigns each zero-sized symbol the distance to the next
+// symbol in the same section (or the section end).
+func fillSymbolSizes(mod *obj.Module) {
+	for i := range mod.Symbols {
+		s := &mod.Symbols[i]
+		if s.Size != 0 {
+			continue
+		}
+		sec := mod.SectionAt(s.Addr)
+		if sec == nil {
+			continue
+		}
+		end := sec.Addr + uint64(len(sec.Data))
+		for j := range mod.Symbols {
+			t := &mod.Symbols[j]
+			if t.Addr > s.Addr && t.Addr < end && sec.Contains(t.Addr) {
+				end = t.Addr
+			}
+		}
+		s.Size = end - s.Addr
+	}
+}

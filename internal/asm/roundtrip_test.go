@@ -1,0 +1,69 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestDisasmReassembleRoundtrip: disassembling a module's .text and feeding
+// the text back through the assembler reproduces the exact code bytes —
+// the reassembleable-disassembly property Retrowrite-class tools depend on.
+func TestDisasmReassembleRoundtrip(t *testing.T) {
+	orig, err := Assemble(`
+.module t
+.entry _start
+.base 0x400000
+.section .text
+_start:
+    mov r1, 42
+    ldq r2, [sp+8]
+    stxb [r3+r4-1], r5
+    leax r6, [r7+r8*8+16]
+    cmp r1, r2
+    jne _start
+    calli r6
+    pushf
+    popf
+    trap 7
+    ldg r9
+    ret
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := orig.Section(".text")
+	ins, err := isa.DecodeAll(text.Data, text.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild assembly from the disassembly. Branch targets print as
+	// absolute addresses, so emit them as label-free `sym+off` via a
+	// single leading label.
+	var b strings.Builder
+	b.WriteString(".module t\n.entry L0\n.base 0x400000\n.section .text\nL0:\n")
+	for i := range ins {
+		line := isa.Disasm(&ins[i])
+		// Absolute branch targets -> L0+offset expressions.
+		if ins[i].IsCTI() && !ins[i].IsIndirectCTI() && ins[i].Op != isa.OpHlt {
+			off := ins[i].Target() - text.Addr
+			line = fmt.Sprintf("%s L0+%d", ins[i].Op, off)
+		}
+		b.WriteString("    " + line + "\n")
+	}
+	re, err := Assemble(b.String())
+	if err != nil {
+		t.Fatalf("reassembly failed: %v\nsource:\n%s", err, b.String())
+	}
+	reText := re.Section(".text")
+	if len(reText.Data) != len(text.Data) {
+		t.Fatalf("reassembled size %d != %d", len(reText.Data), len(text.Data))
+	}
+	for i := range text.Data {
+		if text.Data[i] != reText.Data[i] {
+			t.Fatalf("byte %d differs: %#x vs %#x", i, text.Data[i], reText.Data[i])
+		}
+	}
+}

@@ -1,0 +1,535 @@
+package baseline
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cc"
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/jcfi"
+	"repro/internal/libj"
+	"repro/internal/loader"
+	"repro/internal/obj"
+	"repro/internal/rules"
+	"repro/internal/vm"
+)
+
+// runTool loads and executes main under the given tool. static=false skips
+// the static analysis entirely (dynamic-only tools).
+func runTool(t *testing.T, main *obj.Module, extra loader.Registry,
+	tool core.Tool, static bool) (*vm.Machine, *core.Runtime, error) {
+	t.Helper()
+	lj, err := libj.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := loader.Registry{libj.Name: lj}
+	for k, v := range extra {
+		reg[k] = v
+	}
+	files := map[string]*rules.File{}
+	if static {
+		files, err = core.AnalyzeProgram(main, reg, tool)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := vm.New()
+	m.InstallDefaultServices()
+	m.MaxInstrs = 50_000_000
+	proc := loader.NewProcess(m, reg)
+	rt := core.NewRuntime(m, proc, tool, files)
+	lm, err := proc.LoadProgram(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, rt, rt.Run(lm.RuntimeAddr(main.Entry))
+}
+
+func compileC(t *testing.T, src string, opts cc.Options) *obj.Module {
+	t.Helper()
+	if opts.Module == "" {
+		opts.Module = "prog"
+	}
+	mod, err := cc.Compile(src, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return mod
+}
+
+const overflowC = `
+int main() {
+    char *p = malloc(24);
+    int i = 0;
+    while (i < 25) { p[i] = i; i += 1; }   // one byte past the object
+    free(p);
+    return 0;
+}`
+
+func TestValgrindDetectsHeapOverflow(t *testing.T) {
+	tool := NewValgrind()
+	main := compileC(t, overflowC, cc.Options{})
+	_, _, err := runTool(t, main, nil, tool, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tool.Report.Total == 0 {
+		t.Fatal("valgrind missed the heap overflow")
+	}
+}
+
+func TestValgrindMissesHeapToStackOverflow(t *testing.T) {
+	// The canary-poisoning scenario: only JASan's stack policy catches
+	// this; memcheck sees fully-addressable stack memory (Fig. 10 FNs).
+	src := `
+.module prog
+.entry _start
+.needs libj.jef
+.section .text
+_start:
+    call victim
+    mov r1, 0
+    mov r0, 1
+    syscall
+victim:
+    push fp
+    mov fp, sp
+    sub sp, 32
+    ldg r6
+    stq [fp-8], r6
+    lea r7, [fp-24]
+    mov r8, 0
+.w:
+    stxb [r7+r8], r8
+    add r8, 1
+    cmp r8, 20
+    jl .w
+    ldq r7, [fp-8]
+    ldg r8
+    cmp r7, r8
+    je .ok
+    mov sp, fp
+    pop fp
+    ret
+.ok:
+    mov sp, fp
+    pop fp
+    ret
+`
+	main, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := NewValgrind()
+	_, _, err = runTool(t, main, nil, tool, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tool.Report.Total != 0 {
+		t.Fatalf("valgrind should miss heap-to-stack/canary overwrites: %v",
+			tool.Report.Violations)
+	}
+}
+
+func TestValgrindDeduplicatesPerObject(t *testing.T) {
+	// Two overflow sites on the SAME object: memcheck-style suppression
+	// reports once; this is the fewer-than-actual behaviour of Fig. 10.
+	src := `
+int main() {
+    char *p = malloc(16);
+    p[16] = 1;          // site 1
+    p[17] = 2;          // site 2, same object
+    char *q = malloc(16);
+    q[16] = 3;          // different object: reported again
+    free(p);
+    free(q);
+    return 0;
+}`
+	tool := NewValgrind()
+	main := compileC(t, src, cc.Options{})
+	if _, _, err := runTool(t, main, nil, tool, false); err != nil {
+		t.Fatal(err)
+	}
+	if tool.Report.Total != 2 {
+		t.Fatalf("valgrind reports = %d, want 2 (per-object dedup)", tool.Report.Total)
+	}
+}
+
+func TestRetrowriteRequiresPIC(t *testing.T) {
+	tool := NewRetrowrite()
+	nonPIC := compileC(t, `int main(){return 0;}`, cc.Options{})
+	if err := tool.CheckInput(nonPIC); !errors.Is(err, ErrNotPIC) {
+		t.Fatalf("CheckInput(non-PIC) = %v, want ErrNotPIC", err)
+	}
+	pic := compileC(t, `int main(){return 0;}`, cc.Options{PIC: true})
+	if err := tool.CheckInput(pic); err != nil {
+		t.Fatalf("CheckInput(PIC) = %v", err)
+	}
+}
+
+func TestRetrowriteDetectsOverflowOnPIC(t *testing.T) {
+	tool := NewRetrowrite()
+	main := compileC(t, overflowC, cc.Options{PIC: true})
+	m, _, err := runTool(t, main, nil, tool, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tool.Report.Total == 0 {
+		t.Fatal("retrowrite missed the overflow")
+	}
+	// Static rewriting: no DBT costs were charged beyond instrumentation.
+	_ = m
+}
+
+func TestRetrowriteMissesDynamicCode(t *testing.T) {
+	// A dlopened module overflows; the static rewriter never saw it, so
+	// nothing is reported — the §2.1 coverage gap.
+	plugin := `
+.module plugin.jef
+.type shared
+.pic
+.needs libj.jef
+.import malloc
+.global poke
+.section .text
+poke:
+    push fp
+    mov fp, sp
+    mov r1, 16
+    call malloc
+    stq [r0+16], r0
+    mov sp, fp
+    pop fp
+    ret
+`
+	plugMod, err := asm.Assemble(plugin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainSrc := `
+.module prog
+.type exec
+.base 0x400000
+.entry _start
+.needs libj.jef
+.section .text
+_start:
+    la r1, pname
+    mov r2, 10
+    trap 3
+    mov r12, r0
+    mov r1, r12
+    la r2, sname
+    mov r3, 4
+    trap 4
+    calli r0
+    mov r1, 0
+    mov r0, 1
+    syscall
+.section .rodata
+pname:
+    .ascii "plugin.jef"
+sname:
+    .ascii "poke"
+`
+	main, err := asm.Assemble(mainSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := NewRetrowrite()
+	_, rt, err := runTool(t, main, loader.Registry{"plugin.jef": plugMod}, tool, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tool.Report.Total != 0 {
+		t.Fatal("static rewriter should not see dlopened code")
+	}
+	if rt.Coverage.Fallback == 0 {
+		t.Fatal("dlopened blocks should classify as fallback (identity)")
+	}
+}
+
+const hijackAsm = `
+.module prog
+.entry _start
+.needs libj.jef
+.section .text
+_start:
+    la r13, victim
+    add r13, 3
+    calli r13
+    mov r1, 0
+    mov r0, 1
+    syscall
+victim:
+    mov r0, 7
+    mov r0, 8
+    ret
+`
+
+func TestBinCFIDetectsGrossHijack(t *testing.T) {
+	main, err := asm.Assemble(hijackAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := NewBinCFI()
+	_, _, _ = runTool(t, main, nil, tool, true)
+	found := false
+	for _, v := range tool.Report.Violations {
+		if v.Kind == "forward-edge" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("bincfi missed mid-instruction hijack: %v", tool.Report.Violations)
+	}
+}
+
+func TestBinCFIAllowsCallPrecededReturnHijack(t *testing.T) {
+	// BinCFI's weakness: returns may target ANY call-preceded instruction,
+	// so redirecting a return to a different call site goes undetected —
+	// while JCFI's shadow stack catches it.
+	src := `
+.module prog
+.entry _start
+.needs libj.jef
+.section .text
+_start:
+    call setup          ; creates call-preceded target A at the next instr
+    mov r1, 0           ; A: hijacked return lands here -> exit 0
+    mov r0, 1
+    syscall
+setup:
+    call victim
+    mov r1, 7           ; normal return path -> exit 7
+    mov r0, 1
+    syscall
+victim:
+    la r6, _start
+    add r6, 5           ; A (call-preceded address)
+    stq [sp+0], r6      ; overwrite our own return address
+    ret                 ; returns to A instead of back into setup
+`
+	main, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bTool := NewBinCFI()
+	mB, _, err := runTool(t, main, nil, bTool, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range bTool.Report.Violations {
+		t.Fatalf("bincfi unexpectedly reported: %v", v)
+	}
+	if mB.ExitStatus != 0 {
+		t.Fatalf("hijack did not take effect: exit %d", mB.ExitStatus)
+	}
+
+	jTool := jcfi.New(jcfi.DefaultConfig)
+	main2, _ := asm.Assemble(src)
+	_, _, _ = runTool(t, main2, nil, jTool, true)
+	found := false
+	for _, v := range jTool.Report.Violations {
+		if v.Kind == "return-mismatch" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("jcfi's shadow stack should catch the call-preceded return hijack")
+	}
+}
+
+func TestBinCFIRewriteFailsOnDataInCode(t *testing.T) {
+	// Data embedded in .text desynchronises linear disassembly: the
+	// gamess/zeusmp failure mode.
+	src := `
+.module prog
+.entry _start
+.needs libj.jef
+.section .text
+_start:
+    jmp after
+pool:
+    .byte 1, 0, 0, 0, 0, 0, 0, 0   ; decodes as a truncated mov-imm64:
+                                   ; the linear sweep swallows the next
+                                   ; real instruction's first bytes
+after:
+    mov r1, 0
+    mov r0, 1
+    syscall
+`
+	main, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := NewBinCFI()
+	if err := tool.CheckInput(main, g); !errors.Is(err, ErrRewriteFailed) {
+		t.Fatalf("CheckInput = %v, want ErrRewriteFailed", err)
+	}
+	// Clean modules pass.
+	clean := compileC(t, `int main(){return 0;}`, cc.Options{})
+	g2, _ := cfg.Build(clean)
+	if err := tool.CheckInput(clean, g2); err != nil {
+		t.Fatalf("clean module rejected: %v", err)
+	}
+}
+
+// lockdownScenario: a program passing callbacks to libj both through a
+// register (qsort) and through memory (apply_table).
+const lockdownScenario = `
+int cmp(int a, int b) { return a - b; }
+int h0(int x) { return x + 1; }
+int h1(int x) { return x * 2; }
+int (*handlers[2])(int) = {h0, h1};
+int data[4] = {4, 1, 3, 2};
+int main() {
+    qsort(data, 4, cmp);                 // callback in a register (r3)
+    int s = apply_table(handlers, 2, 10); // callbacks via memory
+    return s + data[0];
+}`
+
+func TestLockdownStrongFalsePositiveOnMemoryCallback(t *testing.T) {
+	tool := NewLockdown(LockdownConfig{})
+	main := compileC(t, lockdownScenario, cc.Options{O2: true})
+	m, _, err := runTool(t, main, nil, tool, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m
+	fp := 0
+	for _, v := range tool.Report.Violations {
+		if v.Kind == "forward-edge" {
+			fp++
+		}
+	}
+	if fp == 0 {
+		t.Fatal("lockdown strong policy should false-positive on memory-passed callbacks")
+	}
+}
+
+func TestLockdownHeuristicCatchesRegisterCallback(t *testing.T) {
+	// Only qsort (register-passed callback): the heuristic whitelists it,
+	// so no violations.
+	src := `
+int cmp(int a, int b) { return a - b; }
+int data[4] = {4, 1, 3, 2};
+int main() {
+    qsort(data, 4, cmp);
+    return data[0];
+}`
+	tool := NewLockdown(LockdownConfig{})
+	main := compileC(t, src, cc.Options{O2: true})
+	_, _, err := runTool(t, main, nil, tool, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tool.Report.Violations) != 0 {
+		t.Fatalf("register-passed callback flagged: %v", tool.Report.Violations)
+	}
+}
+
+func TestLockdownWeakPolicyAvoidsFalsePositives(t *testing.T) {
+	tool := NewLockdown(LockdownConfig{Weak: true})
+	main := compileC(t, lockdownScenario, cc.Options{O2: true})
+	_, _, err := runTool(t, main, nil, tool, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tool.Report.Violations) != 0 {
+		t.Fatalf("weak policy still flagged: %v", tool.Report.Violations)
+	}
+	// Weak policy has a lower AIR than strong would on the same run.
+	if air := tool.DynamicAIR(); air <= 0 || air > 100 {
+		t.Fatalf("weak DAIR out of range: %f", air)
+	}
+}
+
+func TestLockdownDetectsRealHijack(t *testing.T) {
+	main, err := asm.Assemble(hijackAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := NewLockdown(LockdownConfig{})
+	_, _, _ = runTool(t, main, nil, tool, false)
+	found := false
+	for _, v := range tool.Report.Violations {
+		if v.Kind == "forward-edge" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("lockdown missed a gross hijack")
+	}
+}
+
+func TestLockdownShadowStack(t *testing.T) {
+	src := `
+.module prog
+.entry _start
+.needs libj.jef
+.section .text
+_start:
+    call victim
+    mov r1, 0
+    mov r0, 1
+    syscall
+victim:
+    la r6, gadget
+    stq [sp+0], r6
+    ret
+gadget:
+    mov r1, 0
+    mov r0, 1
+    syscall
+`
+	main, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := NewLockdown(LockdownConfig{})
+	_, _, _ = runTool(t, main, nil, tool, false)
+	found := false
+	for _, v := range tool.Report.Violations {
+		if v.Kind == "return-mismatch" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("lockdown's shadow stack missed the return hijack")
+	}
+}
+
+func TestCostProfilesOrdering(t *testing.T) {
+	// Sanity on the modelled DBT costs: Valgrind ≫ DynamoRIO > libdetox >
+	// static rewriting (zero).
+	if ValgrindCosts.PerInstr <= LockdownCosts.PerInstr {
+		t.Error("valgrind translation should cost more than lockdown")
+	}
+	if LockdownCosts.IndirectDispatch >= 12 {
+		t.Error("lockdown dispatch should be cheaper than DynamoRIO's default")
+	}
+	if StaticRewriteCosts.BlockBuild != 0 || StaticRewriteCosts.PerInstr != 0 {
+		t.Error("static rewriting must have zero DBT cost")
+	}
+}
+
+func TestBaselineNames(t *testing.T) {
+	if NewValgrind().Name() != "valgrind-sim" ||
+		NewRetrowrite().Name() != "retrowrite-sim" ||
+		NewBinCFI().Name() != "bincfi-sim" ||
+		NewLockdown(LockdownConfig{}).Name() != "lockdown-sim" ||
+		NewLockdown(LockdownConfig{Weak: true}).Name() != "lockdown-sim-weak" {
+		t.Error("tool names wrong")
+	}
+}
+
+var _ = strings.Contains

@@ -1,0 +1,163 @@
+// Package baseline implements the four comparison systems of the paper's
+// evaluation: a Valgrind/memcheck-style dynamic-only sanitizer, a
+// Retrowrite-style static-only binary rewriter, the static BinCFI scheme
+// and the dynamic-only Lockdown scheme. Each exhibits the coverage,
+// soundness and cost characteristics the paper measures them by.
+package baseline
+
+import (
+	"repro/internal/core"
+	"repro/internal/dbm"
+	"repro/internal/isa"
+	"repro/internal/jasan"
+	"repro/internal/rules"
+	"repro/internal/vm"
+)
+
+// ValgrindCosts models Valgrind's much heavier translation engine (its IR
+// round-trip costs far more than DynamoRIO's copy-and-annotate).
+var ValgrindCosts = dbm.Costs{BlockBuild: 1500, PerInstr: 100, IndirectDispatch: 30}
+
+// Valgrind trap family: the memory check itself happens inside the handler
+// — the clean-call model, as opposed to JASan's inlined checks. Codes encode
+// the register holding the address and the width.
+const (
+	valgrindTrapBase = 300
+	valgrindWidthBit = 16
+)
+
+func valgrindTrapCode(reg isa.Register, width int) int64 {
+	c := int64(valgrindTrapBase) + int64(reg)
+	if width == 8 {
+		c += valgrindWidthBit
+	}
+	return c
+}
+
+// ValgrindTool is the memcheck-style dynamic-only sanitizer: no static
+// analysis, every block goes through the dynamic path, every access is
+// checked via a clean call that saves the full register/flag context.
+// Reports are deduplicated per heap object (memcheck suppresses duplicate
+// errors), which is what makes it report fewer-than-actual violations on
+// multi-overflow test cases (Fig. 10). It has no canary handling, so
+// heap-to-stack overflows are missed entirely.
+type ValgrindTool struct {
+	Report *jasan.Report
+	// seenObjects implements per-object report suppression.
+	seenObjects map[uint64]bool
+	objects     jasan.HeapObjects
+}
+
+// NewValgrind returns a fresh memcheck-style tool.
+func NewValgrind() *ValgrindTool {
+	return &ValgrindTool{Report: &jasan.Report{}, seenObjects: map[uint64]bool{}}
+}
+
+// Name implements core.Tool.
+func (t *ValgrindTool) Name() string { return "valgrind-sim" }
+
+// StaticPass implements core.Tool: Valgrind has no static stage.
+func (t *ValgrindTool) StaticPass(*core.StaticContext) []rules.Rule { return nil }
+
+// Instrument implements core.Tool; it is unreachable since no rules exist,
+// but falls through to the dynamic path for safety.
+func (t *ValgrindTool) Instrument(bc *dbm.BlockContext, _ map[uint64][]rules.Rule) []dbm.CInstr {
+	return t.DynFallback(bc)
+}
+
+// DynFallback instruments every memory access with a clean call into the
+// checker.
+func (t *ValgrindTool) DynFallback(bc *dbm.BlockContext) []dbm.CInstr {
+	e := &dbm.Emitter{}
+	for i := range bc.AppInstrs {
+		in := &bc.AppInstrs[i]
+		if in.IsMemAccess() {
+			t.emitCleanCheck(e, in)
+		}
+		e.App(*in)
+	}
+	return e.Out
+}
+
+// emitCleanCheck saves the flags and its scratch register, computes the
+// address, and traps into the checker. The trap's fixed machine cost models
+// the remainder of the clean-call context switch (memcheck runs its check
+// in generated helper code with full state spill).
+func (t *ValgrindTool) emitCleanCheck(e *dbm.Emitter, in *isa.Instr) {
+	mk := dbm.MkInstr
+	scratch, _ := dbm.PickScratch(1, nil, dbm.ExcludeOperands(in))
+	s1 := scratch[0]
+	e.Meta(mk(isa.OpPushF, nil))
+	e.Meta(mk(isa.OpPush, func(ins *isa.Instr) { ins.Rd = s1 }))
+	addrOf := jasan.AddrOf(in)
+	addrOf(e, s1)
+	e.Meta(mk(isa.OpTrap, func(ins *isa.Instr) {
+		ins.Imm = valgrindTrapCode(s1, in.AccessWidth())
+		ins.Addr = in.Addr
+	}))
+	e.Meta(mk(isa.OpPop, func(ins *isa.Instr) { ins.Rd = s1 }))
+	e.Meta(mk(isa.OpPopF, nil))
+}
+
+// RuntimeInit implements core.Tool: interpose the redzone allocator (shared
+// with the JASan runtime — memcheck likewise owns malloc) and register the
+// checker traps.
+func (t *ValgrindTool) RuntimeInit(rt *core.Runtime) error {
+	t.objects = jasan.InstallRuntimeOn(rt.M, &jasan.Report{}) // discard inline reports
+	rt.DBM.Costs = ValgrindCosts
+	for reg := isa.Register(0); reg < isa.NumRegs; reg++ {
+		for _, width := range []int{1, 8} {
+			reg, width := reg, width
+			rt.M.HandleTrap(valgrindTrapCode(reg, width), func(m *vm.Machine) error {
+				t.check(m, m.Regs[reg], width)
+				return nil
+			})
+		}
+	}
+	return nil
+}
+
+// check performs the memcheck-style validity test in the handler: the
+// shadow byte (maintained by the shared allocator runtime) decides.
+func (t *ValgrindTool) check(m *vm.Machine, addr uint64, width int) {
+	sb, _ := m.Mem.ReadB(isa.ShadowAddr(addr))
+	bad := false
+	switch {
+	case sb == 0:
+	case sb >= 1 && sb <= 7:
+		bad = addr%8 >= uint64(sb) || width == 8
+	case sb == jasan.ShadowCanary:
+		// Memcheck has no canary concept: the stack is fully
+		// addressable to it, so this is NOT an error for Valgrind —
+		// heap-to-stack overflows go unreported (Fig. 10 FNs).
+		return
+	default:
+		bad = true
+	}
+	if !bad {
+		return
+	}
+	obj, _ := t.objects.ObjectFor(addr)
+	if obj != 0 {
+		// Memcheck-style duplicate suppression: one report per object.
+		if t.seenObjects[obj] {
+			return
+		}
+		t.seenObjects[obj] = true
+	}
+	t.Report.Total++
+	t.Report.Violations = append(t.Report.Violations, jasan.Violation{
+		PC: m.TrapPC, Addr: addr, Width: width, Shadow: sb,
+		Kind: "valgrind:" + kindOf(sb), Object: obj,
+	})
+}
+
+func kindOf(sb byte) string {
+	switch sb {
+	case jasan.ShadowHeapRedzone:
+		return "invalid-access-redzone"
+	case jasan.ShadowFreed:
+		return "use-after-free"
+	}
+	return "invalid-access"
+}

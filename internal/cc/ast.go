@@ -1,0 +1,203 @@
+package cc
+
+import "fmt"
+
+// Type is a MiniC type.
+type Type struct {
+	Kind TypeKind
+	// Elem is the pointee/element type for pointers and arrays.
+	Elem *Type
+	// ArrayLen is the element count for arrays.
+	ArrayLen int64
+	// Params/Result describe function types (used via function pointers).
+	Params []*Type
+	Result *Type
+}
+
+// TypeKind enumerates type constructors.
+type TypeKind uint8
+
+// Type kinds.
+const (
+	TInt TypeKind = iota + 1
+	TChar
+	TVoid
+	TPtr
+	TArray
+	TFunc
+)
+
+// Convenient singleton types.
+var (
+	IntType  = &Type{Kind: TInt}
+	CharType = &Type{Kind: TChar}
+	VoidType = &Type{Kind: TVoid}
+)
+
+// PtrTo returns a pointer type.
+func PtrTo(t *Type) *Type { return &Type{Kind: TPtr, Elem: t} }
+
+// Size returns the storage size in bytes.
+func (t *Type) Size() int64 {
+	switch t.Kind {
+	case TInt, TPtr, TFunc:
+		return 8
+	case TChar:
+		return 1
+	case TArray:
+		return t.ArrayLen * t.Elem.Size()
+	}
+	return 0
+}
+
+// IsScalar reports whether values of the type fit a register.
+func (t *Type) IsScalar() bool {
+	switch t.Kind {
+	case TInt, TChar, TPtr, TFunc:
+		return true
+	}
+	return false
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case TInt:
+		return "int"
+	case TChar:
+		return "char"
+	case TVoid:
+		return "void"
+	case TPtr:
+		return t.Elem.String() + "*"
+	case TArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.ArrayLen)
+	case TFunc:
+		return "fn"
+	}
+	return "?"
+}
+
+// Expr is an expression node.
+type Expr struct {
+	Kind ExprKind
+	Line int
+	// Num holds literal values and case constants.
+	Num int64
+	// Str holds identifier names and string-literal contents.
+	Str string
+	// X, Y are operands; Op the operator spelling for binary/unary/assign.
+	X, Y *Expr
+	Op   string
+	// Args are call arguments.
+	Args []*Expr
+	// Type is filled by the checker.
+	Type *Type
+	// ref is resolved by the checker: the variable or function referenced
+	// by an EIdent.
+	ref *symbol
+}
+
+// ExprKind enumerates expression forms.
+type ExprKind uint8
+
+// Expression kinds.
+const (
+	ENum ExprKind = iota + 1
+	EStr
+	EIdent
+	ECall   // X is callee expression; Args
+	EBinary // Op, X, Y
+	EUnary  // Op ("-", "!", "~", "*", "&"), X
+	EAssign // Op ("=", "+=", ...), X, Y
+	EIndex  // X[Y]
+	ECond   // X ? Y.X : Y.Y encoded as X, Y(Op=":") — unused placeholder
+	ESizeof // Type set by parser
+	EPostIncDec
+)
+
+// Stmt is a statement node.
+type Stmt struct {
+	Kind StmtKind
+	Line int
+	// Expr is the subject expression (expr stmt, if/while cond, return,
+	// switch subject).
+	Expr *Expr
+	// Init/Post serve for-loops; Init also serves declarations' init.
+	Init *Stmt
+	Post *Expr
+	// Body/Else are sub-statements.
+	Body []*Stmt
+	Else []*Stmt
+	// Decl describes a local declaration.
+	Decl *VarDecl
+	// Cases hold switch arms.
+	Cases []*SwitchCase
+}
+
+// StmtKind enumerates statement forms.
+type StmtKind uint8
+
+// Statement kinds.
+const (
+	SExpr StmtKind = iota + 1
+	SDecl
+	SIf
+	SWhile
+	SDoWhile
+	SFor
+	SReturn
+	SBreak
+	SContinue
+	SBlock
+	SSwitch
+)
+
+// SwitchCase is one arm of a switch.
+type SwitchCase struct {
+	// Vals are the case constants; nil for default.
+	Vals []int64
+	Body []*Stmt
+}
+
+// VarDecl declares a variable (local or global).
+type VarDecl struct {
+	Name string
+	Type *Type
+	// Init is the scalar initialiser expression (locals and globals).
+	Init *Expr
+	// InitList initialises global arrays; elements must be constants or
+	// (for pointer arrays) identifiers of functions/globals.
+	InitList []*Expr
+	// InitStr initialises global char arrays from a string literal.
+	InitStr string
+	Static  bool
+	Line    int
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Params []*VarDecl
+	Result *Type
+	Body   []*Stmt
+	Static bool
+	Line   int
+}
+
+// Program is one translation unit.
+type Program struct {
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+	// Externs are explicitly declared external functions.
+	Externs map[string]*Type
+}
+
+// symbol is a resolved name: a local slot, parameter, global or function.
+type symbol struct {
+	name   string
+	typ    *Type
+	global bool
+	fn     bool
+	// frameOff is the FP-relative offset for locals/params.
+	frameOff int32
+}

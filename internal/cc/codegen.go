@@ -1,0 +1,890 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/libj"
+	"repro/internal/obj"
+)
+
+// Options configures a compilation, mirroring the gcc flags the paper's
+// setup uses.
+type Options struct {
+	// Module is the output soname (required).
+	Module string
+	// Shared produces a shared object instead of an executable.
+	Shared bool
+	// PIC produces position-independent code (implied by Shared).
+	PIC bool
+	// O2 enables optimisations: constant folding, jump tables for dense
+	// switches.
+	O2 bool
+	// NoCanary disables the stack protector (enabled by default for
+	// functions with address-exposed frames, like -fstack-protector).
+	NoCanary bool
+	// Base is the link base for non-PIC modules (default LayoutExecBase).
+	Base uint64
+	// EntryName overrides the start symbol's target function ("main").
+	EntryName string
+	// NoRuntime omits the _start shim and libj linkage (for shared
+	// objects that define only exported functions).
+	NoRuntime bool
+	// NoIPARA disables the -O2 ipa-ra caller-save elision (useful for
+	// isolating its effect; see internal/analysis.ReliedUpon).
+	NoIPARA bool
+
+	// noIPARA is the internal first-pass marker.
+	noIPARA bool
+}
+
+// CompileError is a semantic diagnostic.
+type CompileError struct {
+	Line int
+	Msg  string
+}
+
+func (e *CompileError) Error() string { return fmt.Sprintf("cc: line %d: %s", e.Line, e.Msg) }
+
+// Compile compiles MiniC source into a JEF module.
+func Compile(src string, opts Options) (*obj.Module, error) {
+	text, err := GenAsm(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := asm.Assemble(text)
+	if err != nil {
+		return nil, fmt.Errorf("cc: internal: emitted bad assembly: %w", err)
+	}
+	return mod, nil
+}
+
+// GenAsm compiles MiniC source to JVA assembly text.
+func GenAsm(src string, opts Options) (string, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	if opts.Module == "" {
+		return "", fmt.Errorf("cc: missing module name")
+	}
+	if opts.Shared {
+		opts.PIC = true
+	}
+	if opts.Base == 0 {
+		opts.Base = isa.LayoutExecBase
+	}
+	if opts.EntryName == "" {
+		opts.EntryName = "main"
+	}
+	g := &gen{prog: prog, opts: opts, globals: map[string]*symbol{}}
+	if opts.O2 && !opts.NoIPARA && !opts.noIPARA {
+		// Two-pass ipa-ra: analyze the first-pass output for per-function
+		// clobber sets, then regenerate eliding provably dead spills
+		// around same-unit direct calls (§4.1.2's convention break).
+		clob, err := unitClobbers(src, opts)
+		if err != nil {
+			return "", err
+		}
+		g.ipa = clob
+	}
+	return g.run()
+}
+
+// tempRegs is the expression-evaluation register stack.
+var tempRegs = []isa.Register{isa.R6, isa.R7, isa.R8, isa.R9, isa.R10, isa.R11}
+
+// gen holds code-generation state.
+type gen struct {
+	prog *gen2Prog
+	opts Options
+
+	text strings.Builder // .text
+	ro   strings.Builder // .rodata
+	data strings.Builder // .data
+
+	globals map[string]*symbol
+	imports map[string]bool
+	strs    map[string]string // literal -> label
+	label   int
+	// ipa holds per-function caller-saved clobber masks for ipa-ra
+	// (nil disables the elision).
+	ipa map[string]analysis.RegMask
+
+	// per-function state
+	fn        *FuncDecl
+	scopes    []map[string]*symbol
+	frameSize int64
+	nextSlot  int64
+	hasCanary bool
+	depth     int // temp registers in use
+	breakLbl  []string
+	contLbl   []string
+	retLbl    string
+}
+
+// gen2Prog aliases Program (avoids a confusing field/type name clash).
+type gen2Prog = Program
+
+func (g *gen) errf(line int, format string, args ...interface{}) error {
+	panic(&CompileError{Line: line, Msg: fmt.Sprintf(format, args...)})
+}
+
+// run drives whole-program emission.
+func (g *gen) run() (out string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ce, ok := r.(*CompileError); ok {
+				err = ce
+				return
+			}
+			panic(r)
+		}
+	}()
+	g.imports = map[string]bool{}
+	g.strs = map[string]string{}
+
+	// Register global symbols first (mutual recursion, fn pointers).
+	for _, f := range g.prog.Funcs {
+		var params []*Type
+		for _, p := range f.Params {
+			params = append(params, p.Type)
+		}
+		g.globals[f.Name] = &symbol{
+			name: f.Name, fn: true, global: true,
+			typ: &Type{Kind: TFunc, Params: params, Result: f.Result},
+		}
+	}
+	for name, t := range g.prog.Externs {
+		if _, ok := g.globals[name]; !ok {
+			g.globals[name] = &symbol{name: name, fn: true, global: true, typ: t}
+			// A prototype without a local definition resolves at link
+			// time: import it.
+			g.imports[name] = true
+		}
+	}
+	for _, d := range g.prog.Globals {
+		g.globals[d.Name] = &symbol{name: d.Name, global: true, typ: d.Type}
+		g.emitGlobal(d)
+	}
+	for _, f := range g.prog.Funcs {
+		g.emitFunc(f)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, ".module %s\n", g.opts.Module)
+	if g.opts.Shared {
+		b.WriteString(".type shared\n")
+	} else {
+		b.WriteString(".type exec\n")
+	}
+	if g.opts.PIC {
+		b.WriteString(".pic\n")
+	} else {
+		fmt.Fprintf(&b, ".base %#x\n", g.opts.Base)
+	}
+	needLibj := len(g.imports) > 0
+	if !g.opts.Shared && !g.opts.NoRuntime {
+		b.WriteString(".entry _start\n")
+		needLibj = true
+		g.imports["exit"] = true
+	}
+	if needLibj {
+		fmt.Fprintf(&b, ".needs %s\n", libj.Name)
+	}
+	for name := range g.imports {
+		fmt.Fprintf(&b, ".import %s\n", name)
+	}
+	// Exports: non-static functions.
+	for _, f := range g.prog.Funcs {
+		if !f.Static {
+			fmt.Fprintf(&b, ".global %s\n", f.Name)
+		}
+	}
+	b.WriteString("\n.section .text\n")
+	if !g.opts.Shared && !g.opts.NoRuntime {
+		// _start: call main; exit(result)
+		fmt.Fprintf(&b, "_start:\n    call %s\n    mov r1, r0\n    call exit\n    hlt\n",
+			g.opts.EntryName)
+	}
+	b.WriteString(g.text.String())
+	if g.ro.Len() > 0 {
+		b.WriteString("\n.section .rodata\n")
+		b.WriteString(g.ro.String())
+	}
+	if g.data.Len() > 0 {
+		b.WriteString("\n.section .data\n")
+		b.WriteString(g.data.String())
+	}
+	return b.String(), nil
+}
+
+// newLabel returns a fresh assembly-local label.
+func (g *gen) newLabel(stem string) string {
+	g.label++
+	return fmt.Sprintf(".L%s%d", stem, g.label)
+}
+
+// strLabel interns a string literal in .rodata.
+func (g *gen) strLabel(s string) string {
+	if l, ok := g.strs[s]; ok {
+		return l
+	}
+	l := g.newLabel("str")
+	g.strs[s] = l
+	fmt.Fprintf(&g.ro, "%s:\n    .asciz %q\n", l, s)
+	return l
+}
+
+// emitGlobal lays out one global in .data.
+func (g *gen) emitGlobal(d *VarDecl) {
+	w := &g.data
+	fmt.Fprintf(w, ".align 8\n%s:\n", d.Name)
+	t := d.Type
+	switch {
+	case d.InitStr != "" && t.Kind == TArray && t.Elem.Kind == TChar:
+		fmt.Fprintf(w, "    .ascii %q\n", d.InitStr)
+		if pad := t.Size() - int64(len(d.InitStr)); pad > 0 {
+			fmt.Fprintf(w, "    .zero %d\n", pad)
+		}
+	case len(d.InitList) > 0:
+		for _, e := range d.InitList {
+			switch {
+			case e.Kind == ENum:
+				fmt.Fprintf(w, "    .quad %d\n", e.Num)
+			case e.Kind == EIdent:
+				fmt.Fprintf(w, "    .quad %s\n", e.Str)
+			case e.Kind == EUnary && e.Op == "&" && e.X.Kind == EIdent:
+				fmt.Fprintf(w, "    .quad %s\n", e.X.Str)
+			case e.Kind == EStr:
+				fmt.Fprintf(w, "    .quad %s\n", g.strLabel(e.Str))
+			default:
+				g.errf(d.Line, "global initialiser for %s must be constant", d.Name)
+			}
+		}
+		if pad := t.Size() - int64(len(d.InitList))*8; pad > 0 && t.Kind == TArray {
+			fmt.Fprintf(w, "    .zero %d\n", pad)
+		}
+	case d.Init != nil:
+		if v, ok := constFold(d.Init); ok {
+			fmt.Fprintf(w, "    .quad %d\n", v)
+			break
+		}
+		// Address constants: a function or global name (optionally via &).
+		switch {
+		case d.Init.Kind == EIdent:
+			fmt.Fprintf(w, "    .quad %s\n", d.Init.Str)
+		case d.Init.Kind == EUnary && d.Init.Op == "&" && d.Init.X.Kind == EIdent:
+			fmt.Fprintf(w, "    .quad %s\n", d.Init.X.Str)
+		default:
+			g.errf(d.Line, "global initialiser for %s must be constant", d.Name)
+		}
+	default:
+		fmt.Fprintf(w, "    .zero %d\n", max64(t.Size(), 8))
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// frameHasArrays reports whether any local is an array (stack-protector
+// trigger, like -fstack-protector).
+func frameHasArrays(body []*Stmt) bool {
+	for _, s := range body {
+		switch s.Kind {
+		case SDecl:
+			if s.Decl.Type.Kind == TArray {
+				return true
+			}
+		case SBlock, SIf, SWhile, SDoWhile, SFor:
+			if frameHasArrays(s.Body) || frameHasArrays(s.Else) {
+				return true
+			}
+			if s.Init != nil && s.Init.Kind == SDecl && s.Init.Decl.Type.Kind == TArray {
+				return true
+			}
+		case SSwitch:
+			for _, c := range s.Cases {
+				if frameHasArrays(c.Body) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// countFrame sums the slot bytes needed by all declarations in a body.
+func countFrame(body []*Stmt) int64 {
+	var n int64
+	for _, s := range body {
+		switch s.Kind {
+		case SDecl:
+			n += align8(s.Decl.Type.Size())
+		case SBlock, SIf, SWhile, SDoWhile, SFor:
+			n += countFrame(s.Body) + countFrame(s.Else)
+			if s.Init != nil {
+				n += countFrame([]*Stmt{s.Init})
+			}
+		case SSwitch:
+			for _, c := range s.Cases {
+				n += countFrame(c.Body)
+			}
+		}
+	}
+	return n
+}
+
+func align8(n int64) int64 { return (n + 7) &^ 7 }
+
+// emit writes one line of function text.
+func (g *gen) emit(format string, args ...interface{}) {
+	fmt.Fprintf(&g.text, "    "+format+"\n", args...)
+}
+
+func (g *gen) emitLabel(l string) { fmt.Fprintf(&g.text, "%s:\n", l) }
+
+// alloc takes the next temp register.
+func (g *gen) alloc(line int) isa.Register {
+	if g.depth >= len(tempRegs) {
+		g.errf(line, "expression too deep (more than %d live temporaries)", len(tempRegs))
+	}
+	r := tempRegs[g.depth]
+	g.depth++
+	return r
+}
+
+// free releases the most recently allocated temps down to r.
+func (g *gen) free(r isa.Register) {
+	for g.depth > 0 && tempRegs[g.depth-1] != r {
+		g.depth--
+	}
+	if g.depth > 0 {
+		g.depth--
+	}
+}
+
+// emitFunc generates one function.
+func (g *gen) emitFunc(f *FuncDecl) {
+	if len(f.Params) > 5 {
+		g.errf(f.Line, "%s: more than 5 parameters unsupported", f.Name)
+	}
+	g.fn = f
+	g.scopes = []map[string]*symbol{{}}
+	g.depth = 0
+	g.retLbl = g.newLabel("ret")
+	g.hasCanary = !g.opts.NoCanary && frameHasArrays(f.Body)
+
+	// Frame layout: [fp-8] canary (if any), then parameter spill slots,
+	// then locals.
+	g.nextSlot = 0
+	if g.hasCanary {
+		g.nextSlot = 8
+	}
+	var paramSyms []*symbol
+	for _, p := range f.Params {
+		g.nextSlot += align8(p.Type.Size())
+		sym := &symbol{name: p.Name, typ: p.Type, frameOff: int32(-g.nextSlot)}
+		g.scopes[0][p.Name] = sym
+		paramSyms = append(paramSyms, sym)
+	}
+	g.frameSize = g.nextSlot + countFrame(f.Body)
+	g.frameSize = (g.frameSize + 15) &^ 15
+
+	g.emitLabel(f.Name)
+	g.emit("push fp")
+	g.emit("mov fp, sp")
+	if g.frameSize > 0 {
+		g.emit("sub sp, %d", g.frameSize)
+	}
+	if g.hasCanary {
+		g.emit("ldg r6")
+		g.emit("stq [fp-8], r6")
+	}
+	for i, sym := range paramSyms {
+		if sym.typ.Kind == TChar {
+			g.emit("stb [fp%+d], r%d", sym.frameOff, i+1)
+		} else {
+			g.emit("stq [fp%+d], r%d", sym.frameOff, i+1)
+		}
+	}
+	for _, s := range f.Body {
+		g.genStmt(s)
+	}
+	// Implicit return 0.
+	g.emit("mov r0, 0")
+	g.emitLabel(g.retLbl)
+	if g.hasCanary {
+		fail := g.newLabel("chkfail")
+		g.emit("ldq r6, [fp-8]")
+		g.emit("ldg r7")
+		g.emit("cmp r6, r7")
+		g.emit("jne %s", fail)
+		g.emit("mov sp, fp")
+		g.emit("pop fp")
+		g.emit("ret")
+		g.emitLabel(fail)
+		g.emit("hlt")
+	} else {
+		g.emit("mov sp, fp")
+		g.emit("pop fp")
+		g.emit("ret")
+	}
+}
+
+// lookup resolves a name through the scope stack, then globals, then
+// implicit libj imports.
+func (g *gen) lookup(name string, line int) *symbol {
+	for i := len(g.scopes) - 1; i >= 0; i-- {
+		if s, ok := g.scopes[i][name]; ok {
+			return s
+		}
+	}
+	if s, ok := g.globals[name]; ok {
+		return s
+	}
+	if libjExports[name] {
+		g.imports[name] = true
+		s := &symbol{name: name, fn: true, global: true,
+			typ: &Type{Kind: TFunc, Result: IntType}}
+		g.globals[name] = s
+		return s
+	}
+	g.errf(line, "undefined name %q", name)
+	return nil
+}
+
+// libjExports lists functions resolvable from the runtime library.
+var libjExports = map[string]bool{
+	"malloc": true, "free": true, "memcpy": true, "memset": true,
+	"strlen": true, "strcpy": true, "qsort": true, "rand": true,
+	"srand": true, "puts": true, "puti": true, "exit": true,
+	"apply_table": true, "dlopen": true, "dlsym": true, "dlclose": true,
+	"_jinit": true, "clobber_counter": true,
+}
+
+// genStmt generates one statement.
+func (g *gen) genStmt(s *Stmt) {
+	switch s.Kind {
+	case SExpr:
+		r, _ := g.genExpr(s.Expr)
+		g.free(r)
+	case SDecl:
+		g.genDecl(s.Decl)
+	case SBlock:
+		g.scopes = append(g.scopes, map[string]*symbol{})
+		for _, st := range s.Body {
+			g.genStmt(st)
+		}
+		g.scopes = g.scopes[:len(g.scopes)-1]
+	case SIf:
+		elseL := g.newLabel("else")
+		endL := g.newLabel("endif")
+		g.genCondJump(s.Expr, "", elseL)
+		g.genBlockScoped(s.Body)
+		if len(s.Else) > 0 {
+			g.emit("jmp %s", endL)
+		}
+		g.emitLabel(elseL)
+		if len(s.Else) > 0 {
+			g.genBlockScoped(s.Else)
+			g.emitLabel(endL)
+		}
+	case SWhile:
+		head := g.newLabel("while")
+		end := g.newLabel("wend")
+		g.emitLabel(head)
+		g.genCondJump(s.Expr, "", end)
+		g.pushLoop(end, head)
+		g.genBlockScoped(s.Body)
+		g.popLoop()
+		g.emit("jmp %s", head)
+		g.emitLabel(end)
+	case SDoWhile:
+		head := g.newLabel("do")
+		cont := g.newLabel("docond")
+		end := g.newLabel("doend")
+		g.emitLabel(head)
+		g.pushLoop(end, cont)
+		g.genBlockScoped(s.Body)
+		g.popLoop()
+		g.emitLabel(cont)
+		g.genCondJump(s.Expr, head, "")
+		g.emitLabel(end)
+	case SFor:
+		g.scopes = append(g.scopes, map[string]*symbol{})
+		if s.Init != nil {
+			g.genStmt(s.Init)
+		}
+		head := g.newLabel("for")
+		cont := g.newLabel("fpost")
+		end := g.newLabel("fend")
+		g.emitLabel(head)
+		if s.Expr != nil {
+			g.genCondJump(s.Expr, "", end)
+		}
+		g.pushLoop(end, cont)
+		for _, st := range s.Body {
+			g.genStmt(st)
+		}
+		g.popLoop()
+		g.emitLabel(cont)
+		if s.Post != nil {
+			r, _ := g.genExpr(s.Post)
+			g.free(r)
+		}
+		g.emit("jmp %s", head)
+		g.emitLabel(end)
+		g.scopes = g.scopes[:len(g.scopes)-1]
+	case SReturn:
+		if s.Expr != nil {
+			// Tail-call optimisation at -O2: `return f(args);` becomes a
+			// frame teardown followed by a jump — the pattern the paper's
+			// jump policy caters for ("entry addresses of functions
+			// within the same module"). Indirect tail calls become jmpi,
+			// exercising the CFI jump-check's function-entry clause.
+			if g.opts.O2 && s.Expr.Kind == ECall && g.depth == 0 &&
+				g.tryTailCall(s.Expr) {
+				return
+			}
+			r, _ := g.genExpr(s.Expr)
+			g.emit("mov r0, %s", r)
+			g.free(r)
+		}
+		g.emit("jmp %s", g.retLbl)
+	case SBreak:
+		if len(g.breakLbl) == 0 {
+			g.errf(s.Line, "break outside loop/switch")
+		}
+		g.emit("jmp %s", g.breakLbl[len(g.breakLbl)-1])
+	case SContinue:
+		if len(g.contLbl) == 0 {
+			g.errf(s.Line, "continue outside loop")
+		}
+		g.emit("jmp %s", g.contLbl[len(g.contLbl)-1])
+	case SSwitch:
+		g.genSwitch(s)
+	}
+}
+
+func (g *gen) genBlockScoped(body []*Stmt) {
+	g.scopes = append(g.scopes, map[string]*symbol{})
+	for _, st := range body {
+		g.genStmt(st)
+	}
+	g.scopes = g.scopes[:len(g.scopes)-1]
+}
+
+func (g *gen) pushLoop(brk, cont string) {
+	g.breakLbl = append(g.breakLbl, brk)
+	g.contLbl = append(g.contLbl, cont)
+}
+
+func (g *gen) popLoop() {
+	g.breakLbl = g.breakLbl[:len(g.breakLbl)-1]
+	g.contLbl = g.contLbl[:len(g.contLbl)-1]
+}
+
+// genDecl allocates and initialises a local.
+func (g *gen) genDecl(d *VarDecl) {
+	g.nextSlot += align8(d.Type.Size())
+	sym := &symbol{name: d.Name, typ: d.Type, frameOff: int32(-g.nextSlot)}
+	g.scopes[len(g.scopes)-1][d.Name] = sym
+	if d.Init != nil {
+		r, _ := g.genExpr(d.Init)
+		if d.Type.Kind == TChar {
+			g.emit("stb [fp%+d], %s", sym.frameOff, r)
+		} else {
+			g.emit("stq [fp%+d], %s", sym.frameOff, r)
+		}
+		g.free(r)
+	}
+	if d.InitStr != "" {
+		// char buf[N] = "..." — copy from .rodata.
+		l := g.strLabel(d.InitStr)
+		src := g.alloc(d.Line)
+		g.emit("la %s, %s", src, l)
+		dst := g.alloc(d.Line)
+		g.emit("lea %s, [fp%+d]", dst, sym.frameOff)
+		idx := g.alloc(d.Line)
+		g.emit("mov %s, 0", idx)
+		loop := g.newLabel("initcp")
+		g.emitLabel(loop)
+		tmp := g.alloc(d.Line)
+		g.emit("ldxb %s, [%s+%s]", tmp, src, idx)
+		g.emit("stxb [%s+%s], %s", dst, idx, tmp)
+		g.emit("add %s, 1", idx)
+		g.emit("cmp %s, %d", idx, len(d.InitStr)+1)
+		g.emit("jl %s", loop)
+		g.free(src)
+	}
+}
+
+// genCondJump evaluates e as a condition: jumps to trueL when true (if
+// non-empty) and/or falseL when false (if non-empty); falls through in the
+// remaining case.
+func (g *gen) genCondJump(e *Expr, trueL, falseL string) {
+	// Short-circuit forms.
+	if e.Kind == EBinary && e.Op == "&&" {
+		mid := falseL
+		if mid == "" {
+			mid = g.newLabel("andf")
+		}
+		g.genCondJump(e.X, "", mid)
+		g.genCondJump(e.Y, trueL, falseL)
+		if falseL == "" {
+			g.emitLabel(mid)
+		}
+		return
+	}
+	if e.Kind == EBinary && e.Op == "||" {
+		mid := trueL
+		if mid == "" {
+			mid = g.newLabel("ort")
+		}
+		g.genCondJump(e.X, mid, "")
+		g.genCondJump(e.Y, trueL, falseL)
+		if trueL == "" {
+			g.emitLabel(mid)
+		}
+		return
+	}
+	if e.Kind == EUnary && e.Op == "!" {
+		g.genCondJump(e.X, falseL, trueL)
+		return
+	}
+	// Comparison: emit cmp + conditional jump directly.
+	if e.Kind == EBinary {
+		if cc, ok := cmpOps[e.Op]; ok {
+			rx, _ := g.genExpr(e.X)
+			ry, _ := g.genExpr(e.Y)
+			g.emit("cmp %s, %s", rx, ry)
+			g.free(ry)
+			g.free(rx)
+			if trueL != "" {
+				g.emit("%s %s", cc, trueL)
+				if falseL != "" {
+					g.emit("jmp %s", falseL)
+				}
+			} else {
+				g.emit("%s %s", negCC[cc], falseL)
+			}
+			return
+		}
+	}
+	// General value: test against zero.
+	r, _ := g.genExpr(e)
+	g.emit("cmp %s, 0", r)
+	g.free(r)
+	if trueL != "" {
+		g.emit("jne %s", trueL)
+		if falseL != "" {
+			g.emit("jmp %s", falseL)
+		}
+	} else {
+		g.emit("je %s", falseL)
+	}
+}
+
+var cmpOps = map[string]string{
+	"==": "je", "!=": "jne", "<": "jl", "<=": "jle", ">": "jg", ">=": "jge",
+}
+
+var negCC = map[string]string{
+	"je": "jne", "jne": "je", "jl": "jge", "jle": "jg", "jg": "jle",
+	"jge": "jl", "jb": "jae", "jae": "jb",
+}
+
+// genSwitch lowers a switch: dense value sets at -O2 become jump tables
+// (cmp/jae bound check, table load, jmpi), matching the shape the static
+// analyzer's jump-table matcher recovers; otherwise a compare chain.
+func (g *gen) genSwitch(s *Stmt) {
+	subj, _ := g.genExpr(s.Expr)
+	end := g.newLabel("swend")
+	g.breakLbl = append(g.breakLbl, end)
+
+	// Collect labelled cases.
+	type arm struct {
+		label string
+		c     *SwitchCase
+	}
+	var arms []arm
+	defaultL := end
+	minV, maxV := int64(1<<62), int64(-1<<62)
+	numVals := 0
+	for _, c := range s.Cases {
+		a := arm{label: g.newLabel("case"), c: c}
+		arms = append(arms, a)
+		if c.Vals == nil {
+			defaultL = a.label
+			continue
+		}
+		for _, v := range c.Vals {
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+			numVals++
+		}
+	}
+
+	span := maxV - minV + 1
+	dense := g.opts.O2 && numVals >= 4 && span <= 3*int64(numVals) && span <= 512
+	if dense {
+		// Jump table.
+		tbl := g.newLabel("jt")
+		idx := g.alloc(s.Line)
+		g.emit("mov %s, %s", idx, subj)
+		if minV != 0 {
+			g.emit("sub %s, %d", idx, minV)
+		}
+		g.emit("cmp %s, %d", idx, span)
+		g.emit("jae %s", defaultL)
+		base := g.alloc(s.Line)
+		g.emit("la %s, %s", base, tbl)
+		tgt := g.alloc(s.Line)
+		g.emit("ldxq %s, [%s+%s*8]", tgt, base, idx)
+		g.emit("jmpi %s", tgt)
+		g.free(idx)
+		// Table entries in .rodata.
+		entries := make([]string, span)
+		for i := range entries {
+			entries[i] = defaultL
+		}
+		for _, a := range arms {
+			for _, v := range a.c.Vals {
+				entries[v-minV] = a.label
+			}
+		}
+		fmt.Fprintf(&g.ro, "%s:\n", tbl)
+		for _, e := range entries {
+			fmt.Fprintf(&g.ro, "    .quad %s\n", e)
+		}
+	} else {
+		for _, a := range arms {
+			for _, v := range a.c.Vals {
+				g.emit("cmp %s, %d", subj, v)
+				g.emit("je %s", a.label)
+			}
+		}
+		g.emit("jmp %s", defaultL)
+	}
+	g.free(subj)
+
+	// Bodies in order (C fallthrough).
+	for _, a := range arms {
+		g.emitLabel(a.label)
+		g.genBlockScoped(a.c.Body)
+	}
+	g.emitLabel(end)
+	g.breakLbl = g.breakLbl[:len(g.breakLbl)-1]
+}
+
+// tryTailCall emits `return callee(args)` as a tail jump when the call
+// shape allows it; it reports whether it did. The canary check (when
+// present) runs before the frame is torn down. Calls whose arguments may
+// carry addresses of the caller's frame cannot be tail-called: the frame is
+// gone when the callee dereferences them.
+func (g *gen) tryTailCall(e *Expr) bool {
+	if len(e.Args) > 5 {
+		return false
+	}
+	for _, a := range e.Args {
+		if g.exprMayEscapeFrame(a) {
+			return false
+		}
+	}
+	if g.exprMayEscapeFrame(e.X) {
+		return false
+	}
+	// Identify the callee: direct (known function or import) or a value.
+	direct := ""
+	callee := e.X
+	if callee.Kind == EIdent {
+		if sym := g.lookup(callee.Str, e.Line); sym.fn {
+			direct = sym.name
+		}
+	}
+	// Evaluate arguments (they may reference locals, so this happens
+	// before the frame goes away).
+	var argRegs []isa.Register
+	for _, a := range e.Args {
+		r, _ := g.genExpr(a)
+		argRegs = append(argRegs, r)
+	}
+	var target isa.Register
+	if direct == "" {
+		target, _ = g.genExpr(callee)
+	}
+	for i := range e.Args {
+		g.emit("mov r%d, %s", i+1, argRegs[i])
+	}
+	// Canary verification must happen before leaving the frame.
+	if g.hasCanary {
+		fail := g.newLabel("tcchk")
+		ok := g.newLabel("tcok")
+		g.emit("ldq r0, [fp-8]")
+		g.emit("ldg r11")
+		g.emit("cmp r0, r11")
+		g.emit("je %s", ok)
+		g.emitLabel(fail)
+		g.emit("hlt")
+		g.emitLabel(ok)
+	}
+	g.emit("mov sp, fp")
+	g.emit("pop fp")
+	if direct != "" {
+		g.emit("jmp %s", direct)
+	} else {
+		g.emit("jmpi %s", target)
+	}
+	// Reset temp accounting (the statement consumed everything).
+	g.depth = 0
+	return true
+}
+
+// exprMayEscapeFrame conservatively reports whether evaluating e can yield
+// an address inside the current stack frame (local arrays decaying to
+// pointers, &local, or any value loaded through such an address).
+func (g *gen) exprMayEscapeFrame(e *Expr) bool {
+	if e == nil {
+		return false
+	}
+	switch e.Kind {
+	case EIdent:
+		for i := len(g.scopes) - 1; i >= 0; i-- {
+			if sym, ok := g.scopes[i][e.Str]; ok {
+				// A local of array type decays to a frame address; a
+				// local pointer may hold one (assigned from &buf
+				// earlier), so treat pointer-typed locals as escaping
+				// too.
+				return sym.typ.Kind == TArray || sym.typ.Kind == TPtr
+			}
+		}
+		return false
+	case EUnary:
+		if e.Op == "&" {
+			return true
+		}
+		return g.exprMayEscapeFrame(e.X)
+	case EBinary, EAssign, EIndex:
+		return g.exprMayEscapeFrame(e.X) || g.exprMayEscapeFrame(e.Y)
+	case ECall:
+		// The callee's RESULT is an int; only its argument expressions
+		// could smuggle frame addresses onward, and the inner call
+		// completes before the tail transfer, so results are safe.
+		return false
+	case EPostIncDec:
+		return g.exprMayEscapeFrame(e.X)
+	}
+	return false
+}

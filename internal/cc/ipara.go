@@ -1,0 +1,120 @@
+package cc
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/isa"
+)
+
+// ipa-ra (inter-procedural register allocation, gcc's -fipa-ra): at -O2 the
+// compiler elides caller-saved spills around direct calls to same-unit
+// functions whose transitive extent provably never touches the register.
+// This deliberately breaks the calling convention in exactly the way §4.1.2
+// describes — and is what the reliance-aware inter-procedural liveness in
+// package analysis exists to survive.
+
+// unitClobbers computes, per function name, the caller-saved registers the
+// function's transitive extent may write. Functions whose extent escapes the
+// unit (indirect calls, PLT calls, calls into unrecovered code) clobber
+// everything, so ipa-ra never applies across them.
+func unitClobbers(src string, opts Options) (map[string]analysis.RegMask, error) {
+	// Assemble the first-pass output and analyze the real code — the
+	// clobber facts must hold for what was actually emitted.
+	text, err := (&gen{prog: nil}).runFirstPass(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := asm.Assemble(text)
+	if err != nil {
+		return nil, err
+	}
+	g, err := cfg.Build(mod)
+	if err != nil {
+		return nil, err
+	}
+
+	type info struct {
+		own     analysis.RegMask
+		callees []uint64
+		escapes bool
+	}
+	infos := map[uint64]*info{}
+	pltSec := mod.Section(".plt")
+	for _, fn := range g.Funcs {
+		in := &info{}
+		for _, blk := range fn.Blocks {
+			for i := range blk.Instrs {
+				ins := &blk.Instrs[i]
+				for _, d := range ins.RegDefs(nil) {
+					in.own = in.own.With(d)
+				}
+				switch ins.Op {
+				case isa.OpCallI, isa.OpJmpI:
+					// Indirect transfers (calls and indirect tail
+					// calls) leave the analysable extent.
+					in.escapes = true
+				case isa.OpCall, isa.OpJmp:
+					t := ins.Target()
+					if ins.Op == isa.OpJmp && g.FuncAt(t) == fn {
+						break // intra-function jump: no transfer
+					}
+					if pltSec != nil && pltSec.Contains(t) {
+						in.escapes = true
+					} else if g.FuncAt(t) == nil {
+						in.escapes = true
+					} else {
+						in.callees = append(in.callees, g.FuncAt(t).Entry)
+					}
+				case isa.OpSyscall, isa.OpTrap:
+					// Services clobber r0 and read args; model as
+					// writing r0 only (they preserve the rest).
+					in.own = in.own.With(isa.R0)
+				}
+			}
+		}
+		infos[fn.Entry] = in
+	}
+	// Fixpoint over the unit call graph.
+	clob := map[uint64]analysis.RegMask{}
+	for e, in := range infos {
+		if in.escapes {
+			clob[e] = analysis.AllRegs
+		} else {
+			clob[e] = in.own & analysis.CallerSaved
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for e, in := range infos {
+			if clob[e] == analysis.AllRegs {
+				continue
+			}
+			m := clob[e]
+			for _, c := range in.callees {
+				m |= clob[c]
+			}
+			m &= analysis.AllRegs
+			if m != clob[e] {
+				clob[e] = m
+				changed = true
+			}
+		}
+	}
+	out := map[string]analysis.RegMask{}
+	for _, fn := range g.Funcs {
+		out[fn.Name] = clob[fn.Entry]
+	}
+	return out, nil
+}
+
+// runFirstPass compiles without ipa-ra information (gen is a throwaway).
+func (*gen) runFirstPass(src string, opts Options) (string, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	g := &gen{prog: prog, opts: opts, globals: map[string]*symbol{}}
+	g.opts.noIPARA = true
+	return g.run()
+}

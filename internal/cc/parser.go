@@ -1,0 +1,760 @@
+package cc
+
+import "fmt"
+
+// parser consumes tokens into a Program.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// parseError is a syntax diagnostic.
+type parseError struct {
+	line int
+	msg  string
+}
+
+func (e *parseError) Error() string { return fmt.Sprintf("cc: line %d: %s", e.line, e.msg) }
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &parseError{p.cur().line, fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) accept(kind tokKind, val string) bool {
+	t := p.cur()
+	if t.kind == kind && t.val == val {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, val string) error {
+	if !p.accept(kind, val) {
+		return p.errf("expected %q, got %q", val, p.cur())
+	}
+	return nil
+}
+
+// Parse parses a translation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{Externs: map[string]*Type{}}
+	for p.cur().kind != tEOF {
+		if err := p.topLevel(prog); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+// baseType parses int/char/void.
+func (p *parser) baseType() (*Type, error) {
+	t := p.cur()
+	if t.kind != tKw {
+		return nil, p.errf("expected type, got %q", t)
+	}
+	switch t.val {
+	case "int":
+		p.pos++
+		return IntType, nil
+	case "char":
+		p.pos++
+		return CharType, nil
+	case "void":
+		p.pos++
+		return VoidType, nil
+	}
+	return nil, p.errf("expected type, got %q", t)
+}
+
+// declarator parses pointers, a name, array suffixes and function-pointer
+// forms: `*...name`, `name[N]`, `(*name)(params)`.
+func (p *parser) declarator(base *Type) (string, *Type, error) {
+	t := base
+	for p.accept(tPunct, "*") {
+		t = PtrTo(t)
+	}
+	// Function pointer: ( * name ) ( params ) or an array of them:
+	// ( * name [N] ) ( params ).
+	if p.cur().kind == tPunct && p.cur().val == "(" {
+		p.pos++
+		if err := p.expect(tPunct, "*"); err != nil {
+			return "", nil, err
+		}
+		name := p.cur()
+		if name.kind != tIdent {
+			return "", nil, p.errf("expected function-pointer name")
+		}
+		p.pos++
+		arrayLen := int64(-1)
+		if p.accept(tPunct, "[") {
+			n := p.cur()
+			if n.kind != tNum {
+				return "", nil, p.errf("expected array length")
+			}
+			p.pos++
+			if err := p.expect(tPunct, "]"); err != nil {
+				return "", nil, err
+			}
+			arrayLen = n.num
+		}
+		if err := p.expect(tPunct, ")"); err != nil {
+			return "", nil, err
+		}
+		params, err := p.paramTypes()
+		if err != nil {
+			return "", nil, err
+		}
+		ft := PtrTo(&Type{Kind: TFunc, Params: params, Result: t})
+		if arrayLen >= 0 {
+			return name.val, &Type{Kind: TArray, Elem: ft, ArrayLen: arrayLen}, nil
+		}
+		return name.val, ft, nil
+	}
+	name := p.cur()
+	if name.kind != tIdent {
+		return "", nil, p.errf("expected name in declaration, got %q", name)
+	}
+	p.pos++
+	for p.accept(tPunct, "[") {
+		n := p.cur()
+		if n.kind != tNum {
+			return "", nil, p.errf("expected array length")
+		}
+		p.pos++
+		if err := p.expect(tPunct, "]"); err != nil {
+			return "", nil, err
+		}
+		t = &Type{Kind: TArray, Elem: t, ArrayLen: n.num}
+	}
+	return name.val, t, nil
+}
+
+// paramTypes parses a parenthesised parameter-type list (names optional).
+func (p *parser) paramTypes() ([]*Type, error) {
+	if err := p.expect(tPunct, "("); err != nil {
+		return nil, err
+	}
+	var out []*Type
+	if p.accept(tPunct, ")") {
+		return out, nil
+	}
+	if p.cur().kind == tKw && p.cur().val == "void" &&
+		p.toks[p.pos+1].kind == tPunct && p.toks[p.pos+1].val == ")" {
+		p.pos += 2
+		return out, nil
+	}
+	for {
+		base, err := p.baseType()
+		if err != nil {
+			return nil, err
+		}
+		t := base
+		for p.accept(tPunct, "*") {
+			t = PtrTo(t)
+		}
+		if p.cur().kind == tIdent {
+			p.pos++
+		}
+		out = append(out, t)
+		if p.accept(tPunct, ")") {
+			return out, nil
+		}
+		if err := p.expect(tPunct, ","); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// topLevel parses one global declaration or function definition.
+func (p *parser) topLevel(prog *Program) error {
+	static := p.accept(tKw, "static")
+	extern := p.accept(tKw, "extern")
+	base, err := p.baseType()
+	if err != nil {
+		return err
+	}
+	line := p.cur().line
+	name, typ, err := p.declarator(base)
+	if err != nil {
+		return err
+	}
+	// Function definition or prototype?
+	if p.cur().kind == tPunct && p.cur().val == "(" && typ.Kind != TPtr {
+		return p.funcRest(prog, name, typ, static, extern, line)
+	}
+	// Global variable.
+	decl := &VarDecl{Name: name, Type: typ, Static: static, Line: line}
+	if p.accept(tPunct, "=") {
+		if err := p.initialiser(decl); err != nil {
+			return err
+		}
+	}
+	if err := p.expect(tPunct, ";"); err != nil {
+		return err
+	}
+	prog.Globals = append(prog.Globals, decl)
+	return nil
+}
+
+// initialiser parses `= expr`, `= {e, e, ...}` or `= "str"` tails.
+func (p *parser) initialiser(decl *VarDecl) error {
+	if p.cur().kind == tStr && decl.Type.Kind == TArray {
+		decl.InitStr = p.next().val
+		return nil
+	}
+	if p.accept(tPunct, "{") {
+		for {
+			e, err := p.assignExpr()
+			if err != nil {
+				return err
+			}
+			decl.InitList = append(decl.InitList, e)
+			if p.accept(tPunct, "}") {
+				return nil
+			}
+			if err := p.expect(tPunct, ","); err != nil {
+				return err
+			}
+			if p.accept(tPunct, "}") { // trailing comma
+				return nil
+			}
+		}
+	}
+	e, err := p.assignExpr()
+	if err != nil {
+		return err
+	}
+	decl.Init = e
+	return nil
+}
+
+// funcRest parses a parameter list and body (or prototype).
+func (p *parser) funcRest(prog *Program, name string, result *Type,
+	static, extern bool, line int) error {
+
+	if err := p.expect(tPunct, "("); err != nil {
+		return err
+	}
+	var params []*VarDecl
+	if !p.accept(tPunct, ")") {
+		if p.cur().kind == tKw && p.cur().val == "void" &&
+			p.toks[p.pos+1].val == ")" {
+			p.pos += 2
+		} else {
+			for {
+				base, err := p.baseType()
+				if err != nil {
+					return err
+				}
+				pname, ptyp, err := p.declarator(base)
+				if err != nil {
+					return err
+				}
+				params = append(params, &VarDecl{Name: pname, Type: ptyp})
+				if p.accept(tPunct, ")") {
+					break
+				}
+				if err := p.expect(tPunct, ","); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if p.accept(tPunct, ";") {
+		// Prototype / extern declaration.
+		var ptypes []*Type
+		for _, pd := range params {
+			ptypes = append(ptypes, pd.Type)
+		}
+		prog.Externs[name] = &Type{Kind: TFunc, Params: ptypes, Result: result}
+		return nil
+	}
+	_ = extern
+	body, err := p.block()
+	if err != nil {
+		return err
+	}
+	prog.Funcs = append(prog.Funcs, &FuncDecl{
+		Name: name, Params: params, Result: result, Body: body,
+		Static: static, Line: line,
+	})
+	return nil
+}
+
+// block parses `{ stmt* }`.
+func (p *parser) block() ([]*Stmt, error) {
+	if err := p.expect(tPunct, "{"); err != nil {
+		return nil, err
+	}
+	var out []*Stmt
+	for !p.accept(tPunct, "}") {
+		if p.cur().kind == tEOF {
+			return nil, p.errf("unexpected end of file in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// stmt parses one statement.
+func (p *parser) stmt() (*Stmt, error) {
+	t := p.cur()
+	line := t.line
+	switch {
+	case t.kind == tKw && (t.val == "int" || t.val == "char"):
+		return p.declStmt()
+	case t.kind == tKw && t.val == "if":
+		p.pos++
+		cond, err := p.parenExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.stmtAsBlock()
+		if err != nil {
+			return nil, err
+		}
+		s := &Stmt{Kind: SIf, Line: line, Expr: cond, Body: body}
+		if p.accept(tKw, "else") {
+			s.Else, err = p.stmtAsBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	case t.kind == tKw && t.val == "while":
+		p.pos++
+		cond, err := p.parenExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.stmtAsBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: SWhile, Line: line, Expr: cond, Body: body}, nil
+	case t.kind == tKw && t.val == "do":
+		p.pos++
+		body, err := p.stmtAsBlock()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tKw, "while"); err != nil {
+			return nil, err
+		}
+		cond, err := p.parenExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: SDoWhile, Line: line, Expr: cond, Body: body}, nil
+	case t.kind == tKw && t.val == "for":
+		return p.forStmt()
+	case t.kind == tKw && t.val == "return":
+		p.pos++
+		s := &Stmt{Kind: SReturn, Line: line}
+		if !p.accept(tPunct, ";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Expr = e
+			if err := p.expect(tPunct, ";"); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	case t.kind == tKw && t.val == "break":
+		p.pos++
+		if err := p.expect(tPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: SBreak, Line: line}, nil
+	case t.kind == tKw && t.val == "continue":
+		p.pos++
+		if err := p.expect(tPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: SContinue, Line: line}, nil
+	case t.kind == tKw && t.val == "switch":
+		return p.switchStmt()
+	case t.kind == tPunct && t.val == "{":
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: SBlock, Line: line, Body: body}, nil
+	case t.kind == tPunct && t.val == ";":
+		p.pos++
+		return &Stmt{Kind: SBlock, Line: line}, nil
+	default:
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: SExpr, Line: line, Expr: e}, nil
+	}
+}
+
+// declStmt parses a local declaration (possibly multiple declarators).
+func (p *parser) declStmt() (*Stmt, error) {
+	line := p.cur().line
+	base, err := p.baseType()
+	if err != nil {
+		return nil, err
+	}
+	var decls []*Stmt
+	for {
+		name, typ, err := p.declarator(base)
+		if err != nil {
+			return nil, err
+		}
+		d := &VarDecl{Name: name, Type: typ, Line: line}
+		if p.accept(tPunct, "=") {
+			if err := p.initialiser(d); err != nil {
+				return nil, err
+			}
+		}
+		decls = append(decls, &Stmt{Kind: SDecl, Line: line, Decl: d})
+		if p.accept(tPunct, ";") {
+			break
+		}
+		if err := p.expect(tPunct, ","); err != nil {
+			return nil, err
+		}
+	}
+	if len(decls) == 1 {
+		return decls[0], nil
+	}
+	return &Stmt{Kind: SBlock, Line: line, Body: decls}, nil
+}
+
+func (p *parser) stmtAsBlock() ([]*Stmt, error) {
+	if p.cur().kind == tPunct && p.cur().val == "{" {
+		return p.block()
+	}
+	s, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return []*Stmt{s}, nil
+}
+
+func (p *parser) parenExpr() (*Expr, error) {
+	if err := p.expect(tPunct, "("); err != nil {
+		return nil, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tPunct, ")"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (p *parser) forStmt() (*Stmt, error) {
+	line := p.cur().line
+	p.pos++ // for
+	if err := p.expect(tPunct, "("); err != nil {
+		return nil, err
+	}
+	s := &Stmt{Kind: SFor, Line: line}
+	if !p.accept(tPunct, ";") {
+		if p.cur().kind == tKw && (p.cur().val == "int" || p.cur().val == "char") {
+			init, err := p.declStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = init
+		} else {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = &Stmt{Kind: SExpr, Line: line, Expr: e}
+			if err := p.expect(tPunct, ";"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !p.accept(tPunct, ";") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Expr = e
+		if err := p.expect(tPunct, ";"); err != nil {
+			return nil, err
+		}
+	}
+	if !p.accept(tPunct, ")") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = e
+		if err := p.expect(tPunct, ")"); err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.stmtAsBlock()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+func (p *parser) switchStmt() (*Stmt, error) {
+	line := p.cur().line
+	p.pos++ // switch
+	subj, err := p.parenExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tPunct, "{"); err != nil {
+		return nil, err
+	}
+	s := &Stmt{Kind: SSwitch, Line: line, Expr: subj}
+	var cur *SwitchCase
+	for !p.accept(tPunct, "}") {
+		switch {
+		case p.accept(tKw, "case"):
+			n := p.cur()
+			neg := false
+			if n.kind == tPunct && n.val == "-" {
+				neg = true
+				p.pos++
+				n = p.cur()
+			}
+			if n.kind != tNum && n.kind != tChar {
+				return nil, p.errf("expected constant after case")
+			}
+			p.pos++
+			v := n.num
+			if neg {
+				v = -v
+			}
+			if err := p.expect(tPunct, ":"); err != nil {
+				return nil, err
+			}
+			if cur == nil || len(cur.Body) > 0 {
+				cur = &SwitchCase{}
+				s.Cases = append(s.Cases, cur)
+			}
+			cur.Vals = append(cur.Vals, v)
+		case p.accept(tKw, "default"):
+			if err := p.expect(tPunct, ":"); err != nil {
+				return nil, err
+			}
+			cur = &SwitchCase{}
+			s.Cases = append(s.Cases, cur)
+		default:
+			if cur == nil {
+				return nil, p.errf("statement before first case")
+			}
+			st, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			cur.Body = append(cur.Body, st)
+		}
+	}
+	return s, nil
+}
+
+// Expression parsing: precedence climbing.
+
+var binPrec = map[string]int{
+	"||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6, "<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8, "+": 9, "-": 9, "*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) expr() (*Expr, error) { return p.assignExpr() }
+
+func (p *parser) assignExpr() (*Expr, error) {
+	lhs, err := p.binExpr(1)
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind == tPunct {
+		switch t.val {
+		case "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=":
+			p.pos++
+			rhs, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: EAssign, Line: t.line, Op: t.val, X: lhs, Y: rhs}, nil
+		}
+	}
+	return lhs, nil
+}
+
+func (p *parser) binExpr(minPrec int) (*Expr, error) {
+	lhs, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.val]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Expr{Kind: EBinary, Line: t.line, Op: t.val, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) unaryExpr() (*Expr, error) {
+	t := p.cur()
+	if t.kind == tPunct {
+		switch t.val {
+		case "-", "!", "~", "*", "&":
+			p.pos++
+			x, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: EUnary, Line: t.line, Op: t.val, X: x}, nil
+		case "++", "--":
+			// Prefix inc/dec desugars to compound assignment.
+			p.pos++
+			x, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			op := "+="
+			if t.val == "--" {
+				op = "-="
+			}
+			one := &Expr{Kind: ENum, Line: t.line, Num: 1}
+			return &Expr{Kind: EAssign, Line: t.line, Op: op, X: x, Y: one}, nil
+		}
+	}
+	if t.kind == tKw && t.val == "sizeof" {
+		p.pos++
+		if err := p.expect(tPunct, "("); err != nil {
+			return nil, err
+		}
+		base, err := p.baseType()
+		if err != nil {
+			return nil, err
+		}
+		typ := base
+		for p.accept(tPunct, "*") {
+			typ = PtrTo(typ)
+		}
+		if err := p.expect(tPunct, ")"); err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ENum, Line: t.line, Num: typ.Size()}, nil
+	}
+	return p.postfixExpr()
+}
+
+func (p *parser) postfixExpr() (*Expr, error) {
+	e, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tPunct {
+			return e, nil
+		}
+		switch t.val {
+		case "(":
+			p.pos++
+			var args []*Expr
+			if !p.accept(tPunct, ")") {
+				for {
+					a, err := p.assignExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.accept(tPunct, ")") {
+						break
+					}
+					if err := p.expect(tPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			e = &Expr{Kind: ECall, Line: t.line, X: e, Args: args}
+		case "[":
+			p.pos++
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tPunct, "]"); err != nil {
+				return nil, err
+			}
+			e = &Expr{Kind: EIndex, Line: t.line, X: e, Y: idx}
+		case "++", "--":
+			p.pos++
+			e = &Expr{Kind: EPostIncDec, Line: t.line, Op: t.val, X: e}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) primaryExpr() (*Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tNum, tChar:
+		p.pos++
+		return &Expr{Kind: ENum, Line: t.line, Num: t.num}, nil
+	case tStr:
+		p.pos++
+		return &Expr{Kind: EStr, Line: t.line, Str: t.val}, nil
+	case tIdent:
+		p.pos++
+		return &Expr{Kind: EIdent, Line: t.line, Str: t.val}, nil
+	case tPunct:
+		if t.val == "(" {
+			p.pos++
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tPunct, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("unexpected token %q in expression", t)
+}

@@ -1,0 +1,119 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+const tailSrc = `
+int helper(int x) { return x * 3; }
+int viaDirect(int x) { return helper(x + 1); }
+int (*fp)(int) = helper;
+int viaIndirect(int x) { return fp(x + 2); }
+int main() { return viaDirect(3) + viaIndirect(3); }`
+
+func TestTailCallsEmittedAtO2(t *testing.T) {
+	o2, err := GenAsm(tailSrc, Options{Module: "p", O2: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(o2, "jmp helper") {
+		t.Errorf("direct tail call not emitted:\n%s", o2)
+	}
+	if !strings.Contains(o2, "jmpi ") {
+		t.Errorf("indirect tail call not emitted:\n%s", o2)
+	}
+	o0, err := GenAsm(tailSrc, Options{Module: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(o0, "jmp helper") {
+		t.Error("-O0 produced a tail call")
+	}
+}
+
+func TestTailCallSemantics(t *testing.T) {
+	runBoth(t, tailSrc, 12+15)
+}
+
+func TestTailCallWithCanaryFrame(t *testing.T) {
+	// A frame-escaping argument (the local buffer's address) makes TCO
+	// unsound; the compiler must fall back to a normal call and keep the
+	// program correct.
+	src := `
+int sum(int *p, int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) s += p[i];
+    return s;
+}
+int fill(int x) {
+    int buf[8];
+    for (int i = 0; i < 8; i++) buf[i] = x + i;
+    return sum(buf, 8);
+}
+int main() { return fill(1); }`
+	runBoth(t, src, 8+28)
+	o2, err := GenAsm(src, Options{Module: "p", O2: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Passing &buf makes the call ineligible for TCO — the frame must
+	// outlive the transfer — so the regular call path must be chosen.
+	if strings.Contains(o2, "jmp sum") {
+		t.Error("tail call emitted despite frame-escaping argument")
+	}
+}
+
+func TestTailRecursionRunsInConstantStack(t *testing.T) {
+	// Tail-recursive countdown at a depth whose frames (1M x ~48B) would
+	// overflow the 16 MiB stack without TCO; -O0 agreement is checked at
+	// a shallow depth.
+	src := `
+int count(int n, int acc) {
+    if (n == 0) return acc;
+    return count(n - 1, acc + n);
+}
+int main() { return count(200, 0) & 127; }`
+	runBoth(t, src, (200*201/2)&127)
+
+	deep := `
+int count(int n, int acc) {
+    if (n == 0) return acc;
+    return count(n - 1, acc + n);
+}
+int main() { return count(1000000, 0) & 127; }`
+	// Only -O2 can do this without overflowing the 16 MiB stack
+	// (3M frames x ~48B > 16 MiB).
+	got, _ := compileRun(t, deep, Options{Module: "p", O2: true})
+	want := int64((1000000 * 1000001 / 2) & 127)
+	if got != want {
+		t.Fatalf("deep tail recursion = %d, want %d", got, want)
+	}
+}
+
+func TestTailCallVisibleToCFGAsFunctionJump(t *testing.T) {
+	mod, err := Compile(tailSrc, Options{Module: "p", O2: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The viaIndirect function must end in a jmpi whose jump check would
+	// consult the function-entry jump table (exercised end-to-end in the
+	// jcfi tests); here we just assert the terminator shape survives into
+	// the binary.
+	text := mod.Section(".text")
+	ins, err := isa.DecodeAll(text.Data, text.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawJmpi := false
+	for i := range ins {
+		if ins[i].Op == isa.OpJmpI {
+			sawJmpi = true
+		}
+	}
+	if !sawJmpi {
+		t.Error("indirect tail call lost during assembly")
+	}
+}

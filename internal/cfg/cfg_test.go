@@ -1,0 +1,426 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/libj"
+	"repro/internal/obj"
+)
+
+func build(t *testing.T, src string) (*obj.Module, *Graph) {
+	t.Helper()
+	mod, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	g, err := Build(mod)
+	if err != nil {
+		t.Fatalf("cfg.Build: %v", err)
+	}
+	return mod, g
+}
+
+func TestLinearFunction(t *testing.T) {
+	_, g := build(t, `
+.module t
+.entry main
+.section .text
+main:
+    mov r1, 1
+    add r1, 2
+    ret
+`)
+	if len(g.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(g.Blocks))
+	}
+	blk := g.SortedBlocks()[0]
+	if len(blk.Instrs) != 3 || blk.Terminator().Op != isa.OpRet {
+		t.Fatalf("block shape wrong: %d instrs", len(blk.Instrs))
+	}
+	if len(blk.Succs) != 0 {
+		t.Errorf("ret block has successors %v", blk.Succs)
+	}
+	if g.NumInstrs() != 3 {
+		t.Errorf("NumInstrs = %d", g.NumInstrs())
+	}
+}
+
+func TestDiamondCFG(t *testing.T) {
+	mod, g := build(t, `
+.module t
+.entry main
+.section .text
+main:
+    cmp r1, 0
+    je .else
+    mov r2, 1
+    jmp .join
+.else:
+    mov r2, 2
+.join:
+    mov r0, r2
+    ret
+`)
+	_ = mod
+	if len(g.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(g.Blocks))
+	}
+	blocks := g.SortedBlocks()
+	entry := blocks[0]
+	if len(entry.Succs) != 2 {
+		t.Fatalf("entry succs = %v", entry.Succs)
+	}
+	// Both arms join at .join.
+	join := blocks[3]
+	count := 0
+	for _, b := range blocks[:3] {
+		for _, s := range b.Succs {
+			if s == join.Start {
+				count++
+			}
+		}
+	}
+	if count != 2 {
+		t.Errorf("join has %d predecessors, want 2", count)
+	}
+}
+
+func TestBlockSplittingOnBackEdge(t *testing.T) {
+	// The loop head is entered both by fallthrough and by a back edge
+	// discovered later, forcing a split.
+	_, g := build(t, `
+.module t
+.entry main
+.section .text
+main:
+    mov r1, 10
+    sub r1, 1          ; loop head (target of back edge)
+    cmp r1, 0
+    jg main+10         ; back edge into the middle of the first run
+    ret
+`)
+	// Expect: [main..mov] [sub..jg] [ret]
+	if len(g.Blocks) != 3 {
+		for _, b := range g.SortedBlocks() {
+			t.Logf("block %#x..%#x (%d instrs)", b.Start, b.End(), len(b.Instrs))
+		}
+		t.Fatalf("blocks = %d, want 3 (split failed)", len(g.Blocks))
+	}
+	blocks := g.SortedBlocks()
+	if blocks[0].End() != blocks[1].Start {
+		t.Error("split blocks not contiguous")
+	}
+	if got := blocks[0].Succs; len(got) != 1 || got[0] != blocks[1].Start {
+		t.Errorf("head succs = %v", got)
+	}
+}
+
+func TestCallEdgesAndFunctionPartitioning(t *testing.T) {
+	mod, g := build(t, `
+.module t
+.entry main
+.section .text
+main:
+    call helper
+    ret
+helper:
+    mov r0, 1
+    ret
+`)
+	if len(g.CallTargets) != 1 {
+		t.Fatalf("call targets = %v", g.CallTargets)
+	}
+	helper := mod.FindSymbol("helper")
+	for _, tgt := range g.CallTargets {
+		if tgt != helper.Addr {
+			t.Errorf("call target %#x, want helper %#x", tgt, helper.Addr)
+		}
+	}
+	if len(g.Funcs) != 2 {
+		t.Fatalf("funcs = %d, want 2", len(g.Funcs))
+	}
+	f := g.FuncAt(helper.Addr)
+	if f == nil || f.Name != "helper" {
+		t.Fatalf("FuncAt(helper) = %+v", f)
+	}
+	if f2 := g.FuncAt(helper.Addr + 1); f2 != f {
+		t.Error("FuncAt inside helper body should return helper")
+	}
+}
+
+func TestFunctionInferenceFromCallsWhenStripped(t *testing.T) {
+	// With a stripped symbol table, function entries must be inferred
+	// from direct call targets.
+	src := `
+.module t
+.strip stripped
+.entry main
+.section .text
+main:
+    call fn2
+    ret
+fn2:
+    mov r0, 2
+    ret
+`
+	mod, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Funcs) != 2 {
+		t.Fatalf("stripped funcs = %d, want 2 (entry + call target)", len(g.Funcs))
+	}
+}
+
+func TestJumpTableDiscovery(t *testing.T) {
+	mod, g := build(t, `
+.module t
+.entry main
+.section .text
+main:
+    mov r7, 2          ; selector
+    cmp r7, 3
+    jae .default
+    la r6, table
+    ldxq r8, [r6+r7*8]
+    jmpi r8
+.case0:
+    mov r0, 0
+    ret
+.case1:
+    mov r0, 1
+    ret
+.case2:
+    mov r0, 2
+    ret
+.default:
+    mov r0, 99
+    ret
+.section .rodata
+table:
+    .quad .case0
+    .quad .case1
+    .quad .case2
+`)
+	_ = mod
+	if len(g.JumpTables) != 1 {
+		t.Fatalf("jump tables = %d, want 1", len(g.JumpTables))
+	}
+	var jt *JumpTable
+	for _, v := range g.JumpTables {
+		jt = v
+	}
+	if len(jt.Targets) != 3 {
+		t.Fatalf("table targets = %d, want 3", len(jt.Targets))
+	}
+	// All case blocks must have been recovered.
+	for _, tgt := range jt.Targets {
+		if g.Blocks[tgt] == nil {
+			t.Errorf("jump-table target %#x not recovered as a block", tgt)
+		}
+	}
+	// The dispatch block lists the table targets as successors.
+	dispatch := g.BlockAt(jt.JmpAddr)
+	if dispatch == nil || !dispatch.HasIndirect {
+		t.Fatal("dispatch block missing or not marked indirect")
+	}
+	if len(dispatch.Succs) != 3 {
+		t.Errorf("dispatch succs = %v", dispatch.Succs)
+	}
+}
+
+func TestComputedGotoIsNotDiscovered(t *testing.T) {
+	// Arithmetically computed target: recovery must NOT find the hidden
+	// block (this residue is what the dynamic fallback covers, Fig. 14).
+	mod, g := build(t, `
+.module t
+.entry main
+.section .text
+main:
+    la r6, hidden0
+    mov r7, 16
+    add r6, r7          ; target = hidden0 + 16, computed arithmetically
+    jmpi r6
+hidden0:
+    .zero 16            ; 16 bytes of padding (data in code!)
+hidden:
+    mov r0, 42
+    ret
+`)
+	hidden := mod.FindSymbol("hidden")
+	if hidden == nil {
+		t.Fatal("no hidden symbol?")
+	}
+	// Strip the symbol-table seed effect by rebuilding without symbols.
+	mod.SymLevel = obj.SymStripped
+	for i := range mod.Symbols {
+		mod.Symbols[i].Exported = false
+	}
+	g, err := Build(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Blocks[hidden.Addr] != nil {
+		t.Error("computed-goto target was statically discovered; expected a coverage gap")
+	}
+	_ = g
+}
+
+func TestDataCodePointerSeeds(t *testing.T) {
+	// A callback table in .data seeds recovery of an otherwise
+	// unreferenced function.
+	mod, g := build(t, `
+.module t
+.strip stripped
+.entry main
+.section .text
+main:
+    ret
+orphan:
+    mov r0, 7
+    ret
+.section .data
+cbtable:
+    .quad orphan
+`)
+	orphan := uint64(0)
+	for _, s := range mod.Symbols {
+		if s.Name == "orphan" {
+			orphan = s.Addr
+		}
+	}
+	if g.Blocks[orphan] == nil {
+		t.Error("data code pointer did not seed block recovery")
+	}
+}
+
+func TestPLTAndInitCovered(t *testing.T) {
+	// .plt stubs and .init code must be recovered (coverage beyond .text,
+	// unlike Janus).
+	mod, err := asm.Assemble(`
+.module t
+.entry main
+.needs libj.jef
+.import malloc
+.section .init
+initfn:
+    ret
+.section .text
+main:
+    call malloc
+    ret
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plt := mod.Section(".plt")
+	foundPLT := false
+	for start := range g.Blocks {
+		if plt.Contains(start) {
+			foundPLT = true
+		}
+	}
+	if !foundPLT {
+		t.Error("no blocks recovered in .plt")
+	}
+	initSec := mod.Section(".init")
+	if g.Blocks[initSec.Addr] == nil {
+		t.Error(".init code not recovered")
+	}
+	// The resolver stub's `push r0; ret` tail must be inside a recovered
+	// block whose terminator is ret.
+	stub := g.BlockAt(plt.Addr)
+	if stub == nil {
+		t.Fatal("plt0 not recovered")
+	}
+}
+
+func TestLibjFullRecovery(t *testing.T) {
+	lj, err := libj.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(lj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every exported function must be a recovered function with blocks.
+	for _, s := range lj.FuncSymbols() {
+		f := g.FuncAt(s.Addr)
+		if f == nil {
+			t.Errorf("function %s not partitioned", s.Name)
+			continue
+		}
+		if len(f.Blocks) == 0 && f.Entry == s.Addr {
+			t.Errorf("function %s has no blocks", s.Name)
+		}
+		if g.Blocks[s.Addr] == nil {
+			t.Errorf("function %s entry block missing", s.Name)
+		}
+	}
+	// qsort contains an indirect call block.
+	qsort := lj.FindSymbol("qsort")
+	f := g.FuncAt(qsort.Addr)
+	hasIndirect := false
+	for _, b := range f.Blocks {
+		if b.Terminator().Op == isa.OpCallI {
+			hasIndirect = true
+		}
+	}
+	if !hasIndirect {
+		t.Error("qsort's indirect callback call not recovered")
+	}
+	// Blocks partition: no two blocks overlap.
+	blocks := g.SortedBlocks()
+	for i := 1; i < len(blocks); i++ {
+		if blocks[i-1].End() > blocks[i].Start {
+			t.Errorf("blocks overlap: %#x..%#x and %#x",
+				blocks[i-1].Start, blocks[i-1].End(), blocks[i].Start)
+		}
+	}
+}
+
+func TestSuccessorsAreRecoveredBlocks(t *testing.T) {
+	lj, _ := libj.Module()
+	g, _ := Build(lj)
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if g.Blocks[s] == nil {
+				t.Errorf("block %#x has unrecovered successor %#x", b.Start, s)
+			}
+		}
+	}
+}
+
+func TestDataInCodeStopsRecovery(t *testing.T) {
+	// Undecodable bytes inside .text (a constant pool) must not be
+	// swallowed into blocks: recovery stops, it never guesses.
+	_, g := build(t, `
+.module t
+.entry main
+.section .text
+main:
+    jmp after
+pool:
+    .byte 0, 0, 0, 0, 0, 0, 0, 0
+after:
+    ret
+`)
+	for _, b := range g.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == isa.OpInvalid {
+				t.Fatal("invalid instruction in recovered block")
+			}
+		}
+	}
+}

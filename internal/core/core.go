@@ -1,0 +1,256 @@
+// Package core implements the Janitizer framework itself (Fig. 1): a static
+// analyzer that runs strong whole-module analyses and encodes the results as
+// rewrite rules, and a dynamic-modifier frontend that loads those rules,
+// classifies code as statically-seen or dynamically-discovered, and drives a
+// security tool's instrumentation through the dynamic binary modifier.
+//
+// Security techniques (JASan, JCFI, and the baselines) plug in through the
+// Tool interface, providing a static pass able to do cross-block analysis
+// and a simpler dynamic fallback pass that works one basic block at a time
+// (§3.4.3).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/cfg"
+	"repro/internal/dbm"
+	"repro/internal/loader"
+	"repro/internal/obj"
+	"repro/internal/rules"
+	"repro/internal/vm"
+)
+
+// StaticContext hands a tool's static pass the module plus every core and
+// enhanced analysis result (Fig. 2a).
+type StaticContext struct {
+	Module *obj.Module
+	Graph  *cfg.Graph
+	// Live is inter-procedural register+flag liveness (§3.3.2, §4.1.2).
+	Live *analysis.Liveness
+	// Loops is the SCEV-style loop/bound analysis (§3.3.2).
+	Loops *analysis.LoopAnalysis
+	// Canaries are the detected stack-canary sites (§3.3.3).
+	Canaries []analysis.CanarySite
+	// DefUse is the diffuse-chain tracing (§3.3.3).
+	DefUse *analysis.DefUse
+}
+
+// Tool is one security technique plugged into Janitizer.
+type Tool interface {
+	// Name identifies the tool ("jasan", "jcfi", ...).
+	Name() string
+	// StaticPass analyzes one module and returns its rewrite rules.
+	// Janitizer adds NoOp marking for uncovered blocks afterwards.
+	StaticPass(sc *StaticContext) []rules.Rule
+	// Instrument rewrites a statically-seen block. instrRules maps
+	// run-time instruction addresses to their rules.
+	Instrument(bc *dbm.BlockContext, instrRules map[uint64][]rules.Rule) []dbm.CInstr
+	// DynFallback rewrites a block never seen statically, using only
+	// block-local analysis.
+	DynFallback(bc *dbm.BlockContext) []dbm.CInstr
+	// RuntimeInit installs the tool's run-time state (trap handlers,
+	// shadow regions, target tables) before execution starts.
+	RuntimeInit(rt *Runtime) error
+}
+
+// AnalyzeModule runs Janitizer's static analyzer over one module for one
+// tool: disassembly, CFG recovery over all executable sections, generic and
+// enhanced analyses, the tool's custom security analysis, and no-op marking
+// of untouched blocks (§3.3.4). It returns the module's rewrite-rule file.
+func AnalyzeModule(mod *obj.Module, tool Tool) (*rules.File, error) {
+	g, err := cfg.Build(mod)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", mod.Name, err)
+	}
+	sc := &StaticContext{
+		Module:   mod,
+		Graph:    g,
+		Live:     analysis.ComputeLiveness(g, true),
+		Loops:    analysis.AnalyzeLoops(g),
+		Canaries: analysis.FindCanaries(g),
+		DefUse:   analysis.ComputeDefUse(g),
+	}
+	rs := tool.StaticPass(sc)
+
+	// No-op marking: every recovered block without a rule gets an
+	// explicit NoOp rule, so the dynamic modifier can distinguish
+	// "statically proven to need nothing" from "never statically seen".
+	covered := map[uint64]bool{}
+	for _, r := range rs {
+		covered[r.BBAddr] = true
+	}
+	for start := range g.Blocks {
+		if !covered[start] {
+			rs = append(rs, rules.Rule{ID: rules.NoOp, BBAddr: start})
+		}
+	}
+	return &rules.File{Module: mod.Name, Rules: rs}, nil
+}
+
+// AnalyzeProgram analyzes the main module and its entire ldd-visible
+// dependency closure (§3.3.1), returning one rule file per module. A shared
+// library's analysis would be reused across programs; callers may cache the
+// returned files.
+func AnalyzeProgram(main *obj.Module, reg loader.Registry, tool Tool) (map[string]*rules.File, error) {
+	mods, err := loader.LddClosure(main, reg)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	out := make(map[string]*rules.File, len(mods))
+	for _, m := range mods {
+		f, err := AnalyzeModule(m, tool)
+		if err != nil {
+			return nil, err
+		}
+		out[m.Name] = f
+	}
+	return out, nil
+}
+
+// CoverageStats counts how blocks were classified at run time — the data
+// behind Fig. 14.
+type CoverageStats struct {
+	// StaticInstrumented blocks hit in a rule table with real rules.
+	StaticInstrumented uint64
+	// StaticNoOp blocks hit in a rule table with only a NoOp rule.
+	StaticNoOp uint64
+	// Fallback blocks missed every table and went through the dynamic
+	// analyzer (dynamically generated, dlopened without rules, or
+	// statically undiscovered).
+	Fallback uint64
+}
+
+// Total returns the number of distinct blocks translated.
+func (c CoverageStats) Total() uint64 {
+	return c.StaticInstrumented + c.StaticNoOp + c.Fallback
+}
+
+// DynamicFraction returns the fraction of distinct executed blocks that were
+// only seen dynamically (Fig. 14).
+func (c CoverageStats) DynamicFraction() float64 {
+	if c.Total() == 0 {
+		return 0
+	}
+	return float64(c.Fallback) / float64(c.Total())
+}
+
+// Runtime is Janitizer's dynamic-modifier frontend: per-module rewrite-rule
+// hash tables with PIC load-time adjustment (Fig. 5), the static/dynamic
+// code classifier (Fig. 4), and the bridge to the tool's handlers.
+type Runtime struct {
+	M    *vm.Machine
+	Proc *loader.Process
+	Tool Tool
+	// Files are the rule files available to the frontend, keyed by module
+	// name — the per-module files written by the static analyzer. Modules
+	// loaded later (dlopen) with an associated file get tables too
+	// (§3.4.3, footnote 1).
+	Files map[string]*rules.File
+
+	// DBM is the underlying dynamic binary modifier.
+	DBM *dbm.DBM
+	// Coverage is the classifier's accounting.
+	Coverage CoverageStats
+
+	tables map[string]*rules.Table
+}
+
+// NewRuntime wires a tool into a loaded process. It must be created before
+// modules are loaded so the module-load hook can build rule tables; use
+// NewRuntime followed by Proc.LoadProgram.
+func NewRuntime(m *vm.Machine, proc *loader.Process, tool Tool,
+	files map[string]*rules.File) *Runtime {
+
+	rt := &Runtime{
+		M: m, Proc: proc, Tool: tool, Files: files,
+		tables: map[string]*rules.Table{},
+	}
+	rt.DBM = dbm.New(m, proc, &hybridClient{rt: rt})
+	proc.OnModuleLoad = append(proc.OnModuleLoad, rt.onModuleLoad)
+	proc.OnModuleUnload = append(proc.OnModuleUnload, rt.onModuleUnload)
+	return rt
+}
+
+// onModuleLoad builds the module's rewrite-rule hash table at load time,
+// adjusting addresses by the load base for PIC modules (Fig. 5a).
+func (rt *Runtime) onModuleLoad(lm *loader.LoadedModule) {
+	f, ok := rt.Files[lm.Name]
+	if !ok {
+		return // no rule file: all its blocks go to the dynamic analyzer
+	}
+	base := uint64(0)
+	if lm.PIC {
+		base = lm.LoadBase
+	}
+	rt.tables[lm.Name] = rules.NewTable(f, base)
+}
+
+// onModuleUnload drops the module's rule table — a constant-time delete,
+// which is the point of keeping per-module tables (footnote 2: no scan for
+// stale hints even when another module later reuses the addresses) — and
+// evicts its translated code.
+func (rt *Runtime) onModuleUnload(lm *loader.LoadedModule) {
+	delete(rt.tables, lm.Name)
+	lo, span := lm.Extent()
+	start := lm.RuntimeAddr(lo)
+	rt.DBM.FlushRange(start, start+span)
+}
+
+// Table returns the rule table for a module name, or nil.
+func (rt *Runtime) Table(module string) *rules.Table { return rt.tables[module] }
+
+// Run initialises the tool runtime and executes the program from entry under
+// the hybrid dynamic modifier.
+func (rt *Runtime) Run(entry uint64) error {
+	if err := rt.Tool.RuntimeInit(rt); err != nil {
+		return fmt.Errorf("core: runtime init: %w", err)
+	}
+	return rt.DBM.Run(entry)
+}
+
+// hybridClient is the DBM client implementing Fig. 4: classify each new
+// block via the per-module hash tables, then route it to the rule
+// interpreter (hit) or the dynamic analyzer (miss).
+type hybridClient struct {
+	rt *Runtime
+}
+
+func (h *hybridClient) OnBlock(ctx *dbm.BlockContext) []dbm.CInstr {
+	rt := h.rt
+	var tab *rules.Table
+	if ctx.Module != nil {
+		tab = rt.tables[ctx.Module.Name]
+	}
+	if tab != nil {
+		if _, hit := tab.BlockRules(ctx.Start); hit {
+			// (3b) Address hit: statically seen. Collect instruction-
+			// level rules across the WHOLE dynamic block: the block
+			// builder stops at the first executed CTI, so one dynamic
+			// block may span several static blocks (a branch target
+			// mid-way makes the static CFG split where the dynamic
+			// trace does not), and a NO_OP on the first static block
+			// says nothing about rules attached further along.
+			instrRules := map[uint64][]rules.Rule{}
+			n := 0
+			for _, in := range ctx.AppInstrs {
+				if irs := tab.InstrRules(in.Addr); len(irs) > 0 {
+					instrRules[in.Addr] = irs
+					n += len(irs)
+				}
+			}
+			if n == 0 {
+				// (4b) No modification needed anywhere: place as-is.
+				rt.Coverage.StaticNoOp++
+				return dbm.NullClient{}.OnBlock(ctx)
+			}
+			rt.Coverage.StaticInstrumented++
+			return rt.Tool.Instrument(ctx, instrRules)
+		}
+	}
+	// (3a) Miss: dynamically generated, dlopened without rules, or
+	// statically undiscovered code — the dynamic analyzer takes it.
+	rt.Coverage.Fallback++
+	return rt.Tool.DynFallback(ctx)
+}

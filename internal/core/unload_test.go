@@ -1,0 +1,183 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/libj"
+	"repro/internal/loader"
+	"repro/internal/vm"
+)
+
+// TestUnloadDropsTableAndReusedAddressesGetFreshRules is footnote 2's
+// scenario end to end: module A (with rules) is dlopened, used and
+// unloaded; module B is then loaded AT THE SAME BASE with its own rule
+// file. The per-module tables mean A's hints vanish in O(1) and B's blocks
+// classify against B's table — no stale-hint scan, no cross-talk.
+func TestUnloadDropsTableAndReusedAddressesGetFreshRules(t *testing.T) {
+	plugA := `
+.module a.jef
+.type shared
+.pic
+.global fa
+.section .text
+fa:
+    la r6, aslot
+    ldq r7, [r6+0]      ; a store/load pair: gets a MemAccess-style rule
+    add r7, 1
+    stq [r6+0], r7
+    mov r0, r7
+    ret
+.section .data
+aslot:
+    .quad 100
+`
+	plugB := `
+.module b.jef
+.type shared
+.pic
+.global fb
+.section .text
+fb:
+    la r6, bslot
+    ldq r7, [r6+0]
+    add r7, 2
+    stq [r6+0], r7
+    mov r0, r7
+    ret
+.section .data
+bslot:
+    .quad 200
+`
+	mainSrc := `
+.module prog
+.entry _start
+.needs libj.jef
+.section .text
+_start:
+    ; dlopen a, call fa, dlclose a
+    la r1, an
+    mov r2, 5
+    trap 3
+    mov r12, r0
+    mov r1, r12
+    la r2, fan
+    mov r3, 2
+    trap 4
+    calli r0
+    mov r13, r0         ; 101
+    mov r1, r12
+    trap 8
+    ; dlopen b (reuses a's base), call fb
+    la r1, bn
+    mov r2, 5
+    trap 3
+    mov r12, r0
+    mov r1, r12
+    la r2, fbn
+    mov r3, 2
+    trap 4
+    calli r0            ; 202
+    add r0, r13
+    mov r1, r0
+    mov r0, 1
+    syscall
+.section .rodata
+an:
+    .ascii "a.jef"
+bn:
+    .ascii "b.jef"
+fan:
+    .ascii "fa"
+fbn:
+    .ascii "fb"
+`
+	lj, err := libj.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := asm.Assemble(plugA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := asm.Assemble(plugB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main, err := asm.Assemble(mainSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := loader.Registry{libj.Name: lj, "a.jef": a, "b.jef": b}
+
+	tool := &markerTool{}
+	files, err := AnalyzeProgram(main, reg, tool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both plugins have rule files available (footnote 1: dlopened modules
+	// with rule files get them).
+	fa, err := AnalyzeModule(a, tool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := AnalyzeModule(b, tool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files["a.jef"] = fa
+	files["b.jef"] = fb
+
+	m := vm.New()
+	m.InstallDefaultServices()
+	m.MaxInstrs = 1_000_000
+	proc := loader.NewProcess(m, reg)
+	rt := NewRuntime(m, proc, tool, files)
+	lm, err := proc.LoadProgram(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(lm.RuntimeAddr(main.Entry)); err != nil {
+		t.Fatal(err)
+	}
+	if m.ExitStatus != 101+202 {
+		t.Fatalf("exit = %d, want 303", m.ExitStatus)
+	}
+	// A's table is gone; B's table exists and is keyed at the REUSED base.
+	if rt.Table("a.jef") != nil {
+		t.Error("a.jef rule table not dropped on unload")
+	}
+	tb := rt.Table("b.jef")
+	if tb == nil {
+		t.Fatal("b.jef rule table missing")
+	}
+	lb := proc.ModuleByName("b.jef")
+	sym := lb.FindSymbol("fb")
+	if _, hit := tb.BlockRules(lb.RuntimeAddr(sym.Addr)); !hit {
+		t.Error("b.jef blocks miss at the reused base")
+	}
+	// Everything ran through rule tables: no fallback blocks at all.
+	if rt.Coverage.Fallback != 0 {
+		t.Errorf("fallback blocks = %d; stale-hint handling broken", rt.Coverage.Fallback)
+	}
+	// Both plugins' stores were instrumented via the marker tool.
+	sawA, sawB := false, false
+	for _, addr := range tool.staticBlocks {
+		if lb.Contains(addr) {
+			sawB = true
+		}
+	}
+	// A was unloaded; its block addresses equal B's base now, so check we
+	// instrumented at that base BEFORE the unload too (two distinct
+	// instrumentation events at the shared base).
+	count := 0
+	for _, addr := range tool.staticBlocks {
+		if addr >= lb.LoadBase && addr < lb.LoadBase+0x10000 {
+			count++
+		}
+	}
+	sawA = count >= 2
+	if !sawA || !sawB {
+		t.Errorf("instrumentation events at shared base = %d (A then B expected)", count)
+	}
+}

@@ -1,0 +1,282 @@
+// Package dbm implements the dynamic binary modifier underlying Janitizer —
+// the reproduction's DynamoRIO. It discovers code one basic block at a time
+// as control reaches it, lets a client (security tool) rewrite each block
+// once at translation time, places the rewritten block in a code cache, and
+// dispatches between cached blocks.
+//
+// Performance modelling: the machine's cycle counter is charged for every
+// executed instruction (including inserted instrumentation — that is the
+// honest part of the model) plus explicit DBT costs: a one-time translation
+// cost per built block and a dispatch cost per executed indirect control
+// transfer (the indirect-branch-lookup of a real DBT). Direct transitions
+// are linked and free after the first execution, as in DynamoRIO. The
+// "null client" — translation with no instrumentation — therefore shows the
+// baseline DBT overhead the paper reports in Figs. 8 and 11.
+package dbm
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/loader"
+	"repro/internal/vm"
+)
+
+// CInstr is one code-cache instruction: an application instruction copied
+// into the cache, or a meta-instruction inserted by the client.
+type CInstr struct {
+	In isa.Instr
+	// JumpTo, for meta branch instructions, is the index inside the
+	// block's Code slice to continue at when the branch is taken.
+	// -1 selects application semantics (the branch leaves the block).
+	JumpTo int
+	// Meta marks inserted instrumentation (for statistics; meta
+	// instructions still execute on the machine and cost cycles).
+	Meta bool
+}
+
+// App wraps an application instruction for the code cache.
+func App(in isa.Instr) CInstr { return CInstr{In: in, JumpTo: -1} }
+
+// Meta wraps an inserted meta-instruction.
+func Meta(in isa.Instr) CInstr { return CInstr{In: in, JumpTo: -1, Meta: true} }
+
+// MetaJump wraps an inserted branch that, when taken, continues at index
+// target within the same block.
+func MetaJump(in isa.Instr, target int) CInstr {
+	return CInstr{In: in, JumpTo: target, Meta: true}
+}
+
+// Block is one translated basic block in the code cache.
+type Block struct {
+	// Start is the application (run-time) address the block was built
+	// from.
+	Start uint64
+	// AppLen is the number of application instructions.
+	AppLen int
+	// Code is the translated instruction sequence.
+	Code []CInstr
+	// Execs counts executions of this block.
+	Execs uint64
+}
+
+// BlockContext is what a client sees when a block is first built.
+type BlockContext struct {
+	DBM *DBM
+	// Start is the run-time address of the block head.
+	Start uint64
+	// AppInstrs are the decoded application instructions, at run-time
+	// addresses.
+	AppInstrs []isa.Instr
+	// Module is the loaded module containing the block, or nil for
+	// dynamically generated (JIT) code.
+	Module *loader.LoadedModule
+}
+
+// Client rewrites blocks at translation time — the DynamoRIO client
+// interface. OnBlock returns the code to place in the cache; returning the
+// application instructions unchanged (see NullClient) is the identity
+// translation.
+type Client interface {
+	OnBlock(ctx *BlockContext) []CInstr
+}
+
+// NullClient performs identity translation: pure DBT overhead, no
+// instrumentation (the "null client" baseline of Fig. 8).
+type NullClient struct{}
+
+// OnBlock copies the application instructions unchanged.
+func (NullClient) OnBlock(ctx *BlockContext) []CInstr {
+	out := make([]CInstr, len(ctx.AppInstrs))
+	for i, in := range ctx.AppInstrs {
+		out[i] = App(in)
+	}
+	return out
+}
+
+// Costs models the DBT's own overhead in machine cycles.
+type Costs struct {
+	// BlockBuild is charged once per block translation.
+	BlockBuild uint64
+	// PerInstr is charged per application instruction translated.
+	PerInstr uint64
+	// IndirectDispatch is charged per executed indirect control transfer
+	// (the indirect-branch-lookup hash probe).
+	IndirectDispatch uint64
+}
+
+// DefaultCosts approximates DynamoRIO 8.0 (a null-client overhead around
+// 10–30% on call-heavy code).
+var DefaultCosts = Costs{BlockBuild: 250, PerInstr: 25, IndirectDispatch: 25}
+
+// Stats counts dynamic-modification events.
+type Stats struct {
+	BlocksBuilt       uint64
+	BlockExecs        uint64
+	IndirectDispatch  uint64
+	AppInstrsInCache  uint64
+	MetaInstrsInCache uint64
+}
+
+// DBM drives execution of a process under dynamic modification.
+type DBM struct {
+	M      *vm.Machine
+	Proc   *loader.Process
+	Client Client
+	Costs  Costs
+	Stats  Stats
+
+	// TraceHook, when set, observes every block dispatch (diagnostics).
+	TraceHook func(pc uint64)
+
+	cache map[uint64]*Block
+}
+
+// New creates a dynamic modifier over a loaded process. proc may be nil when
+// running raw code without a loader (tests).
+func New(m *vm.Machine, proc *loader.Process, client Client) *DBM {
+	return &DBM{
+		M: m, Proc: proc, Client: client,
+		Costs: DefaultCosts,
+		cache: map[uint64]*Block{},
+	}
+}
+
+// Lookup returns the cached block at run-time address addr, or nil.
+func (d *DBM) Lookup(addr uint64) *Block { return d.cache[addr] }
+
+// CacheSize returns the number of blocks in the code cache.
+func (d *DBM) CacheSize() int { return len(d.cache) }
+
+// Blocks returns the cached blocks (iteration order unspecified).
+func (d *DBM) Blocks() map[uint64]*Block { return d.cache }
+
+// Flush empties the code cache (used when application code is overwritten).
+func (d *DBM) Flush() { d.cache = map[uint64]*Block{} }
+
+// FlushRange evicts cached blocks whose start address lies in [lo, hi) —
+// used when a module is unloaded.
+func (d *DBM) FlushRange(lo, hi uint64) {
+	for addr := range d.cache {
+		if addr >= lo && addr < hi {
+			delete(d.cache, addr)
+		}
+	}
+}
+
+// Run executes the program from entry under dynamic modification until it
+// halts or faults.
+func (d *DBM) Run(entry uint64) error {
+	m := d.M
+	m.PC = entry
+	for !m.Halted {
+		if d.TraceHook != nil {
+			d.TraceHook(m.PC)
+		}
+		blk := d.cache[m.PC]
+		if blk == nil {
+			var err error
+			blk, err = d.build(m.PC)
+			if err != nil {
+				return err
+			}
+		}
+		if err := d.exec(blk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// build decodes, rewrites and caches the block starting at addr (Fig. 4
+// step 2: the dispatcher fetches the block and hands it to the modifier).
+func (d *DBM) build(addr uint64) (*Block, error) {
+	appInstrs, err := d.decodeBlock(addr)
+	if err != nil {
+		return nil, err
+	}
+	var mod *loader.LoadedModule
+	if d.Proc != nil {
+		mod = d.Proc.ModuleAt(addr)
+	}
+	code := d.Client.OnBlock(&BlockContext{
+		DBM: d, Start: addr, AppInstrs: appInstrs, Module: mod,
+	})
+	if len(code) == 0 {
+		return nil, fmt.Errorf("dbm: client returned empty block at %#x", addr)
+	}
+	blk := &Block{Start: addr, AppLen: len(appInstrs), Code: code}
+	d.cache[addr] = blk
+
+	d.Stats.BlocksBuilt++
+	d.Stats.AppInstrsInCache += uint64(len(appInstrs))
+	for i := range code {
+		if code[i].Meta {
+			d.Stats.MetaInstrsInCache++
+		}
+	}
+	d.M.AddCycles(d.Costs.BlockBuild + d.Costs.PerInstr*uint64(len(appInstrs)))
+	return blk, nil
+}
+
+// decodeBlock reads application instructions from memory until the first
+// control transfer or system instruction.
+func (d *DBM) decodeBlock(addr uint64) ([]isa.Instr, error) {
+	var out []isa.Instr
+	var buf [isa.MaxInstrLen]byte
+	pc := addr
+	for {
+		if err := d.M.Mem.ReadBytes(pc, buf[:]); err != nil {
+			return nil, err
+		}
+		in, err := isa.Decode(buf[:], pc)
+		if err != nil {
+			if len(out) > 0 {
+				return out, nil
+			}
+			return nil, &vm.Fault{PC: pc,
+				Kind: "dbm: undecodable instruction: " + err.Error()}
+		}
+		out = append(out, in)
+		pc += uint64(in.Size)
+		if in.IsCTI() || in.Op == isa.OpSyscall || in.Op == isa.OpTrap {
+			return out, nil
+		}
+	}
+}
+
+// exec runs one cached block. Meta branches with JumpTo continue inside the
+// block; application control transfers leave it with m.PC holding the next
+// application address. Indirect terminators charge the dispatch cost.
+func (d *DBM) exec(b *Block) error {
+	m := d.M
+	b.Execs++
+	d.Stats.BlockExecs++
+	i := 0
+	for i < len(b.Code) {
+		c := &b.Code[i]
+		taken, err := m.Exec(&c.In)
+		if err != nil {
+			return err
+		}
+		if m.Halted {
+			return nil
+		}
+		if taken {
+			if c.JumpTo >= 0 {
+				i = c.JumpTo
+				continue
+			}
+			// Application control transfer.
+			if c.In.IsIndirectCTI() {
+				d.Stats.IndirectDispatch++
+				m.AddCycles(d.Costs.IndirectDispatch)
+			}
+			return nil
+		}
+		i++
+	}
+	// Fell through the end: m.PC already holds the fall-through address
+	// set by the last executed instruction.
+	return nil
+}

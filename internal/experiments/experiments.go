@@ -1,0 +1,251 @@
+// Package experiments is the evaluation harness: it runs every scheme on
+// every workload and regenerates each table and figure of the paper's
+// evaluation section (Figs. 7–14 plus the §6.2.2 soundness study). See
+// EXPERIMENTS.md for the paper-vs-measured record.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/dbm"
+	"repro/internal/jasan"
+	"repro/internal/jcfi"
+	"repro/internal/loader"
+	"repro/internal/metrics"
+	"repro/internal/rules"
+	"repro/internal/spec"
+	"repro/internal/vm"
+)
+
+// Scheme names one configuration of one tool.
+type Scheme string
+
+// The evaluated schemes.
+const (
+	Native          Scheme = "native"
+	NullClient      Scheme = "null-client"
+	JASanHybrid     Scheme = "jasan-hybrid"
+	JASanHybridBase Scheme = "jasan-hybrid-base" // no liveness optimisation
+	JASanSCEV       Scheme = "jasan-scev"        // hybrid + SCEV check hoisting (ablation)
+	JASanDyn        Scheme = "jasan-dyn"
+	Valgrind        Scheme = "valgrind"
+	Retrowrite      Scheme = "retrowrite"
+	JCFIHybrid      Scheme = "jcfi-hybrid"
+	JCFIForward     Scheme = "jcfi-forward" // forward-edge CFI only
+	JCFIDyn         Scheme = "jcfi-dyn"
+	Lockdown        Scheme = "lockdown"
+	LockdownWeak    Scheme = "lockdown-weak"
+	BinCFI          Scheme = "bincfi"
+)
+
+// Result is one (benchmark, scheme) measurement.
+type Result struct {
+	Benchmark string
+	Scheme    Scheme
+	// Failed marks configurations the scheme cannot run (the x marks of
+	// the figures); Reason explains why.
+	Failed bool
+	Reason string
+
+	Cycles       uint64
+	NativeCycles uint64
+	Slowdown     float64
+	ExitStatus   int64
+
+	Violations int
+	Coverage   core.CoverageStats
+	// DAIR is the dynamic average indirect-target reduction (CFI schemes).
+	DAIR float64
+}
+
+// maxInstrs bounds each run.
+const maxInstrs = 400_000_000
+
+// runNative measures the uninstrumented baseline.
+func runNative(w *spec.Workload, pic bool) (*Result, error) {
+	main, reg, err := w.Build(pic)
+	if err != nil {
+		return nil, err
+	}
+	m := vm.New()
+	m.InstallDefaultServices()
+	m.MaxInstrs = maxInstrs
+	proc := loader.NewProcess(m, reg)
+	lm, err := proc.LoadProgram(main)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Run(lm.RuntimeAddr(main.Entry)); err != nil {
+		return nil, err
+	}
+	return &Result{Benchmark: w.Name, Scheme: Native, Cycles: m.Cycles,
+		NativeCycles: m.Cycles, Slowdown: 1, ExitStatus: m.ExitStatus}, nil
+}
+
+// Run executes one (workload, scheme) configuration. A nil error with
+// Result.Failed set means the scheme cannot handle the benchmark — the
+// figures' x marks; hard errors are real harness problems.
+func Run(w *spec.Workload, scheme Scheme) (*Result, error) {
+	native, err := runNative(w, scheme == Retrowrite)
+	if err != nil {
+		return nil, fmt.Errorf("%s: native: %w", w.Name, err)
+	}
+	if scheme == Native {
+		return native, nil
+	}
+
+	res := &Result{Benchmark: w.Name, Scheme: scheme, NativeCycles: native.Cycles}
+	fail := func(reason string) (*Result, error) {
+		res.Failed = true
+		res.Reason = reason
+		return res, nil
+	}
+
+	// Scheme applicability gates.
+	switch scheme {
+	case Retrowrite:
+		if !w.Retrowritable() {
+			return fail(fmt.Sprintf("retrowrite does not support %s input", w.Lang))
+		}
+	case Lockdown, LockdownWeak:
+		if w.LockdownBroken {
+			return fail("lockdown prototype fails on this benchmark (§6.2.1)")
+		}
+	}
+
+	pic := scheme == Retrowrite
+	main, reg, err := w.Build(pic)
+	if err != nil {
+		return nil, err
+	}
+
+	if scheme == BinCFI {
+		// Rewriting-feasibility check over every static module.
+		probe := baseline.NewBinCFI()
+		mods, err := loader.LddClosure(main, reg)
+		if err != nil {
+			return nil, err
+		}
+		for _, mod := range mods {
+			g, err := cfg.Build(mod)
+			if err != nil {
+				return nil, err
+			}
+			if err := probe.CheckInput(mod, g); err != nil {
+				return fail(err.Error())
+			}
+		}
+	}
+
+	// Build the tool and decide whether a static stage runs.
+	var tool core.Tool
+	static := true
+	switch scheme {
+	case NullClient:
+		tool = &passthroughTool{}
+		static = false
+	case JASanHybrid:
+		tool = jasan.New(jasan.Config{UseLiveness: true})
+	case JASanSCEV:
+		tool = jasan.New(jasan.Config{UseLiveness: true, UseSCEV: true})
+	case JASanHybridBase:
+		tool = jasan.New(jasan.Config{UseLiveness: false, UseSCEV: false})
+	case JASanDyn:
+		tool = jasan.New(jasan.Config{})
+		static = false
+	case Valgrind:
+		tool = baseline.NewValgrind()
+		static = false
+	case Retrowrite:
+		rw := baseline.NewRetrowrite()
+		if err := rw.CheckInput(main); err != nil {
+			return fail(err.Error())
+		}
+		tool = rw
+	case JCFIHybrid:
+		tool = jcfi.New(jcfi.DefaultConfig)
+	case JCFIForward:
+		tool = jcfi.New(jcfi.Config{Forward: true})
+	case JCFIDyn:
+		tool = jcfi.New(jcfi.DefaultConfig)
+		static = false
+	case Lockdown:
+		tool = baseline.NewLockdown(baseline.LockdownConfig{})
+		static = false
+	case LockdownWeak:
+		tool = baseline.NewLockdown(baseline.LockdownConfig{Weak: true})
+		static = false
+	case BinCFI:
+		tool = baseline.NewBinCFI()
+	default:
+		return nil, fmt.Errorf("unknown scheme %q", scheme)
+	}
+
+	files := map[string]*rules.File{}
+	if static {
+		files, err = core.AnalyzeProgram(main, reg, tool)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: static analysis: %w", w.Name, scheme, err)
+		}
+	}
+
+	m := vm.New()
+	m.InstallDefaultServices()
+	m.MaxInstrs = maxInstrs
+	proc := loader.NewProcess(m, reg)
+	rt := core.NewRuntime(m, proc, tool, files)
+	lm, err := proc.LoadProgram(main)
+	if err != nil {
+		return nil, err
+	}
+	if err := rt.Run(lm.RuntimeAddr(main.Entry)); err != nil {
+		return nil, fmt.Errorf("%s/%s: run: %w", w.Name, scheme, err)
+	}
+	if m.ExitStatus != native.ExitStatus {
+		return nil, fmt.Errorf("%s/%s: semantics broken: exit %d, native %d",
+			w.Name, scheme, m.ExitStatus, native.ExitStatus)
+	}
+
+	res.Cycles = m.Cycles
+	res.Slowdown = metrics.Slowdown(m.Cycles, native.Cycles)
+	res.ExitStatus = m.ExitStatus
+	res.Coverage = rt.Coverage
+
+	switch tt := tool.(type) {
+	case *jasan.Tool:
+		res.Violations = int(tt.Report.Total)
+	case *baseline.ValgrindTool:
+		res.Violations = int(tt.Report.Total)
+	case *baseline.RetrowriteTool:
+		res.Violations = int(tt.Report.Total)
+	case *jcfi.Tool:
+		res.Violations = len(tt.Report.Violations)
+		res.DAIR = tt.DynamicAIR()
+	case *baseline.LockdownTool:
+		res.Violations = len(tt.Report.Violations)
+		res.DAIR = tt.DynamicAIR()
+	case *baseline.BinCFITool:
+		res.Violations = len(tt.Report.Violations)
+		res.DAIR = tt.AIR()
+	}
+	return res, nil
+}
+
+// passthroughTool is the null client as a core.Tool (Fig. 8's DynamoRIO
+// baseline).
+type passthroughTool struct{}
+
+func (passthroughTool) Name() string                                { return "null-client" }
+func (passthroughTool) StaticPass(*core.StaticContext) []rules.Rule { return nil }
+func (passthroughTool) RuntimeInit(*core.Runtime) error             { return nil }
+
+func (passthroughTool) Instrument(bc *dbm.BlockContext, _ map[uint64][]rules.Rule) []dbm.CInstr {
+	return dbm.NullClient{}.OnBlock(bc)
+}
+
+func (passthroughTool) DynFallback(bc *dbm.BlockContext) []dbm.CInstr {
+	return dbm.NullClient{}.OnBlock(bc)
+}

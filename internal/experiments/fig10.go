@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/juliet"
+)
+
+// Fig10Result is the Fig. 10 table: security properties over the 624 Juliet
+// CWE-122 test cases.
+type Fig10Result struct {
+	Valgrind *juliet.Tally
+	JASan    *juliet.Tally
+}
+
+// Fig10 regenerates Figure 10. Paper: Valgrind FP 0 / TN 624 / TP 504 /
+// FN 120; JASan FP 0 / TN 624 / TP 528 / FN 96.
+func Fig10() (*Fig10Result, error) {
+	cases := juliet.Suite()
+	vg, err := juliet.Evaluate(juliet.Valgrind, cases)
+	if err != nil {
+		return nil, err
+	}
+	ja, err := juliet.Evaluate(juliet.JASan, cases)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig10Result{Valgrind: vg, JASan: ja}, nil
+}
+
+// Format renders the Fig. 10 table.
+func (r *Fig10Result) Format() string {
+	out := "Figure 10: security properties across 624 Juliet NIST CWE-122 test cases\n"
+	out += fmt.Sprintf("%-24s%12s%12s\n", "", "Valgrind", "JASan")
+	out += fmt.Sprintf("%-24s%12d%12d\n", "good: False Positives", r.Valgrind.FP, r.JASan.FP)
+	out += fmt.Sprintf("%-24s%12d%12d\n", "good: True Negatives", r.Valgrind.TN, r.JASan.TN)
+	out += fmt.Sprintf("%-24s%12d%12d\n", "bad:  True Positives", r.Valgrind.TP, r.JASan.TP)
+	out += fmt.Sprintf("%-24s%12d%12d\n", "bad:  False Negatives", r.Valgrind.FN, r.JASan.FN)
+	return out
+}

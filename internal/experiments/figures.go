@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/spec"
+)
+
+// Figure is one regenerated table/figure: per-benchmark series plus the
+// formatted text the jexp tool prints.
+type Figure struct {
+	Title      string
+	Benchmarks []string
+	Rows       []metrics.Row
+	// Notes records failures (x marks) and commentary.
+	Notes []string
+}
+
+// Format renders the figure as text.
+func (f *Figure) Format(unit string) string {
+	out := metrics.FormatTable(f.Title, f.Benchmarks, f.Rows, unit)
+	for _, n := range f.Notes {
+		out += "note: " + n + "\n"
+	}
+	return out
+}
+
+// sweep runs the given schemes over workloads, collecting one Row per
+// scheme, with the chosen metric extractor.
+func sweep(workloads []*spec.Workload, schemes []Scheme,
+	metric func(*Result) float64) (*Figure, error) {
+
+	fig := &Figure{}
+	rows := map[Scheme]metrics.Row{}
+	for _, s := range schemes {
+		rows[s] = metrics.Row{Label: string(s), Values: map[string]float64{}}
+	}
+	for _, w := range workloads {
+		fig.Benchmarks = append(fig.Benchmarks, w.Name)
+		for _, s := range schemes {
+			res, err := Run(w, s)
+			if err != nil {
+				return nil, err
+			}
+			if res.Failed {
+				fig.Notes = append(fig.Notes,
+					fmt.Sprintf("%s/%s: x (%s)", w.Name, s, res.Reason))
+				continue
+			}
+			rows[s].Values[w.Name] = metric(res)
+		}
+	}
+	for _, s := range schemes {
+		fig.Rows = append(fig.Rows, rows[s])
+	}
+	return fig, nil
+}
+
+// workloadSet returns the full suite, or a subset by name, with the given
+// scale applied.
+func workloadSet(scale int, names ...string) []*spec.Workload {
+	var out []*spec.Workload
+	for _, w := range spec.All() {
+		if len(names) > 0 {
+			found := false
+			for _, n := range names {
+				if n == w.Name {
+					found = true
+				}
+			}
+			if !found {
+				continue
+			}
+		}
+		cp := *w
+		cp.Scale = scale
+		out = append(out, &cp)
+	}
+	return out
+}
+
+// slowdown is the Figure 7/8/9/11 metric.
+func slowdown(r *Result) float64 { return r.Slowdown }
+
+// Fig7 regenerates Figure 7: JASan (binary ASan) overhead versus the
+// dynamic-only Valgrind and static-only Retrowrite baselines.
+// Paper geomeans: Valgrind 9.83×, JASan-dyn 4.55×, Retrowrite 2.98× (C
+// benchmarks only), JASan-hybrid 2.98×.
+func Fig7(scale int, names ...string) (*Figure, error) {
+	fig, err := sweep(workloadSet(scale, names...),
+		[]Scheme{Valgrind, JASanDyn, Retrowrite, JASanHybrid}, slowdown)
+	if err != nil {
+		return nil, err
+	}
+	fig.Title = "Figure 7: JASan overhead vs native (slowdown factor)"
+	return fig, nil
+}
+
+// Fig8 regenerates Figure 8: JASan's overhead breakdown — DynamoRIO null
+// client, conservative hybrid (base), liveness-optimised hybrid (full),
+// dynamic-only. Paper: full improves 27% over base.
+func Fig8(scale int, names ...string) (*Figure, error) {
+	fig, err := sweep(workloadSet(scale, names...),
+		[]Scheme{NullClient, JASanHybrid, JASanHybridBase, JASanDyn}, slowdown)
+	if err != nil {
+		return nil, err
+	}
+	fig.Title = "Figure 8: JASan overhead breakdown (slowdown factor)"
+	return fig, nil
+}
+
+// Fig9 regenerates Figure 9: JCFI overhead versus Lockdown and BinCFI.
+// Paper geomeans: Lockdown 1.21×, JCFI-dyn 1.37×, JCFI-hybrid 1.29×,
+// BinCFI 1.22×.
+func Fig9(scale int, names ...string) (*Figure, error) {
+	fig, err := sweep(workloadSet(scale, names...),
+		[]Scheme{Lockdown, JCFIDyn, JCFIHybrid, BinCFI}, slowdown)
+	if err != nil {
+		return nil, err
+	}
+	fig.Title = "Figure 9: JCFI overhead vs native (slowdown factor)"
+	return fig, nil
+}
+
+// Fig11 regenerates Figure 11: forward-only versus full (forward+shadow-
+// stack) JCFI. Paper: 1.15× forward-only, 1.29× full.
+func Fig11(scale int, names ...string) (*Figure, error) {
+	fig, err := sweep(workloadSet(scale, names...),
+		[]Scheme{NullClient, JCFIForward, JCFIHybrid}, slowdown)
+	if err != nil {
+		return nil, err
+	}
+	fig.Title = "Figure 11: forward/backward contribution to JCFI overhead (slowdown factor)"
+	return fig, nil
+}
+
+// Fig12 regenerates Figure 12: dynamic AIR for Lockdown strong, JCFI-dyn,
+// JCFI-hybrid and Lockdown weak. Paper: JCFI-hybrid 99.8% dropping to 99.6%
+// without static analysis; Lockdown(S) slightly higher but unsound.
+func Fig12(scale int, names ...string) (*Figure, error) {
+	fig, err := sweep(workloadSet(scale, names...),
+		[]Scheme{Lockdown, JCFIDyn, JCFIHybrid, LockdownWeak},
+		func(r *Result) float64 { return r.DAIR })
+	if err != nil {
+		return nil, err
+	}
+	fig.Title = "Figure 12: dynamic average indirect-target reduction, DAIR (%)"
+	return fig, nil
+}
+
+// Fig13 regenerates Figure 13: static AIR of JCFI versus BinCFI.
+// Paper: JCFI >99.7%, BinCFI 98.8%.
+func Fig13(names ...string) (*Figure, error) {
+	fig := &Figure{Title: "Figure 13: static average indirect-target reduction, AIR (%)"}
+	jcfiRow := metrics.Row{Label: "jcfi", Values: map[string]float64{}}
+	binRow := metrics.Row{Label: "bincfi", Values: map[string]float64{}}
+	for _, w := range workloadSet(1, names...) {
+		fig.Benchmarks = append(fig.Benchmarks, w.Name)
+		jAIR, bAIR, bFailed, err := StaticAIR(w)
+		if err != nil {
+			return nil, err
+		}
+		jcfiRow.Values[w.Name] = jAIR
+		if bFailed != "" {
+			fig.Notes = append(fig.Notes, fmt.Sprintf("%s/bincfi: x (%s)", w.Name, bFailed))
+		} else {
+			binRow.Values[w.Name] = bAIR
+		}
+	}
+	fig.Rows = []metrics.Row{jcfiRow, binRow}
+	return fig, nil
+}
+
+// Fig14 regenerates Figure 14: the fraction of executed basic blocks only
+// discovered dynamically. Paper: mean 4.4%, cactusADM 92.4%, lbm 18.7%.
+func Fig14(scale int, names ...string) (*Figure, error) {
+	fig, err := sweep(workloadSet(scale, names...), []Scheme{JASanHybrid},
+		func(r *Result) float64 { return 100 * r.Coverage.DynamicFraction() })
+	if err != nil {
+		return nil, err
+	}
+	fig.Title = "Figure 14: executed basic blocks only discovered dynamically (%)"
+	fig.Rows[0].Label = "dynamic-blocks"
+	// The paper reports the arithmetic mean (4.44%), which keeps the many
+	// all-static benchmarks in the denominator.
+	sum := 0.0
+	for _, b := range fig.Benchmarks {
+		sum += fig.Rows[0].Values[b]
+	}
+	if n := len(fig.Benchmarks); n > 0 {
+		fig.Notes = append(fig.Notes,
+			fmt.Sprintf("arithmetic mean: %.2f%%", sum/float64(n)))
+	}
+	return fig, nil
+}
+
+// SoundnessResult captures the §6.2.2 study: false positives on benign
+// callback-using benchmarks.
+type SoundnessResult struct {
+	Benchmark         string
+	LockdownStrongFPs int
+	LockdownWeakFPs   int
+	JCFIFPs           int
+}
+
+// Soundness reruns the callback benchmarks (gcc, h264ref, cactusADM) under
+// Lockdown strong/weak and JCFI-hybrid, counting false positives on benign
+// executions. Paper: Lockdown(S) false-positives on all three; JCFI none.
+func Soundness(scale int) ([]SoundnessResult, error) {
+	var out []SoundnessResult
+	for _, name := range []string{"gcc", "h264ref", "cactusADM"} {
+		w := *spec.ByName(name)
+		w.Scale = scale
+		r := SoundnessResult{Benchmark: name}
+		for _, s := range []Scheme{Lockdown, LockdownWeak, JCFIHybrid} {
+			res, err := Run(&w, s)
+			if err != nil {
+				return nil, err
+			}
+			if res.Failed {
+				continue
+			}
+			switch s {
+			case Lockdown:
+				r.LockdownStrongFPs = res.Violations
+			case LockdownWeak:
+				r.LockdownWeakFPs = res.Violations
+			case JCFIHybrid:
+				r.JCFIFPs = res.Violations
+			}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// FormatSoundness renders the soundness study.
+func FormatSoundness(rs []SoundnessResult) string {
+	var b strings.Builder
+	b.WriteString("Soundness (§6.2.2): false positives on benign callback workloads\n")
+	fmt.Fprintf(&b, "%-14s%18s%18s%10s\n", "benchmark", "lockdown-strong", "lockdown-weak", "jcfi")
+	for _, r := range rs {
+		fmt.Fprintf(&b, "%-14s%18d%18d%10d\n",
+			r.Benchmark, r.LockdownStrongFPs, r.LockdownWeakFPs, r.JCFIFPs)
+	}
+	return b.String()
+}
+
+// sortedNames is a test helper.
+func sortedNames(rows []metrics.Row) []string {
+	var out []string
+	for _, r := range rows {
+		out = append(out, r.Label)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,57 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disasm formats in as human-readable assembly in the syntax accepted by the
+// jas assembler. Direct branch targets are printed as absolute addresses.
+func Disasm(in *Instr) string {
+	switch opForms[in.Op] {
+	case formNone:
+		return in.Op.String()
+	case formR:
+		return fmt.Sprintf("%s %s", in.Op, in.Rd)
+	case formRR:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, in.Rb)
+	case formRI64, formRI32:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Rd, in.Imm)
+	case formMem:
+		if in.IsStore() {
+			return fmt.Sprintf("%s [%s%+d], %s", in.Op, in.Rb, in.Disp, in.Rd)
+		}
+		return fmt.Sprintf("%s %s, [%s%+d]", in.Op, in.Rd, in.Rb, in.Disp)
+	case formMemX:
+		scale := ""
+		if in.Op == OpLdXQ || in.Op == OpStXQ || in.Op == OpLeaX {
+			scale = "*8"
+		}
+		if in.IsStore() {
+			return fmt.Sprintf("%s [%s+%s%s%+d], %s",
+				in.Op, in.Rb, in.Ri, scale, in.Disp, in.Rd)
+		}
+		return fmt.Sprintf("%s %s, [%s+%s%s%+d]",
+			in.Op, in.Rd, in.Rb, in.Ri, scale, in.Disp)
+	case formPC:
+		return fmt.Sprintf("%s %s, [pc%+d]", in.Op, in.Rd, in.Disp)
+	case formBr:
+		if in.Addr != 0 || in.Size != 0 {
+			return fmt.Sprintf("%s %#x", in.Op, in.Target())
+		}
+		return fmt.Sprintf("%s %+d", in.Op, in.Disp)
+	case formImm:
+		return fmt.Sprintf("%s %d", in.Op, in.Imm)
+	}
+	return in.Op.String()
+}
+
+// DisasmBlock formats a sequence of instructions, one per line, with
+// addresses, in objdump style.
+func DisasmBlock(ins []Instr) string {
+	var b strings.Builder
+	for i := range ins {
+		fmt.Fprintf(&b, "%8x:\t%s\n", ins[i].Addr, Disasm(&ins[i]))
+	}
+	return b.String()
+}

@@ -1,0 +1,231 @@
+package isa
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Encoding forms. Every opcode belongs to exactly one form, which fixes its
+// encoded length. Lengths range from 1 to 10 bytes, so JVA is genuinely
+// variable-length: decoding from a misaligned offset yields a different —
+// and usually invalid — instruction stream, exactly like x86.
+type form uint8
+
+const (
+	formNone form = iota // op                          1 byte
+	formR                // op rd                       2 bytes
+	formRR               // op rd rb                    3 bytes
+	formRI64             // op rd imm64                 10 bytes
+	formRI32             // op rd imm32                 6 bytes
+	formMem              // op rd rb disp32             7 bytes
+	formMemX             // op rd rb ri disp32          8 bytes
+	formPC               // op rd disp32                6 bytes
+	formBr               // op disp32                   5 bytes
+	formImm              // op imm32                    5 bytes
+)
+
+var opForms = [NumOps]form{
+	OpInvalid: formNone,
+	OpMovRI:   formRI64,
+	OpMovRR:   formRR,
+	OpLdQ:     formMem,
+	OpStQ:     formMem,
+	OpLdB:     formMem,
+	OpStB:     formMem,
+	OpLdXQ:    formMemX,
+	OpStXQ:    formMemX,
+	OpLdXB:    formMemX,
+	OpStXB:    formMemX,
+	OpLea:     formMem,
+	OpLdPC:    formPC,
+	OpLeaPC:   formPC,
+	OpLdG:     formR,
+	OpAddRR:   formRR,
+	OpSubRR:   formRR,
+	OpMulRR:   formRR,
+	OpDivRR:   formRR,
+	OpRemRR:   formRR,
+	OpAndRR:   formRR,
+	OpOrRR:    formRR,
+	OpXorRR:   formRR,
+	OpShlRR:   formRR,
+	OpShrRR:   formRR,
+	OpAddRI:   formRI32,
+	OpSubRI:   formRI32,
+	OpMulRI:   formRI32,
+	OpAndRI:   formRI32,
+	OpOrRI:    formRI32,
+	OpXorRI:   formRI32,
+	OpShlRI:   formRI32,
+	OpShrRI:   formRI32,
+	OpCmpRR:   formRR,
+	OpCmpRI:   formRI32,
+	OpTestRR:  formRR,
+	OpNot:     formR,
+	OpNeg:     formR,
+	OpPush:    formR,
+	OpPop:     formR,
+	OpPushF:   formNone,
+	OpPopF:    formNone,
+	OpJmp:     formBr,
+	OpJmpI:    formR,
+	OpJe:      formBr,
+	OpJne:     formBr,
+	OpJl:      formBr,
+	OpJle:     formBr,
+	OpJg:      formBr,
+	OpJge:     formBr,
+	OpJb:      formBr,
+	OpJae:     formBr,
+	OpCall:    formBr,
+	OpCallI:   formR,
+	OpRet:     formNone,
+	OpSyscall: formNone,
+	OpTrap:    formImm,
+	OpNop:     formNone,
+	OpHlt:     formNone,
+	OpLeaX:    formMemX,
+	OpLeaXB:   formMemX,
+}
+
+var formSizes = [...]uint32{
+	formNone: 1,
+	formR:    2,
+	formRR:   3,
+	formRI64: 10,
+	formRI32: 6,
+	formMem:  7,
+	formMemX: 8,
+	formPC:   6,
+	formBr:   5,
+	formImm:  5,
+}
+
+// MaxInstrLen is the longest possible encoded instruction.
+const MaxInstrLen = 10
+
+// EncodedSize returns the encoded length in bytes of an instruction with
+// the given opcode, or 0 if the opcode is invalid.
+func EncodedSize(op Op) uint32 {
+	if op == OpInvalid || int(op) >= NumOps {
+		return 0
+	}
+	return formSizes[opForms[op]]
+}
+
+// Errors returned by Decode.
+var (
+	ErrBadOpcode   = errors.New("isa: invalid opcode")
+	ErrTruncated   = errors.New("isa: truncated instruction")
+	ErrBadRegister = errors.New("isa: register operand out of range")
+)
+
+// Encode appends the binary encoding of in to dst and returns the extended
+// slice. It panics on an invalid opcode, since instructions are constructed
+// by trusted code (assembler, compiler, instrumentation engines).
+func Encode(dst []byte, in *Instr) []byte {
+	if in.Op == OpInvalid || int(in.Op) >= NumOps {
+		panic(fmt.Sprintf("isa.Encode: invalid opcode %d", in.Op))
+	}
+	dst = append(dst, byte(in.Op))
+	switch opForms[in.Op] {
+	case formNone:
+	case formR:
+		dst = append(dst, byte(in.Rd))
+	case formRR:
+		dst = append(dst, byte(in.Rd), byte(in.Rb))
+	case formRI64:
+		dst = append(dst, byte(in.Rd))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(in.Imm))
+	case formRI32:
+		dst = append(dst, byte(in.Rd))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(in.Imm)))
+	case formMem:
+		dst = append(dst, byte(in.Rd), byte(in.Rb))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(in.Disp))
+	case formMemX:
+		dst = append(dst, byte(in.Rd), byte(in.Rb), byte(in.Ri))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(in.Disp))
+	case formPC:
+		dst = append(dst, byte(in.Rd))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(in.Disp))
+	case formBr:
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(in.Disp))
+	case formImm:
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(in.Imm)))
+	}
+	return dst
+}
+
+// Decode decodes one instruction from buf, recording addr as its address.
+// It returns the decoded instruction; in.Size gives the number of bytes
+// consumed. Register operands >= NumRegs and unknown opcodes are rejected,
+// which is what makes scanning mid-instruction usually fail — the property
+// static disassemblers rely on heuristically.
+func Decode(buf []byte, addr uint64) (Instr, error) {
+	var in Instr
+	if len(buf) == 0 {
+		return in, ErrTruncated
+	}
+	op := Op(buf[0])
+	if op == OpInvalid || int(op) >= NumOps {
+		return in, fmt.Errorf("%w: byte %#x at %#x", ErrBadOpcode, buf[0], addr)
+	}
+	f := opForms[op]
+	size := formSizes[f]
+	if uint32(len(buf)) < size {
+		return in, fmt.Errorf("%w: need %d bytes at %#x, have %d",
+			ErrTruncated, size, addr, len(buf))
+	}
+	in.Op = op
+	in.Addr = addr
+	in.Size = size
+	switch f {
+	case formNone:
+	case formR:
+		in.Rd = Register(buf[1])
+	case formRR:
+		in.Rd, in.Rb = Register(buf[1]), Register(buf[2])
+	case formRI64:
+		in.Rd = Register(buf[1])
+		in.Imm = int64(binary.LittleEndian.Uint64(buf[2:]))
+	case formRI32:
+		in.Rd = Register(buf[1])
+		in.Imm = int64(int32(binary.LittleEndian.Uint32(buf[2:])))
+	case formMem:
+		in.Rd, in.Rb = Register(buf[1]), Register(buf[2])
+		in.Disp = int32(binary.LittleEndian.Uint32(buf[3:]))
+	case formMemX:
+		in.Rd, in.Rb, in.Ri = Register(buf[1]), Register(buf[2]), Register(buf[3])
+		in.Disp = int32(binary.LittleEndian.Uint32(buf[4:]))
+	case formPC:
+		in.Rd = Register(buf[1])
+		in.Disp = int32(binary.LittleEndian.Uint32(buf[2:]))
+	case formBr:
+		in.Disp = int32(binary.LittleEndian.Uint32(buf[1:]))
+	case formImm:
+		in.Imm = int64(int32(binary.LittleEndian.Uint32(buf[1:])))
+	}
+	if in.Rd >= NumRegs || in.Rb >= NumRegs || in.Ri >= NumRegs {
+		return Instr{}, fmt.Errorf("%w: at %#x", ErrBadRegister, addr)
+	}
+	return in, nil
+}
+
+// DecodeAll decodes instructions from buf sequentially starting at base
+// until the buffer is exhausted or an undecodable byte sequence is hit.
+// It returns the decoded prefix and the first error, if any.
+func DecodeAll(buf []byte, base uint64) ([]Instr, error) {
+	var out []Instr
+	off := uint64(0)
+	for off < uint64(len(buf)) {
+		in, err := Decode(buf[off:], base+off)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, in)
+		off += uint64(in.Size)
+	}
+	return out, nil
+}

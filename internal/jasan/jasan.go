@@ -1,0 +1,453 @@
+package jasan
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/dbm"
+	"repro/internal/isa"
+	"repro/internal/rules"
+)
+
+// Config selects JASan variants for the evaluation:
+//
+//   - UseLiveness off reproduces JASan-hybrid (base) of Fig. 8, which
+//     conservatively saves/restores every register and flag the
+//     instrumentation touches;
+//   - UseSCEV toggles the loop-bound check hoisting of §3.3.2.
+//
+// JASan-dyn (the dynamic-only variant) is obtained by running the tool with
+// no rewrite-rule files at all, so every block takes the fallback path.
+type Config struct {
+	UseLiveness bool
+	UseSCEV     bool
+}
+
+// Tool is the JASan security technique, pluggable into the Janitizer core.
+type Tool struct {
+	cfg Config
+	// Report accumulates detected violations.
+	Report *Report
+}
+
+// New returns a JASan instance. The default configuration is the fully
+// optimised hybrid.
+func New(cfg Config) *Tool {
+	return &Tool{cfg: cfg, Report: &Report{}}
+}
+
+// Name implements core.Tool.
+func (t *Tool) Name() string { return "jasan" }
+
+// RuntimeInit implements core.Tool: installs the report trap family and
+// interposes the redzone allocator.
+func (t *Tool) RuntimeInit(rt *core.Runtime) error {
+	installRuntime(rt.M, t.Report)
+	return nil
+}
+
+// StaticPass implements core.Tool: the strong cross-block analysis
+// (§4.1.1). It identifies memory accesses to monitor, canary slots to poison
+// and unpoison, precomputes liveness for cheap save/restore, and hoists
+// SCEV-provable checks to loop preheaders.
+func (t *Tool) StaticPass(sc *core.StaticContext) []rules.Rule {
+	var out []rules.Rule
+	g := sc.Graph
+
+	// Canary sites: POISON after the install store, UNPOISON at each
+	// epilogue reload; both the install store and the reloads are exempt
+	// from access checks.
+	safe := map[uint64]bool{}
+	for _, site := range sc.Canaries {
+		safe[site.StoreAddr] = true
+		poisonBlk := g.BlockAt(site.PoisonAt)
+		if poisonBlk != nil {
+			lp := sc.Live.LiveIn(site.PoisonAt)
+			out = append(out, rules.Rule{
+				ID: rules.PoisonCanary, BBAddr: poisonBlk.Start,
+				Instr: site.PoisonAt,
+				Data: [4]uint64{
+					packLive(lp, sc.Live, site.PoisonAt),
+					uint64(site.SlotBase),
+					uint64(uint32(site.SlotDisp)),
+				},
+			})
+		}
+		for _, chk := range site.CheckAddrs {
+			safe[chk] = true
+			blk := g.BlockAt(chk)
+			if blk == nil {
+				continue
+			}
+			lp := sc.Live.LiveIn(chk)
+			out = append(out, rules.Rule{
+				ID: rules.UnpoisonCanary, BBAddr: blk.Start, Instr: chk,
+				Data: [4]uint64{
+					packLive(lp, sc.Live, chk),
+					uint64(site.SlotBase),
+					uint64(uint32(site.SlotDisp)),
+				},
+			})
+		}
+	}
+
+	// SCEV hoisting (§3.3.2): loop-invariant and induction-linked
+	// accesses get one range check in the preheader.
+	if t.cfg.UseSCEV {
+		out = append(out, t.hoistChecks(sc, safe)...)
+	}
+
+	// Every remaining memory access gets a MEM_ACCESS rule carrying its
+	// liveness summary.
+	for _, blk := range g.Blocks {
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			if !in.IsMemAccess() || safe[in.Addr] {
+				if safe[in.Addr] {
+					out = append(out, rules.Rule{
+						ID: rules.MemAccessSafe, BBAddr: blk.Start,
+						Instr: in.Addr,
+					})
+				}
+				continue
+			}
+			lp := sc.Live.LiveIn(in.Addr)
+			out = append(out, rules.Rule{
+				ID: rules.MemAccess, BBAddr: blk.Start, Instr: in.Addr,
+				Data: [4]uint64{
+					packLive(lp, sc.Live, in.Addr),
+					uint64(sc.Loops.ClassOf(in.Addr)),
+				},
+			})
+		}
+	}
+	return out
+}
+
+// packLive builds the rule liveness word from a live point, including up to
+// three dead registers usable as scratch.
+func packLive(lp analysis.LivePoint, live *analysis.Liveness, addr uint64) uint64 {
+	var free []uint8
+	for _, r := range live.FreeRegs(addr, 3) {
+		free = append(free, uint8(r))
+	}
+	return rules.PackLiveness(uint16(lp.Regs), lp.Flags, free)
+}
+
+// hoistChecks finds loop accesses whose address range is statically known
+// and plants HOISTED_CHECK rules at the preheader terminator, marking the
+// covered accesses safe.
+func (t *Tool) hoistChecks(sc *core.StaticContext, safe map[uint64]bool) []rules.Rule {
+	var out []rules.Rule
+	g := sc.Graph
+	for _, loop := range sc.Loops.Loops {
+		pre := findPreheader(g, loop)
+		if pre == nil {
+			continue
+		}
+		hoistAt := pre.Terminator().Addr
+		// The latch must bound the induction variable with cmp+jl for the
+		// exclusive-bound arithmetic below to be right.
+		latch := g.Blocks[loop.Latch]
+		latchIsJl := latch != nil && latch.Terminator().Op == isa.OpJl
+
+		for bbAddr := range loop.Blocks {
+			blk := g.Blocks[bbAddr]
+			if blk == nil {
+				continue
+			}
+			for i := range blk.Instrs {
+				in := &blk.Instrs[i]
+				if !in.IsMemAccess() || safe[in.Addr] {
+					continue
+				}
+				var first, last int64
+				ok := false
+				switch sc.Loops.ClassOf(in.Addr) {
+				case analysis.AccessInvariant:
+					if in.Op == isa.OpLdQ || in.Op == isa.OpStQ ||
+						in.Op == isa.OpLdB || in.Op == isa.OpStB {
+						first, last = int64(in.Disp), int64(in.Disp)
+						ok = true
+					}
+				case analysis.AccessInduction:
+					iv := loop.Induction
+					if iv == nil || !iv.Bounded || iv.Stride != 1 || !latchIsJl {
+						break
+					}
+					init, found := inductionInit(pre, iv.Reg)
+					if !found {
+						break
+					}
+					scale := int64(1)
+					if in.AccessWidth() == 8 {
+						scale = 8
+					}
+					first = init*scale + int64(in.Disp)
+					last = (iv.Bound-1)*scale + int64(in.Disp)
+					ok = init < iv.Bound
+				}
+				if !ok || first != int64(int32(first)) || last != int64(int32(last)) {
+					continue
+				}
+				lp := sc.Live.LiveIn(hoistAt)
+				out = append(out, rules.Rule{
+					ID: rules.HoistedCheck, BBAddr: pre.Start, Instr: hoistAt,
+					Data: [4]uint64{
+						packLive(lp, sc.Live, hoistAt),
+						uint64(in.Rb) | uint64(in.AccessWidth())<<8,
+						uint64(uint32(int32(first))),
+						uint64(uint32(int32(last))),
+					},
+				})
+				safe[in.Addr] = true
+			}
+		}
+	}
+	return out
+}
+
+// findPreheader returns the unique block outside the loop that branches to
+// the header, or nil.
+func findPreheader(g *cfg.Graph, loop *analysis.Loop) *cfg.BasicBlock {
+	var pre *cfg.BasicBlock
+	for _, blk := range g.Blocks {
+		if loop.Blocks[blk.Start] {
+			continue
+		}
+		for _, s := range blk.Succs {
+			if s == loop.Header {
+				if pre != nil {
+					return nil // multiple entries: no unique preheader
+				}
+				pre = blk
+			}
+		}
+	}
+	return pre
+}
+
+// inductionInit finds the constant initial value of reg at the end of the
+// preheader (the last MovRI def wins; any other def disqualifies).
+func inductionInit(pre *cfg.BasicBlock, reg isa.Register) (int64, bool) {
+	val, found := int64(0), false
+	for i := range pre.Instrs {
+		in := &pre.Instrs[i]
+		for _, d := range in.RegDefs(nil) {
+			if d != reg {
+				continue
+			}
+			if in.Op == isa.OpMovRI {
+				val, found = in.Imm, true
+			} else {
+				found = false
+			}
+		}
+	}
+	return val, found
+}
+
+// Instrument implements core.Tool: rewrites a statically-seen block using
+// its rules (the hit path of Fig. 4).
+func (t *Tool) Instrument(bc *dbm.BlockContext, instrRules map[uint64][]rules.Rule) []dbm.CInstr {
+	e := &dbm.Emitter{}
+	for idx := range bc.AppInstrs {
+		in := &bc.AppInstrs[idx]
+		for _, r := range orderRules(instrRules[in.Addr]) {
+			switch r.ID {
+			case rules.UnpoisonCanary:
+				t.emitCanary(e, r, 0)
+			case rules.PoisonCanary:
+				t.emitCanary(e, r, ShadowCanary)
+			case rules.HoistedCheck:
+				t.emitHoisted(e, r, in.Addr)
+			case rules.MemAccess:
+				t.emitAccessCheck(e, in, r.Data[0])
+			case rules.MemAccessSafe:
+				// statically proven safe: nothing to do
+			}
+		}
+		e.App(*in)
+	}
+	return e.Out
+}
+
+// orderRules puts canary unpoisoning before checks at the same instruction.
+func orderRules(rs []rules.Rule) []rules.Rule {
+	if len(rs) < 2 {
+		return rs
+	}
+	out := make([]rules.Rule, 0, len(rs))
+	for _, r := range rs {
+		if r.ID == rules.UnpoisonCanary {
+			out = append(out, r)
+		}
+	}
+	for _, r := range rs {
+		if r.ID != rules.UnpoisonCanary {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// emitAccessCheck emits the shadow check for one access using the packed
+// liveness word (or fully conservative save/restore when liveness use is
+// disabled — the Fig. 8 "base" configuration).
+func (t *Tool) emitAccessCheck(e *dbm.Emitter, in *isa.Instr, livePacked uint64) {
+	_, flagsLive, freeRaw := rules.UnpackLiveness(livePacked)
+	var dead []isa.Register
+	saveFlags := true
+	if t.cfg.UseLiveness {
+		saveFlags = flagsLive
+		for _, f := range freeRaw {
+			dead = append(dead, isa.Register(f))
+		}
+	}
+	scratch, toSave := dbm.PickScratch(2, dead, dbm.ExcludeOperands(in))
+	EmitCheck(e, &CheckPlan{
+		AppAddr: in.Addr, Width: in.AccessWidth(),
+		S1: scratch[0], S2: scratch[1],
+		SaveRegs: toSave, SaveFlags: saveFlags,
+		Addr: AddrOf(in),
+	})
+}
+
+// emitCanary emits the poison/unpoison of a canary slot from a rule.
+func (t *Tool) emitCanary(e *dbm.Emitter, r rules.Rule, value byte) {
+	_, flagsLive, freeRaw := rules.UnpackLiveness(r.Data[0])
+	base := isa.Register(r.Data[1])
+	disp := int32(uint32(r.Data[2]))
+	var dead []isa.Register
+	saveFlags := true
+	if t.cfg.UseLiveness {
+		saveFlags = flagsLive
+		for _, f := range freeRaw {
+			dead = append(dead, isa.Register(f))
+		}
+	}
+	exclude := func(rg isa.Register) bool {
+		return rg == base || rg == isa.SP || rg == isa.FP
+	}
+	scratch, toSave := dbm.PickScratch(2, dead, exclude)
+	EmitSetShadow(e, base, disp, value, scratch[0], scratch[1], toSave, saveFlags)
+}
+
+// emitHoisted emits the preheader range check: first and last covered
+// addresses.
+func (t *Tool) emitHoisted(e *dbm.Emitter, r rules.Rule, appAddr uint64) {
+	_, flagsLive, freeRaw := rules.UnpackLiveness(r.Data[0])
+	base := isa.Register(r.Data[1] & 0xff)
+	width := int(r.Data[1] >> 8)
+	first := int32(uint32(r.Data[2]))
+	last := int32(uint32(r.Data[3]))
+	var dead []isa.Register
+	saveFlags := true
+	if t.cfg.UseLiveness {
+		saveFlags = flagsLive
+		for _, f := range freeRaw {
+			dead = append(dead, isa.Register(f))
+		}
+	}
+	exclude := func(rg isa.Register) bool {
+		return rg == base || rg == isa.SP || rg == isa.FP
+	}
+	scratch, toSave := dbm.PickScratch(2, dead, exclude)
+	EmitCheck(e, &CheckPlan{
+		AppAddr: appAddr, Width: width,
+		S1: scratch[0], S2: scratch[1],
+		SaveRegs: toSave, SaveFlags: saveFlags,
+		Addr: AddrLea(base, first),
+	})
+	if last != first {
+		EmitCheck(e, &CheckPlan{
+			AppAddr: appAddr, Width: width,
+			S1: scratch[0], S2: scratch[1],
+			SaveRegs: toSave, SaveFlags: saveFlags,
+			Addr: AddrLea(base, last),
+		})
+	}
+}
+
+// DynFallback implements core.Tool: the simpler per-block analysis for code
+// only seen dynamically (§4.1.1). It instruments every load and store,
+// conservatively saving and restoring both the flags and any registers the
+// instrumentation uses, and block-locally pattern-matches canary
+// installs/checks for poisoning.
+func (t *Tool) DynFallback(bc *dbm.BlockContext) []dbm.CInstr {
+	ins := bc.AppInstrs
+
+	// Block-local canary detection.
+	poisonAfter := map[int]canarySlot{} // instr index of install store
+	unpoisonAt := map[int]canarySlot{}  // instr index of check reload
+	skipCheck := map[int]bool{}
+	for i := range ins {
+		if ins[i].Op != isa.OpLdG {
+			continue
+		}
+		canReg := ins[i].Rd
+		for j := i + 1; j < len(ins); j++ {
+			in := &ins[j]
+			if in.Op == isa.OpStQ && in.Rd == canReg &&
+				(in.Rb == isa.SP || in.Rb == isa.FP) {
+				poisonAfter[j] = canarySlot{in.Rb, in.Disp}
+				skipCheck[j] = true
+				break
+			}
+			redefined := false
+			for _, d := range in.RegDefs(nil) {
+				if d == canReg {
+					redefined = true
+				}
+			}
+			if redefined {
+				break
+			}
+		}
+	}
+	for i := range ins {
+		in := &ins[i]
+		if in.Op != isa.OpLdQ || (in.Rb != isa.SP && in.Rb != isa.FP) {
+			continue
+		}
+		for j := i + 1; j < len(ins); j++ {
+			if ins[j].Op == isa.OpLdG {
+				unpoisonAt[i] = canarySlot{in.Rb, in.Disp}
+				skipCheck[i] = true
+				break
+			}
+		}
+	}
+
+	e := &dbm.Emitter{}
+	for i := range ins {
+		in := &ins[i]
+		if slot, ok := unpoisonAt[i]; ok {
+			s, save := dbm.PickScratch(2, nil, dbm.ExcludeOperands(in))
+			EmitSetShadow(e, slot.base, slot.disp, 0, s[0], s[1], save, true)
+		}
+		if in.IsMemAccess() && !skipCheck[i] {
+			scratch, toSave := dbm.PickScratch(2, nil, dbm.ExcludeOperands(in))
+			EmitCheck(e, &CheckPlan{
+				AppAddr: in.Addr, Width: in.AccessWidth(),
+				S1: scratch[0], S2: scratch[1],
+				SaveRegs: toSave, SaveFlags: true,
+				Addr: AddrOf(in),
+			})
+		}
+		e.App(*in)
+		if slot, ok := poisonAfter[i]; ok {
+			s, save := dbm.PickScratch(2, nil, func(r isa.Register) bool {
+				return r == slot.base || r == isa.SP || r == isa.FP
+			})
+			EmitSetShadow(e, slot.base, slot.disp, ShadowCanary,
+				s[0], s[1], save, true)
+		}
+	}
+	return e.Out
+}
+
+type canarySlot struct {
+	base isa.Register
+	disp int32
+}

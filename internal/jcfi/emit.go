@@ -1,0 +1,263 @@
+package jcfi
+
+import (
+	"repro/internal/dbm"
+	"repro/internal/isa"
+)
+
+// mk is shorthand for constructing meta instructions.
+func mk(op isa.Op, f func(*isa.Instr)) isa.Instr { return dbm.MkInstr(op, f) }
+
+// Runtime target hash tables live in VM memory so the CFI checks are real
+// inlined code probing real tables (§4.2.2, footnote 8).
+const (
+	// tableSlots is the capacity of one target hash set (power of two).
+	tableSlots = 1 << 12
+	tableMask  = tableSlots - 1
+	// tableStride separates per-module table groups: call table at +0,
+	// jump table at +jumpTableOff.
+	tableStride  = 0x40000
+	jumpTableOff = 0x18000
+	retTableOff  = 0x30000
+	// globalTableID is the pseudo-module slot whose tables serve code
+	// outside any module (dynamically generated code).
+	globalTableID = 255
+)
+
+// callTableBase returns the VM address of module id's indirect-call target
+// table.
+func CallTableBase(id int) uint64 {
+	return isa.LayoutCFITableBase + uint64(id)*tableStride
+}
+
+// jumpTableBase returns the VM address of module id's indirect-jump target
+// table.
+func JumpTableBase(id int) uint64 {
+	return CallTableBase(id) + jumpTableOff
+}
+
+// RetTableBase returns the VM address of module id's return-target table
+// (used by BinCFI-style any-call-preceded-instruction return policies
+// instead of a shadow stack).
+func RetTableBase(id int) uint64 {
+	return CallTableBase(id) + retTableOff
+}
+
+// Violation trap codes: 200+reg reports a forward-edge violation with the
+// offending target in reg; 216+reg reports a return-address mismatch with
+// the actual return target in reg.
+const (
+	trapForwardBase = 200
+	trapReturnBase  = 216
+)
+
+// checkPlan parameterises one inline CFI check.
+type CheckPlan struct {
+	AppAddr   uint64
+	SaveFlags bool
+	SaveRegs  []isa.Register
+	S1, S2    isa.Register // S1 = target, S2 = probe index/loaded key
+}
+
+// emitTableProbe emits the open-addressing membership probe: s1 must hold
+// the target; s2 is clobbered. On a miss it traps; on a hit it falls
+// through to okTargets (patched by the caller via returned placeholder
+// list). The probe loop:
+//
+//	mov  s2, s1
+//	shr  s2, 3
+//	and  s2, mask
+//	probe:
+//	push s1                  ; save target
+//	shl  s2, 3               ; slot offset
+//	add  s2, tableBase
+//	ldq  s2, [s2]            ; hmm — this would lose the index
+//
+// To keep the loop to two scratch registers the emitted code recomputes the
+// slot address each iteration with an indexed load from an immediate-base
+// register: it temporarily uses the stack to hold the index.
+func EmitTableCheck(e *dbm.Emitter, p *CheckPlan, tableBase uint64) {
+	// h = (t >> 3) & mask
+	e.Meta(mk(isa.OpMovRR, func(i *isa.Instr) { i.Rd, i.Rb = p.S2, p.S1 }))
+	e.Meta(mk(isa.OpShrRI, func(i *isa.Instr) { i.Rd, i.Imm = p.S2, 3 }))
+	e.Meta(mk(isa.OpAndRI, func(i *isa.Instr) { i.Rd, i.Imm = p.S2, tableMask }))
+	probe := e.JumpHere()
+	// key = mem[tableBase + h*8]; the index survives in s2: compute the
+	// address into the stack-free temp by pushing s2 first.
+	e.Meta(mk(isa.OpPush, func(i *isa.Instr) { i.Rd = p.S2 }))
+	e.Meta(mk(isa.OpShlRI, func(i *isa.Instr) { i.Rd, i.Imm = p.S2, 3 }))
+	e.Meta(mk(isa.OpAddRI, func(i *isa.Instr) { i.Rd, i.Imm = p.S2, int64(tableBase) }))
+	e.Meta(mk(isa.OpLdQ, func(i *isa.Instr) { i.Rd, i.Rb = p.S2, p.S2 }))
+	e.Meta(mk(isa.OpCmpRR, func(i *isa.Instr) { i.Rd, i.Rb = p.S2, p.S1 }))
+	jeHitPop := e.Placeholder() // key == target: hit (still must pop)
+	e.Meta(mk(isa.OpCmpRI, func(i *isa.Instr) { i.Rd, i.Imm = p.S2, 0 }))
+	jeMissPop := e.Placeholder() // empty slot: miss (still must pop)
+	// collision: h = (h+1) & mask, loop
+	e.Meta(mk(isa.OpPop, func(i *isa.Instr) { i.Rd = p.S2 }))
+	e.Meta(mk(isa.OpAddRI, func(i *isa.Instr) { i.Rd, i.Imm = p.S2, 1 }))
+	e.Meta(mk(isa.OpAndRI, func(i *isa.Instr) { i.Rd, i.Imm = p.S2, tableMask }))
+	e.MetaJumpTo(isa.OpJmp, probe)
+	// miss: pop index, report
+	e.PatchJump(jeMissPop, isa.OpJe)
+	e.Meta(mk(isa.OpPop, func(i *isa.Instr) { i.Rd = p.S2 }))
+	e.Meta(mk(isa.OpTrap, func(i *isa.Instr) {
+		i.Imm = trapForwardBase + int64(p.S1)
+		i.Addr = p.AppAddr
+	}))
+	jmpDone := e.Placeholder()
+	// hit: pop index, done
+	e.PatchJump(jeHitPop, isa.OpJe)
+	e.Meta(mk(isa.OpPop, func(i *isa.Instr) { i.Rd = p.S2 }))
+	e.PatchJump(jmpDone, isa.OpJmp)
+}
+
+// EmitCallCheck emits the forward-edge verification for an indirect call
+// `calli rt` against the caller module's call-target table.
+func EmitCallCheck(e *dbm.Emitter, in *isa.Instr, tableBase uint64,
+	saveFlags bool, dead []isa.Register) {
+
+	scratch, toSave := dbm.PickScratch(2, dead, dbm.ExcludeOperands(in))
+	p := &CheckPlan{
+		AppAddr: in.Addr, SaveFlags: saveFlags, SaveRegs: toSave,
+		S1: scratch[0], S2: scratch[1],
+	}
+	e.SaveProlog(p.SaveFlags, p.SaveRegs)
+	e.Meta(mk(isa.OpMovRR, func(i *isa.Instr) { i.Rd, i.Rb = p.S1, in.Rd }))
+	EmitTableCheck(e, p, tableBase)
+	e.RestoreEpilog(p.SaveFlags, p.SaveRegs)
+}
+
+// emitJumpCheck emits the indirect-jump verification: a fast range check
+// against the containing function [lo,hi) followed, on failure, by a probe
+// of the module's jump-target table (jump tables + function entries for
+// tail calls). lo==hi disables the range fast path (fallback mode).
+func EmitJumpCheck(e *dbm.Emitter, in *isa.Instr, lo, hi, tableBase uint64,
+	saveFlags bool, dead []isa.Register) {
+
+	scratch, toSave := dbm.PickScratch(2, dead, dbm.ExcludeOperands(in))
+	p := &CheckPlan{
+		AppAddr: in.Addr, SaveFlags: saveFlags, SaveRegs: toSave,
+		S1: scratch[0], S2: scratch[1],
+	}
+	e.SaveProlog(p.SaveFlags, p.SaveRegs)
+	e.Meta(mk(isa.OpMovRR, func(i *isa.Instr) { i.Rd, i.Rb = p.S1, in.Rd }))
+	jbTable, jbOK := -1, -1
+	if lo < hi {
+		// if t < lo: not in range, probe the table; else if t < hi: OK.
+		e.Meta(mk(isa.OpCmpRI, func(i *isa.Instr) { i.Rd, i.Imm = p.S1, int64(lo) }))
+		jbTable = e.Placeholder()
+		e.Meta(mk(isa.OpCmpRI, func(i *isa.Instr) { i.Rd, i.Imm = p.S1, int64(hi) }))
+		jbOK = e.Placeholder()
+	}
+	if jbTable >= 0 {
+		e.PatchJump(jbTable, isa.OpJb)
+	}
+	EmitTableCheck(e, p, tableBase)
+	if jbOK >= 0 {
+		e.PatchJump(jbOK, isa.OpJb) // t in [lo,hi): skip straight to done
+	}
+	e.RestoreEpilog(p.SaveFlags, p.SaveRegs)
+}
+
+// emitShadowPush emits the call-site half of the shadow stack (§4.2): the
+// intended return address is pushed on the shadow stack before the call.
+func EmitShadowPush(e *dbm.Emitter, in *isa.Instr, saveFlags bool, dead []isa.Register) {
+	retAddr := in.Addr + uint64(in.Size)
+	scratch, toSave := dbm.PickScratch(2, dead, dbm.ExcludeOperands(in))
+	s1, s2 := scratch[0], scratch[1]
+	e.SaveProlog(saveFlags, toSave)
+	// ssp = [SSP]; [ssp] = retAddr; [SSP] = ssp + 8
+	e.Meta(mk(isa.OpMovRI, func(i *isa.Instr) {
+		i.Rd, i.Imm = s1, int64(isa.LayoutShadowStackPtr)
+	}))
+	e.Meta(mk(isa.OpLdQ, func(i *isa.Instr) { i.Rd, i.Rb = s2, s1 }))
+	e.Meta(mk(isa.OpPush, func(i *isa.Instr) { i.Rd = s1 }))
+	e.Meta(mk(isa.OpMovRI, func(i *isa.Instr) { i.Rd, i.Imm = s1, int64(retAddr) }))
+	e.Meta(mk(isa.OpStQ, func(i *isa.Instr) { i.Rd, i.Rb = s1, s2 }))
+	e.Meta(mk(isa.OpPop, func(i *isa.Instr) { i.Rd = s1 }))
+	e.Meta(mk(isa.OpAddRI, func(i *isa.Instr) { i.Rd, i.Imm = s2, 8 }))
+	e.Meta(mk(isa.OpStQ, func(i *isa.Instr) { i.Rd, i.Rb = s2, s1 }))
+	e.RestoreEpilog(saveFlags, toSave)
+}
+
+// emitRetCheck emits the return-site half of the shadow stack: pop the
+// expected return address and compare it with the actual one on the
+// application stack. The actual return address sits above whatever the
+// prolog saved, so its SP displacement is computed from the save set.
+func EmitRetCheck(e *dbm.Emitter, in *isa.Instr, saveFlags bool, dead []isa.Register) {
+	scratch, toSave := dbm.PickScratch(2, dead, func(r isa.Register) bool {
+		return r == isa.SP || r == isa.FP
+	})
+	s1, s2 := scratch[0], scratch[1]
+	e.SaveProlog(saveFlags, toSave)
+	depth := int32(len(toSave)) * 8
+	if saveFlags {
+		depth += 8
+	}
+	// ssp = [SSP] - 8; expected = [ssp]; [SSP] = ssp
+	e.Meta(mk(isa.OpMovRI, func(i *isa.Instr) {
+		i.Rd, i.Imm = s1, int64(isa.LayoutShadowStackPtr)
+	}))
+	e.Meta(mk(isa.OpLdQ, func(i *isa.Instr) { i.Rd, i.Rb = s2, s1 }))
+	e.Meta(mk(isa.OpSubRI, func(i *isa.Instr) { i.Rd, i.Imm = s2, 8 }))
+	e.Meta(mk(isa.OpStQ, func(i *isa.Instr) { i.Rd, i.Rb = s2, s1 }))
+	e.Meta(mk(isa.OpLdQ, func(i *isa.Instr) { i.Rd, i.Rb = s2, s2 })) // expected
+	// actual = [sp + depth]
+	e.Meta(mk(isa.OpLdQ, func(i *isa.Instr) { i.Rd, i.Rb, i.Disp = s1, isa.SP, depth }))
+	e.Meta(mk(isa.OpCmpRR, func(i *isa.Instr) { i.Rd, i.Rb = s1, s2 }))
+	jeOK := e.Placeholder()
+	e.Meta(mk(isa.OpTrap, func(i *isa.Instr) {
+		i.Imm = trapReturnBase + int64(s1)
+		i.Addr = in.Addr
+	}))
+	e.PatchJump(jeOK, isa.OpJe)
+	e.RestoreEpilog(saveFlags, toSave)
+}
+
+// emitResolverRetCheck handles the ld.so lazy-resolver `push r0; ret`
+// special case (§4.2.3): the return is really a call, so a forward-edge
+// check is attached instead of a shadow-stack pop. The target is the word
+// the resolver just pushed, read from the application stack.
+func EmitResolverRetCheck(e *dbm.Emitter, in *isa.Instr, tableBase uint64,
+	saveFlags bool, dead []isa.Register) {
+
+	scratch, toSave := dbm.PickScratch(2, dead, func(r isa.Register) bool {
+		return r == isa.SP || r == isa.FP
+	})
+	p := &CheckPlan{
+		AppAddr: in.Addr, SaveFlags: saveFlags, SaveRegs: toSave,
+		S1: scratch[0], S2: scratch[1],
+	}
+	e.SaveProlog(p.SaveFlags, p.SaveRegs)
+	depth := int32(len(toSave)) * 8
+	if saveFlags {
+		depth += 8
+	}
+	e.Meta(mk(isa.OpLdQ, func(i *isa.Instr) { i.Rd, i.Rb, i.Disp = p.S1, isa.SP, depth }))
+	EmitTableCheck(e, p, tableBase)
+	e.RestoreEpilog(p.SaveFlags, p.SaveRegs)
+}
+
+// EmitRetTableCheck emits a BinCFI-style return check: the actual return
+// target (read from the application stack) must be a member of the
+// return-target table — any call-preceded instruction under BinCFI's
+// policy — instead of matching a precise shadow stack.
+func EmitRetTableCheck(e *dbm.Emitter, in *isa.Instr, tableBase uint64,
+	saveFlags bool, dead []isa.Register) {
+
+	scratch, toSave := dbm.PickScratch(2, dead, func(r isa.Register) bool {
+		return r == isa.SP || r == isa.FP
+	})
+	p := &CheckPlan{
+		AppAddr: in.Addr, SaveFlags: saveFlags, SaveRegs: toSave,
+		S1: scratch[0], S2: scratch[1],
+	}
+	e.SaveProlog(p.SaveFlags, p.SaveRegs)
+	depth := int32(len(toSave)) * 8
+	if saveFlags {
+		depth += 8
+	}
+	e.Meta(mk(isa.OpLdQ, func(i *isa.Instr) { i.Rd, i.Rb, i.Disp = p.S1, isa.SP, depth }))
+	EmitTableCheck(e, p, tableBase)
+	e.RestoreEpilog(p.SaveFlags, p.SaveRegs)
+}

@@ -1,0 +1,492 @@
+// Package jcfi implements JCFI, the hybrid binary control-flow-integrity
+// scheme of §4.2: forward edges verified by hash-table lookups against
+// per-module target sets (address-taken functions, exports, jump tables,
+// with Lockdown-style dynamic updates as modules load), backward edges
+// enforced by a precise shadow stack, and the ld.so lazy-resolver
+// return-as-call special case handled with a forward check.
+package jcfi
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/dbm"
+	"repro/internal/isa"
+	"repro/internal/loader"
+	"repro/internal/obj"
+	"repro/internal/rules"
+)
+
+// Config selects JCFI variants for the evaluation (Fig. 11: forward-only vs
+// full).
+type Config struct {
+	Forward         bool
+	Backward        bool
+	HaltOnViolation bool
+}
+
+// DefaultConfig enables both edges.
+var DefaultConfig = Config{Forward: true, Backward: true}
+
+// siteKind classifies instrumented CTI sites for AIR accounting.
+type siteKind uint8
+
+const (
+	siteCall siteKind = iota + 1
+	siteJump
+	siteRet
+)
+
+type site struct {
+	kind siteKind
+	// targets is the size of the allowed-target set at instrumentation
+	// time (bytes of reachable code for jumps' range part included).
+	targets float64
+}
+
+// Tool is the JCFI security technique.
+type Tool struct {
+	cfg    Config
+	Report *Report
+
+	st        *RTState
+	rt        *core.Runtime
+	sites     map[uint64]site
+	codeBytes float64
+}
+
+// New returns a JCFI instance.
+func New(cfg Config) *Tool {
+	return &Tool{cfg: cfg, Report: &Report{}, sites: map[uint64]site{}}
+}
+
+// Name implements core.Tool.
+func (t *Tool) Name() string { return "jcfi" }
+
+// StaticPass implements core.Tool (§4.2.1): determine valid target sets by
+// scanning for code pointers refined against function boundaries, and mark
+// every indirect CTI (and every call, for the shadow stack) for
+// instrumentation.
+func (t *Tool) StaticPass(sc *core.StaticContext) []rules.Rule {
+	var out []rules.Rule
+	g := sc.Graph
+	mod := sc.Module
+
+	// Target sets. Address-taken constants from the sliding-window scan,
+	// refined: JCFI accepts a constant only if it is a known function
+	// entry (§4.2.1) — unlike BinCFI's any-instruction-boundary policy.
+	funcEntry := map[uint64]bool{}
+	for _, f := range g.Funcs {
+		funcEntry[f.Entry] = true
+	}
+	callT := map[uint64]bool{}
+	jumpT := map[uint64]bool{}
+	for _, ptr := range ScanCodePointers(mod) {
+		if funcEntry[ptr] {
+			callT[ptr] = true
+			jumpT[ptr] = true
+		}
+	}
+	for _, s := range mod.ExportedSymbols() {
+		if s.Kind == obj.SymFunc {
+			callT[s.Addr] = true
+			jumpT[s.Addr] = true
+		}
+	}
+	// Function entries are valid indirect-jump targets (tail calls).
+	for e := range funcEntry {
+		jumpT[e] = true
+	}
+	// Jump-table entries.
+	for _, jt := range g.JumpTables {
+		for _, tgt := range jt.Targets {
+			jumpT[tgt] = true
+		}
+	}
+	// PLT lazy stubs are linkage targets of the GOT-initialised jmpi.
+	for i := range mod.Imports {
+		callT[mod.Imports[i].PLT+8] = true
+		jumpT[mod.Imports[i].PLT+8] = true
+	}
+	for tgt := range callT {
+		kind := rules.TargetCall
+		if jumpT[tgt] {
+			kind |= rules.TargetJump
+		}
+		out = append(out, rules.Rule{
+			ID: rules.CFITarget, BBAddr: tgt, Instr: tgt,
+			Data: [4]uint64{kind},
+		})
+	}
+	for tgt := range jumpT {
+		if callT[tgt] {
+			continue // already emitted with both kinds
+		}
+		out = append(out, rules.Rule{
+			ID: rules.CFITarget, BBAddr: tgt, Instr: tgt,
+			Data: [4]uint64{rules.TargetJump},
+		})
+	}
+
+	// Check sites.
+	for _, blk := range g.Blocks {
+		term := blk.Terminator()
+		lp := sc.Live.LiveIn(term.Addr)
+		lw := packLive(lp, sc.Live, term.Addr)
+		inPLT := false
+		if sec := mod.SectionAt(blk.Start); sec != nil && sec.Name == ".plt" {
+			inPLT = true
+		}
+		switch term.Op {
+		case isa.OpCallI:
+			out = append(out,
+				rules.Rule{ID: rules.CFICall, BBAddr: blk.Start,
+					Instr: term.Addr, Data: [4]uint64{lw}},
+				rules.Rule{ID: rules.ShadowPush, BBAddr: blk.Start,
+					Instr: term.Addr, Data: [4]uint64{lw}},
+			)
+		case isa.OpCall:
+			out = append(out, rules.Rule{ID: rules.ShadowPush,
+				BBAddr: blk.Start, Instr: term.Addr, Data: [4]uint64{lw}})
+		case isa.OpJmpI:
+			if inPLT {
+				// PLT dispatch is an inter-module call in disguise.
+				out = append(out, rules.Rule{ID: rules.CFICall,
+					BBAddr: blk.Start, Instr: term.Addr, Data: [4]uint64{lw}})
+				break
+			}
+			var lo, hi, boundaries uint64
+			if fn := g.FuncAt(term.Addr); fn != nil {
+				lo, hi = fn.Entry, fn.End
+				for a := lo; a < hi; a++ {
+					if g.IsInstrBoundary(a) {
+						boundaries++
+					}
+				}
+			}
+			out = append(out, rules.Rule{ID: rules.CFIJump,
+				BBAddr: blk.Start, Instr: term.Addr,
+				Data: [4]uint64{lw, lo, hi, boundaries}})
+		case isa.OpRet:
+			if isResolverRet(blk) {
+				out = append(out, rules.Rule{ID: rules.CFIResolverRet,
+					BBAddr: blk.Start, Instr: term.Addr, Data: [4]uint64{lw}})
+			} else {
+				out = append(out, rules.Rule{ID: rules.CFIRet,
+					BBAddr: blk.Start, Instr: term.Addr, Data: [4]uint64{lw}})
+			}
+		}
+	}
+	return out
+}
+
+// isResolverRet detects the `push rX; ret` lazy-resolver idiom (§4.2.3):
+// the instruction immediately before the return pushes the value the return
+// will consume, making the return act as an indirect call.
+func isResolverRet(blk *cfg.BasicBlock) bool {
+	n := len(blk.Instrs)
+	return n >= 2 && blk.Instrs[n-1].Op == isa.OpRet &&
+		blk.Instrs[n-2].Op == isa.OpPush
+}
+
+func packLive(lp analysis.LivePoint, live *analysis.Liveness, addr uint64) uint64 {
+	var free []uint8
+	for _, r := range live.FreeRegs(addr, 3) {
+		free = append(free, uint8(r))
+	}
+	return rules.PackLiveness(uint16(lp.Regs), lp.Flags, free)
+}
+
+// RuntimeInit implements core.Tool: shadow stack, violation traps, and
+// per-module run-time target tables (built now for already-loaded modules
+// and on load for dlopened ones — the Lockdown-style dynamic update of
+// footnote 5).
+func (t *Tool) RuntimeInit(rt *core.Runtime) error {
+	t.rt = rt
+	t.Report.HaltOnViolation = t.cfg.HaltOnViolation
+	t.st = NewRTState(rt.M)
+	if err := InstallShadowStack(rt.M); err != nil {
+		return err
+	}
+	InstallViolationTraps(rt.M, t.Report)
+	for _, lm := range rt.Proc.Modules {
+		if err := t.setupModule(lm); err != nil {
+			return err
+		}
+	}
+	rt.Proc.OnModuleLoad = append(rt.Proc.OnModuleLoad, func(lm *loader.LoadedModule) {
+		// Errors during dlopen-time setup surface as missing targets,
+		// which fail closed (violations), never open.
+		_ = t.setupModule(lm)
+	})
+	rt.Proc.OnModuleUnload = append(rt.Proc.OnModuleUnload, func(lm *loader.LoadedModule) {
+		// Dynamic update on unload (footnote 5): the module's targets
+		// stop being valid everywhere, so stale permissions cannot leak
+		// onto whatever reuses the address range.
+		_ = t.st.RemoveModule(lm.ID)
+	})
+	return nil
+}
+
+// setupModule builds the module's run-time target tables and cross-links
+// inter-module call permissions.
+func (t *Tool) setupModule(lm *loader.LoadedModule) error {
+	id := lm.ID
+	set := t.st.Ensure(id)
+	t.codeBytes += float64(execBytes(lm.Module))
+
+	var callLink, jumpLink []uint64
+	if f, ok := t.rt.Files[lm.Name]; ok {
+		for _, r := range f.Rules {
+			if r.ID != rules.CFITarget {
+				continue
+			}
+			if r.Data[0]&rules.TargetCall != 0 {
+				callLink = append(callLink, r.Instr)
+			}
+			if r.Data[0]&rules.TargetJump != 0 {
+				jumpLink = append(jumpLink, r.Instr)
+			}
+		}
+	} else {
+		// No static hints: load-time analysis (§4.2.2).
+		callLink, jumpLink = LoadTimeScan(lm)
+	}
+	for _, a := range callLink {
+		rtAddr := lm.RuntimeAddr(a)
+		if err := t.st.AddCallTarget(id, rtAddr); err != nil {
+			return err
+		}
+		set.Exported[rtAddr] = true
+	}
+	for _, a := range jumpLink {
+		if err := t.st.AddJumpTarget(id, lm.RuntimeAddr(a)); err != nil {
+			return err
+		}
+	}
+	// Inter-module (§4.2): this module's outward-visible targets become
+	// valid call targets for every other module (and vice versa), and
+	// everything lands in the global table serving dynamically generated
+	// code.
+	for otherID, other := range t.st.sets {
+		if otherID == id || otherID == globalTableID {
+			continue
+		}
+		for tgt := range other.Exported {
+			if err := t.st.AddCallTarget(id, tgt); err != nil {
+				return err
+			}
+		}
+		for tgt := range set.Exported {
+			if err := t.st.AddCallTarget(otherID, tgt); err != nil {
+				return err
+			}
+		}
+	}
+	for tgt := range set.Exported {
+		if err := t.st.AddCallTarget(globalTableID, tgt); err != nil {
+			return err
+		}
+		if err := t.st.AddJumpTarget(globalTableID, tgt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func execBytes(mod *obj.Module) uint64 {
+	var n uint64
+	for _, sec := range mod.ExecSections() {
+		n += uint64(len(sec.Data))
+	}
+	return n
+}
+
+// moduleID returns the table index serving a block context.
+func moduleID(bc *dbm.BlockContext) int {
+	if bc.Module != nil {
+		return bc.Module.ID
+	}
+	return globalTableID
+}
+
+// Instrument implements core.Tool (the statically-guided hit path).
+func (t *Tool) Instrument(bc *dbm.BlockContext, instrRules map[uint64][]rules.Rule) []dbm.CInstr {
+	e := &dbm.Emitter{}
+	id := moduleID(bc)
+	base := uint64(0)
+	if bc.Module != nil && bc.Module.PIC {
+		base = bc.Module.LoadBase
+	}
+	for idx := range bc.AppInstrs {
+		in := &bc.AppInstrs[idx]
+		for _, r := range instrRules[in.Addr] {
+			saveFlags, dead := t.unpackLive(r.Data[0])
+			switch r.ID {
+			case rules.CFICall:
+				if t.cfg.Forward {
+					EmitCallCheck(e, in, CallTableBase(id), saveFlags, dead)
+					t.recordSite(in.Addr, siteCall, float64(len(t.st.Ensure(id).Call)))
+				}
+			case rules.CFIJump:
+				if t.cfg.Forward {
+					lo, hi := r.Data[1]+base, r.Data[2]+base
+					if r.Data[1] == 0 && r.Data[2] == 0 {
+						lo, hi = 0, 0
+					}
+					EmitJumpCheck(e, in, lo, hi, JumpTableBase(id), saveFlags, dead)
+					// The hybrid's policy restricts jump targets to
+					// statically recovered instruction boundaries; the
+					// metric counts those rather than raw range bytes
+					// (footnote 15's hybrid-vs-dyn AIR gap).
+					targets := float64(r.Data[3])
+					if targets == 0 {
+						targets = float64(hi - lo)
+					}
+					t.recordSite(in.Addr, siteJump,
+						targets+float64(len(t.st.Ensure(id).Jump)))
+				}
+			case rules.CFIRet:
+				if t.cfg.Backward {
+					EmitRetCheck(e, in, saveFlags, dead)
+					t.recordSite(in.Addr, siteRet, 1)
+				}
+			case rules.CFIResolverRet:
+				if t.cfg.Forward {
+					EmitResolverRetCheck(e, in, CallTableBase(id), saveFlags, dead)
+					t.recordSite(in.Addr, siteCall, float64(len(t.st.Ensure(id).Call)))
+				}
+			case rules.ShadowPush:
+				if t.cfg.Backward {
+					EmitShadowPush(e, in, saveFlags, dead)
+				}
+			}
+		}
+		e.App(*in)
+	}
+	return e.Out
+}
+
+func (t *Tool) unpackLive(packed uint64) (saveFlags bool, dead []isa.Register) {
+	_, flagsLive, freeRaw := rules.UnpackLiveness(packed)
+	for _, f := range freeRaw {
+		dead = append(dead, isa.Register(f))
+	}
+	return flagsLive, dead
+}
+
+// DynFallback implements core.Tool (§4.2.2): block-local identification of
+// indirect CTIs with conservative save/restore, the resolver idiom handled
+// by pattern matching, and the module's load-time tables used for targets.
+func (t *Tool) DynFallback(bc *dbm.BlockContext) []dbm.CInstr {
+	e := &dbm.Emitter{}
+	id := moduleID(bc)
+	ins := bc.AppInstrs
+	for idx := range ins {
+		in := &ins[idx]
+		isLast := idx == len(ins)-1
+		if isLast {
+			switch in.Op {
+			case isa.OpCallI:
+				if t.cfg.Forward {
+					EmitCallCheck(e, in, CallTableBase(id), true, nil)
+					t.recordSite(in.Addr, siteCall, float64(len(t.st.Ensure(id).Call)))
+				}
+				if t.cfg.Backward {
+					EmitShadowPush(e, in, true, nil)
+				}
+			case isa.OpCall:
+				if t.cfg.Backward {
+					EmitShadowPush(e, in, true, nil)
+				}
+			case isa.OpJmpI:
+				if t.cfg.Forward {
+					// Block-local PLT-dispatch idiom (ldpc rX; jmpi rX):
+					// an inter-module call in disguise, checked against
+					// the call table.
+					if idx > 0 && ins[idx-1].Op == isa.OpLdPC &&
+						ins[idx-1].Rd == in.Rd {
+						EmitCallCheck(e, in, CallTableBase(id), true, nil)
+						t.recordSite(in.Addr, siteCall,
+							float64(len(t.st.Ensure(id).Call)))
+						break
+					}
+					// No static CFG block-locally: fall back to the
+					// nearest-symbol function range plus the table (this
+					// coarser range is why JCFI-dyn's jump AIR is below
+					// the hybrid's, §6.2.2 footnote 15).
+					var lo, hi uint64
+					if bc.Module != nil {
+						lo, hi = NearestFuncRange(bc.Module, in.Addr)
+					}
+					EmitJumpCheck(e, in, lo, hi, JumpTableBase(id), true, nil)
+					t.recordSite(in.Addr, siteJump,
+						float64(hi-lo)+float64(len(t.st.Ensure(id).Jump)))
+				}
+			case isa.OpRet:
+				resolver := idx > 0 && ins[idx-1].Op == isa.OpPush
+				if resolver && t.cfg.Forward {
+					EmitResolverRetCheck(e, in, CallTableBase(id), true, nil)
+					t.recordSite(in.Addr, siteCall, float64(len(t.st.Ensure(id).Call)))
+				} else if !resolver && t.cfg.Backward {
+					EmitRetCheck(e, in, true, nil)
+					t.recordSite(in.Addr, siteRet, 1)
+				}
+			}
+		}
+		e.App(*in)
+	}
+	return e.Out
+}
+
+func (t *Tool) recordSite(addr uint64, kind siteKind, targets float64) {
+	if _, ok := t.sites[addr]; !ok {
+		t.sites[addr] = site{kind: kind, targets: targets}
+	}
+}
+
+// DynamicAIR returns the average indirect-target reduction (percent) over
+// the indirect CTI sites that executed during the run — the Lockdown-style
+// DAIR of Fig. 12. Space is the total executable bytes of loaded modules.
+func (t *Tool) DynamicAIR() float64 {
+	if len(t.sites) == 0 || t.codeBytes == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range t.sites {
+		frac := s.targets / t.codeBytes
+		if frac > 1 {
+			frac = 1
+		}
+		sum += frac
+	}
+	return 100 * (1 - sum/float64(len(t.sites)))
+}
+
+// DAIRBreakdown splits the dynamic AIR by edge kind ("call", "jump",
+// "ret") — the per-kind view behind footnote 15's observation that JCFI's
+// jump AIR exceeds Lockdown's while its net AIR sits slightly below.
+// Kinds with no executed sites are absent from the map.
+func (t *Tool) DAIRBreakdown() map[string]float64 {
+	if t.codeBytes == 0 {
+		return nil
+	}
+	sums := map[siteKind]float64{}
+	counts := map[siteKind]int{}
+	for _, s := range t.sites {
+		frac := s.targets / t.codeBytes
+		if frac > 1 {
+			frac = 1
+		}
+		sums[s.kind] += frac
+		counts[s.kind]++
+	}
+	names := map[siteKind]string{siteCall: "call", siteJump: "jump", siteRet: "ret"}
+	out := map[string]float64{}
+	for k, n := range counts {
+		if n > 0 {
+			out[names[k]] = 100 * (1 - sums[k]/float64(n))
+		}
+	}
+	return out
+}

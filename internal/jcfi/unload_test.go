@@ -1,0 +1,186 @@
+package jcfi
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/libj"
+	"repro/internal/loader"
+	"repro/internal/vm"
+)
+
+// TestStalePointerAfterUnloadIsViolation: a function pointer captured from
+// module A stays in the program after A is dlclosed and module B is loaded
+// at the SAME base. Calling the stale pointer now transfers into B's bytes
+// at an address B never exposed. Without the unload-time target removal the
+// stale permission from A's table entries would still allow it; with it,
+// JCFI reports a forward-edge violation.
+func TestStalePointerAfterUnloadIsViolation(t *testing.T) {
+	// fa sits at link offset 7 so that, after B reuses the base, the
+	// stale pointer lands mid-instruction inside fb.
+	plugA := `
+.module a.jef
+.type shared
+.pic
+.global fa
+.section .text
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+fa:
+    mov r0, 11
+    ret
+`
+	// B is laid out so that A's fa address falls INSIDE B's code but is
+	// not one of B's valid targets.
+	plugB := `
+.module b.jef
+.type shared
+.pic
+.global fb
+.section .text
+fb:
+    mov r0, 22
+    mov r0, 23
+    mov r0, 24
+    ret
+`
+	mainSrc := `
+.module prog
+.entry _start
+.needs libj.jef
+.section .text
+_start:
+    la r1, an
+    mov r2, 5
+    trap 3              ; dlopen a
+    mov r12, r0
+    mov r1, r12
+    la r2, fan
+    mov r3, 2
+    trap 4              ; r0 = &fa
+    mov r13, r0         ; capture the pointer
+    mov r1, r12
+    trap 8              ; dlclose a
+    la r1, bn
+    mov r2, 5
+    trap 3              ; dlopen b at the reused base
+    calli r13           ; STALE pointer: must be a CFI violation
+    mov r1, 0
+    mov r0, 1
+    syscall
+.section .rodata
+an:
+    .ascii "a.jef"
+bn:
+    .ascii "b.jef"
+fan:
+    .ascii "fa"
+`
+	lj, err := libj.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := asm.Assemble(plugA)
+	b, _ := asm.Assemble(plugB)
+	main, err := asm.Assemble(mainSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := loader.Registry{libj.Name: lj, "a.jef": a, "b.jef": b}
+	tool := New(DefaultConfig)
+	files, err := core.AnalyzeProgram(main, reg, tool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New()
+	m.InstallDefaultServices()
+	m.MaxInstrs = 1_000_000
+	proc := loader.NewProcess(m, reg)
+	rt := core.NewRuntime(m, proc, tool, files)
+	lm, err := proc.LoadProgram(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rt.Run(lm.RuntimeAddr(main.Entry)) // may fault after the violation
+	found := false
+	for _, v := range tool.Report.Violations {
+		if v.Kind == "forward-edge" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stale pointer into the reused base was allowed: %v",
+			tool.Report.Violations)
+	}
+	// Sanity: A and B really shared a base.
+	lb := proc.ModuleByName("b.jef")
+	if lb == nil || lb.LoadBase != 0x10100000 {
+		t.Fatalf("expected b.jef at a.jef's reused base, got %+v", lb)
+	}
+}
+
+// TestRemoveModuleKeepsOthersWorking: after a module unloads, transfers to
+// the REMAINING modules' targets still pass (tombstone deletion must not
+// break probe chains).
+func TestRemoveModuleKeepsOthersWorking(t *testing.T) {
+	m := vm.New()
+	st := NewRTState(m)
+	// Insert colliding-ish targets across two modules' exported sets.
+	for i := uint64(0); i < 64; i++ {
+		if err := st.AddCallTarget(1, 0x1000_0000+i*8); err != nil {
+			t.Fatal(err)
+		}
+		st.Ensure(1).Exported[0x1000_0000+i*8] = true
+	}
+	for i := uint64(0); i < 64; i++ {
+		if err := st.AddCallTarget(2, 0x2000_0000+i*8); err != nil {
+			t.Fatal(err)
+		}
+		st.Ensure(2).Exported[0x2000_0000+i*8] = true
+	}
+	// Cross-link 1's exports into 2's table (like setupModule does).
+	for tgt := range st.Ensure(1).Exported {
+		if err := st.AddCallTarget(2, tgt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.RemoveModule(1); err != nil {
+		t.Fatal(err)
+	}
+	// Module 2's own targets must all still probe successfully.
+	probe := func(base, target uint64) bool {
+		h := (target >> 3) & tableMask
+		for i := 0; i < tableSlots; i++ {
+			v, _ := m.Mem.Read64(base + h*8)
+			if v == target {
+				return true
+			}
+			if v == 0 {
+				return false
+			}
+			h = (h + 1) & tableMask
+		}
+		return false
+	}
+	for i := uint64(0); i < 64; i++ {
+		if !probe(CallTableBase(2), 0x2000_0000+i*8) {
+			t.Fatalf("own target %#x lost after removing module 1", 0x2000_0000+i*8)
+		}
+	}
+	// Module 1's cross-linked targets must be gone from 2's table.
+	for i := uint64(0); i < 64; i++ {
+		if probe(CallTableBase(2), 0x1000_0000+i*8) {
+			t.Fatalf("stale target %#x survived removal", 0x1000_0000+i*8)
+		}
+	}
+	// And module 1's own table is cleared.
+	if probe(CallTableBase(1), 0x1000_0000) {
+		t.Fatal("module 1's own table not cleared")
+	}
+}

@@ -1,0 +1,57 @@
+// Package jefdir loads directories of serialised JEF modules into loader
+// registries — the CLI tools' module search path, with the libj runtime
+// always present.
+package jefdir
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/libj"
+	"repro/internal/loader"
+	"repro/internal/obj"
+)
+
+// Load reads every *.jef file in dir (non-recursive) into a registry keyed
+// by module name, with libj included. dir may be empty for a libj-only
+// registry.
+func Load(dir string) (loader.Registry, error) {
+	lj, err := libj.Module()
+	if err != nil {
+		return nil, err
+	}
+	reg := loader.Registry{libj.Name: lj}
+	if dir == "" {
+		return reg, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("jefdir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".jef") {
+			continue
+		}
+		mod, err := ReadModule(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		reg[mod.Name] = mod
+	}
+	return reg, nil
+}
+
+// ReadModule loads one serialised module from path.
+func ReadModule(path string) (*obj.Module, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("jefdir: %w", err)
+	}
+	mod, err := obj.Unmarshal(data)
+	if err != nil {
+		return nil, fmt.Errorf("jefdir: %s: %w", path, err)
+	}
+	return mod, nil
+}

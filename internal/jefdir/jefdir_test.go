@@ -1,0 +1,66 @@
+package jefdir
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/libj"
+)
+
+func TestLoadEmptyDir(t *testing.T) {
+	reg, err := Load("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg[libj.Name] == nil {
+		t.Fatal("libj missing from empty registry")
+	}
+}
+
+func TestLoadDirectory(t *testing.T) {
+	dir := t.TempDir()
+	mod, err := cc.Compile(`int f() { return 1; }`, cc.Options{
+		Module: "libf.jef", Shared: true, NoRuntime: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "libf.jef")
+	if err := os.WriteFile(path, mod.Marshal(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Non-module files are ignored.
+	os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hi"), 0o644)
+
+	reg, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg["libf.jef"] == nil {
+		t.Fatal("module not loaded from directory")
+	}
+	if len(reg) != 2 {
+		t.Fatalf("registry size = %d, want 2", len(reg))
+	}
+
+	got, err := ReadModule(path)
+	if err != nil || got.Name != "libf.jef" {
+		t.Fatalf("ReadModule: %v %v", got, err)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("/nonexistent-dir-xyz"); err == nil {
+		t.Error("missing directory accepted")
+	}
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "bad.jef"), []byte("not a module"), 0o644)
+	if _, err := Load(dir); err == nil {
+		t.Error("corrupt module accepted")
+	}
+	if _, err := ReadModule(filepath.Join(dir, "missing.jef")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,143 @@
+package juliet
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/baseline"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/jasan"
+	"repro/internal/libj"
+	"repro/internal/loader"
+	"repro/internal/rules"
+	"repro/internal/vm"
+)
+
+// Detector selects the evaluated sanitizer.
+type Detector string
+
+// Detectors evaluated in Fig. 10.
+const (
+	JASan    Detector = "jasan"
+	Valgrind Detector = "valgrind"
+)
+
+// Tally is the Fig. 10 confusion matrix: good variants contribute FP/TN,
+// bad variants TP/FN. A bad variant counts as detected (TP) only when the
+// detector reports at least the ground-truth violation count; fewer-than-
+// actual reports are false negatives, as in the paper.
+type Tally struct {
+	TP, FN, TN, FP int
+	// FNByKind breaks false negatives down by overflow shape.
+	FNByKind map[Kind]int
+}
+
+func (t *Tally) String() string {
+	return fmt.Sprintf("TP=%d FN=%d TN=%d FP=%d", t.TP, t.FN, t.TN, t.FP)
+}
+
+// libjRules caches the static-analysis result for libj per detector config
+// (a shared library is analyzed once and its rule file reused — §3.3.1).
+var (
+	libjOnce  sync.Once
+	libjFile  *rules.File
+	libjError error
+)
+
+func jasanLibjRules() (*rules.File, error) {
+	libjOnce.Do(func() {
+		lj, err := libj.Module()
+		if err != nil {
+			libjError = err
+			return
+		}
+		tool := jasan.New(jasan.Config{UseLiveness: true, UseSCEV: true})
+		libjFile, libjError = core.AnalyzeModule(lj, tool)
+	})
+	return libjFile, libjError
+}
+
+// runCase executes one variant under the detector and returns the number of
+// reported violations.
+func runCase(det Detector, src string) (uint64, error) {
+	main, err := cc.Compile(src, cc.Options{Module: "case", O2: true})
+	if err != nil {
+		return 0, fmt.Errorf("juliet: compile: %w", err)
+	}
+	lj, err := libj.Module()
+	if err != nil {
+		return 0, err
+	}
+	reg := loader.Registry{libj.Name: lj}
+
+	var tool core.Tool
+	files := map[string]*rules.File{}
+	var reports func() uint64
+	switch det {
+	case JASan:
+		jt := jasan.New(jasan.Config{UseLiveness: true, UseSCEV: true})
+		tool = jt
+		reports = func() uint64 { return jt.Report.Total }
+		ljf, err := jasanLibjRules()
+		if err != nil {
+			return 0, err
+		}
+		mf, err := core.AnalyzeModule(main, jt)
+		if err != nil {
+			return 0, err
+		}
+		files[libj.Name] = ljf
+		files[main.Name] = mf
+	case Valgrind:
+		vt := baseline.NewValgrind()
+		tool = vt
+		reports = func() uint64 { return vt.Report.Total }
+	default:
+		return 0, fmt.Errorf("juliet: unknown detector %q", det)
+	}
+
+	m := vm.New()
+	m.InstallDefaultServices()
+	m.MaxInstrs = 5_000_000
+	proc := loader.NewProcess(m, reg)
+	rt := core.NewRuntime(m, proc, tool, files)
+	lm, err := proc.LoadProgram(main)
+	if err != nil {
+		return 0, err
+	}
+	if err := rt.Run(lm.RuntimeAddr(main.Entry)); err != nil {
+		// Bad variants may crash after the detector reported (the
+		// canary-smash cases halt in the application's own check);
+		// reports gathered so far still count.
+		return reports(), nil
+	}
+	return reports(), nil
+}
+
+// Evaluate runs the detector over the suite and tallies Fig. 10's metrics.
+func Evaluate(det Detector, cases []Case) (*Tally, error) {
+	t := &Tally{FNByKind: map[Kind]int{}}
+	for _, c := range cases {
+		good, err := runCase(det, c.Good)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s good: %w", det, c.ID, err)
+		}
+		if good > 0 {
+			t.FP++
+		} else {
+			t.TN++
+		}
+		bad, err := runCase(det, c.Bad)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s bad: %w", det, c.ID, err)
+		}
+		if bad >= uint64(c.ActualViolations) {
+			t.TP++
+		} else {
+			t.FN++
+			t.FNByKind[c.Kind]++
+		}
+	}
+	return t, nil
+}

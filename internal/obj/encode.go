@@ -1,0 +1,226 @@
+package obj
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary serialisation of JEF modules. The format is a simple tagged binary
+// layout: magic, fixed header, then counted tables. All integers are
+// little-endian; strings are length-prefixed (uint32) UTF-8.
+
+// Magic identifies a serialised JEF module.
+var Magic = [4]byte{'J', 'E', 'F', '1'}
+
+// ErrBadMagic is returned when unmarshalling data that is not a JEF module.
+var ErrBadMagic = errors.New("obj: bad magic (not a JEF module)")
+
+type writer struct {
+	buf bytes.Buffer
+}
+
+func (w *writer) u8(v uint8)   { w.buf.WriteByte(v) }
+func (w *writer) u32(v uint32) { binary.Write(&w.buf, binary.LittleEndian, v) }
+func (w *writer) u64(v uint64) { binary.Write(&w.buf, binary.LittleEndian, v) }
+func (w *writer) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf.WriteString(s)
+}
+func (w *writer) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf.Write(b)
+}
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("obj: truncated module (%s at offset %d)", what, r.off)
+	}
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail("u8")
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail("u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail("u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) str() string {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		r.fail("string")
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *reader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		r.fail("bytes")
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, r.b[r.off:])
+	r.off += n
+	return b
+}
+
+// Marshal serialises the module.
+func (m *Module) Marshal() []byte {
+	var w writer
+	w.buf.Write(Magic[:])
+	w.str(m.Name)
+	w.u8(uint8(m.Type))
+	if m.PIC {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.u8(uint8(m.SymLevel))
+	w.u64(m.Base)
+	w.u64(m.Entry)
+
+	w.u32(uint32(len(m.Sections)))
+	for i := range m.Sections {
+		s := &m.Sections[i]
+		w.str(s.Name)
+		w.u64(s.Addr)
+		w.u8(s.Flags)
+		w.bytes(s.Data)
+	}
+	w.u32(uint32(len(m.Symbols)))
+	for _, s := range m.Symbols {
+		w.str(s.Name)
+		w.u64(s.Addr)
+		w.u64(s.Size)
+		w.u8(uint8(s.Kind))
+		if s.Exported {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+	}
+	w.u32(uint32(len(m.Imports)))
+	for _, im := range m.Imports {
+		w.str(im.Name)
+		w.u64(im.PLT)
+		w.u64(im.GOT)
+	}
+	w.u32(uint32(len(m.Relocs)))
+	for _, r := range m.Relocs {
+		w.u8(uint8(r.Kind))
+		w.u64(r.Where)
+		w.str(r.Sym)
+	}
+	w.u32(uint32(len(m.Needed)))
+	for _, n := range m.Needed {
+		w.str(n)
+	}
+	return w.buf.Bytes()
+}
+
+// WriteTo serialises the module to w.
+func (m *Module) WriteTo(w io.Writer) (int64, error) {
+	b := m.Marshal()
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+// Unmarshal deserialises a module from data.
+func Unmarshal(data []byte) (*Module, error) {
+	if len(data) < 4 || !bytes.Equal(data[:4], Magic[:]) {
+		return nil, ErrBadMagic
+	}
+	r := &reader{b: data, off: 4}
+	m := &Module{}
+	m.Name = r.str()
+	m.Type = ModuleType(r.u8())
+	m.PIC = r.u8() != 0
+	m.SymLevel = SymTabLevel(r.u8())
+	m.Base = r.u64()
+	m.Entry = r.u64()
+
+	nsec := int(r.u32())
+	if r.err == nil && nsec > 1<<20 {
+		return nil, fmt.Errorf("obj: unreasonable section count %d", nsec)
+	}
+	for i := 0; i < nsec && r.err == nil; i++ {
+		var s Section
+		s.Name = r.str()
+		s.Addr = r.u64()
+		s.Flags = r.u8()
+		s.Data = r.bytes()
+		m.Sections = append(m.Sections, s)
+	}
+	nsym := int(r.u32())
+	if r.err == nil && nsym > 1<<24 {
+		return nil, fmt.Errorf("obj: unreasonable symbol count %d", nsym)
+	}
+	for i := 0; i < nsym && r.err == nil; i++ {
+		var s Symbol
+		s.Name = r.str()
+		s.Addr = r.u64()
+		s.Size = r.u64()
+		s.Kind = SymKind(r.u8())
+		s.Exported = r.u8() != 0
+		m.Symbols = append(m.Symbols, s)
+	}
+	nimp := int(r.u32())
+	for i := 0; i < nimp && r.err == nil; i++ {
+		var im Import
+		im.Name = r.str()
+		im.PLT = r.u64()
+		im.GOT = r.u64()
+		m.Imports = append(m.Imports, im)
+	}
+	nrel := int(r.u32())
+	for i := 0; i < nrel && r.err == nil; i++ {
+		var rel Reloc
+		rel.Kind = RelocKind(r.u8())
+		rel.Where = r.u64()
+		rel.Sym = r.str()
+		m.Relocs = append(m.Relocs, rel)
+	}
+	nneed := int(r.u32())
+	for i := 0; i < nneed && r.err == nil; i++ {
+		m.Needed = append(m.Needed, r.str())
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return m, nil
+}

@@ -1,0 +1,340 @@
+// Package obj defines the JEF (Janitizer Executable Format) module format:
+// the reproduction's analogue of ELF. A module is an executable or shared
+// object with sections, a symbol table, relocations, imports/exports and
+// declared dependencies, compiled either as position-dependent (non-PIC,
+// fixed base) or position-independent (PIC, relocatable) code.
+//
+// The format deliberately preserves the properties the Janitizer paper
+// depends on:
+//
+//   - PIC vs non-PIC modules (Retrowrite-class tools only handle PIC);
+//   - symbol tables that may be full, export-only, or stripped, changing
+//     what function-boundary information is available to static analysis;
+//   - data sections that may contain code pointers (jump tables, vtables,
+//     callback tables) found only by sliding-window scanning;
+//   - multiple executable sections (.init, .plt, .text, .fini) so that
+//     analyses restricted to .text lack coverage;
+//   - a PLT/GOT import mechanism with lazy binding.
+package obj
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ModuleType distinguishes executables from shared objects.
+type ModuleType uint8
+
+// Module types.
+const (
+	Exec ModuleType = iota + 1
+	SharedObj
+)
+
+func (t ModuleType) String() string {
+	switch t {
+	case Exec:
+		return "exec"
+	case SharedObj:
+		return "shared-object"
+	}
+	return "unknown"
+}
+
+// SymTabLevel describes how much symbol information a module retains.
+type SymTabLevel uint8
+
+// Symbol table levels.
+const (
+	// SymFull retains every defined symbol, local and exported.
+	SymFull SymTabLevel = iota + 1
+	// SymExports retains only exported (dynamic) symbols.
+	SymExports
+	// SymStripped retains only the exported symbols required for dynamic
+	// linking, with local function boundaries discarded.
+	SymStripped
+)
+
+func (l SymTabLevel) String() string {
+	switch l {
+	case SymFull:
+		return "full"
+	case SymExports:
+		return "exports-only"
+	case SymStripped:
+		return "stripped"
+	}
+	return "unknown"
+}
+
+// Section flags.
+const (
+	SecExec  uint8 = 1 << iota // contains executable code
+	SecWrite                   // writable at run time
+)
+
+// Section is a named contiguous region of the module image. Addr is the
+// link-time address: absolute for non-PIC modules, relative to a zero base
+// for PIC modules.
+type Section struct {
+	Name  string
+	Addr  uint64
+	Data  []byte
+	Flags uint8
+}
+
+// Executable reports whether the section contains code.
+func (s *Section) Executable() bool { return s.Flags&SecExec != 0 }
+
+// Contains reports whether the link-time address a falls inside the section.
+func (s *Section) Contains(a uint64) bool {
+	return a >= s.Addr && a < s.Addr+uint64(len(s.Data))
+}
+
+// SymKind classifies symbols.
+type SymKind uint8
+
+// Symbol kinds.
+const (
+	SymFunc SymKind = iota + 1
+	SymObject
+)
+
+func (k SymKind) String() string {
+	switch k {
+	case SymFunc:
+		return "func"
+	case SymObject:
+		return "object"
+	}
+	return "unknown"
+}
+
+// Symbol is a named address within the module, at its link-time address.
+type Symbol struct {
+	Name     string
+	Addr     uint64
+	Size     uint64
+	Kind     SymKind
+	Exported bool
+}
+
+// Import is a function the module expects to resolve from another module at
+// load time. Each import owns one PLT entry and one GOT slot; PLT and GOT
+// give the link-time addresses of those.
+type Import struct {
+	Name string
+	PLT  uint64 // link-time address of the PLT stub for this import
+	GOT  uint64 // link-time address of the GOT slot for this import
+}
+
+// RelocKind classifies load-time relocations.
+type RelocKind uint8
+
+// Relocation kinds.
+const (
+	// RelRebase: add the module load base to the 8-byte word at Where.
+	// Used for code/data pointers embedded in PIC module data (jump
+	// tables, function-pointer tables, vtable-like structures).
+	RelRebase RelocKind = iota + 1
+	// RelGotFunc: resolve symbol Sym from the module's dependencies and
+	// store its absolute run-time address in the 8-byte GOT slot at
+	// Where. Used for eager binding; under lazy binding the loader
+	// instead points the slot at the lazy-resolver trampoline.
+	RelGotFunc
+)
+
+// Reloc is a load-time fixup. Where is the link-time address of the affected
+// 8-byte word.
+type Reloc struct {
+	Kind  RelocKind
+	Where uint64
+	Sym   string // for RelGotFunc
+}
+
+// Module is one JEF executable or shared object.
+type Module struct {
+	Name     string // soname, e.g. "libm.jef" or "perlbench"
+	Type     ModuleType
+	PIC      bool
+	SymLevel SymTabLevel
+	// Base is the link-time base address. Non-PIC modules must be loaded
+	// exactly here; PIC modules use Base 0 and are relocated.
+	Base uint64
+	// Entry is the link-time address of the entry point (_start) for
+	// executables; 0 for shared objects.
+	Entry    uint64
+	Sections []Section
+	Symbols  []Symbol
+	Imports  []Import
+	Relocs   []Reloc
+	// Needed lists soname dependencies discoverable statically (the
+	// ldd-visible set). Modules loaded via dlopen do NOT appear here —
+	// that distinction drives Janitizer's dynamic-fallback coverage.
+	Needed []string
+}
+
+// Section returns the named section, or nil.
+func (m *Module) Section(name string) *Section {
+	for i := range m.Sections {
+		if m.Sections[i].Name == name {
+			return &m.Sections[i]
+		}
+	}
+	return nil
+}
+
+// SectionAt returns the section containing link-time address a, or nil.
+func (m *Module) SectionAt(a uint64) *Section {
+	for i := range m.Sections {
+		if m.Sections[i].Contains(a) {
+			return &m.Sections[i]
+		}
+	}
+	return nil
+}
+
+// FindSymbol returns the symbol with the given name, or nil.
+func (m *Module) FindSymbol(name string) *Symbol {
+	for i := range m.Symbols {
+		if m.Symbols[i].Name == name {
+			return &m.Symbols[i]
+		}
+	}
+	return nil
+}
+
+// ExportedSymbols returns the exported symbols, sorted by address.
+func (m *Module) ExportedSymbols() []Symbol {
+	var out []Symbol
+	for _, s := range m.Symbols {
+		if s.Exported {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// FuncSymbols returns function symbols visible at the module's symbol-table
+// level, sorted by address: all functions for SymFull, exported functions
+// otherwise.
+func (m *Module) FuncSymbols() []Symbol {
+	var out []Symbol
+	for _, s := range m.Symbols {
+		if s.Kind != SymFunc {
+			continue
+		}
+		if m.SymLevel != SymFull && !s.Exported {
+			continue
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// ExecSections returns the executable sections in address order.
+func (m *Module) ExecSections() []*Section {
+	var out []*Section
+	for i := range m.Sections {
+		if m.Sections[i].Executable() {
+			out = append(out, &m.Sections[i])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// ImportByPLT returns the import whose PLT stub is at link-time address a,
+// or nil.
+func (m *Module) ImportByPLT(a uint64) *Import {
+	for i := range m.Imports {
+		if m.Imports[i].PLT == a {
+			return &m.Imports[i]
+		}
+	}
+	return nil
+}
+
+// Extent returns the lowest link-time address and the total span in bytes
+// covered by the module's sections ([lo, lo+span)).
+func (m *Module) Extent() (lo, span uint64) {
+	if len(m.Sections) == 0 {
+		return 0, 0
+	}
+	lo = ^uint64(0)
+	hi := uint64(0)
+	for i := range m.Sections {
+		s := &m.Sections[i]
+		if s.Addr < lo {
+			lo = s.Addr
+		}
+		if end := s.Addr + uint64(len(s.Data)); end > hi {
+			hi = end
+		}
+	}
+	return lo, hi - lo
+}
+
+// Validate checks structural invariants: sections must not overlap, symbols
+// and relocations must point into sections, non-PIC modules must have a
+// non-zero base, and imports must have PLT/GOT addresses inside the module.
+func (m *Module) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("obj: module has no name")
+	}
+	if m.Type != Exec && m.Type != SharedObj {
+		return fmt.Errorf("obj: module %s: bad type %d", m.Name, m.Type)
+	}
+	if !m.PIC && m.Base == 0 {
+		return fmt.Errorf("obj: module %s: non-PIC module with zero base", m.Name)
+	}
+	if m.PIC && m.Base != 0 {
+		return fmt.Errorf("obj: module %s: PIC module with non-zero base %#x", m.Name, m.Base)
+	}
+	secs := append([]Section(nil), m.Sections...)
+	sort.Slice(secs, func(i, j int) bool { return secs[i].Addr < secs[j].Addr })
+	for i := 1; i < len(secs); i++ {
+		prev := &secs[i-1]
+		if prev.Addr+uint64(len(prev.Data)) > secs[i].Addr {
+			return fmt.Errorf("obj: module %s: sections %s and %s overlap",
+				m.Name, prev.Name, secs[i].Name)
+		}
+	}
+	for _, s := range m.Symbols {
+		if m.SectionAt(s.Addr) == nil && s.Addr != 0 {
+			return fmt.Errorf("obj: module %s: symbol %s at %#x outside all sections",
+				m.Name, s.Name, s.Addr)
+		}
+	}
+	for _, r := range m.Relocs {
+		sec := m.SectionAt(r.Where)
+		if sec == nil {
+			return fmt.Errorf("obj: module %s: reloc at %#x outside all sections",
+				m.Name, r.Where)
+		}
+		if !sec.Contains(r.Where + 7) {
+			return fmt.Errorf("obj: module %s: reloc at %#x straddles section end",
+				m.Name, r.Where)
+		}
+	}
+	for _, im := range m.Imports {
+		if m.SectionAt(im.PLT) == nil {
+			return fmt.Errorf("obj: module %s: import %s PLT %#x outside module",
+				m.Name, im.Name, im.PLT)
+		}
+		if m.SectionAt(im.GOT) == nil {
+			return fmt.Errorf("obj: module %s: import %s GOT %#x outside module",
+				m.Name, im.Name, im.GOT)
+		}
+	}
+	if m.Type == Exec {
+		sec := m.SectionAt(m.Entry)
+		if sec == nil || !sec.Executable() {
+			return fmt.Errorf("obj: module %s: entry %#x not in executable section",
+				m.Name, m.Entry)
+		}
+	}
+	return nil
+}

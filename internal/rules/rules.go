@@ -1,0 +1,309 @@
+// Package rules implements Janitizer's rewrite rules (Fig. 3): the
+// interface between the static analyzer and the dynamic modifier. Each rule
+// names a handler routine (RuleID), the basic block and instruction it
+// applies to (link-time addresses) and up to four data words. Rules are
+// recorded in a separate file per binary module and loaded at run time with
+// the module; a shared library analyzed once serves every binary that links
+// it (§3.3.1).
+package rules
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ID selects the dynamic modifier's handler routine for a rule.
+type ID uint16
+
+// Rule IDs. The numeric values are part of the rule-file encoding.
+const (
+	// NoOp marks a statically inspected block that needs no modification,
+	// letting the dynamic modifier distinguish "statically proven fine"
+	// from "never statically seen" (§3.3.4).
+	NoOp ID = 1
+
+	// MemAccess: instrument this memory access with a shadow check.
+	// Data1 packs the liveness summary (see PackLiveness), Data2 the
+	// access class (analysis.AccessClass) for SCEV-driven optimisation.
+	MemAccess ID = 2
+	// MemAccessSafe: the access is statically proven safe; the handler
+	// skips it (coverage is still recorded). Data fields as MemAccess.
+	MemAccessSafe ID = 3
+	// PoisonCanary: poison the canary slot's shadow after this
+	// instruction's predecessor stores the canary (Fig. 6). Data1 packs
+	// the slot base register, Data2 the displacement.
+	PoisonCanary ID = 4
+	// UnpoisonCanary: unpoison the canary slot before the epilogue check
+	// reloads it. Data as PoisonCanary.
+	UnpoisonCanary ID = 5
+
+	// CFICall: verify the target of this indirect call against the
+	// forward-edge table. Data1 packs liveness.
+	CFICall ID = 6
+	// CFIJump: verify the target of this indirect jump. Data1 packs
+	// liveness; Data2 holds the containing function entry (intra-function
+	// policy), Data3 the function end.
+	CFIJump ID = 7
+	// CFIRet: verify this return against the shadow stack. Data1 packs
+	// liveness.
+	CFIRet ID = 8
+	// ShadowPush: push the return address of this (direct or indirect)
+	// call on the shadow stack. Data1 packs liveness.
+	ShadowPush ID = 9
+	// CFIResolverRet: the ld.so lazy-resolver `push r0; ret` special case
+	// — attach a forward (indirect-call) check instead of a return check
+	// (§4.2.3).
+	CFIResolverRet ID = 10
+
+	// HoistedCheck: SCEV-derived range check hoisted to a loop preheader
+	// (§3.3.2): the in-loop accesses it covers are marked MemAccessSafe.
+	// Data1 packs liveness at the hoist point, Data2 packs the base
+	// register (low byte) and access width (next byte), Data3/Data4 hold
+	// the first and last displacement of the covered range (as signed
+	// 32-bit values).
+	HoistedCheck ID = 11
+
+	// CFITarget is not an instrumentation rule: it carries one valid
+	// indirect-CTI target (Instr = the target's link-time address) from
+	// the static analyzer to the dynamic modifier, which populates its
+	// run-time target hash tables from these — with PIC adjustment by the
+	// shared rule-loading path (§4.2.2). Data1 is a TargetKind bit set:
+	// 1 = indirect-call target, 2 = indirect-jump target.
+	CFITarget ID = 12
+
+	// CustomBase is the first rule ID reserved for out-of-tree tools:
+	// handler interpretation is tool-private, so custom techniques can
+	// define their own IDs at CustomBase and above without colliding with
+	// the built-in handlers.
+	CustomBase ID = 0x100
+)
+
+// CFITarget kind bits (Data1 of CFITarget rules).
+const (
+	TargetCall uint64 = 1 << iota
+	TargetJump
+)
+
+var idNames = map[ID]string{
+	NoOp:           "NO_OP",
+	MemAccess:      "MEM_ACCESS",
+	MemAccessSafe:  "MEM_ACCESS_SAFE",
+	PoisonCanary:   "POISON_CANARY",
+	UnpoisonCanary: "UNPOISON_CANARY",
+	CFICall:        "CFI_CALL",
+	CFIJump:        "CFI_JUMP",
+	CFIRet:         "CFI_RET",
+	ShadowPush:     "SHADOW_PUSH",
+	CFIResolverRet: "CFI_RESOLVER_RET",
+	HoistedCheck:   "HOISTED_CHECK",
+	CFITarget:      "CFI_TARGET",
+}
+
+func (id ID) String() string {
+	if s, ok := idNames[id]; ok {
+		return s
+	}
+	return fmt.Sprintf("RULE(%d)", uint16(id))
+}
+
+// Rule is one rewrite rule (Fig. 3): handler ID, basic-block address,
+// instruction address and four optional data words. Addresses are link-time;
+// the dynamic modifier adjusts them by the module load base for PIC code
+// when populating its hash tables (Fig. 5a).
+type Rule struct {
+	ID     ID
+	BBAddr uint64
+	Instr  uint64
+	Data   [4]uint64
+}
+
+func (r Rule) String() string {
+	return fmt.Sprintf("%s bb=%#x instr=%#x data=[%#x %#x %#x %#x]",
+		r.ID, r.BBAddr, r.Instr, r.Data[0], r.Data[1], r.Data[2], r.Data[3])
+}
+
+// File is the per-module rule file: the module it was generated for plus
+// its rules.
+type File struct {
+	Module string
+	Rules  []Rule
+}
+
+// fileMagic identifies serialised rule files.
+var fileMagic = [4]byte{'J', 'R', 'W', '1'}
+
+// ErrBadRuleFile reports a malformed rule file.
+var ErrBadRuleFile = errors.New("rules: bad rule file")
+
+// Marshal serialises the rule file.
+func (f *File) Marshal() []byte {
+	var buf bytes.Buffer
+	buf.Write(fileMagic[:])
+	binary.Write(&buf, binary.LittleEndian, uint32(len(f.Module)))
+	buf.WriteString(f.Module)
+	binary.Write(&buf, binary.LittleEndian, uint32(len(f.Rules)))
+	for _, r := range f.Rules {
+		binary.Write(&buf, binary.LittleEndian, uint16(r.ID))
+		binary.Write(&buf, binary.LittleEndian, r.BBAddr)
+		binary.Write(&buf, binary.LittleEndian, r.Instr)
+		for _, d := range r.Data {
+			binary.Write(&buf, binary.LittleEndian, d)
+		}
+	}
+	return buf.Bytes()
+}
+
+// WriteTo writes the serialised file to w.
+func (f *File) WriteTo(w io.Writer) (int64, error) {
+	b := f.Marshal()
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+// Unmarshal parses a serialised rule file.
+func Unmarshal(data []byte) (*File, error) {
+	if len(data) < 8 || !bytes.Equal(data[:4], fileMagic[:]) {
+		return nil, ErrBadRuleFile
+	}
+	off := 4
+	rd32 := func() (uint32, error) {
+		if off+4 > len(data) {
+			return 0, fmt.Errorf("%w: truncated at %d", ErrBadRuleFile, off)
+		}
+		v := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		return v, nil
+	}
+	rd64 := func() (uint64, error) {
+		if off+8 > len(data) {
+			return 0, fmt.Errorf("%w: truncated at %d", ErrBadRuleFile, off)
+		}
+		v := binary.LittleEndian.Uint64(data[off:])
+		off += 8
+		return v, nil
+	}
+	nameLen, err := rd32()
+	if err != nil {
+		return nil, err
+	}
+	if off+int(nameLen) > len(data) {
+		return nil, fmt.Errorf("%w: bad name length", ErrBadRuleFile)
+	}
+	f := &File{Module: string(data[off : off+int(nameLen)])}
+	off += int(nameLen)
+	count, err := rd32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < count; i++ {
+		if off+2 > len(data) {
+			return nil, fmt.Errorf("%w: truncated rule %d", ErrBadRuleFile, i)
+		}
+		var r Rule
+		r.ID = ID(binary.LittleEndian.Uint16(data[off:]))
+		off += 2
+		if r.BBAddr, err = rd64(); err != nil {
+			return nil, err
+		}
+		if r.Instr, err = rd64(); err != nil {
+			return nil, err
+		}
+		for j := range r.Data {
+			if r.Data[j], err = rd64(); err != nil {
+				return nil, err
+			}
+		}
+		f.Rules = append(f.Rules, r)
+	}
+	return f, nil
+}
+
+// Table is one module's rewrite-rule hash table in the dynamic modifier
+// (Fig. 5): rules keyed by *run-time* basic-block address. Per-module tables
+// let modules load and unload without scanning for stale hints (§3.4.2).
+type Table struct {
+	// ModuleName identifies the module the table belongs to.
+	ModuleName string
+	// Base is the load-base adjustment that was applied (0 for non-PIC).
+	Base    uint64
+	byBlock map[uint64][]Rule
+	byInstr map[uint64][]Rule
+}
+
+// NewTable builds a run-time table from a rule file, adjusting link-time
+// addresses by base (pass 0 for non-PIC modules) — Fig. 5a step 4.
+func NewTable(f *File, base uint64) *Table {
+	t := &Table{
+		ModuleName: f.Module,
+		Base:       base,
+		byBlock:    make(map[uint64][]Rule, len(f.Rules)),
+		byInstr:    make(map[uint64][]Rule, len(f.Rules)),
+	}
+	for _, r := range f.Rules {
+		r.BBAddr += base
+		r.Instr += base
+		t.byBlock[r.BBAddr] = append(t.byBlock[r.BBAddr], r)
+		if r.Instr != 0 {
+			t.byInstr[r.Instr] = append(t.byInstr[r.Instr], r)
+		}
+	}
+	return t
+}
+
+// BlockRules returns the rules attached to the basic block at run-time
+// address bb, and whether the block was statically seen at all (a hash-table
+// hit, Fig. 4 step 3b).
+func (t *Table) BlockRules(bb uint64) ([]Rule, bool) {
+	rs, ok := t.byBlock[bb]
+	return rs, ok
+}
+
+// InstrRules returns the rules attached to the instruction at run-time
+// address addr.
+func (t *Table) InstrRules(addr uint64) []Rule { return t.byInstr[addr] }
+
+// Len returns the number of distinct blocks with rules.
+func (t *Table) Len() int { return len(t.byBlock) }
+
+// Blocks returns the run-time block addresses present, sorted (testing and
+// diagnostics).
+func (t *Table) Blocks() []uint64 {
+	out := make([]uint64, 0, len(t.byBlock))
+	for a := range t.byBlock {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PackLiveness encodes a liveness summary into a rule data word: the low 16
+// bits hold the live-register mask, bit 16 the flags-live bit, bits 17+ up
+// to three free (dead) register numbers + 1 (0 = none).
+func PackLiveness(liveRegs uint16, flagsLive bool, free []uint8) uint64 {
+	v := uint64(liveRegs)
+	if flagsLive {
+		v |= 1 << 16
+	}
+	for i := 0; i < 3 && i < len(free); i++ {
+		v |= uint64(free[i]+1) << (17 + 5*i)
+	}
+	return v
+}
+
+// UnpackLiveness reverses PackLiveness.
+func UnpackLiveness(v uint64) (liveRegs uint16, flagsLive bool, free []uint8) {
+	liveRegs = uint16(v)
+	flagsLive = v&(1<<16) != 0
+	for i := 0; i < 3; i++ {
+		f := (v >> (17 + 5*i)) & 0x1f
+		if f == 0 {
+			break
+		}
+		free = append(free, uint8(f-1))
+	}
+	return
+}

@@ -1,0 +1,128 @@
+package spec
+
+import (
+	"testing"
+
+	"repro/internal/loader"
+	"repro/internal/vm"
+)
+
+// runNative executes a workload natively and returns exit status and
+// instruction count.
+func runNative(t *testing.T, w *Workload, pic bool) (int64, uint64) {
+	t.Helper()
+	main, reg, err := w.Build(pic)
+	if err != nil {
+		t.Fatalf("%s: build: %v", w.Name, err)
+	}
+	m := vm.New()
+	m.InstallDefaultServices()
+	m.MaxInstrs = 100_000_000
+	proc := loader.NewProcess(m, reg)
+	lm, err := proc.LoadProgram(main)
+	if err != nil {
+		t.Fatalf("%s: load: %v", w.Name, err)
+	}
+	if err := m.Run(lm.RuntimeAddr(main.Entry)); err != nil {
+		t.Fatalf("%s: run: %v", w.Name, err)
+	}
+	return m.ExitStatus, m.Instrs
+}
+
+func TestAllWorkloadsBuildAndRun(t *testing.T) {
+	if len(All()) != 28 {
+		t.Fatalf("workloads = %d, want 28 (the SPEC CPU2006 suite)", len(All()))
+	}
+	seen := map[string]bool{}
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			if seen[w.Name] {
+				t.Fatal("duplicate name")
+			}
+			seen[w.Name] = true
+			status, instrs := runNative(t, w, false)
+			if instrs < 20_000 {
+				t.Errorf("only %d instructions: workload too small to measure", instrs)
+			}
+			if instrs > 40_000_000 {
+				t.Errorf("%d instructions: workload too large for the harness", instrs)
+			}
+			// Deterministic?
+			status2, instrs2 := runNative(t, w, false)
+			if status != status2 || instrs != instrs2 {
+				t.Errorf("nondeterministic: (%d,%d) vs (%d,%d)",
+					status, instrs, status2, instrs2)
+			}
+			t.Logf("%s: exit=%d instrs=%d", w.Name, status, instrs)
+		})
+	}
+}
+
+func TestPICVariantsMatchNonPIC(t *testing.T) {
+	// Retrowrite runs on PIC builds; their behaviour must match.
+	for _, name := range []string{"perlbench", "mcf", "lbm", "gcc"} {
+		w := ByName(name)
+		s1, _ := runNative(t, w, false)
+		s2, _ := runNative(t, w, true)
+		if s1 != s2 {
+			t.Errorf("%s: PIC exit %d != non-PIC exit %d", name, s2, s1)
+		}
+	}
+}
+
+func TestLanguageGates(t *testing.T) {
+	counts := map[string]int{}
+	for _, w := range All() {
+		counts[w.Lang]++
+		if w.Lang == "c" && !w.Retrowritable() {
+			t.Errorf("%s: C benchmark must be retrowritable", w.Name)
+		}
+		if w.Lang != "c" && w.Retrowritable() {
+			t.Errorf("%s: non-C benchmark must not be retrowritable", w.Name)
+		}
+	}
+	if counts["c"] < 8 || counts["c++"] < 5 || counts["fortran"] < 5 {
+		t.Errorf("language mix implausible: %v", counts)
+	}
+}
+
+func TestTraits(t *testing.T) {
+	if w := ByName("cactusADM"); len(w.DlopenOnly) == 0 {
+		t.Error("cactusADM must dlopen its solver")
+	}
+	if w := ByName("lbm"); w.ExtraAsm["liblbm.jef"] == "" {
+		t.Error("lbm must link the computed-goto kernel")
+	}
+	for _, n := range []string{"gamess", "zeusmp"} {
+		if w := ByName(n); w.ExtraAsm["libfort.jef"] == "" {
+			t.Errorf("%s must link libfort (data-in-code)", n)
+		}
+	}
+	broken := 0
+	for _, w := range All() {
+		if w.LockdownBroken {
+			broken++
+		}
+	}
+	if broken != 2 {
+		t.Errorf("LockdownBroken count = %d, want 2 (omnetpp, dealII)", broken)
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName(nope) should be nil")
+	}
+	if len(Names()) != 28 {
+		t.Error("Names() length wrong")
+	}
+}
+
+func TestScaleParameter(t *testing.T) {
+	w := *ByName("lbm")
+	w.Scale = 1
+	_, i1 := runNative(t, &w, false)
+	w.Scale = 2
+	_, i2 := runNative(t, &w, false)
+	if i2 < i1*3/2 {
+		t.Errorf("scale=2 instrs %d not ~2x scale=1 %d", i2, i1)
+	}
+}

@@ -1,0 +1,768 @@
+package spec
+
+import "fmt"
+
+// The workload table. Sources use SCALE_N as the iteration multiplier.
+
+// libfortAsm is the hand-written "Fortran runtime" module with a constant
+// pool embedded in the code section: linear disassembly desynchronises on
+// it, which is what breaks BinCFI's static rewriting for gamess and zeusmp.
+const libfortAsm = `
+.module libfort.jef
+.type shared
+.pic
+.global fsum
+.global fscale
+.section .text
+; fsum(arr r1, n r2) -> sum of n quads
+fsum:
+    mov r0, 0
+    mov r6, 0
+.fs_loop:
+    cmp r6, r2
+    jge .fs_done
+    ldxq r7, [r1+r6*8]
+    add r0, r7
+    add r6, 1
+    jmp .fs_loop
+.fs_done:
+    ret
+.fs_pool:
+    ; Fortran-style constant pool embedded between functions: decodes as a
+    ; truncated mov-imm64 and swallows the head of fscale in linear sweeps.
+    .byte 1, 0, 0, 0, 0, 0, 0, 0
+fscale:
+; fscale(arr r1, n r2, k r3): arr[i] *= k
+    mov r6, 0
+.fc_loop:
+    cmp r6, r2
+    jge .fc_done
+    ldxq r7, [r1+r6*8]
+    mul r7, r3
+    stxq [r1+r6*8], r7
+    add r6, 1
+    jmp .fc_loop
+.fc_done:
+    ret
+`
+
+// liblbmAsm holds lbm's streaming kernel with a computed goto: the two
+// dispatch targets are reached through address arithmetic no static
+// recovery can resolve — the two dynamically-discovered blocks of Fig. 14.
+const liblbmAsm = `
+.module liblbm.jef
+.type shared
+.pic
+.global lbm_kernel
+.section .text
+; lbm_kernel(n r1) -> checksum
+lbm_kernel:
+    push fp
+    mov fp, sp
+    mov r0, 0
+    mov r6, 0
+.lk_loop:
+    cmp r6, r1
+    jge .lk_done
+    la r7, .lk_even
+    mov r8, r6
+    and r8, 1
+    mul r8, 59          ; each hidden block is 59 bytes
+    add r7, r8
+    jmpi r7             ; computed goto: targets invisible statically
+.lk_even:
+    add r0, 2           ; 6 bytes
+    add r6, 1           ; 6
+    shl r0, 1           ; 6
+    xor r0, 11          ; 6
+    shr r0, 1           ; 6
+    add r0, 1           ; 6
+    and r0, 65535       ; 6
+    or r0, 2            ; 6
+    add r0, 1           ; 6
+    jmp .lk_loop        ; 5   = 59 bytes
+.lk_odd:
+    add r0, 5           ; 6
+    add r6, 1           ; 6
+    shl r0, 1           ; 6
+    xor r0, 7           ; 6
+    shr r0, 1           ; 6
+    add r0, 3           ; 6
+    and r0, 65535       ; 6
+    or r0, 1            ; 6
+    add r0, 2           ; 6
+    jmp .lk_loop        ; 5   = 59 bytes
+.lk_done:
+    mov sp, fp
+    pop fp
+    ret
+`
+
+// cactusSolverC is the dlopened solver module that holds nearly all of
+// cactusADM's code — none of it visible to the static analyzer (Fig. 14's
+// 92.4% dynamically discovered blocks). The stage functions are generated
+// to give the solver a realistically large block count relative to the tiny
+// statically-visible main program.
+var cactusSolverC = genCactusSolver()
+
+func genCactusSolver() string {
+	src := "int grid[512];\n"
+	// 40 generated stage functions with distinct control flow.
+	for i := 0; i < 40; i++ {
+		src += fmt.Sprintf(`
+static int stage%d(int x) {
+    int acc = x;
+    for (int i = %d; i < 500; i += %d) {
+        if ((grid[i] & %d) != 0) acc += grid[i] / %d;
+        else acc -= grid[i] %% %d;
+        grid[i] = (grid[i] + acc) & 1023;
+    }
+    return acc;
+}`, i, 1+i%7, 3+i%5, 1+(i%4), 2+i%3, 3+i%6)
+	}
+	src += "\nstatic int pipeline(int x) {\n    int acc = x;\n"
+	for i := 0; i < 40; i++ {
+		src += fmt.Sprintf("    acc += stage%d(acc) & 255;\n", i)
+	}
+	src += "    return acc;\n}\n"
+	src += `
+static int setup(int seed) {
+    for (int i = 0; i < 512; i++) grid[i] = (i * seed + 17) % 251;
+    return seed;
+}
+int solve(int iters) {
+    setup(3);
+    int acc = 0;
+    for (int k = 0; k < iters; k++) acc += pipeline(k) & 255;
+    return acc & 1023;
+}
+`
+	return src
+}
+
+// all is the workload table, in the paper's figure order.
+var all = []*Workload{
+	{
+		Name: "perlbench", Lang: "c",
+		// Interpreter-shaped: opcode dispatch through a function-pointer
+		// table plus hash-style string mixing — indirect-call heavy.
+		Src: `
+int opAdd(int x) { return x + 3; }
+int opMul(int x) { return x * 2 + 1; }
+int opMask(int x) { return x & 1023; }
+int opShift(int x) { return (x << 1) ^ (x >> 3); }
+int (*dispatch[4])(int) = {opAdd, opMul, opMask, opShift};
+char script[64] = "sub f { return $_[0] * 2; } print f(21);";
+int main() {
+    int acc = 7;
+    int n = SCALE_N * 1500;
+    for (int i = 0; i < n; i++) {
+        int op = (acc ^ i) & 3;
+        acc = dispatch[op](acc);
+        acc += script[i & 31];
+    }
+    return acc & 127;
+}`,
+	},
+	{
+		Name: "bzip2", Lang: "c",
+		// Byte-granular compression loop: dense 1-byte loads and stores.
+		Src: `
+char in[4096];
+char out[4608];
+int main() {
+    for (int i = 0; i < 4096; i++) in[i] = (i * 7 + (i >> 3)) & 255;
+    int w = 0;
+    int n = SCALE_N * 3;
+    for (int r = 0; r < n; r++) {
+        w = 0;
+        int i = 0;
+        while (i < 4095) {
+            char c = in[i];
+            int run = 1;
+            while (i + run < 4095 && in[i + run] == c && run < 255) run++;
+            if (run > 3) { out[w] = 0; out[w+1] = run; out[w+2] = c; w += 3; }
+            else { out[w] = c; w += 1; }
+            i += run;
+        }
+    }
+    return w & 127;
+}`,
+	},
+	{
+		Name: "gcc", Lang: "c",
+		// Compiler-shaped: dense switch (jump table at -O2), many small
+		// functions, and pass callbacks registered in a TABLE handed to
+		// library code — one of Lockdown's false-positive cases (§6.2.2).
+		Src: `
+int passCSE(int x) { return x ^ (x >> 2); }
+int passDCE(int x) { return x & 0x7fff; }
+int passFold(int x) { return x * 3 + 1; }
+int (*passes[3])(int) = {passCSE, passDCE, passFold};
+int lower(int op, int v) {
+    switch (op) {
+    case 0: return v + 1;
+    case 1: return v - 1;
+    case 2: return v * 2;
+    case 3: return v / 2;
+    case 4: return v & 255;
+    case 5: return v | 4096;
+    case 6: return v ^ 77;
+    case 7: return v << 2;
+    default: return v;
+    }
+}
+int main() {
+    int ir = 11;
+    int n = SCALE_N * 900;
+    for (int i = 0; i < n; i++) ir = lower(i & 7, ir) & 0xffff;
+    ir += apply_table(passes, 3, ir);
+    return ir & 127;
+}`,
+	},
+	{
+		Name: "mcf", Lang: "c",
+		// Pointer chasing over a malloc'd linked structure.
+		Src: `
+int main() {
+    int n = 600;
+    int *nodes[600];
+    for (int i = 0; i < n; i++) {
+        int *node = malloc(16);
+        node[0] = i * 3 + 1;
+        nodes[i] = node;
+    }
+    for (int i = 0; i < n; i++) nodes[i][1] = nodes[(i * 7 + 3) % n];
+    int acc = 0;
+    int hops = SCALE_N * 9000;
+    int *cur = nodes[0];
+    for (int i = 0; i < hops; i++) {
+        acc += cur[0];
+        cur = cur[1];
+    }
+    for (int i = 0; i < n; i++) free(nodes[i]);
+    return acc & 127;
+}`,
+	},
+	{
+		Name: "gobmk", Lang: "c",
+		// Recursive board evaluation over char arrays (canary frames).
+		Src: `
+char board[81];
+int evalpos(int pos, int depth) {
+    char line[16];
+    for (int i = 0; i < 9; i++) line[i] = board[(pos + i * 9) % 81];
+    int s = 0;
+    for (int i = 0; i < 9; i++) s += line[i];
+    if (depth == 0) return s;
+    int best = -99999;
+    for (int m = 0; m < 3; m++) {
+        int v = evalpos((pos + m * 13 + 5) % 81, depth - 1) - s;
+        if (v > best) best = v;
+    }
+    return best;
+}
+int main() {
+    for (int i = 0; i < 81; i++) board[i] = (i * 5 + 2) % 3;
+    int acc = 0;
+    int n = SCALE_N * 55;
+    for (int g = 0; g < n; g++) acc += evalpos(g % 81, 3);
+    return acc & 127;
+}`,
+	},
+	{
+		Name: "hmmer", Lang: "c",
+		// Dynamic-programming inner loop: dense 8-byte array traffic.
+		Src: `
+int vit[256];
+int trans[256];
+int main() {
+    for (int i = 0; i < 256; i++) { vit[i] = i & 31; trans[i] = (i * 3) & 15; }
+    int n = SCALE_N * 170;
+    for (int row = 0; row < n; row++) {
+        for (int i = 1; i < 255; i++) {
+            int a = vit[i-1] + trans[i];
+            int b = vit[i] + trans[(i+row) & 255];
+            if (a > b) vit[i] = a & 0xffff; else vit[i] = b & 0xffff;
+        }
+    }
+    return vit[128] & 127;
+}`,
+	},
+	{
+		Name: "sjeng", Lang: "c",
+		// Game-tree search: recursion + switch dispatch on move kind.
+		Src: `
+int apply(int kind, int v) {
+    switch (kind) {
+    case 0: return v + 9;
+    case 1: return v - 4;
+    case 2: return v ^ 33;
+    case 3: return v * 2;
+    case 4: return v / 3;
+    case 5: return v | 5;
+    default: return v;
+    }
+}
+int search(int pos, int depth) {
+    if (depth == 0) return pos & 63;
+    int best = -100000;
+    for (int m = 0; m < 4; m++) {
+        int v = apply((pos + m) % 6, pos) - search((pos * 5 + m) & 1023, depth - 1);
+        if (v > best) best = v;
+    }
+    return best;
+}
+int main() {
+    int acc = 0;
+    int n = SCALE_N * 16;
+    for (int i = 0; i < n; i++) acc += search(i * 37 & 1023, 4);
+    return acc & 127;
+}`,
+	},
+	{
+		Name: "libquantum", Lang: "c",
+		// Quantum register simulation: bit-twiddling sweeps over a vector.
+		Src: `
+int reg[2048];
+int main() {
+    for (int i = 0; i < 2048; i++) reg[i] = i;
+    int n = SCALE_N * 60;
+    for (int g = 0; g < n; g++) {
+        int mask = 1 << (g % 10);
+        for (int i = 0; i < 2048; i++) reg[i] = reg[i] ^ (reg[i] & mask) * 2;
+    }
+    int acc = 0;
+    for (int i = 0; i < 2048; i++) acc += reg[i] & 7;
+    return acc & 127;
+}`,
+	},
+	{
+		Name: "h264ref", Lang: "c",
+		// Video encoding shape: block memcpy traffic plus filter callbacks
+		// handed to library code through a table (Lockdown FP, §6.2.2).
+		Src: `
+char frame[4096];
+char ref[4096];
+int filterLuma(int x) { return (x * 5 + 4) / 8; }
+int filterChroma(int x) { return (x + 1) / 2; }
+int (*filters[2])(int) = {filterLuma, filterChroma};
+int main() {
+    for (int i = 0; i < 4096; i++) ref[i] = (i * 3) & 255;
+    int n = SCALE_N * 60;
+    int sad = 0;
+    for (int mb = 0; mb < n; mb++) {
+        int off = (mb * 272) % 3800;
+        memcpy(frame, ref + off, 256);
+        for (int i = 0; i < 256; i += 16) sad += frame[i];
+    }
+    sad += apply_table(filters, 2, sad & 255);
+    return sad & 127;
+}`,
+	},
+	{
+		Name: "omnetpp", Lang: "c++", LockdownBroken: true,
+		// Discrete-event simulation: handler dispatch via function
+		// pointers on a ring queue.
+		Src: `
+int qtime[128];
+int qkind[128];
+int state = 1;
+int hTimer(int t) { state = state + t; return 1; }
+int hMsg(int t) { state = state ^ (t * 3); return 2; }
+int hGate(int t) { state = state - (t & 7); return 1; }
+int (*handlers[3])(int) = {hTimer, hMsg, hGate};
+int main() {
+    int head = 0;
+    int tail = 0;
+    for (int i = 0; i < 64; i++) { qtime[tail] = i; qkind[tail] = i % 3; tail = (tail+1)&127; }
+    int n = SCALE_N * 9000;
+    for (int ev = 0; ev < n; ev++) {
+        int k = qkind[head];
+        int t = qtime[head];
+        head = (head + 1) & 127;
+        int dt = handlers[k](t);
+        qtime[tail] = t + dt;
+        qkind[tail] = (k + state) % 3;
+        tail = (tail + 1) & 127;
+    }
+    return state & 127;
+}`,
+	},
+	{
+		Name: "astar", Lang: "c++",
+		// Grid pathfinding: open-list scan plus neighbour relaxation.
+		Src: `
+int dist[256];
+int visited[256];
+int main() {
+    int n = SCALE_N * 6;
+    int acc = 0;
+    for (int rep = 0; rep < n; rep++) {
+        for (int i = 0; i < 256; i++) { dist[i] = 99999; visited[i] = 0; }
+        dist[0] = 0;
+        for (int round = 0; round < 96; round++) {
+            int best = -1;
+            int bestd = 100000;
+            for (int i = 0; i < 256; i++)
+                if (!visited[i] && dist[i] < bestd) { bestd = dist[i]; best = i; }
+            if (best < 0) break;
+            visited[best] = 1;
+            int r = best / 16; int c = best % 16;
+            if (c+1 < 16 && dist[best]+1 < dist[best+1]) dist[best+1] = dist[best]+1;
+            if (r+1 < 16 && dist[best]+1 < dist[best+16]) dist[best+16] = dist[best]+1;
+        }
+        acc += dist[255] & 7;
+    }
+    return acc & 127;
+}`,
+	},
+	{
+		Name: "xalancbmk", Lang: "c++",
+		// XSLT-shaped: tree walk with per-node-type virtual dispatch.
+		Src: `
+int kind[512];
+int child[512];
+int sib[512];
+int vText(int n) { return n & 15; }
+int vElem(int n) { return (n * 3) & 31; }
+int vAttr(int n) { return n ^ 5; }
+int (*vtable[3])(int) = {vText, vElem, vAttr};
+int walk(int n, int depth) {
+    if (n < 0 || depth > 24) return 0;
+    int s = vtable[kind[n]](n);
+    return s + walk(child[n], depth+1) + walk(sib[n], depth+1);
+}
+int main() {
+    for (int i = 0; i < 512; i++) {
+        kind[i] = i % 3;
+        if (2*i+1 < 512) child[i] = 2*i+1; else child[i] = -1;
+        if (i+1 < 512 && i % 2 == 0) sib[i] = -1; else sib[i] = -1;
+    }
+    int acc = 0;
+    int n = SCALE_N * 110;
+    for (int r = 0; r < n; r++) acc += walk(0, 0) & 255;
+    return acc & 127;
+}`,
+	},
+	{
+		Name: "bwaves", Lang: "fortran",
+		// Blast-wave stencil: triple-nested FP-style array loops.
+		Src: `
+int u[1350];
+int main() {
+    for (int i = 0; i < 1350; i++) u[i] = i & 63;
+    int n = SCALE_N * 26;
+    for (int t = 0; t < n; t++) {
+        for (int i = 15; i < 1335; i++) {
+            u[i] = (u[i-15] + u[i] * 2 + u[i+15]) / 4 + (u[i-1] + u[i+1]) / 2;
+        }
+    }
+    int acc = 0;
+    for (int i = 0; i < 1350; i++) acc += u[i] & 3;
+    return acc & 127;
+}`,
+	},
+	{
+		Name: "gamess", Lang: "fortran",
+		// Quantum-chemistry kernels linked against the Fortran runtime
+		// module whose embedded constant pool breaks BinCFI (§6.2.1).
+		ExtraAsm: map[string]string{"libfort.jef": libfortAsm},
+		Src: `
+int fsum(int *a, int n);
+int fscale(int *a, int n, int k);
+int ints[700];
+int main() {
+    for (int i = 0; i < 700; i++) ints[i] = (i * 11 + 3) & 127;
+    int acc = 0;
+    int n = SCALE_N * 60;
+    for (int it = 0; it < n; it++) {
+        fscale(ints, 700, 3);
+        for (int i = 0; i < 700; i++) ints[i] = ints[i] % 977;
+        acc += fsum(ints, 700) & 1023;
+    }
+    return acc & 127;
+}`,
+	},
+	{
+		Name: "milc", Lang: "c",
+		// Lattice QCD shape: complex-ish arithmetic over site arrays.
+		Src: `
+int re[1024];
+int im[1024];
+int main() {
+    for (int i = 0; i < 1024; i++) { re[i] = i & 31; im[i] = (i * 3) & 31; }
+    int n = SCALE_N * 55;
+    for (int t = 0; t < n; t++) {
+        for (int i = 0; i < 1023; i++) {
+            int a = re[i]; int b = im[i];
+            int c = re[i+1]; int d = im[i+1];
+            re[i] = (a*c - b*d) % 251;
+            im[i] = (a*d + b*c) % 251;
+        }
+    }
+    return (re[100] + im[200]) & 127;
+}`,
+	},
+	{
+		Name: "zeusmp", Lang: "fortran",
+		// Magnetohydrodynamics stencil over the Fortran runtime module
+		// (BinCFI rewriting failure, like gamess).
+		ExtraAsm: map[string]string{"libfort.jef": libfortAsm},
+		Src: `
+int fsum(int *a, int n);
+int v[900];
+int main() {
+    for (int i = 0; i < 900; i++) v[i] = (i * 7) & 255;
+    int n = SCALE_N * 45;
+    for (int t = 0; t < n; t++) {
+        for (int i = 30; i < 870; i++)
+            v[i] = (v[i-30] + 2*v[i] + v[i+30] + v[i-1] + v[i+1]) / 6;
+    }
+    return fsum(v, 900) & 127;
+}`,
+	},
+	{
+		Name: "gromacs", Lang: "c",
+		// Molecular dynamics: pairwise force accumulation.
+		Src: `
+int pos[512];
+int force[512];
+int main() {
+    for (int i = 0; i < 512; i++) { pos[i] = (i * 13) & 255; force[i] = 0; }
+    int n = SCALE_N * 9;
+    for (int t = 0; t < n; t++) {
+        for (int i = 0; i < 512; i++) {
+            int f = 0;
+            for (int j = i + 1; j < i + 24 && j < 512; j++) {
+                int d = pos[i] - pos[j];
+                if (d < 0) d = -d;
+                f += 1000 / (d + 1);
+            }
+            force[i] = (force[i] + f) & 0xffff;
+        }
+        for (int i = 0; i < 512; i++) pos[i] = (pos[i] + force[i] / 64) & 255;
+    }
+    return force[256] & 127;
+}`,
+	},
+	{
+		Name: "cactusADM", Lang: "fortran",
+		// Numerical relativity: nearly ALL work happens in a solver module
+		// loaded via dlopen — invisible to ldd and the static analyzer, so
+		// 90%+ of executed blocks are dynamically discovered (Fig. 14).
+		ExtraC:     map[string]string{"cactus_solver.jef": cactusSolverC},
+		DlopenOnly: []string{"cactus_solver.jef"},
+		Src: `
+int main() {
+    int h = dlopen("cactus_solver.jef", 17);
+    if (h == 0) return 99;
+    int (*solve)(int) = dlsym(h, "solve", 5);
+    if (solve == 0) return 98;
+    return solve(SCALE_N * 4) & 127;
+}`,
+	},
+	{
+		Name: "leslie3d", Lang: "fortran",
+		// Eddy simulation: layered stencil sweeps.
+		Src: `
+int q[1200];
+int main() {
+    for (int i = 0; i < 1200; i++) q[i] = (i * 5 + 1) & 127;
+    int n = SCALE_N * 30;
+    for (int t = 0; t < n; t++) {
+        for (int i = 40; i < 1160; i++)
+            q[i] = (q[i-40] + q[i] + q[i+40] + q[i-1]*2 + q[i+1]*2) / 7;
+    }
+    int acc = 0;
+    for (int i = 0; i < 1200; i++) acc += q[i] & 1;
+    return acc & 127;
+}`,
+	},
+	{
+		Name: "namd", Lang: "c++",
+		// Molecular dynamics with cutoff: nested pair loops, heavy loads.
+		Src: `
+int x[400];
+int y[400];
+int main() {
+    for (int i = 0; i < 400; i++) { x[i] = (i*17)&511; y[i] = (i*29)&511; }
+    int acc = 0;
+    int n = SCALE_N * 10;
+    for (int t = 0; t < n; t++) {
+        for (int i = 0; i < 400; i++) {
+            for (int j = i+1; j < i+20 && j < 400; j++) {
+                int dx = x[i]-x[j]; int dy = y[i]-y[j];
+                int r2 = dx*dx + dy*dy;
+                if (r2 < 10000) acc += 100000 / (r2 + 10);
+            }
+        }
+    }
+    return acc & 127;
+}`,
+	},
+	{
+		Name: "dealII", Lang: "c++", LockdownBroken: true,
+		// Finite elements: local matrix assembly into a global sparse-ish
+		// structure.
+		Src: `
+int K[2048];
+int elem[16];
+int main() {
+    int n = SCALE_N * 220;
+    for (int e = 0; e < n; e++) {
+        for (int i = 0; i < 16; i++) elem[i] = ((e + i) * 7) & 63;
+        for (int i = 0; i < 4; i++)
+            for (int j = 0; j < 4; j++) {
+                int gi = (e * 4 + i) & 2047;
+                K[gi] = (K[gi] + elem[i*4+j]) & 0xffff;
+            }
+    }
+    int acc = 0;
+    for (int i = 0; i < 2048; i++) acc += K[i] & 3;
+    return acc & 127;
+}`,
+	},
+	{
+		Name: "soplex", Lang: "c++",
+		// Simplex pivoting: column scans and row updates.
+		Src: `
+int tab[1600];
+int main() {
+    for (int i = 0; i < 1600; i++) tab[i] = ((i * 37) % 113) - 56;
+    int n = SCALE_N * 55;
+    for (int p = 0; p < n; p++) {
+        int col = -1; int best = 0;
+        for (int j = 0; j < 40; j++)
+            if (tab[39*40+j] < best) { best = tab[39*40+j]; col = j; }
+        if (col < 0) col = p % 40;
+        for (int i = 0; i < 39; i++) {
+            int piv = tab[i*40+col];
+            for (int j = 0; j < 40; j++)
+                tab[i*40+j] = (tab[i*40+j] - piv) % 1009;
+        }
+    }
+    return tab[820] & 127;
+}`,
+	},
+	{
+		Name: "povray", Lang: "c++",
+		// Ray tracing: intersection loop with per-material shading
+		// dispatch through function pointers.
+		Src: `
+int sx[32];
+int sr[32];
+int shadeMatte(int d) { return d / 2; }
+int shadeShiny(int d) { return d * 3 / 4 + 8; }
+int (*shaders[2])(int) = {shadeMatte, shadeShiny};
+int main() {
+    for (int i = 0; i < 32; i++) { sx[i] = (i * 29) & 255; sr[i] = 4 + (i & 7); }
+    int img = 0;
+    int n = SCALE_N * 2600;
+    for (int ray = 0; ray < n; ray++) {
+        int ox = (ray * 11) & 255;
+        int hit = -1; int hd = 99999;
+        for (int s = 0; s < 32; s++) {
+            int d = ox - sx[s];
+            if (d < 0) d = -d;
+            if (d < sr[s] && d < hd) { hd = d; hit = s; }
+        }
+        if (hit >= 0) img += shaders[hit & 1](hd);
+    }
+    return img & 127;
+}`,
+	},
+	{
+		Name: "calculix", Lang: "fortran",
+		// Structural FEM: banded matrix-vector products.
+		Src: `
+int A[1984];
+int xv[64];
+int yv[64];
+int main() {
+    for (int i = 0; i < 1984; i++) A[i] = ((i * 13) % 61) - 30;
+    for (int i = 0; i < 64; i++) xv[i] = i & 15;
+    int n = SCALE_N * 140;
+    for (int t = 0; t < n; t++) {
+        for (int i = 0; i < 62; i++) {
+            int s = 0;
+            for (int b = 0; b < 31; b++) s += A[i*31+b] * xv[(i+b) & 63];
+            yv[i & 63] = s % 4093;
+        }
+        for (int i = 0; i < 64; i++) xv[i] = (xv[i] + yv[i]) & 31;
+    }
+    return yv[32] & 127;
+}`,
+	},
+	{
+		Name: "GemsFDTD", Lang: "fortran",
+		// Finite-difference time domain: E/H field leapfrog updates.
+		Src: `
+int E[1100];
+int H[1100];
+int main() {
+    for (int i = 0; i < 1100; i++) { E[i] = 0; H[i] = (i & 31) - 16; }
+    int n = SCALE_N * 50;
+    for (int t = 0; t < n; t++) {
+        for (int i = 1; i < 1099; i++) E[i] = (E[i] + (H[i] - H[i-1]) / 2) % 32749;
+        for (int i = 1; i < 1099; i++) H[i] = (H[i] + (E[i+1] - E[i]) / 2) % 32749;
+    }
+    return (E[550] + H[550]) & 127;
+}`,
+	},
+	{
+		Name: "tonto", Lang: "fortran",
+		// Quantum crystallography: integral accumulation with symmetry.
+		Src: `
+int basis[256];
+int main() {
+    for (int i = 0; i < 256; i++) basis[i] = (i * 19 + 7) & 127;
+    int acc = 0;
+    int n = SCALE_N * 9;
+    for (int t = 0; t < n; t++) {
+        for (int i = 0; i < 256; i++)
+            for (int j = i; j < i + 28 && j < 256; j++) {
+                int v = basis[i] * basis[j];
+                acc = (acc + v / (1 + ((i + j) & 7))) % 65521;
+            }
+    }
+    return acc & 127;
+}`,
+	},
+	{
+		Name: "lbm", Lang: "c",
+		// Lattice-Boltzmann: a tiny kernel whose inner dispatch lives in
+		// the computed-goto assembly module (two statically invisible
+		// blocks — Fig. 14's 18.7% from just two blocks).
+		ExtraAsm: map[string]string{"liblbm.jef": liblbmAsm},
+		Src: `
+int lbm_kernel(int n);
+int main() {
+    return lbm_kernel(SCALE_N * 12000) & 127;
+}`,
+	},
+	{
+		Name: "sphinx3", Lang: "c",
+		// Speech recognition: acoustic scoring over byte features.
+		Src: `
+char feat[2048];
+int mean[256];
+int main() {
+    for (int i = 0; i < 2048; i++) feat[i] = (i * 23) & 255;
+    for (int i = 0; i < 256; i++) mean[i] = (i * 5) & 255;
+    int score = 0;
+    int n = SCALE_N * 55;
+    for (int f = 0; f < n; f++) {
+        for (int i = 0; i < 2048; i++) {
+            int d = feat[i] - mean[i & 255];
+            score = (score + d * d) % 999983;
+        }
+    }
+    return score & 127;
+}`,
+	},
+}
+
+// All returns the workload table (fresh copies of the slice header; the
+// workloads themselves are shared and must not be mutated).
+func All() []*Workload { return all }

@@ -1,0 +1,168 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+// execALU runs one two-operand ALU instruction on fresh machine state and
+// returns the result register and flags.
+func execALU(op isa.Op, a, b uint64) (uint64, isa.Flag) {
+	m := New()
+	m.Regs[isa.R1] = a
+	m.Regs[isa.R2] = b
+	in := isa.Instr{Op: op, Rd: isa.R1, Rb: isa.R2,
+		Size: isa.EncodedSize(op), Addr: 0x1000}
+	m.Exec(&in)
+	return m.Regs[isa.R1], m.Flags
+}
+
+// TestAddFlagsProperty cross-checks ADD's Z/S/C/O flags against their
+// mathematical definitions for random operands.
+func TestAddFlagsProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		res, fl := execALU(isa.OpAddRR, a, b)
+		if res != a+b {
+			return false
+		}
+		wantZ := res == 0
+		wantS := int64(res) < 0
+		wantC := res < a // unsigned wraparound
+		sa, sb, sr := int64(a) < 0, int64(b) < 0, int64(res) < 0
+		wantO := sa == sb && sr != sa
+		return (fl&isa.FlagZ != 0) == wantZ &&
+			(fl&isa.FlagS != 0) == wantS &&
+			(fl&isa.FlagC != 0) == wantC &&
+			(fl&isa.FlagO != 0) == wantO
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSubFlagsProperty cross-checks SUB/CMP semantics.
+func TestSubFlagsProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		res, fl := execALU(isa.OpSubRR, a, b)
+		if res != a-b {
+			return false
+		}
+		wantZ := res == 0
+		wantS := int64(res) < 0
+		wantC := a < b // borrow
+		sa, sb, sr := int64(a) < 0, int64(b) < 0, int64(res) < 0
+		wantO := sa != sb && sr != sa
+		return (fl&isa.FlagZ != 0) == wantZ &&
+			(fl&isa.FlagS != 0) == wantS &&
+			(fl&isa.FlagC != 0) == wantC &&
+			(fl&isa.FlagO != 0) == wantO
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCmpDoesNotWrite: CMP sets the same flags as SUB but leaves the
+// destination untouched.
+func TestCmpDoesNotWrite(t *testing.T) {
+	f := func(a, b uint64) bool {
+		resSub, flSub := execALU(isa.OpSubRR, a, b)
+		resCmp, flCmp := execALU(isa.OpCmpRR, a, b)
+		_ = resSub
+		return resCmp == a && flCmp == flSub
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSignedComparisonsMatchGo: the branch predicates must order integers
+// exactly like Go's int64/uint64 comparisons.
+func TestSignedComparisonsMatchGo(t *testing.T) {
+	f := func(a, b uint64) bool {
+		_, fl := execALU(isa.OpCmpRR, a, b)
+		m := New()
+		m.Flags = fl
+		checks := []struct {
+			op   isa.Op
+			want bool
+		}{
+			{isa.OpJe, a == b},
+			{isa.OpJne, a != b},
+			{isa.OpJl, int64(a) < int64(b)},
+			{isa.OpJle, int64(a) <= int64(b)},
+			{isa.OpJg, int64(a) > int64(b)},
+			{isa.OpJge, int64(a) >= int64(b)},
+			{isa.OpJb, a < b},
+			{isa.OpJae, a >= b},
+		}
+		for _, c := range checks {
+			if m.condTaken(c.op) != c.want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDivRemMatchGo: signed division semantics match Go's.
+func TestDivRemMatchGo(t *testing.T) {
+	f := func(a, b int64) bool {
+		if b == 0 {
+			return true
+		}
+		// Avoid the single overflowing case Go also traps on.
+		if a == -1<<63 && b == -1 {
+			return true
+		}
+		q, _ := execALU(isa.OpDivRR, uint64(a), uint64(b))
+		r, _ := execALU(isa.OpRemRR, uint64(a), uint64(b))
+		return int64(q) == a/b && int64(r) == a%b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPushPopInverse: push;pop restores both the value and SP.
+func TestPushPopInverse(t *testing.T) {
+	f := func(v uint64) bool {
+		m := New()
+		m.Regs[isa.R3] = v
+		sp := m.Regs[isa.SP]
+		push := isa.Instr{Op: isa.OpPush, Rd: isa.R3, Size: 2, Addr: 0x1000}
+		pop := isa.Instr{Op: isa.OpPop, Rd: isa.R4, Size: 2, Addr: 0x1002}
+		if _, err := m.Exec(&push); err != nil {
+			return false
+		}
+		if _, err := m.Exec(&pop); err != nil {
+			return false
+		}
+		return m.Regs[isa.R4] == v && m.Regs[isa.SP] == sp
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPushfPopfInverse: flags survive a pushf/popf pair exactly.
+func TestPushfPopfInverse(t *testing.T) {
+	for fl := isa.Flag(0); fl <= isa.AllFlags; fl++ {
+		m := New()
+		m.Flags = fl & isa.AllFlags
+		pushf := isa.Instr{Op: isa.OpPushF, Size: 1, Addr: 0x1000}
+		clobber := isa.Instr{Op: isa.OpAddRI, Rd: isa.R1, Imm: 1, Size: 6, Addr: 0x1001}
+		popf := isa.Instr{Op: isa.OpPopF, Size: 1, Addr: 0x1007}
+		m.Exec(&pushf)
+		m.Exec(&clobber)
+		m.Exec(&popf)
+		if m.Flags != fl&isa.AllFlags {
+			t.Fatalf("flags %v not restored: got %v", fl, m.Flags)
+		}
+	}
+}
