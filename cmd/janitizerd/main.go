@@ -1,0 +1,78 @@
+// Command janitizerd is the long-lived analysis service: it serves
+// Janitizer's static analyzer over HTTP, backed by a content-addressed rule
+// cache and a concurrent scheduler, so a module (in particular a shared
+// library) is analyzed once and its .jrw artifact is reused by every later
+// request.
+//
+// Usage:
+//
+//	janitizerd [-addr host:port] [-cachedir dir] [-mem MiB] [-workers n]
+//
+// API:
+//
+//	POST /analyze?tool=jasan|jasan-base|jasan-scev|jcfi|jcfi-forward
+//	    request body:  a serialized JEF module
+//	    response body: the module's marshaled .jrw rule file
+//	GET /stats
+//	    cache and scheduler counters as JSON
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes and
+// in-flight analyses drain before the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/anserve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7741", "listen address")
+	cachedir := flag.String("cachedir", "", "on-disk rule-cache directory (empty: memory only)")
+	mem := flag.Int64("mem", 0, "memory cache budget in MiB (0: default, -1: disabled)")
+	workers := flag.Int("workers", 0, "concurrent analyses (0: GOMAXPROCS)")
+	flag.Parse()
+
+	memBytes := *mem
+	if memBytes > 0 {
+		memBytes <<= 20
+	}
+	svc := anserve.New(anserve.Config{
+		Workers:       *workers,
+		MemCacheBytes: memBytes,
+		CacheDir:      *cachedir,
+	})
+	d := anserve.NewDaemon(svc, anserve.DefaultTools())
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "janitizerd:", err)
+		os.Exit(1)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "janitizerd: shutting down, draining in-flight requests")
+		drainCtx, cancel := context.WithTimeout(context.Background(),
+			anserve.DefaultDrainTimeout)
+		defer cancel()
+		if err := d.Shutdown(drainCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "janitizerd: drain:", err)
+		}
+	}()
+
+	fmt.Printf("janitizerd: listening on %s (workers=%d)\n",
+		ln.Addr(), svc.Workers())
+	if err := d.Serve(ln); err != nil {
+		fmt.Fprintln(os.Stderr, "janitizerd:", err)
+		os.Exit(1)
+	}
+}

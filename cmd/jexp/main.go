@@ -2,83 +2,120 @@
 //
 // Usage:
 //
-//	jexp [-scale n] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|all [benchmarks...]
+//	jexp [-scale n] [-parallel n] [-stats] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|all [benchmarks...]
+//
+// Workloads within a figure run concurrently (-parallel, default
+// GOMAXPROCS); static analysis is served by a shared content-addressed rule
+// cache, so a module analyzed for one scheme is reused by every later
+// figure. Output is deterministic at any parallelism. `jexp all` runs every
+// figure even when one fails, reporting the failures at the end.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/experiments"
 )
 
 func main() {
 	scale := flag.Int("scale", 1, "workload iteration scale")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"concurrent workload runs per figure")
+	stats := flag.Bool("stats", false, "print analysis-service cache statistics at exit")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr,
-			"usage: jexp [-scale n] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|all [benchmarks...]")
+			"usage: jexp [-scale n] [-parallel n] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|all [benchmarks...]")
 		os.Exit(2)
 	}
+	experiments.Parallel = *parallel
 	which := args[0]
 	benches := args[1:]
 
-	run := func(name string) {
+	run := func(name string) error {
 		switch name {
 		case "fig7":
 			fig, err := experiments.Fig7(*scale, benches...)
-			printFig(fig, err, "slowdown")
+			return printFig(fig, err, "slowdown")
 		case "fig8":
 			fig, err := experiments.Fig8(*scale, benches...)
-			printFig(fig, err, "slowdown")
+			return printFig(fig, err, "slowdown")
 		case "fig9":
 			fig, err := experiments.Fig9(*scale, benches...)
-			printFig(fig, err, "slowdown")
+			return printFig(fig, err, "slowdown")
 		case "fig10":
 			r, err := experiments.Fig10()
-			check(err)
+			if err != nil {
+				return err
+			}
 			fmt.Println(r.Format())
+			return nil
 		case "fig11":
 			fig, err := experiments.Fig11(*scale, benches...)
-			printFig(fig, err, "slowdown")
+			return printFig(fig, err, "slowdown")
 		case "fig12":
 			fig, err := experiments.Fig12(*scale, benches...)
-			printFig(fig, err, "% DAIR")
+			return printFig(fig, err, "% DAIR")
 		case "fig13":
 			fig, err := experiments.Fig13(benches...)
-			printFig(fig, err, "% AIR")
+			return printFig(fig, err, "% AIR")
 		case "fig14":
 			fig, err := experiments.Fig14(*scale, benches...)
-			printFig(fig, err, "% dynamic")
+			return printFig(fig, err, "% dynamic")
 		case "soundness":
 			rs, err := experiments.Soundness(*scale)
-			check(err)
+			if err != nil {
+				return err
+			}
 			fmt.Println(experiments.FormatSoundness(rs))
+			return nil
 		default:
 			fmt.Fprintf(os.Stderr, "jexp: unknown experiment %q\n", name)
 			os.Exit(2)
+			return nil
 		}
 	}
+
+	exit := 0
 	if which == "all" {
+		// Run every figure even when one fails: losing fig14 because
+		// fig9 tripped helps nobody. Failures are reported together at
+		// the end with a non-zero exit.
+		var failures []string
 		for _, n := range []string{"fig7", "fig8", "fig9", "fig10", "fig11",
 			"fig12", "fig13", "fig14", "soundness"} {
-			run(n)
+			if err := run(n); err != nil {
+				fmt.Fprintf(os.Stderr, "jexp: %s: %v\n", n, err)
+				failures = append(failures, n)
+			}
 		}
-		return
-	}
-	run(which)
-}
-
-func printFig(fig *experiments.Figure, err error, unit string) {
-	check(err)
-	fmt.Println(fig.Format(unit))
-}
-
-func check(err error) {
-	if err != nil {
+		if len(failures) > 0 {
+			fmt.Fprintf(os.Stderr, "jexp: %d of 9 experiments failed: %v\n",
+				len(failures), failures)
+			exit = 1
+		}
+	} else if err := run(which); err != nil {
 		fmt.Fprintln(os.Stderr, "jexp:", err)
-		os.Exit(1)
+		exit = 1
 	}
+	if *stats {
+		s := experiments.AnalysisStats()
+		fmt.Fprintf(os.Stderr,
+			"analysis service: %d analyses, %d cache hits, %d coalesced, %d submitted (workers=%d)\n",
+			s.Sched.Analyzed, s.Sched.CacheHits, s.Sched.Coalesced,
+			s.Sched.Submitted, s.Sched.Workers)
+	}
+	os.Exit(exit)
+}
+
+func printFig(fig *experiments.Figure, err error, unit string) error {
+	if err != nil {
+		return err
+	}
+	fmt.Println(fig.Format(unit))
+	return nil
 }

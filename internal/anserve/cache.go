@@ -1,0 +1,207 @@
+// Package anserve is the analysis service: long-lived, concurrent,
+// cache-backed serving of Janitizer's static analysis. The paper's central
+// economics (§3.3–3.4) are that expensive whole-module analysis runs *once*
+// and its rewrite-rule artifact (.jrw) is reused across program runs and
+// across every binary linking a shared library. This package turns that
+// one-shot CLI story into serving infrastructure:
+//
+//   - a content-addressed rule cache (two tiers: in-memory LRU with a byte
+//     budget, optional on-disk artifact store), keyed by the SHA-256 of the
+//     module serialization plus the tool name/configuration;
+//   - a concurrent dependency-aware scheduler: a bounded worker pool that
+//     analyzes a program closure's modules in topological order (libraries
+//     before the binaries that need them) and deduplicates concurrent
+//     submissions of the same module (singleflight);
+//   - an HTTP front end (cmd/janitizerd) exposing POST /analyze and
+//     GET /stats with graceful drain on shutdown.
+package anserve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/obj"
+)
+
+// ConfigKeyer is implemented by tools whose static pass depends on
+// configuration (jasan's liveness/SCEV toggles, jcfi's edge selection).
+// The key joins the tool name in the cache key so differently-configured
+// instances of one tool do not alias each other's artifacts.
+type ConfigKeyer interface {
+	ConfigKey() string
+}
+
+// toolKey identifies one tool configuration for cache-keying purposes.
+func toolKey(tool core.Tool) string {
+	k := tool.Name()
+	if ck, ok := tool.(ConfigKeyer); ok {
+		k += "?" + ck.ConfigKey()
+	}
+	return k
+}
+
+// CacheKey returns the content address of one (module, tool configuration)
+// analysis artifact: hex SHA-256 over the module's content hash and the
+// tool key. Stable across processes — obj.Module.Hash is canonical.
+func CacheKey(mod *obj.Module, tool core.Tool) string {
+	h := sha256.New()
+	mh := mod.Hash()
+	h.Write(mh[:])
+	h.Write([]byte{0})
+	h.Write([]byte(toolKey(tool)))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CacheStats are the cache tier counters, readable via Service.Stats and
+// GET /stats.
+type CacheStats struct {
+	MemHits    uint64 `json:"mem_hits"`
+	MemMisses  uint64 `json:"mem_misses"`
+	DiskHits   uint64 `json:"disk_hits"`
+	DiskMisses uint64 `json:"disk_misses"`
+	Evictions  uint64 `json:"evictions"`
+	Puts       uint64 `json:"puts"`
+	MemBytes   int64  `json:"mem_bytes"`
+	MemEntries int    `json:"mem_entries"`
+}
+
+// Hits returns the total hits across both tiers.
+func (s CacheStats) Hits() uint64 { return s.MemHits + s.DiskHits }
+
+// Cache is the two-tier content-addressed rule cache. The memory tier is an
+// LRU bounded by a byte budget; the optional disk tier stores one marshaled
+// rules.File per key under dir/<key>.jrw and survives process restarts. A
+// disk hit is promoted into the memory tier. Safe for concurrent use.
+type Cache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+	dir    string
+	stats  CacheStats
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// NewCache returns a cache with the given memory budget in bytes (<= 0
+// disables the memory tier) and optional disk directory ("" disables the
+// disk tier; the directory is created on first use).
+func NewCache(memBudget int64, dir string) *Cache {
+	return &Cache{
+		budget: memBudget,
+		ll:     list.New(),
+		items:  map[string]*list.Element{},
+		dir:    dir,
+	}
+}
+
+// Get returns the artifact stored under key, or nil, false. The returned
+// slice is shared — callers must not modify it.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.MemHits++
+		val := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		return val, true
+	}
+	c.stats.MemMisses++
+	c.mu.Unlock()
+
+	if c.dir == "" {
+		return nil, false
+	}
+	val, err := os.ReadFile(c.diskPath(key))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		c.stats.DiskMisses++
+		return nil, false
+	}
+	c.stats.DiskHits++
+	c.insertMemLocked(key, val)
+	return val, true
+}
+
+// Put stores the artifact under key in both tiers. The cache keeps a
+// reference to val — callers must not modify it afterwards.
+func (c *Cache) Put(key string, val []byte) {
+	c.mu.Lock()
+	c.stats.Puts++
+	c.insertMemLocked(key, val)
+	c.mu.Unlock()
+
+	if c.dir == "" {
+		return
+	}
+	// Disk writes are best-effort: a failed write only costs a future
+	// re-analysis. Write-then-rename keeps concurrent readers from
+	// observing partial artifacts.
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, ".jrw-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(val); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	tmp.Close()
+	_ = os.Rename(tmp.Name(), c.diskPath(key))
+}
+
+// insertMemLocked adds an entry to the memory tier and evicts from the LRU
+// tail until the budget holds. Entries larger than the whole budget are not
+// cached in memory at all.
+func (c *Cache) insertMemLocked(key string, val []byte) {
+	if c.budget <= 0 || int64(len(val)) > c.budget {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.used += int64(len(val)) - int64(len(ent.val))
+		ent.val = val
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+		c.used += int64(len(val))
+	}
+	for c.used > c.budget {
+		tail := c.ll.Back()
+		if tail == nil {
+			break
+		}
+		ent := tail.Value.(*cacheEntry)
+		c.ll.Remove(tail)
+		delete(c.items, ent.key)
+		c.used -= int64(len(ent.val))
+		c.stats.Evictions++
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.MemBytes = c.used
+	s.MemEntries = len(c.items)
+	return s
+}
+
+func (c *Cache) diskPath(key string) string {
+	return filepath.Join(c.dir, key+".jrw")
+}

@@ -1,0 +1,95 @@
+package anserve
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func TestCacheMemLRU(t *testing.T) {
+	c := NewCache(100, "")
+	val := func(n int) []byte { return bytes.Repeat([]byte{byte(n)}, 40) }
+	c.Put("a", val(1))
+	c.Put("b", val(2))
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing before budget exceeded")
+	}
+	// "a" is now MRU; inserting "c" must evict "b".
+	c.Put("c", val(3))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b not evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted despite recent use")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.MemBytes > 100 {
+		t.Fatalf("mem bytes %d over budget", st.MemBytes)
+	}
+	if st.MemEntries != 2 {
+		t.Fatalf("entries = %d, want 2", st.MemEntries)
+	}
+}
+
+func TestCacheOversizedEntrySkipsMemory(t *testing.T) {
+	c := NewCache(10, "")
+	c.Put("big", make([]byte, 100))
+	if _, ok := c.Get("big"); ok {
+		t.Fatal("oversized entry cached in memory tier")
+	}
+	if st := c.Stats(); st.MemEntries != 0 || st.MemBytes != 0 {
+		t.Fatalf("stats after oversized put: %+v", st)
+	}
+}
+
+func TestCacheDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	c1 := NewCache(1<<20, dir)
+	c1.Put("k", []byte("artifact"))
+
+	// A fresh cache over the same directory serves from disk and
+	// promotes into memory.
+	c2 := NewCache(1<<20, dir)
+	got, ok := c2.Get("k")
+	if !ok || string(got) != "artifact" {
+		t.Fatalf("disk get = %q, %v", got, ok)
+	}
+	st := c2.Stats()
+	if st.DiskHits != 1 || st.MemMisses != 1 {
+		t.Fatalf("stats = %+v, want 1 disk hit after 1 mem miss", st)
+	}
+	// Promoted: the second get hits memory.
+	if _, ok := c2.Get("k"); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if st := c2.Stats(); st.MemHits != 1 {
+		t.Fatalf("stats = %+v, want 1 mem hit after promotion", st)
+	}
+	if files, _ := filepath.Glob(filepath.Join(dir, "*.jrw")); len(files) != 1 {
+		t.Fatalf("disk artifacts = %v, want exactly one .jrw", files)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(1<<10, t.TempDir())
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				k := fmt.Sprintf("k%d", i%7)
+				c.Put(k, []byte(k))
+				if v, ok := c.Get(k); ok && string(v) != k {
+					t.Errorf("got %q under key %q", v, k)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

@@ -1,0 +1,232 @@
+package anserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/jasan"
+	"repro/internal/rules"
+)
+
+// TestDaemonConcurrentClients is the end-to-end integration test: a daemon
+// on a loopback listener, eight concurrent clients POSTing the same module,
+// exactly one analysis run (singleflight + cache), byte-identical
+// responses, hits visible in GET /stats, and a clean graceful shutdown.
+func TestDaemonConcurrentClients(t *testing.T) {
+	mod := testModule(t)
+	modBytes := mod.Marshal()
+
+	svc := New(Config{Workers: 4})
+	gate := make(chan struct{})
+	tools := map[string]ToolFactory{
+		"jasan": func() core.Tool {
+			return &gateTool{
+				Tool: jasan.New(jasan.Config{UseLiveness: true}),
+				gate: gate,
+			}
+		},
+	}
+	d := NewDaemon(svc, tools)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- d.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	post := func() ([]byte, error) {
+		resp, err := http.Post(base+"/analyze?tool=jasan",
+			"application/octet-stream", bytes.NewReader(modBytes))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+		}
+		return body, nil
+	}
+
+	const clients = 8
+	responses := make([][]byte, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			responses[i], errs[i] = post()
+		}(i)
+	}
+	// Hold the one admitted analysis open until the other seven requests
+	// have coalesced onto it, so the test exercises real concurrency
+	// rather than racing request arrival against analysis completion.
+	deadline := time.Now().Add(30 * time.Second)
+	for svc.Stats().Sched.Coalesced < clients-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("requests never coalesced: %+v", svc.Stats().Sched)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(responses[i], responses[0]) {
+			t.Fatalf("client %d: response not byte-identical", i)
+		}
+	}
+	if f, err := rules.Unmarshal(responses[0]); err != nil || f.Module != mod.Name {
+		t.Fatalf("response is not a valid rule file for %s: %v", mod.Name, err)
+	}
+
+	// Exactly one analysis ran across the eight submissions.
+	readStats := func() Stats {
+		resp, err := http.Get(base + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st Stats
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	st := readStats()
+	if st.Sched.Analyzed != 1 {
+		t.Fatalf("analyzed = %d, want exactly 1", st.Sched.Analyzed)
+	}
+	if st.Sched.Submitted != clients {
+		t.Fatalf("submitted = %d, want %d", st.Sched.Submitted, clients)
+	}
+
+	// A repeated POST is a pure cache hit, visible in /stats.
+	again, err := post()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, responses[0]) {
+		t.Fatal("repeated POST returned different bytes")
+	}
+	st = readStats()
+	if st.Cache.Hits() == 0 {
+		t.Fatalf("stats after repeated POST show no cache hits: %+v", st)
+	}
+	if st.Sched.Analyzed != 1 {
+		t.Fatalf("repeated POST re-ran analysis: analyzed = %d", st.Sched.Analyzed)
+	}
+
+	// Bad requests are rejected without touching the scheduler.
+	resp, err := http.Post(base+"/analyze?tool=nope", "application/octet-stream",
+		bytes.NewReader(modBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown tool: status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(base+"/analyze?tool=jasan", "application/octet-stream",
+		bytes.NewReader([]byte("not a module")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad module: status %d, want 400", resp.StatusCode)
+	}
+
+	// Graceful shutdown: Serve returns nil.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := d.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve returned %v after graceful shutdown", err)
+	}
+}
+
+// TestDaemonDrainsInflight checks that Shutdown waits for an in-flight
+// analysis instead of killing it.
+func TestDaemonDrainsInflight(t *testing.T) {
+	mod := testModule(t)
+	svc := New(Config{})
+	gate := make(chan struct{})
+	d := NewDaemon(svc, map[string]ToolFactory{
+		"jasan": func() core.Tool {
+			return &gateTool{
+				Tool: jasan.New(jasan.Config{UseLiveness: true}),
+				gate: gate,
+			}
+		},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- d.Serve(ln) }()
+
+	type result struct {
+		status int
+		body   []byte
+		err    error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		resp, err := http.Post("http://"+ln.Addr().String()+"/analyze?tool=jasan",
+			"application/octet-stream", bytes.NewReader(mod.Marshal()))
+		if err != nil {
+			resCh <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		resCh <- result{status: resp.StatusCode, body: body, err: err}
+	}()
+
+	// Wait for the request to be in flight (holding the gate), then start
+	// a graceful shutdown and only afterwards release the analysis.
+	for svc.Stats().Sched.Submitted == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	shutdownErr := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() { shutdownErr <- d.Shutdown(ctx) }()
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+
+	res := <-resCh
+	if res.err != nil {
+		t.Fatalf("in-flight request failed across shutdown: %v", res.err)
+	}
+	if res.status != http.StatusOK {
+		t.Fatalf("in-flight request: status %d: %s", res.status, res.body)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}

@@ -1,0 +1,131 @@
+package anserve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/jasan"
+	"repro/internal/jcfi"
+	"repro/internal/obj"
+)
+
+// MaxModuleBytes bounds the request body accepted by POST /analyze.
+const MaxModuleBytes = 64 << 20
+
+// ToolFactory creates a fresh tool instance per analysis request, so
+// request handling never shares mutable tool state (reports, runtime
+// tables) across concurrent analyses. Instances from one factory must
+// share the same name/ConfigKey.
+type ToolFactory func() core.Tool
+
+// DefaultTools returns the daemon's built-in tool registry.
+func DefaultTools() map[string]ToolFactory {
+	return map[string]ToolFactory{
+		"jasan": func() core.Tool {
+			return jasan.New(jasan.Config{UseLiveness: true})
+		},
+		"jasan-base": func() core.Tool {
+			return jasan.New(jasan.Config{})
+		},
+		"jasan-scev": func() core.Tool {
+			return jasan.New(jasan.Config{UseLiveness: true, UseSCEV: true})
+		},
+		"jcfi": func() core.Tool {
+			return jcfi.New(jcfi.DefaultConfig)
+		},
+		"jcfi-forward": func() core.Tool {
+			return jcfi.New(jcfi.Config{Forward: true})
+		},
+	}
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /analyze?tool=<name>   body: serialized JEF module
+//	                            response: marshaled .jrw rule file
+//	GET  /stats                 cache + scheduler counters as JSON
+func (s *Service) Handler(tools map[string]ToolFactory) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /analyze", func(w http.ResponseWriter, r *http.Request) {
+		name := r.URL.Query().Get("tool")
+		factory, ok := tools[name]
+		if !ok {
+			var known []string
+			for n := range tools {
+				known = append(known, n)
+			}
+			sort.Strings(known)
+			http.Error(w, fmt.Sprintf("unknown tool %q (have %v)", name, known),
+				http.StatusBadRequest)
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxModuleBytes))
+		if err != nil {
+			http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		mod, err := obj.Unmarshal(body)
+		if err != nil {
+			http.Error(w, "bad module: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		out, err := s.AnalyzeModuleBytes(mod, factory())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Module", mod.Name)
+		_, _ = w.Write(out)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.Stats())
+	})
+	return mux
+}
+
+// Daemon wraps the service handler in an http.Server with graceful
+// shutdown: Shutdown stops accepting connections and drains in-flight
+// requests before returning.
+type Daemon struct {
+	Service *Service
+	srv     *http.Server
+}
+
+// NewDaemon returns a daemon serving svc through the given tool registry.
+func NewDaemon(svc *Service, tools map[string]ToolFactory) *Daemon {
+	return &Daemon{
+		Service: svc,
+		srv:     &http.Server{Handler: svc.Handler(tools)},
+	}
+}
+
+// Serve accepts connections on ln until Shutdown. Returns nil after a
+// graceful shutdown.
+func (d *Daemon) Serve(ln net.Listener) error {
+	err := d.srv.Serve(ln)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Shutdown gracefully stops the daemon, draining in-flight requests until
+// ctx expires.
+func (d *Daemon) Shutdown(ctx context.Context) error {
+	return d.srv.Shutdown(ctx)
+}
+
+// DefaultDrainTimeout bounds how long cmd/janitizerd waits for in-flight
+// analyses on SIGINT before giving up the drain.
+const DefaultDrainTimeout = 30 * time.Second

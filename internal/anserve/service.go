@@ -1,0 +1,232 @@
+package anserve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/loader"
+	"repro/internal/obj"
+	"repro/internal/rules"
+)
+
+// DefaultMemCacheBytes is the default memory-tier budget.
+const DefaultMemCacheBytes = 64 << 20
+
+// Config configures a Service.
+type Config struct {
+	// Workers bounds concurrent module analyses; <= 0 selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// MemCacheBytes is the in-memory cache budget; 0 selects
+	// DefaultMemCacheBytes, negative disables the memory tier.
+	MemCacheBytes int64
+	// CacheDir enables the on-disk artifact tier when non-empty.
+	CacheDir string
+}
+
+// SchedStats are the scheduler counters, readable via Service.Stats and
+// GET /stats.
+type SchedStats struct {
+	// Submitted counts AnalyzeModule requests.
+	Submitted uint64 `json:"submitted"`
+	// Coalesced counts requests that joined an identical in-flight
+	// analysis instead of starting their own (singleflight).
+	Coalesced uint64 `json:"coalesced"`
+	// CacheHits counts requests served from either cache tier.
+	CacheHits uint64 `json:"cache_hits"`
+	// Analyzed counts actual static-analysis executions.
+	Analyzed uint64 `json:"analyzed"`
+	// Errors counts failed analyses.
+	Errors uint64 `json:"errors"`
+	// Workers is the pool bound.
+	Workers int `json:"workers"`
+}
+
+// Stats is the combined service snapshot served by GET /stats.
+type Stats struct {
+	Cache CacheStats `json:"cache"`
+	Sched SchedStats `json:"scheduler"`
+}
+
+// Service is the analysis service: content-addressed caching plus a bounded
+// worker pool with singleflight deduplication. It implements
+// core.ModuleAnalyzer; a single Service is meant to be shared process-wide
+// (the evaluation harness keeps one for the whole run, janitizerd keeps one
+// for the daemon's lifetime). Safe for concurrent use.
+type Service struct {
+	cache *Cache
+	sem   chan struct{}
+
+	mu       sync.Mutex
+	inflight map[string]*inflightCall
+
+	submitted, coalesced, cacheHits, analyzed, errors atomic.Uint64
+}
+
+type inflightCall struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// New returns a Service with the given configuration.
+func New(cfg Config) *Service {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	memBytes := cfg.MemCacheBytes
+	if memBytes == 0 {
+		memBytes = DefaultMemCacheBytes
+	}
+	return &Service{
+		cache:    NewCache(memBytes, cfg.CacheDir),
+		sem:      make(chan struct{}, workers),
+		inflight: map[string]*inflightCall{},
+	}
+}
+
+// Workers returns the worker-pool bound.
+func (s *Service) Workers() int { return cap(s.sem) }
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Cache: s.cache.Stats(),
+		Sched: SchedStats{
+			Submitted: s.submitted.Load(),
+			Coalesced: s.coalesced.Load(),
+			CacheHits: s.cacheHits.Load(),
+			Analyzed:  s.analyzed.Load(),
+			Errors:    s.errors.Load(),
+			Workers:   cap(s.sem),
+		},
+	}
+}
+
+// AnalyzeModuleBytes returns the marshaled rules.File (.jrw bytes) for mod
+// under tool, serving from cache when possible. Concurrent calls for the
+// same (module, tool configuration) coalesce into one analysis. The
+// returned slice is shared — callers must not modify it.
+func (s *Service) AnalyzeModuleBytes(mod *obj.Module, tool core.Tool) ([]byte, error) {
+	s.submitted.Add(1)
+	key := CacheKey(mod, tool)
+
+	s.mu.Lock()
+	if c, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		s.coalesced.Add(1)
+		<-c.done
+		return c.val, c.err
+	}
+	c := &inflightCall{done: make(chan struct{})}
+	s.inflight[key] = c
+	s.mu.Unlock()
+
+	c.val, c.err = s.analyze(key, mod, tool)
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	close(c.done)
+	return c.val, c.err
+}
+
+// AnalyzeModule implements core.ModuleAnalyzer over the cached byte path.
+func (s *Service) AnalyzeModule(mod *obj.Module, tool core.Tool) (*rules.File, error) {
+	b, err := s.AnalyzeModuleBytes(mod, tool)
+	if err != nil {
+		return nil, err
+	}
+	return rules.Unmarshal(b)
+}
+
+func (s *Service) analyze(key string, mod *obj.Module, tool core.Tool) ([]byte, error) {
+	if b, ok := s.cache.Get(key); ok {
+		s.cacheHits.Add(1)
+		return b, nil
+	}
+	s.sem <- struct{}{} // worker-pool slot
+	defer func() { <-s.sem }()
+	f, err := core.AnalyzeModule(mod, tool)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, fmt.Errorf("anserve: %w", err)
+	}
+	s.analyzed.Add(1)
+	b := f.Marshal()
+	s.cache.Put(key, b)
+	return b, nil
+}
+
+// AnalyzeProgram analyzes the main module and its ldd-visible closure
+// concurrently, in dependency-topological order: a module's analysis starts
+// only after every dependency that precedes it in the closure has finished,
+// so shared libraries land in the cache before the binaries that need them.
+// Goroutines park on dependency completion without holding worker slots, so
+// the pool bound applies to actual analyses only. Drop-in replacement for
+// core.AnalyzeProgram.
+func (s *Service) AnalyzeProgram(main *obj.Module, reg loader.Registry,
+	tool core.Tool) (map[string]*rules.File, error) {
+
+	mods, err := loader.LddClosure(main, reg)
+	if err != nil {
+		return nil, fmt.Errorf("anserve: %w", err)
+	}
+
+	type node struct {
+		mod  *obj.Module
+		done chan struct{}
+		file *rules.File
+		err  error
+	}
+	nodes := make(map[string]*node, len(mods))
+	index := make(map[string]int, len(mods))
+	order := make([]*node, len(mods))
+	for i, m := range mods {
+		n := &node{mod: m, done: make(chan struct{})}
+		nodes[m.Name] = n
+		index[m.Name] = i
+		order[i] = n
+	}
+	for i, n := range order {
+		go func(i int, n *node) {
+			defer close(n.done)
+			for _, dep := range n.mod.Needed {
+				// Wait only for dependencies that precede this
+				// module in the closure: LddClosure emits
+				// dependency-first order, and the index guard keeps
+				// a (malformed) dependency cycle from deadlocking
+				// the pool.
+				dn, ok := nodes[dep]
+				if !ok || index[dep] >= i {
+					continue
+				}
+				<-dn.done
+				if dn.err != nil {
+					n.err = fmt.Errorf("anserve: %s: dependency %s failed",
+						n.mod.Name, dep)
+					return
+				}
+			}
+			n.file, n.err = s.AnalyzeModule(n.mod, tool)
+		}(i, n)
+	}
+
+	out := make(map[string]*rules.File, len(order))
+	for _, n := range order {
+		<-n.done
+	}
+	// Dependency-first order means the root cause sorts before the
+	// "dependency failed" placeholders.
+	for _, n := range order {
+		if n.err != nil {
+			return nil, n.err
+		}
+		out[n.mod.Name] = n.file
+	}
+	return out, nil
+}

@@ -2,6 +2,7 @@ package cc
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
@@ -195,7 +196,15 @@ func (g *gen) run() (out string, err error) {
 	if needLibj {
 		fmt.Fprintf(&b, ".needs %s\n", libj.Name)
 	}
+	// Emit imports sorted: the PLT/GOT layout follows import order, and
+	// the compiled module must be byte-identical across runs (content
+	// hashes key the analysis cache).
+	importNames := make([]string, 0, len(g.imports))
 	for name := range g.imports {
+		importNames = append(importNames, name)
+	}
+	sort.Strings(importNames)
+	for _, name := range importNames {
 		fmt.Fprintf(&b, ".import %s\n", name)
 	}
 	// Exports: non-static functions.

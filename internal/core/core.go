@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/analysis"
 	"repro/internal/cfg"
@@ -86,21 +87,73 @@ func AnalyzeModule(mod *obj.Module, tool Tool) (*rules.File, error) {
 			rs = append(rs, rules.Rule{ID: rules.NoOp, BBAddr: start})
 		}
 	}
+	canonicalize(rs)
 	return &rules.File{Module: mod.Name, Rules: rs}, nil
+}
+
+// canonicalize sorts rules into a deterministic total order. Tools and the
+// no-op marking above iterate CFG maps, so emission order varies run to run;
+// content-addressed caching (internal/anserve) requires that analyzing the
+// same module twice marshal to identical bytes. The stable sort preserves a
+// tool's relative emission order for rules that share every key field.
+func canonicalize(rs []rules.Rule) {
+	sort.SliceStable(rs, func(i, j int) bool {
+		a, b := &rs[i], &rs[j]
+		if a.BBAddr != b.BBAddr {
+			return a.BBAddr < b.BBAddr
+		}
+		if a.Instr != b.Instr {
+			return a.Instr < b.Instr
+		}
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		for k := range a.Data {
+			if a.Data[k] != b.Data[k] {
+				return a.Data[k] < b.Data[k]
+			}
+		}
+		return false
+	})
+}
+
+// ModuleAnalyzer abstracts per-module analysis so services can interpose a
+// cache or a worker pool between AnalyzeProgram and AnalyzeModule.
+// internal/anserve implements it with a content-addressed rule cache and a
+// concurrent scheduler; AnalyzerFunc(AnalyzeModule) is the plain serial
+// analyzer.
+type ModuleAnalyzer interface {
+	AnalyzeModule(mod *obj.Module, tool Tool) (*rules.File, error)
+}
+
+// AnalyzerFunc adapts a function to the ModuleAnalyzer interface.
+type AnalyzerFunc func(mod *obj.Module, tool Tool) (*rules.File, error)
+
+// AnalyzeModule implements ModuleAnalyzer.
+func (f AnalyzerFunc) AnalyzeModule(mod *obj.Module, tool Tool) (*rules.File, error) {
+	return f(mod, tool)
 }
 
 // AnalyzeProgram analyzes the main module and its entire ldd-visible
 // dependency closure (§3.3.1), returning one rule file per module. A shared
 // library's analysis would be reused across programs; callers may cache the
-// returned files.
+// returned files — or use internal/anserve, which analyzes the closure
+// concurrently against a content-addressed cache.
 func AnalyzeProgram(main *obj.Module, reg loader.Registry, tool Tool) (map[string]*rules.File, error) {
+	return AnalyzeProgramWith(main, reg, tool, AnalyzerFunc(AnalyzeModule))
+}
+
+// AnalyzeProgramWith is AnalyzeProgram with an injected per-module analyzer.
+func AnalyzeProgramWith(main *obj.Module, reg loader.Registry, tool Tool,
+	az ModuleAnalyzer) (map[string]*rules.File, error) {
+
 	mods, err := loader.LddClosure(main, reg)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	out := make(map[string]*rules.File, len(mods))
 	for _, m := range mods {
-		f, err := AnalyzeModule(m, tool)
+		f, err := az.AnalyzeModule(m, tool)
 		if err != nil {
 			return nil, err
 		}

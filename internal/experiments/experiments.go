@@ -7,6 +7,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/anserve"
 	"repro/internal/baseline"
 	"repro/internal/cfg"
 	"repro/internal/core"
@@ -63,6 +64,17 @@ type Result struct {
 
 // maxInstrs bounds each run.
 const maxInstrs = 400_000_000
+
+// service is the evaluation's shared analysis service: one content-
+// addressed rule cache for the whole process, so a module analyzed for one
+// (workload, scheme) cell — above all libj, which every workload links — is
+// reused by every later cell with the same tool configuration, within a
+// figure and across figures of a `jexp all` run.
+var service = anserve.New(anserve.Config{})
+
+// AnalysisStats exposes the shared service's cache/scheduler counters
+// (printed by jexp -stats).
+func AnalysisStats() anserve.Stats { return service.Stats() }
 
 // runNative measures the uninstrumented baseline.
 func runNative(w *spec.Workload, pic bool) (*Result, error) {
@@ -186,7 +198,7 @@ func Run(w *spec.Workload, scheme Scheme) (*Result, error) {
 
 	files := map[string]*rules.File{}
 	if static {
-		files, err = core.AnalyzeProgram(main, reg, tool)
+		files, err = service.AnalyzeProgram(main, reg, tool)
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: static analysis: %w", w.Name, scheme, err)
 		}

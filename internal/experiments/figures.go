@@ -2,12 +2,61 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/metrics"
 	"repro/internal/spec"
 )
+
+// Parallel sets how many (workload, scheme) cells the figure loops run
+// concurrently; <= 0 selects runtime.GOMAXPROCS(0). Figure output is
+// deterministic regardless: results are collected per cell and assembled in
+// the serial iteration order. jexp routes its -parallel flag here.
+var Parallel = 1
+
+func parallelism() int {
+	if Parallel <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return Parallel
+}
+
+// runJobs executes n jobs through a worker pool of parallelism() workers.
+// Each worker pulls the next job index, so long cells (cactusADM under
+// valgrind) do not stall the queue behind them.
+func runJobs(n int, job func(int)) {
+	p := parallelism()
+	if p > n {
+		p = n
+	}
+	if p <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if i >= int64(n) {
+					return
+				}
+				job(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+}
 
 // Figure is one regenerated table/figure: per-benchmark series plus the
 // formatted text the jexp tool prints.
@@ -29,19 +78,28 @@ func (f *Figure) Format(unit string) string {
 }
 
 // sweep runs the given schemes over workloads, collecting one Row per
-// scheme, with the chosen metric extractor.
+// scheme, with the chosen metric extractor. Cells run through the worker
+// pool (see Parallel); results are assembled in serial iteration order so
+// the rendered figure is identical at any parallelism.
 func sweep(workloads []*spec.Workload, schemes []Scheme,
 	metric func(*Result) float64) (*Figure, error) {
+
+	ns := len(schemes)
+	results := make([]*Result, len(workloads)*ns)
+	errs := make([]error, len(workloads)*ns)
+	runJobs(len(results), func(i int) {
+		results[i], errs[i] = Run(workloads[i/ns], schemes[i%ns])
+	})
 
 	fig := &Figure{}
 	rows := map[Scheme]metrics.Row{}
 	for _, s := range schemes {
 		rows[s] = metrics.Row{Label: string(s), Values: map[string]float64{}}
 	}
-	for _, w := range workloads {
+	for wi, w := range workloads {
 		fig.Benchmarks = append(fig.Benchmarks, w.Name)
-		for _, s := range schemes {
-			res, err := Run(w, s)
+		for si, s := range schemes {
+			res, err := results[wi*ns+si], errs[wi*ns+si]
 			if err != nil {
 				return nil, err
 			}
@@ -157,17 +215,28 @@ func Fig13(names ...string) (*Figure, error) {
 	fig := &Figure{Title: "Figure 13: static average indirect-target reduction, AIR (%)"}
 	jcfiRow := metrics.Row{Label: "jcfi", Values: map[string]float64{}}
 	binRow := metrics.Row{Label: "bincfi", Values: map[string]float64{}}
-	for _, w := range workloadSet(1, names...) {
-		fig.Benchmarks = append(fig.Benchmarks, w.Name)
-		jAIR, bAIR, bFailed, err := StaticAIR(w)
-		if err != nil {
-			return nil, err
+	workloads := workloadSet(1, names...)
+	type airCell struct {
+		jAIR, bAIR float64
+		bFailed    string
+		err        error
+	}
+	cells := make([]airCell, len(workloads))
+	runJobs(len(cells), func(i int) {
+		c := &cells[i]
+		c.jAIR, c.bAIR, c.bFailed, c.err = StaticAIR(workloads[i])
+	})
+	for i, w := range workloads {
+		c := &cells[i]
+		if c.err != nil {
+			return nil, c.err
 		}
-		jcfiRow.Values[w.Name] = jAIR
-		if bFailed != "" {
-			fig.Notes = append(fig.Notes, fmt.Sprintf("%s/bincfi: x (%s)", w.Name, bFailed))
+		fig.Benchmarks = append(fig.Benchmarks, w.Name)
+		jcfiRow.Values[w.Name] = c.jAIR
+		if c.bFailed != "" {
+			fig.Notes = append(fig.Notes, fmt.Sprintf("%s/bincfi: x (%s)", w.Name, c.bFailed))
 		} else {
-			binRow.Values[w.Name] = bAIR
+			binRow.Values[w.Name] = c.bAIR
 		}
 	}
 	fig.Rows = []metrics.Row{jcfiRow, binRow}
@@ -210,13 +279,21 @@ type SoundnessResult struct {
 // Lockdown strong/weak and JCFI-hybrid, counting false positives on benign
 // executions. Paper: Lockdown(S) false-positives on all three; JCFI none.
 func Soundness(scale int) ([]SoundnessResult, error) {
-	var out []SoundnessResult
-	for _, name := range []string{"gcc", "h264ref", "cactusADM"} {
-		w := *spec.ByName(name)
+	names := []string{"gcc", "h264ref", "cactusADM"}
+	schemes := []Scheme{Lockdown, LockdownWeak, JCFIHybrid}
+	results := make([]*Result, len(names)*len(schemes))
+	errs := make([]error, len(results))
+	runJobs(len(results), func(i int) {
+		w := *spec.ByName(names[i/len(schemes)])
 		w.Scale = scale
+		results[i], errs[i] = Run(&w, schemes[i%len(schemes)])
+	})
+
+	var out []SoundnessResult
+	for ni, name := range names {
 		r := SoundnessResult{Benchmark: name}
-		for _, s := range []Scheme{Lockdown, LockdownWeak, JCFIHybrid} {
-			res, err := Run(&w, s)
+		for si, s := range schemes {
+			res, err := results[ni*len(schemes)+si], errs[ni*len(schemes)+si]
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,8 @@
 package jasan
 
 import (
+	"fmt"
+
 	"repro/internal/analysis"
 	"repro/internal/cfg"
 	"repro/internal/core"
@@ -38,6 +40,14 @@ func New(cfg Config) *Tool {
 
 // Name implements core.Tool.
 func (t *Tool) Name() string { return "jasan" }
+
+// ConfigKey returns a stable identifier for the configuration fields that
+// influence StaticPass output — part of the analysis-cache key
+// (internal/anserve): two tools with equal keys produce identical rule
+// files for identical modules.
+func (t *Tool) ConfigKey() string {
+	return fmt.Sprintf("liveness=%t,scev=%t", t.cfg.UseLiveness, t.cfg.UseSCEV)
+}
 
 // RuntimeInit implements core.Tool: installs the report trap family and
 // interposes the redzone allocator.

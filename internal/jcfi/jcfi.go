@@ -7,6 +7,8 @@
 package jcfi
 
 import (
+	"fmt"
+
 	"repro/internal/analysis"
 	"repro/internal/cfg"
 	"repro/internal/core"
@@ -62,6 +64,14 @@ func New(cfg Config) *Tool {
 
 // Name implements core.Tool.
 func (t *Tool) Name() string { return "jcfi" }
+
+// ConfigKey returns a stable identifier for the configuration fields that
+// influence StaticPass output — part of the analysis-cache key
+// (internal/anserve). HaltOnViolation only affects run-time behaviour, so
+// it is deliberately excluded.
+func (t *Tool) ConfigKey() string {
+	return fmt.Sprintf("forward=%t,backward=%t", t.cfg.Forward, t.cfg.Backward)
+}
 
 // StaticPass implements core.Tool (§4.2.1): determine valid target sets by
 // scanning for code pointers refined against function boundaries, and mark
@@ -268,22 +278,26 @@ func (t *Tool) setupModule(lm *loader.LoadedModule) error {
 	// valid call targets for every other module (and vice versa), and
 	// everything lands in the global table serving dynamically generated
 	// code.
-	for otherID, other := range t.st.sets {
+	// The VM tables use open addressing, so insertion order shapes probe
+	// chains and thus charged lookup cycles: iterate modules and targets in
+	// sorted order to keep figure cycle counts run-to-run deterministic.
+	ownExported := sortedTargets(set.Exported)
+	for _, otherID := range sortedModuleIDs(t.st.sets) {
 		if otherID == id || otherID == globalTableID {
 			continue
 		}
-		for tgt := range other.Exported {
+		for _, tgt := range sortedTargets(t.st.sets[otherID].Exported) {
 			if err := t.st.AddCallTarget(id, tgt); err != nil {
 				return err
 			}
 		}
-		for tgt := range set.Exported {
+		for _, tgt := range ownExported {
 			if err := t.st.AddCallTarget(otherID, tgt); err != nil {
 				return err
 			}
 		}
 	}
-	for tgt := range set.Exported {
+	for _, tgt := range ownExported {
 		if err := t.st.AddCallTarget(globalTableID, tgt); err != nil {
 			return err
 		}

@@ -61,6 +61,30 @@ func NewRTState(m *vm.Machine) *RTState {
 	return &RTState{m: m, sets: map[int]*TargetSets{}, counts: map[uint64]int{}}
 }
 
+// sortedModuleIDs returns the registered module IDs in ascending order, so
+// table operations that walk every module are deterministic.
+func sortedModuleIDs(sets map[int]*TargetSets) []int {
+	ids := make([]int, 0, len(sets))
+	for id := range sets {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// sortedTargets returns a target set's addresses in ascending order. The VM
+// hash tables use open addressing, so insertion order decides probe-chain
+// shape (and with it the cycles a lookup costs): every bulk insert must go
+// through a sorted view, never raw map iteration.
+func sortedTargets(set map[uint64]bool) []uint64 {
+	out := make([]uint64, 0, len(set))
+	for tgt := range set {
+		out = append(out, tgt)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // tombstone marks a deleted hash-table slot: probes continue past it (it is
 // non-zero) but it never matches a code address.
 const tombstone = ^uint64(0)
@@ -108,11 +132,13 @@ func (s *RTState) RemoveModule(id int) error {
 		s.counts[base] = 0
 	}
 	// Delete its exported targets everywhere else.
-	for otherID, other := range s.sets {
+	exported := sortedTargets(set.Exported)
+	for _, otherID := range sortedModuleIDs(s.sets) {
 		if otherID == id {
 			continue
 		}
-		for tgt := range set.Exported {
+		other := s.sets[otherID]
+		for _, tgt := range exported {
 			if other.Call[tgt] {
 				delete(other.Call, tgt)
 				if err := s.removeVM(CallTableBase(otherID), tgt); err != nil {

@@ -1,0 +1,22 @@
+package obj
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Hash returns the SHA-256 digest of the module's serialised form. Marshal
+// is canonical — field order is fixed and all tables are written in the
+// order they appear in the Module — so the digest is a stable content
+// address: two modules with identical contents hash identically, and a
+// marshal/unmarshal round trip preserves the hash. Content-addressed
+// caches (internal/anserve) key analysis artifacts on this digest.
+func (m *Module) Hash() [sha256.Size]byte {
+	return sha256.Sum256(m.Marshal())
+}
+
+// HashString returns Hash as lowercase hex.
+func (m *Module) HashString() string {
+	h := m.Hash()
+	return hex.EncodeToString(h[:])
+}

@@ -1,0 +1,43 @@
+package obj
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// TestHashStableAcrossRoundTrip is the cache-key stability property:
+// serialize -> deserialize -> serialize must yield identical bytes and
+// therefore identical content hashes, for arbitrary modules. If this breaks,
+// the content-addressed rule cache silently never hits.
+func TestHashStableAcrossRoundTrip(t *testing.T) {
+	prop := func(m Module) bool {
+		b1 := m.Marshal()
+		m2, err := Unmarshal(b1)
+		if err != nil {
+			t.Logf("unmarshal of freshly marshaled module failed: %v", err)
+			return false
+		}
+		b2 := m2.Marshal()
+		return bytes.Equal(b1, b2) && m.Hash() == m2.Hash()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHashDiscriminates checks that the hash actually depends on content.
+func TestHashDiscriminates(t *testing.T) {
+	a := Module{Name: "a", Type: Exec, Base: 0x1000}
+	b := a
+	if a.Hash() != b.Hash() {
+		t.Fatal("identical modules hash differently")
+	}
+	b.Base = 0x2000
+	if a.Hash() == b.Hash() {
+		t.Fatal("different modules hash identically")
+	}
+	if len(a.HashString()) != 64 {
+		t.Fatalf("HashString length = %d, want 64", len(a.HashString()))
+	}
+}

@@ -20,6 +20,7 @@ package spec
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/asm"
@@ -73,8 +74,14 @@ func (w *Workload) Build(picMain bool) (*obj.Module, loader.Registry, error) {
 	expand := func(src string) string {
 		return strings.ReplaceAll(src, "SCALE_N", fmt.Sprintf("%d", scale))
 	}
-	for name, src := range w.ExtraC {
-		mod, err := cc.Compile(expand(src), cc.Options{
+	// Iterate the module maps in sorted-name order so the built main
+	// module is byte-identical across runs (Needed order is part of the
+	// module serialization, and content-addressed rule caching keys on
+	// the module hash).
+	cNames := sortedKeys(w.ExtraC)
+	asmNames := sortedKeys(w.ExtraAsm)
+	for _, name := range cNames {
+		mod, err := cc.Compile(expand(w.ExtraC[name]), cc.Options{
 			Module: name, Shared: true, O2: true, NoRuntime: true,
 		})
 		if err != nil {
@@ -82,8 +89,8 @@ func (w *Workload) Build(picMain bool) (*obj.Module, loader.Registry, error) {
 		}
 		reg[name] = mod
 	}
-	for name, src := range w.ExtraAsm {
-		mod, err := asm.Assemble(expand(src))
+	for _, name := range asmNames {
+		mod, err := asm.Assemble(expand(w.ExtraAsm[name]))
 		if err != nil {
 			return nil, nil, fmt.Errorf("spec %s: module %s: %w", w.Name, name, err)
 		}
@@ -101,17 +108,27 @@ func (w *Workload) Build(picMain bool) (*obj.Module, loader.Registry, error) {
 	for _, n := range w.DlopenOnly {
 		dlopenOnly[n] = true
 	}
-	for name := range w.ExtraC {
+	for _, name := range cNames {
 		if !dlopenOnly[name] {
 			main.Needed = append(main.Needed, name)
 		}
 	}
-	for name := range w.ExtraAsm {
+	for _, name := range asmNames {
 		if !dlopenOnly[name] {
 			main.Needed = append(main.Needed, name)
 		}
 	}
 	return main, reg, nil
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // ByName returns the named workload, or nil.
