@@ -3,286 +3,81 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
-	"strings"
 	"testing"
 
-	"repro/internal/cc"
-	"repro/internal/core"
-	"repro/internal/jasan"
-	"repro/internal/jcfi"
-	"repro/internal/libj"
-	"repro/internal/loader"
-	"repro/internal/obj"
-	"repro/internal/rules"
-	"repro/internal/vm"
+	"repro/internal/fuzz"
+	"repro/internal/fuzz/gen"
 )
 
-// progGen generates random MiniC programs that are deterministic and
-// memory-safe by construction: every array index is masked to the array
-// bound, every divisor is forced non-zero, every loop has a constant trip
-// count. Differential testing then cross-checks the whole stack: compiler
-// optimisation levels, ipa-ra, and execution under both security tools must
-// all agree with the -O0 native run — and the tools must stay silent.
-type progGen struct {
-	r      *rand.Rand
-	b      strings.Builder
-	nextID int
-	vars   []string // in-scope int variables
-	arrays []struct {
-		name string
-		size int // power of two
-	}
-	funcs []string // callable generated functions (int -> int)
-	depth int
-}
-
-func (g *progGen) pick(ss []string) string { return ss[g.r.Intn(len(ss))] }
-
-// expr emits a deterministic integer expression.
-func (g *progGen) expr(d int) string {
-	if d <= 0 {
-		// Terminal: constants and variables only, so expression depth —
-		// and with it the compiler's temporary pressure — stays bounded.
-		if g.r.Intn(2) == 0 || len(g.vars) == 0 {
-			return fmt.Sprintf("%d", g.r.Intn(100)-50)
-		}
-		return g.pick(g.vars)
-	}
-	if g.r.Intn(4) == 0 {
-		switch g.r.Intn(4) {
-		case 0:
-			return fmt.Sprintf("%d", g.r.Intn(100)-50)
-		case 1:
-			if len(g.vars) > 0 {
-				return g.pick(g.vars)
-			}
-			return "7"
-		case 2:
-			if len(g.arrays) > 0 {
-				a := g.arrays[g.r.Intn(len(g.arrays))]
-				return fmt.Sprintf("%s[(%s) & %d]", a.name, g.expr(d-1), a.size-1)
-			}
-			return "3"
-		default:
-			if len(g.funcs) > 0 && g.depth < 2 {
-				g.depth++
-				s := fmt.Sprintf("%s(%s)", g.pick(g.funcs), g.expr(d-1))
-				g.depth--
-				return s
-			}
-			return "11"
-		}
-	}
-	x, y := g.expr(d-1), g.expr(d-1)
-	switch g.r.Intn(10) {
-	case 0:
-		return fmt.Sprintf("(%s + %s)", x, y)
-	case 1:
-		return fmt.Sprintf("(%s - %s)", x, y)
-	case 2:
-		return fmt.Sprintf("((%s & 1023) * (%s & 255))", x, y)
-	case 3:
-		return fmt.Sprintf("(%s / (((%s) & 7) + 1))", x, y)
-	case 4:
-		return fmt.Sprintf("(%s %% (((%s) & 7) + 2))", x, y)
-	case 5:
-		return fmt.Sprintf("(%s ^ %s)", x, y)
-	case 6:
-		return fmt.Sprintf("(%s | %s)", x, y)
-	case 7:
-		return fmt.Sprintf("(%s & %s)", x, y)
-	case 8:
-		return fmt.Sprintf("((%s) << %d)", x, g.r.Intn(4))
-	default:
-		return fmt.Sprintf("(%s < %s)", x, y)
-	}
-}
-
-// stmt emits one statement at the given indent.
-func (g *progGen) stmt(indent string, d int) {
-	switch g.r.Intn(6) {
-	case 0: // new variable
-		g.nextID++
-		name := fmt.Sprintf("v%d", g.nextID)
-		fmt.Fprintf(&g.b, "%sint %s = %s;\n", indent, name, g.expr(2))
-		g.vars = append(g.vars, name)
-	case 1: // assignment
-		if len(g.vars) > 0 {
-			fmt.Fprintf(&g.b, "%s%s = %s;\n", indent, g.pick(g.vars), g.expr(2))
-		}
-	case 2: // array store
-		if len(g.arrays) > 0 {
-			a := g.arrays[g.r.Intn(len(g.arrays))]
-			fmt.Fprintf(&g.b, "%s%s[(%s) & %d] = %s;\n",
-				indent, a.name, g.expr(1), a.size-1, g.expr(2))
-		}
-	case 3: // if/else
-		if d > 0 {
-			n := len(g.vars)
-			fmt.Fprintf(&g.b, "%sif (%s) {\n", indent, g.expr(1))
-			g.stmt(indent+"    ", d-1)
-			g.vars = g.vars[:n] // block scope ends
-			fmt.Fprintf(&g.b, "%s} else {\n", indent)
-			g.stmt(indent+"    ", d-1)
-			g.vars = g.vars[:n]
-			fmt.Fprintf(&g.b, "%s}\n", indent)
-		}
-	case 4: // bounded for loop
-		if d > 0 {
-			n := len(g.vars)
-			g.nextID++
-			iv := fmt.Sprintf("i%d", g.nextID)
-			fmt.Fprintf(&g.b, "%sfor (int %s = 0; %s < %d; %s++) {\n",
-				indent, iv, iv, 3+g.r.Intn(6), iv)
-			g.vars = append(g.vars, iv)
-			g.stmt(indent+"    ", d-1)
-			g.vars = g.vars[:n] // loop scope ends
-			fmt.Fprintf(&g.b, "%s}\n", indent)
-		}
-	default: // accumulate into a variable
-		if len(g.vars) > 0 {
-			fmt.Fprintf(&g.b, "%s%s += %s;\n", indent, g.pick(g.vars), g.expr(2))
-		}
-	}
-}
-
-// generate builds one whole program.
-func generateProgram(seed int64) string {
-	g := &progGen{r: rand.New(rand.NewSource(seed))}
-	// Globals.
-	nArr := 1 + g.r.Intn(2)
-	for i := 0; i < nArr; i++ {
-		size := 1 << (3 + g.r.Intn(3)) // 8..32
-		name := fmt.Sprintf("g%d", i)
-		fmt.Fprintf(&g.b, "int %s[%d];\n", name, size)
-		g.arrays = append(g.arrays, struct {
-			name string
-			size int
-		}{name, size})
-	}
-	// Helper functions.
-	nFn := 1 + g.r.Intn(3)
-	for i := 0; i < nFn; i++ {
-		name := fmt.Sprintf("f%d", i)
-		fmt.Fprintf(&g.b, "int %s(int x) {\n", name)
-		g.vars = []string{"x"}
-		// Helper bodies stay loop-free so call trees cannot multiply
-		// loop trip counts exponentially across nesting levels.
-		for s := 0; s < 1+g.r.Intn(3); s++ {
-			g.stmt("    ", 0)
-		}
-		fmt.Fprintf(&g.b, "    return %s;\n}\n", g.expr(2))
-		g.funcs = append(g.funcs, name)
-	}
-	// main.
-	fmt.Fprintf(&g.b, "int main() {\n")
-	g.vars = nil
-	fmt.Fprintf(&g.b, "    int acc = 1;\n")
-	g.vars = append(g.vars, "acc")
-	for s := 0; s < 3+g.r.Intn(3); s++ {
-		g.stmt("    ", 2)
-	}
-	fmt.Fprintf(&g.b, "    return (acc ^ (acc >> 3)) & 127;\n}\n")
-	return g.b.String()
-}
-
-// diffRun executes a compiled module natively or under a tool, returning
-// the exit status.
-func diffRun(t *testing.T, mod *obj.Module, tool core.Tool, violations *int) int64 {
-	t.Helper()
-	lj, err := libj.Module()
-	if err != nil {
-		t.Fatal(err)
-	}
-	reg := loader.Registry{libj.Name: lj}
-	m := vm.New()
-	m.InstallDefaultServices()
-	m.MaxInstrs = 50_000_000
-	proc := loader.NewProcess(m, reg)
-	if tool == nil {
-		lm, err := proc.LoadProgram(mod)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := m.Run(lm.RuntimeAddr(mod.Entry)); err != nil {
-			t.Fatal(err)
-		}
-		return m.ExitStatus
-	}
-	files, err := core.AnalyzeProgram(mod, reg, tool)
-	if err != nil {
-		t.Fatal(err)
-	}
-	rt := core.NewRuntime(m, proc, tool, files)
-	lm, err := proc.LoadProgram(mod)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := rt.Run(lm.RuntimeAddr(mod.Entry)); err != nil {
-		t.Fatal(err)
-	}
-	switch tt := tool.(type) {
-	case *jasan.Tool:
-		*violations += int(tt.Report.Total)
-	case *jcfi.Tool:
-		*violations += len(tt.Report.Violations)
-	}
-	return m.ExitStatus
-}
-
-// TestDifferentialCompilerAndTools is the whole-stack differential fuzzer:
-// for each random safe program, -O0, -O2, -O2 without ipa-ra, JASan-hybrid
-// and JCFI-hybrid must all agree, with zero tool reports.
+// TestDifferentialCompilerAndTools is the whole-stack differential fuzzer,
+// now a thin driver over internal/fuzz: for each generated safe program,
+// -O0, -O2, -O2 without ipa-ra and PIC builds must agree natively and under
+// JASan/JCFI hybrid execution, with zero tool reports (oracle 1).
 func TestDifferentialCompilerAndTools(t *testing.T) {
 	n := 12
 	if testing.Short() {
 		n = 6
 	}
 	for seed := int64(1); seed <= int64(n); seed++ {
-		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			src := generateProgram(seed)
-			compile := func(opts cc.Options) *obj.Module {
-				opts.Module = "p"
-				mod, err := cc.Compile(src, opts)
-				if err != nil {
-					t.Fatalf("compile: %v\nprogram:\n%s", err, src)
-				}
-				return mod
+			p := gen.New(rand.New(rand.NewSource(seed)))
+			res := fuzz.CheckSource(p, 50_000_000)
+			if res.OverBudget {
+				t.Skipf("seed %d exhausted the step budget", seed)
 			}
-			o0 := compile(cc.Options{})
-			o2 := compile(cc.Options{O2: true})
-			o2noipa := compile(cc.Options{O2: true, NoIPARA: true})
-			pic := compile(cc.Options{O2: true, PIC: true})
-
-			want := diffRun(t, o0, nil, nil)
-			for name, mod := range map[string]*obj.Module{
-				"O2": o2, "O2-noipa": o2noipa, "O2-pic": pic,
-			} {
-				if got := diffRun(t, mod, nil, nil); got != want {
-					t.Fatalf("%s exit %d != O0 exit %d\nprogram:\n%s",
-						name, got, want, src)
-				}
+			for _, v := range res.Violations {
+				t.Errorf("%s", v)
 			}
-			violations := 0
-			if got := diffRun(t, o2, jasan.New(jasan.Config{UseLiveness: true}),
-				&violations); got != want {
-				t.Fatalf("JASan exit %d != %d\nprogram:\n%s", got, want, src)
-			}
-			if got := diffRun(t, o2, jasan.New(jasan.Config{UseLiveness: true, UseSCEV: true}),
-				&violations); got != want {
-				t.Fatalf("JASan+SCEV exit %d != %d\nprogram:\n%s", got, want, src)
-			}
-			if got := diffRun(t, o2, jcfi.New(jcfi.DefaultConfig),
-				&violations); got != want {
-				t.Fatalf("JCFI exit %d != %d\nprogram:\n%s", got, want, src)
-			}
-			if violations != 0 {
-				t.Fatalf("tools reported %d violations on a safe program:\n%s",
-					violations, src)
+			if t.Failed() {
+				t.Logf("program:\n%s", p.Render())
 			}
 		})
 	}
 }
 
-var _ = rules.Rule{}
+// TestDifferentialMutatedPrograms extends the differential check across the
+// mutation engine: mutated descendants of a safe program are still safe by
+// construction and must keep the whole stack in agreement.
+func TestDifferentialMutatedPrograms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation differential is slow")
+	}
+	r := rand.New(rand.NewSource(99))
+	p := gen.New(r)
+	for step := 0; step < 4; step++ {
+		q := p.Clone()
+		for i := 0; i < 3; i++ {
+			q.Mutate(r)
+		}
+		res := fuzz.CheckSource(q, 50_000_000)
+		if res.OverBudget {
+			continue
+		}
+		for _, v := range res.Violations {
+			t.Errorf("step %d: %s\nprogram:\n%s", step, v, q.Render())
+		}
+		p = q
+	}
+}
+
+// TestPlantedBugsCaught is oracle 3 as a regression test: every planted-bug
+// class must be flagged by JASan when injected into an otherwise safe
+// program.
+func TestPlantedBugsCaught(t *testing.T) {
+	for b := gen.Bug(0); b < gen.NumBugs; b++ {
+		t.Run(b.String(), func(t *testing.T) {
+			r := rand.New(rand.NewSource(7 + int64(b)))
+			p := gen.New(r)
+			if !p.Plant(r, b) {
+				t.Fatalf("could not plant %v", b)
+			}
+			res := fuzz.CheckSource(p, 50_000_000)
+			if res.OverBudget {
+				t.Fatalf("planted program exhausted the step budget")
+			}
+			if !res.PlantedCaught {
+				t.Fatalf("JASan missed planted %v:\n%s", b, p.Render())
+			}
+		})
+	}
+}

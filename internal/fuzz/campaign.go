@@ -1,0 +1,586 @@
+package fuzz
+
+import (
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/fuzz/gen"
+	"repro/internal/metrics"
+)
+
+// Campaign orchestration. Determinism is the design invariant: a campaign is
+// a sequence of fixed-size rounds whose jobs are derived *sequentially* from
+// a per-job rand seeded by (campaign seed, domain, round, job index) against
+// the corpus state at round start. Job execution is pure, so the batch can
+// run on any number of workers; results are merged back in job order. The
+// report carries no worker count and no timestamps, so identical seeds give
+// byte-identical reports at -workers 1 and -workers 8.
+
+// Config parameterises one campaign.
+type Config struct {
+	// Seed is the campaign PRNG seed; every derived rand descends from it.
+	Seed int64
+	// Cases is the number of cases to run per enabled domain.
+	Cases int
+	// Workers is the executor parallelism (never affects results).
+	Workers int
+	// Source and Module enable the two domains. Both default on when
+	// neither is set.
+	Source, Module bool
+	// SrcBudget and ModBudget are the per-run instruction budgets.
+	SrcBudget, ModBudget uint64
+	// PlantEvery makes every n-th source case a planted-bug detection
+	// probe instead of a differential case.
+	PlantEvery int
+	// MinimizeBudget caps oracle re-runs per minimised reproducer.
+	MinimizeBudget int
+	// Minimize enables end-of-campaign reproducer minimisation.
+	Minimize bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cases <= 0 {
+		c.Cases = 500
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if !c.Source && !c.Module {
+		c.Source, c.Module = true, true
+	}
+	if c.SrcBudget == 0 {
+		c.SrcBudget = 50_000_000
+	}
+	if c.ModBudget == 0 {
+		c.ModBudget = 200_000
+	}
+	if c.PlantEvery <= 0 {
+		c.PlantEvery = 8
+	}
+	if c.MinimizeBudget <= 0 {
+		c.MinimizeBudget = 256
+	}
+	return c
+}
+
+// batchSize is the fixed round width, independent of worker count.
+const batchSize = 32
+
+// seedBatch is the number of fresh programs force-admitted before round 1.
+const seedBatch = 4
+
+// jobSeed derives the deterministic per-job PRNG seed.
+func jobSeed(seed int64, domain, round, j uint64) int64 {
+	return int64(metrics.Mix64(uint64(seed) ^ metrics.Mix64(domain<<40|round<<20|j)))
+}
+
+// Report is the campaign result, JSON-stable across worker counts.
+type Report struct {
+	Seed   int64         `json:"seed"`
+	Cases  int           `json:"cases"`
+	Source *DomainReport `json:"source,omitempty"`
+	Module *DomainReport `json:"module,omitempty"`
+}
+
+// Bad is the count of oracle failures; jfuzz exits nonzero when it is.
+func (r *Report) Bad() int {
+	n := 0
+	for _, d := range []*DomainReport{r.Source, r.Module} {
+		if d != nil {
+			n += d.ViolationCount + d.CrashCount
+		}
+	}
+	return n
+}
+
+// DomainReport summarises one domain's campaign.
+type DomainReport struct {
+	Cases          int            `json:"cases"`
+	CorpusSize     int            `json:"corpus_size"`
+	CorpusRejects  int            `json:"corpus_rejects"`
+	CoverageBits   int            `json:"coverage_bits"`
+	OverBudget     int            `json:"over_budget"`
+	ViolationCount int            `json:"violation_count"`
+	Violations     []Violation    `json:"violations,omitempty"`
+	CrashCount     int            `json:"crash_count"`
+	Crashes        []CrashReport  `json:"crashes,omitempty"`
+	Planted        *PlantedReport `json:"planted,omitempty"`
+}
+
+// Violation is one oracle-failure class with a representative reproducer.
+type Violation struct {
+	Class   string `json:"class"`
+	Count   int    `json:"count"`
+	Example string `json:"example"`
+	// Repro is the (minimised) reproducer: MiniC source for domain A,
+	// hex module bytes for domain B.
+	Repro string `json:"repro,omitempty"`
+}
+
+// CrashReport is one deduplicated panic signature.
+type CrashReport struct {
+	Sig      string `json:"sig"`
+	Stage    string `json:"stage"`
+	Frame    string `json:"frame"`
+	Count    int    `json:"count"`
+	ReproHex string `json:"repro_hex,omitempty"`
+}
+
+// PlantedReport summarises oracle 3: detection of deliberately planted bugs.
+type PlantedReport struct {
+	Tried   int            `json:"tried"`
+	Caught  int            `json:"caught"`
+	ByClass []PlantedClass `json:"by_class"`
+}
+
+// PlantedClass is per-bug-class detection stats.
+type PlantedClass struct {
+	Class  string `json:"class"`
+	Tried  int    `json:"tried"`
+	Caught int    `json:"caught"`
+}
+
+// violAgg accumulates one violation class during a campaign.
+type violAgg struct {
+	count   int
+	example string
+	prog    *gen.Prog // domain A reproducer
+	data    []byte    // domain B reproducer
+}
+
+// crashAgg accumulates one crash signature during a campaign.
+type crashAgg struct {
+	crash *Crash
+	count int
+	data  []byte
+}
+
+// reportCaps bound reproducer detail in the report.
+const (
+	maxViolClasses = 10
+	maxCrashSigs   = 10
+	maxMinimized   = 3
+	maxReproHex    = 256 // bytes of reproducer shown as hex
+)
+
+// pmap maps f over in with the given parallelism, preserving order.
+func pmap[T, R any](workers int, in []T, f func(T) R) []R {
+	out := make([]R, len(in))
+	if workers <= 1 || len(in) <= 1 {
+		for i, v := range in {
+			out[i] = f(v)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = f(in[i])
+			}
+		}()
+	}
+	for i := range in {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// Run executes a campaign and returns its report.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{Seed: cfg.Seed, Cases: cfg.Cases}
+	if cfg.Source {
+		d, err := runSourceDomain(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.Source = d
+	}
+	if cfg.Module {
+		d, err := runModuleDomain(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.Module = d
+	}
+	return rep, nil
+}
+
+// Domain indices for jobSeed.
+const (
+	domSource uint64 = 1
+	domModule uint64 = 2
+)
+
+type srcJob struct {
+	prog    *gen.Prog
+	planted gen.Bug
+	isPlant bool
+}
+
+type srcOut struct {
+	res   *SourceResult
+	crash *Crash
+}
+
+func runSourceDomain(cfg Config) (*DomainReport, error) {
+	rep := &DomainReport{}
+	corpus := NewCorpus()
+	viols := map[string]*violAgg{}
+	crashes := map[string]*crashAgg{}
+	plantTried := make([]int, gen.NumBugs)
+	plantCaught := make([]int, gen.NumBugs)
+
+	runOne := func(job *srcJob) srcOut {
+		var res *SourceResult
+		// The source pipeline on safe generated programs should never
+		// panic; a panic here is a compiler/runtime bug worth a crash
+		// record rather than a dead campaign.
+		_, crash := guard("source", func() error {
+			res = CheckSource(job.prog, cfg.SrcBudget)
+			return nil
+		})
+		return srcOut{res: res, crash: crash}
+	}
+
+	merge := func(job *srcJob, out srcOut, force bool) {
+		rep.Cases++
+		if out.crash != nil {
+			agg := crashes[out.crash.Sig]
+			if agg == nil {
+				agg = &crashAgg{crash: out.crash, data: []byte(job.prog.Render())}
+				crashes[out.crash.Sig] = agg
+			}
+			agg.count++
+			return
+		}
+		res := out.res
+		if res.OverBudget {
+			rep.OverBudget++
+			return
+		}
+		if job.isPlant {
+			plantTried[job.planted]++
+			if res.PlantedCaught {
+				plantCaught[job.planted]++
+			} else {
+				class := "planted-missed:" + job.planted.String()
+				agg := viols[class]
+				if agg == nil {
+					agg = &violAgg{example: class, prog: job.prog}
+					viols[class] = agg
+				}
+				agg.count++
+			}
+			return
+		}
+		for _, v := range res.Violations {
+			class := stripDigits(v)
+			agg := viols[class]
+			if agg == nil {
+				agg = &violAgg{example: v, prog: job.prog}
+				viols[class] = agg
+			}
+			agg.count++
+		}
+		if len(res.Violations) == 0 {
+			corpus.Add(&Entry{
+				ID:   EntryID([]byte(job.prog.Render())),
+				Prog: job.prog,
+				Cov:  res.Cov,
+				Size: job.prog.NumStmts(),
+			}, force)
+		}
+	}
+
+	// Round 0: seed the corpus with fresh programs, force-admitted.
+	nSeed := min(seedBatch, cfg.Cases)
+	jobs := make([]*srcJob, nSeed)
+	for j := range jobs {
+		r := rand.New(rand.NewSource(jobSeed(cfg.Seed, domSource, 0, uint64(j))))
+		jobs[j] = &srcJob{prog: gen.New(r)}
+	}
+	for j, out := range pmap(cfg.Workers, jobs, runOne) {
+		merge(jobs[j], out, true)
+	}
+	if len(corpus.Entries) == 0 {
+		return nil, fmt.Errorf("fuzz: source seeding produced no usable corpus")
+	}
+
+	derive := func(r *rand.Rand, caseIdx int) *srcJob {
+		if caseIdx%cfg.PlantEvery == cfg.PlantEvery-1 {
+			p := corpus.Pick(r).Prog.Clone()
+			class := gen.Bug(uint64(caseIdx/cfg.PlantEvery) % uint64(gen.NumBugs))
+			if p.Plant(r, class) {
+				return &srcJob{prog: p, planted: class, isPlant: true}
+			}
+		}
+		if r.Intn(10) == 0 {
+			return &srcJob{prog: gen.New(r)}
+		}
+		p := corpus.Pick(r).Prog.Clone()
+		for n := 1 + r.Intn(3); n > 0; n-- {
+			p.Mutate(r)
+		}
+		return &srcJob{prog: p}
+	}
+
+	caseIdx := nSeed
+	for round := uint64(1); caseIdx < cfg.Cases; round++ {
+		b := min(batchSize, cfg.Cases-caseIdx)
+		jobs = make([]*srcJob, b)
+		for j := 0; j < b; j++ {
+			r := rand.New(rand.NewSource(jobSeed(cfg.Seed, domSource, round, uint64(j))))
+			jobs[j] = derive(r, caseIdx+j)
+		}
+		for j, out := range pmap(cfg.Workers, jobs, runOne) {
+			merge(jobs[j], out, false)
+		}
+		caseIdx += b
+	}
+
+	rep.CorpusSize = len(corpus.Entries)
+	rep.CorpusRejects = corpus.Rejects
+	rep.CoverageBits = corpus.Global.Count()
+	rep.Violations, rep.ViolationCount = finishViolations(viols)
+	rep.Crashes, rep.CrashCount = finishCrashes(crashes)
+	if tried := sum(plantTried); tried > 0 {
+		pr := &PlantedReport{Tried: tried, Caught: sum(plantCaught)}
+		for b := gen.Bug(0); b < gen.NumBugs; b++ {
+			pr.ByClass = append(pr.ByClass, PlantedClass{
+				Class: b.String(), Tried: plantTried[b], Caught: plantCaught[b]})
+		}
+		rep.Planted = pr
+	}
+
+	if cfg.Minimize {
+		// Sequential, deterministic reproducer minimisation for the first
+		// few violation classes (planted-missed repros stay un-minimised:
+		// statement deletion could remove the planted store itself and
+		// hand back a trivially-safe "reproducer").
+		minimized := 0
+		for i := range rep.Violations {
+			if minimized >= maxMinimized {
+				break
+			}
+			v := &rep.Violations[i]
+			agg := viols[v.Class]
+			if agg.prog == nil || len(agg.prog.Planted) > 0 {
+				v.Repro = capStr(agg.prog.Render())
+				continue
+			}
+			class := v.Class
+			keep := func(q *gen.Prog) bool {
+				res := CheckSource(q, cfg.SrcBudget)
+				if res.OverBudget {
+					return false
+				}
+				for _, qv := range res.Violations {
+					if stripDigits(qv) == class {
+						return true
+					}
+				}
+				return false
+			}
+			v.Repro = capStr(gen.Minimize(agg.prog, keep, cfg.MinimizeBudget).Render())
+			minimized++
+		}
+	}
+	return rep, nil
+}
+
+type modJob struct {
+	data []byte
+}
+
+func runModuleDomain(cfg Config) (*DomainReport, error) {
+	rep := &DomainReport{}
+	reg, err := Libj()
+	if err != nil {
+		return nil, err
+	}
+	seeds, err := SeedModules()
+	if err != nil {
+		return nil, err
+	}
+	corpus := NewCorpus()
+	viols := map[string]*violAgg{}
+	crashes := map[string]*crashAgg{}
+
+	runOne := func(job *modJob) *ModResult {
+		return CheckModule(job.data, reg, cfg.ModBudget)
+	}
+
+	merge := func(job *modJob, res *ModResult, force bool) {
+		rep.Cases++
+		if res.Crash != nil {
+			agg := crashes[res.Crash.Sig]
+			if agg == nil {
+				agg = &crashAgg{crash: res.Crash, data: job.data}
+				crashes[res.Crash.Sig] = agg
+			}
+			agg.count++
+			return
+		}
+		for _, v := range res.Violations {
+			class := stripDigits(v)
+			agg := viols[class]
+			if agg == nil {
+				agg = &violAgg{example: v, data: job.data}
+				viols[class] = agg
+			}
+			agg.count++
+		}
+		// Error outcomes stay in the corpus: rejected-input paths are
+		// exactly the code this domain wants to keep exploring.
+		corpus.Add(&Entry{
+			ID:   EntryID(job.data),
+			Data: job.data,
+			Cov:  res.Cov,
+			Size: len(job.data)/64 + 1,
+		}, force)
+	}
+
+	// Round 0: the deterministic seed modules, force-admitted. Seed
+	// executions count toward the case budget like any other.
+	nSeed := min(len(seeds), cfg.Cases)
+	jobs := make([]*modJob, nSeed)
+	for j := range jobs {
+		jobs[j] = &modJob{data: seeds[j]}
+	}
+	for j, res := range pmap(cfg.Workers, jobs, runOne) {
+		merge(jobs[j], res, true)
+	}
+	if len(corpus.Entries) == 0 {
+		return nil, fmt.Errorf("fuzz: module seeding produced no usable corpus")
+	}
+
+	caseIdx := nSeed
+	for round := uint64(1); caseIdx < cfg.Cases; round++ {
+		b := min(batchSize, cfg.Cases-caseIdx)
+		jobs = make([]*modJob, b)
+		for j := 0; j < b; j++ {
+			r := rand.New(rand.NewSource(jobSeed(cfg.Seed, domModule, round, uint64(j))))
+			parent := corpus.Pick(r)
+			partner := corpus.Entries[r.Intn(len(corpus.Entries))]
+			jobs[j] = &modJob{data: MutateBytes(r, parent.Data, partner.Data)}
+		}
+		for j, res := range pmap(cfg.Workers, jobs, runOne) {
+			merge(jobs[j], res, false)
+		}
+		caseIdx += b
+	}
+
+	rep.CorpusSize = len(corpus.Entries)
+	rep.CorpusRejects = corpus.Rejects
+	rep.CoverageBits = corpus.Global.Count()
+	rep.Violations, rep.ViolationCount = finishViolations(viols)
+	rep.Crashes, rep.CrashCount = finishCrashes(crashes)
+
+	if cfg.Minimize {
+		for i := range rep.Crashes {
+			if i >= maxMinimized {
+				break
+			}
+			cr := &rep.Crashes[i]
+			sig := cr.Sig
+			fails := func(d []byte) bool {
+				r := CheckModule(d, reg, cfg.ModBudget)
+				return r.Crash != nil && r.Crash.Sig == sig
+			}
+			cr.ReproHex = capHex(DDMin(crashes[sig].data, fails, cfg.MinimizeBudget))
+		}
+		for i := range rep.Violations {
+			if i >= maxMinimized {
+				break
+			}
+			v := &rep.Violations[i]
+			class := v.Class
+			fails := func(d []byte) bool {
+				r := CheckModule(d, reg, cfg.ModBudget)
+				for _, qv := range r.Violations {
+					if stripDigits(qv) == class {
+						return true
+					}
+				}
+				return false
+			}
+			v.Repro = capHex(DDMin(viols[class].data, fails, cfg.MinimizeBudget))
+		}
+	}
+	return rep, nil
+}
+
+// finishViolations turns the aggregation map into a sorted, capped slice.
+func finishViolations(viols map[string]*violAgg) ([]Violation, int) {
+	classes := make([]string, 0, len(viols))
+	total := 0
+	for c, a := range viols {
+		classes = append(classes, c)
+		total += a.count
+	}
+	sort.Strings(classes)
+	var out []Violation
+	for _, c := range classes {
+		if len(out) >= maxViolClasses {
+			break
+		}
+		out = append(out, Violation{Class: c, Count: viols[c].count,
+			Example: capStr(viols[c].example)})
+	}
+	return out, total
+}
+
+// finishCrashes turns the crash map into a sorted, capped slice.
+func finishCrashes(crashes map[string]*crashAgg) ([]CrashReport, int) {
+	sigs := make([]string, 0, len(crashes))
+	total := 0
+	for s, a := range crashes {
+		sigs = append(sigs, s)
+		total += a.count
+	}
+	sort.Strings(sigs)
+	var out []CrashReport
+	for _, s := range sigs {
+		if len(out) >= maxCrashSigs {
+			break
+		}
+		a := crashes[s]
+		out = append(out, CrashReport{Sig: s, Stage: a.crash.Stage,
+			Frame: a.crash.Frame, Count: a.count})
+	}
+	return out, total
+}
+
+func capStr(s string) string {
+	const n = 4096
+	if len(s) > n {
+		return s[:n] + "...[truncated]"
+	}
+	return s
+}
+
+func capHex(b []byte) string {
+	if len(b) > maxReproHex {
+		return hex.EncodeToString(b[:maxReproHex]) +
+			fmt.Sprintf("...[%d bytes total]", len(b))
+	}
+	return hex.EncodeToString(b)
+}
+
+func sum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

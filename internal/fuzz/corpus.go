@@ -1,0 +1,103 @@
+package fuzz
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"math/rand"
+
+	"repro/internal/fuzz/gen"
+	"repro/internal/metrics"
+)
+
+// Entry is one retained corpus seed. Exactly one of Prog (domain A) or
+// Data (domain B) is set.
+type Entry struct {
+	ID   string
+	Prog *gen.Prog
+	Data []byte
+	// Cov is the coverage the entry's run observed.
+	Cov *metrics.Bitmap
+	// NewBits is how many global-coverage bits the entry contributed when
+	// admitted — the dominant term of its scheduling energy.
+	NewBits int
+	// Size is the entry's size in scheduling units (statements for
+	// programs, 64-byte chunks for module images).
+	Size int
+	// Picks counts times the scheduler selected the entry as a parent;
+	// energy decays with it so the whole corpus gets attention.
+	Picks int
+}
+
+// EntryID names an input by content.
+func EntryID(content []byte) string {
+	h := sha256.Sum256(content)
+	return hex.EncodeToString(h[:8])
+}
+
+// Corpus is the novelty-gated seed pool of one fuzzing domain.
+type Corpus struct {
+	Entries []*Entry
+	// Global is the union coverage over all admitted entries.
+	Global *metrics.Bitmap
+	// Adds counts admissions; Rejects counts novelty-gate rejections.
+	Adds, Rejects int
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{Global: &metrics.Bitmap{}}
+}
+
+// Add admits e if it covers anything the corpus has not seen (novelty
+// gate), or unconditionally when force is set (initial seeds). It reports
+// whether the entry was admitted.
+func (c *Corpus) Add(e *Entry, force bool) bool {
+	nb := c.Global.NewBits(e.Cov)
+	if nb == 0 && !force {
+		c.Rejects++
+		return false
+	}
+	e.NewBits = nb
+	c.Global.Merge(e.Cov)
+	c.Entries = append(c.Entries, e)
+	c.Adds++
+	return true
+}
+
+// energy is the integer scheduling weight: novelty dominates, small inputs
+// get a bonus, repeatedly-picked entries decay.
+func energy(e *Entry) int {
+	nb := e.NewBits
+	if nb > 32 {
+		nb = 32
+	}
+	en := 2 + 4*nb
+	if e.Size < 16 {
+		en += 16 - e.Size
+	}
+	en = en / (1 + e.Picks/8)
+	if en < 1 {
+		en = 1
+	}
+	return en
+}
+
+// Pick selects a parent entry, weighted by energy, and charges the pick.
+// The corpus must be non-empty.
+func (c *Corpus) Pick(r *rand.Rand) *Entry {
+	total := 0
+	for _, e := range c.Entries {
+		total += energy(e)
+	}
+	t := r.Intn(total)
+	for _, e := range c.Entries {
+		t -= energy(e)
+		if t < 0 {
+			e.Picks++
+			return e
+		}
+	}
+	e := c.Entries[len(c.Entries)-1]
+	e.Picks++
+	return e
+}

@@ -1,0 +1,143 @@
+package fuzz
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func covOf(features ...uint64) *metrics.Bitmap {
+	b := &metrics.Bitmap{}
+	for _, f := range features {
+		b.Add(f)
+	}
+	return b
+}
+
+func TestCorpusNoveltyGate(t *testing.T) {
+	c := NewCorpus()
+	if !c.Add(&Entry{ID: "a", Cov: covOf(1, 2), Size: 1}, false) {
+		t.Fatal("novel entry rejected")
+	}
+	// Identical coverage: the gate must reject it.
+	if c.Add(&Entry{ID: "b", Cov: covOf(1, 2), Size: 1}, false) {
+		t.Fatal("duplicate-coverage entry admitted")
+	}
+	if c.Rejects != 1 {
+		t.Fatalf("Rejects = %d, want 1", c.Rejects)
+	}
+	// One new feature: admitted, NewBits records only the novelty.
+	if !c.Add(&Entry{ID: "c", Cov: covOf(2, 3), Size: 1}, false) {
+		t.Fatal("entry with one new feature rejected")
+	}
+	if got := c.Entries[len(c.Entries)-1].NewBits; got != 1 {
+		t.Fatalf("NewBits = %d, want 1", got)
+	}
+	// Force bypasses the gate (initial seeding).
+	if !c.Add(&Entry{ID: "d", Cov: covOf(1), Size: 1}, true) {
+		t.Fatal("forced entry rejected")
+	}
+	if len(c.Entries) != 3 {
+		t.Fatalf("corpus size = %d, want 3", len(c.Entries))
+	}
+}
+
+func TestCorpusEnergyPick(t *testing.T) {
+	c := NewCorpus()
+	c.Add(&Entry{ID: "hot", Cov: covOf(1, 2, 3, 4, 5, 6, 7, 8), Size: 4}, true)
+	c.Add(&Entry{ID: "cold", Cov: covOf(1), Size: 50}, true)
+	// "hot" contributed 8 new bits, "cold" zero beyond overlap: the
+	// energy-weighted scheduler must prefer "hot".
+	counts := map[string]int{}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		counts[c.Pick(r).ID]++
+	}
+	if counts["hot"] <= counts["cold"] {
+		t.Fatalf("energy scheduling inverted: %v", counts)
+	}
+	// Pick pressure decays energy, but never to zero: both stay reachable.
+	if counts["cold"] == 0 {
+		t.Fatalf("low-energy entry starved: %v", counts)
+	}
+}
+
+func TestDDMinReducesAndPreserves(t *testing.T) {
+	data := []byte("xxxxAyyyyyyyyyyyByyyyxxxxxxxxxxxxxxxxzzz")
+	fails := func(d []byte) bool {
+		return bytes.ContainsRune(d, 'A') && bytes.ContainsRune(d, 'B')
+	}
+	min := DDMin(data, fails, 10_000)
+	if !fails(min) {
+		t.Fatalf("minimised input no longer fails: %q", min)
+	}
+	if len(min) != 2 {
+		t.Fatalf("ddmin left %d bytes (%q), want 2", len(min), min)
+	}
+}
+
+func TestDDMinBudget(t *testing.T) {
+	calls := 0
+	fails := func(d []byte) bool { calls++; return true }
+	DDMin(make([]byte, 1024), fails, 7)
+	if calls > 7 {
+		t.Fatalf("ddmin ran %d oracle calls past a budget of 7", calls)
+	}
+}
+
+// TestCampaignDeterministicAcrossWorkers is the headline determinism
+// guarantee: identical seeds produce byte-identical campaign reports
+// regardless of executor parallelism.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign determinism is slow")
+	}
+	base := Config{Seed: 3, Cases: 40, Source: true, Module: true, Minimize: true}
+	run := func(workers int) []byte {
+		cfg := base
+		cfg.Workers = workers
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	w1 := run(1)
+	w8 := run(8)
+	if !bytes.Equal(w1, w8) {
+		t.Fatalf("reports differ across worker counts:\n-workers 1: %s\n-workers 8: %s", w1, w8)
+	}
+}
+
+// TestCampaignSafeStackIsQuiet: a short campaign on the current tree must
+// find no oracle violations — the stack agrees with itself and planted bugs
+// are detected.
+func TestCampaignSafeStackIsQuiet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign run is slow")
+	}
+	rep, err := Run(Config{Seed: 1, Cases: 40, Source: true, Module: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := rep.Bad(); bad != 0 {
+		blob, _ := json.MarshalIndent(rep, "", "  ")
+		t.Fatalf("%d oracle failures on a clean tree:\n%s", bad, blob)
+	}
+	if rep.Source.Planted == nil || rep.Source.Planted.Tried == 0 {
+		t.Fatal("campaign ran no planted-bug probes")
+	}
+	if rep.Source.Planted.Caught != rep.Source.Planted.Tried {
+		t.Fatalf("planted bugs missed: %+v", rep.Source.Planted)
+	}
+	if rep.Source.CoverageBits == 0 || rep.Module.CoverageBits == 0 {
+		t.Fatal("campaign observed no coverage")
+	}
+}

@@ -1,0 +1,483 @@
+// Package gen generates and mutates random MiniC programs for the fuzzing
+// subsystem (internal/fuzz). Programs are deterministic and memory-safe by
+// construction: every array index is masked to the array bound, every
+// divisor is forced non-zero, every loop has a constant trip count, and
+// helper-function bodies stay loop-free so call trees cannot multiply trip
+// counts. Differential testing (fuzz oracle 1) cross-checks the whole stack
+// over these programs: compiler optimisation levels and execution under the
+// security tools must agree with the -O0 native run, with the tools silent.
+//
+// Unlike the original string-emitting generator (formerly duplicated in
+// internal/experiments), programs here are small ASTs, so the fuzzer can
+// apply statement/expression-level mutations that preserve the safety
+// invariants (package mutate operations), deliberately break them to plant
+// detectable bugs (fuzz oracle 3), and delete statements during test-case
+// minimisation.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// ExprKind enumerates expression forms. Compound forms encode their safety
+// pattern in the renderer, so no mutation of subtrees can make an unsafe
+// expression: division and modulus render with a non-zero-forced divisor,
+// multiplication renders with magnitude masks, shifts are bounded, and
+// array indices are masked by the enclosing Index/Store node.
+type ExprKind uint8
+
+// Expression kinds.
+const (
+	Const   ExprKind = iota // K
+	VarRef                  // Name
+	Index                   // Name[(X) & K]
+	Call                    // Name(X)
+	Add                     // (X + Y)
+	Sub                     // (X - Y)
+	MulMask                 // ((X & 1023) * (Y & 255))
+	DivSafe                 // (X / (((Y) & 7) + 1))
+	ModSafe                 // (X % (((Y) & 7) + 2))
+	Xor                     // (X ^ Y)
+	Or                      // (X | Y)
+	And                     // (X & Y)
+	Shl                     // ((X) << K), K in 0..3
+	Less                    // (X < Y)
+)
+
+// Expr is one expression node.
+type Expr struct {
+	Kind ExprKind
+	K    int64 // Const value, Index mask, Shl amount
+	Name string
+	X, Y *Expr
+}
+
+// StmtKind enumerates statement forms.
+type StmtKind uint8
+
+// Statement kinds.
+const (
+	Decl      StmtKind = iota // int Name = Val;
+	Assign                    // Name = Val;
+	AddAssign                 // Name += Val;
+	Store                     // Name[(Idx) & Mask] = Val;
+	RawStore                  // Name[K] = Val;   (planted bugs only)
+	If                        // if (Cond) { Then } else { Else }
+	For                       // for (int Name = 0; Name < Trip; Name++) { Body }
+)
+
+// Stmt is one statement node.
+type Stmt struct {
+	Kind       StmtKind
+	Name       string
+	Mask, K    int64
+	Idx, Val   *Expr
+	Cond       *Expr
+	Trip       int
+	Then, Else []Stmt
+	Body       []Stmt
+}
+
+// Array is one int-array object the program indexes. Global arrays live in
+// the data section; heap arrays are malloc'd at the top of main and freed
+// at its end, which is what gives JASan redzones to defend and the planted
+// heap bugs something to overflow.
+type Array struct {
+	Name string
+	// Size is the power-of-two element count every masked index respects.
+	Size int64
+	Heap bool
+	// AllocElems is the element count actually allocated for heap arrays.
+	// It equals Size unless a planted shrink-allocation bug reduced it.
+	AllocElems int64
+}
+
+// Fn is one helper function: int Name(int x).
+type Fn struct {
+	Name string
+	Body []Stmt
+	Ret  *Expr
+}
+
+// Prog is one whole generated program.
+type Prog struct {
+	Arrays []Array
+	Funcs  []Fn
+	Main   []Stmt
+	// PostFree statements render after the heap frees at the end of main;
+	// safe programs have none (planted use-after-free bugs go here).
+	PostFree []Stmt
+	// Planted describes deliberately-introduced bugs, empty for safe
+	// programs. A program with planted bugs must trip JASan.
+	Planted []string
+	// nextID feeds fresh variable names across generation and mutation.
+	nextID int
+}
+
+// globals returns the non-heap arrays.
+func (p *Prog) globals() []Array {
+	var out []Array
+	for _, a := range p.Arrays {
+		if !a.Heap {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// heaps returns the heap arrays.
+func (p *Prog) heaps() []Array {
+	var out []Array
+	for _, a := range p.Arrays {
+		if a.Heap {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ctx carries the generation context: what is nameable at the current
+// program point.
+type ctx struct {
+	vars []string // in-scope int variables (readable)
+	// mut is the assignable subset of vars: loop induction variables are
+	// readable but never assignment targets, otherwise a `i += negative`
+	// mutation turns a bounded loop into a non-terminating one.
+	mut    []string
+	arrays []Array  // indexable arrays (helpers cannot see heap locals)
+	funcs  []string // callable helpers (no recursion: only earlier ones)
+	depth  int      // call-nesting depth limiter during expr generation
+}
+
+func pick(r *rand.Rand, ss []string) string { return ss[r.Intn(len(ss))] }
+
+// genExpr builds a random expression of depth at most d.
+func (p *Prog) genExpr(r *rand.Rand, c *ctx, d int) *Expr {
+	if d <= 0 {
+		// Terminal: constants and variables only, so expression depth —
+		// and with it the compiler's temporary pressure — stays bounded.
+		if r.Intn(2) == 0 || len(c.vars) == 0 {
+			return &Expr{Kind: Const, K: int64(r.Intn(100) - 50)}
+		}
+		return &Expr{Kind: VarRef, Name: pick(r, c.vars)}
+	}
+	if r.Intn(4) == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return &Expr{Kind: Const, K: int64(r.Intn(100) - 50)}
+		case 1:
+			if len(c.vars) > 0 {
+				return &Expr{Kind: VarRef, Name: pick(r, c.vars)}
+			}
+			return &Expr{Kind: Const, K: 7}
+		case 2:
+			if len(c.arrays) > 0 {
+				a := c.arrays[r.Intn(len(c.arrays))]
+				return &Expr{Kind: Index, Name: a.Name, K: a.Size - 1,
+					X: p.genExpr(r, c, d-1)}
+			}
+			return &Expr{Kind: Const, K: 3}
+		default:
+			if len(c.funcs) > 0 && c.depth < 2 {
+				c.depth++
+				e := &Expr{Kind: Call, Name: pick(r, c.funcs),
+					X: p.genExpr(r, c, d-1)}
+				c.depth--
+				return e
+			}
+			return &Expr{Kind: Const, K: 11}
+		}
+	}
+	x, y := p.genExpr(r, c, d-1), p.genExpr(r, c, d-1)
+	switch r.Intn(10) {
+	case 0:
+		return &Expr{Kind: Add, X: x, Y: y}
+	case 1:
+		return &Expr{Kind: Sub, X: x, Y: y}
+	case 2:
+		return &Expr{Kind: MulMask, X: x, Y: y}
+	case 3:
+		return &Expr{Kind: DivSafe, X: x, Y: y}
+	case 4:
+		return &Expr{Kind: ModSafe, X: x, Y: y}
+	case 5:
+		return &Expr{Kind: Xor, X: x, Y: y}
+	case 6:
+		return &Expr{Kind: Or, X: x, Y: y}
+	case 7:
+		return &Expr{Kind: And, X: x, Y: y}
+	case 8:
+		return &Expr{Kind: Shl, X: x, K: int64(r.Intn(4))}
+	default:
+		return &Expr{Kind: Less, X: x, Y: y}
+	}
+}
+
+// genStmt builds one random statement; d bounds control-flow nesting.
+// Declared variables are appended to c.vars (callers manage block scope).
+func (p *Prog) genStmt(r *rand.Rand, c *ctx, d int) *Stmt {
+	switch r.Intn(6) {
+	case 0: // new variable
+		p.nextID++
+		name := fmt.Sprintf("v%d", p.nextID)
+		s := &Stmt{Kind: Decl, Name: name, Val: p.genExpr(r, c, 2)}
+		c.vars = append(c.vars, name)
+		c.mut = append(c.mut, name)
+		return s
+	case 1: // assignment
+		if len(c.mut) > 0 {
+			return &Stmt{Kind: Assign, Name: pick(r, c.mut), Val: p.genExpr(r, c, 2)}
+		}
+	case 2: // array store
+		if len(c.arrays) > 0 {
+			a := c.arrays[r.Intn(len(c.arrays))]
+			return &Stmt{Kind: Store, Name: a.Name, Mask: a.Size - 1,
+				Idx: p.genExpr(r, c, 1), Val: p.genExpr(r, c, 2)}
+		}
+	case 3: // if/else
+		if d > 0 {
+			n, nm := len(c.vars), len(c.mut)
+			s := &Stmt{Kind: If, Cond: p.genExpr(r, c, 1)}
+			if t := p.genStmt(r, c, d-1); t != nil {
+				s.Then = append(s.Then, *t)
+			}
+			c.vars, c.mut = c.vars[:n], c.mut[:nm] // block scope ends
+			if e := p.genStmt(r, c, d-1); e != nil {
+				s.Else = append(s.Else, *e)
+			}
+			c.vars, c.mut = c.vars[:n], c.mut[:nm]
+			if len(s.Then) == 0 && len(s.Else) == 0 {
+				return nil
+			}
+			return s
+		}
+	case 4: // bounded for loop
+		if d > 0 {
+			n, nm := len(c.vars), len(c.mut)
+			p.nextID++
+			iv := fmt.Sprintf("i%d", p.nextID)
+			s := &Stmt{Kind: For, Name: iv, Trip: 3 + r.Intn(6)}
+			c.vars = append(c.vars, iv) // readable, deliberately not in mut
+			if b := p.genStmt(r, c, d-1); b != nil {
+				s.Body = append(s.Body, *b)
+			}
+			c.vars, c.mut = c.vars[:n], c.mut[:nm] // loop scope ends
+			if len(s.Body) == 0 {
+				return nil
+			}
+			return s
+		}
+	default: // accumulate into a variable
+		if len(c.mut) > 0 {
+			return &Stmt{Kind: AddAssign, Name: pick(r, c.mut), Val: p.genExpr(r, c, 2)}
+		}
+	}
+	return nil
+}
+
+// New generates a random safe program from r.
+func New(r *rand.Rand) *Prog {
+	p := &Prog{}
+	// Global arrays.
+	nArr := 1 + r.Intn(2)
+	for i := 0; i < nArr; i++ {
+		size := int64(1) << (3 + r.Intn(3)) // 8..32
+		p.Arrays = append(p.Arrays, Array{Name: fmt.Sprintf("g%d", i), Size: size})
+	}
+	// Heap arrays (always at least one, so bug planting has a target).
+	nHeap := 1 + r.Intn(2)
+	for i := 0; i < nHeap; i++ {
+		size := int64(1) << (3 + r.Intn(2)) // 8..16
+		p.Arrays = append(p.Arrays, Array{Name: fmt.Sprintf("h%d", i),
+			Size: size, Heap: true, AllocElems: size})
+	}
+	// Helper functions: can see globals and earlier helpers only; bodies
+	// stay loop-free so call trees cannot multiply loop trip counts.
+	nFn := 1 + r.Intn(3)
+	for i := 0; i < nFn; i++ {
+		fn := Fn{Name: fmt.Sprintf("f%d", i)}
+		c := &ctx{vars: []string{"x"}, mut: []string{"x"},
+			arrays: p.globals(), funcs: funcNames(p.Funcs)}
+		for s := 0; s < 1+r.Intn(3); s++ {
+			if st := p.genStmt(r, c, 0); st != nil {
+				fn.Body = append(fn.Body, *st)
+			}
+		}
+		fn.Ret = p.genExpr(r, c, 2)
+		p.Funcs = append(p.Funcs, fn)
+	}
+	// main: sees everything.
+	c := &ctx{vars: []string{"acc"}, mut: []string{"acc"},
+		arrays: p.Arrays, funcs: funcNames(p.Funcs)}
+	for s := 0; s < 3+r.Intn(3); s++ {
+		if st := p.genStmt(r, c, 2); st != nil {
+			p.Main = append(p.Main, *st)
+		}
+	}
+	return p
+}
+
+func funcNames(fns []Fn) []string {
+	var out []string
+	for _, f := range fns {
+		out = append(out, f.Name)
+	}
+	return out
+}
+
+// Render emits the program as MiniC source.
+func (p *Prog) Render() string {
+	var b strings.Builder
+	for _, a := range p.globals() {
+		fmt.Fprintf(&b, "int %s[%d];\n", a.Name, a.Size)
+	}
+	for _, f := range p.Funcs {
+		fmt.Fprintf(&b, "int %s(int x) {\n", f.Name)
+		renderStmts(&b, f.Body, "    ")
+		fmt.Fprintf(&b, "    return %s;\n}\n", f.Ret.Render())
+	}
+	fmt.Fprintf(&b, "int main() {\n")
+	for _, a := range p.heaps() {
+		fmt.Fprintf(&b, "    int *%s = malloc(%d);\n", a.Name, 8*a.AllocElems)
+	}
+	fmt.Fprintf(&b, "    int acc = 1;\n")
+	renderStmts(&b, p.Main, "    ")
+	for _, a := range p.heaps() {
+		fmt.Fprintf(&b, "    free(%s);\n", a.Name)
+	}
+	renderStmts(&b, p.PostFree, "    ")
+	fmt.Fprintf(&b, "    return (acc ^ (acc >> 3)) & 127;\n}\n")
+	return b.String()
+}
+
+func renderStmts(b *strings.Builder, ss []Stmt, indent string) {
+	for i := range ss {
+		ss[i].render(b, indent)
+	}
+}
+
+func (s *Stmt) render(b *strings.Builder, indent string) {
+	switch s.Kind {
+	case Decl:
+		fmt.Fprintf(b, "%sint %s = %s;\n", indent, s.Name, s.Val.Render())
+	case Assign:
+		fmt.Fprintf(b, "%s%s = %s;\n", indent, s.Name, s.Val.Render())
+	case AddAssign:
+		fmt.Fprintf(b, "%s%s += %s;\n", indent, s.Name, s.Val.Render())
+	case Store:
+		fmt.Fprintf(b, "%s%s[(%s) & %d] = %s;\n",
+			indent, s.Name, s.Idx.Render(), s.Mask, s.Val.Render())
+	case RawStore:
+		fmt.Fprintf(b, "%s%s[%d] = %s;\n", indent, s.Name, s.K, s.Val.Render())
+	case If:
+		fmt.Fprintf(b, "%sif (%s) {\n", indent, s.Cond.Render())
+		renderStmts(b, s.Then, indent+"    ")
+		fmt.Fprintf(b, "%s} else {\n", indent)
+		renderStmts(b, s.Else, indent+"    ")
+		fmt.Fprintf(b, "%s}\n", indent)
+	case For:
+		fmt.Fprintf(b, "%sfor (int %s = 0; %s < %d; %s++) {\n",
+			indent, s.Name, s.Name, s.Trip, s.Name)
+		renderStmts(b, s.Body, indent+"    ")
+		fmt.Fprintf(b, "%s}\n", indent)
+	}
+}
+
+// Render emits the expression as MiniC source.
+func (e *Expr) Render() string {
+	switch e.Kind {
+	case Const:
+		return fmt.Sprintf("%d", e.K)
+	case VarRef:
+		return e.Name
+	case Index:
+		return fmt.Sprintf("%s[(%s) & %d]", e.Name, e.X.Render(), e.K)
+	case Call:
+		return fmt.Sprintf("%s(%s)", e.Name, e.X.Render())
+	case Add:
+		return fmt.Sprintf("(%s + %s)", e.X.Render(), e.Y.Render())
+	case Sub:
+		return fmt.Sprintf("(%s - %s)", e.X.Render(), e.Y.Render())
+	case MulMask:
+		return fmt.Sprintf("((%s & 1023) * (%s & 255))", e.X.Render(), e.Y.Render())
+	case DivSafe:
+		return fmt.Sprintf("(%s / (((%s) & 7) + 1))", e.X.Render(), e.Y.Render())
+	case ModSafe:
+		return fmt.Sprintf("(%s %% (((%s) & 7) + 2))", e.X.Render(), e.Y.Render())
+	case Xor:
+		return fmt.Sprintf("(%s ^ %s)", e.X.Render(), e.Y.Render())
+	case Or:
+		return fmt.Sprintf("(%s | %s)", e.X.Render(), e.Y.Render())
+	case And:
+		return fmt.Sprintf("(%s & %s)", e.X.Render(), e.Y.Render())
+	case Shl:
+		return fmt.Sprintf("((%s) << %d)", e.X.Render(), e.K)
+	case Less:
+		return fmt.Sprintf("(%s < %s)", e.X.Render(), e.Y.Render())
+	}
+	return "0"
+}
+
+// Clone deep-copies the program.
+func (p *Prog) Clone() *Prog {
+	q := &Prog{
+		Arrays:  append([]Array(nil), p.Arrays...),
+		Main:    cloneStmts(p.Main),
+		nextID:  p.nextID,
+		Planted: append([]string(nil), p.Planted...),
+	}
+	q.PostFree = cloneStmts(p.PostFree)
+	for _, f := range p.Funcs {
+		q.Funcs = append(q.Funcs, Fn{Name: f.Name, Body: cloneStmts(f.Body), Ret: f.Ret.clone()})
+	}
+	return q
+}
+
+func cloneStmts(ss []Stmt) []Stmt {
+	if ss == nil {
+		return nil
+	}
+	out := make([]Stmt, len(ss))
+	for i := range ss {
+		s := ss[i]
+		s.Idx = s.Idx.clone()
+		s.Val = s.Val.clone()
+		s.Cond = s.Cond.clone()
+		s.Then = cloneStmts(s.Then)
+		s.Else = cloneStmts(s.Else)
+		s.Body = cloneStmts(s.Body)
+		out[i] = s
+	}
+	return out
+}
+
+func (e *Expr) clone() *Expr {
+	if e == nil {
+		return nil
+	}
+	c := *e
+	c.X = e.X.clone()
+	c.Y = e.Y.clone()
+	return &c
+}
+
+// NumStmts counts statements across the whole program (size control for
+// mutation and the minimiser's progress metric).
+func (p *Prog) NumStmts() int {
+	n := countStmts(p.Main) + countStmts(p.PostFree)
+	for _, f := range p.Funcs {
+		n += countStmts(f.Body)
+	}
+	return n
+}
+
+func countStmts(ss []Stmt) int {
+	n := 0
+	for i := range ss {
+		n++
+		n += countStmts(ss[i].Then) + countStmts(ss[i].Else) + countStmts(ss[i].Body)
+	}
+	return n
+}

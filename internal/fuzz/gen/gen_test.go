@@ -1,0 +1,113 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cc"
+)
+
+// TestGenerateCompiles checks that every generated program compiles at both
+// optimisation levels and renders deterministically.
+func TestGenerateCompiles(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		p := New(rand.New(rand.NewSource(seed)))
+		src := p.Render()
+		if src != p.Render() {
+			t.Fatalf("seed %d: nondeterministic render", seed)
+		}
+		for _, opts := range []cc.Options{{Module: "p"}, {Module: "p", O2: true}} {
+			if _, err := cc.Compile(src, opts); err != nil {
+				t.Fatalf("seed %d: compile: %v\nprogram:\n%s", seed, err, src)
+			}
+		}
+	}
+}
+
+// TestMutateStaysCompilable checks the safe mutation engine: programs stay
+// compilable through long mutation chains.
+func TestMutateStaysCompilable(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		p := New(r)
+		for step := 0; step < 25; step++ {
+			q := p.Clone()
+			if !q.Mutate(r) {
+				continue
+			}
+			src := q.Render()
+			if _, err := cc.Compile(src, cc.Options{Module: "p", O2: true}); err != nil {
+				t.Fatalf("seed %d step %d: mutation broke compile: %v\nprogram:\n%s",
+					seed, step, err, src)
+			}
+			p = q
+		}
+	}
+}
+
+// TestCloneIsDeep checks that mutating a clone leaves the original alone.
+func TestCloneIsDeep(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	p := New(r)
+	src := p.Render()
+	q := p.Clone()
+	for i := 0; i < 10; i++ {
+		q.Mutate(r)
+		q.Plant(r, Bug(i%int(NumBugs)))
+	}
+	if p.Render() != src {
+		t.Fatal("mutating the clone changed the original")
+	}
+}
+
+// TestPlantAllClasses checks every planted-bug class applies and renders to
+// a compilable program.
+func TestPlantAllClasses(t *testing.T) {
+	for b := Bug(0); b < NumBugs; b++ {
+		r := rand.New(rand.NewSource(int64(b) + 1))
+		p := New(r)
+		if !p.Plant(r, b) {
+			t.Fatalf("%v: plant failed", b)
+		}
+		if len(p.Planted) != 1 || p.Planted[0] != b.String() {
+			t.Fatalf("%v: planted record %v", b, p.Planted)
+		}
+		if _, err := cc.Compile(p.Render(), cc.Options{Module: "p", O2: true}); err != nil {
+			t.Fatalf("%v: compile: %v\nprogram:\n%s", b, err, p.Render())
+		}
+	}
+}
+
+// TestMinimizeShrinks checks the reducer: with a predicate that only needs
+// the planted statement, minimisation should strip most of the program and
+// the result must still satisfy the predicate.
+func TestMinimizeShrinks(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	p := New(r)
+	for i := 0; i < 6; i++ {
+		p.Mutate(r)
+	}
+	if !p.Plant(r, BugHeapOverflow) {
+		t.Fatal("plant failed")
+	}
+	keep := func(q *Prog) bool {
+		// The "failure" reproduces iff the program still compiles and
+		// still contains a planted RawStore.
+		if _, err := cc.Compile(q.Render(), cc.Options{Module: "p"}); err != nil {
+			return false
+		}
+		for _, s := range q.Main {
+			if s.Kind == RawStore {
+				return true
+			}
+		}
+		return false
+	}
+	min := Minimize(p, keep, 500)
+	if !keep(min) {
+		t.Fatal("minimised program no longer reproduces")
+	}
+	if min.NumStmts() >= p.NumStmts() {
+		t.Fatalf("no shrink: %d -> %d statements", p.NumStmts(), min.NumStmts())
+	}
+}

@@ -1,0 +1,299 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file is the statement/expression mutation engine. Safe mutations
+// transform one safe-by-construction program into another (the differential
+// oracle must still hold); Plant deliberately violates the heap-safety
+// invariant in a way JASan is required to detect (fuzz oracle 3).
+
+// maxStmts caps program growth under repeated insertion mutations so cases
+// stay within the per-case execution budget.
+const maxStmts = 60
+
+// site identifies one statement position together with the naming context
+// in force just before it.
+type site struct {
+	list *[]Stmt
+	idx  int
+	c    ctx
+	nest int // remaining control-flow nesting budget for new statements
+}
+
+// sites enumerates every statement position in generation scope order.
+func (p *Prog) sites() []site {
+	var out []site
+	for fi := range p.Funcs {
+		c := ctx{vars: []string{"x"}, mut: []string{"x"},
+			arrays: p.globals(), funcs: funcNames(p.Funcs[:fi])}
+		walkStmts(&p.Funcs[fi].Body, &c, 0, &out)
+	}
+	c := ctx{vars: []string{"acc"}, mut: []string{"acc"},
+		arrays: p.Arrays, funcs: funcNames(p.Funcs)}
+	walkStmts(&p.Main, &c, 2, &out)
+	return out
+}
+
+func walkStmts(list *[]Stmt, c *ctx, nest int, out *[]site) {
+	for i := 0; i < len(*list); i++ {
+		snap := *c
+		snap.vars = append([]string(nil), c.vars...)
+		snap.mut = append([]string(nil), c.mut...)
+		*out = append(*out, site{list: list, idx: i, c: snap, nest: nest})
+		s := &(*list)[i]
+		switch s.Kind {
+		case Decl:
+			c.vars = append(c.vars, s.Name)
+			c.mut = append(c.mut, s.Name)
+		case If:
+			n, nm := len(c.vars), len(c.mut)
+			walkStmts(&s.Then, c, nest-1, out)
+			c.vars, c.mut = c.vars[:n], c.mut[:nm]
+			walkStmts(&s.Else, c, nest-1, out)
+			c.vars, c.mut = c.vars[:n], c.mut[:nm]
+		case For:
+			n, nm := len(c.vars), len(c.mut)
+			c.vars = append(c.vars, s.Name) // readable, not assignable
+			walkStmts(&s.Body, c, nest-1, out)
+			c.vars, c.mut = c.vars[:n], c.mut[:nm]
+		}
+	}
+}
+
+// exprNodes collects the expression nodes hanging directly off s (nested
+// statements are separate sites).
+func (s *Stmt) exprNodes() []*Expr {
+	var out []*Expr
+	for _, e := range []*Expr{s.Idx, s.Val, s.Cond} {
+		collectExprs(e, &out)
+	}
+	return out
+}
+
+func collectExprs(e *Expr, out *[]*Expr) {
+	if e == nil {
+		return
+	}
+	*out = append(*out, e)
+	collectExprs(e.X, out)
+	collectExprs(e.Y, out)
+}
+
+// swappable binary operators: any of these can replace any other without
+// touching the safety invariants.
+var swapOps = []ExprKind{Add, Sub, Xor, Or, And, Less}
+
+// Mutate applies one random safety-preserving mutation in place and reports
+// whether anything changed. Mutate callers typically work on a Clone.
+func (p *Prog) Mutate(r *rand.Rand) bool {
+	for try := 0; try < 8; try++ {
+		sites := p.sites()
+		if len(sites) == 0 {
+			// Degenerate program: grow main from scratch.
+			c := ctx{vars: []string{"acc"}, mut: []string{"acc"},
+				arrays: p.Arrays, funcs: funcNames(p.Funcs)}
+			if st := p.genStmt(r, &c, 2); st != nil {
+				p.Main = append(p.Main, *st)
+				return true
+			}
+			continue
+		}
+		st := sites[r.Intn(len(sites))]
+		s := &(*st.list)[st.idx]
+		if s.Kind == RawStore {
+			continue // planted statements are not mutation targets
+		}
+		switch r.Intn(5) {
+		case 0: // insert a fresh statement before this one
+			if p.NumStmts() >= maxStmts {
+				continue
+			}
+			c := st.c
+			ns := p.genStmt(r, &c, st.nest)
+			if ns == nil {
+				continue
+			}
+			l := *st.list
+			l = append(l[:st.idx:st.idx], append([]Stmt{*ns}, l[st.idx:]...)...)
+			*st.list = l
+			return true
+		case 1: // delete (declarations stay: later statements may use them)
+			if s.Kind == Decl {
+				continue
+			}
+			*st.list = append((*st.list)[:st.idx], (*st.list)[st.idx+1:]...)
+			return true
+		case 2: // regenerate one attached expression
+			c := st.c
+			switch s.Kind {
+			case Decl, Assign, AddAssign:
+				s.Val = p.genExpr(r, &c, 2)
+			case Store:
+				if r.Intn(2) == 0 {
+					s.Idx = p.genExpr(r, &c, 1)
+				} else {
+					s.Val = p.genExpr(r, &c, 2)
+				}
+			case If:
+				s.Cond = p.genExpr(r, &c, 1)
+			case For:
+				s.Trip = 3 + r.Intn(6)
+			}
+			return true
+		case 3: // tweak a constant
+			var consts []*Expr
+			for _, e := range s.exprNodes() {
+				if e.Kind == Const {
+					consts = append(consts, e)
+				}
+			}
+			if s.Kind == For && r.Intn(2) == 0 {
+				s.Trip = 1 + r.Intn(8)
+				return true
+			}
+			if len(consts) == 0 {
+				continue
+			}
+			consts[r.Intn(len(consts))].K = int64(r.Intn(100) - 50)
+			return true
+		default: // swap a binary operator
+			var bins []*Expr
+			for _, e := range s.exprNodes() {
+				for _, k := range swapOps {
+					if e.Kind == k {
+						bins = append(bins, e)
+						break
+					}
+				}
+			}
+			if len(bins) == 0 {
+				continue
+			}
+			bins[r.Intn(len(bins))].Kind = swapOps[r.Intn(len(swapOps))]
+			return true
+		}
+	}
+	return false
+}
+
+// Bug enumerates the planted-bug mutation classes of the detection oracle.
+// Every class produces a guaranteed-executed heap-safety violation, so a
+// run under JASan that stays silent is an oracle failure.
+type Bug uint8
+
+// Planted-bug classes.
+const (
+	// BugHeapOverflow stores one element past the end of a heap object.
+	BugHeapOverflow Bug = iota
+	// BugShrinkAlloc shrinks an allocation below its masked index bound
+	// and touches the now-out-of-bounds last element.
+	BugShrinkAlloc
+	// BugUseAfterFree stores to a heap object after it is freed.
+	BugUseAfterFree
+	// BugDropMask widens an index mask past the object bound (the classic
+	// dropped-bounds-check) and indexes through the gap.
+	BugDropMask
+	// NumBugs is the class count.
+	NumBugs
+)
+
+func (b Bug) String() string {
+	switch b {
+	case BugHeapOverflow:
+		return "heap-overflow"
+	case BugShrinkAlloc:
+		return "shrink-alloc"
+	case BugUseAfterFree:
+		return "use-after-free"
+	case BugDropMask:
+		return "drop-bounds-mask"
+	}
+	return fmt.Sprintf("bug-%d", b)
+}
+
+// Plant applies one planted-bug mutation of class b and reports success.
+// The resulting program is recorded as unsafe via Planted.
+func (p *Prog) Plant(r *rand.Rand, b Bug) bool {
+	heaps := p.heaps()
+	if len(heaps) == 0 {
+		return false
+	}
+	a := heaps[r.Intn(len(heaps))]
+	val := &Expr{Kind: Const, K: int64(1 + r.Intn(9))}
+	switch b {
+	case BugHeapOverflow:
+		p.Main = append(p.Main, Stmt{Kind: RawStore, Name: a.Name,
+			K: a.AllocElems, Val: val})
+	case BugShrinkAlloc:
+		if a.Size < 2 {
+			return false
+		}
+		for i := range p.Arrays {
+			if p.Arrays[i].Name == a.Name {
+				p.Arrays[i].AllocElems = a.Size - 1
+			}
+		}
+		// The store was in bounds under the original allocation; only the
+		// shrink makes it a violation.
+		p.Main = append(p.Main, Stmt{Kind: RawStore, Name: a.Name,
+			K: a.Size - 1, Val: val})
+	case BugUseAfterFree:
+		p.PostFree = append(p.PostFree, Stmt{Kind: RawStore, Name: a.Name,
+			K: 0, Val: val})
+	case BugDropMask:
+		// Mask widened to twice the bound: index Size survives the mask
+		// and lands one element past the object.
+		p.Main = append(p.Main, Stmt{Kind: Store, Name: a.Name,
+			Mask: 2*a.Size - 1, Idx: &Expr{Kind: Const, K: a.Size}, Val: val})
+	default:
+		return false
+	}
+	p.Planted = append(p.Planted, b.String())
+	return true
+}
+
+// deleteNth removes the n-th statement in walk order (any kind) and reports
+// whether n was in range. Used by Minimize; removing a declaration whose
+// uses remain produces a program the compiler rejects, which the
+// minimisation predicate treats as "failure gone" and reverts.
+func (p *Prog) deleteNth(n int) bool {
+	sites := p.sites()
+	// PostFree statements are deletable too (they follow main's frees).
+	c := ctx{vars: []string{"acc"}, arrays: p.Arrays, funcs: funcNames(p.Funcs)}
+	walkStmts(&p.PostFree, &c, 0, &sites)
+	if n < 0 || n >= len(sites) {
+		return false
+	}
+	st := sites[n]
+	*st.list = append((*st.list)[:st.idx], (*st.list)[st.idx+1:]...)
+	return true
+}
+
+// Minimize returns the smallest variant of p (by statement deletion) for
+// which keep still returns true — the ddmin-style reducer for source-domain
+// findings. keep is called at most budget times; p itself is not modified.
+func Minimize(p *Prog, keep func(*Prog) bool, budget int) *Prog {
+	cur := p.Clone()
+	for improved := true; improved; {
+		improved = false
+		for i := 0; i < cur.NumStmts() && budget > 0; i++ {
+			cand := cur.Clone()
+			if !cand.deleteNth(i) {
+				break
+			}
+			budget--
+			if keep(cand) {
+				cur = cand
+				improved = true
+				i-- // the next statement slid into slot i
+			}
+		}
+		if budget <= 0 {
+			break
+		}
+	}
+	return cur
+}

@@ -1,0 +1,53 @@
+package fuzz
+
+// DDMin reduces a byte input with the classic ddmin algorithm: it returns a
+// subsequence of data for which fails still returns true, removing ever
+// finer-grained chunks until no single chunk at byte granularity can be
+// dropped. fails(data) must be true on entry; fails is called at most
+// budget times (minimisation is best-effort past the budget).
+func DDMin(data []byte, fails func([]byte) bool, budget int) []byte {
+	cur := append([]byte(nil), data...)
+	n := 2
+	for len(cur) >= 2 && budget > 0 {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		for lo := 0; lo < len(cur) && budget > 0; lo += chunk {
+			hi := lo + chunk
+			if hi > len(cur) {
+				hi = len(cur)
+			}
+			cand := append(append([]byte(nil), cur[:lo]...), cur[hi:]...)
+			if len(cand) == 0 {
+				continue
+			}
+			budget--
+			if fails(cand) {
+				cur = cand
+				n = maxInt(n-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break // single-byte granularity reached: 1-minimal
+			}
+			n = minInt(2*n, len(cur))
+		}
+	}
+	return cur
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

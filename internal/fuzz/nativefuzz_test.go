@@ -1,0 +1,127 @@
+package fuzz
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/obj"
+)
+
+// Native go-test fuzz targets over the hostile-input surfaces, seeded from
+// the jfuzz seed modules and the checked-in malformed corpus. They run their
+// seed corpus as ordinary tests under `go test` and explore under
+// `go test -fuzz=FuzzReadModule ./internal/fuzz`.
+
+// corpusSeeds returns every checked-in malformed module image.
+func corpusSeeds(t testing.TB) [][]byte {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join("testdata", "malformed", "*.jef"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("malformed corpus missing: %v (%d files)", err, len(names))
+	}
+	var out [][]byte
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, data)
+	}
+	return out
+}
+
+func seedAll(f *testing.F) {
+	mods, err := SeedModules()
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, m := range mods {
+		f.Add(m)
+	}
+	for _, m := range corpusSeeds(f) {
+		f.Add(m)
+	}
+}
+
+func FuzzDecodeInstr(f *testing.F) {
+	mods, err := SeedModules()
+	if err != nil {
+		f.Fatal(err)
+	}
+	// Seed with real code bytes: every section of every seed module.
+	for _, img := range mods {
+		mod, err := obj.Unmarshal(img)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, s := range mod.Sections {
+			f.Add(s.Data)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decode at every offset: must return a typed error or a valid
+		// instruction, never panic.
+		for off := 0; off < len(data) && off < 64; off++ {
+			_, err := isa.Decode(data[off:], 0x400000+uint64(off))
+			if err != nil && !errors.Is(err, isa.ErrBadOpcode) &&
+				!errors.Is(err, isa.ErrTruncated) && !errors.Is(err, isa.ErrBadRegister) {
+				t.Fatalf("untyped decode error at %d: %v", off, err)
+			}
+		}
+	})
+}
+
+func FuzzReadModule(f *testing.F) {
+	seedAll(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mod, err := obj.Unmarshal(data)
+		if err != nil {
+			if !errors.Is(err, obj.ErrBadMagic) && !errors.Is(err, obj.ErrMalformedModule) {
+				t.Fatalf("untyped unmarshal error: %v", err)
+			}
+			return
+		}
+		mod.Validate() // must not panic on anything Unmarshal accepted
+	})
+}
+
+func FuzzLoadProgram(f *testing.F) {
+	reg, err := Libj()
+	if err != nil {
+		f.Fatal(err)
+	}
+	seedAll(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res := CheckModule(data, reg, 100_000)
+		if res.Crash != nil {
+			t.Fatalf("pipeline panic: %s\n%s", res.Crash.Sig, res.Crash.Msg)
+		}
+		for _, v := range res.Violations {
+			t.Fatalf("oracle violation: %s", v)
+		}
+	})
+}
+
+// TestMalformedCorpusNoPanics is the checked-in-corpus acceptance test: the
+// whole pipeline must take every known-hostile module to a typed rejection
+// (or a clean bounded run) without panicking.
+func TestMalformedCorpusNoPanics(t *testing.T) {
+	reg, err := Libj()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, data := range corpusSeeds(t) {
+		res := CheckModule(data, reg, 200_000)
+		if res.Crash != nil {
+			t.Errorf("corpus[%d]: panic %s", i, res.Crash.Sig)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("corpus[%d]: %s", i, v)
+		}
+	}
+}

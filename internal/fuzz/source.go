@@ -1,0 +1,264 @@
+// Package fuzz is the coverage-guided differential fuzzing subsystem: the
+// continuous-correctness tooling behind the paper's "comprehensive security"
+// claim. It fuzzes the vertical stack (jcc -> obj -> loader -> DBM -> tools)
+// over two input domains with three oracles:
+//
+//   - Domain A (source): safe-by-construction MiniC programs from
+//     internal/fuzz/gen. Oracle 1 (differential): -O0, -O2, -O2 without
+//     ipa-ra and PIC builds must produce identical results natively and
+//     under JASan and JCFI, with the tools silent. Oracle 3 (detection):
+//     planted heap bugs (gen.Plant) must trip JASan.
+//   - Domain B (module): byte/structure-mutated serialised JEF modules.
+//     Oracle 2 (robustness): the obj deserialiser, cfg disassembler,
+//     analysis pipeline, loader and machine must return typed errors —
+//     never panic — within a bounded step budget.
+//
+// Coverage feedback comes from the stack itself: the machine's
+// executed-block hook and the dynamic modifier's block discovery, folded
+// into metrics.Bitmap, drive an energy-based corpus scheduler with
+// novelty-gated seed retention (corpus.go). Campaigns are deterministic:
+// same seed, same case count => byte-identical reports at any worker count
+// (campaign.go).
+package fuzz
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/fuzz/gen"
+	"repro/internal/jasan"
+	"repro/internal/jcfi"
+	"repro/internal/libj"
+	"repro/internal/loader"
+	"repro/internal/metrics"
+	"repro/internal/obj"
+	"repro/internal/vm"
+)
+
+// Coverage feature salts, keeping the domains' feature spaces apart in the
+// shared bitmap.
+const (
+	featNativeBlock uint64 = iota + 1
+	featDBMBlock
+	featStage
+	featErrClass
+	featShape
+)
+
+// feature folds a salted value into one bitmap feature.
+func feature(salt, v uint64) uint64 {
+	return metrics.Mix64(salt)<<1 ^ v
+}
+
+// SourceResult is the verdict on one source-domain case.
+type SourceResult struct {
+	// Violations lists oracle failures: compile errors, run faults,
+	// differential mismatches, or tool noise on a safe program.
+	Violations []string
+	// PlantedCaught reports whether JASan flagged a planted-bug program.
+	PlantedCaught bool
+	// OverBudget is set when a run exhausted the per-case step budget;
+	// the case is discarded without a verdict.
+	OverBudget bool
+	// Cov is the coverage the case observed (native blocks + DBM blocks).
+	Cov *metrics.Bitmap
+}
+
+// runOutcome is one execution's observables.
+type runOutcome struct {
+	exit       int64
+	out        string
+	err        error
+	overBudget bool
+}
+
+func newMachine(budget uint64, out *bytes.Buffer) *vm.Machine {
+	m := vm.New()
+	m.InstallDefaultServices()
+	m.MaxInstrs = budget
+	m.Out = out
+	return m
+}
+
+func isBudgetFault(err error) bool {
+	f, ok := err.(*vm.Fault)
+	return ok && f.Kind == "instruction budget exhausted"
+}
+
+// runNative executes mod natively. cov, when non-nil, accumulates
+// executed-block coverage through the machine's block hook.
+func runNative(mod *obj.Module, reg loader.Registry, budget uint64,
+	cov *metrics.Bitmap) runOutcome {
+
+	var buf bytes.Buffer
+	m := newMachine(budget, &buf)
+	if cov != nil {
+		m.BlockHook = func(pc uint64) { cov.Add(feature(featNativeBlock, pc)) }
+	}
+	proc := loader.NewProcess(m, reg)
+	lm, err := proc.LoadProgram(mod)
+	if err != nil {
+		return runOutcome{err: err}
+	}
+	err = m.Run(lm.RuntimeAddr(mod.Entry))
+	return runOutcome{exit: m.ExitStatus, out: buf.String(), err: err,
+		overBudget: isBudgetFault(err)}
+}
+
+// runTool executes mod under a security tool through the hybrid runtime,
+// returning the outcome and the tool's violation count. cov, when non-nil,
+// accumulates the dynamic modifier's block-discovery coverage.
+func runTool(mod *obj.Module, reg loader.Registry, tool core.Tool,
+	budget uint64, cov *metrics.Bitmap) (runOutcome, int) {
+
+	var buf bytes.Buffer
+	m := newMachine(budget, &buf)
+	files, err := core.AnalyzeProgram(mod, reg, tool)
+	if err != nil {
+		return runOutcome{err: err}, 0
+	}
+	pr := loader.NewProcess(m, reg)
+	// The runtime must exist before LoadProgram so its module-load hook
+	// can build the rule tables.
+	rt := core.NewRuntime(m, pr, tool, files)
+	lm, err := pr.LoadProgram(mod)
+	if err != nil {
+		return runOutcome{err: err}, 0
+	}
+	if cov != nil {
+		rt.DBM.TraceHook = func(pc uint64) { cov.Add(feature(featDBMBlock, pc)) }
+	}
+	err = rt.Run(lm.RuntimeAddr(mod.Entry))
+	violations := 0
+	switch tt := tool.(type) {
+	case *jasan.Tool:
+		violations = int(tt.Report.Total)
+	case *jcfi.Tool:
+		violations = len(tt.Report.Violations)
+	}
+	return runOutcome{exit: m.ExitStatus, out: buf.String(), err: err,
+		overBudget: isBudgetFault(err)}, violations
+}
+
+// Libj returns the shared runtime library registry every generated program
+// links against.
+func Libj() (loader.Registry, error) {
+	lj, err := libj.Module()
+	if err != nil {
+		return nil, err
+	}
+	return loader.Registry{libj.Name: lj}, nil
+}
+
+// CheckSource runs the full source-domain oracle on one program with the
+// given per-run step budget. Programs with planted bugs skip the
+// differential comparison (they are unsafe by design) and report only
+// whether JASan caught the bug.
+func CheckSource(p *gen.Prog, budget uint64) *SourceResult {
+	res := &SourceResult{Cov: &metrics.Bitmap{}}
+	src := p.Render()
+	reg, err := Libj()
+	if err != nil {
+		res.Violations = append(res.Violations, "libj: "+err.Error())
+		return res
+	}
+
+	compile := func(name string, opts cc.Options) *obj.Module {
+		opts.Module = "p"
+		mod, err := cc.Compile(src, opts)
+		if err != nil {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("compile-%s: %v", name, err))
+			return nil
+		}
+		return mod
+	}
+
+	if len(p.Planted) > 0 {
+		o2 := compile("O2", cc.Options{O2: true})
+		if o2 == nil {
+			return res
+		}
+		jt := jasan.New(jasan.Config{UseLiveness: true})
+		out, n := runTool(o2, reg, jt, budget, res.Cov)
+		// A planted store corrupts real memory (allocator metadata
+		// included), so the run may spin to budget exhaustion *after* the
+		// detection — the verdict only needs the report.
+		res.PlantedCaught = n > 0
+		if !res.PlantedCaught && out.overBudget {
+			res.OverBudget = true
+		}
+		return res
+	}
+
+	o0 := compile("O0", cc.Options{})
+	o2 := compile("O2", cc.Options{O2: true})
+	o2noipa := compile("O2-noipa", cc.Options{O2: true, NoIPARA: true})
+	pic := compile("O2-pic", cc.Options{O2: true, PIC: true})
+	if o0 == nil || o2 == nil || o2noipa == nil || pic == nil {
+		return res
+	}
+
+	want := runNative(o0, reg, budget, res.Cov)
+	if want.overBudget {
+		res.OverBudget = true
+		return res
+	}
+	if want.err != nil {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("run-O0: %v", want.err))
+		return res
+	}
+	for _, alt := range []struct {
+		name string
+		mod  *obj.Module
+	}{{"O2", o2}, {"O2-noipa", o2noipa}, {"O2-pic", pic}} {
+		got := runNative(alt.mod, reg, budget, nil)
+		if got.overBudget {
+			res.OverBudget = true
+			return res
+		}
+		if got.err != nil {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("run-%s: %v", alt.name, got.err))
+			continue
+		}
+		if got.exit != want.exit || got.out != want.out {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("diff-%s: exit %d out %q != O0 exit %d out %q",
+					alt.name, got.exit, got.out, want.exit, want.out))
+		}
+	}
+
+	for _, tc := range []struct {
+		name string
+		tool core.Tool
+	}{
+		{"jasan", jasan.New(jasan.Config{UseLiveness: true})},
+		{"jasan-scev", jasan.New(jasan.Config{UseLiveness: true, UseSCEV: true})},
+		{"jcfi", jcfi.New(jcfi.DefaultConfig)},
+	} {
+		got, n := runTool(o2, reg, tc.tool, budget, res.Cov)
+		if got.overBudget {
+			res.OverBudget = true
+			return res
+		}
+		if got.err != nil {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("tool-%s: %v", tc.name, got.err))
+			continue
+		}
+		if got.exit != want.exit || got.out != want.out {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("diff-%s: exit %d out %q != O0 exit %d out %q",
+					tc.name, got.exit, got.out, want.exit, want.out))
+		}
+		if n != 0 {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("noise-%s: %d violations on a safe program", tc.name, n))
+		}
+	}
+	return res
+}

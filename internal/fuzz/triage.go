@@ -1,0 +1,90 @@
+package fuzz
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// Crash is one captured panic from a guarded pipeline stage. Crashes are
+// oracle-2 violations by definition: hostile input must produce typed
+// errors, never panics.
+type Crash struct {
+	// Sig is the deduplication signature: stage plus the digit-stripped
+	// panic message plus the topmost in-repo source file. Two panics with
+	// the same signature are the same bug.
+	Sig string
+	// Stage names the pipeline stage that panicked.
+	Stage string
+	// Msg is the raw panic message.
+	Msg string
+	// Frame is the topmost repro-internal frame of the panic stack.
+	Frame string
+}
+
+// guard runs one pipeline stage, converting a panic into a triaged Crash.
+func guard(stage string, f func() error) (err error, crash *Crash) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			msg := fmt.Sprint(rec)
+			frame := topFrame(debug.Stack())
+			crash = &Crash{
+				Sig:   stage + "|" + stripDigits(msg) + "|" + frame,
+				Stage: stage,
+				Msg:   msg,
+				Frame: frame,
+			}
+		}
+	}()
+	return f(), nil
+}
+
+// topFrame extracts the first repro-internal source file from a panic
+// stack, without its line number (line numbers churn across edits; the
+// file identifies the faulting component well enough for deduplication).
+func topFrame(stack []byte) string {
+	for _, line := range strings.Split(string(stack), "\n") {
+		line = strings.TrimSpace(line)
+		i := strings.Index(line, "repro/internal/")
+		if i < 0 || !strings.Contains(line, ".go:") {
+			continue
+		}
+		if j := strings.Index(line[i:], ".go:"); j >= 0 {
+			return line[i : i+j+3]
+		}
+	}
+	return "unknown"
+}
+
+// stripDigits normalises a message for signature purposes: concrete
+// offsets, addresses and lengths vary per input, the message shape does
+// not.
+func stripDigits(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		switch {
+		case strings.HasPrefix(s[i:], "0x"): // hex literal
+			i += 2
+			for i < len(s) && isHex(s[i]) {
+				i++
+			}
+			b.WriteByte('#')
+		case s[i] >= '0' && s[i] <= '9': // decimal run
+			for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+				i++
+			}
+			b.WriteByte('#')
+		default:
+			b.WriteByte(s[i])
+			i++
+		}
+	}
+	if b.Len() > 120 {
+		return b.String()[:120]
+	}
+	return b.String()
+}
+
+func isHex(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

@@ -1,0 +1,82 @@
+package metrics
+
+import "math/bits"
+
+// Coverage feedback for the fuzzing subsystem (internal/fuzz): a fixed-size
+// bitmap over hashed coverage features. Features are arbitrary uint64s —
+// executed-block addresses from the machine or the dynamic modifier, or
+// synthetic (stage, error-class) tokens from robustness harnesses. The
+// bitmap is an AFL-style lossy set: collisions are tolerated because the
+// fuzzer only needs a monotone "have we seen something new" signal.
+
+// BitmapBits is the number of bits in a coverage bitmap. 64K bits keeps the
+// collision rate negligible for the block counts this stack produces while
+// letting campaigns merge bitmaps cheaply.
+const BitmapBits = 1 << 16
+
+// Bitmap is a fixed-size coverage bitmap.
+type Bitmap struct {
+	bits [BitmapBits / 64]uint64
+	n    int
+}
+
+// Mix64 is a splitmix64 finaliser, the hash used to map coverage features
+// to bitmap bits. Exported so feature producers can combine multiple values
+// into one feature (Mix64(a) ^ Mix64(b) style) without importing a second
+// hashing scheme.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Add records one coverage feature and reports whether its bit was new.
+func (b *Bitmap) Add(feature uint64) bool {
+	h := Mix64(feature) % BitmapBits
+	w, m := h/64, uint64(1)<<(h%64)
+	if b.bits[w]&m != 0 {
+		return false
+	}
+	b.bits[w] |= m
+	b.n++
+	return true
+}
+
+// AddEdge records an (from, to) edge feature, the classic AFL edge signal.
+func (b *Bitmap) AddEdge(from, to uint64) bool {
+	return b.Add(Mix64(from)<<1 ^ Mix64(to))
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int { return b.n }
+
+// NewBits returns how many of o's set bits are absent from b, without
+// modifying either bitmap.
+func (b *Bitmap) NewBits(o *Bitmap) int {
+	n := 0
+	for i, w := range o.bits {
+		n += bits.OnesCount64(w &^ b.bits[i])
+	}
+	return n
+}
+
+// Merge ors o into b and returns the number of bits that were new to b.
+func (b *Bitmap) Merge(o *Bitmap) int {
+	added := 0
+	for i, w := range o.bits {
+		nw := w &^ b.bits[i]
+		if nw != 0 {
+			added += bits.OnesCount64(nw)
+			b.bits[i] |= nw
+		}
+	}
+	b.n += added
+	return added
+}
+
+// Clone returns a copy of the bitmap.
+func (b *Bitmap) Clone() *Bitmap {
+	c := *b
+	return &c
+}

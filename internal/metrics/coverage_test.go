@@ -1,0 +1,64 @@
+package metrics
+
+import "testing"
+
+func TestBitmapAddAndCount(t *testing.T) {
+	var b Bitmap
+	if !b.Add(1) {
+		t.Fatal("first Add(1) not new")
+	}
+	if b.Add(1) {
+		t.Fatal("second Add(1) reported new")
+	}
+	// Distinct features land in distinct buckets (with Mix64 diffusion a
+	// small set must not collide).
+	for v := uint64(2); v < 100; v++ {
+		b.Add(v)
+	}
+	if c := b.Count(); c < 95 || c > 99 {
+		t.Fatalf("Count = %d after 99 distinct features", c)
+	}
+}
+
+func TestBitmapNewBitsAndMerge(t *testing.T) {
+	var a, b Bitmap
+	a.Add(1)
+	a.Add(2)
+	b.Add(2)
+	b.Add(3)
+	if n := a.NewBits(&b); n != 1 {
+		t.Fatalf("NewBits = %d, want 1 (feature 3)", n)
+	}
+	if n := a.Merge(&b); n != 1 {
+		t.Fatalf("Merge returned %d new bits, want 1", n)
+	}
+	if n := a.NewBits(&b); n != 0 {
+		t.Fatalf("NewBits after merge = %d, want 0", n)
+	}
+	if a.Count() != 3 {
+		t.Fatalf("Count after merge = %d, want 3", a.Count())
+	}
+}
+
+func TestBitmapClone(t *testing.T) {
+	var a Bitmap
+	a.Add(7)
+	c := a.Clone()
+	c.Add(8)
+	if a.Count() != 1 || c.Count() != 2 {
+		t.Fatalf("clone not independent: a=%d c=%d", a.Count(), c.Count())
+	}
+}
+
+func TestAddEdge(t *testing.T) {
+	var b Bitmap
+	if !b.AddEdge(1, 2) {
+		t.Fatal("first edge not new")
+	}
+	if b.AddEdge(1, 2) {
+		t.Fatal("repeat edge reported new")
+	}
+	if !b.AddEdge(2, 1) {
+		t.Fatal("reversed edge collided with forward edge")
+	}
+}

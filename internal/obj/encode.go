@@ -18,6 +18,25 @@ var Magic = [4]byte{'J', 'E', 'F', '1'}
 // ErrBadMagic is returned when unmarshalling data that is not a JEF module.
 var ErrBadMagic = errors.New("obj: bad magic (not a JEF module)")
 
+// ErrMalformedModule is wrapped by every Unmarshal failure past the magic
+// check: truncated tables, unreasonable counts, or trailing garbage.
+// Robustness harnesses (internal/fuzz) assert errors.Is(err,
+// ErrMalformedModule) so that hostile inputs are rejected with a typed
+// error rather than a panic or a silently-truncated module.
+var ErrMalformedModule = errors.New("obj: malformed module")
+
+// Unmarshal table-count sanity caps. A hostile header can declare counts
+// far beyond what any real module contains; entries are length-checked
+// individually, but capping the counts up front bounds the work (and
+// allocation) a malformed module can demand.
+const (
+	maxSections = 1 << 20
+	maxSymbols  = 1 << 24
+	maxImports  = 1 << 20
+	maxRelocs   = 1 << 24
+	maxNeeded   = 1 << 16
+)
+
 type writer struct {
 	buf bytes.Buffer
 }
@@ -42,7 +61,8 @@ type reader struct {
 
 func (r *reader) fail(what string) {
 	if r.err == nil {
-		r.err = fmt.Errorf("obj: truncated module (%s at offset %d)", what, r.off)
+		r.err = fmt.Errorf("%w: truncated (%s at offset %d)",
+			ErrMalformedModule, what, r.off)
 	}
 }
 
@@ -175,8 +195,9 @@ func Unmarshal(data []byte) (*Module, error) {
 	m.Entry = r.u64()
 
 	nsec := int(r.u32())
-	if r.err == nil && nsec > 1<<20 {
-		return nil, fmt.Errorf("obj: unreasonable section count %d", nsec)
+	if r.err == nil && nsec > maxSections {
+		return nil, fmt.Errorf("%w: unreasonable section count %d",
+			ErrMalformedModule, nsec)
 	}
 	for i := 0; i < nsec && r.err == nil; i++ {
 		var s Section
@@ -187,8 +208,9 @@ func Unmarshal(data []byte) (*Module, error) {
 		m.Sections = append(m.Sections, s)
 	}
 	nsym := int(r.u32())
-	if r.err == nil && nsym > 1<<24 {
-		return nil, fmt.Errorf("obj: unreasonable symbol count %d", nsym)
+	if r.err == nil && nsym > maxSymbols {
+		return nil, fmt.Errorf("%w: unreasonable symbol count %d",
+			ErrMalformedModule, nsym)
 	}
 	for i := 0; i < nsym && r.err == nil; i++ {
 		var s Symbol
@@ -200,6 +222,10 @@ func Unmarshal(data []byte) (*Module, error) {
 		m.Symbols = append(m.Symbols, s)
 	}
 	nimp := int(r.u32())
+	if r.err == nil && nimp > maxImports {
+		return nil, fmt.Errorf("%w: unreasonable import count %d",
+			ErrMalformedModule, nimp)
+	}
 	for i := 0; i < nimp && r.err == nil; i++ {
 		var im Import
 		im.Name = r.str()
@@ -208,6 +234,10 @@ func Unmarshal(data []byte) (*Module, error) {
 		m.Imports = append(m.Imports, im)
 	}
 	nrel := int(r.u32())
+	if r.err == nil && nrel > maxRelocs {
+		return nil, fmt.Errorf("%w: unreasonable reloc count %d",
+			ErrMalformedModule, nrel)
+	}
 	for i := 0; i < nrel && r.err == nil; i++ {
 		var rel Reloc
 		rel.Kind = RelocKind(r.u8())
@@ -216,11 +246,19 @@ func Unmarshal(data []byte) (*Module, error) {
 		m.Relocs = append(m.Relocs, rel)
 	}
 	nneed := int(r.u32())
+	if r.err == nil && nneed > maxNeeded {
+		return nil, fmt.Errorf("%w: unreasonable dependency count %d",
+			ErrMalformedModule, nneed)
+	}
 	for i := 0; i < nneed && r.err == nil; i++ {
 		m.Needed = append(m.Needed, r.str())
 	}
 	if r.err != nil {
 		return nil, r.err
+	}
+	if r.off != len(r.b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after module end",
+			ErrMalformedModule, len(r.b)-r.off)
 	}
 	return m, nil
 }

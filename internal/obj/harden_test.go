@@ -1,0 +1,58 @@
+package obj
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// Regression tests for deserialiser hardening: hostile images must produce
+// typed errors (ErrBadMagic / ErrMalformedModule), never panics or silent
+// acceptance of trailing garbage.
+
+func TestUnmarshalTrailingBytes(t *testing.T) {
+	img := append(testModule().Marshal(), 0xde, 0xad)
+	_, err := Unmarshal(img)
+	if !errors.Is(err, ErrMalformedModule) {
+		t.Fatalf("trailing bytes: got %v, want ErrMalformedModule", err)
+	}
+}
+
+func TestUnmarshalTruncations(t *testing.T) {
+	img := testModule().Marshal()
+	// Every strict prefix must be rejected with a typed error, not a panic
+	// or a silently-truncated module.
+	for n := 0; n < len(img); n++ {
+		_, err := Unmarshal(img[:n])
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes accepted", n, len(img))
+		}
+		if !errors.Is(err, ErrMalformedModule) && !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("prefix of %d bytes: untyped error %v", n, err)
+		}
+	}
+}
+
+func TestUnmarshalUnreasonableCounts(t *testing.T) {
+	img := testModule().Marshal()
+	// The section count is the first varint after magic, version byte and
+	// the header fields; rather than hand-compute its offset, corrupt each
+	// plausible early u32 position and require a typed rejection.
+	for off := 4; off+4 <= len(img) && off < 64; off++ {
+		bad := append([]byte(nil), img...)
+		binary.LittleEndian.PutUint32(bad[off:], 0xffffffff)
+		if _, err := Unmarshal(bad); err != nil {
+			if !errors.Is(err, ErrMalformedModule) && !errors.Is(err, ErrBadMagic) {
+				t.Fatalf("corrupt u32 at %d: untyped error %v", off, err)
+			}
+		}
+	}
+}
+
+func TestValidateSectionAddrOverflow(t *testing.T) {
+	m := testModule()
+	m.Sections[0].Addr = ^uint64(0) - 8
+	if err := m.Validate(); err == nil {
+		t.Fatal("section with Addr+len overflow validated")
+	}
+}

@@ -295,6 +295,15 @@ func (m *Module) Validate() error {
 	}
 	secs := append([]Section(nil), m.Sections...)
 	sort.Slice(secs, func(i, j int) bool { return secs[i].Addr < secs[j].Addr })
+	for i := range secs {
+		s := &secs[i]
+		// An address-space wrap would defeat the overlap check below and
+		// every Contains-style bound elsewhere, so reject it outright.
+		if s.Addr+uint64(len(s.Data)) < s.Addr {
+			return fmt.Errorf("obj: module %s: section %s end overflows address space",
+				m.Name, s.Name)
+		}
+	}
 	for i := 1; i < len(secs); i++ {
 		prev := &secs[i-1]
 		if prev.Addr+uint64(len(prev.Data)) > secs[i].Addr {

@@ -290,6 +290,9 @@ func (m *Machine) InvalidateCode() { m.blocks = map[uint64][]isa.Instr{} }
 func (m *Machine) Run(entry uint64) error {
 	m.PC = entry
 	for !m.Halted {
+		if m.BlockHook != nil {
+			m.BlockHook(m.PC)
+		}
 		block, err := m.fetchBlock(m.PC)
 		if err != nil {
 			return err

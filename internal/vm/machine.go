@@ -94,6 +94,12 @@ type Machine struct {
 	// WatchHook fires on any store intersecting [WatchLo, WatchHi).
 	WatchLo, WatchHi uint64
 	WatchHook        func(pc, addr uint64)
+
+	// BlockHook, when set, observes every straight-line block dispatched
+	// by native Run — the executed-block signal coverage-guided fuzzing
+	// (internal/fuzz) feeds into a metrics.Bitmap. The dynamic modifier
+	// exposes the same signal through dbm.DBM.TraceHook.
+	BlockHook func(pc uint64)
 }
 
 // watch fires the watchpoint hook if [addr, addr+n) intersects the range.

@@ -22,4 +22,9 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== jfuzz smoke =="
+# Deterministic fuzz smoke: fixed seed, both domains, fails the build on any
+# oracle violation, crash or missed planted bug.
+go run ./cmd/jfuzz -seed 1 -n 200 -workers 4 -o /tmp/jfuzz-ci.json
+
 echo "CI OK"
