@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	jexp [-scale n] [-parallel n] [-stats] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|all [benchmarks...]
+//	jexp [-scale n] [-parallel n] [-stats] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|elision|all [benchmarks...]
 //
 // Workloads within a figure run concurrently (-parallel, default
 // GOMAXPROCS); static analysis is served by a shared content-addressed rule
@@ -29,7 +29,7 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr,
-			"usage: jexp [-scale n] [-parallel n] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|all [benchmarks...]")
+			"usage: jexp [-scale n] [-parallel n] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|elision|all [benchmarks...]")
 		os.Exit(2)
 	}
 	experiments.Parallel = *parallel
@@ -73,6 +73,13 @@ func main() {
 			}
 			fmt.Println(experiments.FormatSoundness(rs))
 			return nil
+		case "elision":
+			rows, err := experiments.Elision(*scale, benches...)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatElision(rows))
+			return nil
 		default:
 			fmt.Fprintf(os.Stderr, "jexp: unknown experiment %q\n", name)
 			os.Exit(2)
@@ -87,14 +94,14 @@ func main() {
 		// the end with a non-zero exit.
 		var failures []string
 		for _, n := range []string{"fig7", "fig8", "fig9", "fig10", "fig11",
-			"fig12", "fig13", "fig14", "soundness"} {
+			"fig12", "fig13", "fig14", "soundness", "elision"} {
 			if err := run(n); err != nil {
 				fmt.Fprintf(os.Stderr, "jexp: %s: %v\n", n, err)
 				failures = append(failures, n)
 			}
 		}
 		if len(failures) > 0 {
-			fmt.Fprintf(os.Stderr, "jexp: %d of 9 experiments failed: %v\n",
+			fmt.Fprintf(os.Stderr, "jexp: %d of 10 experiments failed: %v\n",
 				len(failures), failures)
 			exit = 1
 		}

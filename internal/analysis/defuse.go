@@ -143,7 +143,9 @@ func flowDefs(b *cfg.BasicBlock, state *regDefs, du *DefUse) {
 			for _, u := range in.RegUses(usesBuf[:0]) {
 				key := duKey{in.Addr, u}
 				if _, ok := du.reaching[key]; !ok {
-					du.reaching[key] = append([]uint64(nil), state[u]...)
+					set := append([]uint64(nil), state[u]...)
+					sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+					du.reaching[key] = set
 				}
 			}
 		}

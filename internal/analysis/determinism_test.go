@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestDefsOfSortedDeterministic locks the DefsOf ordering contract: the
+// reaching-definition sets behind rule emission must come back sorted
+// ascending and identical across recomputations, or rule files would not be
+// byte-stable.
+func TestDefsOfSortedDeterministic(t *testing.T) {
+	mod, g := buildGraph(t, `
+.module t
+.entry f
+.section .text
+f:
+    mov r1, 1
+    cmp r2, 0
+    je .b
+    mov r1, 2
+    jmp .j
+.b:
+    mov r1, 3
+.j:
+    mov r0, r1
+    ret
+`)
+	use := instrAt(t, g, mod, "f", 6) // mov r0, r1 at the join
+	if use.Op != isa.OpMovRR {
+		t.Fatalf("unexpected instr %v at join", use.Op)
+	}
+	first := ComputeDefUse(g).DefsOf(use.Addr, isa.R1)
+	if len(first) != 2 {
+		t.Fatalf("defs = %v, want both branch defs", first)
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i-1] >= first[i] {
+			t.Fatalf("defs not sorted ascending: %v", first)
+		}
+	}
+	for round := 0; round < 20; round++ {
+		got := ComputeDefUse(g).DefsOf(use.Addr, isa.R1)
+		if !reflect.DeepEqual(got, first) {
+			t.Fatalf("round %d: defs %v != %v", round, got, first)
+		}
+	}
+}
+
+// TestFreeRegsAscending locks FreeRegs' ordering: scratch registers are
+// handed out in ascending register order, never SP or FP.
+func TestFreeRegsAscending(t *testing.T) {
+	mod, g := buildGraph(t, `
+.module t
+.entry f
+.section .text
+f:
+    mov r1, 1
+    mov r0, r1
+    ret
+`)
+	l := ComputeLiveness(g, false)
+	in := instrAt(t, g, mod, "f", 1)
+	free := l.FreeRegs(in.Addr, 6)
+	if len(free) == 0 {
+		t.Fatal("no free registers on a near-empty function")
+	}
+	for i, r := range free {
+		if r == isa.SP || r == isa.FP {
+			t.Fatalf("FreeRegs handed out %v", r)
+		}
+		if i > 0 && free[i-1] >= r {
+			t.Fatalf("FreeRegs not ascending: %v", free)
+		}
+	}
+}
+
+// TestCanaryReorderedIdiom covers the -O2 shape where the scheduler moves
+// unrelated instructions between the ldg and the canary store, and between
+// the check reload and its fresh ldg.
+func TestCanaryReorderedIdiom(t *testing.T) {
+	mod, g := buildGraph(t, `
+.module t
+.entry f
+.section .text
+f:
+    push fp
+    mov fp, sp
+    sub sp, 48
+    ldg r6
+    mov r1, 0
+    lea r2, [fp-40]
+    stq [fp-8], r6
+    stq [fp-24], r1
+    ldq r7, [fp-8]
+    mov r0, 0
+    ldg r8
+    cmp r7, r8
+    je .ok
+    hlt
+.ok:
+    mov sp, fp
+    pop fp
+    ret
+`)
+	sites := FindCanaries(g)
+	if len(sites) != 1 {
+		t.Fatalf("found %d canary sites, want 1", len(sites))
+	}
+	s := sites[0]
+	if s.SlotBase != isa.FP || s.SlotDisp != -8 {
+		t.Fatalf("slot = [%v%+d], want [fp-8]", s.SlotBase, s.SlotDisp)
+	}
+	store := instrAt(t, g, mod, "f", 6)
+	if s.StoreAddr != store.Addr {
+		t.Fatalf("store addr = %#x, want %#x", s.StoreAddr, store.Addr)
+	}
+	if s.PoisonAt != instrAt(t, g, mod, "f", 7).Addr {
+		t.Fatalf("poison attaches at %#x, want the next instruction", s.PoisonAt)
+	}
+	reload := instrAt(t, g, mod, "f", 8)
+	if len(s.CheckAddrs) != 1 || s.CheckAddrs[0] != reload.Addr {
+		t.Fatalf("check addrs = %#x, want [%#x]", s.CheckAddrs, reload.Addr)
+	}
+}
+
+// TestCanaryRejectsClobberedSecret: if the scheduled filler redefines the
+// canary register before the store, the idiom must not match.
+func TestCanaryRejectsClobberedSecret(t *testing.T) {
+	_, g := buildGraph(t, `
+.module t
+.entry f
+.section .text
+f:
+    push fp
+    mov fp, sp
+    sub sp, 32
+    ldg r6
+    mov r6, 0
+    stq [fp-8], r6
+    mov sp, fp
+    pop fp
+    ret
+`)
+	if sites := FindCanaries(g); len(sites) != 0 {
+		t.Fatalf("matched a clobbered canary: %+v", sites)
+	}
+}

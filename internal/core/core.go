@@ -21,6 +21,7 @@ import (
 	"repro/internal/obj"
 	"repro/internal/rules"
 	"repro/internal/vm"
+	"repro/internal/vsa"
 )
 
 // StaticContext hands a tool's static pass the module plus every core and
@@ -36,6 +37,20 @@ type StaticContext struct {
 	Canaries []analysis.CanarySite
 	// DefUse is the diffuse-chain tracing (§3.3.3).
 	DefUse *analysis.DefUse
+	// Proofs collects the replayable claims behind every VSA-backed
+	// elision/narrowing decision a tool makes in this pass.
+	Proofs *vsa.ProofSet
+
+	vsaRes *vsa.Result
+}
+
+// EnsureVSA lazily runs the value-set analysis over the module, shared by
+// every tool consulting it during one static pass.
+func (sc *StaticContext) EnsureVSA() *vsa.Result {
+	if sc.vsaRes == nil {
+		sc.vsaRes = vsa.Analyze(sc.Module, sc.Graph, sc.Canaries)
+	}
+	return sc.vsaRes
 }
 
 // Tool is one security technique plugged into Janitizer.
@@ -61,9 +76,18 @@ type Tool interface {
 // enhanced analyses, the tool's custom security analysis, and no-op marking
 // of untouched blocks (§3.3.4). It returns the module's rewrite-rule file.
 func AnalyzeModule(mod *obj.Module, tool Tool) (*rules.File, error) {
+	f, _, err := AnalyzeModuleProofs(mod, tool)
+	return f, err
+}
+
+// AnalyzeModuleProofs is AnalyzeModule, additionally returning the proof
+// artifact covering every VSA-backed elision/narrowing decision the tool
+// made. The artifact is finalized (sorted, per-function metadata attached)
+// and may be empty when the tool's configuration proves nothing.
+func AnalyzeModuleProofs(mod *obj.Module, tool Tool) (*rules.File, *vsa.ProofSet, error) {
 	g, err := cfg.Build(mod)
 	if err != nil {
-		return nil, fmt.Errorf("core: %s: %w", mod.Name, err)
+		return nil, nil, fmt.Errorf("core: %s: %w", mod.Name, err)
 	}
 	sc := &StaticContext{
 		Module:   mod,
@@ -72,6 +96,7 @@ func AnalyzeModule(mod *obj.Module, tool Tool) (*rules.File, error) {
 		Loops:    analysis.AnalyzeLoops(g),
 		Canaries: analysis.FindCanaries(g),
 		DefUse:   analysis.ComputeDefUse(g),
+		Proofs:   vsa.NewProofSet(mod.Name, toolKey(tool)),
 	}
 	rs := tool.StaticPass(sc)
 
@@ -88,7 +113,16 @@ func AnalyzeModule(mod *obj.Module, tool Tool) (*rules.File, error) {
 		}
 	}
 	canonicalize(rs)
-	return &rules.File{Module: mod.Name, Rules: rs}, nil
+	sc.Proofs.Finalize(sc.vsaRes)
+	return &rules.File{Module: mod.Name, Rules: rs}, sc.Proofs, nil
+}
+
+// toolKey identifies a (tool, configuration) pair in proof artifacts.
+func toolKey(tool Tool) string {
+	if ck, ok := tool.(interface{ ConfigKey() string }); ok {
+		return tool.Name() + ":" + ck.ConfigKey()
+	}
+	return tool.Name()
 }
 
 // canonicalize sorts rules into a deterministic total order. Tools and the

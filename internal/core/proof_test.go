@@ -1,0 +1,208 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/jasan"
+	"repro/internal/jcfi"
+	"repro/internal/obj"
+	"repro/internal/rules"
+	"repro/internal/vsa"
+)
+
+// proofProg exercises every claim kind: frame stores/loads (frame + dedup
+// claims), a global array access (global claim), a canary (whose slot must
+// stay excluded), and an indirect jump with a provable singleton target.
+const proofProg = `
+.module prog
+.entry _start
+.section .text
+_start:
+    push fp
+    mov fp, sp
+    sub sp, 32
+    ldg r6
+    stq [fp-8], r6
+    mov r1, 7
+    stq [fp-24], r1
+    ldq r2, [fp-24]
+    la r7, arr
+    ldq r3, [r7+8]
+    la r8, fin
+    jmpi r8
+fin:
+    ldq r4, [fp-8]
+    ldg r5
+    cmp r4, r5
+    je .ok
+    hlt
+.ok:
+    mov sp, fp
+    pop fp
+    mov r1, 0
+    mov r0, 1
+    syscall
+.section .data
+arr:
+    .zero 32
+`
+
+func assembleProof(t *testing.T) *obj.Module {
+	t.Helper()
+	mod, err := asm.Assemble(proofProg)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return mod
+}
+
+func elideTool() *jasan.Tool {
+	return jasan.New(jasan.Config{UseLiveness: true, Elide: true})
+}
+
+func TestProofRoundTrip(t *testing.T) {
+	mod := assembleProof(t)
+	rf, ps, err := core.AnalyzeModuleProofs(mod, elideTool())
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if ps.NumClaims() == 0 {
+		t.Fatal("no claims recorded on a provably safe program")
+	}
+	if v := vsa.Verify(mod, ps, rf); len(v) != 0 {
+		t.Fatalf("fresh proof rejected: %v", v)
+	}
+
+	// Serialise, re-parse, re-verify: the artifact must be self-contained.
+	blob, err := ps.Marshal()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	ps2, err := vsa.UnmarshalProofSet(blob)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if v := vsa.Verify(mod, ps2, rf); len(v) != 0 {
+		t.Fatalf("round-tripped proof rejected: %v", v)
+	}
+
+	// Narrowing claims replay the same way.
+	nrf, nps, err := core.AnalyzeModuleProofs(mod,
+		jcfi.New(jcfi.Config{Forward: true, Backward: true, Narrow: true}))
+	if err != nil {
+		t.Fatalf("jcfi analyze: %v", err)
+	}
+	if nps.NumClaims() == 0 {
+		t.Fatal("no narrowing claim for the provable indirect jump")
+	}
+	if v := vsa.Verify(mod, nps, nrf); len(v) != 0 {
+		t.Fatalf("narrowing proof rejected: %v", v)
+	}
+}
+
+func TestProofTamperDetected(t *testing.T) {
+	mod := assembleProof(t)
+
+	// Widening a claimed frame bound past the frame must be rejected.
+	rf, ps, err := core.AnalyzeModuleProofs(mod, elideTool())
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	tampered := false
+	for fi := range ps.Funcs {
+		for ci := range ps.Funcs[fi].Claims {
+			c := &ps.Funcs[fi].Claims[ci]
+			if c.Kind == vsa.ClaimFrame && !tampered {
+				c.Hi = 100 // outside [-frameSize, -1]
+				tampered = true
+			}
+		}
+	}
+	if !tampered {
+		t.Fatal("no frame claim to tamper with")
+	}
+	if v := vsa.Verify(mod, ps, rf); len(v) == 0 {
+		t.Fatal("tampered frame bound accepted")
+	}
+
+	// Dropping a claim while its elided rule remains must be rejected: the
+	// rule file and proof artifact are cross-checked as a bijection.
+	rf, ps, err = core.AnalyzeModuleProofs(mod, elideTool())
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	dropped := false
+	for fi := range ps.Funcs {
+		cs := ps.Funcs[fi].Claims
+		for ci := range cs {
+			if cs[ci].Kind == vsa.ClaimFrame {
+				ps.Funcs[fi].Claims = append(cs[:ci:ci], cs[ci+1:]...)
+				dropped = true
+				break
+			}
+		}
+		if dropped {
+			break
+		}
+	}
+	if !dropped {
+		t.Fatal("no claim to drop")
+	}
+	if v := vsa.Verify(mod, ps, rf); len(v) == 0 {
+		t.Fatal("elided rule without a backing claim accepted")
+	}
+
+	// An elided rule fabricated without any analysis must be rejected too.
+	rf, ps, err = core.AnalyzeModuleProofs(mod, elideTool())
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	forged := false
+	for i := range rf.Rules {
+		r := &rf.Rules[i]
+		if r.ID == rules.MemAccess && !forged {
+			r.ID = rules.MemAccessSafe
+			r.Data[1] = rules.SafeFrame
+			forged = true
+		}
+	}
+	if !forged {
+		t.Skip("no plain MemAccess rule left to forge")
+	}
+	if v := vsa.Verify(mod, ps, rf); len(v) == 0 {
+		t.Fatal("forged elision accepted")
+	}
+}
+
+func TestRuleEmissionByteStable(t *testing.T) {
+	mod := assembleProof(t)
+	for _, tool := range []func() core.Tool{
+		func() core.Tool { return elideTool() },
+		func() core.Tool {
+			return jcfi.New(jcfi.Config{Forward: true, Backward: true, Narrow: true})
+		},
+	} {
+		rf1, ps1, err := core.AnalyzeModuleProofs(mod, tool())
+		if err != nil {
+			t.Fatalf("analyze 1: %v", err)
+		}
+		rf2, ps2, err := core.AnalyzeModuleProofs(mod, tool())
+		if err != nil {
+			t.Fatalf("analyze 2: %v", err)
+		}
+		if !bytes.Equal(rf1.Marshal(), rf2.Marshal()) {
+			t.Fatal("rule file emission is not byte-stable across runs")
+		}
+		b1, err1 := ps1.Marshal()
+		b2, err2 := ps2.Marshal()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("proof marshal: %v %v", err1, err2)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatal("proof artifact is not byte-stable across runs")
+		}
+	}
+}

@@ -31,11 +31,13 @@ const (
 	JASanHybrid     Scheme = "jasan-hybrid"
 	JASanHybridBase Scheme = "jasan-hybrid-base" // no liveness optimisation
 	JASanSCEV       Scheme = "jasan-scev"        // hybrid + SCEV check hoisting (ablation)
+	JASanElide      Scheme = "jasan-elide"       // hybrid + VSA proof-carrying check elision
 	JASanDyn        Scheme = "jasan-dyn"
 	Valgrind        Scheme = "valgrind"
 	Retrowrite      Scheme = "retrowrite"
 	JCFIHybrid      Scheme = "jcfi-hybrid"
 	JCFIForward     Scheme = "jcfi-forward" // forward-edge CFI only
+	JCFINarrow      Scheme = "jcfi-narrow"  // hybrid + VSA indirect-target narrowing
 	JCFIDyn         Scheme = "jcfi-dyn"
 	Lockdown        Scheme = "lockdown"
 	LockdownWeak    Scheme = "lockdown-weak"
@@ -55,9 +57,18 @@ type Result struct {
 	NativeCycles uint64
 	Slowdown     float64
 	ExitStatus   int64
+	// Instrs is the retired instruction count of the instrumented run —
+	// the elision study's metric (checks removed shrink the dynamic
+	// instruction stream even when cycle weights hide it).
+	Instrs uint64
 
 	Violations int
 	Coverage   core.CoverageStats
+	// ElidedChecks counts MEM_ACCESS_SAFE rules with a VSA-backed
+	// provenance (SafeFrame/SafeGlobal/SafeDedup) across the program's
+	// static rule files; NarrowedBranches counts CFI_JUMP_NARROW rules.
+	ElidedChecks     int
+	NarrowedBranches int
 	// DAIR is the dynamic average indirect-target reduction (CFI schemes).
 	DAIR float64
 }
@@ -94,7 +105,8 @@ func runNative(w *spec.Workload, pic bool) (*Result, error) {
 		return nil, err
 	}
 	return &Result{Benchmark: w.Name, Scheme: Native, Cycles: m.Cycles,
-		NativeCycles: m.Cycles, Slowdown: 1, ExitStatus: m.ExitStatus}, nil
+		NativeCycles: m.Cycles, Slowdown: 1, ExitStatus: m.ExitStatus,
+		Instrs: m.Instrs}, nil
 }
 
 // Run executes one (workload, scheme) configuration. A nil error with
@@ -163,6 +175,8 @@ func Run(w *spec.Workload, scheme Scheme) (*Result, error) {
 		tool = jasan.New(jasan.Config{UseLiveness: true})
 	case JASanSCEV:
 		tool = jasan.New(jasan.Config{UseLiveness: true, UseSCEV: true})
+	case JASanElide:
+		tool = jasan.New(jasan.Config{UseLiveness: true, Elide: true})
 	case JASanHybridBase:
 		tool = jasan.New(jasan.Config{UseLiveness: false, UseSCEV: false})
 	case JASanDyn:
@@ -181,6 +195,8 @@ func Run(w *spec.Workload, scheme Scheme) (*Result, error) {
 		tool = jcfi.New(jcfi.DefaultConfig)
 	case JCFIForward:
 		tool = jcfi.New(jcfi.Config{Forward: true})
+	case JCFINarrow:
+		tool = jcfi.New(jcfi.Config{Forward: true, Backward: true, Narrow: true})
 	case JCFIDyn:
 		tool = jcfi.New(jcfi.DefaultConfig)
 		static = false
@@ -224,7 +240,9 @@ func Run(w *spec.Workload, scheme Scheme) (*Result, error) {
 	res.Cycles = m.Cycles
 	res.Slowdown = metrics.Slowdown(m.Cycles, native.Cycles)
 	res.ExitStatus = m.ExitStatus
+	res.Instrs = m.Instrs
 	res.Coverage = rt.Coverage
+	res.ElidedChecks, res.NarrowedBranches = countProofRules(files)
 
 	switch tt := tool.(type) {
 	case *jasan.Tool:
@@ -244,6 +262,26 @@ func Run(w *spec.Workload, scheme Scheme) (*Result, error) {
 		res.DAIR = tt.AIR()
 	}
 	return res, nil
+}
+
+// countProofRules tallies the VSA-backed decisions across a program's
+// static rule files: MEM_ACCESS_SAFE rules whose provenance word marks a
+// frame/global/dedup proof, and CFI_JUMP_NARROW rules.
+func countProofRules(files map[string]*rules.File) (elided, narrowed int) {
+	for _, f := range files {
+		for _, r := range f.Rules {
+			switch r.ID {
+			case rules.MemAccessSafe:
+				switch r.Data[1] {
+				case rules.SafeFrame, rules.SafeGlobal, rules.SafeDedup:
+					elided++
+				}
+			case rules.CFIJumpNarrow:
+				narrowed++
+			}
+		}
+	}
+	return elided, narrowed
 }
 
 // passthroughTool is the null client as a core.Tool (Fig. 8's DynamoRIO

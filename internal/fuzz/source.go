@@ -189,6 +189,20 @@ func CheckSource(p *gen.Prog, budget uint64) *SourceResult {
 		res.PlantedCaught = n > 0
 		if !res.PlantedCaught && out.overBudget {
 			res.OverBudget = true
+			return res
+		}
+		// Oracle 3 under elision: the VSA proofs must never remove the
+		// check that catches the planted bug. Catching with elision off
+		// but missing with it on is a soundness regression.
+		je := jasan.New(jasan.Config{UseLiveness: true, Elide: true})
+		outE, nE := runTool(o2, reg, je, budget, res.Cov)
+		if res.PlantedCaught && nE == 0 {
+			if outE.overBudget {
+				res.OverBudget = true
+			} else {
+				res.Violations = append(res.Violations,
+					"elide-regression: planted bug caught without elision but missed with it")
+			}
 		}
 		return res
 	}
@@ -232,15 +246,22 @@ func CheckSource(p *gen.Prog, budget uint64) *SourceResult {
 		}
 	}
 
+	// Elision on/off agreement rides the shared O0 baseline: every entry —
+	// with or without VSA proofs, at either optimisation level — must match
+	// the same expected output with zero tool violations.
 	for _, tc := range []struct {
 		name string
+		mod  *obj.Module
 		tool core.Tool
 	}{
-		{"jasan", jasan.New(jasan.Config{UseLiveness: true})},
-		{"jasan-scev", jasan.New(jasan.Config{UseLiveness: true, UseSCEV: true})},
-		{"jcfi", jcfi.New(jcfi.DefaultConfig)},
+		{"jasan", o2, jasan.New(jasan.Config{UseLiveness: true})},
+		{"jasan-scev", o2, jasan.New(jasan.Config{UseLiveness: true, UseSCEV: true})},
+		{"jasan-elide", o2, jasan.New(jasan.Config{UseLiveness: true, Elide: true})},
+		{"jasan-elide-O0", o0, jasan.New(jasan.Config{UseLiveness: true, Elide: true})},
+		{"jcfi", o2, jcfi.New(jcfi.DefaultConfig)},
+		{"jcfi-narrow", o2, jcfi.New(jcfi.Config{Forward: true, Backward: true, Narrow: true})},
 	} {
-		got, n := runTool(o2, reg, tc.tool, budget, res.Cov)
+		got, n := runTool(tc.mod, reg, tc.tool, budget, res.Cov)
 		if got.overBudget {
 			res.OverBudget = true
 			return res

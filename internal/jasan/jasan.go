@@ -9,6 +9,7 @@ import (
 	"repro/internal/dbm"
 	"repro/internal/isa"
 	"repro/internal/rules"
+	"repro/internal/vsa"
 )
 
 // Config selects JASan variants for the evaluation:
@@ -16,13 +17,20 @@ import (
 //   - UseLiveness off reproduces JASan-hybrid (base) of Fig. 8, which
 //     conservatively saves/restores every register and flag the
 //     instrumentation touches;
-//   - UseSCEV toggles the loop-bound check hoisting of §3.3.2.
+//   - UseSCEV toggles the loop-bound check hoisting of §3.3.2;
+//   - Elide toggles proof-carrying check elision: accesses the value-set
+//     analysis (internal/vsa) proves in-bounds of the frame or a
+//     statically-sized global, and same-address re-checks dominated by an
+//     earlier check in the block, emit MEM_ACCESS_SAFE instead of a CHECK.
+//     Every elision records a replayable vsa.Claim into the static
+//     context's proof set for independent verification by cmd/jvet.
 //
 // JASan-dyn (the dynamic-only variant) is obtained by running the tool with
 // no rewrite-rule files at all, so every block takes the fallback path.
 type Config struct {
 	UseLiveness bool
 	UseSCEV     bool
+	Elide       bool
 }
 
 // Tool is the JASan security technique, pluggable into the Janitizer core.
@@ -46,7 +54,8 @@ func (t *Tool) Name() string { return "jasan" }
 // (internal/anserve): two tools with equal keys produce identical rule
 // files for identical modules.
 func (t *Tool) ConfigKey() string {
-	return fmt.Sprintf("liveness=%t,scev=%t", t.cfg.UseLiveness, t.cfg.UseSCEV)
+	return fmt.Sprintf("liveness=%t,scev=%t,elide=%t",
+		t.cfg.UseLiveness, t.cfg.UseSCEV, t.cfg.Elide)
 }
 
 // RuntimeInit implements core.Tool: installs the report trap family and
@@ -66,10 +75,10 @@ func (t *Tool) StaticPass(sc *core.StaticContext) []rules.Rule {
 
 	// Canary sites: POISON after the install store, UNPOISON at each
 	// epilogue reload; both the install store and the reloads are exempt
-	// from access checks.
-	safe := map[uint64]bool{}
+	// from access checks. The map value is the SAFE-rule provenance.
+	safe := map[uint64]uint64{}
 	for _, site := range sc.Canaries {
-		safe[site.StoreAddr] = true
+		safe[site.StoreAddr] = rules.SafeCanary
 		poisonBlk := g.BlockAt(site.PoisonAt)
 		if poisonBlk != nil {
 			lp := sc.Live.LiveIn(site.PoisonAt)
@@ -84,7 +93,7 @@ func (t *Tool) StaticPass(sc *core.StaticContext) []rules.Rule {
 			})
 		}
 		for _, chk := range site.CheckAddrs {
-			safe[chk] = true
+			safe[chk] = rules.SafeCanary
 			blk := g.BlockAt(chk)
 			if blk == nil {
 				continue
@@ -107,18 +116,47 @@ func (t *Tool) StaticPass(sc *core.StaticContext) []rules.Rule {
 		out = append(out, t.hoistChecks(sc, safe)...)
 	}
 
+	// Proof-carrying elision: the value-set analysis proves some accesses
+	// can never observe non-zero shadow.
+	var vres *vsa.Result
+	var canaryActivity map[uint64]bool
+	if t.cfg.Elide {
+		vres = sc.EnsureVSA()
+		canaryActivity = map[uint64]bool{}
+		for _, site := range sc.Canaries {
+			canaryActivity[site.StoreAddr] = true
+			canaryActivity[site.PoisonAt] = true
+			for _, chk := range site.CheckAddrs {
+				canaryActivity[chk] = true
+			}
+		}
+	}
+
 	// Every remaining memory access gets a MEM_ACCESS rule carrying its
-	// liveness summary.
+	// liveness summary, or a provenance-tagged MEM_ACCESS_SAFE when its
+	// check is statically discharged.
 	for _, blk := range g.Blocks {
+		var plan map[uint64]elision
+		if vres != nil {
+			plan = t.elisionPlan(sc, vres, blk, safe, canaryActivity)
+		}
 		for i := range blk.Instrs {
 			in := &blk.Instrs[i]
-			if !in.IsMemAccess() || safe[in.Addr] {
-				if safe[in.Addr] {
-					out = append(out, rules.Rule{
-						ID: rules.MemAccessSafe, BBAddr: blk.Start,
-						Instr: in.Addr,
-					})
-				}
+			if !in.IsMemAccess() {
+				continue
+			}
+			if prov := safe[in.Addr]; prov != 0 {
+				out = append(out, rules.Rule{
+					ID: rules.MemAccessSafe, BBAddr: blk.Start,
+					Instr: in.Addr, Data: [4]uint64{0, prov},
+				})
+				continue
+			}
+			if el, ok := plan[in.Addr]; ok {
+				out = append(out, rules.Rule{
+					ID: rules.MemAccessSafe, BBAddr: blk.Start,
+					Instr: in.Addr, Data: [4]uint64{0, el.prov, el.aux},
+				})
 				continue
 			}
 			lp := sc.Live.LiveIn(in.Addr)
@@ -134,6 +172,166 @@ func (t *Tool) StaticPass(sc *core.StaticContext) []rules.Rule {
 	return out
 }
 
+// elision is one planned VSA-backed MEM_ACCESS_SAFE emission.
+type elision struct {
+	prov uint64 // rules.SafeFrame, SafeGlobal or SafeDedup
+	aux  uint64 // SafeDedup: the anchor instruction address
+}
+
+// elisionPlan decides which unprotected accesses in blk get their CHECK
+// elided, recording one replayable claim per decision. Frame and global
+// elisions come from the abstract state before each access; dedup elisions
+// from a syntactic same-address scan backed by reaching definitions.
+func (t *Tool) elisionPlan(sc *core.StaticContext, vres *vsa.Result,
+	blk *cfg.BasicBlock, safe map[uint64]uint64,
+	canaryActivity map[uint64]bool) map[uint64]elision {
+	plan := map[uint64]elision{}
+	if blk.Fn == nil {
+		return plan
+	}
+	fnEntry := blk.Fn.Entry
+	vres.WalkBlock(blk, func(i int, in *isa.Instr, st *vsa.State) {
+		if !in.IsMemAccess() || safe[in.Addr] != 0 {
+			return
+		}
+		addr := vsa.AddrValue(st, in)
+		w := in.AccessWidth()
+		if lo, hi, ok := vres.FrameClaim(fnEntry, addr, w); ok {
+			plan[in.Addr] = elision{prov: rules.SafeFrame}
+			sc.Proofs.Record(fnEntry, vsa.Claim{
+				Kind: vsa.ClaimFrame, Block: blk.Start, Instr: in.Addr,
+				Width: w, Lo: lo, Hi: hi,
+			})
+			return
+		}
+		if sec, glo, ghi, ok := vres.GlobalClaim(addr, w); ok {
+			plan[in.Addr] = elision{prov: rules.SafeGlobal}
+			sc.Proofs.Record(fnEntry, vsa.Claim{
+				Kind: vsa.ClaimGlobal, Block: blk.Start, Instr: in.Addr,
+				Width: w, Section: sec, GLo: glo, GHi: ghi,
+			})
+		}
+	})
+	t.dedupPlan(sc, blk, safe, canaryActivity, plan)
+	return plan
+}
+
+// dedupPlan elides re-checks of an address already checked earlier in the
+// same block: same addressing form, no redefinition of the address
+// registers in between, no canary (un)poisoning in between, and equal or
+// smaller width. The anchor keeps its full MEM_ACCESS check.
+func (t *Tool) dedupPlan(sc *core.StaticContext, blk *cfg.BasicBlock,
+	safe map[uint64]uint64, canaryActivity map[uint64]bool,
+	plan map[uint64]elision) {
+	type anchorKey struct {
+		shape  int
+		rb, ri isa.Register
+		disp   int32
+	}
+	type anchorInfo struct {
+		idx   int
+		addr  uint64
+		width int
+	}
+	anchors := map[anchorKey]anchorInfo{}
+	for i := range blk.Instrs {
+		in := &blk.Instrs[i]
+		if canaryActivity[in.Addr] {
+			// A poison or unpoison rewrites the shadow here: what the
+			// anchors checked no longer holds.
+			anchors = map[anchorKey]anchorInfo{}
+			continue
+		}
+		if !in.IsMemAccess() || safe[in.Addr] != 0 {
+			continue
+		}
+		if _, elided := plan[in.Addr]; elided {
+			continue
+		}
+		shape, ok := accessShape(in)
+		if !ok {
+			continue
+		}
+		k := anchorKey{shape: shape, rb: in.Rb, disp: in.Disp}
+		if shape != shapePlain {
+			k.ri = in.Ri
+		}
+		if a, have := anchors[k]; have && in.AccessWidth() <= a.width &&
+			t.dedupClean(sc, blk, a.idx, i, shape, in) {
+			plan[in.Addr] = elision{prov: rules.SafeDedup, aux: a.addr}
+			sc.Proofs.Record(blk.Fn.Entry, vsa.Claim{
+				Kind: vsa.ClaimDedup, Block: blk.Start, Instr: in.Addr,
+				Width: in.AccessWidth(), Prev: a.addr,
+			})
+			continue
+		}
+		anchors[k] = anchorInfo{idx: i, addr: in.Addr, width: in.AccessWidth()}
+	}
+}
+
+// dedupClean checks the dedup side conditions between anchor and access:
+// the address registers are not redefined in between, and (belt and braces,
+// via the reaching-definition analysis) the same definitions reach both
+// uses.
+func (t *Tool) dedupClean(sc *core.StaticContext, blk *cfg.BasicBlock,
+	anchorIdx, curIdx, shape int, in *isa.Instr) bool {
+	for j := anchorIdx + 1; j < curIdx; j++ {
+		for _, d := range blk.Instrs[j].RegDefs(nil) {
+			if d == in.Rb || (shape != shapePlain && d == in.Ri) {
+				return false
+			}
+		}
+	}
+	anchor := &blk.Instrs[anchorIdx]
+	if !sameDefs(sc.DefUse.DefsOf(anchor.Addr, in.Rb),
+		sc.DefUse.DefsOf(in.Addr, in.Rb)) {
+		return false
+	}
+	if shape != shapePlain &&
+		!sameDefs(sc.DefUse.DefsOf(anchor.Addr, in.Ri),
+			sc.DefUse.DefsOf(in.Addr, in.Ri)) {
+		return false
+	}
+	return true
+}
+
+// sameDefs compares two reaching-definition sets.
+func sameDefs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[uint64]bool, len(a))
+	for _, v := range a {
+		seen[v] = true
+	}
+	for _, v := range b {
+		if !seen[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// Address-shape classes for dedup matching (mirrors the verifier's own
+// classification in internal/vsa).
+const (
+	shapePlain = iota // [rb+disp]
+	shapeX8           // [rb+ri*8+disp]
+	shapeX1           // [rb+ri+disp]
+)
+
+func accessShape(in *isa.Instr) (int, bool) {
+	switch in.Op {
+	case isa.OpLdQ, isa.OpStQ, isa.OpLdB, isa.OpStB:
+		return shapePlain, true
+	case isa.OpLdXQ, isa.OpStXQ:
+		return shapeX8, true
+	case isa.OpLdXB, isa.OpStXB:
+		return shapeX1, true
+	}
+	return 0, false
+}
+
 // packLive builds the rule liveness word from a live point, including up to
 // three dead registers usable as scratch.
 func packLive(lp analysis.LivePoint, live *analysis.Liveness, addr uint64) uint64 {
@@ -147,7 +345,7 @@ func packLive(lp analysis.LivePoint, live *analysis.Liveness, addr uint64) uint6
 // hoistChecks finds loop accesses whose address range is statically known
 // and plants HOISTED_CHECK rules at the preheader terminator, marking the
 // covered accesses safe.
-func (t *Tool) hoistChecks(sc *core.StaticContext, safe map[uint64]bool) []rules.Rule {
+func (t *Tool) hoistChecks(sc *core.StaticContext, safe map[uint64]uint64) []rules.Rule {
 	var out []rules.Rule
 	g := sc.Graph
 	for _, loop := range sc.Loops.Loops {
@@ -168,7 +366,7 @@ func (t *Tool) hoistChecks(sc *core.StaticContext, safe map[uint64]bool) []rules
 			}
 			for i := range blk.Instrs {
 				in := &blk.Instrs[i]
-				if !in.IsMemAccess() || safe[in.Addr] {
+				if !in.IsMemAccess() || safe[in.Addr] != 0 {
 					continue
 				}
 				var first, last int64
@@ -210,7 +408,7 @@ func (t *Tool) hoistChecks(sc *core.StaticContext, safe map[uint64]bool) []rules
 						uint64(uint32(int32(last))),
 					},
 				})
-				safe[in.Addr] = true
+				safe[in.Addr] = rules.SafeHoisted
 			}
 		}
 	}

@@ -1,0 +1,107 @@
+package jasan
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/rules"
+)
+
+// TestFindPreheaderFallthrough locks the fallthrough-preheader case: the
+// block before the loop header reaches it by falling through (no explicit
+// branch), which is how straight-line prologues feed loops.
+func TestFindPreheaderFallthrough(t *testing.T) {
+	mod, err := asm.Assemble(`
+.module t
+.entry f
+.section .text
+f:
+    la r6, arr
+    mov r7, 0
+.loop:
+    ldxq r8, [r6+r7*8]
+    add r7, 1
+    cmp r7, 4
+    jl .loop
+    mov r0, 0
+    ret
+.section .data
+arr:
+    .zero 32
+`)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	g, err := cfg.Build(mod)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	la := analysis.AnalyzeLoops(g)
+	if len(la.Loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(la.Loops))
+	}
+	pre := findPreheader(g, la.Loops[0])
+	if pre == nil {
+		t.Fatal("fallthrough preheader not found")
+	}
+	if want := mod.FindSymbol("f").Addr; pre.Start != want {
+		t.Fatalf("preheader = %#x, want entry block %#x", pre.Start, want)
+	}
+	// The preheader must be usable: SCEV hoisting plants its rule at the
+	// preheader's last instruction (mov r7, 0 — the fallthrough terminator).
+	tool := New(Config{UseLiveness: true, UseSCEV: true})
+	rf, err := core.AnalyzeModule(mod, tool)
+	if err != nil {
+		t.Fatalf("static pass: %v", err)
+	}
+	hoisted := false
+	for _, r := range rf.Rules {
+		if r.ID == rules.HoistedCheck && r.BBAddr == pre.Start {
+			hoisted = true
+		}
+	}
+	if !hoisted {
+		t.Fatal("no HOISTED_CHECK planted in the fallthrough preheader")
+	}
+}
+
+// TestFindPreheaderMultipleEntries: a header reachable from two outside
+// blocks has no unique preheader.
+func TestFindPreheaderMultipleEntries(t *testing.T) {
+	mod, err := asm.Assemble(`
+.module t
+.entry f
+.section .text
+f:
+    cmp r1, 0
+    je .alt
+    mov r7, 0
+    jmp .loop
+.alt:
+    mov r7, 2
+.loop:
+    add r7, 1
+    cmp r7, 4
+    jl .loop
+    mov r0, 0
+    ret
+`)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	g, err := cfg.Build(mod)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	la := analysis.AnalyzeLoops(g)
+	if len(la.Loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(la.Loops))
+	}
+	if pre := findPreheader(g, la.Loops[0]); pre != nil {
+		t.Fatalf("multi-entry loop reported preheader %#x", pre.Start)
+	}
+	_ = mod
+}

@@ -159,6 +159,34 @@ func EmitJumpCheck(e *dbm.Emitter, in *isa.Instr, lo, hi, tableBase uint64,
 	e.RestoreEpilog(p.SaveFlags, p.SaveRegs)
 }
 
+// EmitNarrowJumpCheck emits the per-site inline target-set check for a
+// VSA-narrowed indirect jump: a short compare chain over the proven
+// targets, trapping when none matches. No table memory is touched, so the
+// fast path costs a handful of register instructions per target.
+func EmitNarrowJumpCheck(e *dbm.Emitter, in *isa.Instr, targets []uint64,
+	saveFlags bool, dead []isa.Register) {
+
+	scratch, toSave := dbm.PickScratch(2, dead, dbm.ExcludeOperands(in))
+	s1, s2 := scratch[0], scratch[1]
+	e.SaveProlog(saveFlags, toSave)
+	e.Meta(mk(isa.OpMovRR, func(i *isa.Instr) { i.Rd, i.Rb = s1, in.Rd }))
+	var hits []int
+	for _, tgt := range targets {
+		t := tgt
+		e.Meta(mk(isa.OpMovRI, func(i *isa.Instr) { i.Rd, i.Imm = s2, int64(t) }))
+		e.Meta(mk(isa.OpCmpRR, func(i *isa.Instr) { i.Rd, i.Rb = s1, s2 }))
+		hits = append(hits, e.Placeholder())
+	}
+	e.Meta(mk(isa.OpTrap, func(i *isa.Instr) {
+		i.Imm = trapForwardBase + int64(s1)
+		i.Addr = in.Addr
+	}))
+	for _, h := range hits {
+		e.PatchJump(h, isa.OpJe)
+	}
+	e.RestoreEpilog(saveFlags, toSave)
+}
+
 // emitShadowPush emits the call-site half of the shadow stack (§4.2): the
 // intended return address is pushed on the shadow stack before the call.
 func EmitShadowPush(e *dbm.Emitter, in *isa.Instr, saveFlags bool, dead []isa.Register) {

@@ -7,7 +7,9 @@
 package jcfi
 
 import (
+	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"repro/internal/analysis"
 	"repro/internal/cfg"
@@ -17,13 +19,19 @@ import (
 	"repro/internal/loader"
 	"repro/internal/obj"
 	"repro/internal/rules"
+	"repro/internal/vsa"
 )
 
 // Config selects JCFI variants for the evaluation (Fig. 11: forward-only vs
-// full).
+// full). Narrow additionally consults the value-set analysis
+// (internal/vsa): indirect jumps that provably resolve to a singleton
+// target or a statically bounded jump table get an inline per-site target
+// set instead of the module-global hash-table probe, each narrowing backed
+// by a replayable vsa.Claim for cmd/jvet.
 type Config struct {
 	Forward         bool
 	Backward        bool
+	Narrow          bool
 	HaltOnViolation bool
 }
 
@@ -70,7 +78,8 @@ func (t *Tool) Name() string { return "jcfi" }
 // (internal/anserve). HaltOnViolation only affects run-time behaviour, so
 // it is deliberately excluded.
 func (t *Tool) ConfigKey() string {
-	return fmt.Sprintf("forward=%t,backward=%t", t.cfg.Forward, t.cfg.Backward)
+	return fmt.Sprintf("forward=%t,backward=%t,narrow=%t",
+		t.cfg.Forward, t.cfg.Backward, t.cfg.Narrow)
 }
 
 // StaticPass implements core.Tool (§4.2.1): determine valid target sets by
@@ -139,6 +148,10 @@ func (t *Tool) StaticPass(sc *core.StaticContext) []rules.Rule {
 	}
 
 	// Check sites.
+	var vres *vsa.Result
+	if t.cfg.Narrow {
+		vres = sc.EnsureVSA()
+	}
 	for _, blk := range g.Blocks {
 		term := blk.Terminator()
 		lp := sc.Live.LiveIn(term.Addr)
@@ -165,6 +178,12 @@ func (t *Tool) StaticPass(sc *core.StaticContext) []rules.Rule {
 					BBAddr: blk.Start, Instr: term.Addr, Data: [4]uint64{lw}})
 				break
 			}
+			if vres != nil && blk.Fn != nil {
+				if r, ok := narrowRule(sc, vres, blk, lw); ok {
+					out = append(out, r)
+					break
+				}
+			}
 			var lo, hi, boundaries uint64
 			if fn := g.FuncAt(term.Addr); fn != nil {
 				lo, hi = fn.Entry, fn.End
@@ -188,6 +207,35 @@ func (t *Tool) StaticPass(sc *core.StaticContext) []rules.Rule {
 		}
 	}
 	return out
+}
+
+// maxInlineTargets bounds the distinct-target count worth inlining as a
+// compare chain; larger sets stay on the hash-table probe.
+const maxInlineTargets = 16
+
+// narrowRule asks the value-set analysis to resolve the jmpi terminating
+// blk. On success it returns a CFI_JUMP_NARROW rule and records the
+// matching claim into the proof set.
+func narrowRule(sc *core.StaticContext, vres *vsa.Result,
+	blk *cfg.BasicBlock, lw uint64) (rules.Rule, bool) {
+	jf := vres.ResolveJump(blk)
+	if jf == nil || len(jf.Targets) == 0 || len(jf.Targets) > maxInlineTargets {
+		return rules.Rule{}, false
+	}
+	term := blk.Terminator()
+	r := rules.Rule{ID: rules.CFIJumpNarrow, BBAddr: blk.Start, Instr: term.Addr}
+	c := vsa.Claim{Block: blk.Start, Instr: term.Addr, Targets: jf.Targets}
+	if jf.Table {
+		count := uint64(jf.IdxHi - jf.IdxLo + 1)
+		r.Data = [4]uint64{lw, 1, jf.TableAddr, uint64(jf.IdxLo)<<32 | count}
+		c.Kind = vsa.ClaimJumpTable
+		c.Table, c.IdxLo, c.IdxHi = jf.TableAddr, jf.IdxLo, jf.IdxHi
+	} else {
+		r.Data = [4]uint64{lw, 0, jf.Targets[0], 0}
+		c.Kind = vsa.ClaimJumpSingle
+	}
+	sc.Proofs.Record(blk.Fn.Entry, c)
+	return r, true
 }
 
 // isResolverRet detects the `push rX; ret` lazy-resolver idiom (§4.2.3):
@@ -360,6 +408,21 @@ func (t *Tool) Instrument(bc *dbm.BlockContext, instrRules map[uint64][]rules.Ru
 					t.recordSite(in.Addr, siteJump,
 						targets+float64(len(t.st.Ensure(id).Jump)))
 				}
+			case rules.CFIJumpNarrow:
+				if t.cfg.Forward {
+					targets := narrowTargets(bc, &r, base)
+					if len(targets) == 0 {
+						// Target materialisation failed (e.g. stripped
+						// section): fail closed onto the module-global
+						// table probe.
+						EmitJumpCheck(e, in, 0, 0, JumpTableBase(id), saveFlags, dead)
+						t.recordSite(in.Addr, siteJump,
+							float64(len(t.st.Ensure(id).Jump)))
+						break
+					}
+					EmitNarrowJumpCheck(e, in, targets, saveFlags, dead)
+					t.recordSite(in.Addr, siteJump, float64(len(targets)))
+				}
 			case rules.CFIRet:
 				if t.cfg.Backward {
 					EmitRetCheck(e, in, saveFlags, dead)
@@ -379,6 +442,43 @@ func (t *Tool) Instrument(bc *dbm.BlockContext, instrRules map[uint64][]rules.Ru
 		e.App(*in)
 	}
 	return e.Out
+}
+
+// narrowTargets materialises the run-time target set of a CFI_JUMP_NARROW
+// rule: the singleton from the rule data, or the claimed jump-table slice
+// read back from the module image, rebased for PIC modules. Returns nil
+// (caller fails closed) when the words cannot be read.
+func narrowTargets(bc *dbm.BlockContext, r *rules.Rule, base uint64) []uint64 {
+	if r.Data[1] == 0 {
+		return []uint64{r.Data[2] + base}
+	}
+	if bc.Module == nil {
+		return nil
+	}
+	idxLo := r.Data[3] >> 32
+	count := r.Data[3] & 0xffffffff
+	if count == 0 || count > 512 {
+		return nil
+	}
+	seen := map[uint64]bool{}
+	var out []uint64
+	for k := uint64(0); k < count; k++ {
+		wordAddr := r.Data[2] + (idxLo+k)*8
+		sec := bc.Module.SectionAt(wordAddr)
+		if sec == nil || !sec.Contains(wordAddr+7) {
+			return nil
+		}
+		tgt := binary.LittleEndian.Uint64(sec.Data[wordAddr-sec.Addr:]) + base
+		if !seen[tgt] {
+			seen[tgt] = true
+			out = append(out, tgt)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if len(out) > maxInlineTargets {
+		return nil
+	}
+	return out
 }
 
 func (t *Tool) unpackLive(packed uint64) (saveFlags bool, dead []isa.Register) {

@@ -31,7 +31,10 @@ const (
 	// access class (analysis.AccessClass) for SCEV-driven optimisation.
 	MemAccess ID = 2
 	// MemAccessSafe: the access is statically proven safe; the handler
-	// skips it (coverage is still recorded). Data fields as MemAccess.
+	// skips it (coverage is still recorded). Data1 packs liveness as
+	// MemAccess; Data2 records the elision provenance (Safe* constants
+	// below); Data3 carries provenance detail (the dominating anchor's
+	// instruction address for SafeDedup).
 	MemAccessSafe ID = 3
 	// PoisonCanary: poison the canary slot's shadow after this
 	// instruction's predecessor stores the canary (Fig. 6). Data1 packs
@@ -75,11 +78,42 @@ const (
 	// 1 = indirect-call target, 2 = indirect-jump target.
 	CFITarget ID = 12
 
+	// CFIJumpNarrow: verify this indirect jump against a small per-site
+	// inline target set instead of the module-global hash table. Data1
+	// packs liveness; Data2 is 0 for a singleton target or 1 for a
+	// jump-table dispatch; Data3 holds the link-time target (singleton) or
+	// the link-time table address (table); Data4 packs the table index
+	// range as lo<<32 | count. Always derived from a replayable vsa jump
+	// claim.
+	CFIJumpNarrow ID = 13
+
 	// CustomBase is the first rule ID reserved for out-of-tree tools:
 	// handler interpretation is tool-private, so custom techniques can
 	// define their own IDs at CustomBase and above without colliding with
 	// the built-in handlers.
 	CustomBase ID = 0x100
+)
+
+// MemAccessSafe provenance values (Data2): why the static pass proved the
+// access safe. SafeFrame and above are VSA-backed elisions carrying a
+// replayable vsa.Claim; SafeCanary/SafeHoisted are the pre-VSA exemptions.
+const (
+	// SafeCanary: the access is part of the recognised canary idiom
+	// (store or epilogue reload) and is handled by the canary rules.
+	SafeCanary uint64 = 1
+	// SafeHoisted: covered by an SCEV range check hoisted to the loop
+	// preheader (HoistedCheck rule).
+	SafeHoisted uint64 = 2
+	// SafeFrame: proven in-bounds of the function's own frame, away from
+	// canary slots (vsa frame claim).
+	SafeFrame uint64 = 3
+	// SafeGlobal: proven in-bounds of one statically sized module section
+	// (vsa global claim).
+	SafeGlobal uint64 = 4
+	// SafeDedup: re-checks an address already checked by a dominating
+	// access in the same block (vsa dedup claim); Data3 holds the anchor's
+	// instruction address.
+	SafeDedup uint64 = 5
 )
 
 // CFITarget kind bits (Data1 of CFITarget rules).
@@ -101,6 +135,7 @@ var idNames = map[ID]string{
 	CFIResolverRet: "CFI_RESOLVER_RET",
 	HoistedCheck:   "HOISTED_CHECK",
 	CFITarget:      "CFI_TARGET",
+	CFIJumpNarrow:  "CFI_JUMP_NARROW",
 }
 
 func (id ID) String() string {

@@ -1,0 +1,236 @@
+package vsa
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/isa"
+	"repro/internal/obj"
+)
+
+// maxTableIdx bounds the index interval accepted when resolving a
+// jump-table fact; anything larger is not a dispatch table.
+const maxTableIdx = 511
+
+// FrameClaim tries to prove that the access at the evaluated address addr
+// (width bytes) stays inside the statically allocated frame of the function
+// entered at fnEntry, away from its canary slots. On success it returns the
+// claimed inclusive F-relative byte range.
+//
+// Safety argument: shadow memory is non-zero only for heap redzones, freed
+// heap chunks and poisoned canary slots. A frame access bounded inside
+// [-frameSize, -1] and disjoint from the function's canary slots can never
+// observe non-zero shadow, so its CHECK is a provable no-op.
+func (res *Result) FrameClaim(fnEntry uint64, addr Value, width int) (lo, hi int64, ok bool) {
+	if res.Poisoned[fnEntry] || res.canaryBad[fnEntry] {
+		return 0, 0, false
+	}
+	if !addr.IsFrame() || !addr.Bounded() {
+		return 0, 0, false
+	}
+	fs := res.FrameSizes[fnEntry]
+	if fs <= 0 {
+		return 0, 0, false
+	}
+	lo = addr.Lo
+	hi = satAdd(addr.Hi, int64(width)-1)
+	if lo < -fs || hi > -1 {
+		return 0, 0, false
+	}
+	for _, c := range res.CanarySlots[fnEntry] {
+		if hi >= c && lo <= c+7 {
+			return 0, 0, false
+		}
+	}
+	return lo, hi, true
+}
+
+// GlobalClaim tries to prove that the access at addr (width bytes) stays
+// inside one statically sized module section. The module image's shadow is
+// zero everywhere, so such an access can never trip a CHECK. For PIC
+// modules only link-relative addresses qualify (the whole interval slides
+// with the load base); absolute integers qualify only when the module loads
+// at its link addresses.
+func (res *Result) GlobalClaim(addr Value, width int) (section string, lo, hi uint64, ok bool) {
+	if !addr.Bounded() || addr.Lo < 0 {
+		return "", 0, 0, false
+	}
+	if res.Mod.PIC {
+		if addr.Region != RLink {
+			return "", 0, 0, false
+		}
+	} else if addr.Region != RConst && addr.Region != RLink {
+		return "", 0, 0, false
+	}
+	lo = uint64(addr.Lo)
+	hi = uint64(addr.Hi) + uint64(width) - 1
+	sec := res.Mod.SectionAt(lo)
+	if sec == nil || !sec.Contains(hi) {
+		return "", 0, 0, false
+	}
+	return sec.Name, lo, hi, true
+}
+
+// JumpFact is a resolved indirect-branch target set at link-time addresses.
+type JumpFact struct {
+	// Table is true for a jump-table resolution (TableAddr/IdxLo/IdxHi
+	// describe the table walk); false for a singleton.
+	Table     bool
+	TableAddr uint64
+	IdxLo     int64
+	IdxHi     int64
+	// Targets are the resolved link-time targets, sorted and deduplicated.
+	Targets []uint64
+}
+
+// ResolveJump tries to resolve the jmpi terminating blk to a proven target
+// set: either a singleton address or the loaded entries of a statically
+// bounded jump table. Every resolved target must already be admissible
+// under the module-global CFI policy (an instruction boundary inside the
+// containing function, or a function entry), so inlining the set strictly
+// narrows the check. Returns nil when no proof is available.
+func (res *Result) ResolveJump(blk *cfg.BasicBlock) *JumpFact {
+	term := blk.Terminator()
+	if term.Op != isa.OpJmpI || blk.Fn == nil || res.Poisoned[blk.Fn.Entry] {
+		return nil
+	}
+	var atTerm *State
+	var atLoad *State
+	loadIdx := -1
+	// Locate the in-block ldxq that defines the jump register, with no
+	// intervening redefinition.
+	for i := len(blk.Instrs) - 2; i >= 0; i-- {
+		in := &blk.Instrs[i]
+		if in.Op == isa.OpLdXQ && in.Rd == term.Rd {
+			loadIdx = i
+			break
+		}
+		redef := false
+		for _, d := range in.RegDefs(nil) {
+			if d == term.Rd {
+				redef = true
+			}
+		}
+		if redef {
+			break
+		}
+	}
+	ok := res.WalkBlock(blk, func(i int, in *isa.Instr, st *State) {
+		if i == loadIdx {
+			atLoad = st.clone()
+		}
+		if i == len(blk.Instrs)-1 {
+			atTerm = st.clone()
+		}
+	})
+	if !ok || atTerm == nil {
+		return nil
+	}
+
+	// Singleton resolution from the register value itself.
+	v := atTerm.Regs[term.Rd]
+	if t, single := v.Singleton(); single && t >= 0 {
+		if (res.Mod.PIC && v.Region == RLink) ||
+			(!res.Mod.PIC && (v.Region == RConst || v.Region == RLink)) {
+			tgt := uint64(t)
+			if res.validJumpTarget(blk.Fn, tgt) {
+				return &JumpFact{Targets: []uint64{tgt}}
+			}
+		}
+		return nil
+	}
+
+	// Jump-table resolution through the defining load.
+	if loadIdx < 0 || atLoad == nil {
+		return nil
+	}
+	load := &blk.Instrs[loadIdx]
+	base := atLoad.Regs[load.Rb]
+	idx := atLoad.Regs[load.Ri]
+	tb, single := base.Singleton()
+	if !single || tb < 0 {
+		return nil
+	}
+	if res.Mod.PIC {
+		if base.Region != RLink {
+			return nil
+		}
+	} else if base.Region != RConst && base.Region != RLink {
+		return nil
+	}
+	if idx.Region != RConst || !idx.Bounded() || idx.Lo < 0 || idx.Hi > maxTableIdx {
+		return nil
+	}
+	tableAddr := uint64(tb) + uint64(int64(load.Disp))
+	targets := res.readTable(blk.Fn, tableAddr, idx.Lo, idx.Hi)
+	if targets == nil {
+		return nil
+	}
+	return &JumpFact{
+		Table:     true,
+		TableAddr: tableAddr,
+		IdxLo:     idx.Lo,
+		IdxHi:     idx.Hi,
+		Targets:   targets,
+	}
+}
+
+// readTable loads and validates jump-table words for indexes [idxLo,idxHi].
+// All words must live in one non-executable section, carry rebase relocs in
+// PIC modules (so the stored link addresses slide with the load base), and
+// resolve to admissible targets. Returns nil on any failure.
+func (res *Result) readTable(fn *cfg.Function, tableAddr uint64, idxLo, idxHi int64) []uint64 {
+	sec := res.Mod.SectionAt(tableAddr + uint64(idxLo)*8)
+	if sec == nil || sec.Executable() {
+		return nil
+	}
+	var rebase map[uint64]bool
+	if res.Mod.PIC {
+		rebase = map[uint64]bool{}
+		for _, r := range res.Mod.Relocs {
+			if r.Kind == obj.RelRebase {
+				rebase[r.Where] = true
+			}
+		}
+	}
+	seen := map[uint64]bool{}
+	var out []uint64
+	for k := idxLo; k <= idxHi; k++ {
+		wordAddr := tableAddr + uint64(k)*8
+		if !sec.Contains(wordAddr + 7) {
+			return nil
+		}
+		if res.Mod.PIC && !rebase[wordAddr] {
+			return nil
+		}
+		t := binary.LittleEndian.Uint64(sec.Data[wordAddr-sec.Addr:])
+		if !res.validJumpTarget(fn, t) {
+			return nil
+		}
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// validJumpTarget reports whether t is admissible for an indirect jump in
+// fn under the module-global CFI policy: a recovered instruction boundary
+// that is either inside fn's own range or a function entry (tail dispatch).
+func (res *Result) validJumpTarget(fn *cfg.Function, t uint64) bool {
+	if !res.G.IsInstrBoundary(t) {
+		return false
+	}
+	sec := res.Mod.SectionAt(t)
+	if sec == nil || !sec.Executable() {
+		return false
+	}
+	if t >= fn.Entry && t < fn.End {
+		return true
+	}
+	tf := res.G.FuncAt(t)
+	return tf != nil && tf.Entry == t
+}

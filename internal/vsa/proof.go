@@ -1,0 +1,160 @@
+package vsa
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// ClaimKind names the five provable elision/narrowing facts.
+type ClaimKind string
+
+// Claim kinds.
+const (
+	// ClaimFrame: the access at Instr stays inside [Lo,Hi], a sub-range of
+	// its function's frame disjoint from canary slots.
+	ClaimFrame ClaimKind = "frame"
+	// ClaimGlobal: the access at Instr stays inside [GLo,GHi], a sub-range
+	// of module section Section.
+	ClaimGlobal ClaimKind = "global"
+	// ClaimDedup: the access at Instr re-reads (at equal or smaller width)
+	// the address already checked by the dominating access at Prev in the
+	// same block, with no base/index redefinition or canary activity in
+	// between.
+	ClaimDedup ClaimKind = "dedup"
+	// ClaimJumpSingle: the indirect jump at Instr always transfers to
+	// Targets[0].
+	ClaimJumpSingle ClaimKind = "jump-single"
+	// ClaimJumpTable: the indirect jump at Instr dispatches through the
+	// jump table at Table with index range [IdxLo,IdxHi], yielding
+	// Targets.
+	ClaimJumpTable ClaimKind = "jump-table"
+)
+
+// Claim is one elision/narrowing fact, self-contained enough for an
+// independent verifier to re-derive and check it against the module.
+type Claim struct {
+	Kind  ClaimKind `json:"kind"`
+	Block uint64    `json:"block"`
+	Instr uint64    `json:"instr"`
+	// Frame claims.
+	Width int   `json:"width,omitempty"`
+	Lo    int64 `json:"lo,omitempty"`
+	Hi    int64 `json:"hi,omitempty"`
+	// Global claims.
+	Section string `json:"section,omitempty"`
+	GLo     uint64 `json:"glo,omitempty"`
+	GHi     uint64 `json:"ghi,omitempty"`
+	// Dedup claims.
+	Prev uint64 `json:"prev,omitempty"`
+	// Jump claims.
+	Table   uint64   `json:"table,omitempty"`
+	IdxLo   int64    `json:"idx_lo,omitempty"`
+	IdxHi   int64    `json:"idx_hi,omitempty"`
+	Targets []uint64 `json:"targets,omitempty"`
+}
+
+// FuncProof groups one function's claims with the frame facts they depend
+// on and the axioms they assume.
+type FuncProof struct {
+	Entry     uint64   `json:"entry"`
+	Name      string   `json:"name,omitempty"`
+	FrameSize int64    `json:"frame_size,omitempty"`
+	Canaries  []int64  `json:"canaries,omitempty"`
+	Assumes   []string `json:"assumes,omitempty"`
+	Claims    []Claim  `json:"claims"`
+}
+
+// ProofSet is the serialisable proof artifact for one (module, tool) static
+// pass: every elision and narrowing decision the pass made, replayable by
+// cmd/jvet without the producer's fixpoint state.
+type ProofSet struct {
+	Module string      `json:"module"`
+	Tool   string      `json:"tool"`
+	Funcs  []FuncProof `json:"funcs"`
+
+	pending map[uint64][]Claim
+}
+
+// NewProofSet creates an empty proof artifact for the given module and tool
+// identification strings.
+func NewProofSet(module, tool string) *ProofSet {
+	return &ProofSet{Module: module, Tool: tool, pending: map[uint64][]Claim{}}
+}
+
+// Record attaches one claim to the function entered at fnEntry.
+func (ps *ProofSet) Record(fnEntry uint64, c Claim) {
+	if ps == nil {
+		return
+	}
+	if ps.pending == nil {
+		ps.pending = map[uint64][]Claim{}
+	}
+	ps.pending[fnEntry] = append(ps.pending[fnEntry], c)
+}
+
+// NumClaims returns the total number of recorded claims.
+func (ps *ProofSet) NumClaims() int {
+	if ps == nil {
+		return 0
+	}
+	n := 0
+	for _, fp := range ps.Funcs {
+		n += len(fp.Claims)
+	}
+	for _, cs := range ps.pending {
+		n += len(cs)
+	}
+	return n
+}
+
+// Finalize fixes the artifact: per-function metadata is filled from the
+// analysis result and everything is sorted into a canonical order. res may
+// be nil when no claims were recorded.
+func (ps *ProofSet) Finalize(res *Result) {
+	if ps == nil {
+		return
+	}
+	for entry, claims := range ps.pending {
+		fp := FuncProof{Entry: entry, Claims: claims}
+		if res != nil {
+			fp.FrameSize = res.FrameSizes[entry]
+			fp.Canaries = res.CanarySlots[entry]
+			fp.Assumes = res.Assumes[entry]
+			if f := res.G.FuncAt(entry); f != nil && f.Entry == entry {
+				fp.Name = f.Name
+			}
+		}
+		ps.Funcs = append(ps.Funcs, fp)
+	}
+	ps.pending = nil
+	for i := range ps.Funcs {
+		cs := ps.Funcs[i].Claims
+		sort.SliceStable(cs, func(a, b int) bool {
+			if cs[a].Instr != cs[b].Instr {
+				return cs[a].Instr < cs[b].Instr
+			}
+			return cs[a].Kind < cs[b].Kind
+		})
+	}
+	sort.Slice(ps.Funcs, func(a, b int) bool {
+		return ps.Funcs[a].Entry < ps.Funcs[b].Entry
+	})
+}
+
+// Marshal renders the finalized artifact as deterministic, indented JSON.
+func (ps *ProofSet) Marshal() ([]byte, error) {
+	if len(ps.pending) > 0 {
+		return nil, fmt.Errorf("vsa: ProofSet not finalized")
+	}
+	return json.MarshalIndent(ps, "", "  ")
+}
+
+// UnmarshalProofSet parses a proof artifact produced by Marshal.
+func UnmarshalProofSet(data []byte) (*ProofSet, error) {
+	var ps ProofSet
+	if err := json.Unmarshal(data, &ps); err != nil {
+		return nil, fmt.Errorf("vsa: bad proof artifact: %w", err)
+	}
+	return &ps, nil
+}

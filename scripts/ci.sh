@@ -27,4 +27,9 @@ echo "== jfuzz smoke =="
 # oracle violation, crash or missed planted bug.
 go run ./cmd/jfuzz -seed 1 -n 200 -workers 4 -o /tmp/jfuzz-ci.json
 
+echo "== jvet proof replay =="
+# Independent replay of every VSA elision/narrowing proof over the checked-in
+# example modules; exits nonzero on any claim that cannot be re-proven.
+go run ./cmd/jvet
+
 echo "CI OK"
