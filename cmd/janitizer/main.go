@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	janitizer -tool jasan|jcfi [-libdir dir] [-outdir dir] main.jef
+//	janitizer -tool jasan|jmsan|jcfi [-libdir dir] [-outdir dir] main.jef
 package main
 
 import (
@@ -17,15 +17,16 @@ import (
 	"repro/internal/jasan"
 	"repro/internal/jcfi"
 	"repro/internal/jefdir"
+	"repro/internal/jmsan"
 )
 
 func main() {
-	toolName := flag.String("tool", "jasan", "security technique: jasan or jcfi")
+	toolName := flag.String("tool", "jasan", "security technique: jasan, jmsan or jcfi")
 	libdir := flag.String("libdir", "", "directory of dependency .jef modules")
 	outdir := flag.String("outdir", ".", "directory to write .jrw rule files into")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: janitizer -tool jasan|jcfi [flags] main.jef")
+		fmt.Fprintln(os.Stderr, "usage: janitizer -tool jasan|jmsan|jcfi [flags] main.jef")
 		os.Exit(2)
 	}
 	main, err := jefdir.ReadModule(flag.Arg(0))
@@ -40,6 +41,8 @@ func main() {
 	switch *toolName {
 	case "jasan":
 		tool = jasan.New(jasan.Config{UseLiveness: true})
+	case "jmsan":
+		tool = jmsan.New(jmsan.Config{UseLiveness: true})
 	case "jcfi":
 		tool = jcfi.New(jcfi.DefaultConfig)
 	default:

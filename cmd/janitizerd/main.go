@@ -10,7 +10,8 @@
 //
 // API:
 //
-//	POST /analyze?tool=jasan|jasan-base|jasan-scev|jcfi|jcfi-forward
+//	POST /analyze?tool=jasan|jasan-base|jasan-scev|jcfi|jcfi-forward|
+//	              jmsan|jmsan-elide|jasan+jmsan|comprehensive
 //	    request body:  a serialized JEF module
 //	    response body: the module's marshaled .jrw rule file
 //	GET /stats

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	jexp [-scale n] [-parallel n] [-stats] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|elision|all [benchmarks...]
+//	jexp [-scale n] [-parallel n] [-stats] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|elision|jmsan|all [benchmarks...]
 //
 // Workloads within a figure run concurrently (-parallel, default
 // GOMAXPROCS); static analysis is served by a shared content-addressed rule
@@ -29,7 +29,7 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr,
-			"usage: jexp [-scale n] [-parallel n] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|elision|all [benchmarks...]")
+			"usage: jexp [-scale n] [-parallel n] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|elision|jmsan|all [benchmarks...]")
 		os.Exit(2)
 	}
 	experiments.Parallel = *parallel
@@ -80,6 +80,22 @@ func main() {
 			}
 			fmt.Println(experiments.FormatElision(rows))
 			return nil
+		case "jmsan":
+			rows, err := experiments.JMSan(*scale, benches...)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatJMSan(rows))
+			return nil
+		case "bench":
+			// Pure-JSON scheme sweep for scripts/bench.sh; not part of
+			// `all` (it is a CI artifact, not a paper figure).
+			rows, err := experiments.Bench(*scale, benches...)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatBenchJSON(rows))
+			return nil
 		default:
 			fmt.Fprintf(os.Stderr, "jexp: unknown experiment %q\n", name)
 			os.Exit(2)
@@ -94,14 +110,14 @@ func main() {
 		// the end with a non-zero exit.
 		var failures []string
 		for _, n := range []string{"fig7", "fig8", "fig9", "fig10", "fig11",
-			"fig12", "fig13", "fig14", "soundness", "elision"} {
+			"fig12", "fig13", "fig14", "soundness", "elision", "jmsan"} {
 			if err := run(n); err != nil {
 				fmt.Fprintf(os.Stderr, "jexp: %s: %v\n", n, err)
 				failures = append(failures, n)
 			}
 		}
 		if len(failures) > 0 {
-			fmt.Fprintf(os.Stderr, "jexp: %d of 10 experiments failed: %v\n",
+			fmt.Fprintf(os.Stderr, "jexp: %d of 11 experiments failed: %v\n",
 				len(failures), failures)
 			exit = 1
 		}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	jrun [-tool jasan|jcfi|none] [-libdir dir] [-rules dir] [-stats] main.jef
+//	jrun [-tool jasan|jmsan|jcfi|none] [-libdir dir] [-rules dir] [-stats] main.jef
 package main
 
 import (
@@ -21,13 +21,14 @@ import (
 	"repro/internal/jasan"
 	"repro/internal/jcfi"
 	"repro/internal/jefdir"
+	"repro/internal/jmsan"
 	"repro/internal/loader"
 	"repro/internal/rules"
 	"repro/internal/vm"
 )
 
 func main() {
-	toolName := flag.String("tool", "jasan", "security technique: jasan, jcfi or none")
+	toolName := flag.String("tool", "jasan", "security technique: jasan, jmsan, jcfi or none")
 	libdir := flag.String("libdir", "", "directory of dependency .jef modules")
 	rulesDir := flag.String("rules", "", "directory of .jrw rewrite-rule files")
 	stats := flag.Bool("stats", false, "print cycle and coverage statistics")
@@ -55,6 +56,16 @@ func main() {
 		report = func() []string {
 			var out []string
 			for _, v := range jt.Report.Violations {
+				out = append(out, v.String())
+			}
+			return out
+		}
+	case "jmsan":
+		mt := jmsan.New(jmsan.Config{UseLiveness: true})
+		tool = mt
+		report = func() []string {
+			var out []string
+			for _, v := range mt.Report.Violations {
 				out = append(out, v.String())
 			}
 			return out

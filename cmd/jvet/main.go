@@ -1,5 +1,6 @@
 // Command jvet is the independent proof verifier for VSA-backed check
-// elision (JASan) and indirect-branch narrowing (JCFI). It re-runs the
+// elision (JASan), definedness check elision (JMSan) and indirect-branch
+// narrowing (JCFI). It re-runs the
 // static passes of the elision-enabled tool configurations over the
 // evaluation workload modules, then replays every recorded vsa.Claim from
 // scratch — re-deriving bounds and side conditions without the producer's
@@ -24,6 +25,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/jasan"
 	"repro/internal/jcfi"
+	"repro/internal/jmsan"
 	"repro/internal/obj"
 	"repro/internal/spec"
 	"repro/internal/vsa"
@@ -73,6 +75,7 @@ func tools() []core.Tool {
 		jasan.New(jasan.Config{UseLiveness: true, Elide: true}),
 		jasan.New(jasan.Config{UseLiveness: true, UseSCEV: true, Elide: true}),
 		jcfi.New(jcfi.Config{Forward: true, Backward: true, Narrow: true}),
+		jmsan.New(jmsan.Config{UseLiveness: true, Elide: true}),
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/jasan"
 	"repro/internal/jcfi"
+	"repro/internal/jmsan"
 	"repro/internal/obj"
 )
 
@@ -42,6 +43,25 @@ func DefaultTools() map[string]ToolFactory {
 		},
 		"jcfi-forward": func() core.Tool {
 			return jcfi.New(jcfi.Config{Forward: true})
+		},
+		"jmsan": func() core.Tool {
+			return jmsan.New(jmsan.Config{UseLiveness: true})
+		},
+		"jmsan-elide": func() core.Tool {
+			return jmsan.New(jmsan.Config{UseLiveness: true, Elide: true})
+		},
+		"jasan+jmsan": func() core.Tool {
+			return core.NewMultiTool(
+				jasan.New(jasan.Config{UseLiveness: true}),
+				jmsan.New(jmsan.Config{UseLiveness: true}),
+			)
+		},
+		"comprehensive": func() core.Tool {
+			return core.NewMultiTool(
+				jasan.New(jasan.Config{UseLiveness: true}),
+				jmsan.New(jmsan.Config{UseLiveness: true}),
+				jcfi.New(jcfi.DefaultConfig),
+			)
 		},
 	}
 }

@@ -1,0 +1,117 @@
+package anserve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/jasan"
+	"repro/internal/jmsan"
+	"repro/internal/rules"
+)
+
+// TestJMSanCacheKeySeparation is the composition-safety criterion for the
+// content-addressed cache: a jasan-only configuration and a combined
+// jasan+jmsan configuration of the *same module* must hash to distinct
+// cache keys, so adding a second sanitizer can never be served a stale
+// jasan-only artifact (and vice versa).
+func TestJMSanCacheKeySeparation(t *testing.T) {
+	mod := testModule(t)
+	tools := []core.Tool{
+		jasan.New(jasan.Config{UseLiveness: true}),
+		jmsan.New(jmsan.Config{UseLiveness: true}),
+		jmsan.New(jmsan.Config{UseLiveness: true, Elide: true}),
+		core.NewMultiTool(
+			jasan.New(jasan.Config{UseLiveness: true}),
+			jmsan.New(jmsan.Config{UseLiveness: true}),
+		),
+	}
+	keys := map[string]bool{}
+	for _, tool := range tools {
+		keys[CacheKey(mod, tool)] = true
+	}
+	if len(keys) != len(tools) {
+		t.Fatalf("cache keys collide: %d distinct for %d configurations",
+			len(keys), len(tools))
+	}
+
+	// The service must actually run one analysis per configuration — a
+	// collision would surface here as a bogus cache hit.
+	svc := New(Config{})
+	var artifacts [][]byte
+	for _, tool := range tools {
+		out, err := svc.AnalyzeModuleBytes(mod, tool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		artifacts = append(artifacts, out)
+	}
+	if st := svc.Stats(); st.Sched.Analyzed != uint64(len(tools)) {
+		t.Fatalf("analyzed = %d, want %d (one per configuration)",
+			st.Sched.Analyzed, len(tools))
+	}
+	if bytes.Equal(artifacts[0], artifacts[3]) {
+		t.Fatal("jasan-only and jasan+jmsan artifacts are identical")
+	}
+}
+
+// TestHandlerServesJMSan drives the HTTP API with the real default registry:
+// POSTing one module as tool=jasan and again as tool=jasan+jmsan must run
+// two analyses (distinct cache keys) and return distinct, valid rule files,
+// with the combined artifact carrying jmsan's definedness rules.
+func TestHandlerServesJMSan(t *testing.T) {
+	mod := testModule(t)
+	modBytes := mod.Marshal()
+	svc := New(Config{})
+	srv := httptest.NewServer(svc.Handler(DefaultTools()))
+	defer srv.Close()
+
+	post := func(tool string) []byte {
+		t.Helper()
+		// QueryEscape matters: the "+" in "jasan+jmsan" would otherwise
+		// decode to a space server-side.
+		resp, err := http.Post(srv.URL+"/analyze?tool="+url.QueryEscape(tool),
+			"application/octet-stream", bytes.NewReader(modBytes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("tool=%s: status %d: %s", tool, resp.StatusCode, body)
+		}
+		return body
+	}
+
+	asanOnly := post("jasan")
+	combined := post("jasan+jmsan")
+	if bytes.Equal(asanOnly, combined) {
+		t.Fatal("jasan and jasan+jmsan responses are byte-identical")
+	}
+	if st := svc.Stats(); st.Sched.Analyzed != 2 {
+		t.Fatalf("analyzed = %d, want 2 (one per tool configuration)",
+			st.Sched.Analyzed)
+	}
+
+	f, err := rules.Unmarshal(combined)
+	if err != nil {
+		t.Fatalf("combined response does not round-trip: %v", err)
+	}
+	var defRules int
+	for _, r := range f.Rules {
+		switch r.ID {
+		case rules.MemDefStore, rules.MemDefLoad, rules.FrameUndef:
+			defRules++
+		}
+	}
+	if defRules == 0 {
+		t.Fatal("combined jasan+jmsan artifact carries no definedness rules")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/dbm"
 	"repro/internal/isa"
 	"repro/internal/jasan"
+	"repro/internal/jmsan"
 	"repro/internal/rules"
 	"repro/internal/vm"
 )
@@ -43,18 +44,48 @@ func valgrindTrapCode(reg isa.Register, width int) int64 {
 // heap-to-stack overflows are missed entirely.
 type ValgrindTool struct {
 	Report *jasan.Report
+	// DefReport accumulates uninitialized-read reports when validity-bit
+	// tracking is on (NewValgrindDef); nil otherwise.
+	DefReport *jmsan.Report
+	// trackDef enables memcheck's validity-bit (definedness) modelling.
+	trackDef bool
+	// frameSizes maps frame-undef trap sites to frame byte counts (the
+	// side table jmsan's shared runtime reads).
+	frameSizes map[uint64]uint64
 	// seenObjects implements per-object report suppression.
 	seenObjects map[uint64]bool
 	objects     jasan.HeapObjects
 }
 
-// NewValgrind returns a fresh memcheck-style tool.
+// NewValgrind returns a fresh memcheck-style tool checking addressability
+// only.
 func NewValgrind() *ValgrindTool {
 	return &ValgrindTool{Report: &jasan.Report{}, seenObjects: map[uint64]bool{}}
 }
 
+// NewValgrindDef returns the memcheck model with validity-bit tracking
+// enabled: every store additionally marks its target bytes defined, every
+// load is additionally routed through the precise definedness check, fresh
+// heap objects and new stack frames start undefined. The shadow encoding and
+// trap handlers are shared with JMSan (internal/jmsan), so the two tools
+// agree byte-for-byte on what "undefined" means — the reference oracle for
+// the agreement tests. Reporting is eager: every load touching an undefined
+// byte reports (no origin-tracking deferral).
+func NewValgrindDef() *ValgrindTool {
+	t := NewValgrind()
+	t.trackDef = true
+	t.DefReport = &jmsan.Report{}
+	t.frameSizes = map[uint64]uint64{}
+	return t
+}
+
 // Name implements core.Tool.
-func (t *ValgrindTool) Name() string { return "valgrind-sim" }
+func (t *ValgrindTool) Name() string {
+	if t.trackDef {
+		return "valgrind-def"
+	}
+	return "valgrind-sim"
+}
 
 // StaticPass implements core.Tool: Valgrind has no static stage.
 func (t *ValgrindTool) StaticPass(*core.StaticContext) []rules.Rule { return nil }
@@ -69,14 +100,49 @@ func (t *ValgrindTool) Instrument(bc *dbm.BlockContext, _ map[uint64][]rules.Rul
 // checker.
 func (t *ValgrindTool) DynFallback(bc *dbm.BlockContext) []dbm.CInstr {
 	e := &dbm.Emitter{}
-	for i := range bc.AppInstrs {
-		in := &bc.AppInstrs[i]
+	ins := bc.AppInstrs
+	for i := range ins {
+		in := &ins[i]
 		if in.IsMemAccess() {
 			t.emitCleanCheck(e, in)
 		}
 		e.App(*in)
+		if t.trackDef {
+			if size := frameAllocAt(ins, i); size > 0 {
+				t.frameSizes[in.Addr] = size
+				jmsan.EmitFrameUndef(e, in.Addr)
+			}
+		}
 	}
 	return e.Out
+}
+
+// frameAllocAt recognises a prologue stack allocation at index i (`mov fp,
+// sp` directly followed by `sub sp, N`) and returns the frame bytes to mark
+// undefined, excluding an installed canary slot — the same block-local
+// pattern JMSan's dynamic fallback uses, keeping the two tools' stack
+// definedness identical.
+func frameAllocAt(ins []isa.Instr, i int) uint64 {
+	if i < 1 {
+		return 0
+	}
+	in := &ins[i]
+	prev := &ins[i-1]
+	if in.Op != isa.OpSubRI || in.Rd != isa.SP || in.Imm <= 0 ||
+		prev.Op != isa.OpMovRR || prev.Rd != isa.FP || prev.Rb != isa.SP {
+		return 0
+	}
+	size := in.Imm
+	for j := i + 1; j < len(ins); j++ {
+		if ins[j].Op == isa.OpLdG {
+			size -= 8
+			break
+		}
+	}
+	if size <= 0 {
+		return 0
+	}
+	return uint64(size)
 }
 
 // emitCleanCheck saves the flags and its scratch register, computes the
@@ -95,6 +161,19 @@ func (t *ValgrindTool) emitCleanCheck(e *dbm.Emitter, in *isa.Instr) {
 		ins.Imm = valgrindTrapCode(s1, in.AccessWidth())
 		ins.Addr = in.Addr
 	}))
+	if t.trackDef {
+		// Validity bits, still in the clean-call model: one more trap in the
+		// same spill bracket. Stores define their bytes, loads go through
+		// the precise per-byte check (the handler reports undefined reads).
+		code := jmsan.DefLoadTrapCode(s1, in.AccessWidth())
+		if in.IsStore() {
+			code = jmsan.DefStoreTrapCode(s1, in.AccessWidth())
+		}
+		e.Meta(mk(isa.OpTrap, func(ins *isa.Instr) {
+			ins.Imm = code
+			ins.Addr = in.Addr
+		}))
+	}
 	e.Meta(mk(isa.OpPop, func(ins *isa.Instr) { ins.Rd = s1 }))
 	e.Meta(mk(isa.OpPopF, nil))
 }
@@ -104,6 +183,12 @@ func (t *ValgrindTool) emitCleanCheck(e *dbm.Emitter, in *isa.Instr) {
 // checker traps.
 func (t *ValgrindTool) RuntimeInit(rt *core.Runtime) error {
 	t.objects = jasan.InstallRuntimeOn(rt.M, &jasan.Report{}) // discard inline reports
+	if t.trackDef {
+		// Shares JMSan's definedness runtime: the trap families and the
+		// allocator wrapper marking fresh objects undefined (chained over
+		// the redzone allocator installed just above).
+		jmsan.InstallRuntimeOn(rt.M, t.DefReport, t.frameSizes)
+	}
 	rt.DBM.Costs = ValgrindCosts
 	for reg := isa.Register(0); reg < isa.NumRegs; reg++ {
 		for _, width := range []int{1, 8} {

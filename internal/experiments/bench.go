@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"encoding/json"
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// BenchRow is one scheme's suite-wide cost summary: the geometric mean of
+// its per-benchmark slowdowns over the workloads it can run, written by
+// scripts/bench.sh into BENCH_JANITIZER.json.
+type BenchRow struct {
+	Scheme          Scheme  `json:"scheme"`
+	GeomeanSlowdown float64 `json:"geomean_slowdown"`
+	// Benchmarks counts the workloads contributing to the geomean (a
+	// scheme's applicability gates can exclude some).
+	Benchmarks int `json:"benchmarks"`
+}
+
+// benchSchemes are the Janitizer configurations the benchmark gate tracks:
+// each tool's hybrid and elision-enabled variants plus the combined
+// jasan+jmsan+jcfi configuration.
+var benchSchemes = []Scheme{
+	JASanHybrid, JASanElide,
+	JCFIHybrid,
+	JMSanHybrid, JMSanElide,
+	Comprehensive,
+}
+
+// Bench runs every tracked scheme over the workload suite and folds each
+// scheme's slowdowns into one geomean row. Rows come out in a fixed scheme
+// order and each geomean is computed over name-sorted workloads, so the
+// output is byte-identical across runs and parallelism settings.
+func Bench(scale int, names ...string) ([]BenchRow, error) {
+	workloads := workloadSet(scale, names...)
+	sort.Slice(workloads, func(i, j int) bool {
+		return workloads[i].Name < workloads[j].Name
+	})
+	ns := len(benchSchemes)
+	results := make([]*Result, len(workloads)*ns)
+	errs := make([]error, len(results))
+	runJobs(len(results), func(i int) {
+		results[i], errs[i] = Run(workloads[i/ns], benchSchemes[i%ns])
+	})
+
+	var rows []BenchRow
+	for si, s := range benchSchemes {
+		var slowdowns []float64
+		for wi := range workloads {
+			res, err := results[wi*ns+si], errs[wi*ns+si]
+			if err != nil {
+				return nil, err
+			}
+			if res.Failed {
+				continue
+			}
+			slowdowns = append(slowdowns, res.Slowdown)
+		}
+		rows = append(rows, BenchRow{
+			Scheme:          s,
+			GeomeanSlowdown: metrics.Geomean(slowdowns),
+			Benchmarks:      len(slowdowns),
+		})
+	}
+	return rows, nil
+}
+
+// FormatBenchJSON renders the rows as an indented JSON array — the entire
+// BENCH_JANITIZER.json artifact.
+func FormatBenchJSON(rows []BenchRow) string {
+	j, _ := json.MarshalIndent(rows, "", "  ")
+	return string(j) + "\n"
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/dbm"
 	"repro/internal/jasan"
 	"repro/internal/jcfi"
+	"repro/internal/jmsan"
 	"repro/internal/loader"
 	"repro/internal/metrics"
 	"repro/internal/rules"
@@ -42,6 +43,14 @@ const (
 	Lockdown        Scheme = "lockdown"
 	LockdownWeak    Scheme = "lockdown-weak"
 	BinCFI          Scheme = "bincfi"
+	JMSanHybrid     Scheme = "jmsan-hybrid"
+	JMSanElide      Scheme = "jmsan-elide" // hybrid + VSA def-init check elision
+	JMSanDyn        Scheme = "jmsan-dyn"
+	ValgrindDef     Scheme = "valgrind-def" // memcheck model with validity bits
+	// Comprehensive is the combined jasan+jmsan+jcfi configuration: all
+	// three Janitizer tools composed over one shared translation of every
+	// block (core.MultiTool).
+	Comprehensive Scheme = "comprehensive"
 )
 
 // Result is one (benchmark, scheme) measurement.
@@ -65,8 +74,9 @@ type Result struct {
 	Violations int
 	Coverage   core.CoverageStats
 	// ElidedChecks counts MEM_ACCESS_SAFE rules with a VSA-backed
-	// provenance (SafeFrame/SafeGlobal/SafeDedup) across the program's
-	// static rule files; NarrowedBranches counts CFI_JUMP_NARROW rules.
+	// provenance (SafeFrame/SafeGlobal/SafeDedup/SafeDefInit) across the
+	// program's static rule files; NarrowedBranches counts CFI_JUMP_NARROW
+	// rules.
 	ElidedChecks     int
 	NarrowedBranches int
 	// DAIR is the dynamic average indirect-target reduction (CFI schemes).
@@ -208,6 +218,21 @@ func Run(w *spec.Workload, scheme Scheme) (*Result, error) {
 		static = false
 	case BinCFI:
 		tool = baseline.NewBinCFI()
+	case JMSanHybrid:
+		tool = jmsan.New(jmsan.Config{UseLiveness: true})
+	case JMSanElide:
+		tool = jmsan.New(jmsan.Config{UseLiveness: true, Elide: true})
+	case JMSanDyn:
+		tool = jmsan.New(jmsan.Config{})
+		static = false
+	case ValgrindDef:
+		tool = baseline.NewValgrindDef()
+		static = false
+	case Comprehensive:
+		tool = core.NewMultiTool(
+			jasan.New(jasan.Config{UseLiveness: true}),
+			jmsan.New(jmsan.Config{UseLiveness: true}),
+			jcfi.New(jcfi.DefaultConfig))
 	default:
 		return nil, fmt.Errorf("unknown scheme %q", scheme)
 	}
@@ -244,24 +269,48 @@ func Run(w *spec.Workload, scheme Scheme) (*Result, error) {
 	res.Coverage = rt.Coverage
 	res.ElidedChecks, res.NarrowedBranches = countProofRules(files)
 
+	res.Violations = toolViolations(tool)
 	switch tt := tool.(type) {
-	case *jasan.Tool:
-		res.Violations = int(tt.Report.Total)
-	case *baseline.ValgrindTool:
-		res.Violations = int(tt.Report.Total)
-	case *baseline.RetrowriteTool:
-		res.Violations = int(tt.Report.Total)
 	case *jcfi.Tool:
-		res.Violations = len(tt.Report.Violations)
 		res.DAIR = tt.DynamicAIR()
 	case *baseline.LockdownTool:
-		res.Violations = len(tt.Report.Violations)
 		res.DAIR = tt.DynamicAIR()
 	case *baseline.BinCFITool:
-		res.Violations = len(tt.Report.Violations)
 		res.DAIR = tt.AIR()
 	}
 	return res, nil
+}
+
+// toolViolations extracts a tool's violation count; combined tools sum
+// their parts.
+func toolViolations(tool core.Tool) int {
+	switch tt := tool.(type) {
+	case *jasan.Tool:
+		return int(tt.Report.Total)
+	case *jmsan.Tool:
+		return int(tt.Report.Total)
+	case *baseline.ValgrindTool:
+		n := int(tt.Report.Total)
+		if tt.DefReport != nil {
+			n += int(tt.DefReport.Total)
+		}
+		return n
+	case *baseline.RetrowriteTool:
+		return int(tt.Report.Total)
+	case *jcfi.Tool:
+		return len(tt.Report.Violations)
+	case *baseline.LockdownTool:
+		return len(tt.Report.Violations)
+	case *baseline.BinCFITool:
+		return len(tt.Report.Violations)
+	case *core.MultiTool:
+		n := 0
+		for _, sub := range tt.Tools {
+			n += toolViolations(sub)
+		}
+		return n
+	}
+	return 0
 }
 
 // countProofRules tallies the VSA-backed decisions across a program's
@@ -273,7 +322,8 @@ func countProofRules(files map[string]*rules.File) (elided, narrowed int) {
 			switch r.ID {
 			case rules.MemAccessSafe:
 				switch r.Data[1] {
-				case rules.SafeFrame, rules.SafeGlobal, rules.SafeDedup:
+				case rules.SafeFrame, rules.SafeGlobal, rules.SafeDedup,
+					rules.SafeDefInit:
 					elided++
 				}
 			case rules.CFIJumpNarrow:

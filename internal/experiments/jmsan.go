@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// JMSanRow is one benchmark's measurement of the JMSan study: retired
+// instruction counts under the hybrid sanitizer (with and without VSA
+// def-init elision), the dynamic-only variant, the memcheck-style
+// validity-bit baseline, and the combined jasan+jmsan+jcfi configuration,
+// all normalised against native.
+type JMSanRow struct {
+	Benchmark    string `json:"benchmark"`
+	NativeInstrs uint64 `json:"native_instrs"`
+
+	JMSanInstrs         uint64 `json:"jmsan_instrs"`
+	JMSanElideInstrs    uint64 `json:"jmsan_elide_instrs"`
+	JMSanDynInstrs      uint64 `json:"jmsan_dyn_instrs"`
+	ValgrindDefInstrs   uint64 `json:"valgrind_def_instrs"`
+	ComprehensiveInstrs uint64 `json:"comprehensive_instrs"`
+
+	// *Overhead is the retired-instruction ratio against native (the
+	// study's metric: check work added to the dynamic instruction stream).
+	JMSanOverhead       float64 `json:"jmsan_overhead"`
+	JMSanElideOverhead  float64 `json:"jmsan_elide_overhead"`
+	JMSanDynOverhead    float64 `json:"jmsan_dyn_overhead"`
+	ValgrindDefOverhead float64 `json:"valgrind_def_overhead"`
+	CompOverhead        float64 `json:"comprehensive_overhead"`
+
+	// DefChecksElided counts the MEM_ACCESS_SAFE(def-init) rules the VSA
+	// proofs emitted for the elide cell.
+	DefChecksElided int `json:"def_checks_elided"`
+	// Violations is the hybrid cell's uninitialized-read report count
+	// (elide must agree — elision removes only proven-initialized checks).
+	Violations int `json:"violations"`
+}
+
+// jmsanSchemes are the cells measured per benchmark, the native baseline
+// first.
+var jmsanSchemes = []Scheme{Native, JMSanHybrid, JMSanElide, JMSanDyn,
+	ValgrindDef, Comprehensive}
+
+// JMSan runs the uninitialized-memory study: every workload under
+// JMSan-hybrid, JMSan-hybrid+elision, JMSan-dyn, the memcheck-style
+// validity-bit baseline and the combined jasan+jmsan+jcfi configuration,
+// comparing retired-instruction overhead against native. Elision is checked
+// for soundness in the report dimension: the elide cell must report exactly
+// the violations the hybrid cell reports.
+func JMSan(scale int, names ...string) ([]JMSanRow, error) {
+	workloads := workloadSet(scale, names...)
+	ns := len(jmsanSchemes)
+	results := make([]*Result, len(workloads)*ns)
+	errs := make([]error, len(results))
+	runJobs(len(results), func(i int) {
+		results[i], errs[i] = Run(workloads[i/ns], jmsanSchemes[i%ns])
+	})
+
+	var rows []JMSanRow
+	for wi, w := range workloads {
+		byScheme := map[Scheme]*Result{}
+		for si, s := range jmsanSchemes {
+			res, err := results[wi*ns+si], errs[wi*ns+si]
+			if err != nil {
+				return nil, err
+			}
+			byScheme[s] = res
+		}
+		if h, e := byScheme[JMSanHybrid].Violations, byScheme[JMSanElide].Violations; h != e {
+			return nil, fmt.Errorf("%s: elision changed the report count: hybrid %d, elide %d",
+				w.Name, h, e)
+		}
+		row := JMSanRow{
+			Benchmark:           w.Name,
+			NativeInstrs:        byScheme[Native].Instrs,
+			JMSanInstrs:         byScheme[JMSanHybrid].Instrs,
+			JMSanElideInstrs:    byScheme[JMSanElide].Instrs,
+			JMSanDynInstrs:      byScheme[JMSanDyn].Instrs,
+			ValgrindDefInstrs:   byScheme[ValgrindDef].Instrs,
+			ComprehensiveInstrs: byScheme[Comprehensive].Instrs,
+			DefChecksElided:     byScheme[JMSanElide].ElidedChecks,
+			Violations:          byScheme[JMSanHybrid].Violations,
+		}
+		if n := float64(row.NativeInstrs); n > 0 {
+			row.JMSanOverhead = float64(row.JMSanInstrs) / n
+			row.JMSanElideOverhead = float64(row.JMSanElideInstrs) / n
+			row.JMSanDynOverhead = float64(row.JMSanDynInstrs) / n
+			row.ValgrindDefOverhead = float64(row.ValgrindDefInstrs) / n
+			row.CompOverhead = float64(row.ComprehensiveInstrs) / n
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Benchmark < rows[j].Benchmark })
+	return rows, nil
+}
+
+// JMSanGeomeans returns the per-scheme geometric means of the rows'
+// instruction overheads: jmsan-hybrid, jmsan-elide, jmsan-dyn, valgrind-def,
+// comprehensive.
+func JMSanGeomeans(rows []JMSanRow) (hybrid, elide, dyn, vdef, comp float64) {
+	var hs, es, ds, vs, cs []float64
+	for _, r := range rows {
+		hs = append(hs, r.JMSanOverhead)
+		es = append(es, r.JMSanElideOverhead)
+		ds = append(ds, r.JMSanDynOverhead)
+		vs = append(vs, r.ValgrindDefOverhead)
+		cs = append(cs, r.CompOverhead)
+	}
+	return metrics.Geomean(hs), metrics.Geomean(es), metrics.Geomean(ds),
+		metrics.Geomean(vs), metrics.Geomean(cs)
+}
+
+// FormatJMSan renders the study as a table, the per-scheme geomeans, and one
+// machine-readable `BENCH_JMSAN {json}` line per benchmark. Rows are sorted
+// by benchmark name, so output is byte-identical across runs and parallelism
+// settings.
+func FormatJMSan(rows []JMSanRow) string {
+	var b strings.Builder
+	b.WriteString("JMSan uninitialized-memory study (instruction overhead vs native)\n")
+	fmt.Fprintf(&b, "%-14s%10s%10s%10s%14s%10s%8s%6s\n",
+		"benchmark", "jmsan", "elide", "dyn", "valgrind-def", "comp",
+		"elided", "viol")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s%10.3f%10.3f%10.3f%14.3f%10.3f%8d%6d\n",
+			r.Benchmark, r.JMSanOverhead, r.JMSanElideOverhead,
+			r.JMSanDynOverhead, r.ValgrindDefOverhead, r.CompOverhead,
+			r.DefChecksElided, r.Violations)
+	}
+	hybrid, elide, dyn, vdef, comp := JMSanGeomeans(rows)
+	fmt.Fprintf(&b, "geomean: jmsan %.3fx, jmsan-elide %.3fx, jmsan-dyn %.3fx, valgrind-def %.3fx, comprehensive %.3fx\n",
+		hybrid, elide, dyn, vdef, comp)
+	if hybrid < vdef {
+		fmt.Fprintf(&b, "note: JMSan geomean instruction overhead beats the validity-bit memcheck model (%.3fx < %.3fx)\n",
+			hybrid, vdef)
+	} else {
+		fmt.Fprintf(&b, "note: WARNING: JMSan geomean does not beat the memcheck model (%.3fx >= %.3fx)\n",
+			hybrid, vdef)
+	}
+	for _, r := range rows {
+		j, _ := json.Marshal(r)
+		b.WriteString("BENCH_JMSAN ")
+		b.Write(j)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

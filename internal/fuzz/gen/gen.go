@@ -64,6 +64,7 @@ const (
 	AddAssign                 // Name += Val;
 	Store                     // Name[(Idx) & Mask] = Val;
 	RawStore                  // Name[K] = Val;   (planted bugs only)
+	RawLoad                   // if (Name[K] < Name[Mask]) ... (planted bugs only)
 	If                        // if (Cond) { Then } else { Else }
 	For                       // for (int Name = 0; Name < Trip; Name++) { Body }
 )
@@ -92,6 +93,11 @@ type Array struct {
 	// AllocElems is the element count actually allocated for heap arrays.
 	// It equals Size unless a planted shrink-allocation bug reduced it.
 	AllocElems int64
+	// Uninit suppresses the zero-fill loop the renderer emits after a heap
+	// array's malloc. Safe programs never set it: it exists for the planted
+	// uninitialized-read bug class, whose reads must hit memory no store
+	// ever defined (the JMSan detection oracle).
+	Uninit bool
 }
 
 // Fn is one helper function: int Name(int x).
@@ -342,6 +348,18 @@ func (p *Prog) Render() string {
 	for _, a := range p.heaps() {
 		fmt.Fprintf(&b, "    int *%s = malloc(%d);\n", a.Name, 8*a.AllocElems)
 	}
+	// Zero-fill every heap array before use: fresh allocations start
+	// undefined under the definedness shadow, and safe programs must stay
+	// silent under JMSan just as they do under JASan. Planted
+	// uninitialized-read arrays (Uninit) deliberately skip the fill.
+	for _, a := range p.heaps() {
+		if a.Uninit {
+			continue
+		}
+		iv := "zi" + a.Name
+		fmt.Fprintf(&b, "    for (int %s = 0; %s < %d; %s++) { %s[%s] = 0; }\n",
+			iv, iv, a.AllocElems, iv, a.Name, iv)
+	}
 	fmt.Fprintf(&b, "    int acc = 1;\n")
 	renderStmts(&b, p.Main, "    ")
 	for _, a := range p.heaps() {
@@ -371,6 +389,14 @@ func (s *Stmt) render(b *strings.Builder, indent string) {
 			indent, s.Name, s.Idx.Render(), s.Mask, s.Val.Render())
 	case RawStore:
 		fmt.Fprintf(b, "%s%s[%d] = %s;\n", indent, s.Name, s.K, s.Val.Render())
+	case RawLoad:
+		// Planted uninitialized read: both indices (K and Mask double as
+		// the two raw element indices) load never-written slots, and both
+		// loads feed the comparison — a definedness sink — on every
+		// execution, whichever way the branch goes. Only planted into
+		// main, where `acc` is always in scope.
+		fmt.Fprintf(b, "%sif (%s[%d] < %s[%d]) { acc += 1; } else { acc += 3; }\n",
+			indent, s.Name, s.K, s.Name, s.Mask)
 	case If:
 		fmt.Fprintf(b, "%sif (%s) {\n", indent, s.Cond.Render())
 		renderStmts(b, s.Then, indent+"    ")

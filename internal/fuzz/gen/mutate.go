@@ -32,8 +32,21 @@ func (p *Prog) sites() []site {
 		walkStmts(&p.Funcs[fi].Body, &c, 0, &out)
 	}
 	c := ctx{vars: []string{"acc"}, mut: []string{"acc"},
-		arrays: p.Arrays, funcs: funcNames(p.Funcs)}
+		arrays: p.mutArrays(), funcs: funcNames(p.Funcs)}
 	walkStmts(&p.Main, &c, 2, &out)
+	return out
+}
+
+// mutArrays returns the arrays mutations may reference: Uninit arrays are
+// excluded, since a mutation-inserted store would define the very slots the
+// planted uninitialized read depends on.
+func (p *Prog) mutArrays() []Array {
+	var out []Array
+	for _, a := range p.Arrays {
+		if !a.Uninit {
+			out = append(out, a)
+		}
+	}
 	return out
 }
 
@@ -94,7 +107,7 @@ func (p *Prog) Mutate(r *rand.Rand) bool {
 		if len(sites) == 0 {
 			// Degenerate program: grow main from scratch.
 			c := ctx{vars: []string{"acc"}, mut: []string{"acc"},
-				arrays: p.Arrays, funcs: funcNames(p.Funcs)}
+				arrays: p.mutArrays(), funcs: funcNames(p.Funcs)}
 			if st := p.genStmt(r, &c, 2); st != nil {
 				p.Main = append(p.Main, *st)
 				return true
@@ -103,7 +116,7 @@ func (p *Prog) Mutate(r *rand.Rand) bool {
 		}
 		st := sites[r.Intn(len(sites))]
 		s := &(*st.list)[st.idx]
-		if s.Kind == RawStore {
+		if s.Kind == RawStore || s.Kind == RawLoad {
 			continue // planted statements are not mutation targets
 		}
 		switch r.Intn(5) {
@@ -196,6 +209,11 @@ const (
 	// BugDropMask widens an index mask past the object bound (the classic
 	// dropped-bounds-check) and indexes through the gap.
 	BugDropMask
+	// BugUninitRead allocates a fresh heap array whose zero-fill is
+	// suppressed and reads two of its never-written slots into a
+	// comparison — a read-before-write JMSan must detect (JASan cannot:
+	// the accesses are in bounds).
+	BugUninitRead
 	// NumBugs is the class count.
 	NumBugs
 )
@@ -210,6 +228,8 @@ func (b Bug) String() string {
 		return "use-after-free"
 	case BugDropMask:
 		return "drop-bounds-mask"
+	case BugUninitRead:
+		return "uninit-read"
 	}
 	return fmt.Sprintf("bug-%d", b)
 }
@@ -217,7 +237,14 @@ func (b Bug) String() string {
 // Plant applies one planted-bug mutation of class b and reports success.
 // The resulting program is recorded as unsafe via Planted.
 func (p *Prog) Plant(r *rand.Rand, b Bug) bool {
-	heaps := p.heaps()
+	// Uninit arrays only exist in already-planted programs and are not
+	// valid targets for further planting (a store would define their slots).
+	var heaps []Array
+	for _, a := range p.heaps() {
+		if !a.Uninit {
+			heaps = append(heaps, a)
+		}
+	}
 	if len(heaps) == 0 {
 		return false
 	}
@@ -248,6 +275,16 @@ func (p *Prog) Plant(r *rand.Rand, b Bug) bool {
 		// and lands one element past the object.
 		p.Main = append(p.Main, Stmt{Kind: Store, Name: a.Name,
 			Mask: 2*a.Size - 1, Idx: &Expr{Kind: Const, K: a.Size}, Val: val})
+	case BugUninitRead:
+		// A fresh heap array with the zero-fill suppressed; two distinct
+		// never-written slots feed a comparison on every execution.
+		p.nextID++
+		name := fmt.Sprintf("u%d", p.nextID)
+		size := int64(8)
+		p.Arrays = append(p.Arrays, Array{Name: name, Size: size,
+			Heap: true, AllocElems: size, Uninit: true})
+		p.Main = append(p.Main, Stmt{Kind: RawLoad, Name: name,
+			K: int64(r.Intn(4)), Mask: int64(4 + r.Intn(4))})
 	default:
 		return false
 	}

@@ -6,8 +6,10 @@
 //   - Domain A (source): safe-by-construction MiniC programs from
 //     internal/fuzz/gen. Oracle 1 (differential): -O0, -O2, -O2 without
 //     ipa-ra and PIC builds must produce identical results natively and
-//     under JASan and JCFI, with the tools silent. Oracle 3 (detection):
-//     planted heap bugs (gen.Plant) must trip JASan.
+//     under JASan, JMSan and JCFI, with the tools silent. Oracle 3
+//     (detection): planted heap bugs (gen.Plant) must trip JASan, and
+//     planted uninitialized reads must trip JMSan — each with elision both
+//     off and on.
 //   - Domain B (module): byte/structure-mutated serialised JEF modules.
 //     Oracle 2 (robustness): the obj deserialiser, cfg disassembler,
 //     analysis pipeline, loader and machine must return typed errors —
@@ -30,6 +32,7 @@ import (
 	"repro/internal/fuzz/gen"
 	"repro/internal/jasan"
 	"repro/internal/jcfi"
+	"repro/internal/jmsan"
 	"repro/internal/libj"
 	"repro/internal/loader"
 	"repro/internal/metrics"
@@ -137,6 +140,8 @@ func runTool(mod *obj.Module, reg loader.Registry, tool core.Tool,
 		violations = int(tt.Report.Total)
 	case *jcfi.Tool:
 		violations = len(tt.Report.Violations)
+	case *jmsan.Tool:
+		violations = int(tt.Report.Total)
 	}
 	return runOutcome{exit: m.ExitStatus, out: buf.String(), err: err,
 		overBudget: isBudgetFault(err)}, violations
@@ -181,8 +186,24 @@ func CheckSource(p *gen.Prog, budget uint64) *SourceResult {
 		if o2 == nil {
 			return res
 		}
-		jt := jasan.New(jasan.Config{UseLiveness: true})
-		out, n := runTool(o2, reg, jt, budget, res.Cov)
+		// The detecting tool depends on the planted class: heap-safety
+		// bugs are JASan's to catch, read-before-write bugs are JMSan's
+		// (the accesses are in bounds, so JASan stays silent by design).
+		uninit := false
+		for _, b := range p.Planted {
+			if b == gen.BugUninitRead.String() {
+				uninit = true
+			}
+		}
+		var plain, elide core.Tool
+		if uninit {
+			plain = jmsan.New(jmsan.Config{UseLiveness: true})
+			elide = jmsan.New(jmsan.Config{UseLiveness: true, Elide: true})
+		} else {
+			plain = jasan.New(jasan.Config{UseLiveness: true})
+			elide = jasan.New(jasan.Config{UseLiveness: true, Elide: true})
+		}
+		out, n := runTool(o2, reg, plain, budget, res.Cov)
 		// A planted store corrupts real memory (allocator metadata
 		// included), so the run may spin to budget exhaustion *after* the
 		// detection — the verdict only needs the report.
@@ -194,8 +215,7 @@ func CheckSource(p *gen.Prog, budget uint64) *SourceResult {
 		// Oracle 3 under elision: the VSA proofs must never remove the
 		// check that catches the planted bug. Catching with elision off
 		// but missing with it on is a soundness regression.
-		je := jasan.New(jasan.Config{UseLiveness: true, Elide: true})
-		outE, nE := runTool(o2, reg, je, budget, res.Cov)
+		outE, nE := runTool(o2, reg, elide, budget, res.Cov)
 		if res.PlantedCaught && nE == 0 {
 			if outE.overBudget {
 				res.OverBudget = true
@@ -260,6 +280,8 @@ func CheckSource(p *gen.Prog, budget uint64) *SourceResult {
 		{"jasan-elide-O0", o0, jasan.New(jasan.Config{UseLiveness: true, Elide: true})},
 		{"jcfi", o2, jcfi.New(jcfi.DefaultConfig)},
 		{"jcfi-narrow", o2, jcfi.New(jcfi.Config{Forward: true, Backward: true, Narrow: true})},
+		{"jmsan", o2, jmsan.New(jmsan.Config{UseLiveness: true})},
+		{"jmsan-elide", o2, jmsan.New(jmsan.Config{UseLiveness: true, Elide: true})},
 	} {
 		got, n := runTool(tc.mod, reg, tc.tool, budget, res.Cov)
 		if got.overBudget {

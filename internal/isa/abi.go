@@ -78,8 +78,20 @@ const (
 	// LayoutCFITableBase is where JCFI-class tools place their run-time
 	// target hash tables.
 	LayoutCFITableBase uint64 = 0x7200_0000
+	// LayoutDefShadowBase maps application address a to the definedness
+	// shadow byte LayoutDefShadowBase + a/8, with bit a%8 set when the
+	// application byte is UNDEFINED. Zero-filled shadow therefore means
+	// "everything defined", so only allocations and frame entries pay a
+	// shadow write. The bitmap covers application addresses below
+	// 0x6000_0000 (code, heap, JIT and stack); tool-runtime regions at and
+	// above LayoutShadowBase fall outside it and are never checked.
+	LayoutDefShadowBase uint64 = 0x7300_0000
 )
 
 // ShadowAddr returns the shadow-memory byte address covering application
 // address a (8 application bytes per shadow byte).
 func ShadowAddr(a uint64) uint64 { return LayoutShadowBase + a/8 }
+
+// DefShadowAddr returns the definedness-shadow byte address covering
+// application address a; bit a%8 of that byte is a's undefined flag.
+func DefShadowAddr(a uint64) uint64 { return LayoutDefShadowBase + a/8 }

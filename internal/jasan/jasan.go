@@ -458,27 +458,40 @@ func inductionInit(pre *cfg.BasicBlock, reg isa.Register) (int64, bool) {
 // Instrument implements core.Tool: rewrites a statically-seen block using
 // its rules (the hit path of Fig. 4).
 func (t *Tool) Instrument(bc *dbm.BlockContext, instrRules map[uint64][]rules.Rule) []dbm.CInstr {
-	e := &dbm.Emitter{}
-	for idx := range bc.AppInstrs {
-		in := &bc.AppInstrs[idx]
-		for _, r := range orderRules(instrRules[in.Addr]) {
-			switch r.ID {
-			case rules.UnpoisonCanary:
-				t.emitCanary(e, r, 0)
-			case rules.PoisonCanary:
-				t.emitCanary(e, r, ShadowCanary)
-			case rules.HoistedCheck:
-				t.emitHoisted(e, r, in.Addr)
-			case rules.MemAccess:
-				t.emitAccessCheck(e, in, r.Data[0])
-			case rules.MemAccessSafe:
-				// statically proven safe: nothing to do
-			}
-		}
-		e.App(*in)
-	}
-	return e.Out
+	return core.EmitPlans(bc, t.PlanStatic(bc, instrRules))
 }
+
+// PlanStatic implements core.PlannedTool: the rule-driven per-instruction
+// plan behind Instrument, composable with other tools' plans.
+func (t *Tool) PlanStatic(bc *dbm.BlockContext, instrRules map[uint64][]rules.Rule) core.InstrPlan {
+	return &staticPlan{t: t, bc: bc, rules: instrRules}
+}
+
+type staticPlan struct {
+	t     *Tool
+	bc    *dbm.BlockContext
+	rules map[uint64][]rules.Rule
+}
+
+func (p *staticPlan) Before(e *dbm.Emitter, idx int) {
+	in := &p.bc.AppInstrs[idx]
+	for _, r := range orderRules(p.rules[in.Addr]) {
+		switch r.ID {
+		case rules.UnpoisonCanary:
+			p.t.emitCanary(e, r, 0)
+		case rules.PoisonCanary:
+			p.t.emitCanary(e, r, ShadowCanary)
+		case rules.HoistedCheck:
+			p.t.emitHoisted(e, r, in.Addr)
+		case rules.MemAccess:
+			p.t.emitAccessCheck(e, in, r.Data[0])
+		case rules.MemAccessSafe:
+			// statically proven safe: nothing to do
+		}
+	}
+}
+
+func (p *staticPlan) After(*dbm.Emitter, int) {}
 
 // orderRules puts canary unpoisoning before checks at the same instruction.
 func orderRules(rs []rules.Rule) []rules.Rule {
@@ -583,6 +596,12 @@ func (t *Tool) emitHoisted(e *dbm.Emitter, r rules.Rule, appAddr uint64) {
 // instrumentation uses, and block-locally pattern-matches canary
 // installs/checks for poisoning.
 func (t *Tool) DynFallback(bc *dbm.BlockContext) []dbm.CInstr {
+	return core.EmitPlans(bc, t.PlanDyn(bc))
+}
+
+// PlanDyn implements core.PlannedTool: the block-local fallback plan behind
+// DynFallback.
+func (t *Tool) PlanDyn(bc *dbm.BlockContext) core.InstrPlan {
 	ins := bc.AppInstrs
 
 	// Block-local canary detection.
@@ -627,32 +646,42 @@ func (t *Tool) DynFallback(bc *dbm.BlockContext) []dbm.CInstr {
 		}
 	}
 
-	e := &dbm.Emitter{}
-	for i := range ins {
-		in := &ins[i]
-		if slot, ok := unpoisonAt[i]; ok {
-			s, save := dbm.PickScratch(2, nil, dbm.ExcludeOperands(in))
-			EmitSetShadow(e, slot.base, slot.disp, 0, s[0], s[1], save, true)
-		}
-		if in.IsMemAccess() && !skipCheck[i] {
-			scratch, toSave := dbm.PickScratch(2, nil, dbm.ExcludeOperands(in))
-			EmitCheck(e, &CheckPlan{
-				AppAddr: in.Addr, Width: in.AccessWidth(),
-				S1: scratch[0], S2: scratch[1],
-				SaveRegs: toSave, SaveFlags: true,
-				Addr: AddrOf(in),
-			})
-		}
-		e.App(*in)
-		if slot, ok := poisonAfter[i]; ok {
-			s, save := dbm.PickScratch(2, nil, func(r isa.Register) bool {
-				return r == slot.base || r == isa.SP || r == isa.FP
-			})
-			EmitSetShadow(e, slot.base, slot.disp, ShadowCanary,
-				s[0], s[1], save, true)
-		}
+	return &dynPlan{bc: bc, poisonAfter: poisonAfter,
+		unpoisonAt: unpoisonAt, skipCheck: skipCheck}
+}
+
+type dynPlan struct {
+	bc          *dbm.BlockContext
+	poisonAfter map[int]canarySlot
+	unpoisonAt  map[int]canarySlot
+	skipCheck   map[int]bool
+}
+
+func (p *dynPlan) Before(e *dbm.Emitter, i int) {
+	in := &p.bc.AppInstrs[i]
+	if slot, ok := p.unpoisonAt[i]; ok {
+		s, save := dbm.PickScratch(2, nil, dbm.ExcludeOperands(in))
+		EmitSetShadow(e, slot.base, slot.disp, 0, s[0], s[1], save, true)
 	}
-	return e.Out
+	if in.IsMemAccess() && !p.skipCheck[i] {
+		scratch, toSave := dbm.PickScratch(2, nil, dbm.ExcludeOperands(in))
+		EmitCheck(e, &CheckPlan{
+			AppAddr: in.Addr, Width: in.AccessWidth(),
+			S1: scratch[0], S2: scratch[1],
+			SaveRegs: toSave, SaveFlags: true,
+			Addr: AddrOf(in),
+		})
+	}
+}
+
+func (p *dynPlan) After(e *dbm.Emitter, i int) {
+	if slot, ok := p.poisonAfter[i]; ok {
+		s, save := dbm.PickScratch(2, nil, func(r isa.Register) bool {
+			return r == slot.base || r == isa.SP || r == isa.FP
+		})
+		EmitSetShadow(e, slot.base, slot.disp, ShadowCanary,
+			s[0], s[1], save, true)
+	}
 }
 
 type canarySlot struct {

@@ -374,74 +374,90 @@ func moduleID(bc *dbm.BlockContext) int {
 
 // Instrument implements core.Tool (the statically-guided hit path).
 func (t *Tool) Instrument(bc *dbm.BlockContext, instrRules map[uint64][]rules.Rule) []dbm.CInstr {
-	e := &dbm.Emitter{}
-	id := moduleID(bc)
+	return core.EmitPlans(bc, t.PlanStatic(bc, instrRules))
+}
+
+// PlanStatic implements core.PlannedTool: the rule-driven per-instruction
+// plan behind Instrument, composable with other tools' plans.
+func (t *Tool) PlanStatic(bc *dbm.BlockContext, instrRules map[uint64][]rules.Rule) core.InstrPlan {
 	base := uint64(0)
 	if bc.Module != nil && bc.Module.PIC {
 		base = bc.Module.LoadBase
 	}
-	for idx := range bc.AppInstrs {
-		in := &bc.AppInstrs[idx]
-		for _, r := range instrRules[in.Addr] {
-			saveFlags, dead := t.unpackLive(r.Data[0])
-			switch r.ID {
-			case rules.CFICall:
-				if t.cfg.Forward {
-					EmitCallCheck(e, in, CallTableBase(id), saveFlags, dead)
-					t.recordSite(in.Addr, siteCall, float64(len(t.st.Ensure(id).Call)))
+	return &staticPlan{t: t, bc: bc, rules: instrRules,
+		id: moduleID(bc), base: base}
+}
+
+type staticPlan struct {
+	t     *Tool
+	bc    *dbm.BlockContext
+	rules map[uint64][]rules.Rule
+	id    int
+	base  uint64
+}
+
+func (p *staticPlan) After(*dbm.Emitter, int) {}
+
+func (p *staticPlan) Before(e *dbm.Emitter, idx int) {
+	t, bc, id, base := p.t, p.bc, p.id, p.base
+	in := &bc.AppInstrs[idx]
+	for _, r := range p.rules[in.Addr] {
+		saveFlags, dead := t.unpackLive(r.Data[0])
+		switch r.ID {
+		case rules.CFICall:
+			if t.cfg.Forward {
+				EmitCallCheck(e, in, CallTableBase(id), saveFlags, dead)
+				t.recordSite(in.Addr, siteCall, float64(len(t.st.Ensure(id).Call)))
+			}
+		case rules.CFIJump:
+			if t.cfg.Forward {
+				lo, hi := r.Data[1]+base, r.Data[2]+base
+				if r.Data[1] == 0 && r.Data[2] == 0 {
+					lo, hi = 0, 0
 				}
-			case rules.CFIJump:
-				if t.cfg.Forward {
-					lo, hi := r.Data[1]+base, r.Data[2]+base
-					if r.Data[1] == 0 && r.Data[2] == 0 {
-						lo, hi = 0, 0
-					}
-					EmitJumpCheck(e, in, lo, hi, JumpTableBase(id), saveFlags, dead)
-					// The hybrid's policy restricts jump targets to
-					// statically recovered instruction boundaries; the
-					// metric counts those rather than raw range bytes
-					// (footnote 15's hybrid-vs-dyn AIR gap).
-					targets := float64(r.Data[3])
-					if targets == 0 {
-						targets = float64(hi - lo)
-					}
+				EmitJumpCheck(e, in, lo, hi, JumpTableBase(id), saveFlags, dead)
+				// The hybrid's policy restricts jump targets to
+				// statically recovered instruction boundaries; the
+				// metric counts those rather than raw range bytes
+				// (footnote 15's hybrid-vs-dyn AIR gap).
+				targets := float64(r.Data[3])
+				if targets == 0 {
+					targets = float64(hi - lo)
+				}
+				t.recordSite(in.Addr, siteJump,
+					targets+float64(len(t.st.Ensure(id).Jump)))
+			}
+		case rules.CFIJumpNarrow:
+			if t.cfg.Forward {
+				targets := narrowTargets(bc, &r, base)
+				if len(targets) == 0 {
+					// Target materialisation failed (e.g. stripped
+					// section): fail closed onto the module-global
+					// table probe.
+					EmitJumpCheck(e, in, 0, 0, JumpTableBase(id), saveFlags, dead)
 					t.recordSite(in.Addr, siteJump,
-						targets+float64(len(t.st.Ensure(id).Jump)))
+						float64(len(t.st.Ensure(id).Jump)))
+					break
 				}
-			case rules.CFIJumpNarrow:
-				if t.cfg.Forward {
-					targets := narrowTargets(bc, &r, base)
-					if len(targets) == 0 {
-						// Target materialisation failed (e.g. stripped
-						// section): fail closed onto the module-global
-						// table probe.
-						EmitJumpCheck(e, in, 0, 0, JumpTableBase(id), saveFlags, dead)
-						t.recordSite(in.Addr, siteJump,
-							float64(len(t.st.Ensure(id).Jump)))
-						break
-					}
-					EmitNarrowJumpCheck(e, in, targets, saveFlags, dead)
-					t.recordSite(in.Addr, siteJump, float64(len(targets)))
-				}
-			case rules.CFIRet:
-				if t.cfg.Backward {
-					EmitRetCheck(e, in, saveFlags, dead)
-					t.recordSite(in.Addr, siteRet, 1)
-				}
-			case rules.CFIResolverRet:
-				if t.cfg.Forward {
-					EmitResolverRetCheck(e, in, CallTableBase(id), saveFlags, dead)
-					t.recordSite(in.Addr, siteCall, float64(len(t.st.Ensure(id).Call)))
-				}
-			case rules.ShadowPush:
-				if t.cfg.Backward {
-					EmitShadowPush(e, in, saveFlags, dead)
-				}
+				EmitNarrowJumpCheck(e, in, targets, saveFlags, dead)
+				t.recordSite(in.Addr, siteJump, float64(len(targets)))
+			}
+		case rules.CFIRet:
+			if t.cfg.Backward {
+				EmitRetCheck(e, in, saveFlags, dead)
+				t.recordSite(in.Addr, siteRet, 1)
+			}
+		case rules.CFIResolverRet:
+			if t.cfg.Forward {
+				EmitResolverRetCheck(e, in, CallTableBase(id), saveFlags, dead)
+				t.recordSite(in.Addr, siteCall, float64(len(t.st.Ensure(id).Call)))
+			}
+		case rules.ShadowPush:
+			if t.cfg.Backward {
+				EmitShadowPush(e, in, saveFlags, dead)
 			}
 		}
-		e.App(*in)
 	}
-	return e.Out
 }
 
 // narrowTargets materialises the run-time target set of a CFI_JUMP_NARROW
@@ -493,64 +509,77 @@ func (t *Tool) unpackLive(packed uint64) (saveFlags bool, dead []isa.Register) {
 // indirect CTIs with conservative save/restore, the resolver idiom handled
 // by pattern matching, and the module's load-time tables used for targets.
 func (t *Tool) DynFallback(bc *dbm.BlockContext) []dbm.CInstr {
-	e := &dbm.Emitter{}
-	id := moduleID(bc)
+	return core.EmitPlans(bc, t.PlanDyn(bc))
+}
+
+// PlanDyn implements core.PlannedTool: the block-local fallback plan behind
+// DynFallback.
+func (t *Tool) PlanDyn(bc *dbm.BlockContext) core.InstrPlan {
+	return &dynPlan{t: t, bc: bc, id: moduleID(bc)}
+}
+
+type dynPlan struct {
+	t  *Tool
+	bc *dbm.BlockContext
+	id int
+}
+
+func (p *dynPlan) After(*dbm.Emitter, int) {}
+
+func (p *dynPlan) Before(e *dbm.Emitter, idx int) {
+	t, bc, id := p.t, p.bc, p.id
 	ins := bc.AppInstrs
-	for idx := range ins {
-		in := &ins[idx]
-		isLast := idx == len(ins)-1
-		if isLast {
-			switch in.Op {
-			case isa.OpCallI:
-				if t.cfg.Forward {
+	in := &ins[idx]
+	isLast := idx == len(ins)-1
+	if isLast {
+		switch in.Op {
+		case isa.OpCallI:
+			if t.cfg.Forward {
+				EmitCallCheck(e, in, CallTableBase(id), true, nil)
+				t.recordSite(in.Addr, siteCall, float64(len(t.st.Ensure(id).Call)))
+			}
+			if t.cfg.Backward {
+				EmitShadowPush(e, in, true, nil)
+			}
+		case isa.OpCall:
+			if t.cfg.Backward {
+				EmitShadowPush(e, in, true, nil)
+			}
+		case isa.OpJmpI:
+			if t.cfg.Forward {
+				// Block-local PLT-dispatch idiom (ldpc rX; jmpi rX):
+				// an inter-module call in disguise, checked against
+				// the call table.
+				if idx > 0 && ins[idx-1].Op == isa.OpLdPC &&
+					ins[idx-1].Rd == in.Rd {
 					EmitCallCheck(e, in, CallTableBase(id), true, nil)
-					t.recordSite(in.Addr, siteCall, float64(len(t.st.Ensure(id).Call)))
+					t.recordSite(in.Addr, siteCall,
+						float64(len(t.st.Ensure(id).Call)))
+					break
 				}
-				if t.cfg.Backward {
-					EmitShadowPush(e, in, true, nil)
+				// No static CFG block-locally: fall back to the
+				// nearest-symbol function range plus the table (this
+				// coarser range is why JCFI-dyn's jump AIR is below
+				// the hybrid's, §6.2.2 footnote 15).
+				var lo, hi uint64
+				if bc.Module != nil {
+					lo, hi = NearestFuncRange(bc.Module, in.Addr)
 				}
-			case isa.OpCall:
-				if t.cfg.Backward {
-					EmitShadowPush(e, in, true, nil)
-				}
-			case isa.OpJmpI:
-				if t.cfg.Forward {
-					// Block-local PLT-dispatch idiom (ldpc rX; jmpi rX):
-					// an inter-module call in disguise, checked against
-					// the call table.
-					if idx > 0 && ins[idx-1].Op == isa.OpLdPC &&
-						ins[idx-1].Rd == in.Rd {
-						EmitCallCheck(e, in, CallTableBase(id), true, nil)
-						t.recordSite(in.Addr, siteCall,
-							float64(len(t.st.Ensure(id).Call)))
-						break
-					}
-					// No static CFG block-locally: fall back to the
-					// nearest-symbol function range plus the table (this
-					// coarser range is why JCFI-dyn's jump AIR is below
-					// the hybrid's, §6.2.2 footnote 15).
-					var lo, hi uint64
-					if bc.Module != nil {
-						lo, hi = NearestFuncRange(bc.Module, in.Addr)
-					}
-					EmitJumpCheck(e, in, lo, hi, JumpTableBase(id), true, nil)
-					t.recordSite(in.Addr, siteJump,
-						float64(hi-lo)+float64(len(t.st.Ensure(id).Jump)))
-				}
-			case isa.OpRet:
-				resolver := idx > 0 && ins[idx-1].Op == isa.OpPush
-				if resolver && t.cfg.Forward {
-					EmitResolverRetCheck(e, in, CallTableBase(id), true, nil)
-					t.recordSite(in.Addr, siteCall, float64(len(t.st.Ensure(id).Call)))
-				} else if !resolver && t.cfg.Backward {
-					EmitRetCheck(e, in, true, nil)
-					t.recordSite(in.Addr, siteRet, 1)
-				}
+				EmitJumpCheck(e, in, lo, hi, JumpTableBase(id), true, nil)
+				t.recordSite(in.Addr, siteJump,
+					float64(hi-lo)+float64(len(t.st.Ensure(id).Jump)))
+			}
+		case isa.OpRet:
+			resolver := idx > 0 && ins[idx-1].Op == isa.OpPush
+			if resolver && t.cfg.Forward {
+				EmitResolverRetCheck(e, in, CallTableBase(id), true, nil)
+				t.recordSite(in.Addr, siteCall, float64(len(t.st.Ensure(id).Call)))
+			} else if !resolver && t.cfg.Backward {
+				EmitRetCheck(e, in, true, nil)
+				t.recordSite(in.Addr, siteRet, 1)
 			}
 		}
-		e.App(*in)
 	}
-	return e.Out
 }
 
 func (t *Tool) recordSite(addr uint64, kind siteKind, targets float64) {

@@ -1,0 +1,224 @@
+// Package jmsan implements JMSan, the hybrid binary uninitialized-memory
+// sanitizer of the Janitizer tool family: a per-byte definedness shadow
+// (writes define, fresh heap objects and new stack frames are undefined),
+// inline shadow checks on loads whose values reach a definedness sink,
+// sink-reachability filtering from the static def-use taint lattice
+// (internal/analysis), proof-carrying elision of definitely-initialized
+// loads, and a conservative dynamic-only fallback for code never seen
+// statically.
+package jmsan
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// Definedness shadow encoding: application address a maps to shadow byte
+// isa.DefShadowAddr(a) = LayoutDefShadowBase + a/8, bit a%8. A SET bit means
+// the byte is UNDEFINED, so the zero-filled initial shadow marks everything
+// (globals, the startup stack) defined and only explicit events — heap
+// allocation, frame setup — introduce undefined bytes.
+
+// Violation is one detected read of undefined memory.
+type Violation struct {
+	// PC is the application address of the instrumented load.
+	PC uint64
+	// Addr is the application address of the first undefined byte read.
+	Addr uint64
+	// Width is the access width in bytes.
+	Width int
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("jmsan: uninitialized-read: %d-byte load touches undefined byte %#x (pc %#x)",
+		v.Width, v.Addr, v.PC)
+}
+
+// maxStoredViolations bounds the report log; further violations are counted
+// but not stored.
+const maxStoredViolations = 16384
+
+// Report accumulates violations during a run.
+type Report struct {
+	Violations []Violation
+	// Total counts every report, including ones dropped past the storage
+	// cap.
+	Total uint64
+	// HaltOnError aborts execution at the first violation when set.
+	HaltOnError bool
+}
+
+// DistinctSites returns the number of distinct reporting PCs.
+func (r *Report) DistinctSites() int {
+	seen := map[uint64]bool{}
+	for _, v := range r.Violations {
+		seen[v.PC] = true
+	}
+	return len(seen)
+}
+
+// DefShadow provides definedness-bitmap operations over a machine's shadow
+// region — exported so baseline tools modelling validity bits (the
+// Valgrind-style checker's definedness mode) share one encoding with JMSan.
+type DefShadow struct{ M *vm.Machine }
+
+// MarkUndefined sets the undefined bit for every byte of [addr, addr+n).
+func (s DefShadow) MarkUndefined(addr, n uint64) { s.set(addr, n, true) }
+
+// MarkDefined clears the undefined bit for every byte of [addr, addr+n).
+func (s DefShadow) MarkDefined(addr, n uint64) { s.set(addr, n, false) }
+
+func (s DefShadow) set(addr, n uint64, undef bool) {
+	// The bitmap covers application addresses below the tool regions.
+	if addr >= isa.LayoutShadowBase {
+		return
+	}
+	end := addr + n
+	if end > isa.LayoutShadowBase || end < addr {
+		end = isa.LayoutShadowBase
+	}
+	for a := addr; a < end; {
+		sa := isa.DefShadowAddr(a)
+		if a%8 == 0 && a+8 <= end {
+			if undef {
+				s.M.Mem.WriteB(sa, 0xff)
+			} else {
+				s.M.Mem.WriteB(sa, 0)
+			}
+			a += 8
+			continue
+		}
+		b, _ := s.M.Mem.ReadB(sa)
+		if undef {
+			b |= 1 << (a % 8)
+		} else {
+			b &^= 1 << (a % 8)
+		}
+		s.M.Mem.WriteB(sa, b)
+		a++
+	}
+}
+
+// FirstUndefined returns the address of the first undefined byte in
+// [addr, addr+n) and whether one exists. This is the precise per-byte test
+// the trap handlers run: the inline fast path only inspects whole shadow
+// bytes (an 8- or 64-byte window), so a trap is a *suspicion*, confirmed or
+// dismissed here.
+func (s DefShadow) FirstUndefined(addr, n uint64) (uint64, bool) {
+	if addr >= isa.LayoutShadowBase {
+		return 0, false
+	}
+	for a := addr; a < addr+n; a++ {
+		b, _ := s.M.Mem.ReadB(isa.DefShadowAddr(a))
+		if b&(1<<(a%8)) != 0 {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+// Trap code packing, mirroring JASan's scheme: the code encodes the event,
+// the register holding the application address, and the access width, so one
+// handler family serves every liveness-dependent scratch choice. The bases
+// live above JASan's report family (100..131) and JCFI's transfer families
+// (200..231).
+const (
+	trapDefStoreBase = 400 // store executed: mark [addr, addr+width) defined
+	trapDefLoadBase  = 440 // suspicious load: precise check + report
+	trapFrameUndef   = 480 // frame allocated: mark new frame undefined
+	trapWidthBit     = 16
+)
+
+// DefStoreTrapCode returns the trap code for "mark [addr, addr+width)
+// defined; address in reg" — exported for baseline tools sharing the
+// definedness runtime.
+func DefStoreTrapCode(reg isa.Register, width int) int64 {
+	return defStoreTrapCode(reg, width)
+}
+
+// DefLoadTrapCode returns the trap code for "precise definedness check of
+// [addr, addr+width); address in reg" — exported for baseline tools sharing
+// the definedness runtime (their clean-call model traps unconditionally and
+// lets the handler decide).
+func DefLoadTrapCode(reg isa.Register, width int) int64 {
+	return defLoadTrapCode(reg, width)
+}
+
+func defStoreTrapCode(reg isa.Register, width int) int64 {
+	code := trapDefStoreBase + int64(reg)
+	if width == 8 {
+		code += trapWidthBit
+	}
+	return code
+}
+
+func defLoadTrapCode(reg isa.Register, width int) int64 {
+	code := trapDefLoadBase + int64(reg)
+	if width == 8 {
+		code += trapWidthBit
+	}
+	return code
+}
+
+// InstallRuntimeOn wires the JMSan definedness runtime into a machine
+// outside the Janitizer core — used by baseline tools sharing the shadow
+// encoding. frameSizes maps FRAME_UNDEF trap PCs to frame sizes; it may be
+// nil for tools that never emit the frame trap.
+func InstallRuntimeOn(m *vm.Machine, rep *Report, frameSizes map[uint64]uint64) {
+	installRuntime(m, rep, frameSizes)
+}
+
+// installRuntime registers the definedness trap families and interposes the
+// heap allocator so fresh objects start undefined. The allocator wrapper
+// chains whatever TrapMalloc handler is already installed (the VM default
+// allocator, or JASan's redzone allocator in combined configurations).
+func installRuntime(m *vm.Machine, rep *Report, frameSizes map[uint64]uint64) {
+	shadow := DefShadow{M: m}
+	for reg := isa.Register(0); reg < isa.NumRegs; reg++ {
+		for _, width := range []int{1, 8} {
+			reg, width := reg, width
+			m.HandleTrap(defStoreTrapCode(reg, width), func(m *vm.Machine) error {
+				shadow.MarkDefined(m.Regs[reg], uint64(width))
+				return nil
+			})
+			m.HandleTrap(defLoadTrapCode(reg, width), func(m *vm.Machine) error {
+				addr := m.Regs[reg]
+				bad, undef := shadow.FirstUndefined(addr, uint64(width))
+				if !undef {
+					return nil // window false positive: neighbour bytes only
+				}
+				v := Violation{PC: m.TrapPC, Addr: bad, Width: width}
+				rep.Total++
+				if len(rep.Violations) < maxStoredViolations {
+					rep.Violations = append(rep.Violations, v)
+				}
+				if rep.HaltOnError {
+					return &vm.Fault{PC: m.TrapPC, Addr: bad,
+						Kind: "jmsan: uninitialized-read"}
+				}
+				return nil
+			})
+		}
+	}
+	m.HandleTrap(trapFrameUndef, func(m *vm.Machine) error {
+		if size := frameSizes[m.TrapPC]; size > 0 {
+			shadow.MarkUndefined(m.Regs[isa.SP], size)
+		}
+		return nil
+	})
+	prevMalloc := m.TrapHandlerFor(isa.TrapMalloc)
+	m.HandleTrap(isa.TrapMalloc, func(m *vm.Machine) error {
+		size := m.Regs[isa.R1]
+		if prevMalloc != nil {
+			if err := prevMalloc(m); err != nil {
+				return err
+			}
+		}
+		if base := m.Regs[isa.R0]; base != 0 && size > 0 {
+			shadow.MarkUndefined(base, size)
+		}
+		return nil
+	})
+}

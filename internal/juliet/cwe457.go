@@ -1,0 +1,142 @@
+package juliet
+
+import "fmt"
+
+// CWE-457 (use of uninitialized variable) suite for the JMSan evaluation:
+// 96 good/bad pairs across four shapes. Every bad variant reads memory that
+// was never written and feeds the value to a definedness sink (a comparison
+// or the function's return value) while it is still in a register — JMSan,
+// like memcheck, does not propagate validity bits through memory, so a
+// garbage value that is merely copied is legal and only acting on it is
+// reported.
+//
+//   - 24 whole-object heap reads: a malloc'd buffer read before any write;
+//   - 24 partial-initialisation heap reads: only the first half of the
+//     buffer is written, the bad variant reads from the second half;
+//   - 24 stack-buffer reads: a local array read before the initialising
+//     loop has run (the loop bound is 0 in the bad variant), relying on
+//     the FRAME_UNDEF marking of fresh frames;
+//   - 24 branch-dependent scalar initialisations: a local assigned on one
+//     branch only, read on the path that skips the assignment.
+//
+// Good variants initialise everything they read and must produce zero
+// reports (0 FP); bad variants must all be detected (0 FN).
+
+// CWE-457 case kinds.
+const (
+	UninitHeap        Kind = "uninit-heap"
+	UninitHeapPartial Kind = "uninit-heap-partial"
+	UninitStack       Kind = "uninit-stack"
+	UninitScalar      Kind = "uninit-scalar"
+)
+
+// Suite457 generates the 96 CWE-457 test cases.
+func Suite457() []Case {
+	var out []Case
+	for size := 8; size < 32; size++ {
+		out = append(out, uninitHeap(size))
+	}
+	for size := 8; size < 32; size++ {
+		out = append(out, uninitHeapPartial(size))
+	}
+	for size := 8; size < 32; size++ {
+		out = append(out, uninitStack(size))
+	}
+	for k := 0; k < 24; k++ {
+		out = append(out, uninitScalar(k))
+	}
+	return out
+}
+
+// uninitHeap: a fresh heap buffer read before any write, the value feeding
+// a comparison. The good variant initialises the whole buffer first.
+func uninitHeap(size int) Case {
+	bad := fmt.Sprintf(`
+int main() {
+    char *buf = malloc(%d);
+    int s = 0;
+    if (buf[%d] > 9) { s = 1; }
+    free(buf);
+    return s;
+}`, size, size-1)
+	good := fmt.Sprintf(`
+int main() {
+    char *buf = malloc(%d);
+    for (int i = 0; i < %d; i++) { buf[i] = i & 127; }
+    int s = 0;
+    if (buf[%d] > 9) { s = 1; }
+    free(buf);
+    return s;
+}`, size, size, size-1)
+	return Case{
+		ID: fmt.Sprintf("CWE457_heap_s%02d", size), Kind: UninitHeap,
+		Good: good, Bad: bad, ActualViolations: 1,
+	}
+}
+
+// uninitHeapPartial: only the first half of the buffer is written; the bad
+// variant reads past the initialised prefix, the good variant inside it.
+func uninitHeapPartial(size int) Case {
+	tmpl := `
+int main() {
+    char *buf = malloc(%d);
+    for (int i = 0; i < %d; i++) { buf[i] = i & 127; }
+    int s = 0;
+    if (buf[%d] > 2) { s = 1; }
+    free(buf);
+    return s;
+}`
+	half := size / 2
+	return Case{
+		ID:               fmt.Sprintf("CWE457_heap_partial_s%02d", size),
+		Kind:             UninitHeapPartial,
+		Good:             fmt.Sprintf(tmpl, size, half, half-1),
+		Bad:              fmt.Sprintf(tmpl, size, half, size-1),
+		ActualViolations: 1,
+	}
+}
+
+// uninitStack: a local array summed after an initialising loop whose bound
+// is the function's parameter — the full size in the good variant, zero in
+// the bad one, so the bad read hits bytes the FRAME_UNDEF event marked
+// undefined at function entry.
+func uninitStack(size int) Case {
+	tmpl := `
+int victim(int n) {
+    char buf[%d];
+    for (int i = 0; i < n; i++) { buf[i] = (i * 3) & 127; }
+    int s = 0;
+    if (buf[%d] > 3) { s = 1; }
+    return s;
+}
+int main() { return victim(%d); }`
+	mk := func(n int) string { return fmt.Sprintf(tmpl, size, size-1, n) }
+	return Case{
+		ID: fmt.Sprintf("CWE457_stack_s%02d", size), Kind: UninitStack,
+		Good: mk(size), Bad: mk(0), ActualViolations: 1,
+	}
+}
+
+// uninitScalar: a scalar local assigned on one branch only; the bad variant
+// takes the path that skips the assignment and returns the never-written
+// slot. The good variant assigns on both branches.
+func uninitScalar(k int) Case {
+	bad := fmt.Sprintf(`
+int pick(int a) {
+    int x;
+    if (a > %d) { x = 7; }
+    return x;
+}
+int main() { return pick(%d); }`, k+1, k)
+	good := fmt.Sprintf(`
+int pick(int a) {
+    int x;
+    if (a > %d) { x = 7; } else { x = 3; }
+    return x;
+}
+int main() { return pick(%d); }`, k+1, k)
+	return Case{
+		ID: fmt.Sprintf("CWE457_scalar_k%02d", k), Kind: UninitScalar,
+		Good: good, Bad: bad, ActualViolations: 1,
+	}
+}

@@ -1,0 +1,61 @@
+package juliet
+
+import "testing"
+
+func TestSuite457Composition(t *testing.T) {
+	cases := Suite457()
+	if len(cases) != 96 {
+		t.Fatalf("suite size = %d, want 96", len(cases))
+	}
+	counts := map[Kind]int{}
+	ids := map[string]bool{}
+	for _, c := range cases {
+		counts[c.Kind]++
+		if ids[c.ID] {
+			t.Errorf("duplicate case id %s", c.ID)
+		}
+		ids[c.ID] = true
+		if c.Good == "" || c.Bad == "" || c.ActualViolations < 1 {
+			t.Errorf("%s: malformed case", c.ID)
+		}
+	}
+	for _, k := range []Kind{UninitHeap, UninitHeapPartial, UninitStack, UninitScalar} {
+		if counts[k] != 24 {
+			t.Errorf("%s count = %d, want 24", k, counts[k])
+		}
+	}
+}
+
+// TestCWE457JMSan runs the full CWE-457 suite under JMSan: every bad
+// variant must be detected (0 FN) and every good variant must be clean
+// (0 FP) — the acceptance bar for the uninitialized-memory sanitizer.
+func TestCWE457JMSan(t *testing.T) {
+	tally, err := Evaluate(JMSan, Suite457())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tally.FN != 0 {
+		t.Errorf("false negatives on bad variants: %v (by kind: %v)",
+			tally, tally.FNByKind)
+	}
+	if tally.FP != 0 {
+		t.Errorf("false positives on good variants: %v", tally)
+	}
+}
+
+// TestCWE457JMSanElide re-runs the suite with VSA def-init check elision:
+// elision removes only proven-initialized checks, so the confusion matrix
+// must be identical to the unelided run.
+func TestCWE457JMSanElide(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite rerun skipped in -short mode")
+	}
+	tally, err := Evaluate(JMSanElide, Suite457())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tally.FN != 0 || tally.FP != 0 {
+		t.Errorf("elision changed detection: %v (FN by kind: %v)",
+			tally, tally.FNByKind)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cc"
 	"repro/internal/core"
 	"repro/internal/jasan"
+	"repro/internal/jmsan"
 	"repro/internal/libj"
 	"repro/internal/loader"
 	"repro/internal/rules"
@@ -17,10 +18,12 @@ import (
 // Detector selects the evaluated sanitizer.
 type Detector string
 
-// Detectors evaluated in Fig. 10.
+// Detectors evaluated in Fig. 10 (CWE-122) and the CWE-457 extension.
 const (
-	JASan    Detector = "jasan"
-	Valgrind Detector = "valgrind"
+	JASan      Detector = "jasan"
+	Valgrind   Detector = "valgrind"
+	JMSan      Detector = "jmsan"
+	JMSanElide Detector = "jmsan-elide" // jmsan + VSA def-init check elision
 )
 
 // Tally is the Fig. 10 confusion matrix: good variants contribute FP/TN,
@@ -37,25 +40,29 @@ func (t *Tally) String() string {
 	return fmt.Sprintf("TP=%d FN=%d TN=%d FP=%d", t.TP, t.FN, t.TN, t.FP)
 }
 
-// libjRules caches the static-analysis result for libj per detector config
-// (a shared library is analyzed once and its rule file reused — §3.3.1).
+// libjRules caches the static-analysis result for libj per detector (a
+// shared library is analyzed once and its rule file reused — §3.3.1).
 var (
-	libjOnce  sync.Once
-	libjFile  *rules.File
-	libjError error
+	libjMu    sync.Mutex
+	libjFiles = map[Detector]*rules.File{}
 )
 
-func jasanLibjRules() (*rules.File, error) {
-	libjOnce.Do(func() {
-		lj, err := libj.Module()
-		if err != nil {
-			libjError = err
-			return
-		}
-		tool := jasan.New(jasan.Config{UseLiveness: true, UseSCEV: true})
-		libjFile, libjError = core.AnalyzeModule(lj, tool)
-	})
-	return libjFile, libjError
+func libjRules(det Detector, mkTool func() core.Tool) (*rules.File, error) {
+	libjMu.Lock()
+	defer libjMu.Unlock()
+	if f, ok := libjFiles[det]; ok {
+		return f, nil
+	}
+	lj, err := libj.Module()
+	if err != nil {
+		return nil, err
+	}
+	f, err := core.AnalyzeModule(lj, mkTool())
+	if err != nil {
+		return nil, err
+	}
+	libjFiles[det] = f
+	return f, nil
 }
 
 // runCase executes one variant under the detector and returns the number of
@@ -79,7 +86,24 @@ func runCase(det Detector, src string) (uint64, error) {
 		jt := jasan.New(jasan.Config{UseLiveness: true, UseSCEV: true})
 		tool = jt
 		reports = func() uint64 { return jt.Report.Total }
-		ljf, err := jasanLibjRules()
+		ljf, err := libjRules(det, func() core.Tool {
+			return jasan.New(jasan.Config{UseLiveness: true, UseSCEV: true})
+		})
+		if err != nil {
+			return 0, err
+		}
+		mf, err := core.AnalyzeModule(main, jt)
+		if err != nil {
+			return 0, err
+		}
+		files[libj.Name] = ljf
+		files[main.Name] = mf
+	case JMSan, JMSanElide:
+		cfg := jmsan.Config{UseLiveness: true, Elide: det == JMSanElide}
+		jt := jmsan.New(cfg)
+		tool = jt
+		reports = func() uint64 { return jt.Report.Total }
+		ljf, err := libjRules(det, func() core.Tool { return jmsan.New(cfg) })
 		if err != nil {
 			return 0, err
 		}

@@ -22,6 +22,10 @@
 //
 // Totals: TP/FN = 528/96 for JASan and 504/120 for Valgrind, with 624
 // clean good variants each (0 false positives) — exactly Fig. 10.
+//
+// The CWE-457 (use of uninitialized variable) companion suite evaluated
+// under JMSan lives in cwe457.go: 96 good/bad pairs where JMSan must score
+// 0 FN on the bad variants and 0 FP on the good ones.
 package juliet
 
 import "fmt"

@@ -87,6 +87,20 @@ const (
 	// claim.
 	CFIJumpNarrow ID = 13
 
+	// MemDefStore: this store defines memory — clear the definedness
+	// shadow's undefined bits for the written bytes (JMSan, §4 tool 3).
+	// Data1 packs liveness as MemAccess; Data2 the access class.
+	MemDefStore ID = 14
+	// MemDefLoad: this load's value reaches a definedness sink (branch
+	// condition, address computation or service-call argument) — check the
+	// definedness shadow of the loaded bytes and report when any is
+	// undefined. Data1 packs liveness; Data2 the access class.
+	MemDefLoad ID = 15
+	// FrameUndef: this instruction is a prologue `sub sp, N` — mark the
+	// fresh frame bytes below the canary slot undefined at entry. Data1
+	// packs liveness after the SP adjustment; Data2 holds the frame size N.
+	FrameUndef ID = 16
+
 	// CustomBase is the first rule ID reserved for out-of-tree tools:
 	// handler interpretation is tool-private, so custom techniques can
 	// define their own IDs at CustomBase and above without colliding with
@@ -114,6 +128,16 @@ const (
 	// access in the same block (vsa dedup claim); Data3 holds the anchor's
 	// instruction address.
 	SafeDedup uint64 = 5
+	// SafeDefInit: a JMSan load proven definitely-initialized — a store to
+	// the same proven address dominates it on the straight-line path (vsa
+	// def-init claim); Data3 holds the dominating store's instruction
+	// address.
+	SafeDefInit uint64 = 6
+	// SafeNoSink: a JMSan load whose value the definedness taint lattice
+	// shows reaching no sink in its block or live-out set — using an
+	// undefined value here cannot influence control flow, addresses or
+	// service calls. Not VSA-backed (no replayable claim), like SafeCanary.
+	SafeNoSink uint64 = 7
 )
 
 // CFITarget kind bits (Data1 of CFITarget rules).
@@ -136,6 +160,9 @@ var idNames = map[ID]string{
 	HoistedCheck:   "HOISTED_CHECK",
 	CFITarget:      "CFI_TARGET",
 	CFIJumpNarrow:  "CFI_JUMP_NARROW",
+	MemDefStore:    "MEM_DEF_STORE",
+	MemDefLoad:     "MEM_DEF_LOAD",
+	FrameUndef:     "FRAME_UNDEF",
 }
 
 func (id ID) String() string {

@@ -6,7 +6,7 @@ import (
 	"sort"
 )
 
-// ClaimKind names the five provable elision/narrowing facts.
+// ClaimKind names the provable elision/narrowing facts.
 type ClaimKind string
 
 // Claim kinds.
@@ -22,6 +22,11 @@ const (
 	// same block, with no base/index redefinition or canary activity in
 	// between.
 	ClaimDedup ClaimKind = "dedup"
+	// ClaimDefInit: the load at Instr reads (at equal or smaller width)
+	// memory fully written by the dominating store at Prev in the same
+	// block, with no base/index redefinition in between — so the bytes are
+	// definitely initialized and JMSan's definedness check can be elided.
+	ClaimDefInit ClaimKind = "def-init"
 	// ClaimJumpSingle: the indirect jump at Instr always transfers to
 	// Targets[0].
 	ClaimJumpSingle ClaimKind = "jump-single"

@@ -146,6 +146,8 @@ func (v *verifier) checkClaim(fp *FuncProof, c *Claim) {
 		v.checkGlobal(fp, c, blk, in)
 	case ClaimDedup:
 		v.checkDedup(fp, c, blk, in)
+	case ClaimDefInit:
+		v.checkDefInit(fp, c, blk, in)
 	case ClaimJumpSingle, ClaimJumpTable:
 		v.checkJump(fp, c, blk, in)
 	default:
@@ -288,6 +290,65 @@ func (v *verifier) checkDedup(fp *FuncProof, c *Claim, blk *cfg.BasicBlock, in *
 	}
 }
 
+// checkDefInit re-checks the definitely-initialized side conditions
+// syntactically, like checkDedup: the dominating store at Prev must write
+// the same syntactic address at equal or larger width, with no address-
+// register redefinition and no frame(-undefining) SP adjustment in between.
+// Traps (allocator calls, which could re-undefine heap memory) cannot occur
+// in between because basic blocks end at OpTrap; stores in between only add
+// definedness, never remove it.
+func (v *verifier) checkDefInit(fp *FuncProof, c *Claim, blk *cfg.BasicBlock, in *isa.Instr) {
+	if !in.IsMemAccess() || in.IsStore() {
+		v.failc(fp.Entry, c, "not a load")
+		return
+	}
+	prevIdx, curIdx := -1, -1
+	for i := range blk.Instrs {
+		switch blk.Instrs[i].Addr {
+		case c.Prev:
+			prevIdx = i
+		case c.Instr:
+			curIdx = i
+		}
+	}
+	if prevIdx < 0 || curIdx < 0 || prevIdx >= curIdx {
+		v.failc(fp.Entry, c, "anchor %#x does not precede load in block", c.Prev)
+		return
+	}
+	anchor := &blk.Instrs[prevIdx]
+	if !anchor.IsStore() {
+		v.failc(fp.Entry, c, "anchor is not a store")
+		return
+	}
+	aScale, aOK := addrShape(anchor)
+	dScale, dOK := addrShape(in)
+	if !aOK || !dOK || aScale != dScale ||
+		anchor.Rb != in.Rb || anchor.Disp != in.Disp ||
+		(aScale != scalePlain && anchor.Ri != in.Ri) {
+		v.failc(fp.Entry, c, "anchor addressing form differs")
+		return
+	}
+	if in.AccessWidth() > anchor.AccessWidth() {
+		v.failc(fp.Entry, c, "load wider than anchor store")
+		return
+	}
+	for i := prevIdx + 1; i < curIdx; i++ {
+		between := &blk.Instrs[i]
+		for _, d := range between.RegDefs(nil) {
+			if d == in.Rb || (dScale != scalePlain && d == in.Ri) {
+				v.failc(fp.Entry, c, "address register redefined at %#x",
+					between.Addr)
+				return
+			}
+		}
+		if between.Op == isa.OpSubRI && between.Rd == isa.SP {
+			v.failc(fp.Entry, c, "frame adjustment at %#x between store and load",
+				between.Addr)
+			return
+		}
+	}
+}
+
 // Address-shape classes for dedup matching.
 const (
 	scalePlain = iota // [rb+disp]
@@ -362,15 +423,18 @@ func (v *verifier) crossCheck(ps *ProofSet, rf *rules.File, claimAt map[uint64]*
 		return
 	}
 	memAccessAt := map[uint64]bool{}
+	memDefStoreAt := map[uint64]bool{}
 	ruleAt := map[uint64]*rules.Rule{}
 	for i := range rf.Rules {
 		r := &rf.Rules[i]
 		switch r.ID {
 		case rules.MemAccess:
 			memAccessAt[r.Instr] = true
+		case rules.MemDefStore:
+			memDefStoreAt[r.Instr] = true
 		case rules.MemAccessSafe:
 			switch r.Data[1] {
-			case rules.SafeFrame, rules.SafeGlobal, rules.SafeDedup:
+			case rules.SafeFrame, rules.SafeGlobal, rules.SafeDedup, rules.SafeDefInit:
 				ruleAt[r.Instr] = r
 				c := claimAt[r.Instr]
 				if c == nil {
@@ -378,17 +442,19 @@ func (v *verifier) crossCheck(ps *ProofSet, rf *rules.File, claimAt map[uint64]*
 					continue
 				}
 				want := map[uint64]ClaimKind{
-					rules.SafeFrame:  ClaimFrame,
-					rules.SafeGlobal: ClaimGlobal,
-					rules.SafeDedup:  ClaimDedup,
+					rules.SafeFrame:   ClaimFrame,
+					rules.SafeGlobal:  ClaimGlobal,
+					rules.SafeDedup:   ClaimDedup,
+					rules.SafeDefInit: ClaimDefInit,
 				}[r.Data[1]]
 				if c.Kind != want {
 					v.fail(0, r.Instr, "rule provenance %d vs claim kind %s",
 						r.Data[1], c.Kind)
 				}
-				if r.Data[1] == rules.SafeDedup && c.Prev != r.Data[2] {
-					v.fail(0, r.Instr, "dedup anchor mismatch: rule %#x, claim %#x",
-						r.Data[2], c.Prev)
+				if (r.Data[1] == rules.SafeDedup || r.Data[1] == rules.SafeDefInit) &&
+					c.Prev != r.Data[2] {
+					v.fail(0, r.Instr, "%s anchor mismatch: rule %#x, claim %#x",
+						c.Kind, r.Data[2], c.Prev)
 				}
 			}
 		case rules.CFIJumpNarrow:
@@ -420,6 +486,9 @@ func (v *verifier) crossCheck(ps *ProofSet, rf *rules.File, claimAt map[uint64]*
 		}
 		if c.Kind == ClaimDedup && !memAccessAt[c.Prev] {
 			v.fail(0, instr, "dedup anchor %#x carries no MEM_ACCESS rule", c.Prev)
+		}
+		if c.Kind == ClaimDefInit && !memDefStoreAt[c.Prev] {
+			v.fail(0, instr, "def-init anchor %#x carries no MEM_DEF_STORE rule", c.Prev)
 		}
 	}
 }

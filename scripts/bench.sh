@@ -1,0 +1,15 @@
+#!/bin/sh
+# Benchmark gate: runs the Janitizer scheme sweep (jasan/jcfi/jmsan hybrid
+# and elision variants plus the combined jasan+jmsan+jcfi configuration)
+# over the full workload suite through jexp, and writes one deterministic
+# per-scheme geomean-slowdown row each to BENCH_JANITIZER.json.
+#
+# Usage: scripts/bench.sh [output.json]
+# BENCH_PARALLEL overrides the jexp worker count (default 8).
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_JANITIZER.json}"
+
+go run ./cmd/jexp -parallel "${BENCH_PARALLEL:-8}" bench > "$out"
+echo "bench: wrote $out"

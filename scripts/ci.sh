@@ -22,6 +22,13 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== focused vet + race: anserve, fuzz =="
+# The analysis service and the fuzzing campaigns are the two heaviest
+# concurrent subsystems; vet and race-check them explicitly (count=1 defeats
+# the test cache so the race detector actually re-executes them).
+go vet ./internal/anserve ./internal/fuzz
+go test -race -count=1 ./internal/anserve ./internal/fuzz
+
 echo "== jfuzz smoke =="
 # Deterministic fuzz smoke: fixed seed, both domains, fails the build on any
 # oracle violation, crash or missed planted bug.
@@ -31,5 +38,15 @@ echo "== jvet proof replay =="
 # Independent replay of every VSA elision/narrowing proof over the checked-in
 # example modules; exits nonzero on any claim that cannot be re-proven.
 go run ./cmd/jvet
+
+echo "== bench =="
+# Full-suite scheme sweep writing BENCH_JANITIZER.json. Skipped in short
+# mode (CI_SHORT=1), mirroring `go test -short`: the sweep runs every
+# tracked scheme over all 28 workloads.
+if [ "${CI_SHORT:-0}" = "1" ]; then
+	echo "bench: skipped (CI_SHORT=1)"
+else
+	scripts/bench.sh
+fi
 
 echo "CI OK"
