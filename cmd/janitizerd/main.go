@@ -7,6 +7,7 @@
 // Usage:
 //
 //	janitizerd [-addr host:port] [-cachedir dir] [-mem MiB] [-workers n]
+//	           [-debug] [-quiet]
 //
 // API:
 //
@@ -16,6 +17,17 @@
 //	    response body: the module's marshaled .jrw rule file
 //	GET /stats
 //	    cache and scheduler counters as JSON
+//	GET /metrics
+//	    the same counters plus per-tool analysis-latency histograms in
+//	    Prometheus text format
+//	GET /trace
+//	    recent pipeline span trees as JSON
+//	GET /debug/pprof/   (only with -debug)
+//	    Go runtime profiling endpoints
+//
+// Every request is logged as one structured line (slog) carrying a
+// process-unique request id, echoed to clients via X-Request-Id; -quiet
+// disables request logging.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes and
 // in-flight analyses drain before the process exits.
@@ -25,12 +37,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"repro/internal/anserve"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -38,7 +52,13 @@ func main() {
 	cachedir := flag.String("cachedir", "", "on-disk rule-cache directory (empty: memory only)")
 	mem := flag.Int64("mem", 0, "memory cache budget in MiB (0: default, -1: disabled)")
 	workers := flag.Int("workers", 0, "concurrent analyses (0: GOMAXPROCS)")
+	debug := flag.Bool("debug", false, "serve net/http/pprof under /debug/pprof/")
+	quiet := flag.Bool("quiet", false, "disable structured request logging")
 	flag.Parse()
+
+	// The daemon traces its pipeline: spans recorded during request
+	// handling surface on GET /trace.
+	telemetry.SetTracer(telemetry.NewTracer(256))
 
 	memBytes := *mem
 	if memBytes > 0 {
@@ -49,7 +69,14 @@ func main() {
 		MemCacheBytes: memBytes,
 		CacheDir:      *cachedir,
 	})
-	d := anserve.NewDaemon(svc, anserve.DefaultTools())
+	var logger *slog.Logger
+	if !*quiet {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	d := anserve.NewDaemonOpts(svc, anserve.DefaultTools(), anserve.DaemonOptions{
+		Logger: logger,
+		Debug:  *debug,
+	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	jexp [-scale n] [-parallel n] [-stats] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|elision|jmsan|all [benchmarks...]
+//	jexp [-scale n] [-parallel n] [-stats] [-o file] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|elision|jmsan|bench|profile|all [benchmarks...]
 //
 // Workloads within a figure run concurrently (-parallel, default
 // GOMAXPROCS); static analysis is served by a shared content-addressed rule
@@ -25,11 +25,13 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"concurrent workload runs per figure")
 	stats := flag.Bool("stats", false, "print analysis-service cache statistics at exit")
+	out := flag.String("o", "BENCH_PROFILE.json",
+		"profile: output path for the JSON artifact (\"-\" for stdout)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr,
-			"usage: jexp [-scale n] [-parallel n] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|elision|jmsan|all [benchmarks...]")
+			"usage: jexp [-scale n] [-parallel n] [-o file] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|elision|jmsan|bench|profile|all [benchmarks...]")
 		os.Exit(2)
 	}
 	experiments.Parallel = *parallel
@@ -95,6 +97,26 @@ func main() {
 				return err
 			}
 			fmt.Print(experiments.FormatBenchJSON(rows))
+			return nil
+		case "profile":
+			// Per-rule overhead attribution: decomposes each scheme's
+			// geomean slowdown into shadow-update/check/elided/dispatch
+			// components (sums verified exact per cell). Writes the
+			// BENCH_PROFILE.json artifact and prints the summary table.
+			rep, err := experiments.Profile(*scale, benches...)
+			if err != nil {
+				return err
+			}
+			j := experiments.FormatProfileJSON(rep)
+			if *out == "-" {
+				fmt.Print(j)
+			} else {
+				if err := os.WriteFile(*out, []byte(j), 0o644); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "jexp: wrote %s\n", *out)
+			}
+			fmt.Println(experiments.FormatProfile(rep))
 			return nil
 		default:
 			fmt.Fprintf(os.Stderr, "jexp: unknown experiment %q\n", name)

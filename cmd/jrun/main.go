@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	jrun [-tool jasan|jmsan|jcfi|none] [-libdir dir] [-rules dir] [-stats] main.jef
+//	jrun [-tool jasan|jmsan|jcfi|none] [-libdir dir] [-rules dir] [-stats]
+//	     [-profile] main.jef
+//
+// -profile attributes every executed cycle to its originating rule kind and
+// prints the per-cost-center table to stderr after the run; attribution
+// observes the cycle model without changing it, so measurements with and
+// without -profile are identical.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"repro/internal/jmsan"
 	"repro/internal/loader"
 	"repro/internal/rules"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
 
@@ -32,6 +39,7 @@ func main() {
 	libdir := flag.String("libdir", "", "directory of dependency .jef modules")
 	rulesDir := flag.String("rules", "", "directory of .jrw rewrite-rule files")
 	stats := flag.Bool("stats", false, "print cycle and coverage statistics")
+	profile := flag.Bool("profile", false, "print per-rule cost-center attribution")
 	maxInstrs := flag.Uint64("max-instrs", 1_000_000_000, "instruction budget")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -115,6 +123,11 @@ func main() {
 	m.MaxInstrs = *maxInstrs
 	proc := loader.NewProcess(m, reg)
 	rt := core.NewRuntime(m, proc, tool, files)
+	var prof *telemetry.Profile
+	if *profile {
+		prof = &telemetry.Profile{}
+		rt.DBM.Prof = prof
+	}
 	lm, err := proc.LoadProgram(main)
 	if err != nil {
 		fatal(err)
@@ -122,6 +135,9 @@ func main() {
 	runErr := rt.Run(lm.RuntimeAddr(main.Entry))
 	for _, line := range report() {
 		fmt.Fprintln(os.Stderr, line)
+	}
+	if prof != nil {
+		fmt.Fprint(os.Stderr, prof.Table())
 	}
 	if *stats {
 		fmt.Fprintf(os.Stderr, "cycles=%d instrs=%d blocks: static=%d noop=%d fallback=%d (%.1f%% dynamic)\n",

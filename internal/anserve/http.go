@@ -5,9 +5,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -15,6 +18,7 @@ import (
 	"repro/internal/jcfi"
 	"repro/internal/jmsan"
 	"repro/internal/obj"
+	"repro/internal/telemetry"
 )
 
 // MaxModuleBytes bounds the request body accepted by POST /analyze.
@@ -111,6 +115,20 @@ func (s *Service) Handler(tools map[string]ToolFactory) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(s.Stats())
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /trace", func(w http.ResponseWriter, r *http.Request) {
+		recent := telemetry.T().Recent()
+		if recent == nil {
+			recent = []*telemetry.SpanRecord{} // tracer disabled: empty array, not null
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(recent)
+	})
 	return mux
 }
 
@@ -122,12 +140,86 @@ type Daemon struct {
 	srv     *http.Server
 }
 
+// DaemonOptions configures optional daemon behaviour.
+type DaemonOptions struct {
+	// Logger enables structured request logging (one slog line per request
+	// with a process-unique request id). Nil disables logging.
+	Logger *slog.Logger
+	// Debug mounts net/http/pprof under /debug/pprof/.
+	Debug bool
+}
+
 // NewDaemon returns a daemon serving svc through the given tool registry.
 func NewDaemon(svc *Service, tools map[string]ToolFactory) *Daemon {
+	return NewDaemonOpts(svc, tools, DaemonOptions{})
+}
+
+// NewDaemonOpts returns a daemon with request logging and debug endpoints
+// configured.
+func NewDaemonOpts(svc *Service, tools map[string]ToolFactory, opts DaemonOptions) *Daemon {
+	h := svc.Handler(tools)
+	if opts.Debug {
+		mux := http.NewServeMux()
+		mux.Handle("/", h)
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		h = mux
+	}
+	if opts.Logger != nil {
+		h = requestLog(opts.Logger, h)
+	}
 	return &Daemon{
 		Service: svc,
-		srv:     &http.Server{Handler: svc.Handler(tools)},
+		srv:     &http.Server{Handler: h},
 	}
+}
+
+// reqSeq numbers requests across all daemons in the process.
+var reqSeq atomic.Uint64
+
+// statusRecorder captures the response status for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// requestLog wraps next with structured per-request logging: each request
+// gets a process-unique id, echoed back in the X-Request-Id header and
+// attached to the log line alongside method, path, status, size and
+// duration.
+func requestLog(logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("req-%d", reqSeq.Add(1))
+		w.Header().Set("X-Request-Id", id)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		logger.Info("request",
+			"id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"query", r.URL.RawQuery,
+			"status", rec.status,
+			"bytes", rec.bytes,
+			"duration", time.Since(start),
+			"remote", r.RemoteAddr,
+		)
+	})
 }
 
 // Serve accepts connections on ln until Shutdown. Returns nil after a

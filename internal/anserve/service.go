@@ -5,11 +5,13 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/loader"
 	"repro/internal/obj"
 	"repro/internal/rules"
+	"repro/internal/telemetry"
 )
 
 // DefaultMemCacheBytes is the default memory-tier budget.
@@ -64,6 +66,12 @@ type Service struct {
 	inflight map[string]*inflightCall
 
 	submitted, coalesced, cacheHits, analyzed, errors atomic.Uint64
+
+	// reg exposes the same counters as Stats in Prometheus text format
+	// (GET /metrics); latency records per-tool analysis durations.
+	reg     *telemetry.Registry
+	latency map[string]*telemetry.Histogram
+	latMu   sync.Mutex
 }
 
 type inflightCall struct {
@@ -82,12 +90,99 @@ func New(cfg Config) *Service {
 	if memBytes == 0 {
 		memBytes = DefaultMemCacheBytes
 	}
-	return &Service{
+	s := &Service{
 		cache:    NewCache(memBytes, cfg.CacheDir),
 		sem:      make(chan struct{}, workers),
 		inflight: map[string]*inflightCall{},
+		reg:      telemetry.NewRegistry(),
+		latency:  map[string]*telemetry.Histogram{},
 	}
+	s.registerMetrics()
+	return s
 }
+
+// registerMetrics exposes the scheduler and cache counters on the service's
+// registry. The functions read the same atomics (and the same Cache.Stats
+// snapshot) that back GET /stats, so the two views can never diverge.
+func (s *Service) registerMetrics() {
+	r := s.reg
+	cf := func(name, help string, fn func() uint64) {
+		r.CounterFunc(name, help, fn)
+	}
+	cf("janitizer_analyze_submitted_total",
+		"Analysis requests submitted to the scheduler.",
+		s.submitted.Load)
+	cf("janitizer_analyze_coalesced_total",
+		"Requests that joined an identical in-flight analysis.",
+		s.coalesced.Load)
+	cf("janitizer_analyze_cache_hits_total",
+		"Requests served from either rule-cache tier.",
+		s.cacheHits.Load)
+	cf("janitizer_analyzed_total",
+		"Static-analysis executions.",
+		s.analyzed.Load)
+	cf("janitizer_analyze_errors_total",
+		"Failed analyses.",
+		s.errors.Load)
+	r.GaugeFunc("janitizer_analysis_workers",
+		"Worker-pool bound.",
+		func() float64 { return float64(cap(s.sem)) })
+
+	cacheCounter := func(name, help, tier string, fn func(CacheStats) uint64) {
+		r.CounterFunc(name, help,
+			func() uint64 { return fn(s.cache.Stats()) }, "tier", tier)
+	}
+	cacheCounter("janitizer_rule_cache_hits_total",
+		"Rule-cache hits by tier.", "mem",
+		func(c CacheStats) uint64 { return c.MemHits })
+	cacheCounter("janitizer_rule_cache_hits_total",
+		"Rule-cache hits by tier.", "disk",
+		func(c CacheStats) uint64 { return c.DiskHits })
+	cacheCounter("janitizer_rule_cache_misses_total",
+		"Rule-cache misses by tier.", "mem",
+		func(c CacheStats) uint64 { return c.MemMisses })
+	cacheCounter("janitizer_rule_cache_misses_total",
+		"Rule-cache misses by tier.", "disk",
+		func(c CacheStats) uint64 { return c.DiskMisses })
+	cacheCounter("janitizer_rule_cache_evictions_total",
+		"Memory-tier evictions.", "mem",
+		func(c CacheStats) uint64 { return c.Evictions })
+	cacheCounter("janitizer_rule_cache_puts_total",
+		"Rule-cache insertions.", "mem",
+		func(c CacheStats) uint64 { return c.Puts })
+	r.GaugeFunc("janitizer_rule_cache_mem_bytes",
+		"Memory-tier resident bytes.",
+		func() float64 { return float64(s.cache.Stats().MemBytes) })
+	r.GaugeFunc("janitizer_rule_cache_mem_entries",
+		"Memory-tier resident entries.",
+		func() float64 { return float64(s.cache.Stats().MemEntries) })
+}
+
+// latencyBuckets spans sub-millisecond module analyses to multi-second
+// whole-program closures.
+var latencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// toolLatency returns (lazily creating) the per-tool analysis-duration
+// histogram.
+func (s *Service) toolLatency(tool string) *telemetry.Histogram {
+	s.latMu.Lock()
+	defer s.latMu.Unlock()
+	h, ok := s.latency[tool]
+	if !ok {
+		h = s.reg.Histogram("janitizer_analysis_duration_seconds",
+			"Wall-clock duration of cache-miss static analyses by tool.",
+			latencyBuckets, "tool", tool)
+		s.latency[tool] = h
+	}
+	return h
+}
+
+// Registry returns the service's metrics registry — the source for
+// GET /metrics; callers may register additional instruments on it.
+func (s *Service) Registry() *telemetry.Registry { return s.reg }
 
 // Workers returns the worker-pool bound.
 func (s *Service) Workers() int { return cap(s.sem) }
@@ -145,13 +240,21 @@ func (s *Service) AnalyzeModule(mod *obj.Module, tool core.Tool) (*rules.File, e
 }
 
 func (s *Service) analyze(key string, mod *obj.Module, tool core.Tool) ([]byte, error) {
+	sp := telemetry.StartSpan("anserve.analyze",
+		telemetry.String("module", mod.Name),
+		telemetry.String("tool", tool.Name()))
+	defer sp.End()
 	if b, ok := s.cache.Get(key); ok {
 		s.cacheHits.Add(1)
+		sp.SetAttr(telemetry.String("cache", "hit"))
 		return b, nil
 	}
+	sp.SetAttr(telemetry.String("cache", "miss"))
 	s.sem <- struct{}{} // worker-pool slot
 	defer func() { <-s.sem }()
+	start := time.Now()
 	f, err := core.AnalyzeModule(mod, tool)
+	s.toolLatency(tool.Name()).Observe(time.Since(start).Seconds())
 	if err != nil {
 		s.errors.Add(1)
 		return nil, fmt.Errorf("anserve: %w", err)

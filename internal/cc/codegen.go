@@ -10,6 +10,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/libj"
 	"repro/internal/obj"
+	"repro/internal/telemetry"
 )
 
 // Options configures a compilation, mirroring the gcc flags the paper's
@@ -52,11 +53,15 @@ func (e *CompileError) Error() string { return fmt.Sprintf("cc: line %d: %s", e.
 
 // Compile compiles MiniC source into a JEF module.
 func Compile(src string, opts Options) (*obj.Module, error) {
+	sp := telemetry.StartSpan("cc.compile", telemetry.String("module", opts.Module))
+	defer sp.End()
 	text, err := GenAsm(src, opts)
 	if err != nil {
 		return nil, err
 	}
+	asp := sp.Child("cc.assemble")
 	mod, err := asm.Assemble(text)
+	asp.End()
 	if err != nil {
 		return nil, fmt.Errorf("cc: internal: emitted bad assembly: %w", err)
 	}
@@ -65,7 +70,11 @@ func Compile(src string, opts Options) (*obj.Module, error) {
 
 // GenAsm compiles MiniC source to JVA assembly text.
 func GenAsm(src string, opts Options) (string, error) {
+	sp := telemetry.StartSpan("cc.genasm", telemetry.String("module", opts.Module))
+	defer sp.End()
+	psp := sp.Child("cc.parse")
 	prog, err := Parse(src)
+	psp.End()
 	if err != nil {
 		return "", err
 	}
@@ -92,7 +101,10 @@ func GenAsm(src string, opts Options) (string, error) {
 		}
 		g.ipa = clob
 	}
-	return g.run()
+	gsp := sp.Child("cc.codegen")
+	text, err := g.run()
+	gsp.End()
+	return text, err
 }
 
 // tempRegs is the expression-evaluation register stack.

@@ -20,6 +20,7 @@ import (
 	"repro/internal/loader"
 	"repro/internal/obj"
 	"repro/internal/rules"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 	"repro/internal/vsa"
 )
@@ -85,20 +86,38 @@ func AnalyzeModule(mod *obj.Module, tool Tool) (*rules.File, error) {
 // made. The artifact is finalized (sorted, per-function metadata attached)
 // and may be empty when the tool's configuration proves nothing.
 func AnalyzeModuleProofs(mod *obj.Module, tool Tool) (*rules.File, *vsa.ProofSet, error) {
+	sp := telemetry.StartSpan("core.analyze",
+		telemetry.String("module", mod.Name),
+		telemetry.String("tool", toolKey(tool)))
+	defer sp.End()
+
+	csp := sp.Child("cfg.build")
 	g, err := cfg.Build(mod)
+	csp.End()
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: %s: %w", mod.Name, err)
 	}
 	sc := &StaticContext{
-		Module:   mod,
-		Graph:    g,
-		Live:     analysis.ComputeLiveness(g, true),
-		Loops:    analysis.AnalyzeLoops(g),
-		Canaries: analysis.FindCanaries(g),
-		DefUse:   analysis.ComputeDefUse(g),
-		Proofs:   vsa.NewProofSet(mod.Name, toolKey(tool)),
+		Module: mod,
+		Graph:  g,
+		Proofs: vsa.NewProofSet(mod.Name, toolKey(tool)),
 	}
+	for _, pass := range []struct {
+		name string
+		run  func()
+	}{
+		{"analysis.liveness", func() { sc.Live = analysis.ComputeLiveness(g, true) }},
+		{"analysis.loops", func() { sc.Loops = analysis.AnalyzeLoops(g) }},
+		{"analysis.canaries", func() { sc.Canaries = analysis.FindCanaries(g) }},
+		{"analysis.defuse", func() { sc.DefUse = analysis.ComputeDefUse(g) }},
+	} {
+		psp := sp.Child(pass.name)
+		pass.run()
+		psp.End()
+	}
+	ssp := sp.Child("tool.static-pass")
 	rs := tool.StaticPass(sc)
+	ssp.End()
 
 	// No-op marking: every recovered block without a rule gets an
 	// explicit NoOp rule, so the dynamic modifier can distinguish
@@ -114,6 +133,7 @@ func AnalyzeModuleProofs(mod *obj.Module, tool Tool) (*rules.File, *vsa.ProofSet
 	}
 	canonicalize(rs)
 	sc.Proofs.Finalize(sc.vsaRes)
+	sp.SetAttr(telemetry.Int("rules", int64(len(rs))))
 	return &rules.File{Module: mod.Name, Rules: rs}, sc.Proofs, nil
 }
 

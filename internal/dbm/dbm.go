@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/loader"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
 
@@ -33,6 +34,12 @@ type CInstr struct {
 	// Meta marks inserted instrumentation (for statistics; meta
 	// instructions still execute on the machine and cost cycles).
 	Meta bool
+	// CC is the cost center the instruction's cycles are charged to when
+	// a telemetry profile is attached. Only meaningful on meta
+	// instructions (application instructions always charge CCApp); the
+	// zero value is telemetry.CCOther, so untagged meta code stays
+	// accounted for.
+	CC telemetry.CostCenter
 }
 
 // App wraps an application instruction for the code cache.
@@ -116,6 +123,14 @@ type Stats struct {
 	IndirectDispatch  uint64
 	AppInstrsInCache  uint64
 	MetaInstrsInCache uint64
+	// CacheHits counts dispatches served from the code cache; every
+	// dispatch is either a hit or a build, so
+	// BlockExecs == CacheHits + BlocksBuilt.
+	CacheHits uint64
+	// Flushes counts Flush/FlushRange calls; FlushedBlocks counts the
+	// blocks they evicted.
+	Flushes       uint64
+	FlushedBlocks uint64
 }
 
 // DBM drives execution of a process under dynamic modification.
@@ -125,6 +140,13 @@ type DBM struct {
 	Client Client
 	Costs  Costs
 	Stats  Stats
+
+	// Prof, when set, receives per-cost-center cycle/instruction
+	// attribution for every executed code-cache instruction and every
+	// explicit DBT charge. Nil (the default) disables attribution without
+	// changing the run's measured cycles — the profiler only observes the
+	// machine's counters, it never adds to them.
+	Prof *telemetry.Profile
 
 	// TraceHook, when set, observes every block dispatch (diagnostics).
 	TraceHook func(pc uint64)
@@ -152,21 +174,55 @@ func (d *DBM) CacheSize() int { return len(d.cache) }
 func (d *DBM) Blocks() map[uint64]*Block { return d.cache }
 
 // Flush empties the code cache (used when application code is overwritten).
-func (d *DBM) Flush() { d.cache = map[uint64]*Block{} }
+func (d *DBM) Flush() {
+	d.Stats.Flushes++
+	d.Stats.FlushedBlocks += uint64(len(d.cache))
+	d.cache = map[uint64]*Block{}
+}
 
 // FlushRange evicts cached blocks whose start address lies in [lo, hi) —
 // used when a module is unloaded.
 func (d *DBM) FlushRange(lo, hi uint64) {
+	d.Stats.Flushes++
 	for addr := range d.cache {
 		if addr >= lo && addr < hi {
 			delete(d.cache, addr)
+			d.Stats.FlushedBlocks++
 		}
 	}
+}
+
+// RegisterMetrics exposes the code-cache counters on a telemetry registry
+// under the given label pairs. Series read d.Stats at exposition time, so
+// scrape only from the run's goroutine or after the run finishes.
+func (d *DBM) RegisterMetrics(r *telemetry.Registry, labels ...string) {
+	r.CounterFunc("janitizer_dbm_cache_hits_total",
+		"Block dispatches served from the code cache.",
+		func() uint64 { return d.Stats.CacheHits }, labels...)
+	r.CounterFunc("janitizer_dbm_cache_misses_total",
+		"Block dispatches that required a translation (cache misses).",
+		func() uint64 { return d.Stats.BlocksBuilt }, labels...)
+	r.CounterFunc("janitizer_dbm_cache_flushes_total",
+		"Code-cache flush operations.",
+		func() uint64 { return d.Stats.Flushes }, labels...)
+	r.CounterFunc("janitizer_dbm_cache_flushed_blocks_total",
+		"Blocks evicted by cache flushes.",
+		func() uint64 { return d.Stats.FlushedBlocks }, labels...)
+	r.CounterFunc("janitizer_dbm_block_execs_total",
+		"Cached block executions.",
+		func() uint64 { return d.Stats.BlockExecs }, labels...)
+	r.CounterFunc("janitizer_dbm_indirect_dispatch_total",
+		"Indirect-branch dispatches (hash-lookup cost charged).",
+		func() uint64 { return d.Stats.IndirectDispatch }, labels...)
+	r.GaugeFunc("janitizer_dbm_cache_blocks",
+		"Blocks currently in the code cache.",
+		func() float64 { return float64(len(d.cache)) }, labels...)
 }
 
 // Run executes the program from entry under dynamic modification until it
 // halts or faults.
 func (d *DBM) Run(entry uint64) error {
+	sp := telemetry.StartSpan("dbm.run", telemetry.Uint("entry", entry))
 	m := d.M
 	m.PC = entry
 	for !m.Halted {
@@ -178,14 +234,31 @@ func (d *DBM) Run(entry uint64) error {
 			var err error
 			blk, err = d.build(m.PC)
 			if err != nil {
+				d.endRunSpan(sp)
 				return err
 			}
+		} else {
+			d.Stats.CacheHits++
 		}
 		if err := d.exec(blk); err != nil {
+			d.endRunSpan(sp)
 			return err
 		}
 	}
+	d.endRunSpan(sp)
 	return nil
+}
+
+// endRunSpan finishes the dbm.run span with the run's final counters.
+func (d *DBM) endRunSpan(sp *telemetry.Span) {
+	sp.SetAttr(
+		telemetry.Uint("blocks_built", d.Stats.BlocksBuilt),
+		telemetry.Uint("block_execs", d.Stats.BlockExecs),
+		telemetry.Uint("cache_hits", d.Stats.CacheHits),
+		telemetry.Uint("cycles", d.M.Cycles),
+		telemetry.Uint("instrs", d.M.Instrs),
+	)
+	sp.End()
 }
 
 // build decodes, rewrites and caches the block starting at addr (Fig. 4
@@ -215,7 +288,9 @@ func (d *DBM) build(addr uint64) (*Block, error) {
 			d.Stats.MetaInstrsInCache++
 		}
 	}
-	d.M.AddCycles(d.Costs.BlockBuild + d.Costs.PerInstr*uint64(len(appInstrs)))
+	buildCost := d.Costs.BlockBuild + d.Costs.PerInstr*uint64(len(appInstrs))
+	d.M.AddCycles(buildCost)
+	d.Prof.Charge(telemetry.CCDispatch, buildCost, 0)
 	return blk, nil
 }
 
@@ -248,14 +323,32 @@ func (d *DBM) decodeBlock(addr uint64) ([]isa.Instr, error) {
 // exec runs one cached block. Meta branches with JumpTo continue inside the
 // block; application control transfers leave it with m.PC holding the next
 // application address. Indirect terminators charge the dispatch cost.
+//
+// With a profile attached, each instruction's cycle delta — including any
+// cycles its trap handler adds — is charged to its cost center, and the
+// dispatch cost to CCDispatch, so the profile's total matches the
+// machine's cycle counter exactly.
 func (d *DBM) exec(b *Block) error {
 	m := d.M
 	b.Execs++
 	d.Stats.BlockExecs++
+	prof := d.Prof
 	i := 0
 	for i < len(b.Code) {
 		c := &b.Code[i]
-		taken, err := m.Exec(&c.In)
+		var taken bool
+		var err error
+		if prof != nil {
+			before := m.Cycles
+			taken, err = m.Exec(&c.In)
+			cc := telemetry.CCApp
+			if c.Meta {
+				cc = c.CC
+			}
+			prof.Charge(cc, m.Cycles-before, 1)
+		} else {
+			taken, err = m.Exec(&c.In)
+		}
 		if err != nil {
 			return err
 		}
@@ -271,6 +364,7 @@ func (d *DBM) exec(b *Block) error {
 			if c.In.IsIndirectCTI() {
 				d.Stats.IndirectDispatch++
 				m.AddCycles(d.Costs.IndirectDispatch)
+				prof.Charge(telemetry.CCDispatch, d.Costs.IndirectDispatch, 0)
 			}
 			return nil
 		}

@@ -1,6 +1,9 @@
 package dbm
 
-import "repro/internal/isa"
+import (
+	"repro/internal/isa"
+	"repro/internal/telemetry"
+)
 
 // Emitter builds code-cache instruction sequences for inline
 // instrumentation: application instructions interleaved with meta
@@ -10,7 +13,17 @@ import "repro/internal/isa"
 // lets liveness information shrink save/restore costs.
 type Emitter struct {
 	Out []CInstr
+
+	// cc is stamped on every emitted meta instruction (telemetry cost
+	// attribution). The zero value is telemetry.CCOther, so tools that
+	// never call SetCC keep their meta cycles accounted as "other".
+	cc telemetry.CostCenter
 }
+
+// SetCC selects the cost center stamped on subsequently emitted meta
+// instructions — tools call it when switching between rule kinds so the
+// profiler can attribute each meta sequence to the rule that emitted it.
+func (e *Emitter) SetCC(cc telemetry.CostCenter) { e.cc = cc }
 
 // MkInstr constructs a meta instruction with its encoded size filled in and
 // optional field initialisation.
@@ -22,8 +35,10 @@ func MkInstr(op isa.Op, f func(*isa.Instr)) isa.Instr {
 	return in
 }
 
-// Meta appends one meta instruction.
-func (e *Emitter) Meta(in isa.Instr) { e.Out = append(e.Out, Meta(in)) }
+// Meta appends one meta instruction, stamped with the current cost center.
+func (e *Emitter) Meta(in isa.Instr) {
+	e.Out = append(e.Out, CInstr{In: in, JumpTo: -1, Meta: true, CC: e.cc})
+}
 
 // App appends one application instruction.
 func (e *Emitter) App(in isa.Instr) { e.Out = append(e.Out, App(in)) }
@@ -38,7 +53,7 @@ func (e *Emitter) Placeholder() int {
 // PatchJump fills a placeholder with a conditional/unconditional meta branch
 // targeting the current position.
 func (e *Emitter) PatchJump(idx int, op isa.Op) {
-	e.Out[idx] = MetaJump(MkInstr(op, nil), len(e.Out))
+	e.Out[idx] = CInstr{In: MkInstr(op, nil), JumpTo: len(e.Out), Meta: true, CC: e.cc}
 }
 
 // JumpHere returns the current position for use as a backward MetaJump
@@ -48,7 +63,7 @@ func (e *Emitter) JumpHere() int { return len(e.Out) }
 // MetaJumpTo appends a meta branch to an already-known index (backward
 // jumps, e.g. probe loops).
 func (e *Emitter) MetaJumpTo(op isa.Op, target int) {
-	e.Out = append(e.Out, MetaJump(MkInstr(op, nil), target))
+	e.Out = append(e.Out, CInstr{In: MkInstr(op, nil), JumpTo: target, Meta: true, CC: e.cc})
 }
 
 // ScratchCandidates is the preference order for scratch registers that are

@@ -19,6 +19,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/rules"
 	"repro/internal/spec"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
 
@@ -123,6 +124,21 @@ func runNative(w *spec.Workload, pic bool) (*Result, error) {
 // Result.Failed set means the scheme cannot handle the benchmark — the
 // figures' x marks; hard errors are real harness problems.
 func Run(w *spec.Workload, scheme Scheme) (*Result, error) {
+	return runWith(w, scheme, nil)
+}
+
+// RunProfiled is Run with per-rule cost attribution: the DBM charges every
+// executed instruction's cycles to its cost center, decomposing the
+// measured overhead into shadow-update/check/elided/dispatch components.
+// The profile never perturbs the cycle model — Run and RunProfiled measure
+// identical Cycles/Instrs.
+func RunProfiled(w *spec.Workload, scheme Scheme) (*Result, *telemetry.Profile, error) {
+	prof := &telemetry.Profile{}
+	res, err := runWith(w, scheme, prof)
+	return res, prof, err
+}
+
+func runWith(w *spec.Workload, scheme Scheme, prof *telemetry.Profile) (*Result, error) {
 	native, err := runNative(w, scheme == Retrowrite)
 	if err != nil {
 		return nil, fmt.Errorf("%s: native: %w", w.Name, err)
@@ -250,6 +266,9 @@ func Run(w *spec.Workload, scheme Scheme) (*Result, error) {
 	m.MaxInstrs = maxInstrs
 	proc := loader.NewProcess(m, reg)
 	rt := core.NewRuntime(m, proc, tool, files)
+	if prof != nil {
+		rt.DBM.Prof = prof
+	}
 	lm, err := proc.LoadProgram(main)
 	if err != nil {
 		return nil, err

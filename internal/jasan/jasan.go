@@ -9,6 +9,7 @@ import (
 	"repro/internal/dbm"
 	"repro/internal/isa"
 	"repro/internal/rules"
+	"repro/internal/telemetry"
 	"repro/internal/vsa"
 )
 
@@ -478,17 +479,24 @@ func (p *staticPlan) Before(e *dbm.Emitter, idx int) {
 	for _, r := range orderRules(p.rules[in.Addr]) {
 		switch r.ID {
 		case rules.UnpoisonCanary:
+			e.SetCC(telemetry.CCCanary)
 			p.t.emitCanary(e, r, 0)
 		case rules.PoisonCanary:
+			e.SetCC(telemetry.CCCanary)
 			p.t.emitCanary(e, r, ShadowCanary)
 		case rules.HoistedCheck:
+			e.SetCC(telemetry.CCMemCheck)
 			p.t.emitHoisted(e, r, in.Addr)
 		case rules.MemAccess:
+			e.SetCC(telemetry.CCMemCheck)
 			p.t.emitAccessCheck(e, in, r.Data[0])
 		case rules.MemAccessSafe:
-			// statically proven safe: nothing to do
+			// statically proven safe: nothing to do (any residue would
+			// charge CCElided)
+			e.SetCC(telemetry.CCElided)
 		}
 	}
+	e.SetCC(telemetry.CCOther)
 }
 
 func (p *staticPlan) After(*dbm.Emitter, int) {}
@@ -660,10 +668,12 @@ type dynPlan struct {
 func (p *dynPlan) Before(e *dbm.Emitter, i int) {
 	in := &p.bc.AppInstrs[i]
 	if slot, ok := p.unpoisonAt[i]; ok {
+		e.SetCC(telemetry.CCCanary)
 		s, save := dbm.PickScratch(2, nil, dbm.ExcludeOperands(in))
 		EmitSetShadow(e, slot.base, slot.disp, 0, s[0], s[1], save, true)
 	}
 	if in.IsMemAccess() && !p.skipCheck[i] {
+		e.SetCC(telemetry.CCMemCheck)
 		scratch, toSave := dbm.PickScratch(2, nil, dbm.ExcludeOperands(in))
 		EmitCheck(e, &CheckPlan{
 			AppAddr: in.Addr, Width: in.AccessWidth(),
@@ -672,15 +682,18 @@ func (p *dynPlan) Before(e *dbm.Emitter, i int) {
 			Addr: AddrOf(in),
 		})
 	}
+	e.SetCC(telemetry.CCOther)
 }
 
 func (p *dynPlan) After(e *dbm.Emitter, i int) {
 	if slot, ok := p.poisonAfter[i]; ok {
+		e.SetCC(telemetry.CCCanary)
 		s, save := dbm.PickScratch(2, nil, func(r isa.Register) bool {
 			return r == slot.base || r == isa.SP || r == isa.FP
 		})
 		EmitSetShadow(e, slot.base, slot.disp, ShadowCanary,
 			s[0], s[1], save, true)
+		e.SetCC(telemetry.CCOther)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"repro/internal/loader"
 	"repro/internal/obj"
 	"repro/internal/rules"
+	"repro/internal/telemetry"
 	"repro/internal/vsa"
 )
 
@@ -404,6 +405,12 @@ func (p *staticPlan) Before(e *dbm.Emitter, idx int) {
 	for _, r := range p.rules[in.Addr] {
 		saveFlags, dead := t.unpackLive(r.Data[0])
 		switch r.ID {
+		case rules.ShadowPush:
+			e.SetCC(telemetry.CCShadowStack)
+		default:
+			e.SetCC(telemetry.CCCFICheck)
+		}
+		switch r.ID {
 		case rules.CFICall:
 			if t.cfg.Forward {
 				EmitCallCheck(e, in, CallTableBase(id), saveFlags, dead)
@@ -458,6 +465,7 @@ func (p *staticPlan) Before(e *dbm.Emitter, idx int) {
 			}
 		}
 	}
+	e.SetCC(telemetry.CCOther)
 }
 
 // narrowTargets materialises the run-time target set of a CFI_JUMP_NARROW
@@ -535,18 +543,22 @@ func (p *dynPlan) Before(e *dbm.Emitter, idx int) {
 		switch in.Op {
 		case isa.OpCallI:
 			if t.cfg.Forward {
+				e.SetCC(telemetry.CCCFICheck)
 				EmitCallCheck(e, in, CallTableBase(id), true, nil)
 				t.recordSite(in.Addr, siteCall, float64(len(t.st.Ensure(id).Call)))
 			}
 			if t.cfg.Backward {
+				e.SetCC(telemetry.CCShadowStack)
 				EmitShadowPush(e, in, true, nil)
 			}
 		case isa.OpCall:
 			if t.cfg.Backward {
+				e.SetCC(telemetry.CCShadowStack)
 				EmitShadowPush(e, in, true, nil)
 			}
 		case isa.OpJmpI:
 			if t.cfg.Forward {
+				e.SetCC(telemetry.CCCFICheck)
 				// Block-local PLT-dispatch idiom (ldpc rX; jmpi rX):
 				// an inter-module call in disguise, checked against
 				// the call table.
@@ -572,13 +584,16 @@ func (p *dynPlan) Before(e *dbm.Emitter, idx int) {
 		case isa.OpRet:
 			resolver := idx > 0 && ins[idx-1].Op == isa.OpPush
 			if resolver && t.cfg.Forward {
+				e.SetCC(telemetry.CCCFICheck)
 				EmitResolverRetCheck(e, in, CallTableBase(id), true, nil)
 				t.recordSite(in.Addr, siteCall, float64(len(t.st.Ensure(id).Call)))
 			} else if !resolver && t.cfg.Backward {
+				e.SetCC(telemetry.CCCFICheck)
 				EmitRetCheck(e, in, true, nil)
 				t.recordSite(in.Addr, siteRet, 1)
 			}
 		}
+		e.SetCC(telemetry.CCOther)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dbm"
 	"repro/internal/isa"
 	"repro/internal/rules"
+	"repro/internal/telemetry"
 	"repro/internal/vsa"
 )
 
@@ -333,19 +334,24 @@ func (p *staticPlan) Before(e *dbm.Emitter, idx int) {
 	for _, r := range p.rules[in.Addr] {
 		switch r.ID {
 		case rules.MemDefStore:
+			e.SetCC(telemetry.CCDefStore)
 			p.t.emitStoreUpdate(e, in, r.Data[0], true)
 		case rules.MemDefLoad:
+			e.SetCC(telemetry.CCDefCheck)
 			p.t.emitLoadCheck(e, in, r.Data[0], true)
 		}
 	}
+	e.SetCC(telemetry.CCOther)
 }
 
 func (p *staticPlan) After(e *dbm.Emitter, idx int) {
 	in := &p.bc.AppInstrs[idx]
 	for _, r := range p.rules[in.Addr] {
 		if r.ID == rules.FrameUndef {
+			e.SetCC(telemetry.CCDefStore)
 			p.t.frameSizes[in.Addr] = r.Data[1]
 			EmitFrameUndef(e, in.Addr)
+			e.SetCC(telemetry.CCOther)
 		}
 	}
 }
@@ -387,17 +393,22 @@ func (p *dynPlan) Before(e *dbm.Emitter, idx int) {
 		return
 	}
 	if in.IsStore() {
+		e.SetCC(telemetry.CCDefStore)
 		p.t.emitStoreUpdate(e, in, 0, false)
 	} else {
+		e.SetCC(telemetry.CCDefCheck)
 		p.t.emitLoadCheck(e, in, 0, false)
 	}
+	e.SetCC(telemetry.CCOther)
 }
 
 func (p *dynPlan) After(e *dbm.Emitter, idx int) {
 	if size, ok := p.frameAt[idx]; ok {
+		e.SetCC(telemetry.CCDefStore)
 		appAddr := p.bc.AppInstrs[idx].Addr
 		p.t.frameSizes[appAddr] = size
 		EmitFrameUndef(e, appAddr)
+		e.SetCC(telemetry.CCOther)
 	}
 }
 

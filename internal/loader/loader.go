@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/obj"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
 
@@ -156,6 +157,10 @@ func (p *Process) load(mod *obj.Module, dlopened bool) (*LoadedModule, error) {
 	if lm, ok := p.byName[mod.Name]; ok {
 		return lm, nil // already loaded; refcounting not modelled
 	}
+	sp := telemetry.StartSpan("loader.load",
+		telemetry.String("module", mod.Name),
+		telemetry.String("dlopened", fmt.Sprintf("%t", dlopened)))
+	defer sp.End()
 	if err := mod.Validate(); err != nil {
 		return nil, fmt.Errorf("loader: %w", err)
 	}

@@ -76,8 +76,6 @@ type Row struct {
 // column per row label, appending a geomean line. Missing values print as
 // "x" (a scheme that failed to run that benchmark, as in the figures).
 func FormatTable(title string, benchmarks []string, rows []Row, unit string) string {
-	var b fmt.Stringer
-	_ = b
 	out := title + "\n"
 	out += fmt.Sprintf("%-14s", "benchmark")
 	for _, r := range rows {

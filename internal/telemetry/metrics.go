@@ -1,0 +1,316 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metric families and renders them in Prometheus text
+// exposition format. Families and series render in sorted order, so two
+// scrapes differ only in sample values. Registration is idempotent: asking
+// for an already-registered (name, labels) series returns the existing
+// collector, so hot paths may re-register instead of caching handles.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+type family struct {
+	name, help, typ string
+	series          map[string]collector // key: rendered label pairs, "" for none
+}
+
+// collector renders one series' sample lines.
+type collector interface {
+	sample(w io.Writer, name, labels string)
+}
+
+// Counter is a monotonically increasing metric. Nil counters ignore writes.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) sample(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %d\n", name, labels, c.Value())
+}
+
+// counterFunc exposes an externally maintained monotonic counter.
+type counterFunc func() uint64
+
+func (f counterFunc) sample(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %d\n", name, labels, f())
+}
+
+// Gauge is a settable metric. Nil gauges ignore writes.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds d.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func (g *Gauge) sample(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(g.Value()))
+}
+
+// gaugeFunc exposes an externally maintained value.
+type gaugeFunc func() float64
+
+func (f gaugeFunc) sample(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(f()))
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations; the +Inf
+// bucket is implicit. Nil histograms ignore observations.
+type Histogram struct {
+	uppers []float64
+	counts []atomic.Uint64 // len(uppers)+1; last is +Inf
+	sum    atomic.Uint64   // float64 bits
+	count  atomic.Uint64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.uppers, v) // first upper bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+func (h *Histogram) sample(w io.Writer, name, labels string) {
+	cum := uint64(0)
+	for i, ub := range h.uppers {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name,
+			mergeLabels(labels, `le="`+formatFloat(ub)+`"`), cum)
+	}
+	cum += h.counts[len(h.uppers)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabels(labels, `le="+Inf"`), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels,
+		formatFloat(math.Float64frombits(h.sum.Load())))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.count.Load())
+}
+
+// Counter returns (registering on first use) the counter series for name
+// and the alternating key/value label pairs. Nil registries return nil.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	c, _ := r.register(name, help, "counter", labels, func() collector {
+		return &Counter{}
+	}).(*Counter)
+	return c
+}
+
+// CounterFunc registers a counter series backed by fn — how existing
+// atomics (anserve scheduler/cache counters) surface without restructuring.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...string) {
+	r.register(name, help, "counter", labels, func() collector {
+		return counterFunc(fn)
+	})
+}
+
+// Gauge returns (registering on first use) the gauge series for name.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	g, _ := r.register(name, help, "gauge", labels, func() collector {
+		return &Gauge{}
+	}).(*Gauge)
+	return g
+}
+
+// GaugeFunc registers a gauge series backed by fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	r.register(name, help, "gauge", labels, func() collector {
+		return gaugeFunc(fn)
+	})
+}
+
+// Histogram returns (registering on first use) the histogram series for
+// name with the given ascending upper bucket bounds (+Inf implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	h, _ := r.register(name, help, "histogram", labels, func() collector {
+		uppers := append([]float64(nil), buckets...)
+		if !sort.Float64sAreSorted(uppers) {
+			panic("telemetry: histogram buckets must be ascending: " + name)
+		}
+		return &Histogram{uppers: uppers, counts: make([]atomic.Uint64, len(uppers)+1)}
+	}).(*Histogram)
+	return h
+}
+
+func (r *Registry) register(name, help, typ string, labels []string, mk func() collector) collector {
+	if r == nil {
+		return nil
+	}
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, series: map[string]collector{}}
+		r.fams[name] = f
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: %s registered as %s, requested as %s",
+			name, f.typ, typ))
+	}
+	if c, ok := f.series[key]; ok {
+		return c
+	}
+	c := mk()
+	f.series[key] = c
+	return c
+}
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format, families and series in sorted order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := r.fams[n]
+		fmt.Fprintf(w, "# HELP %s %s\n", n, escapeHelp(f.help))
+		fmt.Fprintf(w, "# TYPE %s %s\n", n, f.typ)
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			f.series[k].sample(w, n, k)
+		}
+	}
+}
+
+// renderLabels turns alternating key/value pairs into a canonical
+// `{k="v",...}` block (keys sorted), or "" for no labels.
+func renderLabels(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic("telemetry: odd label key/value list")
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		kvs = append(kvs, kv{pairs[i], pairs[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// mergeLabels splices an extra pair (already rendered, e.g. `le="0.5"`)
+// into a rendered label block.
+func mergeLabels(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jz_requests_total", "Requests served.")
+	c.Inc()
+	c.Add(2)
+	r.Counter("jz_requests_total", "Requests served.").Inc() // idempotent registration
+	if got := c.Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	g := r.Gauge("jz_workers", "Worker pool size.")
+	g.Set(7)
+	g.Add(1.5)
+	r.CounterFunc("jz_cache_hits_total", "Cache hits by tier.",
+		func() uint64 { return 11 }, "tier", "mem")
+	r.CounterFunc("jz_cache_hits_total", "Cache hits by tier.",
+		func() uint64 { return 3 }, "tier", "disk")
+	h := r.Histogram("jz_latency_seconds", "Latency.", []float64{0.01, 0.1, 1}, "tool", "jasan")
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE jz_requests_total counter\n",
+		"jz_requests_total 4\n",
+		"# TYPE jz_workers gauge\n",
+		"jz_workers 8.5\n",
+		`jz_cache_hits_total{tier="disk"} 3` + "\n",
+		`jz_cache_hits_total{tier="mem"} 11` + "\n",
+		`jz_latency_seconds_bucket{tool="jasan",le="0.01"} 1` + "\n",
+		`jz_latency_seconds_bucket{tool="jasan",le="0.1"} 2` + "\n",
+		`jz_latency_seconds_bucket{tool="jasan",le="1"} 2` + "\n",
+		`jz_latency_seconds_bucket{tool="jasan",le="+Inf"} 3` + "\n",
+		`jz_latency_seconds_count{tool="jasan"} 3` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	samples, err := ParsePrometheus([]byte(out))
+	if err != nil {
+		t.Fatalf("own exposition unparseable: %v\n%s", err, out)
+	}
+	var sum float64
+	for _, s := range samples {
+		if s.Name == "jz_latency_seconds_sum" && s.Label("tool") == "jasan" {
+			sum = s.Value
+		}
+	}
+	if math.Abs(sum-5.055) > 1e-9 {
+		t.Errorf("histogram sum = %v, want 5.055", sum)
+	}
+}
+
+func TestExpositionDeterministicModuloValues(t *testing.T) {
+	build := func(order []string) string {
+		r := NewRegistry()
+		for _, tier := range order {
+			r.CounterFunc("jz_hits_total", "h", func() uint64 { return 1 }, "tier", tier)
+		}
+		r.Gauge("jz_a", "a").Set(1)
+		r.Counter("jz_z", "z").Inc()
+		var b strings.Builder
+		r.WritePrometheus(&b)
+		return b.String()
+	}
+	if a, b := build([]string{"mem", "disk"}), build([]string{"disk", "mem"}); a != b {
+		t.Fatalf("exposition depends on registration order:\n%s\n--- vs ---\n%s", a, b)
+	}
+}
+
+func TestNilRegistryAndCollectors(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter holds a value")
+	}
+	g := r.Gauge("g", "g")
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge holds a value")
+	}
+	h := r.Histogram("h", "h", []float64{1})
+	h.Observe(0.5)
+	if h.Count() != 0 {
+		t.Fatal("nil histogram holds observations")
+	}
+	r.CounterFunc("cf", "cf", func() uint64 { return 1 })
+	r.GaugeFunc("gf", "gf", func() float64 { return 1 })
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if b.Len() != 0 {
+		t.Fatalf("nil registry exposition = %q", b.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jz_esc_total", "with \"quotes\" and\nnewline",
+		"path", `a\b"c`+"\n").Inc()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	samples, err := ParsePrometheus([]byte(b.String()))
+	if err != nil {
+		t.Fatalf("escaped exposition unparseable: %v\n%s", err, b.String())
+	}
+	if len(samples) != 1 || samples[0].Label("path") != `a\b"c`+"\n" {
+		t.Fatalf("label round-trip = %+v", samples)
+	}
+}
+
+func TestParsePrometheusRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"1badname 3\n",
+		"name{l=\"v\" 3\n",
+		"name 1 2 3\n",
+		"name notafloat\n",
+		"# TYPE jz_x flavour\n",
+		"name{2l=\"v\"} 3\n",
+	} {
+		if _, err := ParsePrometheus([]byte(bad)); err == nil {
+			t.Errorf("parsed malformed input %q", bad)
+		}
+	}
+}
+
+func TestConcurrentMetricUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("jz_c_total", "c").Inc()
+				r.Gauge("jz_g", "g").Add(1)
+				r.Histogram("jz_h", "h", []float64{10, 100}, "k", "v").Observe(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("jz_c_total", "c").Value(); got != 1600 {
+		t.Fatalf("counter = %d, want 1600", got)
+	}
+	if got := r.Gauge("jz_g", "g").Value(); got != 1600 {
+		t.Fatalf("gauge = %v, want 1600", got)
+	}
+	if got := r.Histogram("jz_h", "h", []float64{10, 100}, "k", "v").Count(); got != 1600 {
+		t.Fatalf("histogram count = %d, want 1600", got)
+	}
+}

@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CostCenter classifies where an executed code-cache instruction's cycles
+// go — the originating rewrite-rule kind for meta code, the application
+// itself, or the DBT's own machinery. The dynamic modifier charges each
+// retired instruction's cycles to its center, giving the per-rule overhead
+// decomposition of `jexp profile` (BENCH_PROFILE.json).
+type CostCenter uint8
+
+const (
+	// CCOther is the zero value: meta code no tool attributed (baseline
+	// tools, unclassified instrumentation).
+	CCOther CostCenter = iota
+	// CCApp is application code — the native work itself.
+	CCApp
+	// CCMemCheck is inline shadow-memory access checking: MEM_ACCESS
+	// rules, SCEV-hoisted checks and the dynamic fallback's checks (jasan).
+	CCMemCheck
+	// CCCanary is redzone shadow poisoning/unpoisoning around stack
+	// canaries: POISON_CANARY / UNPOISON_CANARY rules (jasan).
+	CCCanary
+	// CCDefStore is definedness-shadow updating on stores plus frame
+	// poisoning: MEM_DEF_STORE / FRAME_UNDEF rules (jmsan).
+	CCDefStore
+	// CCDefCheck is definedness checking on sink loads: MEM_DEF_LOAD
+	// rules (jmsan).
+	CCDefCheck
+	// CCCFICheck is forward/backward control-flow checking: CFI_CALL,
+	// CFI_JUMP, CFI_JUMP_NARROW, CFI_RET, CFI_RESOLVER_RET rules (jcfi).
+	CCCFICheck
+	// CCShadowStack is shadow-stack maintenance: SHADOW_PUSH rules (jcfi).
+	CCShadowStack
+	// CCElided is residue at proof-elided check sites (MEM_ACCESS_SAFE).
+	// It should stay zero: nonzero means an "elided" rule still emits code.
+	CCElided
+	// CCDispatch is the DBT's own overhead: block translation cost and
+	// indirect-branch dispatch cost.
+	CCDispatch
+
+	// NumCostCenters bounds the enum for array-indexed accounting.
+	NumCostCenters
+)
+
+var ccNames = [NumCostCenters]string{
+	CCOther:       "other",
+	CCApp:         "app",
+	CCMemCheck:    "mem-check",
+	CCCanary:      "canary",
+	CCDefStore:    "def-store",
+	CCDefCheck:    "def-check",
+	CCCFICheck:    "cfi-check",
+	CCShadowStack: "shadow-stack",
+	CCElided:      "elided",
+	CCDispatch:    "dispatch",
+}
+
+// String names the cost center.
+func (cc CostCenter) String() string {
+	if int(cc) < len(ccNames) {
+		return ccNames[cc]
+	}
+	return fmt.Sprintf("cc(%d)", uint8(cc))
+}
+
+// Profile accumulates model cycles and retired instructions per cost
+// center for one run. It is charged from the run's single execution
+// goroutine and is not safe for concurrent use; attach one Profile per
+// dynamic modifier. A nil Profile ignores charges.
+type Profile struct {
+	Cycles [NumCostCenters]uint64
+	Instrs [NumCostCenters]uint64
+}
+
+// Charge attributes cycles model cycles and instrs retired instructions
+// to cc.
+func (p *Profile) Charge(cc CostCenter, cycles, instrs uint64) {
+	if p == nil {
+		return
+	}
+	p.Cycles[cc] += cycles
+	p.Instrs[cc] += instrs
+}
+
+// TotalCycles sums every center's cycles — for a run profiled end to end
+// this equals the machine's final cycle counter.
+func (p *Profile) TotalCycles() uint64 {
+	if p == nil {
+		return 0
+	}
+	var n uint64
+	for _, c := range p.Cycles {
+		n += c
+	}
+	return n
+}
+
+// TotalInstrs sums every center's retired instructions.
+func (p *Profile) TotalInstrs() uint64 {
+	if p == nil {
+		return 0
+	}
+	var n uint64
+	for _, c := range p.Instrs {
+		n += c
+	}
+	return n
+}
+
+// Breakdown folds cost centers into the paper's overhead components.
+// App + ShadowUpdate + Check + Elided + Dispatch + Other == TotalCycles.
+type Breakdown struct {
+	// App is the application's own cycles.
+	App uint64 `json:"app_cycles"`
+	// ShadowUpdate covers shadow-state maintenance: canary poisoning,
+	// definedness stores/frame poisoning, shadow-stack pushes.
+	ShadowUpdate uint64 `json:"shadow_update_cycles"`
+	// Check covers inline checks: shadow-memory, definedness and CFI.
+	Check uint64 `json:"check_cycles"`
+	// Elided is residue at proof-elided sites (expected zero).
+	Elided uint64 `json:"elided_cycles"`
+	// Dispatch is the DBT's translation + indirect-dispatch cost.
+	Dispatch uint64 `json:"dispatch_cycles"`
+	// Other is unattributed meta code.
+	Other uint64 `json:"other_cycles"`
+}
+
+// Breakdown folds the profile's centers into overhead components.
+func (p *Profile) Breakdown() Breakdown {
+	if p == nil {
+		return Breakdown{}
+	}
+	return Breakdown{
+		App:          p.Cycles[CCApp],
+		ShadowUpdate: p.Cycles[CCCanary] + p.Cycles[CCDefStore] + p.Cycles[CCShadowStack],
+		Check:        p.Cycles[CCMemCheck] + p.Cycles[CCDefCheck] + p.Cycles[CCCFICheck],
+		Elided:       p.Cycles[CCElided],
+		Dispatch:     p.Cycles[CCDispatch],
+		Other:        p.Cycles[CCOther],
+	}
+}
+
+// Overhead returns the attributed non-application cycles: the exact
+// instrumented-minus-native cycle delta on the deterministic emulator.
+func (b Breakdown) Overhead() uint64 {
+	return b.ShadowUpdate + b.Check + b.Elided + b.Dispatch + b.Other
+}
+
+// Total returns every component summed, application included.
+func (b Breakdown) Total() uint64 { return b.App + b.Overhead() }
+
+// Table renders the per-cost-center accounting as a human-readable table
+// (cmd/jrun -profile). Zero centers are omitted.
+func (p *Profile) Table() string {
+	if p == nil {
+		return ""
+	}
+	total := p.TotalCycles()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %16s %16s %7s\n", "cost-center", "cycles", "instrs", "%cyc")
+	for cc := CostCenter(0); cc < NumCostCenters; cc++ {
+		if p.Cycles[cc] == 0 && p.Instrs[cc] == 0 {
+			continue
+		}
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(p.Cycles[cc]) / float64(total)
+		}
+		fmt.Fprintf(&b, "%-14s %16d %16d %6.2f%%\n",
+			cc.String(), p.Cycles[cc], p.Instrs[cc], pct)
+	}
+	totalPct := 0.0
+	if total > 0 {
+		totalPct = 100
+	}
+	fmt.Fprintf(&b, "%-14s %16d %16d %6.2f%%\n", "total", total, p.TotalInstrs(), totalPct)
+	return b.String()
+}

@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition sample line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns the sample's value for a label name ("" when absent).
+func (s Sample) Label(name string) string { return s.Labels[name] }
+
+// ParsePrometheus parses Prometheus text exposition format, validating
+// metric/label name syntax, HELP/TYPE comments and sample values. It is
+// the exposition-side contract check used by the /metrics tests (and a
+// minimal scrape client); it does not cross-check samples against their
+// declared types.
+func ParsePrometheus(data []byte) ([]Sample, error) {
+	var out []Sample
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkComment(line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", ln+1, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func checkComment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return fmt.Errorf("bare comment %q", line)
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed HELP %q", line)
+		}
+	case "TYPE":
+		if len(fields) < 4 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed TYPE %q", line)
+		}
+		switch strings.TrimSpace(fields[3]) {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type in %q", line)
+		}
+	default:
+		return fmt.Errorf("unknown comment form %q", line)
+	}
+	return nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	i := 0
+	for i < len(rest) && isNameChar(rest[i], i == 0) {
+		i++
+	}
+	s.Name = rest[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("bad metric name in %q", line)
+	}
+	rest = rest[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, err := parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	// An optional timestamp would follow the value; the repo's exposition
+	// never emits one, so a second field is an error.
+	if rest == "" || strings.ContainsAny(rest, " \t") {
+		return s, fmt.Errorf("expected exactly one value in %q", line)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad sample value %q", rest)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a `{k="v",...}` block at the head of rest, returning
+// the index just past the closing brace.
+func parseLabels(rest string, into map[string]string) (int, error) {
+	i := 1 // past '{'
+	for {
+		if i >= len(rest) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		if rest[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(rest) && isLabelChar(rest[i], i == start) {
+			i++
+		}
+		name := rest[start:i]
+		if name == "" || !strings.HasPrefix(rest[i:], `="`) {
+			return 0, fmt.Errorf("malformed label near %q", rest[start:])
+		}
+		i += 2
+		var val strings.Builder
+		for {
+			if i >= len(rest) {
+				return 0, fmt.Errorf("unterminated label value")
+			}
+			c := rest[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					return 0, fmt.Errorf("dangling escape")
+				}
+				switch rest[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, fmt.Errorf("bad escape \\%c", rest[i+1])
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		into[name] = val.String()
+		if i < len(rest) && rest[i] == ',' {
+			i++
+		}
+	}
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+func isLabelChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}

@@ -1,0 +1,33 @@
+// Package telemetry is Janitizer's stdlib-only observability layer: a
+// hierarchical span tracer with a ring buffer of recent traces, a
+// Prometheus-style metrics registry (counters, gauges, fixed-bucket
+// histograms, deterministic text exposition), and a per-rule cost-center
+// profiler that attributes instrumentation cycles back to the kind of
+// rewrite rule that emitted them — Valgrind-style cost-center accounting
+// for the emulated pipeline.
+//
+// Everything is off by default and nil-safe: every method on a nil
+// *Tracer, *Span, *Profile, *Counter, *Gauge or *Histogram is a no-op, so
+// pipeline code can be instrumented unconditionally without configuration
+// plumbing. Telemetry never touches the machine's cycle model — attaching
+// or detaching it cannot change a run's measured cycles or instructions.
+package telemetry
+
+import "sync/atomic"
+
+// global is the process-wide tracer used by StartSpan; nil (the default)
+// disables pipeline tracing entirely.
+var global atomic.Pointer[Tracer]
+
+// SetTracer installs t as the process-wide tracer behind StartSpan.
+// Passing nil restores the disabled default.
+func SetTracer(t *Tracer) { global.Store(t) }
+
+// T returns the process-wide tracer, or nil when tracing is disabled.
+func T() *Tracer { return global.Load() }
+
+// StartSpan begins a root span on the process-wide tracer. With tracing
+// disabled it returns a nil span, whose methods all do nothing.
+func StartSpan(name string, attrs ...Attr) *Span {
+	return global.Load().Start(name, attrs...)
+}

@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value span attribute.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// String constructs a string attribute.
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int constructs an integer attribute.
+func Int(key string, value int64) Attr {
+	return Attr{Key: key, Value: strconv.FormatInt(value, 10)}
+}
+
+// Uint constructs an unsigned integer attribute.
+func Uint(key string, value uint64) Attr {
+	return Attr{Key: key, Value: strconv.FormatUint(value, 10)}
+}
+
+// SpanRecord is the serialisable form of one span: what GET /trace returns.
+// Duration marshals as nanoseconds.
+type SpanRecord struct {
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+	Children []*SpanRecord `json:"children,omitempty"`
+}
+
+// Tracer collects hierarchical spans and retains the most recently
+// finished root traces in a fixed-capacity ring buffer.
+type Tracer struct {
+	mu     sync.Mutex
+	cap    int
+	recent []*SpanRecord
+}
+
+// DefaultTraceCapacity is how many finished root traces NewTracer retains
+// when given a non-positive capacity.
+const DefaultTraceCapacity = 64
+
+// NewTracer returns a tracer retaining the last capacity finished root
+// traces (non-positive selects DefaultTraceCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{cap: capacity, recent: make([]*SpanRecord, 0, capacity)}
+}
+
+// Start begins a root span. A nil tracer returns a nil (inert) span.
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{tracer: t, rec: &SpanRecord{Name: name, Start: time.Now(), Attrs: attrs}}
+}
+
+// Recent returns copies of the retained finished root traces, oldest
+// first. The records are shared with any still-running child spans of an
+// ended root, so callers should treat them as read-only.
+func (t *Tracer) Recent() []*SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*SpanRecord, len(t.recent))
+	copy(out, t.recent)
+	return out
+}
+
+// push retains a finished root trace, evicting the oldest past capacity.
+func (t *Tracer) push(rec *SpanRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.recent) == t.cap {
+		copy(t.recent, t.recent[1:])
+		t.recent[len(t.recent)-1] = rec
+		return
+	}
+	t.recent = append(t.recent, rec)
+}
+
+// Span is one timed unit of pipeline work. Every method on a nil Span does
+// nothing, so spans thread through code that runs with tracing disabled.
+type Span struct {
+	tracer *Tracer
+	parent *Span
+	rec    *SpanRecord
+}
+
+// Child begins a sub-span recorded under s.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{
+		tracer: s.tracer,
+		parent: s,
+		rec:    &SpanRecord{Name: name, Start: time.Now(), Attrs: attrs},
+	}
+	s.tracer.mu.Lock()
+	s.rec.Children = append(s.rec.Children, c.rec)
+	s.tracer.mu.Unlock()
+	return c
+}
+
+// SetAttr attaches an attribute to the span.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.tracer.mu.Lock()
+	s.rec.Attrs = append(s.rec.Attrs, attrs...)
+	s.tracer.mu.Unlock()
+}
+
+// End finishes the span; ending a root span publishes its whole trace to
+// the tracer's ring buffer.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tracer.mu.Lock()
+	s.rec.Duration = time.Since(s.rec.Start)
+	s.tracer.mu.Unlock()
+	if s.parent == nil {
+		s.tracer.push(s.rec)
+	}
+}

@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerAndSpanAreInert(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x")
+	if sp != nil {
+		t.Fatal("nil tracer produced a live span")
+	}
+	// All nil-span methods must be no-ops, not panics.
+	sp.SetAttr(String("k", "v"))
+	c := sp.Child("child", Int("i", 1))
+	c.End()
+	sp.End()
+	if got := tr.Recent(); got != nil {
+		t.Fatalf("nil tracer Recent = %v, want nil", got)
+	}
+}
+
+func TestDisabledGlobalStartSpan(t *testing.T) {
+	SetTracer(nil)
+	if sp := StartSpan("off"); sp != nil {
+		t.Fatal("StartSpan with no tracer installed returned a live span")
+	}
+	if T() != nil {
+		t.Fatal("T() non-nil after SetTracer(nil)")
+	}
+}
+
+func TestSpanHierarchyAndRing(t *testing.T) {
+	tr := NewTracer(3)
+	root := tr.Start("analyze", String("module", "libj.jef"))
+	cfgSp := root.Child("cfg")
+	cfgSp.End()
+	live := root.Child("liveness", Int("blocks", 12))
+	live.SetAttr(Uint("iters", 3))
+	live.End()
+	root.End()
+
+	recent := tr.Recent()
+	if len(recent) != 1 {
+		t.Fatalf("recent = %d traces, want 1", len(recent))
+	}
+	got := recent[0]
+	if got.Name != "analyze" || len(got.Children) != 2 {
+		t.Fatalf("trace = %q with %d children, want analyze/2", got.Name, len(got.Children))
+	}
+	if got.Children[0].Name != "cfg" || got.Children[1].Name != "liveness" {
+		t.Fatalf("children = %q, %q", got.Children[0].Name, got.Children[1].Name)
+	}
+	if len(got.Children[1].Attrs) != 2 {
+		t.Fatalf("liveness attrs = %v", got.Children[1].Attrs)
+	}
+	if got.Duration < 0 || got.Children[0].Duration < 0 {
+		t.Fatal("negative span duration")
+	}
+
+	// Ring eviction: capacity 3 retains only the newest three roots.
+	for _, name := range []string{"a", "b", "c", "d"} {
+		s := tr.Start(name)
+		s.End()
+	}
+	recent = tr.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("ring kept %d traces, want 3", len(recent))
+	}
+	for i, want := range []string{"b", "c", "d"} {
+		if recent[i].Name != want {
+			t.Fatalf("ring[%d] = %q, want %q", i, recent[i].Name, want)
+		}
+	}
+
+	// The records must serialize (GET /trace contract).
+	if _, err := json.Marshal(recent); err != nil {
+		t.Fatalf("marshal traces: %v", err)
+	}
+}
+
+func TestChildEndAfterRootPublished(t *testing.T) {
+	// A child ended after its root is published must still land in the
+	// published record (the record is shared, not copied).
+	tr := NewTracer(2)
+	root := tr.Start("r")
+	c := root.Child("slow")
+	root.End()
+	c.End()
+	recent := tr.Recent()
+	if len(recent) != 1 || len(recent[0].Children) != 1 {
+		t.Fatalf("recent = %+v", recent)
+	}
+	if recent[0].Children[0].Duration == 0 {
+		t.Error("late child's duration not recorded")
+	}
+}
+
+func TestTracerConcurrentUse(t *testing.T) {
+	tr := NewTracer(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sp := tr.Start("req")
+				ch := sp.Child("work")
+				ch.SetAttr(Int("i", int64(i)))
+				ch.End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(tr.Recent()) != 8 {
+		t.Fatalf("ring size = %d, want 8", len(tr.Recent()))
+	}
+}
+
+func BenchmarkDisabledStartSpan(b *testing.B) {
+	SetTracer(nil)
+	for i := 0; i < b.N; i++ {
+		sp := StartSpan("hot")
+		sp.Child("child").End()
+		sp.End()
+	}
+}

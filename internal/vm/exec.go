@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/isa"
+	"repro/internal/telemetry"
 )
 
 // Exec executes one decoded instruction and updates PC, registers, flags,
@@ -288,6 +289,12 @@ func (m *Machine) InvalidateCode() { m.blocks = map[uint64][]isa.Instr{} }
 // Run executes natively (no dynamic modification) from entry until the
 // program exits or faults.
 func (m *Machine) Run(entry uint64) error {
+	sp := telemetry.StartSpan("vm.run", telemetry.Uint("entry", entry))
+	defer func() {
+		sp.SetAttr(telemetry.Uint("cycles", m.Cycles),
+			telemetry.Uint("instrs", m.Instrs))
+		sp.End()
+	}()
 	m.PC = entry
 	for !m.Halted {
 		if m.BlockHook != nil {

@@ -1,15 +1,21 @@
 #!/bin/sh
 # Benchmark gate: runs the Janitizer scheme sweep (jasan/jcfi/jmsan hybrid
 # and elision variants plus the combined jasan+jmsan+jcfi configuration)
-# over the full workload suite through jexp, and writes one deterministic
-# per-scheme geomean-slowdown row each to BENCH_JANITIZER.json.
+# over the full workload suite through jexp, writing one deterministic
+# per-scheme geomean-slowdown row each to BENCH_JANITIZER.json, then reruns
+# the sweep with per-rule cost attribution to produce BENCH_PROFILE.json —
+# each scheme's slowdown decomposed into shadow-update/check/elided/dispatch
+# components whose sums are verified exact per (benchmark, scheme) cell.
 #
-# Usage: scripts/bench.sh [output.json]
+# Usage: scripts/bench.sh [output.json] [profile.json]
 # BENCH_PARALLEL overrides the jexp worker count (default 8).
 set -eu
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_JANITIZER.json}"
+profile_out="${2:-BENCH_PROFILE.json}"
 
 go run ./cmd/jexp -parallel "${BENCH_PARALLEL:-8}" bench > "$out"
 echo "bench: wrote $out"
+go run ./cmd/jexp -parallel "${BENCH_PARALLEL:-8}" -o "$profile_out" profile > /dev/null
+echo "bench: wrote $profile_out"

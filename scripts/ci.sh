@@ -22,12 +22,13 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
-echo "== focused vet + race: anserve, fuzz =="
+echo "== focused vet + race: anserve, fuzz, telemetry =="
 # The analysis service and the fuzzing campaigns are the two heaviest
-# concurrent subsystems; vet and race-check them explicitly (count=1 defeats
-# the test cache so the race detector actually re-executes them).
-go vet ./internal/anserve ./internal/fuzz
-go test -race -count=1 ./internal/anserve ./internal/fuzz
+# concurrent subsystems, and the telemetry layer is scraped concurrently by
+# daemon handlers; vet and race-check them explicitly (count=1 defeats the
+# test cache so the race detector actually re-executes them).
+go vet ./internal/anserve ./internal/fuzz ./internal/telemetry
+go test -race -count=1 ./internal/anserve ./internal/fuzz ./internal/telemetry
 
 echo "== jfuzz smoke =="
 # Deterministic fuzz smoke: fixed seed, both domains, fails the build on any
@@ -39,12 +40,40 @@ echo "== jvet proof replay =="
 # example modules; exits nonzero on any claim that cannot be re-proven.
 go run ./cmd/jvet
 
-echo "== bench =="
-# Full-suite scheme sweep writing BENCH_JANITIZER.json. Skipped in short
-# mode (CI_SHORT=1), mirroring `go test -short`: the sweep runs every
-# tracked scheme over all 28 workloads.
+echo "== janitizerd /metrics smoke =="
+# Boot the daemon on an ephemeral port and check it serves Prometheus text
+# on GET /metrics. Requires curl; skipped where unavailable.
+if command -v curl >/dev/null 2>&1; then
+	go build -o /tmp/janitizerd-ci ./cmd/janitizerd
+	/tmp/janitizerd-ci -addr 127.0.0.1:7749 -quiet &
+	JD_PID=$!
+	trap 'kill "$JD_PID" 2>/dev/null || true' EXIT
+	ok=0
+	for _ in 1 2 3 4 5 6 7 8 9 10; do
+		if curl -sf http://127.0.0.1:7749/metrics | grep -q '^janitizer_analyze_submitted_total'; then
+			ok=1
+			break
+		fi
+		sleep 0.3
+	done
+	kill "$JD_PID" 2>/dev/null || true
+	trap - EXIT
+	if [ "$ok" != "1" ]; then
+		echo "janitizerd: GET /metrics did not serve Prometheus text" >&2
+		exit 1
+	fi
+else
+	echo "janitizerd smoke: skipped (no curl)"
+fi
+
+echo "== bench + profile =="
+# Full-suite scheme sweep writing BENCH_JANITIZER.json and the attributed
+# BENCH_PROFILE.json. In short mode (CI_SHORT=1) the full 28-workload sweep
+# is replaced by a two-workload profile smoke that still enforces the exact
+# component-sum identity (Profile errors on any mismatch).
 if [ "${CI_SHORT:-0}" = "1" ]; then
-	echo "bench: skipped (CI_SHORT=1)"
+	echo "bench: full sweep skipped (CI_SHORT=1); running profile smoke"
+	go run ./cmd/jexp -parallel 4 -o /tmp/profile-smoke.json profile mcf lbm
 else
 	scripts/bench.sh
 fi
