@@ -2,11 +2,16 @@
 // Janitizer's static analyzer over HTTP, backed by a content-addressed rule
 // cache and a concurrent scheduler, so a module (in particular a shared
 // library) is analyzed once and its .jrw artifact is reused by every later
-// request.
+// request. With -peers it becomes one member of an analysis fleet:
+// artifacts are consistent-hash-placed across the members and a local miss
+// is filled from the owning sibling before being recomputed.
 //
 // Usage:
 //
-//	janitizerd [-addr host:port] [-cachedir dir] [-mem MiB] [-workers n]
+//	janitizerd [-addr host:port] [-cachedir dir] [-mem MiB] [-disk MiB]
+//	           [-workers n] [-maxqueue n] [-maxbody MiB] [-timeout d]
+//	           [-tenant-qps r] [-tenant-burst n] [-service-time d]
+//	           [-peers a:1,b:2,...] [-self host:port]
 //	           [-debug] [-quiet]
 //
 // API:
@@ -15,19 +20,29 @@
 //	              jmsan|jmsan-elide|jasan+jmsan|comprehensive
 //	    request body:  a serialized JEF module
 //	    response body: the module's marshaled .jrw rule file
+//	    (X-Cache: local|peer|miss says where the answer came from)
+//	POST /analyze/batch
+//	    JSON batch: {"requests":[{"tool":...,"module":<base64>},...]}
 //	GET /stats
 //	    cache and scheduler counters as JSON
 //	GET /metrics
-//	    the same counters plus per-tool analysis-latency histograms in
-//	    Prometheus text format
+//	    the same counters plus latency histograms and (in fleet mode) the
+//	    janitizer_cluster_* family, in Prometheus text format
+//	GET /healthz, GET /readyz
+//	    liveness / readiness (cache dir writable, scheduler accepting)
 //	GET /trace
 //	    recent pipeline span trees as JSON
 //	GET /debug/pprof/   (only with -debug)
 //	    Go runtime profiling endpoints
 //
-// Every request is logged as one structured line (slog) carrying a
-// process-unique request id, echoed to clients via X-Request-Id; -quiet
-// disables request logging.
+// Errors are typed JSON ({"error":{"code":...,"message":...}}): 413 for
+// oversized bodies/batches, 429 with Retry-After for backpressure and
+// tenant quotas (X-Tenant header), 504 for per-request timeouts.
+//
+// Fleet mode: -peers lists every member (self included, identical on all
+// nodes) and -self names this node's address in that list (default:
+// -addr). Placement is deterministic, health probes demote dead siblings,
+// and a dead owner only costs latency — the request is computed locally.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes and
 // in-flight analyses drain before the process exits.
@@ -41,9 +56,12 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/anserve"
+	"repro/internal/cluster"
 	"repro/internal/telemetry"
 )
 
@@ -51,7 +69,16 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7741", "listen address")
 	cachedir := flag.String("cachedir", "", "on-disk rule-cache directory (empty: memory only)")
 	mem := flag.Int64("mem", 0, "memory cache budget in MiB (0: default, -1: disabled)")
+	disk := flag.Int64("disk", 0, "on-disk cache cap in MiB (0: unbounded)")
 	workers := flag.Int("workers", 0, "concurrent analyses (0: GOMAXPROCS)")
+	maxqueue := flag.Int("maxqueue", 256, "admitted requests beyond the worker pool before 429 (0: unlimited)")
+	maxbody := flag.Int64("maxbody", 0, "request body limit in MiB (0: default 64)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-request analysis timeout (0: unbounded)")
+	serviceTime := flag.Duration("service-time", 0, "bench knob: minimum per-request service latency under the admission slot, modeling per-machine capacity when a fleet is colocated on one host (0: off)")
+	tenantQPS := flag.Float64("tenant-qps", 0, "per-tenant request rate (X-Tenant header; 0: no quotas)")
+	tenantBurst := flag.Int("tenant-burst", 20, "per-tenant burst capacity")
+	peers := flag.String("peers", "", "comma-separated fleet member list, self included (empty: single node)")
+	self := flag.String("self", "", "this node's address in -peers (default: -addr)")
 	debug := flag.Bool("debug", false, "serve net/http/pprof under /debug/pprof/")
 	quiet := flag.Bool("quiet", false, "disable structured request logging")
 	flag.Parse()
@@ -65,17 +92,50 @@ func main() {
 		memBytes <<= 20
 	}
 	svc := anserve.New(anserve.Config{
-		Workers:       *workers,
-		MemCacheBytes: memBytes,
-		CacheDir:      *cachedir,
+		Workers:        *workers,
+		MemCacheBytes:  memBytes,
+		CacheDir:       *cachedir,
+		DiskCacheBytes: *disk << 20,
+		MaxQueue:       *maxqueue,
 	})
+
+	ctx, stop := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	handlerOpts := anserve.HandlerOpts{
+		MaxBodyBytes: *maxbody << 20,
+		Timeout:      *timeout,
+		Quota:        anserve.NewTenantLimiter(*tenantQPS, *tenantBurst),
+		ServiceTime:  *serviceTime,
+	}
+	var clu *cluster.Cluster
+	if *peers != "" {
+		selfAddr := *self
+		if selfAddr == "" {
+			selfAddr = *addr
+		}
+		var err error
+		clu, err = cluster.New(svc, cluster.Config{
+			Self:    selfAddr,
+			Members: strings.Split(*peers, ","),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "janitizerd:", err)
+			os.Exit(1)
+		}
+		clu.Start(ctx)
+		handlerOpts.Analyzer = clu
+	}
+
 	var logger *slog.Logger
 	if !*quiet {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 	d := anserve.NewDaemonOpts(svc, anserve.DefaultTools(), anserve.DaemonOptions{
-		Logger: logger,
-		Debug:  *debug,
+		Logger:  logger,
+		Debug:   *debug,
+		Handler: handlerOpts,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -83,9 +143,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "janitizerd:", err)
 		os.Exit(1)
 	}
-	ctx, stop := signal.NotifyContext(context.Background(),
-		os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	go func() {
 		<-ctx.Done()
 		fmt.Fprintln(os.Stderr, "janitizerd: shutting down, draining in-flight requests")
@@ -97,8 +154,13 @@ func main() {
 		}
 	}()
 
-	fmt.Printf("janitizerd: listening on %s (workers=%d)\n",
-		ln.Addr(), svc.Workers())
+	if clu != nil {
+		fmt.Printf("janitizerd: listening on %s (workers=%d, fleet of %d, self=%s)\n",
+			ln.Addr(), svc.Workers(), len(clu.Ring().Members()), clu.Self())
+	} else {
+		fmt.Printf("janitizerd: listening on %s (workers=%d)\n",
+			ln.Addr(), svc.Workers())
+	}
 	if err := d.Serve(ln); err != nil {
 		fmt.Fprintln(os.Stderr, "janitizerd:", err)
 		os.Exit(1)

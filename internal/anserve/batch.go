@@ -1,0 +1,154 @@
+package anserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/obj"
+)
+
+// Batch API limits. A batch request is bounded twice: MaxBatch items per
+// request (larger batches answer 413 — split them) and BatchFanout
+// concurrently executing items per request, so one fat batch cannot
+// monopolize the worker pool against interactive requests.
+const (
+	DefaultMaxBatch    = 64
+	DefaultBatchFanout = 8
+)
+
+// BatchRequest is the POST /analyze/batch payload.
+type BatchRequest struct {
+	Requests []BatchItem `json:"requests"`
+}
+
+// BatchItem is one analysis in a batch. Module is the serialized JEF
+// module (base64 in JSON, per encoding/json []byte convention).
+type BatchItem struct {
+	Tool   string `json:"tool"`
+	Module []byte `json:"module"`
+}
+
+// BatchResponse is the POST /analyze/batch reply: one result per request
+// item, in request order. Item failures are per-item — one bad module does
+// not fail its siblings.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+}
+
+// BatchResult is one item's outcome: either Rules (with Module and Tier
+// set) or Error.
+type BatchResult struct {
+	Module string     `json:"module,omitempty"`
+	Tier   string     `json:"tier,omitempty"`
+	Rules  []byte     `json:"rules,omitempty"`
+	Error  *ErrorBody `json:"error,omitempty"`
+}
+
+// handleBatch serves POST /analyze/batch: decode, enforce batch bounds,
+// charge quota and admission for the whole batch up front, then run items
+// through the analyzer with bounded fan-out.
+func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request,
+	tools map[string]ToolFactory, an Analyzer, opts HandlerOpts, maxBody int64) {
+
+	maxBatch := opts.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	fanout := opts.BatchFanout
+	if fanout <= 0 {
+		fanout = DefaultBatchFanout
+	}
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, ErrCodeBodyTooLarge,
+			fmt.Sprintf("batch body exceeds %d bytes", maxBody), 0)
+		return
+	}
+	var req BatchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, ErrCodeBadRequest,
+			"bad batch JSON: "+err.Error(), 0)
+		return
+	}
+	n := len(req.Requests)
+	if n == 0 {
+		writeError(w, http.StatusBadRequest, ErrCodeBadRequest,
+			"empty batch", 0)
+		return
+	}
+	if n > maxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge, ErrCodeBatchTooLarge,
+			fmt.Sprintf("batch of %d exceeds limit %d", n, maxBatch), 0)
+		return
+	}
+	if ok, wait := opts.Quota.Allow(r.Header.Get("X-Tenant"), n); !ok {
+		writeError(w, http.StatusTooManyRequests, ErrCodeQuotaExceeded,
+			"tenant quota exceeded", retryAfterSeconds(wait))
+		return
+	}
+	if !s.TryAdmit(n) {
+		writeError(w, http.StatusTooManyRequests, ErrCodeOverloaded,
+			"scheduler queue full", 1)
+		return
+	}
+
+	results := make([]BatchResult, n)
+	sem := make(chan struct{}, fanout)
+	var wg sync.WaitGroup
+	for i, item := range req.Requests {
+		wg.Add(1)
+		go func(i int, item BatchItem) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = s.batchItem(item, tools, an, opts)
+		}(i, item)
+	}
+	wg.Wait()
+
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(BatchResponse{Results: results})
+}
+
+// batchItem runs one batch entry and releases its admission slot when the
+// underlying work (not just the wait) finishes.
+func (s *Service) batchItem(item BatchItem, tools map[string]ToolFactory,
+	an Analyzer, opts HandlerOpts) BatchResult {
+
+	factory, ok := tools[item.Tool]
+	if !ok {
+		s.Finish(1)
+		return BatchResult{Error: &ErrorBody{
+			Code:    ErrCodeUnknownTool,
+			Message: fmt.Sprintf("unknown tool %q", item.Tool),
+		}}
+	}
+	mod, err := obj.Unmarshal(item.Module)
+	if err != nil {
+		s.Finish(1)
+		return BatchResult{Error: &ErrorBody{
+			Code:    ErrCodeBadModule,
+			Message: "bad module: " + err.Error(),
+		}}
+	}
+	res, timedOut := awaitAnalyze(
+		goAnalyze(an, item.Tool, mod, factory(), func() { s.Finish(1) }),
+		opts.Timeout)
+	if timedOut {
+		return BatchResult{Module: mod.Name, Error: &ErrorBody{
+			Code:    ErrCodeTimeout,
+			Message: fmt.Sprintf("analysis exceeded %s", opts.Timeout),
+		}}
+	}
+	if res.err != nil {
+		return BatchResult{Module: mod.Name, Error: &ErrorBody{
+			Code:    ErrCodeAnalysisFailed,
+			Message: res.err.Error(),
+		}}
+	}
+	return BatchResult{Module: mod.Name, Tier: string(res.tier), Rules: res.b}
+}

@@ -3,8 +3,10 @@ package anserve
 import (
 	"bytes"
 	"fmt"
+	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestCacheMemLRU(t *testing.T) {
@@ -91,5 +93,82 @@ func TestCacheConcurrent(t *testing.T) {
 	}
 	for g := 0; g < 8; g++ {
 		<-done
+	}
+}
+
+// TestCacheCorruptDiskEntry is the corrupt-entry tolerance test: a
+// truncated or garbled disk artifact must read as a miss (and be removed),
+// never as data and never as a crash.
+func TestCacheCorruptDiskEntry(t *testing.T) {
+	dir := t.TempDir()
+	c1 := NewCache(1<<20, dir)
+	c1.Put("k", []byte("artifact"))
+	path := c1.diskPath("k")
+
+	for name, garble := range map[string]func() error{
+		"truncated": func() error {
+			return os.Truncate(path, diskHeaderLen+3)
+		},
+		"garbled": func() error {
+			return os.WriteFile(path, []byte("not a framed artifact at all"), 0o644)
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			c1.Put("k", []byte("artifact")) // restore a good entry
+			if err := garble(); err != nil {
+				t.Fatal(err)
+			}
+			// Fresh cache: no memory copy, must go to disk.
+			c2 := NewCache(1<<20, dir)
+			if v, ok := c2.Get("k"); ok {
+				t.Fatalf("corrupt entry served as %q", v)
+			}
+			if st := c2.Stats(); st.DiskCorrupt != 1 {
+				t.Fatalf("disk corrupt = %d, want 1 (%+v)", st.DiskCorrupt, st)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("corrupt entry not deleted: %v", err)
+			}
+		})
+	}
+}
+
+// TestCacheDiskGC checks the disk-tier size cap: pushing past the budget
+// evicts the least-recently-used entries (oldest mtime first), keeping the
+// most recent ones.
+func TestCacheDiskGC(t *testing.T) {
+	dir := t.TempDir()
+	val := make([]byte, 1024)
+	// Budget fits ~3 framed 1KiB entries (frame adds 36 bytes each).
+	c := NewCacheDisk(-1, dir, 3400)
+	base := time.Now().Add(-time.Hour)
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("k%d", i)
+		c.Put(key, val)
+		// Backdate each entry so mtime order equals insertion order even
+		// on coarse filesystem clocks.
+		if err := os.Chtimes(c.diskPath(key), base.Add(time.Duration(i)*time.Minute),
+			base.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.gcDisk() // final sweep with all mtimes settled
+	var kept []string
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if _, err := os.Stat(c.diskPath(key)); err == nil {
+			kept = append(kept, key)
+		}
+	}
+	if len(kept) > 3 {
+		t.Fatalf("disk over budget: kept %v", kept)
+	}
+	for _, k := range kept {
+		if k == "k0" || k == "k1" {
+			t.Fatalf("LRU entry %s survived GC over newer entries (kept %v)", k, kept)
+		}
+	}
+	if st := c.Stats(); st.DiskEvictions == 0 {
+		t.Fatalf("stats show no disk evictions: %+v", st)
 	}
 }

@@ -1,0 +1,43 @@
+package anserve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Error codes returned in typed JSON error bodies by the HTTP API.
+const (
+	ErrCodeUnknownTool    = "unknown_tool"     // 400
+	ErrCodeBadRequest     = "bad_request"      // 400
+	ErrCodeBadModule      = "bad_module"       // 400
+	ErrCodeBodyTooLarge   = "body_too_large"   // 413
+	ErrCodeBatchTooLarge  = "batch_too_large"  // 413
+	ErrCodeOverloaded     = "overloaded"       // 429 (admission gate full)
+	ErrCodeQuotaExceeded  = "quota_exceeded"   // 429 (per-tenant token bucket)
+	ErrCodeAnalysisFailed = "analysis_failed"  // 500
+	ErrCodeTimeout        = "analysis_timeout" // 504
+)
+
+// ErrorBody is the typed JSON error payload: every non-2xx response from
+// the analysis API carries {"error":{"code":...,"message":...}} so clients
+// can branch on a stable code instead of scraping message text.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// writeError sends a typed JSON error. retryAfter > 0 additionally sets the
+// Retry-After header (whole seconds, rounded up to at least 1).
+func writeError(w http.ResponseWriter, status int, code, msg string, retryAfterSec int) {
+	if retryAfterSec > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSec))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorEnvelope{ErrorBody{Code: code, Message: msg}})
+}

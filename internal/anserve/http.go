@@ -3,6 +3,7 @@ package anserve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -70,12 +71,102 @@ func DefaultTools() map[string]ToolFactory {
 	}
 }
 
-// Handler returns the service's HTTP API:
+// HandlerOpts configures the service's HTTP API surface.
+type HandlerOpts struct {
+	// Analyzer serves the analysis requests; nil selects the Service
+	// itself (single-node). A fleet member passes its cluster wrapper.
+	Analyzer Analyzer
+	// MaxBodyBytes bounds request bodies; 0 selects MaxModuleBytes.
+	MaxBodyBytes int64
+	// Timeout bounds each analysis request (and each batch item); an
+	// expired request answers 504 while the analysis itself finishes in
+	// the background and lands in the cache. 0 disables the bound.
+	Timeout time.Duration
+	// MaxBatch caps items per POST /analyze/batch; 0 selects
+	// DefaultMaxBatch.
+	MaxBatch int
+	// BatchFanout bounds per-request concurrent batch items; 0 selects
+	// DefaultBatchFanout.
+	BatchFanout int
+	// Quota rate-limits tenants (X-Tenant header); nil disables quotas.
+	Quota *TenantLimiter
+	// ServiceTime is a benchmarking knob: a minimum per-request service
+	// latency on POST /analyze, spent while the admission slot is held.
+	// It models the fixed per-machine serving cost when an entire fleet is
+	// colocated on one host (where wall-clock CPU cannot distinguish one
+	// node from three) — each node's capacity becomes its in-flight window
+	// divided by this duration, which is per-process exactly like a real
+	// machine's capacity is per-machine. 0 (the default) disables it;
+	// production deployments never set it.
+	ServiceTime time.Duration
+}
+
+// PeerFillHeader marks fleet-internal cache-fill requests. A request
+// carrying it is answered strictly from the local service — never
+// re-forwarded (no forwarding loops) and never charged against a tenant
+// quota (the originating ingress already was).
+const PeerFillHeader = "X-Peer-Fill"
+
+// Handler returns the service's HTTP API with default options:
 //
 //	POST /analyze?tool=<name>   body: serialized JEF module
 //	                            response: marshaled .jrw rule file
+//	POST /analyze/batch         JSON batch of the above
 //	GET  /stats                 cache + scheduler counters as JSON
+//	GET  /healthz, /readyz      liveness and readiness probes
 func (s *Service) Handler(tools map[string]ToolFactory) http.Handler {
+	return s.HandlerWith(tools, HandlerOpts{})
+}
+
+// analyzeResult carries one finished analysis out of its goroutine.
+type analyzeResult struct {
+	b    []byte
+	tier Tier
+	err  error
+}
+
+// goAnalyze runs one analysis in its own goroutine so the caller can give
+// up waiting (per-request timeout) without cancelling the work: the result
+// still lands in the cache, and release (the admission slot) fires when the
+// work — not the wait — completes.
+func goAnalyze(an Analyzer, toolName string, mod *obj.Module, tool core.Tool,
+	release func()) <-chan analyzeResult {
+	ch := make(chan analyzeResult, 1)
+	go func() {
+		defer release()
+		b, tier, err := an.AnalyzeBytesTier(toolName, mod, tool)
+		ch <- analyzeResult{b, tier, err}
+	}()
+	return ch
+}
+
+// awaitAnalyze waits for res up to timeout (0: forever). timedOut reports
+// the wait expired with the analysis still running.
+func awaitAnalyze(res <-chan analyzeResult, timeout time.Duration) (analyzeResult, bool) {
+	if timeout <= 0 {
+		return <-res, false
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case r := <-res:
+		return r, false
+	case <-t.C:
+		return analyzeResult{}, true
+	}
+}
+
+// HandlerWith returns the service's HTTP API with explicit options.
+func (s *Service) HandlerWith(tools map[string]ToolFactory, opts HandlerOpts) http.Handler {
+	an := opts.Analyzer
+	if an == nil {
+		an = s
+	}
+	maxBody := opts.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = MaxModuleBytes
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /analyze", func(w http.ResponseWriter, r *http.Request) {
 		name := r.URL.Query().Get("tool")
@@ -86,28 +177,91 @@ func (s *Service) Handler(tools map[string]ToolFactory) http.Handler {
 				known = append(known, n)
 			}
 			sort.Strings(known)
-			http.Error(w, fmt.Sprintf("unknown tool %q (have %v)", name, known),
-				http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, ErrCodeUnknownTool,
+				fmt.Sprintf("unknown tool %q (have %v)", name, known), 0)
 			return
 		}
-		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxModuleBytes))
+		peerFill := r.Header.Get(PeerFillHeader) != ""
+		if !peerFill {
+			if ok, wait := opts.Quota.Allow(r.Header.Get("X-Tenant"), 1); !ok {
+				writeError(w, http.StatusTooManyRequests, ErrCodeQuotaExceeded,
+					"tenant quota exceeded", retryAfterSeconds(wait))
+				return
+			}
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
 		if err != nil {
-			http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				writeError(w, http.StatusRequestEntityTooLarge, ErrCodeBodyTooLarge,
+					fmt.Sprintf("request body exceeds %d bytes", maxBody), 0)
+				return
+			}
+			writeError(w, http.StatusBadRequest, ErrCodeBadRequest,
+				"read body: "+err.Error(), 0)
 			return
 		}
 		mod, err := obj.Unmarshal(body)
 		if err != nil {
-			http.Error(w, "bad module: "+err.Error(), http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, ErrCodeBadModule,
+				"bad module: "+err.Error(), 0)
 			return
 		}
-		out, err := s.AnalyzeModuleBytes(mod, factory())
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+		if !s.TryAdmit(1) {
+			writeError(w, http.StatusTooManyRequests, ErrCodeOverloaded,
+				"scheduler queue full", 1)
+			return
+		}
+		reqAn := an
+		if peerFill {
+			reqAn = s // peer fills are terminal: never re-forwarded
+		}
+		if opts.ServiceTime > 0 {
+			time.Sleep(opts.ServiceTime) // bench knob: slot held, see HandlerOpts
+		}
+		res, timedOut := awaitAnalyze(
+			goAnalyze(reqAn, name, mod, factory(), func() { s.Finish(1) }),
+			opts.Timeout)
+		if timedOut {
+			writeError(w, http.StatusGatewayTimeout, ErrCodeTimeout,
+				fmt.Sprintf("analysis exceeded %s (still running; retry to hit the cache)",
+					opts.Timeout), 0)
+			return
+		}
+		if res.err != nil {
+			writeError(w, http.StatusInternalServerError, ErrCodeAnalysisFailed,
+				res.err.Error(), 0)
 			return
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Header().Set("X-Module", mod.Name)
-		_, _ = w.Write(out)
+		w.Header().Set("X-Cache", string(res.tier))
+		_, _ = w.Write(res.b)
+	})
+	mux.HandleFunc("POST /analyze/batch", func(w http.ResponseWriter, r *http.Request) {
+		s.handleBatch(w, r, tools, an, opts, maxBody)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = io.WriteString(w, "{\"status\":\"ok\"}\n")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		var reasons []string
+		if err := s.DiskReady(); err != nil {
+			reasons = append(reasons, "cache dir not writable: "+err.Error())
+		}
+		if !s.Accepting() {
+			reasons = append(reasons, "scheduler queue full")
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if len(reasons) > 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"status": "unready", "reasons": reasons,
+			})
+			return
+		}
+		_, _ = io.WriteString(w, "{\"status\":\"ready\"}\n")
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -147,6 +301,9 @@ type DaemonOptions struct {
 	Logger *slog.Logger
 	// Debug mounts net/http/pprof under /debug/pprof/.
 	Debug bool
+	// Handler configures the API surface (analyzer routing, body limits,
+	// timeouts, batch bounds, quotas).
+	Handler HandlerOpts
 }
 
 // NewDaemon returns a daemon serving svc through the given tool registry.
@@ -157,7 +314,7 @@ func NewDaemon(svc *Service, tools map[string]ToolFactory) *Daemon {
 // NewDaemonOpts returns a daemon with request logging and debug endpoints
 // configured.
 func NewDaemonOpts(svc *Service, tools map[string]ToolFactory, opts DaemonOptions) *Daemon {
-	h := svc.Handler(tools)
+	h := svc.HandlerWith(tools, opts.Handler)
 	if opts.Debug {
 		mux := http.NewServeMux()
 		mux.Handle("/", h)

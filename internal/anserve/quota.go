@@ -1,0 +1,78 @@
+package anserve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// TenantLimiter is a per-tenant token-bucket rate limiter keyed by the
+// X-Tenant request header. Each tenant gets an independent bucket holding
+// up to Burst tokens refilled at Rate tokens/second; a request (or batch
+// item) costs one token. Requests without an X-Tenant header share the ""
+// bucket. Safe for concurrent use.
+type TenantLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	now     func() time.Time // injectable for tests
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewTenantLimiter returns a limiter granting each tenant rate tokens/sec
+// with the given burst capacity. rate <= 0 returns nil — a nil limiter
+// admits everything, so callers can wire the flag value through untested.
+func NewTenantLimiter(rate float64, burst int) *TenantLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &TenantLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: map[string]*bucket{},
+		now:     time.Now,
+	}
+}
+
+// Allow spends n tokens from tenant's bucket. When the bucket cannot cover
+// n it reports false plus how long until it could — the Retry-After hint.
+func (l *TenantLimiter) Allow(tenant string, n int) (bool, time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	cost := float64(n)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, ok := l.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	}
+	b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+	b.last = now
+	if b.tokens >= cost {
+		b.tokens -= cost
+		return true, 0
+	}
+	wait := time.Duration((cost - b.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
+
+// retryAfterSeconds rounds a wait up to whole seconds, minimum 1.
+func retryAfterSeconds(d time.Duration) int {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

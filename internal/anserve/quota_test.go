@@ -1,0 +1,55 @@
+package anserve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTenantLimiterBucket drives the token bucket with a fake clock:
+// burst spends down, refill is proportional to elapsed time and capped at
+// burst, and the retry hint covers the deficit.
+func TestTenantLimiterBucket(t *testing.T) {
+	l := NewTenantLimiter(2, 4) // 2 tokens/sec, burst 4
+	now := time.Unix(1000, 0)
+	l.now = func() time.Time { return now }
+
+	if ok, _ := l.Allow("a", 4); !ok {
+		t.Fatal("burst not granted")
+	}
+	ok, wait := l.Allow("a", 1)
+	if ok {
+		t.Fatal("empty bucket granted a token")
+	}
+	if want := 500 * time.Millisecond; wait != want {
+		t.Fatalf("retry hint = %v, want %v", wait, want)
+	}
+
+	// One second refills 2 tokens.
+	now = now.Add(time.Second)
+	if ok, _ := l.Allow("a", 2); !ok {
+		t.Fatal("refilled tokens not granted")
+	}
+	if ok, _ := l.Allow("a", 1); ok {
+		t.Fatal("over-granted past the refill")
+	}
+
+	// Refill caps at burst, not beyond.
+	now = now.Add(time.Hour)
+	if ok, _ := l.Allow("a", 4); !ok {
+		t.Fatal("burst not restored after idle")
+	}
+	if ok, _ := l.Allow("a", 1); ok {
+		t.Fatal("bucket exceeded burst capacity")
+	}
+
+	// Tenants are independent.
+	if ok, _ := l.Allow("b", 4); !ok {
+		t.Fatal("tenant b throttled by tenant a")
+	}
+
+	// A nil limiter admits everything.
+	var nilL *TenantLimiter
+	if ok, _ := nilL.Allow("x", 1000); !ok {
+		t.Fatal("nil limiter rejected")
+	}
+}

@@ -27,6 +27,36 @@ type Config struct {
 	MemCacheBytes int64
 	// CacheDir enables the on-disk artifact tier when non-empty.
 	CacheDir string
+	// DiskCacheBytes caps the on-disk tier; entries beyond the budget are
+	// garbage-collected LRU-by-mtime. <= 0 leaves the tier unbounded.
+	DiskCacheBytes int64
+	// MaxQueue bounds admitted-but-not-yet-finished analysis requests
+	// beyond the worker pool: once Workers+MaxQueue requests are in
+	// flight, further submissions are rejected by TryAdmit and the HTTP
+	// layer answers 429. <= 0 disables admission control.
+	MaxQueue int
+}
+
+// Tier says where an analysis response came from. The HTTP layer echoes it
+// in the X-Cache response header and cmd/jload aggregates it per request.
+type Tier string
+
+const (
+	// TierLocal is a hit in this node's own cache (either tier).
+	TierLocal Tier = "local"
+	// TierPeer is an artifact filled from the owning fleet sibling.
+	TierPeer Tier = "peer"
+	// TierMiss is an analysis computed on this node.
+	TierMiss Tier = "miss"
+)
+
+// Analyzer is the request-path analysis interface. A single node serves
+// straight from its Service; a fleet member routes through
+// internal/cluster's consistent-hash peer-fill wrapper. toolName is the
+// registry name of the tool (needed to forward the request to a sibling;
+// the plain Service ignores it).
+type Analyzer interface {
+	AnalyzeBytesTier(toolName string, mod *obj.Module, tool core.Tool) ([]byte, Tier, error)
 }
 
 // SchedStats are the scheduler counters, readable via Service.Stats and
@@ -43,6 +73,8 @@ type SchedStats struct {
 	Analyzed uint64 `json:"analyzed"`
 	// Errors counts failed analyses.
 	Errors uint64 `json:"errors"`
+	// Rejected counts requests turned away by the admission gate.
+	Rejected uint64 `json:"rejected"`
 	// Workers is the pool bound.
 	Workers int `json:"workers"`
 }
@@ -72,11 +104,18 @@ type Service struct {
 	reg     *telemetry.Registry
 	latency map[string]*telemetry.Histogram
 	latMu   sync.Mutex
+
+	// admitLimit caps concurrently admitted requests (0: unlimited);
+	// rejected counts submissions turned away at the admission gate.
+	admitLimit int64
+	admitCur   atomic.Int64
+	rejected   atomic.Uint64
 }
 
 type inflightCall struct {
 	done chan struct{}
 	val  []byte
+	tier Tier
 	err  error
 }
 
@@ -91,11 +130,14 @@ func New(cfg Config) *Service {
 		memBytes = DefaultMemCacheBytes
 	}
 	s := &Service{
-		cache:    NewCache(memBytes, cfg.CacheDir),
+		cache:    NewCacheDisk(memBytes, cfg.CacheDir, cfg.DiskCacheBytes),
 		sem:      make(chan struct{}, workers),
 		inflight: map[string]*inflightCall{},
 		reg:      telemetry.NewRegistry(),
 		latency:  map[string]*telemetry.Histogram{},
+	}
+	if cfg.MaxQueue > 0 {
+		s.admitLimit = int64(workers + cfg.MaxQueue)
 	}
 	s.registerMetrics()
 	return s
@@ -145,11 +187,20 @@ func (s *Service) registerMetrics() {
 		"Rule-cache misses by tier.", "disk",
 		func(c CacheStats) uint64 { return c.DiskMisses })
 	cacheCounter("janitizer_rule_cache_evictions_total",
-		"Memory-tier evictions.", "mem",
+		"Cache evictions by tier.", "mem",
 		func(c CacheStats) uint64 { return c.Evictions })
+	cacheCounter("janitizer_rule_cache_evictions_total",
+		"Cache evictions by tier.", "disk",
+		func(c CacheStats) uint64 { return c.DiskEvictions })
+	cacheCounter("janitizer_rule_cache_corrupt_total",
+		"Disk-tier entries dropped as corrupt.", "disk",
+		func(c CacheStats) uint64 { return c.DiskCorrupt })
 	cacheCounter("janitizer_rule_cache_puts_total",
 		"Rule-cache insertions.", "mem",
 		func(c CacheStats) uint64 { return c.Puts })
+	cf("janitizer_analyze_rejected_total",
+		"Requests rejected by the admission gate (backpressure).",
+		s.rejected.Load)
 	r.GaugeFunc("janitizer_rule_cache_mem_bytes",
 		"Memory-tier resident bytes.",
 		func() float64 { return float64(s.cache.Stats().MemBytes) })
@@ -197,16 +248,72 @@ func (s *Service) Stats() Stats {
 			CacheHits: s.cacheHits.Load(),
 			Analyzed:  s.analyzed.Load(),
 			Errors:    s.errors.Load(),
+			Rejected:  s.rejected.Load(),
 			Workers:   cap(s.sem),
 		},
 	}
 }
+
+// TryAdmit reserves n admission slots, or reports backpressure: false
+// means the scheduler queue is full and the caller should answer 429.
+// Every successful TryAdmit must be paired with a Finish. With MaxQueue
+// unset admission always succeeds.
+func (s *Service) TryAdmit(n int) bool {
+	if s.admitLimit <= 0 {
+		return true
+	}
+	for {
+		cur := s.admitCur.Load()
+		if cur+int64(n) > s.admitLimit {
+			s.rejected.Add(uint64(n))
+			return false
+		}
+		if s.admitCur.CompareAndSwap(cur, cur+int64(n)) {
+			return true
+		}
+	}
+}
+
+// Finish releases n admission slots reserved by TryAdmit.
+func (s *Service) Finish(n int) {
+	if s.admitLimit > 0 {
+		s.admitCur.Add(-int64(n))
+	}
+}
+
+// Accepting reports whether the admission gate has room — the readiness
+// half of GET /readyz.
+func (s *Service) Accepting() bool {
+	return s.admitLimit <= 0 || s.admitCur.Load() < s.admitLimit
+}
+
+// DiskReady reports whether the on-disk cache tier (if configured) accepts
+// writes; used by GET /readyz.
+func (s *Service) DiskReady() error { return s.cache.DiskReady() }
+
+// CacheProbe is a pure cache lookup by content address — no scheduling, no
+// computation. internal/cluster uses it to distinguish a local hit from a
+// peer-fill opportunity. The returned slice is shared.
+func (s *Service) CacheProbe(key string) ([]byte, bool) { return s.cache.Get(key) }
+
+// CacheInsert stores an externally produced artifact (a peer fill) under
+// its content address. The cache keeps a reference to val.
+func (s *Service) CacheInsert(key string, val []byte) { s.cache.Put(key, val) }
 
 // AnalyzeModuleBytes returns the marshaled rules.File (.jrw bytes) for mod
 // under tool, serving from cache when possible. Concurrent calls for the
 // same (module, tool configuration) coalesce into one analysis. The
 // returned slice is shared — callers must not modify it.
 func (s *Service) AnalyzeModuleBytes(mod *obj.Module, tool core.Tool) ([]byte, error) {
+	b, _, err := s.AnalyzeBytesTier("", mod, tool)
+	return b, err
+}
+
+// AnalyzeBytesTier implements Analyzer: AnalyzeModuleBytes plus where the
+// answer came from (TierLocal for a cache hit, TierMiss for a computed
+// analysis; coalesced callers inherit the leader's tier). toolName is
+// ignored — a single node never forwards.
+func (s *Service) AnalyzeBytesTier(_ string, mod *obj.Module, tool core.Tool) ([]byte, Tier, error) {
 	s.submitted.Add(1)
 	key := CacheKey(mod, tool)
 
@@ -215,19 +322,19 @@ func (s *Service) AnalyzeModuleBytes(mod *obj.Module, tool core.Tool) ([]byte, e
 		s.mu.Unlock()
 		s.coalesced.Add(1)
 		<-c.done
-		return c.val, c.err
+		return c.val, c.tier, c.err
 	}
 	c := &inflightCall{done: make(chan struct{})}
 	s.inflight[key] = c
 	s.mu.Unlock()
 
-	c.val, c.err = s.analyze(key, mod, tool)
+	c.val, c.tier, c.err = s.analyze(key, mod, tool)
 
 	s.mu.Lock()
 	delete(s.inflight, key)
 	s.mu.Unlock()
 	close(c.done)
-	return c.val, c.err
+	return c.val, c.tier, c.err
 }
 
 // AnalyzeModule implements core.ModuleAnalyzer over the cached byte path.
@@ -239,7 +346,7 @@ func (s *Service) AnalyzeModule(mod *obj.Module, tool core.Tool) (*rules.File, e
 	return rules.Unmarshal(b)
 }
 
-func (s *Service) analyze(key string, mod *obj.Module, tool core.Tool) ([]byte, error) {
+func (s *Service) analyze(key string, mod *obj.Module, tool core.Tool) ([]byte, Tier, error) {
 	sp := telemetry.StartSpan("anserve.analyze",
 		telemetry.String("module", mod.Name),
 		telemetry.String("tool", tool.Name()))
@@ -247,7 +354,7 @@ func (s *Service) analyze(key string, mod *obj.Module, tool core.Tool) ([]byte, 
 	if b, ok := s.cache.Get(key); ok {
 		s.cacheHits.Add(1)
 		sp.SetAttr(telemetry.String("cache", "hit"))
-		return b, nil
+		return b, TierLocal, nil
 	}
 	sp.SetAttr(telemetry.String("cache", "miss"))
 	s.sem <- struct{}{} // worker-pool slot
@@ -257,12 +364,12 @@ func (s *Service) analyze(key string, mod *obj.Module, tool core.Tool) ([]byte, 
 	s.toolLatency(tool.Name()).Observe(time.Since(start).Seconds())
 	if err != nil {
 		s.errors.Add(1)
-		return nil, fmt.Errorf("anserve: %w", err)
+		return nil, TierMiss, fmt.Errorf("anserve: %w", err)
 	}
 	s.analyzed.Add(1)
 	b := f.Marshal()
 	s.cache.Put(key, b)
-	return b, nil
+	return b, TierMiss, nil
 }
 
 // AnalyzeProgram analyzes the main module and its ldd-visible closure

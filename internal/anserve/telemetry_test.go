@@ -49,9 +49,10 @@ func TestStatsJSONShape(t *testing.T) {
 	}
 	want := map[string][]string{
 		"cache": {"mem_hits", "mem_misses", "disk_hits", "disk_misses",
-			"evictions", "puts", "mem_bytes", "mem_entries"},
+			"evictions", "puts", "mem_bytes", "mem_entries",
+			"disk_evictions", "disk_corrupt"},
 		"scheduler": {"submitted", "coalesced", "cache_hits", "analyzed",
-			"errors", "workers"},
+			"errors", "rejected", "workers"},
 	}
 	for section, fields := range want {
 		got, ok := payload[section]

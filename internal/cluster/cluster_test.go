@@ -1,0 +1,426 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/anserve"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/dbm"
+	"repro/internal/jasan"
+	"repro/internal/obj"
+	"repro/internal/rules"
+)
+
+// testTool returns the tool configuration the test fleet serves as
+// "jasan" — identical to anserve.DefaultTools().
+func testTool() core.Tool { return jasan.New(jasan.Config{UseLiveness: true}) }
+
+// gateTool blocks inside StaticPass until released, keeping an analysis in
+// flight on the node that owns it.
+type gateTool struct {
+	core.Tool
+	gate <-chan struct{}
+}
+
+func (g *gateTool) StaticPass(sc *core.StaticContext) []rules.Rule {
+	<-g.gate
+	return g.Tool.StaticPass(sc)
+}
+
+func (g *gateTool) Instrument(bc *dbm.BlockContext, r map[uint64][]rules.Rule) []dbm.CInstr {
+	return g.Tool.Instrument(bc, r)
+}
+
+// testNode is one fleet member: service, cluster wrapper, daemon,
+// listener.
+type testNode struct {
+	addr string
+	svc  *anserve.Service
+	clu  *Cluster
+	d    *anserve.Daemon
+	down bool
+}
+
+// kill shuts the node's daemon down mid-run.
+func (n *testNode) kill(t *testing.T) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := n.d.Shutdown(ctx); err != nil {
+		t.Fatalf("kill %s: %v", n.addr, err)
+	}
+	n.down = true
+}
+
+// startFleet brings up n janitizerd-equivalent nodes on loopback
+// listeners, all placing against the same member list. gates[addr], when
+// present, wraps that node's tool so tests can hold its analyses open.
+func startFleet(t *testing.T, n int, gates map[int]<-chan struct{}) []*testNode {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	nodes := make([]*testNode, n)
+	for i := range nodes {
+		svc := anserve.New(anserve.Config{Workers: 4})
+		clu, err := New(svc, Config{
+			Self:          addrs[i],
+			Members:       addrs,
+			PeerTimeout:   2 * time.Minute, // gated analyses must not trip it
+			FailThreshold: 1,               // tests want immediate passive demotion
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gate := gates[i]
+		tools := map[string]anserve.ToolFactory{
+			"jasan": func() core.Tool {
+				if gate != nil {
+					return &gateTool{Tool: testTool(), gate: gate}
+				}
+				return testTool()
+			},
+		}
+		d := anserve.NewDaemonOpts(svc, tools, anserve.DaemonOptions{
+			Handler: anserve.HandlerOpts{Analyzer: clu},
+		})
+		nodes[i] = &testNode{addr: addrs[i], svc: svc, clu: clu, d: d}
+		go d.Serve(lns[i])
+	}
+	t.Cleanup(func() {
+		for _, node := range nodes {
+			if node.down {
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			node.d.Shutdown(ctx)
+			cancel()
+		}
+	})
+	return nodes
+}
+
+// compileN builds the i-th distinct test module (distinct content hash,
+// same shape).
+func compileN(t *testing.T, i int) *obj.Module {
+	t.Helper()
+	mod, err := cc.Compile(fmt.Sprintf(`
+int work(int n) {
+	int j;
+	int s;
+	s = %d;
+	for (j = 0; j < n; j = j + 1) { s = s + j; }
+	return s;
+}
+int main() { return work(10); }
+`, i), cc.Options{Module: fmt.Sprintf("cluster-test-%d", i), O2: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+// moduleOwnedBy searches for a module whose cache key lands on the wanted
+// node.
+func moduleOwnedBy(t *testing.T, clu *Cluster, owner string) *obj.Module {
+	t.Helper()
+	for i := 0; i < 256; i++ {
+		mod := compileN(t, i)
+		if clu.Owner(anserve.CacheKey(mod, testTool())) == owner {
+			return mod
+		}
+	}
+	t.Fatalf("no test module hashes to %s", owner)
+	return nil
+}
+
+// post sends one analysis request and returns status, X-Cache tier and
+// body.
+func post(t *testing.T, addr string, mod *obj.Module) (int, string, []byte) {
+	t.Helper()
+	resp, err := http.Post("http://"+addr+"/analyze?tool=jasan",
+		"application/octet-stream", bytes.NewReader(mod.Marshal()))
+	if err != nil {
+		t.Fatalf("post to %s: %v", addr, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("X-Cache"), body
+}
+
+// reference computes the single-node ground truth for mod.
+func reference(t *testing.T, mod *obj.Module) []byte {
+	t.Helper()
+	f, err := core.AnalyzeModule(mod, testTool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f.Marshal()
+}
+
+// TestPeerFill is the tentpole acceptance path: a request landing on a
+// non-owner is filled from the owning sibling (computed there, once),
+// cached locally, and byte-identical to a single-node analysis. The
+// second request is a pure local hit.
+func TestPeerFill(t *testing.T) {
+	nodes := startFleet(t, 2, nil)
+	a, b := nodes[0], nodes[1]
+	mod := moduleOwnedBy(t, a.clu, b.addr)
+
+	status, tier, body := post(t, a.addr, mod)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	if tier != string(anserve.TierPeer) {
+		t.Fatalf("X-Cache = %q, want peer", tier)
+	}
+	if want := reference(t, mod); !bytes.Equal(body, want) {
+		t.Fatal("peer-filled artifact differs from single-node analysis")
+	}
+	if got := a.clu.peerFills.Load(); got != 1 {
+		t.Fatalf("peer fills on A = %d, want 1", got)
+	}
+	if got := a.svc.Stats().Sched.Analyzed; got != 0 {
+		t.Fatalf("A computed %d analyses, want 0 (filled from B)", got)
+	}
+	if got := b.svc.Stats().Sched.Analyzed; got != 1 {
+		t.Fatalf("B computed %d analyses, want exactly 1", got)
+	}
+
+	// Now resident locally: no second network hop.
+	_, tier, body2 := post(t, a.addr, mod)
+	if tier != string(anserve.TierLocal) {
+		t.Fatalf("second request X-Cache = %q, want local", tier)
+	}
+	if !bytes.Equal(body, body2) {
+		t.Fatal("local re-serve differs from peer fill")
+	}
+	if got := a.clu.peerFills.Load(); got != 1 {
+		t.Fatalf("local hit triggered another fill: %d", got)
+	}
+}
+
+// TestOwnerComputesLocally: the home shard itself never peer-fills.
+func TestOwnerComputesLocally(t *testing.T) {
+	nodes := startFleet(t, 2, nil)
+	a := nodes[0]
+	mod := moduleOwnedBy(t, a.clu, a.addr)
+	status, tier, body := post(t, a.addr, mod)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if tier != string(anserve.TierMiss) {
+		t.Fatalf("X-Cache = %q, want miss (owner computes)", tier)
+	}
+	if !bytes.Equal(body, reference(t, mod)) {
+		t.Fatal("owner-computed artifact differs from reference")
+	}
+	if got := a.clu.peerFills.Load(); got != 0 {
+		t.Fatalf("owner peer-filled its own key: %d", got)
+	}
+}
+
+// TestByteIdenticalAcrossFleet: every node of a 3-node fleet answers the
+// same module with exactly the same bytes as a single-node analysis,
+// regardless of which tier served it.
+func TestByteIdenticalAcrossFleet(t *testing.T) {
+	nodes := startFleet(t, 3, nil)
+	for i := 0; i < 6; i++ {
+		mod := compileN(t, i)
+		want := reference(t, mod)
+		for _, node := range nodes {
+			status, tier, body := post(t, node.addr, mod)
+			if status != http.StatusOK {
+				t.Fatalf("node %s: status %d", node.addr, status)
+			}
+			if !bytes.Equal(body, want) {
+				t.Fatalf("node %s served different bytes (tier %s)", node.addr, tier)
+			}
+		}
+	}
+	// The fleet must have exercised the fill path at least once.
+	var fills uint64
+	for _, node := range nodes {
+		fills += node.clu.peerFills.Load()
+	}
+	if fills == 0 {
+		t.Fatal("no peer fills across a 3-node sweep")
+	}
+}
+
+// TestSingleflightCrossShard is the satellite concurrency test: many
+// concurrent requests to a non-owner for a sibling-owned key must
+// coalesce into ONE peer fill backed by ONE compute on the owner — no
+// duplicate computes, no duplicate fetches, no deadlock. Run under -race
+// by scripts/ci.sh.
+func TestSingleflightCrossShard(t *testing.T) {
+	gate := make(chan struct{})
+	nodes := startFleet(t, 2, map[int]<-chan struct{}{1: gate})
+	a, b := nodes[0], nodes[1]
+	mod := moduleOwnedBy(t, a.clu, b.addr)
+
+	const clients = 8
+	tiers := make([]string, clients)
+	bodies := make([][]byte, clients)
+	codes := make([]int, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], tiers[i], bodies[i] = post(t, a.addr, mod)
+		}(i)
+	}
+	// Hold B's compute open until all but the leader have coalesced on A.
+	deadline := time.Now().Add(30 * time.Second)
+	for a.clu.coalesced.Load() < clients-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("requests never coalesced: %d", a.clu.coalesced.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	for i := 0; i < clients; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("client %d: status %d", i, codes[i])
+		}
+		if tiers[i] != string(anserve.TierPeer) {
+			t.Fatalf("client %d: tier %q, want peer", i, tiers[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("client %d: bytes differ", i)
+		}
+	}
+	if got := a.clu.peerFills.Load(); got != 1 {
+		t.Fatalf("peer fills = %d, want exactly 1 (singleflight hop one)", got)
+	}
+	if got := b.svc.Stats().Sched.Analyzed; got != 1 {
+		t.Fatalf("owner computed %d times, want exactly 1 (singleflight hop two)", got)
+	}
+	if got := a.svc.Stats().Sched.Analyzed; got != 0 {
+		t.Fatalf("non-owner computed %d times, want 0", got)
+	}
+	if !bytes.Equal(bodies[0], reference(t, mod)) {
+		t.Fatal("coalesced artifact differs from single-node analysis")
+	}
+}
+
+// TestDegradesWhenPeerDies kills the owner mid-run: requests for its keys
+// must keep succeeding via local compute (slower, never wrong, zero
+// failures), and the dead sibling is demoted so later requests skip the
+// network hop entirely.
+func TestDegradesWhenPeerDies(t *testing.T) {
+	nodes := startFleet(t, 2, nil)
+	a, b := nodes[0], nodes[1]
+	mod1 := moduleOwnedBy(t, a.clu, b.addr)
+	// A healthy fill first, proving the fleet was actually cooperating.
+	if _, tier, _ := post(t, a.addr, mod1); tier != string(anserve.TierPeer) {
+		t.Fatalf("warmup tier = %q, want peer", tier)
+	}
+
+	b.kill(t)
+
+	// A different B-owned module: the fill fails, A computes locally.
+	var mod2 *obj.Module
+	for i := 0; ; i++ {
+		m := compileN(t, 1000+i)
+		if a.clu.Owner(anserve.CacheKey(m, testTool())) == b.addr {
+			mod2 = m
+			break
+		}
+	}
+	status, tier, body := post(t, a.addr, mod2)
+	if status != http.StatusOK {
+		t.Fatalf("request failed after owner death: %d", status)
+	}
+	if tier != string(anserve.TierMiss) {
+		t.Fatalf("tier = %q, want miss (local compute fallback)", tier)
+	}
+	if !bytes.Equal(body, reference(t, mod2)) {
+		t.Fatal("fallback artifact differs from reference")
+	}
+	if a.clu.localFallback.Load() == 0 {
+		t.Fatal("fallback not counted")
+	}
+	if a.clu.Healthy(b.addr) {
+		t.Fatal("dead peer still marked healthy after failed fill")
+	}
+
+	// Demoted: the next B-owned miss goes straight to local compute
+	// without growing the fill-error count.
+	errsBefore := a.clu.peerFillErrs.Load()
+	var mod3 *obj.Module
+	for i := 0; ; i++ {
+		m := compileN(t, 2000+i)
+		if a.clu.Owner(anserve.CacheKey(m, testTool())) == b.addr {
+			mod3 = m
+			break
+		}
+	}
+	status, tier, _ = post(t, a.addr, mod3)
+	if status != http.StatusOK || tier != string(anserve.TierMiss) {
+		t.Fatalf("post-demotion request: status %d tier %q", status, tier)
+	}
+	if got := a.clu.peerFillErrs.Load(); got != errsBefore {
+		t.Fatalf("demoted peer still contacted: fill errors %d -> %d", errsBefore, got)
+	}
+}
+
+// TestHealthProbeRecovery drives the probe loop directly: a dead peer is
+// demoted by probes, and a revived one is promoted again.
+func TestHealthProbeRecovery(t *testing.T) {
+	nodes := startFleet(t, 2, nil)
+	a, b := nodes[0], nodes[1]
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	a.clu.probeAll(ctx)
+	if !a.clu.Healthy(b.addr) {
+		t.Fatal("live peer probed unhealthy")
+	}
+
+	b.kill(t)
+	a.clu.probeAll(ctx)
+	if a.clu.Healthy(b.addr) {
+		t.Fatal("dead peer probed healthy")
+	}
+
+	// Revive B's address with a fresh service.
+	ln, err := net.Listen("tcp", b.addr)
+	if err != nil {
+		t.Skipf("cannot rebind %s: %v", b.addr, err)
+	}
+	svc := anserve.New(anserve.Config{Workers: 1})
+	d := anserve.NewDaemon(svc, anserve.DefaultTools())
+	go d.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		d.Shutdown(ctx)
+	}()
+	a.clu.probeAll(ctx)
+	if !a.clu.Healthy(b.addr) {
+		t.Fatal("revived peer not promoted")
+	}
+}

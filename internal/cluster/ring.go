@@ -1,0 +1,110 @@
+// Package cluster turns N janitizerd instances into one analysis fleet.
+//
+// The content-addressed rule cache (internal/anserve) makes this almost
+// free: an artifact's cache key is a pure function of the module bytes and
+// the tool configuration, identical on every node, so a consistent-hash
+// ring over that key gives every artifact a deterministic *home shard*.
+// A node that misses locally asks the home shard for the serialized
+// artifact (peer fill) before computing it itself; the home shard computes
+// on its own miss, so a hot module is analyzed once fleet-wide and then
+// served from every node's local tier.
+//
+// Failure semantics are strictly availability-first: placement is an
+// optimization, never a correctness dependency. If the owner is down,
+// unreachable, overloaded, or returns bytes that do not parse as a rule
+// file, the requesting node falls back to computing locally — a slower
+// answer, never a wrong one, and never an error the client sees.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is the per-member virtual-node count. 128 points per
+// member keeps the max/mean shard imbalance in the low single-digit
+// percents for small fleets while the ring stays tiny (N*128 uint64s).
+const DefaultVirtualNodes = 128
+
+// Ring is an immutable consistent-hash ring: every member contributes
+// vnodes points, a key is owned by the first point clockwise from its
+// hash. Identical member lists build identical rings on every node —
+// placement is deterministic fleet-wide. Removing a member only reassigns
+// the keys it owned (~1/N of the space); the rest keep their home shard.
+type Ring struct {
+	points  []ringPoint // sorted by hash
+	members []string    // sorted, deduplicated
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// NewRing builds a ring over members (deduplicated; order-insensitive)
+// with vnodes virtual nodes each (<= 0 selects DefaultVirtualNodes).
+func NewRing(members []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := map[string]bool{}
+	var uniq []string
+	for _, m := range members {
+		if m == "" {
+			return nil, fmt.Errorf("cluster: empty ring member")
+		}
+		if !seen[m] {
+			seen[m] = true
+			uniq = append(uniq, m)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	sort.Strings(uniq)
+	r := &Ring{members: uniq}
+	for _, m := range uniq {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{
+				hash:   ringHash(m + "#" + strconv.Itoa(i)),
+				member: m,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties break on member name so every node sorts identically.
+		return r.points[i].member < r.points[j].member
+	})
+	return r, nil
+}
+
+// Owner returns the member owning key: the first ring point at or after
+// the key's hash, wrapping at the top.
+func (r *Ring) Owner(key string) string {
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool {
+		return r.points[i].hash >= h
+	})
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// Members returns the sorted member list.
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.members...)
+}
+
+// ringHash is FNV-1a 64 — fast, dependency-free, and stable across
+// platforms and releases (placement must agree between binaries).
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}

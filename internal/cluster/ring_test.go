@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministic checks placement is a pure function of the member
+// set: member order must not matter, and repeated construction agrees.
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing([]string{"n1:1", "n2:2", "n3:3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"n3:3", "n1:1", "n2:2", "n2:2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %s: owner differs across member orderings: %s vs %s",
+				key, a.Owner(key), b.Owner(key))
+		}
+	}
+	if got := a.Members(); len(got) != 3 {
+		t.Fatalf("members = %v, want 3 deduplicated", got)
+	}
+}
+
+// TestRingBalance checks virtual nodes spread keys across members without
+// gross skew. Deterministic: fnv over fixed keys.
+func TestRingBalance(t *testing.T) {
+	members := []string{"10.0.0.1:7741", "10.0.0.2:7741", "10.0.0.3:7741"}
+	r, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("sha256-like-key-%d", i))]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / n
+		if share < 0.15 || share > 0.55 {
+			t.Fatalf("member %s owns %.1f%% of keys (counts %v)", m, share*100, counts)
+		}
+	}
+}
+
+// TestRingStability checks the consistent-hash property: removing one
+// member only reassigns the keys it owned; every other key keeps its home.
+func TestRingStability(t *testing.T) {
+	full, err := NewRing([]string{"a:1", "b:2", "c:3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing([]string{"a:1", "b:2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, kept := 0, 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := full.Owner(key)
+		after := reduced.Owner(key)
+		if before == "c:3" {
+			continue // these must move somewhere
+		}
+		if before != after {
+			moved++
+		} else {
+			kept++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys moved between surviving members (kept %d)", moved, kept)
+	}
+}
+
+// TestRingErrors covers the degenerate member lists.
+func TestRingErrors(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a:1", ""}, 0); err == nil {
+		t.Fatal("empty member accepted")
+	}
+}

@@ -66,6 +66,59 @@ else
 	echo "janitizerd smoke: skipped (no curl)"
 fi
 
+echo "== 3-node fleet smoke =="
+if ! command -v curl >/dev/null 2>&1; then
+	echo "fleet smoke: skipped (no curl)"
+else
+	# Launch a 3-member fleet plus a single-node reference and replay a small
+	# mixed workload through jload with -verify (every node, baseline included,
+	# must return byte-identical results) and -require-peer-fill (the fleet's
+	# janitizer_cluster_peer_fill_total must grow). Then kill one member and
+	# replay a hot workload against the survivors: a dead shard owner must
+	# degrade to local compute with zero failed requests.
+	go build -o /tmp/janitizerd-ci ./cmd/janitizerd
+	go build -o /tmp/jload-ci ./cmd/jload
+	FLEET_DIR=$(mktemp -d)
+	FLEET_PEERS="127.0.0.1:7751,127.0.0.1:7752,127.0.0.1:7753"
+	/tmp/janitizerd-ci -quiet -addr 127.0.0.1:7750 -cachedir "$FLEET_DIR/single" &
+	SINGLE_PID=$!
+	/tmp/janitizerd-ci -quiet -addr 127.0.0.1:7751 -cachedir "$FLEET_DIR/n1" -peers "$FLEET_PEERS" &
+	N1_PID=$!
+	/tmp/janitizerd-ci -quiet -addr 127.0.0.1:7752 -cachedir "$FLEET_DIR/n2" -peers "$FLEET_PEERS" &
+	N2_PID=$!
+	/tmp/janitizerd-ci -quiet -addr 127.0.0.1:7753 -cachedir "$FLEET_DIR/n3" -peers "$FLEET_PEERS" &
+	N3_PID=$!
+	trap 'kill "$SINGLE_PID" "$N1_PID" "$N2_PID" "$N3_PID" 2>/dev/null || true' EXIT
+	for port in 7750 7751 7752 7753; do
+		ok=0
+		for _ in 1 2 3 4 5 6 7 8 9 10; do
+			if curl -sf "http://127.0.0.1:$port/readyz" >/dev/null 2>&1; then
+				ok=1
+				break
+			fi
+			sleep 0.3
+		done
+		if [ "$ok" != "1" ]; then
+			echo "fleet smoke: node on :$port never became ready" >&2
+			exit 1
+		fi
+	done
+	# jload exits nonzero on any failed request, result divergence, or zero
+	# peer fills — each of those fails CI here.
+	/tmp/jload-ci -quiet -addrs "$FLEET_PEERS" -single 127.0.0.1:7750 \
+		-n 60 -c 4 -modules 8 -verify -require-peer-fill -o /tmp/jload-ci.json
+	kill "$N3_PID" 2>/dev/null || true
+	wait "$N3_PID" 2>/dev/null || true
+	# Modules whose home shard was :7753 must now compute locally — still
+	# zero errors or jload exits nonzero.
+	/tmp/jload-ci -quiet -addrs 127.0.0.1:7751,127.0.0.1:7752 \
+		-mix hot -n 40 -c 4 -modules 8 -o /tmp/jload-ci-degraded.json
+	kill "$SINGLE_PID" "$N1_PID" "$N2_PID" 2>/dev/null || true
+	trap - EXIT
+	rm -rf "$FLEET_DIR"
+	echo "fleet smoke: byte-identical, peer fills observed, node-kill degraded cleanly"
+fi
+
 echo "== bench + profile =="
 # Full-suite scheme sweep writing BENCH_JANITIZER.json and the attributed
 # BENCH_PROFILE.json. In short mode (CI_SHORT=1) the full 28-workload sweep
