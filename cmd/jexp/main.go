@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	jexp [-scale n] [-parallel n] [-stats] [-o file] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|elision|jmsan|bench|profile|all [benchmarks...]
+//	jexp [-scale n] [-parallel n] [-stats] [-o file] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|elision|jmsan|bench|rewrite|profile|all [benchmarks...]
 //
 // Workloads within a figure run concurrently (-parallel, default
 // GOMAXPROCS); static analysis is served by a shared content-addressed rule
@@ -31,7 +31,7 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr,
-			"usage: jexp [-scale n] [-parallel n] [-o file] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|elision|jmsan|bench|profile|all [benchmarks...]")
+			"usage: jexp [-scale n] [-parallel n] [-o file] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|elision|jmsan|bench|rewrite|profile|all [benchmarks...]")
 		os.Exit(2)
 	}
 	experiments.Parallel = *parallel
@@ -88,6 +88,18 @@ func main() {
 				return err
 			}
 			fmt.Println(experiments.FormatJMSan(rows))
+			return nil
+		case "rewrite":
+			// Three-way backend bake-off (dynamic DBM vs static AOT
+			// rewriting vs hybrid fail-over) over the rewrite-capable
+			// schemes; pure JSON for scripts/bench.sh. Every cell's exit
+			// status and output are checked against the native run, so a
+			// successful sweep doubles as a parity gate.
+			rows, err := experiments.BenchRewrite(*scale, benches...)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatBenchJSON(rows))
 			return nil
 		case "bench":
 			// Pure-JSON scheme sweep for scripts/bench.sh; not part of

@@ -8,11 +8,19 @@
 // rule file. It also discharges the per-function ABI axioms ("abi:<name>")
 // against the exporting module's derived call-effect summary.
 //
+// jvet also vets the static rewriting backend: it captures the combined
+// configuration's rewrite plans for each workload, bakes them into the
+// module closure, and re-derives every structural guarantee with the
+// independent verifier in internal/rewrite — original bytes untouched
+// outside pin windows, trampolines well-formed, copy region exactly the
+// plan's materialisation.
+//
 // Exit status is nonzero when any elision or narrowing decision cannot be
 // independently re-proven: an unsound proof must never reach a run.
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"os"
@@ -26,7 +34,9 @@ import (
 	"repro/internal/jasan"
 	"repro/internal/jcfi"
 	"repro/internal/jmsan"
+	"repro/internal/loader"
 	"repro/internal/obj"
+	"repro/internal/rewrite"
 	"repro/internal/spec"
 	"repro/internal/vsa"
 )
@@ -58,8 +68,8 @@ func main() {
 		}
 	}
 
-	fmt.Printf("jvet: %d module/tool passes, %d claims replayed, %d violations\n",
-		v.passes, v.claims, len(v.violations))
+	fmt.Printf("jvet: %d module/tool passes, %d claims replayed, %d rewritten modules verified, %d violations\n",
+		v.passes, v.claims, v.rewrites, len(v.violations))
 	if len(v.violations) > 0 {
 		for _, msg := range v.violations {
 			fmt.Fprintf(os.Stderr, "jvet: VIOLATION: %s\n", msg)
@@ -83,6 +93,7 @@ type vetter struct {
 	verbose    bool
 	passes     int
 	claims     int
+	rewrites   int
 	violations []string
 	// done memoizes verified (module hash, tool key) pairs — libj and
 	// shared helper modules recur across workloads.
@@ -119,6 +130,67 @@ func (v *vetter) vetWorkload(w *spec.Workload) error {
 			if err := v.vetModule(mod, tool, mods); err != nil {
 				return err
 			}
+		}
+	}
+	return v.vetRewrite(w, main, reg)
+}
+
+// rewriteTool is the configuration the rewriting pass vets: the combined
+// jasan+jmsan+jcfi tool, so every tool's plan fragments are exercised.
+// Fresh per call: tools carry per-run state.
+func rewriteTool() core.Tool {
+	return core.NewMultiTool(
+		jasan.New(jasan.Config{UseLiveness: true}),
+		jmsan.New(jmsan.Config{UseLiveness: true}),
+		jcfi.New(jcfi.DefaultConfig))
+}
+
+// vetRewrite statically rewrites the workload's module closure from freshly
+// captured plans and re-derives every structural guarantee with the
+// independent verifier. Memoized by (module hash, plan bytes): a shared
+// module recurs across workloads, but its plan can differ per program
+// placement, so the plan encoding is part of the key.
+func (v *vetter) vetRewrite(w *spec.Workload, main *obj.Module, reg loader.Registry) error {
+	files, err := core.AnalyzeProgram(main, reg, rewriteTool())
+	if err != nil {
+		return err
+	}
+	plans, err := rewrite.CapturePlans(main, reg, files, rewriteTool())
+	if err != nil {
+		return err
+	}
+	rws, err := rewrite.RewriteModules(main, reg, plans)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for n := range rws {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		mod := reg[n]
+		if n == main.Name {
+			mod = main
+		}
+		key := fmt.Sprintf("%s/rewrite/%x", mod.HashString(), sha256.Sum256(plans[n].Marshal()))
+		if v.done[key] {
+			continue
+		}
+		v.done[key] = true
+		vio, err := rewrite.Verify(mod, plans[n], rws[n])
+		if err != nil {
+			return err
+		}
+		v.rewrites++
+		man := rws[n].Manifest
+		if v.verbose {
+			fmt.Printf("jvet: %-12s rewrite: %d functions covered, %d anchors\n",
+				n, len(man.Covered), man.Anchors)
+		}
+		for _, msg := range vio {
+			v.violations = append(v.violations,
+				fmt.Sprintf("rewrite %s/%s: %s", w.Name, n, msg))
 		}
 	}
 	return nil

@@ -138,7 +138,12 @@ func AnalyzeModuleProofs(mod *obj.Module, tool Tool) (*rules.File, *vsa.ProofSet
 }
 
 // toolKey identifies a (tool, configuration) pair in proof artifacts.
-func toolKey(tool Tool) string {
+func toolKey(tool Tool) string { return ToolKey(tool) }
+
+// ToolKey identifies a (tool, configuration) pair: the tool name plus its
+// ConfigKey when it has one. Proof artifacts, rewrite plans and caches all
+// key on it so differently-configured instances never alias.
+func ToolKey(tool Tool) string {
 	if ck, ok := tool.(interface{ ConfigKey() string }); ok {
 		return tool.Name() + ":" + ck.ConfigKey()
 	}

@@ -98,22 +98,52 @@ func (m *MultiTool) StaticPass(sc *StaticContext) []rules.Rule {
 	return out
 }
 
-// Instrument implements Tool: one walk, every tool's static plan.
-func (m *MultiTool) Instrument(bc *dbm.BlockContext, instrRules map[uint64][]rules.Rule) []dbm.CInstr {
+// multiPlan composes several tools' plans: each hook runs every sub-plan in
+// tool order. Because every sub-plan's output is self-contained, the
+// composition is itself a valid InstrPlan.
+type multiPlan struct{ plans []InstrPlan }
+
+func (m multiPlan) Before(e *dbm.Emitter, idx int) {
+	for _, p := range m.plans {
+		p.Before(e, idx)
+	}
+}
+
+func (m multiPlan) After(e *dbm.Emitter, idx int) {
+	for _, p := range m.plans {
+		p.After(e, idx)
+	}
+}
+
+// PlanStatic implements PlannedTool: the composition of every sub-tool's
+// static plan, so MultiTool itself composes (and so the rewrite backend can
+// capture one combined plan per anchor).
+func (m *MultiTool) PlanStatic(bc *dbm.BlockContext, instrRules map[uint64][]rules.Rule) InstrPlan {
 	plans := make([]InstrPlan, len(m.Tools))
 	for i, t := range m.Tools {
 		plans[i] = t.PlanStatic(bc, instrRules)
 	}
-	return EmitPlans(bc, plans...)
+	return multiPlan{plans}
 }
 
-// DynFallback implements Tool: one walk, every tool's dynamic plan.
-func (m *MultiTool) DynFallback(bc *dbm.BlockContext) []dbm.CInstr {
+// PlanDyn implements PlannedTool: the composition of every sub-tool's
+// dynamic plan.
+func (m *MultiTool) PlanDyn(bc *dbm.BlockContext) InstrPlan {
 	plans := make([]InstrPlan, len(m.Tools))
 	for i, t := range m.Tools {
 		plans[i] = t.PlanDyn(bc)
 	}
-	return EmitPlans(bc, plans...)
+	return multiPlan{plans}
+}
+
+// Instrument implements Tool: one walk, every tool's static plan.
+func (m *MultiTool) Instrument(bc *dbm.BlockContext, instrRules map[uint64][]rules.Rule) []dbm.CInstr {
+	return EmitPlans(bc, m.PlanStatic(bc, instrRules))
+}
+
+// DynFallback implements Tool: one walk, every tool's dynamic plan.
+func (m *MultiTool) DynFallback(bc *dbm.BlockContext) []dbm.CInstr {
+	return EmitPlans(bc, m.PlanDyn(bc))
 }
 
 // RuntimeInit implements Tool: sub-tool runtimes initialise in order.

@@ -23,6 +23,22 @@ import (
 	"repro/internal/vm"
 )
 
+// RelocKind tags a meta instruction whose immediate is position-dependent.
+// The DBM itself never consults it — meta code it caches was emitted against
+// run-time addresses and is correct as-is — but the static rewriting backend
+// (internal/rewrite) replays the same emission into a relocated copy of the
+// code and must know which immediates to rematerialise there.
+type RelocKind uint8
+
+const (
+	// RelocNone marks position-independent meta code (the default).
+	RelocNone RelocKind = iota
+	// RelocRetAddr marks a meta MovRI whose immediate is the return
+	// address of the anchor call instruction (the shadow-stack push).
+	// A static copy must substitute the copy's own fall-through address.
+	RelocRetAddr
+)
+
 // CInstr is one code-cache instruction: an application instruction copied
 // into the cache, or a meta-instruction inserted by the client.
 type CInstr struct {
@@ -40,6 +56,8 @@ type CInstr struct {
 	// zero value is telemetry.CCOther, so untagged meta code stays
 	// accounted for.
 	CC telemetry.CostCenter
+	// Reloc marks a position-dependent meta immediate (see RelocKind).
+	Reloc RelocKind
 }
 
 // App wraps an application instruction for the code cache.
@@ -226,27 +244,36 @@ func (d *DBM) Run(entry uint64) error {
 	m := d.M
 	m.PC = entry
 	for !m.Halted {
-		if d.TraceHook != nil {
-			d.TraceHook(m.PC)
-		}
-		blk := d.cache[m.PC]
-		if blk == nil {
-			var err error
-			blk, err = d.build(m.PC)
-			if err != nil {
-				d.endRunSpan(sp)
-				return err
-			}
-		} else {
-			d.Stats.CacheHits++
-		}
-		if err := d.exec(blk); err != nil {
+		if err := d.Step(); err != nil {
 			d.endRunSpan(sp)
 			return err
 		}
 	}
 	d.endRunSpan(sp)
 	return nil
+}
+
+// Step dispatches exactly one block at the machine's current PC: cache
+// lookup (or translation on a miss) followed by execution. On return m.PC
+// holds the next application address, or the machine has halted. Step is
+// Run's loop body, exported so the hybrid rewriting backend can interleave
+// DBM dispatch with native execution of statically rewritten code.
+func (d *DBM) Step() error {
+	m := d.M
+	if d.TraceHook != nil {
+		d.TraceHook(m.PC)
+	}
+	blk := d.cache[m.PC]
+	if blk == nil {
+		var err error
+		blk, err = d.build(m.PC)
+		if err != nil {
+			return err
+		}
+	} else {
+		d.Stats.CacheHits++
+	}
+	return d.exec(blk)
 }
 
 // endRunSpan finishes the dbm.run span with the run's final counters.

@@ -40,6 +40,13 @@ func (e *Emitter) Meta(in isa.Instr) {
 	e.Out = append(e.Out, CInstr{In: in, JumpTo: -1, Meta: true, CC: e.cc})
 }
 
+// MetaReloc appends one meta instruction carrying a position-dependent
+// immediate, tagged so the static rewriting backend can rematerialise it
+// when the surrounding code moves.
+func (e *Emitter) MetaReloc(in isa.Instr, r RelocKind) {
+	e.Out = append(e.Out, CInstr{In: in, JumpTo: -1, Meta: true, CC: e.cc, Reloc: r})
+}
+
 // App appends one application instruction.
 func (e *Emitter) App(in isa.Instr) { e.Out = append(e.Out, App(in)) }
 

@@ -11,7 +11,11 @@ import (
 // its per-benchmark slowdowns over the workloads it can run, written by
 // scripts/bench.sh into BENCH_JANITIZER.json.
 type BenchRow struct {
-	Scheme          Scheme  `json:"scheme"`
+	Scheme Scheme `json:"scheme"`
+	// Backend identifies the execution backend the row measured —
+	// "dynamic" for the ordinary DBM rows, "static"/"hybrid" for the
+	// AOT-rewriting bake-off rows.
+	Backend         Backend `json:"backend"`
 	GeomeanSlowdown float64 `json:"geomean_slowdown"`
 	// Benchmarks counts the workloads contributing to the geomean (a
 	// scheme's applicability gates can exclude some).
@@ -59,6 +63,7 @@ func Bench(scale int, names ...string) ([]BenchRow, error) {
 		}
 		rows = append(rows, BenchRow{
 			Scheme:          s,
+			Backend:         BackendDynamic,
 			GeomeanSlowdown: metrics.Geomean(slowdowns),
 			Benchmarks:      len(slowdowns),
 		})

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 
 	"repro/internal/anserve"
@@ -54,10 +55,24 @@ const (
 	Comprehensive Scheme = "comprehensive"
 )
 
-// Result is one (benchmark, scheme) measurement.
+// Backend identifies the execution backend a measurement ran under: the
+// dynamic binary modifier (the default), the static AOT rewriter, or the
+// hybrid that runs statically rewritten code and fails over to the DBM.
+type Backend string
+
+// The execution backends of the bake-off.
+const (
+	BackendDynamic Backend = "dynamic"
+	BackendStatic  Backend = "static"
+	BackendHybrid  Backend = "hybrid"
+)
+
+// Result is one (benchmark, scheme, backend) measurement.
 type Result struct {
 	Benchmark string
 	Scheme    Scheme
+	// Backend is the execution backend the measurement ran under.
+	Backend Backend
 	// Failed marks configurations the scheme cannot run (the x marks of
 	// the figures); Reason explains why.
 	Failed bool
@@ -74,6 +89,9 @@ type Result struct {
 
 	Violations int
 	Coverage   core.CoverageStats
+	// Output is the program's captured stdout — the backend parity tests
+	// demand it byte-identical across dynamic, static and hybrid runs.
+	Output []byte
 	// ElidedChecks counts MEM_ACCESS_SAFE rules with a VSA-backed
 	// provenance (SafeFrame/SafeGlobal/SafeDedup/SafeDefInit) across the
 	// program's static rule files; NarrowedBranches counts CFI_JUMP_NARROW
@@ -107,6 +125,8 @@ func runNative(w *spec.Workload, pic bool) (*Result, error) {
 	m := vm.New()
 	m.InstallDefaultServices()
 	m.MaxInstrs = maxInstrs
+	var out bytes.Buffer
+	m.Out = &out
 	proc := loader.NewProcess(m, reg)
 	lm, err := proc.LoadProgram(main)
 	if err != nil {
@@ -115,9 +135,9 @@ func runNative(w *spec.Workload, pic bool) (*Result, error) {
 	if err := m.Run(lm.RuntimeAddr(main.Entry)); err != nil {
 		return nil, err
 	}
-	return &Result{Benchmark: w.Name, Scheme: Native, Cycles: m.Cycles,
-		NativeCycles: m.Cycles, Slowdown: 1, ExitStatus: m.ExitStatus,
-		Instrs: m.Instrs}, nil
+	return &Result{Benchmark: w.Name, Scheme: Native, Backend: BackendDynamic,
+		Cycles: m.Cycles, NativeCycles: m.Cycles, Slowdown: 1,
+		ExitStatus: m.ExitStatus, Instrs: m.Instrs, Output: out.Bytes()}, nil
 }
 
 // Run executes one (workload, scheme) configuration. A nil error with
@@ -191,66 +211,14 @@ func runWith(w *spec.Workload, scheme Scheme, prof *telemetry.Profile) (*Result,
 	}
 
 	// Build the tool and decide whether a static stage runs.
-	var tool core.Tool
-	static := true
-	switch scheme {
-	case NullClient:
-		tool = &passthroughTool{}
-		static = false
-	case JASanHybrid:
-		tool = jasan.New(jasan.Config{UseLiveness: true})
-	case JASanSCEV:
-		tool = jasan.New(jasan.Config{UseLiveness: true, UseSCEV: true})
-	case JASanElide:
-		tool = jasan.New(jasan.Config{UseLiveness: true, Elide: true})
-	case JASanHybridBase:
-		tool = jasan.New(jasan.Config{UseLiveness: false, UseSCEV: false})
-	case JASanDyn:
-		tool = jasan.New(jasan.Config{})
-		static = false
-	case Valgrind:
-		tool = baseline.NewValgrind()
-		static = false
-	case Retrowrite:
-		rw := baseline.NewRetrowrite()
+	tool, static, err := newTool(scheme)
+	if err != nil {
+		return nil, err
+	}
+	if rw, ok := tool.(*baseline.RetrowriteTool); ok {
 		if err := rw.CheckInput(main); err != nil {
 			return fail(err.Error())
 		}
-		tool = rw
-	case JCFIHybrid:
-		tool = jcfi.New(jcfi.DefaultConfig)
-	case JCFIForward:
-		tool = jcfi.New(jcfi.Config{Forward: true})
-	case JCFINarrow:
-		tool = jcfi.New(jcfi.Config{Forward: true, Backward: true, Narrow: true})
-	case JCFIDyn:
-		tool = jcfi.New(jcfi.DefaultConfig)
-		static = false
-	case Lockdown:
-		tool = baseline.NewLockdown(baseline.LockdownConfig{})
-		static = false
-	case LockdownWeak:
-		tool = baseline.NewLockdown(baseline.LockdownConfig{Weak: true})
-		static = false
-	case BinCFI:
-		tool = baseline.NewBinCFI()
-	case JMSanHybrid:
-		tool = jmsan.New(jmsan.Config{UseLiveness: true})
-	case JMSanElide:
-		tool = jmsan.New(jmsan.Config{UseLiveness: true, Elide: true})
-	case JMSanDyn:
-		tool = jmsan.New(jmsan.Config{})
-		static = false
-	case ValgrindDef:
-		tool = baseline.NewValgrindDef()
-		static = false
-	case Comprehensive:
-		tool = core.NewMultiTool(
-			jasan.New(jasan.Config{UseLiveness: true}),
-			jmsan.New(jmsan.Config{UseLiveness: true}),
-			jcfi.New(jcfi.DefaultConfig))
-	default:
-		return nil, fmt.Errorf("unknown scheme %q", scheme)
 	}
 
 	files := map[string]*rules.File{}
@@ -264,6 +232,8 @@ func runWith(w *spec.Workload, scheme Scheme, prof *telemetry.Profile) (*Result,
 	m := vm.New()
 	m.InstallDefaultServices()
 	m.MaxInstrs = maxInstrs
+	var out bytes.Buffer
+	m.Out = &out
 	proc := loader.NewProcess(m, reg)
 	rt := core.NewRuntime(m, proc, tool, files)
 	if prof != nil {
@@ -280,11 +250,17 @@ func runWith(w *spec.Workload, scheme Scheme, prof *telemetry.Profile) (*Result,
 		return nil, fmt.Errorf("%s/%s: semantics broken: exit %d, native %d",
 			w.Name, scheme, m.ExitStatus, native.ExitStatus)
 	}
+	if !bytes.Equal(out.Bytes(), native.Output) {
+		return nil, fmt.Errorf("%s/%s: semantics broken: output diverges from native",
+			w.Name, scheme)
+	}
 
+	res.Backend = BackendDynamic
 	res.Cycles = m.Cycles
 	res.Slowdown = metrics.Slowdown(m.Cycles, native.Cycles)
 	res.ExitStatus = m.ExitStatus
 	res.Instrs = m.Instrs
+	res.Output = out.Bytes()
 	res.Coverage = rt.Coverage
 	res.ElidedChecks, res.NarrowedBranches = countProofRules(files)
 
@@ -298,6 +274,58 @@ func runWith(w *spec.Workload, scheme Scheme, prof *telemetry.Profile) (*Result,
 		res.DAIR = tt.AIR()
 	}
 	return res, nil
+}
+
+// newTool builds the scheme's tool and reports whether its static analysis
+// stage runs. Each call returns a fresh instance — plan capture and the
+// measured run must not share tool state.
+func newTool(scheme Scheme) (core.Tool, bool, error) {
+	switch scheme {
+	case NullClient:
+		return &passthroughTool{}, false, nil
+	case JASanHybrid:
+		return jasan.New(jasan.Config{UseLiveness: true}), true, nil
+	case JASanSCEV:
+		return jasan.New(jasan.Config{UseLiveness: true, UseSCEV: true}), true, nil
+	case JASanElide:
+		return jasan.New(jasan.Config{UseLiveness: true, Elide: true}), true, nil
+	case JASanHybridBase:
+		return jasan.New(jasan.Config{UseLiveness: false, UseSCEV: false}), true, nil
+	case JASanDyn:
+		return jasan.New(jasan.Config{}), false, nil
+	case Valgrind:
+		return baseline.NewValgrind(), false, nil
+	case Retrowrite:
+		return baseline.NewRetrowrite(), true, nil
+	case JCFIHybrid:
+		return jcfi.New(jcfi.DefaultConfig), true, nil
+	case JCFIForward:
+		return jcfi.New(jcfi.Config{Forward: true}), true, nil
+	case JCFINarrow:
+		return jcfi.New(jcfi.Config{Forward: true, Backward: true, Narrow: true}), true, nil
+	case JCFIDyn:
+		return jcfi.New(jcfi.DefaultConfig), false, nil
+	case Lockdown:
+		return baseline.NewLockdown(baseline.LockdownConfig{}), false, nil
+	case LockdownWeak:
+		return baseline.NewLockdown(baseline.LockdownConfig{Weak: true}), false, nil
+	case BinCFI:
+		return baseline.NewBinCFI(), true, nil
+	case JMSanHybrid:
+		return jmsan.New(jmsan.Config{UseLiveness: true}), true, nil
+	case JMSanElide:
+		return jmsan.New(jmsan.Config{UseLiveness: true, Elide: true}), true, nil
+	case JMSanDyn:
+		return jmsan.New(jmsan.Config{}), false, nil
+	case ValgrindDef:
+		return baseline.NewValgrindDef(), false, nil
+	case Comprehensive:
+		return core.NewMultiTool(
+			jasan.New(jasan.Config{UseLiveness: true}),
+			jmsan.New(jmsan.Config{UseLiveness: true}),
+			jcfi.New(jcfi.DefaultConfig)), true, nil
+	}
+	return nil, false, fmt.Errorf("unknown scheme %q", scheme)
 }
 
 // toolViolations extracts a tool's violation count; combined tools sum

@@ -40,6 +40,7 @@ func (c Components) Sum() uint64 {
 type ProfileRow struct {
 	Benchmark    string     `json:"benchmark"`
 	Scheme       Scheme     `json:"scheme"`
+	Backend      Backend    `json:"backend"`
 	NativeCycles uint64     `json:"native_cycles"`
 	Cycles       uint64     `json:"cycles"`
 	Slowdown     float64    `json:"slowdown"`
@@ -52,6 +53,7 @@ type ProfileRow struct {
 // share of the total attributed overhead cycles across the suite).
 type ProfileScheme struct {
 	Scheme          Scheme  `json:"scheme"`
+	Backend         Backend `json:"backend"`
 	GeomeanSlowdown float64 `json:"geomean_slowdown"`
 	Benchmarks      int     `json:"benchmarks"`
 	// OverheadCycles is the summed Cycles−NativeCycles across the suite.
@@ -78,6 +80,7 @@ func profileRow(res *Result, prof *telemetry.Profile) (ProfileRow, error) {
 	row := ProfileRow{
 		Benchmark:    res.Benchmark,
 		Scheme:       res.Scheme,
+		Backend:      res.Backend,
 		NativeCycles: res.NativeCycles,
 		Cycles:       res.Cycles,
 		Slowdown:     res.Slowdown,
@@ -155,6 +158,7 @@ func Profile(scale int, names ...string) (*ProfileReport, error) {
 		}
 		rep.Schemes = append(rep.Schemes, ProfileScheme{
 			Scheme:           s,
+			Backend:          BackendDynamic,
 			GeomeanSlowdown:  metrics.Geomean(slowdowns),
 			Benchmarks:       len(slowdowns),
 			OverheadCycles:   overhead,

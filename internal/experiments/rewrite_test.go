@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// TestRewriteBackendParityAllWorkloads is the bake-off's correctness
+// acceptance: on every workload of the suite, the static and hybrid
+// backends must reproduce the dynamic backend's app-observable behaviour
+// (exit status and output bytes) and its sanitizer verdicts exactly. It
+// runs the combined jasan+jmsan+jcfi configuration so all three tools'
+// plans are exercised at once.
+func TestRewriteBackendParityAllWorkloads(t *testing.T) {
+	workloads := spec.All()
+	if testing.Short() {
+		workloads = workloadSet(1, quickSet...)
+	}
+	backends := []Backend{BackendDynamic, BackendStatic, BackendHybrid}
+	nb := len(backends)
+	results := make([]*Result, len(workloads)*nb)
+	errs := make([]error, len(results))
+	runJobs(len(results), func(i int) {
+		results[i], errs[i] = RunBackend(workloads[i/nb], Comprehensive, backends[i%nb])
+	})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("%s/%s: %v", workloads[i/nb].Name, backends[i%nb], err)
+		}
+	}
+	for wi, w := range workloads {
+		dyn := results[wi*nb]
+		if dyn.Failed {
+			t.Fatalf("%s: dynamic backend failed: %s", w.Name, dyn.Reason)
+		}
+		for bi := 1; bi < nb; bi++ {
+			res := results[wi*nb+bi]
+			if res.Failed {
+				t.Errorf("%s/%s: failed: %s", w.Name, res.Backend, res.Reason)
+				continue
+			}
+			if res.ExitStatus != dyn.ExitStatus {
+				t.Errorf("%s/%s: exit %d, dynamic %d",
+					w.Name, res.Backend, res.ExitStatus, dyn.ExitStatus)
+			}
+			if !bytes.Equal(res.Output, dyn.Output) {
+				t.Errorf("%s/%s: output diverges from dynamic (%d vs %d bytes)",
+					w.Name, res.Backend, len(res.Output), len(dyn.Output))
+			}
+			if res.Violations != dyn.Violations {
+				t.Errorf("%s/%s: %d violations, dynamic %d",
+					w.Name, res.Backend, res.Violations, dyn.Violations)
+			}
+		}
+	}
+}
+
+// TestBenchRewriteOrdering is the bake-off's performance acceptance: on
+// every scheme the backends cover, AOT-rewritten code must beat the dynamic
+// modifier (static runs everything natively) and the hybrid must never cost
+// more than staying fully dynamic.
+func TestBenchRewriteOrdering(t *testing.T) {
+	rows, err := BenchRewrite(1, quickSet...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]BenchRow{}
+	for _, r := range rows {
+		byKey[fmt.Sprintf("%s/%s", r.Scheme, r.Backend)] = r
+		t.Logf("%-14s %-8s geomean %.3f over %d benchmarks",
+			r.Scheme, r.Backend, r.GeomeanSlowdown, r.Benchmarks)
+	}
+	for _, s := range rewriteSchemes {
+		dyn := byKey[fmt.Sprintf("%s/%s", s, BackendDynamic)]
+		st := byKey[fmt.Sprintf("%s/%s", s, BackendStatic)]
+		hy := byKey[fmt.Sprintf("%s/%s", s, BackendHybrid)]
+		if dyn.Benchmarks == 0 || st.Benchmarks == 0 || hy.Benchmarks == 0 {
+			t.Errorf("%s: empty bake-off cell (dyn %d, static %d, hybrid %d benchmarks)",
+				s, dyn.Benchmarks, st.Benchmarks, hy.Benchmarks)
+			continue
+		}
+		if st.GeomeanSlowdown >= dyn.GeomeanSlowdown {
+			t.Errorf("%s: static geomean %.3f does not beat dynamic %.3f",
+				s, st.GeomeanSlowdown, dyn.GeomeanSlowdown)
+		}
+		if hy.GeomeanSlowdown > dyn.GeomeanSlowdown {
+			t.Errorf("%s: hybrid geomean %.3f exceeds dynamic %.3f",
+				s, hy.GeomeanSlowdown, dyn.GeomeanSlowdown)
+		}
+	}
+}

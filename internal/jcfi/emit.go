@@ -200,7 +200,11 @@ func EmitShadowPush(e *dbm.Emitter, in *isa.Instr, saveFlags bool, dead []isa.Re
 	}))
 	e.Meta(mk(isa.OpLdQ, func(i *isa.Instr) { i.Rd, i.Rb = s2, s1 }))
 	e.Meta(mk(isa.OpPush, func(i *isa.Instr) { i.Rd = s1 }))
-	e.Meta(mk(isa.OpMovRI, func(i *isa.Instr) { i.Rd, i.Imm = s1, int64(retAddr) }))
+	// The pushed value is the anchor call's fall-through address — a
+	// position-dependent immediate the static rewriting backend must
+	// rematerialise when the call executes from a relocated copy.
+	e.MetaReloc(mk(isa.OpMovRI, func(i *isa.Instr) { i.Rd, i.Imm = s1, int64(retAddr) }),
+		dbm.RelocRetAddr)
 	e.Meta(mk(isa.OpStQ, func(i *isa.Instr) { i.Rd, i.Rb = s1, s2 }))
 	e.Meta(mk(isa.OpPop, func(i *isa.Instr) { i.Rd = s1 }))
 	e.Meta(mk(isa.OpAddRI, func(i *isa.Instr) { i.Rd, i.Imm = s2, 8 }))

@@ -60,7 +60,26 @@ func (t *Tool) ConfigKey() string {
 
 // RuntimeInit implements core.Tool: installs the definedness trap families
 // and interposes the allocator so fresh heap objects start undefined.
+//
+// frameSizes is additionally pre-populated from the loaded modules' rule
+// files: under the static rewriting backend FRAME_UNDEF traps execute from
+// ahead-of-time copies without ever passing through this tool's
+// instrumentation hooks, so the trap handler must be able to resolve every
+// statically-known site up front (dynamic translation re-records the same
+// values, so the paths agree).
 func (t *Tool) RuntimeInit(rt *core.Runtime) error {
+	for _, lm := range rt.Proc.Modules {
+		f := rt.Files[lm.Module.Name]
+		if f == nil {
+			continue
+		}
+		for i := range f.Rules {
+			r := &f.Rules[i]
+			if r.ID == rules.FrameUndef {
+				t.frameSizes[lm.RuntimeAddr(r.Instr)] = r.Data[1]
+			}
+		}
+	}
 	installRuntime(rt.M, t.Report, t.frameSizes)
 	return nil
 }

@@ -1,0 +1,177 @@
+package rewrite
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/jcfi"
+	"repro/internal/obj"
+)
+
+func refusalFor(man *Manifest, fn string) string {
+	for _, r := range man.Refused {
+		if r.Fn == fn {
+			return r.Reason
+		}
+	}
+	return ""
+}
+
+func coveredNames(man *Manifest) map[string]bool {
+	out := map[string]bool{}
+	for _, c := range man.Covered {
+		out[c.Name] = true
+	}
+	return out
+}
+
+// TestApplyBackToBackAnchors rewrites a block whose instrumented
+// instructions are immediately adjacent: each anchor's fragments must nest
+// correctly around its own instruction, and the structural verifier must
+// find the copy region exactly equal to the plan.
+func TestApplyBackToBackAnchors(t *testing.T) {
+	main, reg := buildProgram(t, workProg)
+	_, plans := captureFor(t, main, reg, jasanTool)
+	p := plans[main.Name]
+	if p == nil {
+		t.Fatal("no plan for the main module")
+	}
+	if len(p.Entries) < 4 {
+		t.Fatalf("expected at least 4 anchors (2 stores + 2 loads), got %d", len(p.Entries))
+	}
+
+	rw, err := Apply(main, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := rw.Manifest
+	if !coveredNames(man)["work"] {
+		t.Fatalf("work not covered; refused: %+v", man.Refused)
+	}
+	if man.Anchors < 4 {
+		t.Fatalf("only %d anchors baked in", man.Anchors)
+	}
+	// The exit path falls through past its function's last block (the exit
+	// syscall could, statically, return) — the applier must refuse it, not
+	// rewrite it unsoundly.
+	if r := refusalFor(man, "_start"); !strings.Contains(r, "falls through") {
+		t.Fatalf("_start refusal = %q, want falls-through refusal", r)
+	}
+
+	vio, err := Verify(main, p, rw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vio) != 0 {
+		t.Fatalf("verifier violations:\n%s", strings.Join(vio, "\n"))
+	}
+}
+
+// TestRefusesTrampolineAtModuleEnd pins a 1-byte function (a bare ret) at
+// the very end of .text: the 5-byte entry trampoline would run past the
+// function, so the applier must refuse it and leave the original intact.
+func TestRefusesTrampolineAtModuleEnd(t *testing.T) {
+	const src = `
+.module prog
+.entry _start
+.needs libj.jef
+.section .text
+_start:
+    call tiny
+    mov r1, 0
+    mov r0, 1
+    syscall
+tiny:
+    ret
+`
+	main, reg := buildProgram(t, src)
+	newTool := func() core.Tool { return jcfi.New(jcfi.DefaultConfig) }
+	_, plans := captureFor(t, main, reg, newTool)
+	p := plans[main.Name]
+	if p == nil {
+		t.Fatal("no plan for the main module")
+	}
+	rw, err := Apply(main, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := rw.Manifest
+	if r := refusalFor(man, "tiny"); !strings.Contains(r, "no room for an entry trampoline") {
+		t.Fatalf("tiny refusal = %q, want no-room refusal; covered: %+v", r, man.Covered)
+	}
+	if coveredNames(man)["tiny"] {
+		t.Fatal("tiny both covered and refused")
+	}
+	// The refused function's bytes are untouched.
+	var tinyAddr uint64
+	for _, s := range main.Symbols {
+		if s.Name == "tiny" {
+			tinyAddr = s.Addr
+		}
+	}
+	if tinyAddr == 0 {
+		t.Fatal("tiny symbol missing")
+	}
+	sec := rw.Module.SectionAt(tinyAddr)
+	in, err := isa.Decode(sec.Data[tinyAddr-sec.Addr:], tinyAddr)
+	if err != nil || in.Op != isa.OpRet {
+		t.Fatalf("tiny's bytes were modified: %v %v", in.Op, err)
+	}
+}
+
+// TestRefusesInteriorEntryFunction plants an aligned data word pointing at
+// the second instruction of the instrumented function: a statically-visible
+// interior entry. The applier must refuse the whole function — an entry
+// trampoline cannot guard an entry that bypasses it.
+func TestRefusesInteriorEntryFunction(t *testing.T) {
+	main, reg := buildProgram(t, workProg)
+
+	var workAddr uint64
+	for _, s := range main.Symbols {
+		if s.Name == "work" {
+			workAddr = s.Addr
+		}
+	}
+	if workAddr == 0 {
+		t.Fatal("work symbol missing")
+	}
+	sec := main.SectionAt(workAddr)
+	first, err := isa.Decode(sec.Data[workAddr-sec.Addr:], workAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interior := workAddr + uint64(first.Size)
+
+	// Append a data section holding the interior code pointer, 8-aligned
+	// past the module extent, before any analysis runs.
+	lo, span := main.Extent()
+	addr := (lo + span + 7) &^ 7
+	word := make([]byte, 8)
+	binary.LittleEndian.PutUint64(word, interior)
+	main.Sections = append(main.Sections, obj.Section{
+		Name: ".itest", Addr: addr, Data: word,
+	})
+
+	_, plans := captureFor(t, main, reg, jasanTool)
+	p := plans[main.Name]
+	if p == nil {
+		t.Fatal("no plan for the main module")
+	}
+	rw, err := Apply(main, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := rw.Manifest
+	if r := refusalFor(man, "work"); !strings.Contains(r, "interior entry") {
+		t.Fatalf("work refusal = %q, want interior-entry refusal", r)
+	}
+	if coveredNames(man)["work"] {
+		t.Fatal("interior-entry function was rewritten")
+	}
+	if _, pinned := man.Alias[workAddr]; pinned {
+		t.Fatal("interior-entry function's entry was still pinned")
+	}
+}

@@ -1,0 +1,73 @@
+package rewrite
+
+import (
+	"repro/internal/core"
+	"repro/internal/dbm"
+)
+
+// PlanClient is a DBM client that instruments blocks from captured rewrite
+// plans instead of invoking the tool's emission hooks — the dynamic
+// modifier consuming the same plan IR the static applier bakes into
+// modules. It mirrors the core hybrid classifier exactly: statically-seen
+// blocks are materialised from plan entries (or placed as-is when no
+// anchor in the block carries instrumentation), unseen blocks fall back to
+// the tool's dynamic analyzer.
+type PlanClient struct {
+	// Tool provides DynFallback for blocks outside every plan's static
+	// hit set (and nothing else — instrumented blocks come from plans).
+	Tool core.Tool
+	// Plans maps module name to its captured plan.
+	Plans map[string]*Plan
+	// Coverage receives the same classification counts the core hybrid
+	// client keeps. Optional.
+	Coverage *core.CoverageStats
+}
+
+// OnBlock implements dbm.Client.
+func (c *PlanClient) OnBlock(ctx *dbm.BlockContext) []dbm.CInstr {
+	var p *Plan
+	if ctx.Module != nil {
+		p = c.Plans[ctx.Module.Name]
+	}
+	if p != nil && p.HasBlock(ctx.Start) {
+		out := make([]dbm.CInstr, 0, len(ctx.AppInstrs))
+		n := 0
+		for _, in := range ctx.AppInstrs {
+			e := p.EntryAt(in.Addr)
+			if e != nil && e.AnchorOp != uint8(in.Op) {
+				// The instruction is not what the plan was captured
+				// against (self-modified or re-decoded differently):
+				// the plan's fragments cannot be trusted here.
+				e = nil
+			}
+			if e != nil {
+				n++
+				fragStart := len(out)
+				for i := range e.Before {
+					out = append(out, e.Before[i].CInstr(fragStart))
+				}
+			}
+			out = append(out, dbm.App(in))
+			if e != nil {
+				fragStart := len(out)
+				for i := range e.After {
+					out = append(out, e.After[i].CInstr(fragStart))
+				}
+			}
+		}
+		if n == 0 {
+			if c.Coverage != nil {
+				c.Coverage.StaticNoOp++
+			}
+			return dbm.NullClient{}.OnBlock(ctx)
+		}
+		if c.Coverage != nil {
+			c.Coverage.StaticInstrumented++
+		}
+		return out
+	}
+	if c.Coverage != nil {
+		c.Coverage.Fallback++
+	}
+	return c.Tool.DynFallback(ctx)
+}

@@ -1,0 +1,75 @@
+package rewrite
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/jasan"
+	"repro/internal/libj"
+	"repro/internal/loader"
+	"repro/internal/obj"
+	"repro/internal/rules"
+)
+
+// buildProgram assembles src against the standard library registry.
+func buildProgram(t testing.TB, src string) (*obj.Module, loader.Registry) {
+	t.Helper()
+	lj, err := libj.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	main, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return main, loader.Registry{libj.Name: lj}
+}
+
+// captureFor analyzes main with a fresh tool and captures its rewrite plans
+// with another fresh instance (capture initialises a scratch runtime).
+func captureFor(t testing.TB, main *obj.Module, reg loader.Registry,
+	newTool func() core.Tool) (map[string]*rules.File, map[string]*Plan) {
+
+	t.Helper()
+	files, err := core.AnalyzeProgram(main, reg, newTool())
+	if err != nil {
+		t.Fatalf("static analysis: %v", err)
+	}
+	plans, err := CapturePlans(main, reg, files, newTool())
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	return files, plans
+}
+
+func jasanTool() core.Tool { return jasan.New(jasan.Config{}) }
+
+// workProg keeps its instrumented memory accesses in a ret-terminated
+// function: functions whose last block can fall through (e.g. ending in the
+// exit syscall) are refused by the applier, so covered code lives in `work`.
+const workProg = `
+.module prog
+.entry _start
+.needs libj.jef
+.import malloc
+.import free
+.section .text
+work:
+    mov r6, 7
+    stq [r12], r6
+    stq [r12+8], r6
+    ldq r7, [r12]
+    ldq r8, [r12+8]
+    ret
+_start:
+    mov r1, 32
+    call malloc
+    mov r12, r0
+    call work
+    mov r1, r12
+    call free
+    mov r1, 0
+    mov r0, 1
+    syscall
+`

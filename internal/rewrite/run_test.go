@@ -1,0 +1,136 @@
+package rewrite
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/jasan"
+	"repro/internal/loader"
+	"repro/internal/vm"
+)
+
+// overflowProg triggers a one-past-the-end heap write inside a coverable
+// (ret-terminated) function, so the violation fires from statically
+// rewritten code under the static and hybrid backends.
+const overflowProg = `
+.module prog
+.entry _start
+.needs libj.jef
+.import malloc
+.import free
+.section .text
+poke:
+    stxb [r12+r13], r6
+    ret
+_start:
+    mov r1, 24
+    call malloc
+    mov r12, r0
+    mov r6, 1
+    mov r13, 24
+    call poke
+    mov r1, r12
+    call free
+    mov r1, 7
+    mov r0, 1
+    syscall
+`
+
+// TestBackendParity runs the same program under the dynamic modifier, the
+// static rewriter, and the hybrid, and demands identical app-observable
+// behaviour and identical sanitizer verdicts — the core claim of the
+// shared-plan design.
+func TestBackendParity(t *testing.T) {
+	main, reg := buildProgram(t, overflowProg)
+	files, plans := captureFor(t, main, reg, jasanTool)
+
+	type outcome struct {
+		exit  int64
+		total uint64
+		pc    uint64
+	}
+	outcomes := map[string]outcome{}
+
+	// Dynamic reference: the ordinary hybrid core runtime.
+	{
+		tool := jasan.New(jasan.Config{})
+		m := vm.New()
+		m.InstallDefaultServices()
+		m.MaxInstrs = 20_000_000
+		proc := loader.NewProcess(m, reg)
+		rt := core.NewRuntime(m, proc, tool, files)
+		lm, err := proc.LoadProgram(main)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Run(lm.RuntimeAddr(main.Entry)); err != nil {
+			t.Fatalf("dynamic run: %v", err)
+		}
+		o := outcome{exit: m.ExitStatus, total: tool.Report.Total}
+		if len(tool.Report.Violations) > 0 {
+			o.pc = tool.Report.Violations[0].PC
+		}
+		outcomes["dynamic"] = o
+	}
+
+	{
+		tool := jasan.New(jasan.Config{})
+		res, err := RunStatic(main, reg, tool, files, plans, Options{MaxInstrs: 20_000_000})
+		if err != nil {
+			t.Fatalf("static run: %v", err)
+		}
+		o := outcome{exit: res.Machine.ExitStatus, total: tool.Report.Total}
+		if len(tool.Report.Violations) > 0 {
+			o.pc = tool.Report.Violations[0].PC
+		}
+		outcomes["static"] = o
+		if len(res.Rewritten) == 0 {
+			t.Fatal("static run rewrote nothing")
+		}
+	}
+
+	{
+		tool := jasan.New(jasan.Config{})
+		res, err := RunHybrid(main, reg, tool, files, plans, Options{MaxInstrs: 20_000_000})
+		if err != nil {
+			t.Fatalf("hybrid run: %v", err)
+		}
+		o := outcome{exit: res.Machine.ExitStatus, total: tool.Report.Total}
+		if len(tool.Report.Violations) > 0 {
+			o.pc = tool.Report.Violations[0].PC
+		}
+		outcomes["hybrid"] = o
+		cov := res.Runtime.Coverage
+		if cov.StaticNoOp+cov.StaticInstrumented+cov.Fallback == 0 {
+			t.Fatal("hybrid never fell over to the dynamic modifier (the exit path is uncovered, so it must)")
+		}
+	}
+
+	ref := outcomes["dynamic"]
+	if ref.exit != 7 {
+		t.Fatalf("dynamic exit = %d, want 7", ref.exit)
+	}
+	if ref.total == 0 {
+		t.Fatal("dynamic backend missed the overflow")
+	}
+	for _, backend := range []string{"static", "hybrid"} {
+		o := outcomes[backend]
+		if o != ref {
+			t.Fatalf("%s diverges from dynamic: %+v vs %+v", backend, o, ref)
+		}
+	}
+}
+
+// TestStaticRefusesStalePlacement feeds RunStatic plans whose placement
+// assumption no longer holds; it must refuse, not run with wrong addresses.
+func TestStaticRefusesStalePlacement(t *testing.T) {
+	main, reg := buildProgram(t, overflowProg)
+	files, plans := captureFor(t, main, reg, jasanTool)
+	for _, p := range plans {
+		p.ModuleID++ // placement drift
+	}
+	tool := jasan.New(jasan.Config{})
+	if _, err := RunStatic(main, reg, tool, files, plans, Options{MaxInstrs: 1_000_000}); err == nil {
+		t.Fatal("stale placement accepted")
+	}
+}

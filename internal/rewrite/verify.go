@@ -1,0 +1,287 @@
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/dbm"
+	"repro/internal/isa"
+	"repro/internal/obj"
+)
+
+// Verify structurally checks a rewritten module against the original and
+// the plan it was built from, re-deriving every property the applier is
+// supposed to guarantee instead of trusting its bookkeeping:
+//
+//   - original bytes are untouched outside the pinned trampoline windows;
+//   - every pinned window decodes as a jmp into the copy region, to the
+//     manifest's alias for that address;
+//   - the copy region is exactly the plan's fragments interleaved with
+//     semantically equivalent copies of the original instructions (branch
+//     targets aliased or preserved, pc-relative operands still addressing
+//     the original image, return-address immediates pointing at the copy
+//     fall-through);
+//   - relocations added by the rewrite stay inside the copy region.
+//
+// It returns one violation string per defect; an empty slice means the
+// module passed.
+func Verify(orig *obj.Module, plan *Plan, rw *Rewritten) ([]string, error) {
+	man := rw.Manifest
+	var v []string
+	bad := func(format string, args ...interface{}) {
+		v = append(v, fmt.Sprintf(format, args...))
+	}
+
+	pinSet := map[uint64]bool{}
+	for _, p := range man.Pinned {
+		pinSet[p] = true
+	}
+
+	// Original bytes untouched outside pin windows; pin windows decode as
+	// trampolines into the copy region.
+	for i := range orig.Sections {
+		os := &orig.Sections[i]
+		rs := rw.Module.Section(os.Name)
+		if rs == nil || rs.Addr != os.Addr || len(rs.Data) != len(os.Data) {
+			bad("section %s resized or moved", os.Name)
+			continue
+		}
+		for off := 0; off < len(os.Data); off++ {
+			if os.Data[off] == rs.Data[off] {
+				continue
+			}
+			a := os.Addr + uint64(off)
+			inPin := false
+			for p := range pinSet {
+				if a >= p && a < p+trampolineLen {
+					inPin = true
+					break
+				}
+			}
+			if !inPin {
+				bad("byte at %#x modified outside every trampoline window", a)
+			}
+		}
+	}
+	for _, p := range man.Pinned {
+		sec := sectionAt(rw.Module, p)
+		if sec == nil {
+			bad("pin %#x outside every section", p)
+			continue
+		}
+		in, err := isa.Decode(sec.Data[p-sec.Addr:], p)
+		if err != nil || in.Op != isa.OpJmp {
+			bad("pin %#x does not decode as a trampoline jmp", p)
+			continue
+		}
+		want, ok := man.Alias[p]
+		if !ok || in.Target() != want {
+			bad("trampoline at %#x jumps to %#x, want alias %#x", p, in.Target(), want)
+		}
+		if in.Target() < man.CopyLo || in.Target() >= man.CopyHi {
+			bad("trampoline at %#x escapes the copy region", p)
+		}
+	}
+
+	// Walk the copy region against the plan.
+	g, err := cfg.Build(orig)
+	if err != nil {
+		return nil, fmt.Errorf("rewrite: verify cfg: %w", err)
+	}
+	jrw := rw.Module.Section(".jrw")
+	if jrw == nil {
+		if len(man.Alias) > 0 {
+			bad("copies recorded but no .jrw section")
+		}
+		return v, nil
+	}
+	if jrw.Addr != man.CopyLo || jrw.Addr+uint64(len(jrw.Data)) != man.CopyHi {
+		bad(".jrw bounds [%#x,%#x) disagree with manifest [%#x,%#x)",
+			jrw.Addr, jrw.Addr+uint64(len(jrw.Data)), man.CopyLo, man.CopyHi)
+		return v, nil
+	}
+
+	// Blocks in copy order.
+	type pair struct{ orig, copy uint64 }
+	var pairs []pair
+	for o, c := range man.Alias {
+		pairs = append(pairs, pair{o, c})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].copy < pairs[j].copy })
+	cursor := man.CopyLo
+	for _, pr := range pairs {
+		if pr.copy != cursor {
+			bad("copy of block %#x at %#x, expected %#x", pr.orig, pr.copy, cursor)
+			return v, nil
+		}
+		blk := g.Blocks[pr.orig]
+		if blk == nil {
+			bad("aliased address %#x is not a block", pr.orig)
+			return v, nil
+		}
+		cursor = verifyBlock(blk, plan, man, jrw, cursor, bad)
+		if cursor == 0 {
+			return v, nil
+		}
+	}
+	if cursor != man.CopyHi {
+		bad("copy region ends at %#x, expected %#x", cursor, man.CopyHi)
+	}
+
+	// Added relocations stay inside the copy region.
+	origRelocs := map[obj.Reloc]int{}
+	for _, r := range orig.Relocs {
+		origRelocs[r]++
+	}
+	for _, r := range rw.Module.Relocs {
+		if origRelocs[r] > 0 {
+			origRelocs[r]--
+			continue
+		}
+		if r.Where < man.CopyLo || r.Where+8 > man.CopyHi {
+			bad("added relocation at %#x outside the copy region", r.Where)
+		}
+	}
+	return v, nil
+}
+
+// verifyBlock checks one block's copy starting at cursor and returns the
+// address just past it (0 to abort the walk).
+func verifyBlock(blk *cfg.BasicBlock, plan *Plan, man *Manifest,
+	jrw *obj.Section, cursor uint64, bad func(string, ...interface{})) uint64 {
+
+	decode := func(a uint64) (isa.Instr, bool) {
+		off := a - jrw.Addr
+		if off >= uint64(len(jrw.Data)) {
+			bad("copy walk ran past .jrw at %#x", a)
+			return isa.Instr{}, false
+		}
+		in, err := isa.Decode(jrw.Data[off:], a)
+		if err != nil {
+			bad("undecodable copy instruction at %#x: %v", a, err)
+			return isa.Instr{}, false
+		}
+		return in, true
+	}
+
+	for i := range blk.Instrs {
+		in := &blk.Instrs[i]
+		e := plan.EntryAt(in.Addr + man.AssumedBase)
+		appAddr := cursor
+		if e != nil {
+			appAddr += fragSize(e.Before)
+		}
+		if e != nil {
+			var ok bool
+			cursor, ok = verifyFrag(e.Before, cursor, appAddr, in, man, decode, bad)
+			if !ok {
+				return 0
+			}
+		}
+		got, ok := decode(cursor)
+		if !ok {
+			return 0
+		}
+		verifyApp(in, &got, man, bad)
+		cursor += uint64(got.Size)
+		if e != nil {
+			cursor, ok = verifyFrag(e.After, cursor, appAddr, in, man, decode, bad)
+			if !ok {
+				return 0
+			}
+		}
+	}
+	return cursor
+}
+
+func verifyFrag(frag []MetaInstr, cursor, appAddr uint64, anchor *isa.Instr,
+	man *Manifest, decode func(uint64) (isa.Instr, bool),
+	bad func(string, ...interface{})) (uint64, bool) {
+
+	addrs := make([]uint64, len(frag)+1)
+	a := cursor
+	for i := range frag {
+		addrs[i] = a
+		a += uint64(isa.EncodedSize(isa.Op(frag[i].Op)))
+	}
+	addrs[len(frag)] = a
+
+	for i := range frag {
+		mi := &frag[i]
+		got, ok := decode(addrs[i])
+		if !ok {
+			return 0, false
+		}
+		if got.Op != isa.Op(mi.Op) || got.Rd != isa.Register(mi.Rd) ||
+			got.Rb != isa.Register(mi.Rb) || got.Ri != isa.Register(mi.Ri) {
+			bad("meta at %#x is %v, plan says %v", addrs[i], got.Op, isa.Op(mi.Op))
+			return 0, false
+		}
+		switch {
+		case got.IsCTI():
+			want := addrs[mi.JumpTo]
+			if got.Target() != want {
+				bad("meta branch at %#x targets %#x, want %#x", addrs[i], got.Target(), want)
+			}
+		case mi.Reloc == uint8(dbm.RelocRetAddr):
+			want := appAddr + uint64(anchor.Size)
+			if uint64(got.Imm) != want {
+				bad("return-address meta at %#x holds %#x, want copy fall-through %#x",
+					addrs[i], uint64(got.Imm), want)
+			}
+		case got.Op == isa.OpTrap:
+			if got.Imm != mi.Imm {
+				bad("trap meta at %#x code %d, plan says %d", addrs[i], got.Imm, mi.Imm)
+			}
+			if man.TrapOrigin[addrs[i]] != mi.Addr {
+				bad("trap meta at %#x origin %#x, plan says %#x",
+					addrs[i], man.TrapOrigin[addrs[i]], mi.Addr)
+			}
+		default:
+			if got.Imm != mi.Imm || got.Disp != mi.Disp {
+				bad("meta at %#x operands differ from plan", addrs[i])
+			}
+		}
+	}
+	return addrs[len(frag)], true
+}
+
+// verifyApp checks that the copy instruction `got` is semantically
+// equivalent to the original `in` at its new address.
+func verifyApp(in *isa.Instr, got *isa.Instr, man *Manifest,
+	bad func(string, ...interface{})) {
+
+	if got.Op != in.Op || got.Rd != in.Rd || got.Rb != in.Rb || got.Ri != in.Ri {
+		bad("copy of %#x changed opcode/registers (%v -> %v)", in.Addr, in.Op, got.Op)
+		return
+	}
+	switch {
+	case in.Op == isa.OpJmp || in.Op == isa.OpCall || in.IsCondBranch():
+		orig := in.Target()
+		want := orig
+		if alias, ok := man.Alias[orig]; ok {
+			want = alias
+		}
+		if got.Target() != want {
+			bad("copy of branch %#x targets %#x, want %#x", in.Addr, got.Target(), want)
+		}
+	case in.Op == isa.OpLdPC || in.Op == isa.OpLeaPC:
+		origEff := in.Addr + uint64(in.Size) + uint64(int64(in.Disp))
+		gotEff := got.Addr + uint64(got.Size) + uint64(int64(got.Disp))
+		if origEff != gotEff {
+			bad("copy of pc-relative %#x addresses %#x, want %#x", in.Addr, gotEff, origEff)
+		}
+	case in.Op == isa.OpTrap:
+		if got.Imm != in.Imm {
+			bad("copy of trap %#x changed code", in.Addr)
+		}
+		if man.TrapOrigin[got.Addr] != in.Addr+man.AssumedBase {
+			bad("copy of trap %#x missing origin mapping", in.Addr)
+		}
+	default:
+		if got.Imm != in.Imm || got.Disp != in.Disp {
+			bad("copy of %#x changed operands", in.Addr)
+		}
+	}
+}

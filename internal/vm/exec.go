@@ -212,6 +212,11 @@ func (m *Machine) Exec(in *isa.Instr) (taken bool, err error) {
 		}
 		m.PC = next
 		m.TrapPC = in.Addr
+		if m.TrapOrigin != nil {
+			if orig, ok := m.TrapOrigin[in.Addr]; ok {
+				m.TrapPC = orig
+			}
+		}
 		if err = h(m); err != nil {
 			return false, m.at(err, in)
 		}
@@ -297,20 +302,30 @@ func (m *Machine) Run(entry uint64) error {
 	}()
 	m.PC = entry
 	for !m.Halted {
-		if m.BlockHook != nil {
-			m.BlockHook(m.PC)
-		}
-		block, err := m.fetchBlock(m.PC)
-		if err != nil {
+		if err := m.StepBlock(); err != nil {
 			return err
 		}
-		for i := range block {
-			if _, err := m.Exec(&block[i]); err != nil {
-				return err
-			}
-			if m.Halted {
-				break
-			}
+	}
+	return nil
+}
+
+// StepBlock natively executes one straight-line block at the current PC —
+// Run's loop body, exported so the hybrid rewriting backend can interleave
+// native execution of statically rewritten code with DBM dispatch.
+func (m *Machine) StepBlock() error {
+	if m.BlockHook != nil {
+		m.BlockHook(m.PC)
+	}
+	block, err := m.fetchBlock(m.PC)
+	if err != nil {
+		return err
+	}
+	for i := range block {
+		if _, err := m.Exec(&block[i]); err != nil {
+			return err
+		}
+		if m.Halted {
+			break
 		}
 	}
 	return nil

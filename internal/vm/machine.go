@@ -77,6 +77,13 @@ type Machine struct {
 	// TrapPC is the address of the currently-serviced trap instruction.
 	TrapPC uint64
 
+	// TrapOrigin, when non-nil, remaps the TrapPC reported to handlers:
+	// a trap whose instruction address is a key reports the mapped value
+	// instead. The static rewriting backend uses this so traps executing
+	// from relocated code copies report the original application anchor,
+	// exactly as code-cache traps do under the dynamic modifier.
+	TrapOrigin map[uint64]uint64
+
 	traps map[int64]TrapHandler
 
 	// brk is the current program break for SysBrk.

@@ -7,12 +7,18 @@
 # each scheme's slowdown decomposed into shadow-update/check/elided/dispatch
 # components whose sums are verified exact per (benchmark, scheme) cell.
 #
+# It then runs the three-way rewriting bake-off — every rewrite-capable
+# scheme under the dynamic, static (AOT) and hybrid (AOT with DBM fail-over)
+# backends — into BENCH_REWRITE.json, one geomean row per (scheme, backend)
+# cell. Every cell cross-checks exit status and output bytes against the
+# uninstrumented native run, so the sweep doubles as a parity gate.
+#
 # It then measures the serving trajectory: a 3-node janitizerd fleet plus a
 # single-node baseline replayed with jload's traffic mixes, written to
 # BENCH_SERVE.json (QPS, p50/p95/p99, cache tiers, per-shard balance, and
 # the fleet-vs-single hot-mix speedup).
 #
-# Usage: scripts/bench.sh [output.json] [profile.json] [serve.json]
+# Usage: scripts/bench.sh [output.json] [profile.json] [serve.json] [rewrite.json]
 # BENCH_PARALLEL overrides the jexp worker count (default 8).
 set -eu
 
@@ -20,11 +26,14 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_JANITIZER.json}"
 profile_out="${2:-BENCH_PROFILE.json}"
 serve_out="${3:-BENCH_SERVE.json}"
+rewrite_out="${4:-BENCH_REWRITE.json}"
 
 go run ./cmd/jexp -parallel "${BENCH_PARALLEL:-8}" bench > "$out"
 echo "bench: wrote $out"
 go run ./cmd/jexp -parallel "${BENCH_PARALLEL:-8}" -o "$profile_out" profile > /dev/null
 echo "bench: wrote $profile_out"
+go run ./cmd/jexp -parallel "${BENCH_PARALLEL:-8}" rewrite > "$rewrite_out"
+echo "bench: wrote $rewrite_out"
 
 # Serve trajectory. The whole fleet is colocated on this host, where
 # wall-clock CPU cannot tell one node from three; -service-time is the one

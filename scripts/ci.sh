@@ -37,8 +37,18 @@ go run ./cmd/jfuzz -seed 1 -n 200 -workers 4 -o /tmp/jfuzz-ci.json
 
 echo "== jvet proof replay =="
 # Independent replay of every VSA elision/narrowing proof over the checked-in
-# example modules; exits nonzero on any claim that cannot be re-proven.
+# example modules, plus the structural verifier over every statically
+# rewritten module; exits nonzero on any claim that cannot be re-proven or
+# any rewrite that breaks a structural guarantee.
 go run ./cmd/jvet
+
+echo "== rewrite bake-off smoke =="
+# Statically rewrite a workload subset and gate three properties: the
+# structural verifier passes over every rewritten module (-verify), all
+# three backends — dynamic DBM, static AOT, hybrid fail-over — report
+# identical sanitizer verdicts, exit status and output bytes (-parity), and
+# the rewritten cells run at all. jrw exits nonzero on any violation.
+go run ./cmd/jrw -bench mcf,lbm,hmmer,omnetpp -verify -parity
 
 echo "== janitizerd /metrics smoke =="
 # Boot the daemon on an ephemeral port and check it serves Prometheus text
@@ -119,14 +129,17 @@ else
 	echo "fleet smoke: byte-identical, peer fills observed, node-kill degraded cleanly"
 fi
 
-echo "== bench + profile =="
-# Full-suite scheme sweep writing BENCH_JANITIZER.json and the attributed
-# BENCH_PROFILE.json. In short mode (CI_SHORT=1) the full 28-workload sweep
-# is replaced by a two-workload profile smoke that still enforces the exact
-# component-sum identity (Profile errors on any mismatch).
+echo "== bench + profile + rewrite bake-off =="
+# Full-suite scheme sweep writing BENCH_JANITIZER.json, the attributed
+# BENCH_PROFILE.json, and the three-way rewriting bake-off BENCH_REWRITE.json.
+# In short mode (CI_SHORT=1) the full 28-workload sweeps are replaced by
+# two-workload smokes that still enforce the exact component-sum identity
+# (Profile errors on any mismatch) and the bake-off's native-parity checks
+# (RunBackend hard-errors on any exit/output divergence).
 if [ "${CI_SHORT:-0}" = "1" ]; then
-	echo "bench: full sweep skipped (CI_SHORT=1); running profile smoke"
+	echo "bench: full sweep skipped (CI_SHORT=1); running profile + rewrite smokes"
 	go run ./cmd/jexp -parallel 4 -o /tmp/profile-smoke.json profile mcf lbm
+	go run ./cmd/jexp -parallel 4 rewrite mcf lbm > /tmp/rewrite-smoke.json
 else
 	scripts/bench.sh
 fi
