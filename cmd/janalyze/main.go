@@ -1,0 +1,266 @@
+// Command janalyze is the repository's determinism lint: it flags `range`
+// statements over map types whose loop body feeds an emission or
+// serialisation path (fmt printing, Write*/Encode*/Marshal* calls). Go map
+// iteration order is random, so such loops produce nondeterministic output
+// bytes — the bug class PRs 1–7 fixed by hand in rule files, reports, and
+// benchmark tables. The accepted idiom is collect-then-sort: range the map
+// into a slice, sort it, and emit from the slice; loops that only collect
+// are not flagged.
+//
+// The tool is stdlib-only (no golang.org/x/tools): packages are discovered
+// with `go list -json`, type-checked in dependency order with go/types
+// (internal imports served from the checker's own cache, stdlib imports
+// from the compiler's export data), and inspected syntactically. Only
+// non-test files are linted. ci.sh runs janalyze over ./... and requires
+// zero findings.
+//
+// Exit status: 0 clean, 1 findings, 2 operational errors.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listedPkg is the subset of `go list -json` output janalyze needs.
+type listedPkg struct {
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	Imports    []string
+}
+
+func main() {
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := lintPackages(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "janalyze: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "janalyze: %d unsorted map-range emission(s)\n",
+			len(findings))
+		os.Exit(1)
+	}
+}
+
+func lintPackages(patterns []string) ([]string, error) {
+	pkgs, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	order, err := topoSort(pkgs)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	checked := map[string]*types.Package{}
+	imp := &chainImporter{
+		checked: checked,
+		std:     importer.ForCompiler(fset, "gc", nil),
+	}
+
+	var findings []string
+	for _, p := range order {
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, 0)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{Types: map[ast.Expr]types.TypeAndValue{}}
+		conf := types.Config{
+			Importer:         imp,
+			FakeImportC:      true,
+			IgnoreFuncBodies: false,
+			// A resolution error in one package should not silence the
+			// lint for the rest; partially-typed info still identifies
+			// most map ranges.
+			Error: func(error) {},
+		}
+		tpkg, _ := conf.Check(p.ImportPath, fset, files, info)
+		if tpkg != nil {
+			checked[p.ImportPath] = tpkg
+		}
+		for _, f := range files {
+			findings = append(findings, lintFile(fset, f, info)...)
+		}
+	}
+	sort.Strings(findings)
+	return findings, nil
+}
+
+// lintFile flags every range-over-map whose body contains an emission call.
+func lintFile(fset *token.FileSet, f *ast.File, info *types.Info) []string {
+	var out []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[rs.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if call := emissionCall(rs.Body); call != "" {
+			pos := fset.Position(rs.Pos())
+			out = append(out, fmt.Sprintf(
+				"%s:%d: range over map feeds emission call %s; "+
+					"collect keys and sort first",
+				pos.Filename, pos.Line, call))
+		}
+		return true
+	})
+	return out
+}
+
+// emissionPrefixes match method/function names whose output order is
+// observable: stream writes, fmt rendering, and codec encoding. Collecting
+// into slices or maps matches none of them, so the collect-then-sort idiom
+// passes.
+var emissionPrefixes = []string{"Write", "Print", "Fprint", "Sprint",
+	"Encode", "Marshal", "Append"}
+
+// emissionCall returns the name of the first order-observable call inside
+// body, or "" when the loop only collects.
+func emissionCall(body *ast.BlockStmt) string {
+	found := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var name string
+		switch fn := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			name = fn.Sel.Name
+		case *ast.Ident:
+			name = fn.Name
+		default:
+			return true
+		}
+		if name == "append" {
+			return true // builtin collection, not emission
+		}
+		for _, p := range emissionPrefixes {
+			if strings.HasPrefix(name, p) {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+					if id, ok := sel.X.(*ast.Ident); ok {
+						found = id.Name + "." + name
+						return false
+					}
+				}
+				found = name
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// chainImporter serves internal packages from the lint's own checked set
+// and everything else from the installed compiler's export data.
+type chainImporter struct {
+	checked map[string]*types.Package
+	std     types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.checked[path]; ok {
+		return p, nil
+	}
+	return c.std.Import(path)
+}
+
+// goList resolves patterns to packages via the go tool.
+func goList(patterns []string) ([]*listedPkg, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v: %s", err, stderr.String())
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		p := &listedPkg{}
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("go list decode: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// topoSort orders packages so every internal import is checked before its
+// importers.
+func topoSort(pkgs []*listedPkg) ([]*listedPkg, error) {
+	byPath := map[string]*listedPkg{}
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	var order []*listedPkg
+	state := map[string]int{} // 0 unseen, 1 visiting, 2 done
+	var visit func(p *listedPkg) error
+	visit = func(p *listedPkg) error {
+		switch state[p.ImportPath] {
+		case 1:
+			return fmt.Errorf("import cycle through %s", p.ImportPath)
+		case 2:
+			return nil
+		}
+		state[p.ImportPath] = 1
+		for _, imp := range p.Imports {
+			if dep, ok := byPath[imp]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[p.ImportPath] = 2
+		order = append(order, p)
+		return nil
+	}
+	// Deterministic visit order for deterministic output.
+	paths := make([]string, 0, len(pkgs))
+	for path := range byPath {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if err := visit(byPath[path]); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/jasan"
@@ -52,7 +53,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	for name, f := range files {
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := files[name]
 		path := filepath.Join(*outdir, name+"."+*toolName+".jrw")
 		if err := os.WriteFile(path, f.Marshal(), 0o644); err != nil {
 			fatal(err)

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	jexp [-scale n] [-parallel n] [-stats] [-o file] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|elision|jmsan|bench|rewrite|profile|all [benchmarks...]
+//	jexp [-scale n] [-parallel n] [-stats] [-o file] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|elision|jmsan|bench|rewrite|profile|static|all [benchmarks...]
 //
 // Workloads within a figure run concurrently (-parallel, default
 // GOMAXPROCS); static analysis is served by a shared content-addressed rule
@@ -25,13 +25,13 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"concurrent workload runs per figure")
 	stats := flag.Bool("stats", false, "print analysis-service cache statistics at exit")
-	out := flag.String("o", "BENCH_PROFILE.json",
-		"profile: output path for the JSON artifact (\"-\" for stdout)")
+	out := flag.String("o", "",
+		"profile/static: output path for the JSON artifact (\"-\" for stdout;\ndefault BENCH_PROFILE.json / BENCH_STATIC.json)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr,
-			"usage: jexp [-scale n] [-parallel n] [-o file] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|elision|jmsan|bench|rewrite|profile|all [benchmarks...]")
+			"usage: jexp [-scale n] [-parallel n] [-o file] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|elision|jmsan|bench|rewrite|profile|static|all [benchmarks...]")
 		os.Exit(2)
 	}
 	experiments.Parallel = *parallel
@@ -119,16 +119,26 @@ func main() {
 			if err != nil {
 				return err
 			}
-			j := experiments.FormatProfileJSON(rep)
-			if *out == "-" {
-				fmt.Print(j)
-			} else {
-				if err := os.WriteFile(*out, []byte(j), 0o644); err != nil {
-					return err
-				}
-				fmt.Fprintf(os.Stderr, "jexp: wrote %s\n", *out)
+			if err := writeArtifact(*out, "BENCH_PROFILE.json",
+				experiments.FormatProfileJSON(rep)); err != nil {
+				return err
 			}
 			fmt.Println(experiments.FormatProfile(rep))
+			return nil
+		case "static":
+			// Static-vs-dynamic detection study: jlint's must and must+may
+			// alarm tiers against sanitized execution on the CWE-457 and
+			// CWE-122 suites and the planted fuzz bug classes. Writes the
+			// BENCH_STATIC.json artifact and prints the summary table.
+			rep, err := experiments.Static(*scale)
+			if err != nil {
+				return err
+			}
+			if err := writeArtifact(*out, "BENCH_STATIC.json",
+				experiments.FormatStaticJSON(rep)); err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatStatic(rep))
 			return nil
 		default:
 			fmt.Fprintf(os.Stderr, "jexp: unknown experiment %q\n", name)
@@ -167,6 +177,23 @@ func main() {
 			s.Sched.Submitted, s.Sched.Workers)
 	}
 	os.Exit(exit)
+}
+
+// writeArtifact writes a JSON artifact to path ("-" for stdout, empty for
+// the figure's default filename).
+func writeArtifact(path, def, j string) error {
+	if path == "" {
+		path = def
+	}
+	if path == "-" {
+		fmt.Print(j)
+		return nil
+	}
+	if err := os.WriteFile(path, []byte(j), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "jexp: wrote %s\n", path)
+	return nil
 }
 
 func printFig(fig *experiments.Figure, err error, unit string) error {

@@ -1,0 +1,132 @@
+// Command jlint runs the whole-module static bug detector over the
+// evaluation workloads: every module in each workload closure is analyzed
+// once (deduplicated by content hash) and its findings reported. The output
+// is a deterministic JSON array of per-module reports — byte-identical
+// run-to-run and across -parallel settings — ordered by module name and
+// content hash.
+//
+// Exit status: 0 on a clean run, 1 when -fail-on-must is set and any
+// must-alarm was found, 2 on analysis errors. ci.sh runs jlint over all 28
+// safe workloads and requires a silent must tier.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/jlint"
+	"repro/internal/obj"
+	"repro/internal/spec"
+)
+
+func main() {
+	bench := flag.String("bench", "", "comma-separated workload names (default: all)")
+	parallel := flag.Int("parallel", 1, "concurrent module analyses")
+	out := flag.String("o", "", "write the JSON report here (default stdout)")
+	failOnMust := flag.Bool("fail-on-must", false, "exit 1 when any must-alarm is found")
+	verbose := flag.Bool("v", false, "print per-module finding counts")
+	flag.Parse()
+
+	names := spec.Names()
+	if *bench != "" {
+		names = strings.Split(*bench, ",")
+	}
+
+	// Collect the closure modules, deduplicated by content hash: libj and
+	// shared helper modules recur across workloads.
+	var mods []*obj.Module
+	seen := map[string]bool{}
+	for _, name := range names {
+		w := spec.ByName(name)
+		if w == nil {
+			fmt.Fprintf(os.Stderr, "jlint: unknown workload %q\n", name)
+			os.Exit(2)
+		}
+		main, reg, err := w.Build(false)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jlint: %s: build: %v\n", name, err)
+			os.Exit(2)
+		}
+		closure := []*obj.Module{main}
+		var regNames []string
+		for n := range reg {
+			regNames = append(regNames, n)
+		}
+		sort.Strings(regNames)
+		for _, n := range regNames {
+			closure = append(closure, reg[n])
+		}
+		for _, m := range closure {
+			if h := m.HashString(); !seen[h] {
+				seen[h] = true
+				mods = append(mods, m)
+			}
+		}
+	}
+
+	reports := make([]*jlint.Report, len(mods))
+	errs := make([]error, len(mods))
+	workers := *parallel
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, m := range mods {
+		wg.Add(1)
+		go func(i int, m *obj.Module) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			reports[i], errs[i] = jlint.Analyze(m)
+		}(i, m)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jlint: %s: %v\n", mods[i].Name, err)
+			os.Exit(2)
+		}
+	}
+
+	sort.Slice(reports, func(i, j int) bool {
+		if reports[i].Module != reports[j].Module {
+			return reports[i].Module < reports[j].Module
+		}
+		return reports[i].ModHash < reports[j].ModHash
+	})
+
+	musts, mays := 0, 0
+	for _, r := range reports {
+		musts += len(r.Musts())
+		mays += len(r.Mays())
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "jlint: %-16s must=%d may=%d\n",
+				r.Module, len(r.Musts()), len(r.Mays()))
+		}
+	}
+
+	b, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jlint: marshal: %v\n", err)
+		os.Exit(2)
+	}
+	b = append(b, '\n')
+	if *out == "" {
+		os.Stdout.Write(b)
+	} else if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "jlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Fprintf(os.Stderr, "jlint: %d modules, %d must-alarms, %d may-alarms\n",
+		len(reports), musts, mays)
+	if *failOnMust && musts > 0 {
+		os.Exit(1)
+	}
+}

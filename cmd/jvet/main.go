@@ -33,6 +33,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/jasan"
 	"repro/internal/jcfi"
+	"repro/internal/jlint"
 	"repro/internal/jmsan"
 	"repro/internal/loader"
 	"repro/internal/obj"
@@ -68,8 +69,8 @@ func main() {
 		}
 	}
 
-	fmt.Printf("jvet: %d module/tool passes, %d claims replayed, %d rewritten modules verified, %d violations\n",
-		v.passes, v.claims, v.rewrites, len(v.violations))
+	fmt.Printf("jvet: %d module/tool passes, %d claims replayed, %d rewritten modules verified, %d lint reports re-derived (%d findings), %d violations\n",
+		v.passes, v.claims, v.rewrites, v.reports, v.alarms, len(v.violations))
 	if len(v.violations) > 0 {
 		for _, msg := range v.violations {
 			fmt.Fprintf(os.Stderr, "jvet: VIOLATION: %s\n", msg)
@@ -94,6 +95,8 @@ type vetter struct {
 	passes     int
 	claims     int
 	rewrites   int
+	reports    int
+	alarms     int
 	violations []string
 	// done memoizes verified (module hash, tool key) pairs — libj and
 	// shared helper modules recur across workloads.
@@ -128,6 +131,12 @@ func (v *vetter) vetWorkload(w *spec.Workload) error {
 			}
 			v.done[key] = true
 			if err := v.vetModule(mod, tool, mods); err != nil {
+				return err
+			}
+		}
+		if key := hash + "/jlint"; !v.done[key] {
+			v.done[key] = true
+			if err := v.vetLint(mod); err != nil {
 				return err
 			}
 		}
@@ -217,6 +226,27 @@ func (v *vetter) vetModule(mod *obj.Module, tool core.Tool, closure []*obj.Modul
 		v.violations = append(v.violations, toolID(tool)+": "+viol.String())
 	}
 	v.dischargeAssumes(mod, ps, closure)
+	return nil
+}
+
+// vetLint re-verifies the static bug detector's report for one module:
+// jlint's findings — the must-alarm tier in particular — are re-derived
+// from scratch and every path witness is replayed over the re-derived
+// feasible CFG, the same discipline applied to elision claims.
+func (v *vetter) vetLint(mod *obj.Module) error {
+	rep, err := jlint.Analyze(mod)
+	if err != nil {
+		return err
+	}
+	v.reports++
+	v.alarms += len(rep.Findings)
+	if v.verbose {
+		fmt.Printf("jvet: %-12s jlint %d must / %d may\n",
+			mod.Name, len(rep.Musts()), len(rep.Mays()))
+	}
+	for _, viol := range jlint.VerifyReport(mod, rep) {
+		v.violations = append(v.violations, "jlint: "+mod.Name+": "+viol.String())
+	}
 	return nil
 }
 

@@ -51,7 +51,7 @@ func (p *profiler) slot(label string) uint64 {
 // StaticPass marks every direct call with the callee's symbolic name.
 func (p *profiler) StaticPass(sc *core.StaticContext) []rules.Rule {
 	var out []rules.Rule
-	for _, blk := range sc.Graph.Blocks {
+	for _, blk := range sc.Graph.SortedBlocks() {
 		term := blk.Terminator()
 		if term.Op != isa.OpCall {
 			continue

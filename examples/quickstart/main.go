@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 
 	"repro/internal/cc"
 	"repro/internal/core"
@@ -48,8 +49,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for name, f := range files {
-		fmt.Printf("static analyzer: %-12s %4d rewrite rules\n", name, len(f.Rules))
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("static analyzer: %-12s %4d rewrite rules\n", name, len(files[name].Rules))
 	}
 
 	// 3. Execute under the hybrid dynamic modifier.

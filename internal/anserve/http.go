@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/jasan"
 	"repro/internal/jcfi"
+	"repro/internal/jlint"
 	"repro/internal/jmsan"
 	"repro/internal/obj"
 	"repro/internal/telemetry"
@@ -60,6 +61,9 @@ func DefaultTools() map[string]ToolFactory {
 				jasan.New(jasan.Config{UseLiveness: true}),
 				jmsan.New(jmsan.Config{UseLiveness: true}),
 			)
+		},
+		"jlint": func() core.Tool {
+			return jlint.New()
 		},
 		"comprehensive": func() core.Tool {
 			return core.NewMultiTool(

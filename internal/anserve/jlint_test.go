@@ -1,0 +1,96 @@
+package anserve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/jasan"
+	"repro/internal/jlint"
+)
+
+// TestJLintArtifactServiceAndCache: jlint is an ArtifactTool — the service
+// must cache its JSON report under a key distinct from every rule-file
+// tool, serve the identical bytes on a hit, and validate artifacts against
+// the module they claim to describe.
+func TestJLintArtifactServiceAndCache(t *testing.T) {
+	mod := testModule(t)
+	lint := jlint.New()
+	if CacheKey(mod, lint) == CacheKey(mod, jasan.New(jasan.Config{UseLiveness: true})) {
+		t.Fatal("jlint and jasan share a cache key")
+	}
+
+	svc := New(Config{})
+	first, err := svc.AnalyzeModuleBytes(mod, lint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := jlint.UnmarshalReport(first)
+	if err != nil {
+		t.Fatalf("artifact is not a jlint report: %v", err)
+	}
+	if rep.Module != mod.Name || rep.ModHash != mod.HashString() {
+		t.Fatalf("report bound to %s/%s, want %s/%s",
+			rep.Module, rep.ModHash, mod.Name, mod.HashString())
+	}
+
+	second, err := svc.AnalyzeModuleBytes(mod, lint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("cached artifact differs from fresh analysis")
+	}
+	if st := svc.Stats(); st.Sched.Analyzed != 1 {
+		t.Fatalf("analyzed = %d, want 1 (second request is a cache hit)",
+			st.Sched.Analyzed)
+	}
+
+	if err := lint.ValidateArtifact(mod, first); err != nil {
+		t.Fatalf("genuine artifact rejected: %v", err)
+	}
+	if err := lint.ValidateArtifact(mod, first[:len(first)/2]); err == nil {
+		t.Fatal("truncated artifact accepted")
+	}
+	other, err := cc.Compile(`int main() { return 3; }`,
+		cc.Options{Module: "anserve-other", O2: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lint.ValidateArtifact(other, first); err == nil {
+		t.Fatal("artifact for a different module accepted")
+	}
+}
+
+// TestHandlerServesJLint: the HTTP API serves jlint reports through the
+// default tool registry.
+func TestHandlerServesJLint(t *testing.T) {
+	mod := testModule(t)
+	svc := New(Config{})
+	srv := httptest.NewServer(svc.Handler(DefaultTools()))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/analyze?tool=jlint",
+		"application/octet-stream", bytes.NewReader(mod.Marshal()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	rep, err := jlint.UnmarshalReport(body)
+	if err != nil {
+		t.Fatalf("response is not a jlint report: %v", err)
+	}
+	if rep.ModHash != mod.HashString() {
+		t.Fatal("report bound to wrong module content")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/loader"
@@ -95,7 +96,13 @@ func (s *Service) RewritePlans(main *obj.Module, reg loader.Registry,
 	if err != nil {
 		return nil, err
 	}
-	for name, p := range captured {
+	capturedNames := make([]string, 0, len(captured))
+	for name := range captured {
+		capturedNames = append(capturedNames, name)
+	}
+	sort.Strings(capturedNames)
+	for _, name := range capturedNames {
+		p := captured[name]
 		mod := reg[name]
 		if name == main.Name {
 			mod = main

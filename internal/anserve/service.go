@@ -360,14 +360,23 @@ func (s *Service) analyze(key string, mod *obj.Module, tool core.Tool) ([]byte, 
 	s.sem <- struct{}{} // worker-pool slot
 	defer func() { <-s.sem }()
 	start := time.Now()
-	f, err := core.AnalyzeModule(mod, tool)
+	var b []byte
+	var err error
+	if at, ok := tool.(core.ArtifactTool); ok {
+		b, err = at.AnalyzeArtifact(mod)
+	} else {
+		var f *rules.File
+		f, err = core.AnalyzeModule(mod, tool)
+		if err == nil {
+			b = f.Marshal()
+		}
+	}
 	s.toolLatency(tool.Name()).Observe(time.Since(start).Seconds())
 	if err != nil {
 		s.errors.Add(1)
 		return nil, TierMiss, fmt.Errorf("anserve: %w", err)
 	}
 	s.analyzed.Add(1)
-	b := f.Marshal()
 	s.cache.Put(key, b)
 	return b, TierMiss, nil
 }

@@ -295,7 +295,7 @@ func (c *Cluster) lookup(key, toolName string, mod *obj.Module,
 	owner := c.ring.Owner(key)
 	if owner != c.self {
 		if c.Healthy(owner) {
-			if b, err := c.fillFromPeer(owner, toolName, mod); err == nil {
+			if b, err := c.fillFromPeer(owner, toolName, mod, tool); err == nil {
 				c.svc.CacheInsert(key, b)
 				return b, anserve.TierPeer, nil
 			}
@@ -309,10 +309,11 @@ func (c *Cluster) lookup(key, toolName string, mod *obj.Module,
 
 // fillFromPeer fetches one artifact from its home shard. The peer serves
 // the request strictly locally (PeerFillHeader), so fills cannot loop.
-// Any failure — transport, non-200, or bytes that do not parse as a rule
-// file for this module — counts against the peer's health and makes the
-// caller fall back to local compute.
-func (c *Cluster) fillFromPeer(owner, toolName string, mod *obj.Module) ([]byte, error) {
+// Any failure — transport, non-200, or bytes that do not validate as this
+// tool's artifact for this module — counts against the peer's health and
+// makes the caller fall back to local compute.
+func (c *Cluster) fillFromPeer(owner, toolName string, mod *obj.Module,
+	tool core.Tool) ([]byte, error) {
 	sp := telemetry.StartSpan("cluster.peer-fill",
 		telemetry.String("module", mod.Name),
 		telemetry.String("owner", owner))
@@ -351,15 +352,24 @@ func (c *Cluster) fillFromPeer(owner, toolName string, mod *obj.Module) ([]byte,
 		return nil, fmt.Errorf("cluster: fill %s from %s: status %d",
 			mod.Name, owner, resp.StatusCode)
 	}
-	// Trust but verify: cached bytes must be a rule file for this module.
-	f, err := rules.Unmarshal(body)
-	if err != nil {
-		return fail(fmt.Errorf("cluster: fill %s from %s: bad artifact: %w",
-			mod.Name, owner, err))
-	}
-	if f.Module != mod.Name {
-		return fail(fmt.Errorf("cluster: fill from %s returned rules for %q, want %q",
-			owner, f.Module, mod.Name))
+	// Trust but verify: cached bytes must be this tool's artifact for
+	// this module — a custom artifact for ArtifactTools, a rule file
+	// otherwise.
+	if at, ok := tool.(core.ArtifactTool); ok {
+		if err := at.ValidateArtifact(mod, body); err != nil {
+			return fail(fmt.Errorf("cluster: fill %s from %s: bad artifact: %w",
+				mod.Name, owner, err))
+		}
+	} else {
+		f, err := rules.Unmarshal(body)
+		if err != nil {
+			return fail(fmt.Errorf("cluster: fill %s from %s: bad artifact: %w",
+				mod.Name, owner, err))
+		}
+		if f.Module != mod.Name {
+			return fail(fmt.Errorf("cluster: fill from %s returned rules for %q, want %q",
+				owner, f.Module, mod.Name))
+		}
 	}
 	c.markSuccess(owner)
 	c.peerFills.Add(1)

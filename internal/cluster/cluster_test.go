@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dbm"
 	"repro/internal/jasan"
+	"repro/internal/jlint"
 	"repro/internal/obj"
 	"repro/internal/rules"
 )
@@ -96,6 +97,7 @@ func startFleet(t *testing.T, n int, gates map[int]<-chan struct{}) []*testNode 
 				}
 				return testTool()
 			},
+			"jlint": func() core.Tool { return jlint.New() },
 		}
 		d := anserve.NewDaemonOpts(svc, tools, anserve.DaemonOptions{
 			Handler: anserve.HandlerOpts{Analyzer: clu},

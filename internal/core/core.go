@@ -72,6 +72,21 @@ type Tool interface {
 	RuntimeInit(rt *Runtime) error
 }
 
+// ArtifactTool is a Tool whose analysis product is a custom artifact (for
+// example internal/jlint's bug report) rather than a rewrite-rule file. The
+// service layer routes such tools through AnalyzeArtifact and validates
+// fleet peer fills with ValidateArtifact in place of the rules.Unmarshal
+// check. Artifacts must be byte-deterministic: the content-addressed cache
+// and cross-node verification depend on it.
+type ArtifactTool interface {
+	Tool
+	// AnalyzeArtifact produces the tool's artifact bytes for mod.
+	AnalyzeArtifact(mod *obj.Module) ([]byte, error)
+	// ValidateArtifact checks that b is a well-formed artifact produced
+	// for exactly mod (an untrusted peer fill).
+	ValidateArtifact(mod *obj.Module, b []byte) error
+}
+
 // AnalyzeModule runs Janitizer's static analyzer over one module for one
 // tool: disassembly, CFG recovery over all executable sections, generic and
 // enhanced analyses, the tool's custom security analysis, and no-op marking

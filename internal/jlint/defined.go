@@ -1,0 +1,334 @@
+package jlint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/isa"
+	"repro/internal/vsa"
+)
+
+// The static uninit detector is a per-function forward dataflow over the
+// feasible CFG tracking which frame bytes (the window [F-fs, F-1]) may and
+// must have been written. A load whose byte envelope is wholly disjoint
+// from the may-written set reads memory no feasible path initialised — a
+// must-alarm. A load whose envelope is not wholly inside the must-written
+// set is a may-alarm. Both fire only for loads the block-local definedness
+// lattice says feed a sink (the same gate the dynamic JMSan uses), so dead
+// and address-only loads never alarm.
+
+// bitset is a fixed-width frame-byte set; bit i covers byte F-fs+i.
+type bitset []uint64
+
+func newBitset(n int64) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int64)      { b[i/64] |= 1 << uint(i%64) }
+func (b bitset) get(i int64) bool { return b[i/64]&(1<<uint(i%64)) != 0 }
+
+func (b bitset) clone() bitset {
+	out := make(bitset, len(b))
+	copy(out, b)
+	return out
+}
+
+// union folds o into b, reporting whether b changed.
+func (b bitset) union(o bitset) bool {
+	changed := false
+	for i := range b {
+		if n := b[i] | o[i]; n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// intersect folds o into b, reporting whether b changed.
+func (b bitset) intersect(o bitset) bool {
+	changed := false
+	for i := range b {
+		if n := b[i] & o[i]; n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (b bitset) fill() {
+	for i := range b {
+		b[i] = ^uint64(0)
+	}
+}
+
+// event kinds within a block, in instruction order.
+const (
+	evWrite = iota // may-write [lo,hi]; must-write too when exact
+	evRead         // sink-feeding frame load of [lo,hi]
+	evHavoc        // unknown write target: may-written := universe,
+	// must-written := universe (suppresses downstream may-alarms — an
+	// unknown store or callee may have initialised anything)
+)
+
+type event struct {
+	kind   int
+	instr  uint64 // anchoring instruction address
+	lo, hi int64  // frame-window byte indexes, inclusive
+	exact  bool   // write at one provable offset (counts as must-write)
+	width  int
+}
+
+// defFlow is the per-block dataflow state.
+type defFlow struct {
+	may     bitset
+	mayAll  bool
+	must    bitset
+	mustAll bool
+}
+
+func (d *defFlow) clone(int64) *defFlow {
+	return &defFlow{may: d.may.clone(), mayAll: d.mayAll,
+		must: d.must.clone(), mustAll: d.mustAll}
+}
+
+// joinFrom merges a predecessor out-state, reporting change. may is a
+// union, must an intersection; the universe flags fold accordingly.
+func (d *defFlow) joinFrom(o *defFlow) bool {
+	changed := false
+	if o.mayAll && !d.mayAll {
+		d.mayAll = true
+		changed = true
+	}
+	if !d.mayAll && d.may.union(o.may) {
+		changed = true
+	}
+	if d.mustAll && !o.mustAll {
+		d.mustAll = false
+		d.must = o.must.clone()
+		changed = true
+	} else if !d.mustAll && !o.mustAll && d.must.intersect(o.must) {
+		changed = true
+	}
+	return changed
+}
+
+// checkUninit runs the definedness dataflow for one function and returns
+// its uninit-read findings.
+func (c *checker) checkUninit(fn *cfg.Function, fs int64, wit *witnesses) []Finding {
+	if fs <= 0 || fs > maxFrameBytes {
+		return nil
+	}
+	var blocks []*cfg.BasicBlock
+	for _, b := range fn.Blocks {
+		if wit.seen[b.Start] && len(b.Instrs) > 0 {
+			blocks = append(blocks, b)
+		}
+	}
+	if len(blocks) == 0 {
+		return nil
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].Start < blocks[j].Start })
+
+	events := map[uint64][]event{}
+	for _, b := range blocks {
+		events[b.Start] = c.blockEvents(b, fs)
+	}
+
+	// Forward fixpoint over the feasible edges. In-states: entry starts
+	// with nothing written; every other block starts at the intersection
+	// identity (must = universe) until a predecessor reaches it.
+	in := map[uint64]*defFlow{}
+	apply := func(st *defFlow, evs []event) {
+		for _, ev := range evs {
+			switch ev.kind {
+			case evWrite:
+				if !st.mayAll {
+					for i := ev.lo; i <= ev.hi; i++ {
+						st.may.set(i)
+					}
+				}
+				if ev.exact && !st.mustAll {
+					for i := ev.lo; i <= ev.hi; i++ {
+						st.must.set(i)
+					}
+				}
+			case evHavoc:
+				st.mayAll = true
+				st.mustAll = true
+			}
+		}
+	}
+	work := []uint64{fn.Entry}
+	in[fn.Entry] = &defFlow{may: newBitset(fs), must: newBitset(fs)}
+	for len(work) > 0 {
+		cur := work[0]
+		work = work[1:]
+		blk := c.g.BlockAt(cur)
+		if blk == nil {
+			continue
+		}
+		out := in[cur].clone(fs)
+		apply(out, events[cur])
+		for _, s := range c.res.FeasibleSuccs(blk) {
+			if !wit.seen[s] {
+				continue
+			}
+			dst, ok := in[s]
+			if !ok {
+				in[s] = out.clone(fs)
+				work = append(work, s)
+				continue
+			}
+			if dst.joinFrom(out) {
+				work = append(work, s)
+			}
+		}
+	}
+
+	// Emission pass: replay each block's events against its fixed in-state
+	// and judge every sink-feeding read.
+	var out []Finding
+	for _, blk := range blocks {
+		st, ok := in[blk.Start]
+		if !ok {
+			continue
+		}
+		cur := st.clone(fs)
+		chain := wit.chainTo(blk.Start)
+		for _, ev := range events[blk.Start] {
+			if ev.kind != evRead {
+				apply(cur, []event{ev})
+				continue
+			}
+			mayAny, mustAll := cur.mayAll, cur.mustAll
+			for i := ev.lo; i <= ev.hi && !mayAny; i++ {
+				mayAny = mayAny || cur.may.get(i)
+			}
+			for i := ev.lo; i <= ev.hi && mustAll; i++ {
+				mustAll = mustAll && cur.must.get(i)
+			}
+			f := Finding{
+				Kind: UninitRead, Func: fn.Name, FuncEntry: fn.Entry,
+				Instr: ev.instr, Width: ev.width, Witness: chain,
+			}
+			switch {
+			case !mayAny:
+				f.Tier = Must
+				f.Detail = fmt.Sprintf(
+					"read of [F%+d,F%+d]: no feasible path writes any byte",
+					ev.lo-fs, ev.hi-fs)
+				out = append(out, f)
+			case !mustAll:
+				f.Tier = May
+				f.Detail = fmt.Sprintf(
+					"read of [F%+d,F%+d]: some path leaves bytes unwritten",
+					ev.lo-fs, ev.hi-fs)
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+// blockEvents extracts the frame write/read events of one block in
+// instruction order, judged under the VSA states.
+func (c *checker) blockEvents(blk *cfg.BasicBlock, fs int64) []event {
+	var evs []event
+	clamp := func(lo, hi int64) (int64, int64, bool) {
+		// Translate F-relative [lo,hi] to window indexes [0,fs).
+		lo, hi = lo+fs, hi+fs
+		if hi < 0 || lo >= fs {
+			return 0, 0, false
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= fs {
+			hi = fs - 1
+		}
+		return lo, hi, true
+	}
+	c.res.WalkBlock(blk, func(i int, in *isa.Instr, st *vsa.State) {
+		switch {
+		case in.Op == isa.OpPush, in.Op == isa.OpPushF:
+			sp := st.Regs[isa.SP]
+			if !sp.IsFrame() || !sp.Bounded() {
+				evs = append(evs, event{kind: evHavoc, instr: in.Addr})
+				return
+			}
+			lo, hi, ok := clamp(sp.Lo-8, sp.Hi-1)
+			if ok {
+				evs = append(evs, event{kind: evWrite, instr: in.Addr,
+					lo: lo, hi: hi, exact: sp.Lo == sp.Hi, width: 8})
+			}
+		case in.Op == isa.OpCall, in.Op == isa.OpCallI,
+			in.Op == isa.OpSyscall, in.Op == isa.OpTrap:
+			// A callee holding a pointer into this frame may write any
+			// byte; the kernel and VM services likewise.
+			evs = append(evs, event{kind: evHavoc, instr: in.Addr})
+		case in.IsMemAccess() && in.IsStore():
+			a := vsa.AddrValue(st, in)
+			w := int64(in.AccessWidth())
+			switch {
+			case a.IsFrame() && a.Bounded():
+				lo, hi, ok := clamp(a.Lo, a.Hi+w-1)
+				if ok {
+					evs = append(evs, event{kind: evWrite, instr: in.Addr,
+						lo: lo, hi: hi, exact: a.Lo == a.Hi, width: int(w)})
+				}
+			case globalOnly(c, a, w):
+				// Provably a store into the module image: cannot alias
+				// the stack, no frame effect.
+			default:
+				evs = append(evs, event{kind: evHavoc, instr: in.Addr})
+			}
+		case in.IsMemAccess() && !in.IsStore():
+			a := vsa.AddrValue(st, in)
+			w := int64(in.AccessWidth())
+			if !a.IsFrame() || !a.Bounded() {
+				return
+			}
+			// Only judge reads wholly inside the frame window; straddling
+			// reads are the spatial checker's business.
+			if a.Lo < -fs || a.Hi+w-1 > -1 {
+				return
+			}
+			if !c.def.FeedsSink(in.Addr) {
+				return
+			}
+			if c.isCanarySlot(blk.Fn, a, w) {
+				return
+			}
+			lo, hi, _ := clamp(a.Lo, a.Hi+w-1)
+			evs = append(evs, event{kind: evRead, instr: in.Addr,
+				lo: lo, hi: hi, width: int(w)})
+		}
+	})
+	return evs
+}
+
+// globalOnly reports whether the store address provably lies wholly inside
+// one module section (and so cannot alias the stack).
+func globalOnly(c *checker, a vsa.Value, w int64) bool {
+	eligible := a.Region == vsa.RLink || (a.Region == vsa.RConst && !c.mod.PIC)
+	if !eligible || !a.Bounded() || a.Lo < 0 {
+		return false
+	}
+	sec := c.mod.SectionAt(uint64(a.Lo))
+	return sec != nil && sec.Contains(uint64(satAdd(a.Hi, w-1)))
+}
+
+// isCanarySlot reports whether the read covers a canary slot: the canary
+// load before the epilogue check is compiler-managed, not program data.
+func (c *checker) isCanarySlot(fn *cfg.Function, a vsa.Value, w int64) bool {
+	if fn == nil {
+		return false
+	}
+	for _, off := range c.res.CanarySlots[fn.Entry] {
+		if a.Lo <= off+7 && a.Hi+w-1 >= off {
+			return true
+		}
+	}
+	return false
+}

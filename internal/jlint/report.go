@@ -1,0 +1,245 @@
+// Package jlint is Janitizer's whole-module static bug detector: it runs
+// the internal/vsa fixpoint over a JEF module and reports *bugs* instead of
+// proofs, inverting the strided-interval domain into an unsafety direction.
+//
+// Findings come in two tiers. A must-alarm means every value in the
+// abstract set violates the property — a definite spatial out-of-bounds
+// access against the frame or global extents, a definite read of
+// never-written frame memory, or an indirect branch whose resolved target
+// set contains no admissible entry. A may-alarm means the abstract set
+// overlaps a violation without being contained in it. Every finding carries
+// a serialisable path witness (function, block chain, anchoring
+// instruction) so cmd/jvet can re-derive it from scratch the same way it
+// replays elision claims.
+package jlint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ReportVersion is the report format version; Validate rejects others.
+const ReportVersion = 1
+
+// ErrMalformedReport is wrapped by every report-decoding rejection.
+var ErrMalformedReport = errors.New("jlint: malformed report")
+
+// Tier is the alarm confidence tier.
+type Tier string
+
+// Alarm tiers.
+const (
+	// Must findings hold for every value in the abstract set: the bug
+	// fires on every execution reaching the anchoring instruction.
+	Must Tier = "must"
+	// May findings overlap a violation without being contained in it.
+	May Tier = "may"
+)
+
+// Kind is the bug class of a finding.
+type Kind string
+
+// Finding kinds.
+const (
+	// OOBFrame is a spatial out-of-bounds access relative to the frame
+	// extents of the containing function.
+	OOBFrame Kind = "oob-frame"
+	// OOBGlobal is a spatial out-of-bounds access against the module's
+	// section extents.
+	OOBGlobal Kind = "oob-global"
+	// UninitRead is a read of frame memory that no feasible path wrote.
+	UninitRead Kind = "uninit-read"
+	// BadIndirect is an indirect branch or call whose resolved target set
+	// contains no admissible target.
+	BadIndirect Kind = "bad-indirect"
+)
+
+func validTier(t Tier) bool { return t == Must || t == May }
+
+func validKind(k Kind) bool {
+	switch k {
+	case OOBFrame, OOBGlobal, UninitRead, BadIndirect:
+		return true
+	}
+	return false
+}
+
+// Finding is one reported bug with its re-derivable path witness.
+type Finding struct {
+	// ID is a stable content hash of the finding (module hash + every
+	// field below); identical analyses produce identical IDs.
+	ID   string `json:"id"`
+	Tier Tier   `json:"tier"`
+	Kind Kind   `json:"kind"`
+	// Func is the containing function's name, FuncEntry its entry address.
+	Func      string `json:"func"`
+	FuncEntry uint64 `json:"func_entry"`
+	// Instr is the anchoring instruction address (for BadIndirect, the
+	// indirect branch itself).
+	Instr uint64 `json:"instr"`
+	// Width is the access width in bytes (0 when not an access).
+	Width int `json:"width,omitempty"`
+	// Detail states the violated condition, e.g. the access interval
+	// against the frame extent.
+	Detail string `json:"detail"`
+	// Witness is the feasible block chain from the function entry to the
+	// block containing Instr, each element a block start address.
+	Witness []uint64 `json:"witness"`
+}
+
+// Report is the deterministic analysis product for one module.
+type Report struct {
+	Version int    `json:"version"`
+	Module  string `json:"module"`
+	// ModHash is the hex content hash of the analyzed module.
+	ModHash  string    `json:"mod_hash"`
+	Findings []Finding `json:"findings"`
+}
+
+// contentID computes the stable finding ID: a 16-byte hex prefix of the
+// SHA-256 over the module hash and every identity-bearing field.
+func contentID(modHash string, f *Finding) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s\x00%d\x00%d\x00%d\x00%s\x00",
+		modHash, f.Tier, f.Kind, f.Func, f.FuncEntry, f.Instr, f.Width, f.Detail)
+	for _, w := range f.Witness {
+		fmt.Fprintf(h, "%d,", w)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:32]
+}
+
+// less is the canonical finding order: function entry, instruction, kind,
+// tier, detail. Sorting on it (plus content IDs) makes Marshal byte-stable.
+func (f *Finding) less(o *Finding) bool {
+	if f.FuncEntry != o.FuncEntry {
+		return f.FuncEntry < o.FuncEntry
+	}
+	if f.Instr != o.Instr {
+		return f.Instr < o.Instr
+	}
+	if f.Kind != o.Kind {
+		return f.Kind < o.Kind
+	}
+	if f.Tier != o.Tier {
+		return f.Tier < o.Tier
+	}
+	return f.Detail < o.Detail
+}
+
+// Finalize sorts the findings canonically and stamps every content ID.
+// Analyze calls it before returning; external constructors must too.
+func (r *Report) Finalize() {
+	sort.Slice(r.Findings, func(i, j int) bool {
+		return r.Findings[i].less(&r.Findings[j])
+	})
+	for i := range r.Findings {
+		r.Findings[i].ID = contentID(r.ModHash, &r.Findings[i])
+	}
+}
+
+// Musts returns the must-tier findings.
+func (r *Report) Musts() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Tier == Must {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Mays returns the may-tier findings.
+func (r *Report) Mays() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Tier == May {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Marshal encodes the report as byte-stable JSON: findings are emitted in
+// canonical order with fixed field order, so identical analyses produce
+// identical bytes — the content-addressed cache and the fleet's peer fills
+// depend on it.
+func (r *Report) Marshal() []byte {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		// Only unsupported types can fail here; the Report struct has none.
+		panic("jlint: marshal: " + err.Error())
+	}
+	return append(b, '\n')
+}
+
+// UnmarshalReport decodes and validates report bytes. Any syntactic or
+// structural defect — unknown fields, bad version, unsorted findings,
+// content-ID mismatches — is rejected with ErrMalformedReport.
+func UnmarshalReport(b []byte) (*Report, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var r Report
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformedReport, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data", ErrMalformedReport)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Validate checks the report's structural invariants.
+func (r *Report) Validate() error {
+	if r.Version != ReportVersion {
+		return fmt.Errorf("%w: version %d, want %d", ErrMalformedReport, r.Version, ReportVersion)
+	}
+	if r.Module == "" {
+		return fmt.Errorf("%w: empty module name", ErrMalformedReport)
+	}
+	if len(r.ModHash) != 64 {
+		return fmt.Errorf("%w: module hash %q is not 64 hex chars", ErrMalformedReport, r.ModHash)
+	}
+	for _, c := range r.ModHash {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("%w: module hash %q is not lowercase hex", ErrMalformedReport, r.ModHash)
+		}
+	}
+	if len(r.Findings) > 1<<20 {
+		return fmt.Errorf("%w: %d findings exceeds cap", ErrMalformedReport, len(r.Findings))
+	}
+	for i := range r.Findings {
+		f := &r.Findings[i]
+		if !validTier(f.Tier) {
+			return fmt.Errorf("%w: finding %d: bad tier %q", ErrMalformedReport, i, f.Tier)
+		}
+		if !validKind(f.Kind) {
+			return fmt.Errorf("%w: finding %d: bad kind %q", ErrMalformedReport, i, f.Kind)
+		}
+		if f.Width < 0 || f.Width > 8 {
+			return fmt.Errorf("%w: finding %d: bad width %d", ErrMalformedReport, i, f.Width)
+		}
+		if len(f.Witness) == 0 {
+			return fmt.Errorf("%w: finding %d: empty witness", ErrMalformedReport, i)
+		}
+		if len(f.Witness) > 1<<16 {
+			return fmt.Errorf("%w: finding %d: witness exceeds cap", ErrMalformedReport, i)
+		}
+		if f.Witness[0] != f.FuncEntry {
+			return fmt.Errorf("%w: finding %d: witness does not start at function entry", ErrMalformedReport, i)
+		}
+		if i > 0 && !r.Findings[i-1].less(f) {
+			return fmt.Errorf("%w: findings %d,%d out of canonical order", ErrMalformedReport, i-1, i)
+		}
+		if want := contentID(r.ModHash, f); f.ID != want {
+			return fmt.Errorf("%w: finding %d: content ID mismatch", ErrMalformedReport, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package jlint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+)
+
+// capturedReports produces real reports for fuzz seeds and codec tests.
+func capturedReports(tb testing.TB) []*Report {
+	tb.Helper()
+	var out []*Report
+	for _, src := range []string{
+		`
+.module clean
+.entry f
+.section .text
+f:
+    mov r0, 0
+    hlt
+`, `
+.module buggy
+.entry f
+.section .text
+f:
+    push fp
+    mov fp, sp
+    sub sp, 16
+    mov r1, 5
+    stq [fp-40], r1
+    la r7, d
+    jmpi r7
+    hlt
+.section .data
+d:
+    .quad 1
+`} {
+		mod, err := asm.Assemble(src)
+		if err != nil {
+			tb.Fatalf("assemble: %v", err)
+		}
+		rep, err := Analyze(mod)
+		if err != nil {
+			tb.Fatalf("analyze: %v", err)
+		}
+		out = append(out, rep)
+	}
+	return out
+}
+
+func reportCorpusSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	dir := filepath.Join("testdata", "malformed")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		tb.Fatalf("corpus: %v", err)
+	}
+	var out [][]byte
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			tb.Fatalf("corpus %s: %v", e.Name(), err)
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		tb.Fatal("empty malformed corpus")
+	}
+	return out
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	for _, rep := range capturedReports(t) {
+		b := rep.Marshal()
+		got, err := UnmarshalReport(b)
+		if err != nil {
+			t.Fatalf("%s: %v", rep.Module, err)
+		}
+		if !bytes.Equal(got.Marshal(), b) {
+			t.Errorf("%s: round-trip bytes differ", rep.Module)
+		}
+	}
+}
+
+func TestMalformedReportCorpusRejected(t *testing.T) {
+	for i, b := range reportCorpusSeeds(t) {
+		_, err := UnmarshalReport(b)
+		if err == nil {
+			t.Errorf("corpus[%d] accepted", i)
+			continue
+		}
+		if !errors.Is(err, ErrMalformedReport) {
+			t.Errorf("corpus[%d]: untyped error: %v", i, err)
+		}
+	}
+}
+
+func TestValidateRejectsTampering(t *testing.T) {
+	rep := capturedReports(t)[1]
+	if len(rep.Findings) < 2 {
+		t.Fatalf("need >= 2 findings, have %d", len(rep.Findings))
+	}
+	// Edited detail without a re-stamped ID: content mismatch.
+	b := rep.Marshal()
+	mut := bytes.Replace(b, []byte(rep.Findings[0].Detail),
+		[]byte("innocuous"), 1)
+	if _, err := UnmarshalReport(mut); !errors.Is(err, ErrMalformedReport) {
+		t.Errorf("edited detail accepted: %v", err)
+	}
+	// Reordered findings: canonical-order violation.
+	swapped := *rep
+	swapped.Findings = append([]Finding(nil), rep.Findings...)
+	swapped.Findings[0], swapped.Findings[1] = swapped.Findings[1], swapped.Findings[0]
+	if err := swapped.Validate(); !errors.Is(err, ErrMalformedReport) {
+		t.Errorf("reordered findings accepted: %v", err)
+	}
+}
+
+func FuzzReportCodec(f *testing.F) {
+	for _, rep := range capturedReports(f) {
+		f.Add(rep.Marshal())
+	}
+	for _, b := range reportCorpusSeeds(f) {
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := UnmarshalReport(data)
+		if err != nil {
+			if !errors.Is(err, ErrMalformedReport) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		// Anything accepted must re-marshal to an equally valid report:
+		// the byte-stable codec round-trips accept-side canonical forms.
+		b := rep.Marshal()
+		again, err := UnmarshalReport(b)
+		if err != nil {
+			t.Fatalf("re-decode of accepted report failed: %v", err)
+		}
+		if !bytes.Equal(again.Marshal(), b) {
+			t.Fatal("marshal not a fixpoint")
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package jlint
+
+import (
+	"fmt"
+
+	"repro/internal/obj"
+)
+
+// Violation is one discrepancy VerifyReport found between a report and its
+// from-scratch re-derivation.
+type Violation struct {
+	// ID is the finding's content ID, or "" for report-level violations.
+	ID  string
+	Msg string
+}
+
+func (v Violation) String() string {
+	if v.ID == "" {
+		return v.Msg
+	}
+	return v.ID + ": " + v.Msg
+}
+
+// VerifyReport independently re-derives the analysis for mod and checks rep
+// against it, the same discipline cmd/jvet applies to elision claims:
+//   - the report must be structurally valid and bound to this module;
+//   - the must-alarm sets must match exactly in both directions (a stale
+//     or fabricated must-alarm is a violation, as is a missing one);
+//   - every finding's witness chain must replay over the re-derived
+//     feasible CFG, start at the function entry, and end at the block
+//     containing the anchoring instruction.
+//
+// May-alarms are compared as a set too — the analysis is deterministic, so
+// any divergence means the report does not belong to these bytes.
+func VerifyReport(mod *obj.Module, rep *Report) []Violation {
+	var out []Violation
+	if err := rep.Validate(); err != nil {
+		return []Violation{{Msg: err.Error()}}
+	}
+	if rep.Module != mod.Name {
+		out = append(out, Violation{Msg: fmt.Sprintf(
+			"report bound to module %q, verifying %q", rep.Module, mod.Name)})
+		return out
+	}
+	if rep.ModHash != mod.HashString() {
+		out = append(out, Violation{Msg: fmt.Sprintf(
+			"report bound to content %s…, module is %s…",
+			rep.ModHash[:12], mod.HashString()[:12])})
+		return out
+	}
+	fresh, err := Analyze(mod)
+	if err != nil {
+		return append(out, Violation{Msg: "re-derivation failed: " + err.Error()})
+	}
+
+	freshIDs := map[string]*Finding{}
+	for i := range fresh.Findings {
+		freshIDs[fresh.Findings[i].ID] = &fresh.Findings[i]
+	}
+	repIDs := map[string]bool{}
+	for i := range rep.Findings {
+		f := &rep.Findings[i]
+		repIDs[f.ID] = true
+		if freshIDs[f.ID] == nil {
+			out = append(out, Violation{ID: f.ID, Msg: fmt.Sprintf(
+				"%s-alarm %s at %#x not re-derivable", f.Tier, f.Kind, f.Instr)})
+		}
+	}
+	for i := range fresh.Findings {
+		f := &fresh.Findings[i]
+		if !repIDs[f.ID] {
+			out = append(out, Violation{ID: f.ID, Msg: fmt.Sprintf(
+				"re-derivation found %s-alarm %s at %#x missing from report",
+				f.Tier, f.Kind, f.Instr)})
+		}
+	}
+
+	out = append(out, verifyWitnesses(mod, rep)...)
+	return out
+}
+
+// verifyWitnesses replays every witness chain over a fresh CFG + VSA: each
+// consecutive pair must be a feasible edge and the chain must end at the
+// block containing the anchoring instruction.
+func verifyWitnesses(mod *obj.Module, rep *Report) []Violation {
+	res, g, err := analysisFor(mod)
+	if err != nil {
+		return []Violation{{Msg: "witness replay: " + err.Error()}}
+	}
+	var out []Violation
+	for i := range rep.Findings {
+		f := &rep.Findings[i]
+		bad := func(msg string) {
+			out = append(out, Violation{ID: f.ID, Msg: "witness: " + msg})
+		}
+		last := f.Witness[len(f.Witness)-1]
+		anchor := g.BlockAt(f.Instr)
+		if anchor == nil || anchor.Start != last {
+			bad(fmt.Sprintf("chain ends at %#x, instruction %#x is not in that block",
+				last, f.Instr))
+			continue
+		}
+		if fn := g.FuncAt(f.FuncEntry); fn == nil || fn.Entry != f.FuncEntry {
+			bad(fmt.Sprintf("no function at entry %#x", f.FuncEntry))
+			continue
+		}
+		ok := true
+		for j := 0; j+1 < len(f.Witness) && ok; j++ {
+			blk := g.BlockAt(f.Witness[j])
+			if blk == nil || blk.Start != f.Witness[j] {
+				bad(fmt.Sprintf("element %#x is not a block start", f.Witness[j]))
+				ok = false
+				break
+			}
+			found := false
+			for _, s := range res.FeasibleSuccs(blk) {
+				if s == f.Witness[j+1] {
+					found = true
+				}
+			}
+			if !found {
+				bad(fmt.Sprintf("edge %#x -> %#x is not feasible",
+					f.Witness[j], f.Witness[j+1]))
+				ok = false
+			}
+		}
+	}
+	return out
+}

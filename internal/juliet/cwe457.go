@@ -113,7 +113,7 @@ int main() { return victim(%d); }`
 	mk := func(n int) string { return fmt.Sprintf(tmpl, size, size-1, n) }
 	return Case{
 		ID: fmt.Sprintf("CWE457_stack_s%02d", size), Kind: UninitStack,
-		Good: mk(size), Bad: mk(0), ActualViolations: 1,
+		Good: mk(size), Bad: mk(0), ActualViolations: 1, Definite: true,
 	}
 }
 
@@ -137,6 +137,6 @@ int pick(int a) {
 int main() { return pick(%d); }`, k+1, k)
 	return Case{
 		ID: fmt.Sprintf("CWE457_scalar_k%02d", k), Kind: UninitScalar,
-		Good: good, Bad: bad, ActualViolations: 1,
+		Good: good, Bad: bad, ActualViolations: 1, Definite: true,
 	}
 }

@@ -53,6 +53,12 @@ type Case struct {
 	// variant; a detector reporting fewer counts as a false negative
 	// (the paper's fewer-than-actual rule).
 	ActualViolations int
+	// Definite marks bad variants whose violation is on the only feasible
+	// path through statically-visible frame memory — the subset a sound
+	// static must-alarm tier (internal/jlint) is required to detect.
+	// Heap-backed violations are not Definite: the abstract domain has no
+	// allocation identities, so they are at best may-alarms statically.
+	Definite bool
 }
 
 // Suite generates the 624 test cases.

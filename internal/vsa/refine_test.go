@@ -1,0 +1,214 @@
+package vsa
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestInfeasibleIntervalEdge: an interval (not equality) constraint that
+// cannot be satisfied must prune the edge — the refined interval is empty,
+// refineEdge reports infeasible, and the taken block is never analyzed.
+// Exercised in both the cmp-immediate and the cmp-register-with-constant
+// forms, which must agree.
+func TestInfeasibleIntervalEdge(t *testing.T) {
+	for _, tc := range []struct {
+		name, src string
+	}{
+		{"cmp-imm", `
+.module t
+.entry f
+.section .text
+f:
+    mov r1, 3
+    cmp r1, 10
+    jg .t
+    mov r0, 0
+    ret
+.t:
+    mov r0, 1
+    ret
+`},
+		{"cmp-rr-const", `
+.module t
+.entry f
+.section .text
+f:
+    mov r1, 3
+    mov r2, 10
+    cmp r1, r2
+    jg .t
+    mov r0, 0
+    ret
+.t:
+    mov r0, 1
+    ret
+`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mod, g, res := analyzeSrc(t, tc.src)
+			entry := mod.FindSymbol("f").Addr
+			taken, _ := findInstr(t, g, entry, func(in *isa.Instr) bool {
+				return in.Op == isa.OpMovRI && in.Imm == 1 && in.Rd == isa.R0
+			})
+			if res.WalkBlock(taken, func(int, *isa.Instr, *State) {}) {
+				t.Error("jg-taken edge with 3 > 10 must be infeasible")
+			}
+			fall, _ := findInstr(t, g, entry, func(in *isa.Instr) bool {
+				return in.Op == isa.OpMovRI && in.Imm == 0 && in.Rd == isa.R0
+			})
+			if !res.WalkBlock(fall, func(int, *isa.Instr, *State) {}) {
+				t.Error("fallthrough edge must be feasible")
+			}
+		})
+	}
+}
+
+// TestEqualityPinningAtExtremes: je against the extremes of the encodable
+// immediate domain (immediates are 32-bit in the instruction encoding)
+// pins a symbolic entry register to the exact constant — the pin replaces
+// the symbolic value outright, so it must hold at the edges where interval
+// arithmetic is most wrap-prone.
+func TestEqualityPinningAtExtremes(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		imm  int64
+	}{
+		{"max", math.MaxInt32},
+		{"min", math.MinInt32},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mod, g, res := analyzeSrc(t, `
+.module t
+.entry f
+.section .text
+f:
+    cmp r1, `+itoa(tc.imm)+`
+    je .t
+    mov r0, 0
+    ret
+.t:
+    mov r0, 1
+    ret
+`)
+			entry := mod.FindSymbol("f").Addr
+			taken, in := findInstr(t, g, entry, func(in *isa.Instr) bool {
+				return in.Op == isa.OpMovRI && in.Imm == 1 && in.Rd == isa.R0
+			})
+			st := stateBefore(t, res, taken, in.Addr)
+			v := st.Regs[isa.R1]
+			c, ok := v.Singleton()
+			if !ok || c != tc.imm || v.Region != RConst {
+				t.Errorf("pinned value = %+v, want RConst singleton %d", v, tc.imm)
+			}
+		})
+	}
+}
+
+// TestSatAddSaturates: the bound arithmetic behind the strict-inequality
+// refinements (jl taken: hi = imm-1; jle not-taken: lo = imm+1) treats the
+// int64 extremes as infinity sentinels — adding to them stays put and
+// never wraps. A wrapped bound would turn an empty refined interval into
+// the full domain.
+func TestSatAddSaturates(t *testing.T) {
+	for _, tc := range []struct {
+		a, b, want int64
+	}{
+		{math.MaxInt64, 1, math.MaxInt64},
+		{math.MinInt64, -1, math.MinInt64},
+		// Sentinels are sticky in both directions: ±inf minus a finite
+		// step is still ±inf.
+		{math.MaxInt64, -1, math.MaxInt64},
+		{math.MinInt64, 1, math.MinInt64},
+		{math.MaxInt64 - 1, 1, math.MaxInt64},
+		{math.MinInt64 + 1, -1, math.MinInt64},
+		{7, 1, 8},
+	} {
+		if got := satAdd(tc.a, tc.b); got != tc.want {
+			t.Errorf("satAdd(%d, %d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// TestMirroredCmpRRRefinement: a constant on the *left* of cmp-register
+// refines the right operand under the mirrored condition (7 < r1 <=>
+// r1 > 7). The refined register holds the joined range [0, 100]; the taken
+// edge must raise its lower bound past the constant and the fallthrough
+// must cap its upper bound at it.
+func TestMirroredCmpRRRefinement(t *testing.T) {
+	mod, g, res := analyzeSrc(t, `
+.module t
+.entry f
+.section .text
+f:
+    cmp r3, 0
+    je .zero
+    mov r1, 100
+    jmp .test
+.zero:
+    mov r1, 0
+.test:
+    mov r2, 7
+    cmp r2, r1
+    jl .big
+    mov r0, 0
+    ret
+.big:
+    mov r0, 1
+    ret
+`)
+	entry := mod.FindSymbol("f").Addr
+	big, in := findInstr(t, g, entry, func(in *isa.Instr) bool {
+		return in.Op == isa.OpMovRI && in.Imm == 1 && in.Rd == isa.R0
+	})
+	st := stateBefore(t, res, big, in.Addr)
+	if v := st.Regs[isa.R1]; v.Lo != 8 || v.Hi != 100 {
+		t.Errorf("taken edge r1 = %+v, want bounds [8, 100]", v)
+	}
+	small, in := findInstr(t, g, entry, func(in *isa.Instr) bool {
+		return in.Op == isa.OpMovRI && in.Imm == 0 && in.Rd == isa.R0
+	})
+	st = stateBefore(t, res, small, in.Addr)
+	if v := st.Regs[isa.R1]; v.Lo != 0 || v.Hi > 7 {
+		t.Errorf("fallthrough r1 = %+v, want bounds within [0, 7]", v)
+	}
+}
+
+// TestRefinementFixpointTerminates: a counter loop bounded by a symbolic
+// entry register cannot be refined to a finite trip count; the fixpoint
+// must still terminate (by widening) with both the loop body and the exit
+// reachable. The test's own completion is the termination assertion.
+func TestRefinementFixpointTerminates(t *testing.T) {
+	mod, g, res := analyzeSrc(t, `
+.module t
+.entry f
+.section .text
+f:
+    mov r1, 0
+.loop:
+    add r1, 1
+    cmp r1, r2
+    jl .loop
+    mov r0, 2
+    ret
+`)
+	entry := mod.FindSymbol("f").Addr
+	loop, _ := findInstr(t, g, entry, func(in *isa.Instr) bool {
+		return in.Op == isa.OpAddRI && in.Imm == 1
+	})
+	if !res.BlockReached(loop.Start) {
+		t.Error("loop body unreached")
+	}
+	exit, _ := findInstr(t, g, entry, func(in *isa.Instr) bool {
+		return in.Op == isa.OpMovRI && in.Imm == 2 && in.Rd == isa.R0
+	})
+	if !res.BlockReached(exit.Start) {
+		t.Error("loop exit unreached")
+	}
+}
+
+func itoa(v int64) string {
+	return strconv.FormatInt(v, 10)
+}

@@ -48,6 +48,25 @@ func entryState() *State {
 	return st
 }
 
+// entryStateFor is the entry state for the function at entry, applying any
+// registered override. Override entries with region RBot (the zero Value)
+// keep the symbolic entry value; SP always stays symbolic — it is the frame
+// base every tracked slot is relative to.
+func (e *engine) entryStateFor(entry uint64) *State {
+	st := entryState()
+	ov := e.overrides[entry]
+	if ov == nil {
+		return st
+	}
+	for r := isa.Register(0); r < isa.NumRegs; r++ {
+		if r == isa.SP || ov[r].Region == RBot {
+			continue
+		}
+		st.Regs[r] = ov[r]
+	}
+	return st
+}
+
 func (st *State) clone() *State {
 	ns := &State{Regs: st.Regs}
 	if len(st.slots) > 0 {
@@ -223,12 +242,31 @@ type engine struct {
 	frameSize  map[uint64]int64
 	pltName    map[uint64]string // PLT stub entry -> import name
 	tableWords map[uint64]bool   // data words belonging to discovered jump tables
+	overrides  map[uint64]*RegOverride
 }
+
+// RegOverride narrows the entry state of one function: each non-Top entry
+// replaces the symbolic entry value of its register. The override must
+// over-approximate every concrete entry of the function (e.g. the join of
+// the argument values at all of its call sites) or derived facts are
+// unsound.
+type RegOverride [isa.NumRegs]Value
 
 // Analyze runs the value-set analysis over one module's recovered CFG.
 // canaries are the module's detected canary sites (analysis.FindCanaries);
 // their slots are excluded from frame claims.
 func Analyze(mod *obj.Module, g *cfg.Graph, canaries []analysis.CanarySite) *Result {
+	return AnalyzeWithEntries(mod, g, canaries, nil)
+}
+
+// AnalyzeWithEntries is Analyze with per-function entry-state overrides:
+// each function listed starts its fixpoint from the given register values
+// instead of fully symbolic entry values. internal/jlint uses it to
+// specialize static-call-only functions on the joined constant arguments of
+// their call sites, turning may-alarms into must-alarms.
+func AnalyzeWithEntries(mod *obj.Module, g *cfg.Graph, canaries []analysis.CanarySite,
+	overrides map[uint64]*RegOverride) *Result {
+
 	e := &engine{
 		g:          g,
 		mod:        mod,
@@ -237,6 +275,7 @@ func Analyze(mod *obj.Module, g *cfg.Graph, canaries []analysis.CanarySite) *Res
 		frameSize:  map[uint64]int64{},
 		pltName:    map[uint64]string{},
 		tableWords: map[uint64]bool{},
+		overrides:  overrides,
 	}
 	for _, jt := range g.JumpTables {
 		for k := range jt.Targets {
@@ -405,6 +444,93 @@ func (res *Result) WalkBlock(blk *cfg.BasicBlock, f func(i int, in *isa.Instr, s
 	return true
 }
 
+// Clone returns an independent deep copy of the state.
+func (st *State) Clone() *State { return st.clone() }
+
+// Step applies the transfer function of in to st in place, under this
+// result's module context (PLT map, summaries). WalkBlock hands out the
+// state *before* each instruction; Step advances it past one.
+func (res *Result) Step(st *State, in *isa.Instr) { res.eng.step(st, in) }
+
+// BlockReached reports whether the fixpoint derived an entry state for the
+// block at start: false means no feasible path from its function's entry
+// reaches it (or its function is poisoned / has no recovered blocks).
+func (res *Result) BlockReached(start uint64) bool {
+	_, ok := res.entries[start]
+	return ok
+}
+
+// FeasibleSuccs returns the same-function successor block starts the
+// analysis considers executable from blk: branch edges whose refined
+// constraint is satisfiable, resolved jump-table edges, and call/trap
+// fallthroughs. It returns nil when blk itself was never reached. The slice
+// is ordered (taken edge first for conditionals) and duplicate-free.
+func (res *Result) FeasibleSuccs(blk *cfg.BasicBlock) []uint64 {
+	ent, ok := res.entries[blk.Start]
+	if !ok || len(blk.Instrs) == 0 || blk.Fn == nil {
+		return nil
+	}
+	st := ent.clone()
+	n := len(blk.Instrs)
+	for i := 0; i < n-1; i++ {
+		res.eng.step(st, &blk.Instrs[i])
+	}
+	term := &blk.Instrs[n-1]
+	fall := term.Addr + uint64(term.Size)
+	sameFn := func(t uint64) bool {
+		tb := res.G.Blocks[t]
+		return tb != nil && tb.Fn == blk.Fn
+	}
+	var out []uint64
+	add := func(t uint64) {
+		if !sameFn(t) {
+			return
+		}
+		for _, s := range out {
+			if s == t {
+				return
+			}
+		}
+		out = append(out, t)
+	}
+	switch term.Op {
+	case isa.OpJmp:
+		add(term.Target())
+	case isa.OpJe, isa.OpJne, isa.OpJl, isa.OpJle, isa.OpJg, isa.OpJge,
+		isa.OpJb, isa.OpJae:
+		taken := st.clone()
+		if refineEdge(blk, taken, true) {
+			add(term.Target())
+		}
+		if refineEdge(blk, st, false) {
+			add(fall)
+		}
+	case isa.OpCall, isa.OpCallI:
+		add(fall)
+	case isa.OpJmpI:
+		if jt := res.eng.g.JumpTables[term.Addr]; jt != nil {
+			for _, t := range jt.Targets {
+				add(t)
+			}
+		}
+	case isa.OpRet, isa.OpHlt:
+		// No intra-function successors.
+	default:
+		res.eng.step(st, term)
+		for _, s := range blk.Succs {
+			add(s)
+		}
+	}
+	return out
+}
+
+// ValidJumpTarget reports whether t is admissible for an indirect jump in
+// fn under the module-global CFI policy (see validJumpTarget). Exported for
+// internal/jlint's bad-indirect unsafety check.
+func (res *Result) ValidJumpTarget(fn *cfg.Function, t uint64) bool {
+	return res.validJumpTarget(fn, t)
+}
+
 // computePoisoned marks functions with statically evident interior entries:
 // cross-function CFG edges landing past the entry, and aligned data words
 // that decode as interior code pointers (excluding discovered jump-table
@@ -471,7 +597,7 @@ func (e *engine) runFunc(fn *cfg.Function) *funcRun {
 	if entryBlk == nil || entryBlk.Fn != fn {
 		return fr
 	}
-	fr.states[fn.Entry] = entryState()
+	fr.states[fn.Entry] = e.entryStateFor(fn.Entry)
 	visits := map[uint64]int{}
 	work := []uint64{fn.Entry}
 	onList := map[uint64]bool{fn.Entry: true}
@@ -865,9 +991,10 @@ func AddrValue(st *State, in *isa.Instr) Value {
 
 // refineEdge narrows the branched-on register along one edge of a
 // conditional branch. The pattern is the compare-and-branch idiom: the last
-// flag-setting instruction must be a cmp-immediate whose operand register
-// is not redefined before the branch. It reports false when the constraint
-// is infeasible (the edge cannot execute).
+// flag-setting instruction must be a cmp-immediate — or a cmp-register
+// whose other operand holds a known integer singleton — with the refined
+// register not redefined before the branch. It reports false when the
+// constraint is infeasible (the edge cannot execute).
 func refineEdge(blk *cfg.BasicBlock, st *State, taken bool) bool {
 	n := len(blk.Instrs)
 	term := &blk.Instrs[n-1]
@@ -877,11 +1004,11 @@ scan:
 	for i := n - 2; i >= 0; i-- {
 		in := &blk.Instrs[i]
 		switch in.Op {
-		case isa.OpCmpRI:
+		case isa.OpCmpRI, isa.OpCmpRR:
 			cmp = in
 			cmpIdx = i
 			break scan
-		case isa.OpCmpRR, isa.OpTestRR:
+		case isa.OpTestRR:
 			return true // flags from a form we do not refine
 		default:
 			if in.SetsFlags() {
@@ -893,21 +1020,58 @@ scan:
 		return true
 	}
 	r := cmp.Rd
-	for i := cmpIdx + 1; i < n-1; i++ {
-		for _, d := range blk.Instrs[i].RegDefs(nil) {
-			if d == r {
+	imm := cmp.Imm
+	op := term.Op
+	if cmp.Op == isa.OpCmpRR {
+		// cmp r, s with one side a known integer constant behaves exactly
+		// like cmp-immediate. Both operands must reach the branch
+		// unredefined: the constant side's value is read from the
+		// end-of-block state below.
+		for i := cmpIdx + 1; i < n-1; i++ {
+			for _, d := range blk.Instrs[i].RegDefs(nil) {
+				if d == cmp.Rd || d == cmp.Rb {
+					return true
+				}
+			}
+		}
+		if c, ok := st.Regs[cmp.Rb].Singleton(); ok && st.Regs[cmp.Rb].Region == RConst {
+			imm = c
+		} else if c, ok := st.Regs[cmp.Rd].Singleton(); ok && st.Regs[cmp.Rd].Region == RConst {
+			// Constant on the left: refine the right operand under the
+			// mirrored condition (c < s  <=>  s > c, and so on). The
+			// unsigned forms have no mirrored opcode; skip them.
+			imm, r = c, cmp.Rb
+			switch op {
+			case isa.OpJl:
+				op = isa.OpJg
+			case isa.OpJle:
+				op = isa.OpJge
+			case isa.OpJg:
+				op = isa.OpJl
+			case isa.OpJge:
+				op = isa.OpJle
+			case isa.OpJb, isa.OpJae:
 				return true
+			}
+		} else {
+			return true
+		}
+	} else {
+		for i := cmpIdx + 1; i < n-1; i++ {
+			for _, d := range blk.Instrs[i].RegDefs(nil) {
+				if d == r {
+					return true
+				}
 			}
 		}
 	}
-	imm := cmp.Imm
 	lo, hi := int64(minBound), int64(maxBound)
 	have := false
 	// pin marks constraints that fully determine the value range whatever
 	// the register held before (bit-pattern equality or an unsigned bound):
 	// those may replace a symbolic value with the constant range.
 	pin := false
-	switch term.Op {
+	switch op {
 	case isa.OpJe:
 		if taken {
 			lo, hi, have, pin = imm, imm, true, true

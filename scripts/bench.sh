@@ -18,7 +18,13 @@
 # BENCH_SERVE.json (QPS, p50/p95/p99, cache tiers, per-shard balance, and
 # the fleet-vs-single hot-mix speedup).
 #
-# Usage: scripts/bench.sh [output.json] [profile.json] [serve.json] [rewrite.json]
+# Finally it runs the static-vs-dynamic detection study — jlint's must and
+# must+may alarm tiers against sanitized execution over the CWE-457 and
+# CWE-122 suites and the planted fuzz bug classes — into BENCH_STATIC.json
+# (per-suite TP/FN/FP per tier plus analysis wall-time vs sanitized
+# execution time).
+#
+# Usage: scripts/bench.sh [output.json] [profile.json] [serve.json] [rewrite.json] [static.json]
 # BENCH_PARALLEL overrides the jexp worker count (default 8).
 set -eu
 
@@ -27,6 +33,7 @@ out="${1:-BENCH_JANITIZER.json}"
 profile_out="${2:-BENCH_PROFILE.json}"
 serve_out="${3:-BENCH_SERVE.json}"
 rewrite_out="${4:-BENCH_REWRITE.json}"
+static_out="${5:-BENCH_STATIC.json}"
 
 go run ./cmd/jexp -parallel "${BENCH_PARALLEL:-8}" bench > "$out"
 echo "bench: wrote $out"
@@ -34,6 +41,8 @@ go run ./cmd/jexp -parallel "${BENCH_PARALLEL:-8}" -o "$profile_out" profile > /
 echo "bench: wrote $profile_out"
 go run ./cmd/jexp -parallel "${BENCH_PARALLEL:-8}" rewrite > "$rewrite_out"
 echo "bench: wrote $rewrite_out"
+go run ./cmd/jexp -parallel "${BENCH_PARALLEL:-8}" -o "$static_out" static > /dev/null
+echo "bench: wrote $static_out"
 
 # Serve trajectory. The whole fleet is colocated on this host, where
 # wall-clock CPU cannot tell one node from three; -service-time is the one

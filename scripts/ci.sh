@@ -22,13 +22,23 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
-echo "== focused vet + race: anserve, fuzz, telemetry =="
-# The analysis service and the fuzzing campaigns are the two heaviest
-# concurrent subsystems, and the telemetry layer is scraped concurrently by
-# daemon handlers; vet and race-check them explicitly (count=1 defeats the
+echo "== janalyze determinism lint =="
+# Repository-wide map-iteration lint: any `range` over a map feeding an
+# emission or serialisation path is a nondeterministic-output bug (Go map
+# order is random); the accepted idiom is collect-then-sort. janalyze exits
+# nonzero on any finding.
+go run ./cmd/janalyze ./...
+
+echo "== focused vet + race: anserve, cluster, fuzz, rewrite, telemetry =="
+# The analysis service, the sharded fleet, and the fuzzing campaigns are the
+# heaviest concurrent subsystems; the telemetry layer is scraped concurrently
+# by daemon handlers, and the rewrite backends share plan caches across
+# worker goroutines. Vet and race-check them explicitly (count=1 defeats the
 # test cache so the race detector actually re-executes them).
-go vet ./internal/anserve ./internal/fuzz ./internal/telemetry
-go test -race -count=1 ./internal/anserve ./internal/fuzz ./internal/telemetry
+go vet ./internal/anserve ./internal/cluster ./internal/fuzz \
+	./internal/rewrite ./internal/telemetry
+go test -race -count=1 ./internal/anserve ./internal/cluster ./internal/fuzz \
+	./internal/rewrite ./internal/telemetry
 
 echo "== jfuzz smoke =="
 # Deterministic fuzz smoke: fixed seed, both domains, fails the build on any
@@ -41,6 +51,13 @@ echo "== jvet proof replay =="
 # rewritten module; exits nonzero on any claim that cannot be re-proven or
 # any rewrite that breaks a structural guarantee.
 go run ./cmd/jvet
+
+echo "== jlint must-tier silence =="
+# Static bug detection over every module in all 28 safe workload closures:
+# the must-alarm tier is a zero-false-positive contract, so any must-alarm
+# on the suite is either a genuine bug in a workload or a soundness
+# regression in the analyzer — both fail CI (-fail-on-must exits 1).
+go run ./cmd/jlint -parallel 4 -fail-on-must -o /tmp/jlint-ci.json
 
 echo "== rewrite bake-off smoke =="
 # Statically rewrite a workload subset and gate three properties: the
@@ -137,9 +154,10 @@ echo "== bench + profile + rewrite bake-off =="
 # (Profile errors on any mismatch) and the bake-off's native-parity checks
 # (RunBackend hard-errors on any exit/output divergence).
 if [ "${CI_SHORT:-0}" = "1" ]; then
-	echo "bench: full sweep skipped (CI_SHORT=1); running profile + rewrite smokes"
+	echo "bench: full sweep skipped (CI_SHORT=1); running profile + rewrite + static smokes"
 	go run ./cmd/jexp -parallel 4 -o /tmp/profile-smoke.json profile mcf lbm
 	go run ./cmd/jexp -parallel 4 rewrite mcf lbm > /tmp/rewrite-smoke.json
+	go run ./cmd/jexp -parallel 4 -o /tmp/static-smoke.json static
 else
 	scripts/bench.sh
 fi
