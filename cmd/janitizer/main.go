@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	janitizer -tool jasan|jmsan|jcfi [-libdir dir] [-outdir dir] main.jef
+//	janitizer -tool jasan|jmsan|jtsan|jcfi [-libdir dir] [-outdir dir] main.jef
 package main
 
 import (
@@ -19,15 +19,16 @@ import (
 	"repro/internal/jcfi"
 	"repro/internal/jefdir"
 	"repro/internal/jmsan"
+	"repro/internal/jtsan"
 )
 
 func main() {
-	toolName := flag.String("tool", "jasan", "security technique: jasan, jmsan or jcfi")
+	toolName := flag.String("tool", "jasan", "security technique: jasan, jmsan, jtsan or jcfi")
 	libdir := flag.String("libdir", "", "directory of dependency .jef modules")
 	outdir := flag.String("outdir", ".", "directory to write .jrw rule files into")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: janitizer -tool jasan|jmsan|jcfi [flags] main.jef")
+		fmt.Fprintln(os.Stderr, "usage: janitizer -tool jasan|jmsan|jtsan|jcfi [flags] main.jef")
 		os.Exit(2)
 	}
 	main, err := jefdir.ReadModule(flag.Arg(0))
@@ -44,6 +45,10 @@ func main() {
 		tool = jasan.New(jasan.Config{UseLiveness: true})
 	case "jmsan":
 		tool = jmsan.New(jmsan.Config{UseLiveness: true})
+	case "jtsan":
+		tool = jtsan.New(jtsan.Config{UseLiveness: true})
+	case "jtsan-elide":
+		tool = jtsan.New(jtsan.Config{UseLiveness: true, Elide: true})
 	case "jcfi":
 		tool = jcfi.New(jcfi.DefaultConfig)
 	default:

@@ -17,7 +17,8 @@
 // API:
 //
 //	POST /analyze?tool=jasan|jasan-base|jasan-scev|jcfi|jcfi-forward|
-//	              jmsan|jmsan-elide|jasan+jmsan|comprehensive
+//	              jmsan|jmsan-elide|jtsan|jtsan-elide|jasan+jmsan|
+//	              comprehensive
 //	    request body:  a serialized JEF module
 //	    response body: the module's marshaled .jrw rule file
 //	    (X-Cache: local|peer|miss says where the answer came from)

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	jexp [-scale n] [-parallel n] [-stats] [-o file] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|elision|jmsan|bench|rewrite|profile|static|all [benchmarks...]
+//	jexp [-scale n] [-parallel n] [-stats] [-o file] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|elision|jmsan|jtsan|bench|rewrite|profile|static|all [benchmarks...]
 //
 // Workloads within a figure run concurrently (-parallel, default
 // GOMAXPROCS); static analysis is served by a shared content-addressed rule
@@ -31,7 +31,7 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr,
-			"usage: jexp [-scale n] [-parallel n] [-o file] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|elision|jmsan|bench|rewrite|profile|static|all [benchmarks...]")
+			"usage: jexp [-scale n] [-parallel n] [-o file] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|elision|jmsan|jtsan|bench|rewrite|profile|static|all [benchmarks...]")
 		os.Exit(2)
 	}
 	experiments.Parallel = *parallel
@@ -88,6 +88,13 @@ func main() {
 				return err
 			}
 			fmt.Println(experiments.FormatJMSan(rows))
+			return nil
+		case "jtsan":
+			rows, err := experiments.JTSan(*scale, benches...)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatJTSan(rows))
 			return nil
 		case "rewrite":
 			// Three-way backend bake-off (dynamic DBM vs static AOT
@@ -154,14 +161,15 @@ func main() {
 		// the end with a non-zero exit.
 		var failures []string
 		for _, n := range []string{"fig7", "fig8", "fig9", "fig10", "fig11",
-			"fig12", "fig13", "fig14", "soundness", "elision", "jmsan"} {
+			"fig12", "fig13", "fig14", "soundness", "elision", "jmsan",
+			"jtsan"} {
 			if err := run(n); err != nil {
 				fmt.Fprintf(os.Stderr, "jexp: %s: %v\n", n, err)
 				failures = append(failures, n)
 			}
 		}
 		if len(failures) > 0 {
-			fmt.Fprintf(os.Stderr, "jexp: %d of 11 experiments failed: %v\n",
+			fmt.Fprintf(os.Stderr, "jexp: %d of 12 experiments failed: %v\n",
 				len(failures), failures)
 			exit = 1
 		}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	jrun [-tool jasan|jmsan|jcfi|none] [-libdir dir] [-rules dir] [-stats]
+//	jrun [-tool jasan|jmsan|jtsan|jcfi|none] [-libdir dir] [-rules dir] [-stats]
 //	     [-profile] main.jef
 //
 // -profile attributes every executed cycle to its originating rule kind and
@@ -28,6 +28,7 @@ import (
 	"repro/internal/jcfi"
 	"repro/internal/jefdir"
 	"repro/internal/jmsan"
+	"repro/internal/jtsan"
 	"repro/internal/loader"
 	"repro/internal/rules"
 	"repro/internal/telemetry"
@@ -35,7 +36,7 @@ import (
 )
 
 func main() {
-	toolName := flag.String("tool", "jasan", "security technique: jasan, jmsan, jcfi or none")
+	toolName := flag.String("tool", "jasan", "security technique: jasan, jmsan, jtsan, jcfi or none")
 	libdir := flag.String("libdir", "", "directory of dependency .jef modules")
 	rulesDir := flag.String("rules", "", "directory of .jrw rewrite-rule files")
 	stats := flag.Bool("stats", false, "print cycle and coverage statistics")
@@ -74,6 +75,16 @@ func main() {
 		report = func() []string {
 			var out []string
 			for _, v := range mt.Report.Violations {
+				out = append(out, v.String())
+			}
+			return out
+		}
+	case "jtsan", "jtsan-elide":
+		tt := jtsan.New(jtsan.Config{UseLiveness: true, Elide: *toolName == "jtsan-elide"})
+		tool = tt
+		report = func() []string {
+			var out []string
+			for _, v := range tt.Report.Violations {
 				out = append(out, v.String())
 			}
 			return out

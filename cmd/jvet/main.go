@@ -1,6 +1,6 @@
 // Command jvet is the independent proof verifier for VSA-backed check
-// elision (JASan), definedness check elision (JMSan) and indirect-branch
-// narrowing (JCFI). It re-runs the
+// elision (JASan), definedness check elision (JMSan), temporal no-escape
+// elision (JTSan) and indirect-branch narrowing (JCFI). It re-runs the
 // static passes of the elision-enabled tool configurations over the
 // evaluation workload modules, then replays every recorded vsa.Claim from
 // scratch — re-deriving bounds and side conditions without the producer's
@@ -35,6 +35,7 @@ import (
 	"repro/internal/jcfi"
 	"repro/internal/jlint"
 	"repro/internal/jmsan"
+	"repro/internal/jtsan"
 	"repro/internal/loader"
 	"repro/internal/obj"
 	"repro/internal/rewrite"
@@ -87,6 +88,7 @@ func tools() []core.Tool {
 		jasan.New(jasan.Config{UseLiveness: true, UseSCEV: true, Elide: true}),
 		jcfi.New(jcfi.Config{Forward: true, Backward: true, Narrow: true}),
 		jmsan.New(jmsan.Config{UseLiveness: true, Elide: true}),
+		jtsan.New(jtsan.Config{UseLiveness: true, Elide: true}),
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"repro/internal/jcfi"
 	"repro/internal/jlint"
 	"repro/internal/jmsan"
+	"repro/internal/jtsan"
 	"repro/internal/obj"
 	"repro/internal/telemetry"
 )
@@ -56,6 +57,12 @@ func DefaultTools() map[string]ToolFactory {
 		"jmsan-elide": func() core.Tool {
 			return jmsan.New(jmsan.Config{UseLiveness: true, Elide: true})
 		},
+		"jtsan": func() core.Tool {
+			return jtsan.New(jtsan.Config{UseLiveness: true})
+		},
+		"jtsan-elide": func() core.Tool {
+			return jtsan.New(jtsan.Config{UseLiveness: true, Elide: true})
+		},
 		"jasan+jmsan": func() core.Tool {
 			return core.NewMultiTool(
 				jasan.New(jasan.Config{UseLiveness: true}),
@@ -69,6 +76,7 @@ func DefaultTools() map[string]ToolFactory {
 			return core.NewMultiTool(
 				jasan.New(jasan.Config{UseLiveness: true}),
 				jmsan.New(jmsan.Config{UseLiveness: true}),
+				jtsan.New(jtsan.Config{UseLiveness: true}),
 				jcfi.New(jcfi.DefaultConfig),
 			)
 		},

@@ -1,0 +1,148 @@
+package anserve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/jasan"
+	"repro/internal/jcfi"
+	"repro/internal/jmsan"
+	"repro/internal/jtsan"
+	"repro/internal/rules"
+)
+
+// TestJTSanCacheKeySeparation extends the composition-safety criterion to
+// the temporal sanitizer: jtsan's two configurations and the four-tool
+// comprehensive composition must all hash to cache keys distinct from each
+// other and from the pre-existing three-tool compositions, so registering
+// the new tool can never be served a stale artifact.
+func TestJTSanCacheKeySeparation(t *testing.T) {
+	mod := testModule(t)
+	tools := []core.Tool{
+		jtsan.New(jtsan.Config{UseLiveness: true}),
+		jtsan.New(jtsan.Config{UseLiveness: true, Elide: true}),
+		// The old three-tool composition and the new four-tool
+		// comprehensive must not collide.
+		core.NewMultiTool(
+			jasan.New(jasan.Config{UseLiveness: true}),
+			jmsan.New(jmsan.Config{UseLiveness: true}),
+			jcfi.New(jcfi.DefaultConfig),
+		),
+		core.NewMultiTool(
+			jasan.New(jasan.Config{UseLiveness: true}),
+			jmsan.New(jmsan.Config{UseLiveness: true}),
+			jtsan.New(jtsan.Config{UseLiveness: true}),
+			jcfi.New(jcfi.DefaultConfig),
+		),
+	}
+	keys := map[string]bool{}
+	for _, tool := range tools {
+		keys[CacheKey(mod, tool)] = true
+	}
+	if len(keys) != len(tools) {
+		t.Fatalf("cache keys collide: %d distinct for %d configurations",
+			len(keys), len(tools))
+	}
+
+	// The service must actually run one analysis per configuration — a
+	// collision would surface here as a bogus cache hit.
+	svc := New(Config{})
+	var artifacts [][]byte
+	for _, tool := range tools {
+		out, err := svc.AnalyzeModuleBytes(mod, tool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		artifacts = append(artifacts, out)
+	}
+	if st := svc.Stats(); st.Sched.Analyzed != uint64(len(tools)) {
+		t.Fatalf("analyzed = %d, want %d (one per configuration)",
+			st.Sched.Analyzed, len(tools))
+	}
+	if bytes.Equal(artifacts[2], artifacts[3]) {
+		t.Fatal("three-tool and four-tool comprehensive artifacts are identical")
+	}
+}
+
+// TestHandlerServesJTSan drives the HTTP API with the real default registry:
+// tool=jtsan must return a rule file carrying generation checks, tool=
+// jtsan-elide must additionally carry no-escape elisions, and the expanded
+// comprehensive configuration must carry all four tools' rule families.
+func TestHandlerServesJTSan(t *testing.T) {
+	mod := testModule(t)
+	modBytes := mod.Marshal()
+	svc := New(Config{})
+	srv := httptest.NewServer(svc.Handler(DefaultTools()))
+	defer srv.Close()
+
+	post := func(tool string) []byte {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/analyze?tool="+url.QueryEscape(tool),
+			"application/octet-stream", bytes.NewReader(modBytes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("tool=%s: status %d: %s", tool, resp.StatusCode, body)
+		}
+		return body
+	}
+
+	count := func(body []byte, ids ...rules.ID) map[rules.ID]int {
+		t.Helper()
+		f, err := rules.Unmarshal(body)
+		if err != nil {
+			t.Fatalf("response does not round-trip: %v", err)
+		}
+		n := map[rules.ID]int{}
+		for _, r := range f.Rules {
+			n[r.ID]++
+		}
+		return n
+	}
+
+	plain := count(post("jtsan"))
+	if plain[rules.MemGenCheck] == 0 {
+		t.Fatal("jtsan artifact carries no MEM_GEN_CHECK rules")
+	}
+	elide := count(post("jtsan-elide"))
+	if elide[rules.MemGenCheck] >= plain[rules.MemGenCheck] {
+		t.Fatalf("elision did not reduce generation checks: %d -> %d",
+			plain[rules.MemGenCheck], elide[rules.MemGenCheck])
+	}
+	var noEscape int
+	f, err := rules.Unmarshal(post("jtsan-elide"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range f.Rules {
+		if r.ID == rules.MemAccessSafe && r.Data[1] == rules.SafeNoEscape {
+			noEscape++
+		}
+	}
+	if noEscape == 0 {
+		t.Fatal("jtsan-elide artifact carries no no-escape elisions")
+	}
+
+	comp := count(post("comprehensive"))
+	for _, id := range []rules.ID{rules.MemAccess, rules.MemDefStore,
+		rules.MemGenCheck, rules.CFIRet} {
+		if comp[id] == 0 {
+			t.Fatalf("comprehensive artifact carries no %s rules", id)
+		}
+	}
+	if st := svc.Stats(); st.Sched.Analyzed != 3 {
+		t.Fatalf("analyzed = %d, want 3 (jtsan-elide POSTed twice, cached once)",
+			st.Sched.Analyzed)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/jasan"
 	"repro/internal/jmsan"
+	"repro/internal/jtsan"
 	"repro/internal/rules"
 	"repro/internal/vm"
 )
@@ -47,8 +48,14 @@ type ValgrindTool struct {
 	// DefReport accumulates uninitialized-read reports when validity-bit
 	// tracking is on (NewValgrindDef); nil otherwise.
 	DefReport *jmsan.Report
+	// TemporalReport accumulates use-after-free/double-free reports when
+	// temporal tracking is on (NewValgrindTemporal); nil otherwise.
+	TemporalReport *jtsan.Report
 	// trackDef enables memcheck's validity-bit (definedness) modelling.
 	trackDef bool
+	// trackTemporal enables generation-tag temporal modelling via JTSan's
+	// shared quarantine runtime.
+	trackTemporal bool
 	// frameSizes maps frame-undef trap sites to frame byte counts (the
 	// side table jmsan's shared runtime reads).
 	frameSizes map[uint64]uint64
@@ -79,10 +86,28 @@ func NewValgrindDef() *ValgrindTool {
 	return t
 }
 
+// NewValgrindTemporal returns the memcheck model with temporal tracking
+// enabled: every access additionally routes through JTSan's precise
+// freed-bitmap check — still in the clean-call model, one more trap in the
+// same spill bracket — and the allocator is wrapped in JTSan's
+// quarantine-and-generation runtime (internal/jtsan), so the two tools
+// agree byte-for-byte on what "freed" means. Every check pays the full
+// context spill that JTSan's inlined fast path avoids, which is what makes
+// this the overhead baseline of BENCH_JTSAN.json.
+func NewValgrindTemporal() *ValgrindTool {
+	t := NewValgrind()
+	t.trackTemporal = true
+	t.TemporalReport = &jtsan.Report{}
+	return t
+}
+
 // Name implements core.Tool.
 func (t *ValgrindTool) Name() string {
 	if t.trackDef {
 		return "valgrind-def"
+	}
+	if t.trackTemporal {
+		return "valgrind-temporal"
 	}
 	return "valgrind-sim"
 }
@@ -174,6 +199,16 @@ func (t *ValgrindTool) emitCleanCheck(e *dbm.Emitter, in *isa.Instr) {
 			ins.Addr = in.Addr
 		}))
 	}
+	if t.trackTemporal {
+		// Generation tags, still in the clean-call model: every access goes
+		// through JTSan's precise freed-bitmap check (the handler reports
+		// dangling accesses), with no inline fast path.
+		code := jtsan.GenCheckTrapCode(s1, in.AccessWidth())
+		e.Meta(mk(isa.OpTrap, func(ins *isa.Instr) {
+			ins.Imm = code
+			ins.Addr = in.Addr
+		}))
+	}
 	e.Meta(mk(isa.OpPop, func(ins *isa.Instr) { ins.Rd = s1 }))
 	e.Meta(mk(isa.OpPopF, nil))
 }
@@ -188,6 +223,12 @@ func (t *ValgrindTool) RuntimeInit(rt *core.Runtime) error {
 		// allocator wrapper marking fresh objects undefined (chained over
 		// the redzone allocator installed just above).
 		jmsan.InstallRuntimeOn(rt.M, t.DefReport, t.frameSizes)
+	}
+	if t.trackTemporal {
+		// Shares JTSan's temporal runtime: the generation-check trap family
+		// and the quarantine allocator wrapper (chained over the redzone
+		// allocator installed just above).
+		jtsan.InstallRuntimeOn(rt.M, t.TemporalReport)
 	}
 	rt.DBM.Costs = ValgrindCosts
 	for reg := isa.Register(0); reg < isa.NumRegs; reg++ {

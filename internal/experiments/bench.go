@@ -24,11 +24,12 @@ type BenchRow struct {
 
 // benchSchemes are the Janitizer configurations the benchmark gate tracks:
 // each tool's hybrid and elision-enabled variants plus the combined
-// jasan+jmsan+jcfi configuration.
+// jasan+jmsan+jtsan+jcfi configuration.
 var benchSchemes = []Scheme{
 	JASanHybrid, JASanElide,
 	JCFIHybrid,
 	JMSanHybrid, JMSanElide,
+	JTSanHybrid, JTSanElide,
 	Comprehensive,
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/jasan"
 	"repro/internal/jcfi"
 	"repro/internal/jmsan"
+	"repro/internal/jtsan"
 	"repro/internal/loader"
 	"repro/internal/metrics"
 	"repro/internal/rules"
@@ -49,9 +50,13 @@ const (
 	JMSanElide      Scheme = "jmsan-elide" // hybrid + VSA def-init check elision
 	JMSanDyn        Scheme = "jmsan-dyn"
 	ValgrindDef     Scheme = "valgrind-def" // memcheck model with validity bits
-	// Comprehensive is the combined jasan+jmsan+jcfi configuration: all
-	// three Janitizer tools composed over one shared translation of every
-	// block (core.MultiTool).
+	JTSanHybrid     Scheme = "jtsan-hybrid"
+	JTSanElide      Scheme = "jtsan-elide" // hybrid + VSA no-escape check elision
+	JTSanDyn        Scheme = "jtsan-dyn"
+	ValgrindTemp    Scheme = "valgrind-temporal" // memcheck model with generation tags
+	// Comprehensive is the combined jasan+jmsan+jtsan+jcfi configuration:
+	// all four Janitizer tools composed over one shared translation of
+	// every block (core.MultiTool).
 	Comprehensive Scheme = "comprehensive"
 )
 
@@ -319,10 +324,19 @@ func newTool(scheme Scheme) (core.Tool, bool, error) {
 		return jmsan.New(jmsan.Config{}), false, nil
 	case ValgrindDef:
 		return baseline.NewValgrindDef(), false, nil
+	case JTSanHybrid:
+		return jtsan.New(jtsan.Config{UseLiveness: true}), true, nil
+	case JTSanElide:
+		return jtsan.New(jtsan.Config{UseLiveness: true, Elide: true}), true, nil
+	case JTSanDyn:
+		return jtsan.New(jtsan.Config{}), false, nil
+	case ValgrindTemp:
+		return baseline.NewValgrindTemporal(), false, nil
 	case Comprehensive:
 		return core.NewMultiTool(
 			jasan.New(jasan.Config{UseLiveness: true}),
 			jmsan.New(jmsan.Config{UseLiveness: true}),
+			jtsan.New(jtsan.Config{UseLiveness: true}),
 			jcfi.New(jcfi.DefaultConfig)), true, nil
 	}
 	return nil, false, fmt.Errorf("unknown scheme %q", scheme)
@@ -336,10 +350,15 @@ func toolViolations(tool core.Tool) int {
 		return int(tt.Report.Total)
 	case *jmsan.Tool:
 		return int(tt.Report.Total)
+	case *jtsan.Tool:
+		return int(tt.Report.Total)
 	case *baseline.ValgrindTool:
 		n := int(tt.Report.Total)
 		if tt.DefReport != nil {
 			n += int(tt.DefReport.Total)
+		}
+		if tt.TemporalReport != nil {
+			n += int(tt.TemporalReport.Total)
 		}
 		return n
 	case *baseline.RetrowriteTool:
@@ -370,7 +389,7 @@ func countProofRules(files map[string]*rules.File) (elided, narrowed int) {
 			case rules.MemAccessSafe:
 				switch r.Data[1] {
 				case rules.SafeFrame, rules.SafeGlobal, rules.SafeDedup,
-					rules.SafeDefInit:
+					rules.SafeDefInit, rules.SafeNoEscape:
 					elided++
 				}
 			case rules.CFIJumpNarrow:

@@ -65,6 +65,7 @@ const (
 	Store                     // Name[(Idx) & Mask] = Val;
 	RawStore                  // Name[K] = Val;   (planted bugs only)
 	RawLoad                   // if (Name[K] < Name[Mask]) ... (planted bugs only)
+	RawFree                   // free(Name);      (planted bugs only)
 	If                        // if (Cond) { Then } else { Else }
 	For                       // for (int Name = 0; Name < Trip; Name++) { Body }
 )
@@ -389,6 +390,10 @@ func (s *Stmt) render(b *strings.Builder, indent string) {
 			indent, s.Name, s.Idx.Render(), s.Mask, s.Val.Render())
 	case RawStore:
 		fmt.Fprintf(b, "%s%s[%d] = %s;\n", indent, s.Name, s.K, s.Val.Render())
+	case RawFree:
+		// Planted double free: only rendered into PostFree, after the
+		// epilogue already freed every heap array once.
+		fmt.Fprintf(b, "%sfree(%s);\n", indent, s.Name)
 	case RawLoad:
 		// Planted uninitialized read: both indices (K and Mask double as
 		// the two raw element indices) load never-written slots, and both

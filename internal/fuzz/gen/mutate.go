@@ -116,7 +116,7 @@ func (p *Prog) Mutate(r *rand.Rand) bool {
 		}
 		st := sites[r.Intn(len(sites))]
 		s := &(*st.list)[st.idx]
-		if s.Kind == RawStore || s.Kind == RawLoad {
+		if s.Kind == RawStore || s.Kind == RawLoad || s.Kind == RawFree {
 			continue // planted statements are not mutation targets
 		}
 		switch r.Intn(5) {
@@ -214,6 +214,10 @@ const (
 	// comparison — a read-before-write JMSan must detect (JASan cannot:
 	// the accesses are in bounds).
 	BugUninitRead
+	// BugDoubleFree frees a heap object a second time after main's
+	// epilogue already freed it — a free-time generation mismatch JTSan
+	// must detect (JASan cannot: no access is out of bounds).
+	BugDoubleFree
 	// NumBugs is the class count.
 	NumBugs
 )
@@ -230,6 +234,8 @@ func (b Bug) String() string {
 		return "drop-bounds-mask"
 	case BugUninitRead:
 		return "uninit-read"
+	case BugDoubleFree:
+		return "double-free"
 	}
 	return fmt.Sprintf("bug-%d", b)
 }
@@ -270,6 +276,8 @@ func (p *Prog) Plant(r *rand.Rand, b Bug) bool {
 	case BugUseAfterFree:
 		p.PostFree = append(p.PostFree, Stmt{Kind: RawStore, Name: a.Name,
 			K: 0, Val: val})
+	case BugDoubleFree:
+		p.PostFree = append(p.PostFree, Stmt{Kind: RawFree, Name: a.Name})
 	case BugDropMask:
 		// Mask widened to twice the bound: index Size survives the mask
 		// and lands one element past the object.

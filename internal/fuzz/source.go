@@ -6,10 +6,11 @@
 //   - Domain A (source): safe-by-construction MiniC programs from
 //     internal/fuzz/gen. Oracle 1 (differential): -O0, -O2, -O2 without
 //     ipa-ra and PIC builds must produce identical results natively and
-//     under JASan, JMSan and JCFI, with the tools silent. Oracle 3
-//     (detection): planted heap bugs (gen.Plant) must trip JASan, and
-//     planted uninitialized reads must trip JMSan — each with elision both
-//     off and on.
+//     under JASan, JMSan, JTSan and JCFI, with the tools silent. Oracle 3
+//     (detection): planted heap bugs (gen.Plant) must trip JASan, planted
+//     uninitialized reads must trip JMSan, and planted temporal bugs
+//     (use-after-free, double free) must trip JTSan — each with elision
+//     both off and on.
 //   - Domain B (module): byte/structure-mutated serialised JEF modules.
 //     Oracle 2 (robustness): the obj deserialiser, cfg disassembler,
 //     analysis pipeline, loader and machine must return typed errors —
@@ -33,6 +34,7 @@ import (
 	"repro/internal/jasan"
 	"repro/internal/jcfi"
 	"repro/internal/jmsan"
+	"repro/internal/jtsan"
 	"repro/internal/libj"
 	"repro/internal/loader"
 	"repro/internal/metrics"
@@ -142,6 +144,8 @@ func runTool(mod *obj.Module, reg loader.Registry, tool core.Tool,
 		violations = len(tt.Report.Violations)
 	case *jmsan.Tool:
 		violations = int(tt.Report.Total)
+	case *jtsan.Tool:
+		violations = int(tt.Report.Total)
 	}
 	return runOutcome{exit: m.ExitStatus, out: buf.String(), err: err,
 		overBudget: isBudgetFault(err)}, violations
@@ -186,20 +190,29 @@ func CheckSource(p *gen.Prog, budget uint64) *SourceResult {
 		if o2 == nil {
 			return res
 		}
-		// The detecting tool depends on the planted class: heap-safety
-		// bugs are JASan's to catch, read-before-write bugs are JMSan's
-		// (the accesses are in bounds, so JASan stays silent by design).
-		uninit := false
+		// The detecting tool depends on the planted class: read-before-write
+		// bugs are JMSan's to catch, temporal bugs (use-after-free, double
+		// free) are JTSan's, and the remaining heap-safety bugs JASan's
+		// (uninitialized and temporal accesses are in bounds, so JASan stays
+		// silent on them by design).
+		uninit, temporal := false, false
 		for _, b := range p.Planted {
-			if b == gen.BugUninitRead.String() {
+			switch b {
+			case gen.BugUninitRead.String():
 				uninit = true
+			case gen.BugUseAfterFree.String(), gen.BugDoubleFree.String():
+				temporal = true
 			}
 		}
 		var plain, elide core.Tool
-		if uninit {
+		switch {
+		case temporal:
+			plain = jtsan.New(jtsan.Config{UseLiveness: true})
+			elide = jtsan.New(jtsan.Config{UseLiveness: true, Elide: true})
+		case uninit:
 			plain = jmsan.New(jmsan.Config{UseLiveness: true})
 			elide = jmsan.New(jmsan.Config{UseLiveness: true, Elide: true})
-		} else {
+		default:
 			plain = jasan.New(jasan.Config{UseLiveness: true})
 			elide = jasan.New(jasan.Config{UseLiveness: true, Elide: true})
 		}
@@ -282,6 +295,8 @@ func CheckSource(p *gen.Prog, budget uint64) *SourceResult {
 		{"jcfi-narrow", o2, jcfi.New(jcfi.Config{Forward: true, Backward: true, Narrow: true})},
 		{"jmsan", o2, jmsan.New(jmsan.Config{UseLiveness: true})},
 		{"jmsan-elide", o2, jmsan.New(jmsan.Config{UseLiveness: true, Elide: true})},
+		{"jtsan", o2, jtsan.New(jtsan.Config{UseLiveness: true})},
+		{"jtsan-elide", o2, jtsan.New(jtsan.Config{UseLiveness: true, Elide: true})},
 	} {
 		got, n := runTool(tc.mod, reg, tc.tool, budget, res.Cov)
 		if got.overBudget {

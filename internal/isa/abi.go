@@ -86,6 +86,14 @@ const (
 	// 0x6000_0000 (code, heap, JIT and stack); tool-runtime regions at and
 	// above LayoutShadowBase fall outside it and are never checked.
 	LayoutDefShadowBase uint64 = 0x7300_0000
+	// LayoutGenShadowBase maps application address a to the generation
+	// shadow byte LayoutGenShadowBase + a/8, with bit a%8 set when the
+	// application byte belongs to a FREED (quarantined) heap chunk. The
+	// zero-filled shadow therefore means "temporally live": stack, globals
+	// and live heap all pass the inline fast path with no heap-range test.
+	// Like the definedness bitmap, it covers application addresses below
+	// LayoutShadowBase; tool-runtime regions are never checked.
+	LayoutGenShadowBase uint64 = 0x7400_0000
 )
 
 // ShadowAddr returns the shadow-memory byte address covering application
@@ -95,3 +103,7 @@ func ShadowAddr(a uint64) uint64 { return LayoutShadowBase + a/8 }
 // DefShadowAddr returns the definedness-shadow byte address covering
 // application address a; bit a%8 of that byte is a's undefined flag.
 func DefShadowAddr(a uint64) uint64 { return LayoutDefShadowBase + a/8 }
+
+// GenShadowAddr returns the generation-shadow byte address covering
+// application address a; bit a%8 of that byte is a's freed flag.
+func GenShadowAddr(a uint64) uint64 { return LayoutGenShadowBase + a/8 }

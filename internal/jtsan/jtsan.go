@@ -1,0 +1,412 @@
+package jtsan
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/dbm"
+	"repro/internal/isa"
+	"repro/internal/rules"
+	"repro/internal/telemetry"
+	"repro/internal/vsa"
+)
+
+// Config selects JTSan variants for the evaluation:
+//
+//   - UseLiveness off conservatively saves/restores every register and flag
+//     the instrumentation touches (the "base" configuration);
+//   - Elide toggles proof-carrying check elision: accesses whose pointer
+//     the static analysis proves can never refer to a freed heap chunk —
+//     in-frame, inside a statically sized module section, or re-checking a
+//     generation-checked dominating access in the same block with no
+//     possible free in between — emit MEM_ACCESS_SAFE instead of a
+//     MEM_GEN_CHECK. Every elision records a replayable vsa.Claim for
+//     independent verification by cmd/jvet.
+//
+// JTSan-dyn (the dynamic-only variant) is obtained by running the tool with
+// no rewrite-rule files at all, so every block takes the fallback path.
+type Config struct {
+	UseLiveness bool
+	Elide       bool
+}
+
+// Tool is the JTSan security technique, pluggable into the Janitizer core.
+type Tool struct {
+	cfg Config
+	// Report accumulates detected temporal violations.
+	Report *Report
+}
+
+// New returns a JTSan instance.
+func New(cfg Config) *Tool {
+	return &Tool{cfg: cfg, Report: &Report{}}
+}
+
+// Name implements core.Tool.
+func (t *Tool) Name() string { return "jtsan" }
+
+// ConfigKey returns a stable identifier for the configuration fields that
+// influence StaticPass output — part of the analysis-cache key
+// (internal/anserve).
+func (t *Tool) ConfigKey() string {
+	return fmt.Sprintf("liveness=%t,elide=%t", t.cfg.UseLiveness, t.cfg.Elide)
+}
+
+// RuntimeInit implements core.Tool: installs the generation-check trap
+// family and interposes the quarantine-and-generation allocator wrapper.
+// Under MultiTool composition this runs after the earlier tools' inits, so
+// the wrapper nests over e.g. JASan's redzone allocator the way JMSan's
+// definedness wrapper does.
+func (t *Tool) RuntimeInit(rt *core.Runtime) error {
+	installRuntime(rt.M, t.Report)
+	return nil
+}
+
+// StaticPass implements core.Tool. It emits:
+//
+//   - MEM_GEN_CHECK for every memory access (loads and stores both — a
+//     store through a dangling pointer is as much a use-after-free as a
+//     load);
+//   - MEM_ACCESS_SAFE with SafeNoEscape provenance (plus a recorded
+//     no-escape claim) for accesses proven temporally safe when elision is
+//     on;
+//   - QUAR_TICK at every allocator service trap (malloc/free), anchoring
+//     the quarantine cost tick so trap-only blocks are still instrumented.
+func (t *Tool) StaticPass(sc *core.StaticContext) []rules.Rule {
+	var out []rules.Rule
+	g := sc.Graph
+	var vres *vsa.Result
+	if t.cfg.Elide {
+		vres = sc.EnsureVSA()
+	}
+
+	for _, blk := range g.Blocks {
+		var plan map[uint64]uint64
+		if vres != nil {
+			plan = t.noEscapePlan(sc, vres, blk)
+		}
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			if allocTrap(in) {
+				// Anchor the quarantine tick: without a rule at the
+				// malloc/free trap the whole block can end up rule-free and
+				// the core NO_OP-routes it past Instrument, so the tick
+				// would never be planted.
+				out = append(out, rules.Rule{
+					ID: rules.QuarTick, BBAddr: blk.Start, Instr: in.Addr,
+				})
+				continue
+			}
+			if !in.IsMemAccess() {
+				continue
+			}
+			if anchor, ok := plan[in.Addr]; ok {
+				out = append(out, rules.Rule{
+					ID: rules.MemAccessSafe, BBAddr: blk.Start, Instr: in.Addr,
+					Data: [4]uint64{0, rules.SafeNoEscape, anchor},
+				})
+				continue
+			}
+			lp := sc.Live.LiveIn(in.Addr)
+			out = append(out, rules.Rule{
+				ID: rules.MemGenCheck, BBAddr: blk.Start, Instr: in.Addr,
+				Data: [4]uint64{
+					packLive(lp, sc.Live, in.Addr),
+					uint64(sc.Loops.ClassOf(in.Addr)),
+				},
+			})
+		}
+	}
+	return out
+}
+
+// noEscapePlan decides which accesses in blk get their generation check
+// elided, recording one replayable no-escape claim per decision. The plan
+// value is the dedup anchor's instruction address (0 for the frame and
+// global forms). Three forms share the claim kind:
+//
+//   - frame: the address is provably inside the function's own frame —
+//     stack memory is never a heap chunk, so it cannot be freed;
+//   - global: the address is provably inside a statically sized module
+//     section — module images are disjoint from the heap;
+//   - dedup: an earlier generation-checked access at the same syntactic
+//     address dominates this one with no call, service trap or
+//     address-register redefinition in between — no free can have executed
+//     since the anchor's check passed.
+func (t *Tool) noEscapePlan(sc *core.StaticContext, vres *vsa.Result,
+	blk *cfg.BasicBlock) map[uint64]uint64 {
+	plan := map[uint64]uint64{}
+	if blk.Fn == nil {
+		return plan
+	}
+	fnEntry := blk.Fn.Entry
+	vres.WalkBlock(blk, func(i int, in *isa.Instr, st *vsa.State) {
+		if !in.IsMemAccess() {
+			return
+		}
+		addr := vsa.AddrValue(st, in)
+		w := in.AccessWidth()
+		if lo, hi, ok := vres.FrameClaim(fnEntry, addr, w); ok {
+			plan[in.Addr] = 0
+			sc.Proofs.Record(fnEntry, vsa.Claim{
+				Kind: vsa.ClaimNoEscape, Block: blk.Start, Instr: in.Addr,
+				Width: w, Lo: lo, Hi: hi,
+			})
+			return
+		}
+		if sec, glo, ghi, ok := vres.GlobalClaim(addr, w); ok {
+			plan[in.Addr] = 0
+			sc.Proofs.Record(fnEntry, vsa.Claim{
+				Kind: vsa.ClaimNoEscape, Block: blk.Start, Instr: in.Addr,
+				Width: w, Section: sec, GLo: glo, GHi: ghi,
+			})
+		}
+	})
+	t.dedupPlan(sc, blk, plan)
+	return plan
+}
+
+// dedupPlan elides re-checks of an address already generation-checked
+// earlier in the same block: same addressing form, equal or smaller width,
+// no redefinition of the address registers in between, and no call or
+// service trap in between (a free can only execute through one of those).
+// The anchor keeps its full MEM_GEN_CHECK.
+func (t *Tool) dedupPlan(sc *core.StaticContext, blk *cfg.BasicBlock,
+	plan map[uint64]uint64) {
+	type anchorKey struct {
+		shape  int
+		rb, ri isa.Register
+		disp   int32
+	}
+	type anchorInfo struct {
+		idx   int
+		addr  uint64
+		width int
+	}
+	anchors := map[anchorKey]anchorInfo{}
+	for i := range blk.Instrs {
+		in := &blk.Instrs[i]
+		if freeBarrier(in) {
+			// A call or service trap may execute a free: every pending
+			// anchor's "still live" fact dies here.
+			anchors = map[anchorKey]anchorInfo{}
+			continue
+		}
+		if !in.IsMemAccess() {
+			continue
+		}
+		shape, ok := accessShape(in)
+		if !ok {
+			continue
+		}
+		if _, elided := plan[in.Addr]; elided {
+			// Frame/global-proven accesses are not anchors: the verifier
+			// requires every dedup anchor to carry an executed check.
+			continue
+		}
+		k := anchorKey{shape: shape, rb: in.Rb, disp: in.Disp}
+		if shape != shapePlain {
+			k.ri = in.Ri
+		}
+		if a, have := anchors[k]; have && in.AccessWidth() <= a.width &&
+			t.dedupClean(sc, blk, a.idx, i, shape, in) {
+			plan[in.Addr] = a.addr
+			sc.Proofs.Record(blk.Fn.Entry, vsa.Claim{
+				Kind: vsa.ClaimNoEscape, Block: blk.Start, Instr: in.Addr,
+				Width: in.AccessWidth(), Prev: a.addr,
+			})
+			continue
+		}
+		anchors[k] = anchorInfo{idx: i, addr: in.Addr, width: in.AccessWidth()}
+	}
+}
+
+// freeBarrier reports whether in could transitively execute a heap free:
+// calls and service traps can, straight-line arithmetic cannot. Syscalls
+// are included for symmetry with the def-init barrier.
+func freeBarrier(in *isa.Instr) bool {
+	switch in.Op {
+	case isa.OpCall, isa.OpCallI, isa.OpTrap, isa.OpSyscall:
+		return true
+	}
+	return false
+}
+
+// dedupClean checks the remaining side conditions between anchor and
+// access: the address registers are not redefined in between, and the same
+// definitions reach both uses.
+func (t *Tool) dedupClean(sc *core.StaticContext, blk *cfg.BasicBlock,
+	anchorIdx, curIdx, shape int, in *isa.Instr) bool {
+	for j := anchorIdx + 1; j < curIdx; j++ {
+		for _, d := range blk.Instrs[j].RegDefs(nil) {
+			if d == in.Rb || (shape != shapePlain && d == in.Ri) {
+				return false
+			}
+		}
+	}
+	anchor := &blk.Instrs[anchorIdx]
+	if !sameDefs(sc.DefUse.DefsOf(anchor.Addr, in.Rb),
+		sc.DefUse.DefsOf(in.Addr, in.Rb)) {
+		return false
+	}
+	if shape != shapePlain &&
+		!sameDefs(sc.DefUse.DefsOf(anchor.Addr, in.Ri),
+			sc.DefUse.DefsOf(in.Addr, in.Ri)) {
+		return false
+	}
+	return true
+}
+
+// sameDefs compares two reaching-definition sets.
+func sameDefs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[uint64]bool, len(a))
+	for _, v := range a {
+		seen[v] = true
+	}
+	for _, v := range b {
+		if !seen[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// Address-shape classes for dedup matching (mirrors the verifier's own
+// classification in internal/vsa).
+const (
+	shapePlain = iota // [rb+disp]
+	shapeX8           // [rb+ri*8+disp]
+	shapeX1           // [rb+ri+disp]
+)
+
+func accessShape(in *isa.Instr) (int, bool) {
+	switch in.Op {
+	case isa.OpLdQ, isa.OpStQ, isa.OpLdB, isa.OpStB:
+		return shapePlain, true
+	case isa.OpLdXQ, isa.OpStXQ:
+		return shapeX8, true
+	case isa.OpLdXB, isa.OpStXB:
+		return shapeX1, true
+	}
+	return 0, false
+}
+
+// packLive builds the rule liveness word from a live point, including up to
+// three dead registers usable as scratch.
+func packLive(lp analysis.LivePoint, live *analysis.Liveness, addr uint64) uint64 {
+	var free []uint8
+	for _, r := range live.FreeRegs(addr, 3) {
+		free = append(free, uint8(r))
+	}
+	return rules.PackLiveness(uint16(lp.Regs), lp.Flags, free)
+}
+
+// allocTrap reports whether in is an allocator service trap (malloc or
+// free) — the sites where the quarantine tick is planted.
+func allocTrap(in *isa.Instr) bool {
+	return in.Op == isa.OpTrap &&
+		(in.Imm == isa.TrapMalloc || in.Imm == isa.TrapFree)
+}
+
+// Instrument implements core.Tool: rewrites a statically-seen block using
+// its rules (the hit path).
+func (t *Tool) Instrument(bc *dbm.BlockContext, instrRules map[uint64][]rules.Rule) []dbm.CInstr {
+	return core.EmitPlans(bc, t.PlanStatic(bc, instrRules))
+}
+
+// DynFallback implements core.Tool: the simpler per-block analysis for code
+// only seen dynamically. Every memory access is generation-checked.
+func (t *Tool) DynFallback(bc *dbm.BlockContext) []dbm.CInstr {
+	return core.EmitPlans(bc, t.PlanDyn(bc))
+}
+
+// PlanStatic implements core.PlannedTool.
+func (t *Tool) PlanStatic(bc *dbm.BlockContext, instrRules map[uint64][]rules.Rule) core.InstrPlan {
+	return &staticPlan{t: t, bc: bc, rules: instrRules}
+}
+
+type staticPlan struct {
+	t     *Tool
+	bc    *dbm.BlockContext
+	rules map[uint64][]rules.Rule
+}
+
+func (p *staticPlan) Before(e *dbm.Emitter, idx int) {
+	in := &p.bc.AppInstrs[idx]
+	if allocTrap(in) {
+		e.SetCC(telemetry.CCQuarantine)
+		EmitQuarTick(e, in.Addr)
+	}
+	for _, r := range p.rules[in.Addr] {
+		switch r.ID {
+		case rules.MemGenCheck:
+			e.SetCC(telemetry.CCGenCheck)
+			p.t.emitGenCheck(e, in, r.Data[0], true)
+		case rules.MemAccessSafe:
+			// statically proven temporally safe: nothing to do (any
+			// residue would charge CCElided)
+			e.SetCC(telemetry.CCElided)
+		}
+	}
+	e.SetCC(telemetry.CCOther)
+}
+
+func (p *staticPlan) After(*dbm.Emitter, int) {}
+
+// PlanDyn implements core.PlannedTool.
+func (t *Tool) PlanDyn(bc *dbm.BlockContext) core.InstrPlan {
+	return &dynPlan{t: t, bc: bc}
+}
+
+type dynPlan struct {
+	t  *Tool
+	bc *dbm.BlockContext
+}
+
+func (p *dynPlan) Before(e *dbm.Emitter, idx int) {
+	in := &p.bc.AppInstrs[idx]
+	if allocTrap(in) {
+		e.SetCC(telemetry.CCQuarantine)
+		EmitQuarTick(e, in.Addr)
+		e.SetCC(telemetry.CCOther)
+	}
+	if !in.IsMemAccess() {
+		return
+	}
+	e.SetCC(telemetry.CCGenCheck)
+	p.t.emitGenCheck(e, in, 0, false)
+	e.SetCC(telemetry.CCOther)
+}
+
+func (p *dynPlan) After(*dbm.Emitter, int) {}
+
+// emitGenCheck emits the inline generation check for one access using the
+// packed liveness word (conservative save/restore when liveness use is
+// disabled or the block came through the dynamic fallback).
+func (t *Tool) emitGenCheck(e *dbm.Emitter, in *isa.Instr, livePacked uint64, haveLive bool) {
+	dead, saveFlags := t.unpackSaves(livePacked, haveLive)
+	scratch, toSave := dbm.PickScratch(2, dead, dbm.ExcludeOperands(in))
+	EmitGenCheck(e, &CheckPlan{
+		AppAddr: in.Addr, Width: in.AccessWidth(),
+		S1: scratch[0], S2: scratch[1],
+		SaveRegs: toSave, SaveFlags: saveFlags,
+		Addr: addrOf(in),
+	})
+}
+
+func (t *Tool) unpackSaves(livePacked uint64, haveLive bool) ([]isa.Register, bool) {
+	if !haveLive || !t.cfg.UseLiveness {
+		return nil, true
+	}
+	_, flagsLive, freeRaw := rules.UnpackLiveness(livePacked)
+	var dead []isa.Register
+	for _, f := range freeRaw {
+		dead = append(dead, isa.Register(f))
+	}
+	return dead, flagsLive
+}

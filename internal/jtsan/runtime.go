@@ -1,0 +1,343 @@
+// Package jtsan implements JTSan, the hybrid binary temporal-memory-safety
+// sanitizer of the Janitizer tool family: a quarantine-and-generation
+// allocator wrapper over the module allocator service (each allocation gets
+// a generation tag in a side table keyed by chunk base; free bumps the
+// generation and parks the chunk in a bounded FIFO quarantine delaying
+// reuse), a per-byte freed bitmap driving inline fast-path generation
+// checks on memory accesses, double-free detection as a generation
+// mismatch at free time, proof-carrying elision of accesses whose pointer
+// provably cannot refer to a freed chunk (vsa no-escape claims), and a
+// conservative dynamic-only fallback for code never seen statically.
+package jtsan
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// Generation-shadow encoding: application address a maps to shadow byte
+// isa.GenShadowAddr(a) = LayoutGenShadowBase + a/8, bit a%8. A SET bit means
+// the byte belongs to a freed (quarantined) heap chunk, so the zero-filled
+// initial shadow marks everything — stack, globals, live heap — temporally
+// live and the inline fast path needs no heap-range test at all. The
+// generation numbers themselves live in a host-side table keyed by chunk
+// base: the bitmap answers "is this byte freed right now", the table
+// answers "which incarnation" for diagnostics and double-free detection.
+
+// Violation is one detected temporal-safety violation.
+type Violation struct {
+	// PC is the application address of the instrumented access (or of the
+	// free trap for free-time violations).
+	PC uint64
+	// Addr is the faulting application address (the accessed byte, or the
+	// freed pointer).
+	Addr uint64
+	// Width is the access width in bytes (0 for free-time violations).
+	Width int
+	// Kind is "use-after-free", "double-free" or "invalid-free".
+	Kind string
+	// Object is the base address of the quarantined chunk the access
+	// refers to (0 when no chunk is attributable).
+	Object uint64
+	// Gen is the chunk's current generation (the number of frees it has
+	// seen) at report time.
+	Gen uint16
+}
+
+func (v Violation) String() string {
+	if v.Width == 0 {
+		return fmt.Sprintf("jtsan: %s: free(%#x) (pc %#x, gen %d)",
+			v.Kind, v.Addr, v.PC, v.Gen)
+	}
+	return fmt.Sprintf("jtsan: %s: %d-byte access at %#x (pc %#x, chunk %#x, gen %d)",
+		v.Kind, v.Width, v.Addr, v.PC, v.Object, v.Gen)
+}
+
+// maxStoredViolations bounds the report log; further violations are counted
+// but not stored.
+const maxStoredViolations = 16384
+
+// Report accumulates violations during a run.
+type Report struct {
+	Violations []Violation
+	// Total counts every report, including ones dropped past the storage
+	// cap.
+	Total uint64
+	// HaltOnError aborts execution at the first violation when set.
+	HaltOnError bool
+}
+
+// DistinctSites returns the number of distinct reporting PCs.
+func (r *Report) DistinctSites() int {
+	seen := map[uint64]bool{}
+	for _, v := range r.Violations {
+		seen[v.PC] = true
+	}
+	return len(seen)
+}
+
+func (r *Report) add(v Violation) error {
+	r.Total++
+	if len(r.Violations) < maxStoredViolations {
+		r.Violations = append(r.Violations, v)
+	}
+	if r.HaltOnError {
+		return &vm.Fault{PC: v.PC, Addr: v.Addr, Kind: "jtsan: " + v.Kind}
+	}
+	return nil
+}
+
+// GenShadow provides freed-bitmap operations over a machine's generation
+// shadow region — exported so baseline tools modelling temporal checks (the
+// Valgrind-style checker's temporal mode) share one encoding with JTSan.
+type GenShadow struct{ M *vm.Machine }
+
+// MarkFreed sets the freed bit for every byte of [addr, addr+n).
+func (s GenShadow) MarkFreed(addr, n uint64) { s.set(addr, n, true) }
+
+// MarkLive clears the freed bit for every byte of [addr, addr+n).
+func (s GenShadow) MarkLive(addr, n uint64) { s.set(addr, n, false) }
+
+func (s GenShadow) set(addr, n uint64, freed bool) {
+	// The bitmap covers application addresses below the tool regions.
+	if addr >= isa.LayoutShadowBase {
+		return
+	}
+	end := addr + n
+	if end > isa.LayoutShadowBase || end < addr {
+		end = isa.LayoutShadowBase
+	}
+	for a := addr; a < end; {
+		sa := isa.GenShadowAddr(a)
+		if a%8 == 0 && a+8 <= end {
+			if freed {
+				s.M.Mem.WriteB(sa, 0xff)
+			} else {
+				s.M.Mem.WriteB(sa, 0)
+			}
+			a += 8
+			continue
+		}
+		b, _ := s.M.Mem.ReadB(sa)
+		if freed {
+			b |= 1 << (a % 8)
+		} else {
+			b &^= 1 << (a % 8)
+		}
+		s.M.Mem.WriteB(sa, b)
+		a++
+	}
+}
+
+// FirstFreed returns the address of the first freed byte in [addr, addr+n)
+// and whether one exists. This is the precise per-byte test the trap handler
+// runs: the inline fast path only inspects whole shadow bytes (an 8- or
+// 64-byte window), so a trap is a *suspicion*, confirmed or dismissed here.
+func (s GenShadow) FirstFreed(addr, n uint64) (uint64, bool) {
+	if addr >= isa.LayoutShadowBase {
+		return 0, false
+	}
+	for a := addr; a < addr+n; a++ {
+		b, _ := s.M.Mem.ReadB(isa.GenShadowAddr(a))
+		if b&(1<<(a%8)) != 0 {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+// Trap code packing, mirroring JASan's and JMSan's scheme: the code encodes
+// the event, the register holding the application address, and the access
+// width, so one handler family serves every liveness-dependent scratch
+// choice. The bases live above JMSan's definedness families (400..487).
+const (
+	trapGenCheckBase = 500 // suspicious access: precise freed test + report
+	trapQuarTick     = 540 // allocator event: charge quarantine model cost
+	trapWidthBit     = 16
+)
+
+// GenCheckTrapCode returns the trap code for "precise freed-bitmap check of
+// [addr, addr+width); address in reg" — exported for baseline tools sharing
+// the temporal runtime (their clean-call model traps unconditionally and
+// lets the handler decide).
+func GenCheckTrapCode(reg isa.Register, width int) int64 {
+	return genCheckTrapCode(reg, width)
+}
+
+func genCheckTrapCode(reg isa.Register, width int) int64 {
+	code := trapGenCheckBase + int64(reg)
+	if width == 8 {
+		code += trapWidthBit
+	}
+	return code
+}
+
+// defaultQuarantineChunks is the bounded FIFO quarantine capacity: how many
+// freed chunks are parked (still trapping) before the oldest becomes
+// reusable again.
+const defaultQuarantineChunks = 128
+
+// tsanAllocator is the quarantine-and-generation wrapper interposed over
+// whatever allocator service is already installed (the VM default, or
+// JASan's redzone allocator in combined configurations — MultiTool runs
+// RuntimeInit in tool order, so JTSan's wrapper nests outermost).
+type tsanAllocator struct {
+	shadow               GenShadow
+	prevMalloc, prevFree vm.TrapHandler
+	rep                  *Report
+	// live maps a live chunk's user base to its user size.
+	live map[uint64]uint64
+	// gens maps a chunk base to its generation: the number of frees the
+	// base has seen. The counter is 16-bit and wraps; the freed bitmap, not
+	// the counter, carries the "is it freed" fact, so wraparound only
+	// recycles diagnostic labels.
+	gens map[uint64]uint16
+	// quarantine is the FIFO of freed-but-unreleased chunks.
+	quarantine []quarChunk
+	maxQuar    int
+	// pendingCost accumulates the model cycles of generation-shadow
+	// maintenance since the last quarantine tick; the tick trap drains it
+	// so the cost lands in the CCQuarantine cost center instead of CCApp.
+	pendingCost uint64
+}
+
+type quarChunk struct{ base, size uint64 }
+
+// ChunkFor returns the base and generation of the quarantined chunk
+// containing addr.
+func (a *tsanAllocator) ChunkFor(addr uint64) (uint64, uint16, bool) {
+	for _, q := range a.quarantine {
+		if addr >= q.base && addr < q.base+q.size {
+			return q.base, a.gens[q.base], true
+		}
+	}
+	return 0, 0, false
+}
+
+// onMalloc forwards to the previous allocator, then registers the fresh
+// chunk as live: its generation-shadow bits are cleared (the base may be a
+// recycled quarantine eviction) and its size recorded.
+func (a *tsanAllocator) onMalloc(m *vm.Machine) error {
+	size := m.Regs[isa.R1]
+	if a.prevMalloc != nil {
+		if err := a.prevMalloc(m); err != nil {
+			return err
+		}
+	}
+	base := m.Regs[isa.R0]
+	if base == 0 {
+		return nil
+	}
+	if size == 0 {
+		size = 1
+	}
+	a.live[base] = size
+	a.shadow.MarkLive(base, size)
+	a.pendingCost += 4 + size/8
+	return nil
+}
+
+// onFree implements free with generation bump and quarantine: a live chunk
+// has its generation bumped, its freed bits set and is parked in the FIFO
+// *without* forwarding — the underlying allocator only sees the free when
+// the chunk is evicted at quarantine capacity, which is exactly the reuse
+// delay that catches dangling accesses. A pointer that is not a live chunk
+// base is a generation mismatch at free time: double-free when the base has
+// been freed before, invalid-free when it was never issued.
+func (a *tsanAllocator) onFree(m *vm.Machine) error {
+	ptr := m.Regs[isa.R1]
+	if ptr == 0 {
+		return nil // free(NULL) is a no-op
+	}
+	size, ok := a.live[ptr]
+	if !ok {
+		kind := "invalid-free"
+		if _, freedBefore := a.gens[ptr]; freedBefore {
+			kind = "double-free"
+		}
+		return a.rep.add(Violation{
+			PC: m.TrapPC, Addr: ptr, Kind: kind,
+			Object: ptr, Gen: a.gens[ptr],
+		})
+	}
+	delete(a.live, ptr)
+	a.gens[ptr]++ // uint16: wraps past 1<<16 by design
+	a.shadow.MarkFreed(ptr, size)
+	a.quarantine = append(a.quarantine, quarChunk{ptr, size})
+	a.pendingCost += 8 + size/8
+	if len(a.quarantine) > a.maxQuar {
+		old := a.quarantine[0]
+		a.quarantine = a.quarantine[1:]
+		// The evicted chunk becomes reusable: its freed bits are cleared
+		// (it stops trapping) and the deferred free finally reaches the
+		// underlying allocator.
+		a.shadow.MarkLive(old.base, old.size)
+		a.pendingCost += old.size / 8
+		if a.prevFree != nil {
+			saved := m.Regs[isa.R1]
+			m.Regs[isa.R1] = old.base
+			err := a.prevFree(m)
+			m.Regs[isa.R1] = saved
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Chunks locates quarantined chunks for report attribution.
+type Chunks interface {
+	// ChunkFor returns the base and generation of the quarantined chunk
+	// containing addr.
+	ChunkFor(addr uint64) (uint64, uint16, bool)
+}
+
+// InstallRuntimeOn wires the JTSan temporal runtime into a machine outside
+// the Janitizer core — used by baseline tools sharing the generation-shadow
+// encoding (the Valgrind-style checker's temporal mode). The returned
+// Chunks maps addresses to quarantined chunks.
+func InstallRuntimeOn(m *vm.Machine, rep *Report) Chunks {
+	return installRuntime(m, rep)
+}
+
+// installRuntime registers the generation-check trap family, the quarantine
+// tick, and the allocator wrapper. The wrapper chains whatever
+// TrapMalloc/TrapFree handlers are already installed.
+func installRuntime(m *vm.Machine, rep *Report) *tsanAllocator {
+	alloc := &tsanAllocator{
+		shadow:     GenShadow{M: m},
+		prevMalloc: m.TrapHandlerFor(isa.TrapMalloc),
+		prevFree:   m.TrapHandlerFor(isa.TrapFree),
+		rep:        rep,
+		live:       map[uint64]uint64{},
+		gens:       map[uint64]uint16{},
+		maxQuar:    defaultQuarantineChunks,
+	}
+	for reg := isa.Register(0); reg < isa.NumRegs; reg++ {
+		for _, width := range []int{1, 8} {
+			reg, width := reg, width
+			m.HandleTrap(genCheckTrapCode(reg, width), func(m *vm.Machine) error {
+				addr := m.Regs[reg]
+				bad, freed := alloc.shadow.FirstFreed(addr, uint64(width))
+				if !freed {
+					return nil // window false positive: neighbour bytes only
+				}
+				v := Violation{PC: m.TrapPC, Addr: bad, Width: width,
+					Kind: "use-after-free"}
+				v.Object, v.Gen, _ = alloc.ChunkFor(bad)
+				return rep.add(v)
+			})
+		}
+	}
+	m.HandleTrap(trapQuarTick, func(m *vm.Machine) error {
+		m.AddCycles(alloc.pendingCost)
+		alloc.pendingCost = 0
+		return nil
+	})
+	m.HandleTrap(isa.TrapMalloc, alloc.onMalloc)
+	m.HandleTrap(isa.TrapFree, alloc.onFree)
+	return alloc
+}

@@ -1,0 +1,134 @@
+package juliet
+
+import "fmt"
+
+// CWE-415 (double free) suite for the JTSan evaluation: 24 good/bad pairs
+// across three shapes. Every bad variant frees a chunk base more than once;
+// the quarantine wrapper detects the repeat at free time as a generation
+// mismatch (the base is no longer live but has a generation on record) and
+// refuses to forward it, so the underlying allocator's state is never
+// corrupted and the run continues to a clean exit.
+//
+//   - 8 straight-line double frees: free called twice on the same base;
+//   - 8 free-in-callee double frees: a helper frees the pointer, then the
+//     caller frees it again — ownership confusion across a call boundary;
+//   - 8 loop double frees: a loop re-frees the same base on every
+//     iteration after the first, contributing one violation per repeat.
+//
+// Good variants free every chunk exactly once and must produce zero
+// reports (0 FP); bad variants must all be detected (0 FN), under both
+// jtsan and jtsan-elide.
+
+// CWE-415 case kinds.
+const (
+	DFStraight   Kind = "df-straight"
+	DFFreeCallee Kind = "df-free-callee"
+	DFLoop       Kind = "df-loop"
+)
+
+// Suite415 generates the 24 CWE-415 test cases.
+func Suite415() []Case {
+	var out []Case
+	for size := 8; size < 16; size++ {
+		out = append(out, dfStraight(size))
+	}
+	for size := 8; size < 16; size++ {
+		out = append(out, dfFreeCallee(size))
+	}
+	for size := 8; size < 16; size++ {
+		out = append(out, dfLoop(size))
+	}
+	return out
+}
+
+// dfStraight: the same base freed twice in a row; the good variant
+// interposes a fresh allocation and frees each chunk once.
+func dfStraight(size int) Case {
+	bad := fmt.Sprintf(`
+int main() {
+    char *buf = malloc(%d);
+    for (int i = 0; i < %d; i++) buf[i] = i & 127;
+    int s = buf[%d];
+    free(buf);
+    free(buf);
+    return s & 63;
+}`, size, size, size-1)
+	good := fmt.Sprintf(`
+int main() {
+    char *buf = malloc(%d);
+    for (int i = 0; i < %d; i++) buf[i] = i & 127;
+    int s = buf[%d];
+    free(buf);
+    char *other = malloc(%d);
+    other[0] = 5;
+    s = s + other[0];
+    free(other);
+    return s & 63;
+}`, size, size, size-1, size)
+	return Case{
+		ID: fmt.Sprintf("CWE415_straight_s%02d", size), Kind: DFStraight,
+		Good: good, Bad: bad, ActualViolations: 1,
+	}
+}
+
+// dfFreeCallee: a helper owns the free; the bad variant's caller frees
+// again after the helper returns, the good variant's caller does not.
+func dfFreeCallee(size int) Case {
+	bad := fmt.Sprintf(`
+int release(char *p) { free(p); return 0; }
+int main() {
+    char *buf = malloc(%d);
+    buf[0] = 3;
+    int s = buf[0];
+    release(buf);
+    free(buf);
+    return s & 63;
+}`, size)
+	good := fmt.Sprintf(`
+int release(char *p) { free(p); return 0; }
+int main() {
+    char *buf = malloc(%d);
+    buf[0] = 3;
+    int s = buf[0];
+    release(buf);
+    return s & 63;
+}`, size)
+	return Case{
+		ID: fmt.Sprintf("CWE415_callee_s%02d", size), Kind: DFFreeCallee,
+		Good: good, Bad: bad, ActualViolations: 1,
+	}
+}
+
+// dfLoop: the bad variant's loop frees the same base on all three
+// iterations (two repeats past the first legitimate free); the good
+// variant reallocates each iteration, freeing every base exactly once.
+func dfLoop(size int) Case {
+	bad := fmt.Sprintf(`
+int main() {
+    char *p = malloc(%d);
+    p[0] = 3;
+    int s = p[0];
+    for (int i = 0; i < 3; i++) {
+        free(p);
+    }
+    return s & 63;
+}`, size)
+	good := fmt.Sprintf(`
+int main() {
+    char *p = malloc(%d);
+    p[0] = 3;
+    int s = p[0];
+    for (int i = 0; i < 3; i++) {
+        free(p);
+        p = malloc(%d);
+        p[0] = i & 7;
+        s = s + p[0];
+    }
+    free(p);
+    return s & 63;
+}`, size, size)
+	return Case{
+		ID: fmt.Sprintf("CWE415_loop_s%02d", size), Kind: DFLoop,
+		Good: good, Bad: bad, ActualViolations: 2,
+	}
+}

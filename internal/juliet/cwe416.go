@@ -1,0 +1,147 @@
+package juliet
+
+import "fmt"
+
+// CWE-416 (use after free) suite for the JTSan evaluation: 24 good/bad
+// pairs across three shapes. Every bad variant dereferences a pointer into
+// a chunk that has already been freed; the quarantine keeps the chunk
+// parked (its freed bits set, its address range unreusable), so the
+// dangling access trips a generation check no matter what the program
+// allocated in between.
+//
+//   - 8 heap-reuse reads: the buffer is freed, a second buffer of the same
+//     size is allocated, and the stale pointer is read — the classic
+//     reallocation scenario a naive shadow encoding (freed bytes cleared on
+//     reuse) would miss;
+//   - 8 loop-carried dangling pointers: a loop frees its buffer and only
+//     then touches it before reallocating for the next iteration, so every
+//     iteration carries one dangling read;
+//   - 8 free-in-callee reads: a helper frees the caller's pointer and the
+//     caller dereferences it after the call returns — the interprocedural
+//     shape the no-escape dedup proof must treat as a barrier.
+//
+// Good variants touch only live chunks and must produce zero reports
+// (0 FP); bad variants must all be detected (0 FN), under both jtsan and
+// jtsan-elide.
+
+// CWE-416 case kinds.
+const (
+	UAFHeapReuse  Kind = "uaf-heap-reuse"
+	UAFLoopDangle Kind = "uaf-loop-dangle"
+	UAFFreeCallee Kind = "uaf-free-callee"
+)
+
+// Suite416 generates the 24 CWE-416 test cases.
+func Suite416() []Case {
+	var out []Case
+	for size := 8; size < 16; size++ {
+		out = append(out, uafHeapReuse(size))
+	}
+	for size := 8; size < 16; size++ {
+		out = append(out, uafLoopDangle(size))
+	}
+	for size := 8; size < 16; size++ {
+		out = append(out, uafFreeCallee(size))
+	}
+	return out
+}
+
+// uafHeapReuse: the stale pointer is read after its chunk was freed and a
+// same-sized replacement allocated. The good variant reads the stale chunk
+// before the free and the fresh chunk after.
+func uafHeapReuse(size int) Case {
+	bad := fmt.Sprintf(`
+int main() {
+    char *buf = malloc(%d);
+    for (int i = 0; i < %d; i++) buf[i] = i & 127;
+    free(buf);
+    char *other = malloc(%d);
+    for (int i = 0; i < %d; i++) other[i] = i & 63;
+    int s = buf[%d];
+    free(other);
+    return s & 63;
+}`, size, size, size, size, size-1)
+	good := fmt.Sprintf(`
+int main() {
+    char *buf = malloc(%d);
+    for (int i = 0; i < %d; i++) buf[i] = i & 127;
+    int s = buf[%d];
+    free(buf);
+    char *other = malloc(%d);
+    for (int i = 0; i < %d; i++) other[i] = i & 63;
+    s = s + other[%d];
+    free(other);
+    return s & 63;
+}`, size, size, size-1, size, size, size-1)
+	return Case{
+		ID: fmt.Sprintf("CWE416_reuse_s%02d", size), Kind: UAFHeapReuse,
+		Good: good, Bad: bad, ActualViolations: 1,
+	}
+}
+
+// uafLoopDangle: the bad variant frees the iteration's buffer first and
+// reads it afterwards, so each of the four iterations carries one dangling
+// read; the good variant reads before freeing.
+func uafLoopDangle(size int) Case {
+	bad := fmt.Sprintf(`
+int main() {
+    int s = 0;
+    char *p = malloc(%d);
+    p[0] = 1;
+    for (int i = 0; i < 4; i++) {
+        free(p);
+        s = s + p[0];
+        p = malloc(%d);
+        p[0] = i & 7;
+    }
+    free(p);
+    return s & 63;
+}`, size, size)
+	good := fmt.Sprintf(`
+int main() {
+    int s = 0;
+    char *p = malloc(%d);
+    p[0] = 1;
+    for (int i = 0; i < 4; i++) {
+        s = s + p[0];
+        free(p);
+        p = malloc(%d);
+        p[0] = i & 7;
+    }
+    s = s + p[0];
+    free(p);
+    return s & 63;
+}`, size, size)
+	return Case{
+		ID: fmt.Sprintf("CWE416_loop_s%02d", size), Kind: UAFLoopDangle,
+		Good: good, Bad: bad, ActualViolations: 4,
+	}
+}
+
+// uafFreeCallee: a helper frees the caller's pointer; the bad variant
+// dereferences it after the helper returns, the good variant only before.
+func uafFreeCallee(size int) Case {
+	bad := fmt.Sprintf(`
+int release(char *p) { free(p); return 0; }
+int main() {
+    char *buf = malloc(%d);
+    for (int i = 0; i < %d; i++) buf[i] = i & 127;
+    int s = buf[0];
+    release(buf);
+    s = s + buf[%d];
+    return s & 63;
+}`, size, size, size-1)
+	good := fmt.Sprintf(`
+int release(char *p) { free(p); return 0; }
+int main() {
+    char *buf = malloc(%d);
+    for (int i = 0; i < %d; i++) buf[i] = i & 127;
+    int s = buf[0] + buf[%d];
+    release(buf);
+    return s & 63;
+}`, size, size, size-1)
+	return Case{
+		ID: fmt.Sprintf("CWE416_callee_s%02d", size), Kind: UAFFreeCallee,
+		Good: good, Bad: bad, ActualViolations: 1,
+	}
+}

@@ -1,0 +1,108 @@
+package juliet
+
+import "testing"
+
+func TestSuite416Composition(t *testing.T) {
+	cases := Suite416()
+	if len(cases) != 24 {
+		t.Fatalf("suite size = %d, want 24", len(cases))
+	}
+	checkSuite(t, cases, []Kind{UAFHeapReuse, UAFLoopDangle, UAFFreeCallee})
+}
+
+func TestSuite415Composition(t *testing.T) {
+	cases := Suite415()
+	if len(cases) != 24 {
+		t.Fatalf("suite size = %d, want 24", len(cases))
+	}
+	checkSuite(t, cases, []Kind{DFStraight, DFFreeCallee, DFLoop})
+}
+
+func checkSuite(t *testing.T, cases []Case, kinds []Kind) {
+	t.Helper()
+	counts := map[Kind]int{}
+	ids := map[string]bool{}
+	for _, c := range cases {
+		counts[c.Kind]++
+		if ids[c.ID] {
+			t.Errorf("duplicate case id %s", c.ID)
+		}
+		ids[c.ID] = true
+		if c.Good == "" || c.Bad == "" || c.ActualViolations < 1 {
+			t.Errorf("%s: malformed case", c.ID)
+		}
+	}
+	for _, k := range kinds {
+		if counts[k] != 8 {
+			t.Errorf("%s count = %d, want 8", k, counts[k])
+		}
+	}
+}
+
+// TestCWE416JTSan runs the full CWE-416 suite under JTSan: every bad
+// variant must be detected (0 FN) and every good variant must be clean
+// (0 FP) — the acceptance bar for the temporal sanitizer.
+func TestCWE416JTSan(t *testing.T) {
+	tally, err := Evaluate(JTSan, Suite416())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tally.FN != 0 {
+		t.Errorf("false negatives on bad variants: %v (by kind: %v)",
+			tally, tally.FNByKind)
+	}
+	if tally.FP != 0 {
+		t.Errorf("false positives on good variants: %v", tally)
+	}
+}
+
+// TestCWE415JTSan runs the full CWE-415 suite under JTSan with the same
+// 0 FN / 0 FP bar; double frees are free-time detections, so this also
+// checks the run survives the refused repeat free.
+func TestCWE415JTSan(t *testing.T) {
+	tally, err := Evaluate(JTSan, Suite415())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tally.FN != 0 {
+		t.Errorf("false negatives on bad variants: %v (by kind: %v)",
+			tally, tally.FNByKind)
+	}
+	if tally.FP != 0 {
+		t.Errorf("false positives on good variants: %v", tally)
+	}
+}
+
+// TestCWE416JTSanElide re-runs the CWE-416 suite with VSA no-escape check
+// elision: elision removes only proven-safe checks, so the confusion matrix
+// must be identical to the unelided run.
+func TestCWE416JTSanElide(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite rerun skipped in -short mode")
+	}
+	tally, err := Evaluate(JTSanElide, Suite416())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tally.FN != 0 || tally.FP != 0 {
+		t.Errorf("elision changed detection: %v (FN by kind: %v)",
+			tally, tally.FNByKind)
+	}
+}
+
+// TestCWE415JTSanElide re-runs the CWE-415 suite under elision; free-time
+// detection does not depend on access checks at all, so any drift here
+// means elision perturbed the allocator path.
+func TestCWE415JTSanElide(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite rerun skipped in -short mode")
+	}
+	tally, err := Evaluate(JTSanElide, Suite415())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tally.FN != 0 || tally.FP != 0 {
+		t.Errorf("elision changed detection: %v (FN by kind: %v)",
+			tally, tally.FNByKind)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/jasan"
 	"repro/internal/jmsan"
+	"repro/internal/jtsan"
 	"repro/internal/libj"
 	"repro/internal/loader"
 	"repro/internal/rules"
@@ -24,6 +25,8 @@ const (
 	Valgrind   Detector = "valgrind"
 	JMSan      Detector = "jmsan"
 	JMSanElide Detector = "jmsan-elide" // jmsan + VSA def-init check elision
+	JTSan      Detector = "jtsan"
+	JTSanElide Detector = "jtsan-elide" // jtsan + VSA no-escape check elision
 )
 
 // Tally is the Fig. 10 confusion matrix: good variants contribute FP/TN,
@@ -104,6 +107,21 @@ func runCase(det Detector, src string) (uint64, error) {
 		tool = jt
 		reports = func() uint64 { return jt.Report.Total }
 		ljf, err := libjRules(det, func() core.Tool { return jmsan.New(cfg) })
+		if err != nil {
+			return 0, err
+		}
+		mf, err := core.AnalyzeModule(main, jt)
+		if err != nil {
+			return 0, err
+		}
+		files[libj.Name] = ljf
+		files[main.Name] = mf
+	case JTSan, JTSanElide:
+		cfg := jtsan.Config{UseLiveness: true, Elide: det == JTSanElide}
+		jt := jtsan.New(cfg)
+		tool = jt
+		reports = func() uint64 { return jt.Report.Total }
+		ljf, err := libjRules(det, func() core.Tool { return jtsan.New(cfg) })
 		if err != nil {
 			return 0, err
 		}

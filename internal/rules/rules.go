@@ -101,6 +101,19 @@ const (
 	// packs liveness after the SP adjustment; Data2 holds the frame size N.
 	FrameUndef ID = 16
 
+	// MemGenCheck: instrument this memory access with a heap-generation
+	// check — trap when any accessed byte belongs to a freed (quarantined)
+	// chunk (JTSan use-after-free detection). Data1 packs liveness as
+	// MemAccess; Data2 the access class.
+	MemGenCheck ID = 17
+
+	// QuarTick: this instruction is an allocator service trap (malloc or
+	// free) — the anchor for JTSan's quarantine cost tick. Without it a
+	// block whose only interesting instruction is the trap carries no rules
+	// at all and the core marks it NO_OP, so the tick would never be
+	// planted. Carries no data words.
+	QuarTick ID = 18
+
 	// CustomBase is the first rule ID reserved for out-of-tree tools:
 	// handler interpretation is tool-private, so custom techniques can
 	// define their own IDs at CustomBase and above without colliding with
@@ -138,6 +151,13 @@ const (
 	// undefined value here cannot influence control flow, addresses or
 	// service calls. Not VSA-backed (no replayable claim), like SafeCanary.
 	SafeNoSink uint64 = 7
+	// SafeNoEscape: a JTSan access whose pointer's value set provably
+	// cannot include a freed heap chunk between any free and the access
+	// (vsa no-escape claim): the address is in-frame, in a statically sized
+	// module section, or re-checks a generation-checked dominating access
+	// in the same block; Data3 holds the anchor's instruction address for
+	// the dedup form (0 otherwise).
+	SafeNoEscape uint64 = 8
 )
 
 // CFITarget kind bits (Data1 of CFITarget rules).
@@ -163,6 +183,8 @@ var idNames = map[ID]string{
 	MemDefStore:    "MEM_DEF_STORE",
 	MemDefLoad:     "MEM_DEF_LOAD",
 	FrameUndef:     "FRAME_UNDEF",
+	MemGenCheck:    "MEM_GEN_CHECK",
+	QuarTick:       "QUAR_TICK",
 }
 
 func (id ID) String() string {

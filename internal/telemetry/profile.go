@@ -35,6 +35,13 @@ const (
 	CCCFICheck
 	// CCShadowStack is shadow-stack maintenance: SHADOW_PUSH rules (jcfi).
 	CCShadowStack
+	// CCGenCheck is heap-generation checking on accesses: MEM_GEN_CHECK
+	// rules (jtsan).
+	CCGenCheck
+	// CCQuarantine is generation-shadow maintenance in the quarantine
+	// allocator wrapper: marking freed spans, clearing them on allocation
+	// and quarantine eviction (jtsan).
+	CCQuarantine
 	// CCElided is residue at proof-elided check sites (MEM_ACCESS_SAFE).
 	// It should stay zero: nonzero means an "elided" rule still emits code.
 	CCElided
@@ -55,6 +62,8 @@ var ccNames = [NumCostCenters]string{
 	CCDefCheck:    "def-check",
 	CCCFICheck:    "cfi-check",
 	CCShadowStack: "shadow-stack",
+	CCGenCheck:    "gen-check",
+	CCQuarantine:  "quarantine",
 	CCElided:      "elided",
 	CCDispatch:    "dispatch",
 }
@@ -117,9 +126,11 @@ type Breakdown struct {
 	// App is the application's own cycles.
 	App uint64 `json:"app_cycles"`
 	// ShadowUpdate covers shadow-state maintenance: canary poisoning,
-	// definedness stores/frame poisoning, shadow-stack pushes.
+	// definedness stores/frame poisoning, shadow-stack pushes and
+	// generation-shadow quarantine updates.
 	ShadowUpdate uint64 `json:"shadow_update_cycles"`
-	// Check covers inline checks: shadow-memory, definedness and CFI.
+	// Check covers inline checks: shadow-memory, definedness, generation
+	// and CFI.
 	Check uint64 `json:"check_cycles"`
 	// Elided is residue at proof-elided sites (expected zero).
 	Elided uint64 `json:"elided_cycles"`
@@ -136,8 +147,8 @@ func (p *Profile) Breakdown() Breakdown {
 	}
 	return Breakdown{
 		App:          p.Cycles[CCApp],
-		ShadowUpdate: p.Cycles[CCCanary] + p.Cycles[CCDefStore] + p.Cycles[CCShadowStack],
-		Check:        p.Cycles[CCMemCheck] + p.Cycles[CCDefCheck] + p.Cycles[CCCFICheck],
+		ShadowUpdate: p.Cycles[CCCanary] + p.Cycles[CCDefStore] + p.Cycles[CCShadowStack] + p.Cycles[CCQuarantine],
+		Check:        p.Cycles[CCMemCheck] + p.Cycles[CCDefCheck] + p.Cycles[CCCFICheck] + p.Cycles[CCGenCheck],
 		Elided:       p.Cycles[CCElided],
 		Dispatch:     p.Cycles[CCDispatch],
 		Other:        p.Cycles[CCOther],

@@ -27,6 +27,15 @@ const (
 	// block, with no base/index redefinition in between — so the bytes are
 	// definitely initialized and JMSan's definedness check can be elided.
 	ClaimDefInit ClaimKind = "def-init"
+	// ClaimNoEscape: the access at Instr can never touch a freed heap
+	// chunk, so JTSan's generation check can be elided. Three forms share
+	// the kind: with Prev set, an earlier generation-checked access at the
+	// same syntactic address dominates this one with no possible free in
+	// between (the dedup form); with Section set, the access stays inside
+	// [GLo,GHi] of that module section (module images are disjoint from
+	// the heap); otherwise the access stays inside [Lo,Hi] of its
+	// function's frame (stack memory is never a heap chunk).
+	ClaimNoEscape ClaimKind = "no-escape"
 	// ClaimJumpSingle: the indirect jump at Instr always transfers to
 	// Targets[0].
 	ClaimJumpSingle ClaimKind = "jump-single"

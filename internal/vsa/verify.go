@@ -148,6 +148,8 @@ func (v *verifier) checkClaim(fp *FuncProof, c *Claim) {
 		v.checkDedup(fp, c, blk, in)
 	case ClaimDefInit:
 		v.checkDefInit(fp, c, blk, in)
+	case ClaimNoEscape:
+		v.checkNoEscape(fp, c, blk, in)
 	case ClaimJumpSingle, ClaimJumpTable:
 		v.checkJump(fp, c, blk, in)
 	default:
@@ -349,6 +351,122 @@ func (v *verifier) checkDefInit(fp *FuncProof, c *Claim, blk *cfg.BasicBlock, in
 	}
 }
 
+// checkNoEscape re-derives a temporal no-escape claim in its claimed form.
+// The frame and global forms are re-derived from the fresh abstract state:
+// an address provably inside the function's frame or a statically sized
+// module section is never a heap chunk, so no free can ever target it. The
+// dedup form (Prev set) is re-checked syntactically like checkDedup, with
+// one extra side condition: no call, service trap or syscall may execute
+// between the generation-checked anchor and the access, because a free can
+// only run through one of those — straight-line code cannot unmap what the
+// anchor proved live.
+func (v *verifier) checkNoEscape(fp *FuncProof, c *Claim, blk *cfg.BasicBlock, in *isa.Instr) {
+	if !in.IsMemAccess() {
+		v.failc(fp.Entry, c, "not a memory access")
+		return
+	}
+	if c.Prev != 0 {
+		v.checkNoEscapeDedup(fp, c, blk, in)
+		return
+	}
+	if in.AccessWidth() != c.Width {
+		v.failc(fp.Entry, c, "not a %d-byte memory access", c.Width)
+		return
+	}
+	st := v.accessState(blk, c.Instr)
+	if st == nil {
+		v.failc(fp.Entry, c, "no analysed state for block")
+		return
+	}
+	if c.Section != "" {
+		sec, lo, hi, ok := v.res.GlobalClaim(AddrValue(st, in), c.Width)
+		if !ok {
+			v.failc(fp.Entry, c, "re-derivation failed: access not provably in a section")
+			return
+		}
+		if sec != c.Section {
+			v.failc(fp.Entry, c, "derived section %q != claimed %q", sec, c.Section)
+		}
+		if lo < c.GLo || hi > c.GHi {
+			v.failc(fp.Entry, c, "derived range [%#x,%#x] outside claimed [%#x,%#x]",
+				lo, hi, c.GLo, c.GHi)
+		}
+		s := v.mod.SectionAt(c.GLo)
+		if s == nil || s.Name != c.Section || !s.Contains(c.GHi) {
+			v.failc(fp.Entry, c, "claimed range [%#x,%#x] not inside section %q",
+				c.GLo, c.GHi, c.Section)
+		}
+		return
+	}
+	lo, hi, ok := v.res.FrameClaim(fp.Entry, AddrValue(st, in), c.Width)
+	if !ok {
+		v.failc(fp.Entry, c, "re-derivation failed: access not provably in-frame")
+		return
+	}
+	if lo < c.Lo || hi > c.Hi {
+		v.failc(fp.Entry, c, "derived range [%d,%d] outside claimed [%d,%d]",
+			lo, hi, c.Lo, c.Hi)
+	}
+	// The claimed range itself must sit inside the frame. Canary overlap is
+	// irrelevant here: a canary slot is still stack memory, which is all
+	// the temporal argument needs.
+	fs := v.res.FrameSizes[fp.Entry]
+	if c.Lo < -fs || c.Hi > -1 {
+		v.failc(fp.Entry, c, "claimed range [%d,%d] outside frame [%d,-1]",
+			c.Lo, c.Hi, -fs)
+	}
+}
+
+// checkNoEscapeDedup replays the dedup form of a no-escape claim.
+func (v *verifier) checkNoEscapeDedup(fp *FuncProof, c *Claim, blk *cfg.BasicBlock, in *isa.Instr) {
+	prevIdx, curIdx := -1, -1
+	for i := range blk.Instrs {
+		switch blk.Instrs[i].Addr {
+		case c.Prev:
+			prevIdx = i
+		case c.Instr:
+			curIdx = i
+		}
+	}
+	if prevIdx < 0 || curIdx < 0 || prevIdx >= curIdx {
+		v.failc(fp.Entry, c, "anchor %#x does not precede access in block", c.Prev)
+		return
+	}
+	anchor := &blk.Instrs[prevIdx]
+	if !anchor.IsMemAccess() {
+		v.failc(fp.Entry, c, "anchor is not a memory access")
+		return
+	}
+	aScale, aOK := addrShape(anchor)
+	dScale, dOK := addrShape(in)
+	if !aOK || !dOK || aScale != dScale ||
+		anchor.Rb != in.Rb || anchor.Disp != in.Disp ||
+		(aScale != scalePlain && anchor.Ri != in.Ri) {
+		v.failc(fp.Entry, c, "anchor addressing form differs")
+		return
+	}
+	if in.AccessWidth() > anchor.AccessWidth() {
+		v.failc(fp.Entry, c, "access wider than anchor")
+		return
+	}
+	for i := prevIdx + 1; i < curIdx; i++ {
+		between := &blk.Instrs[i]
+		for _, d := range between.RegDefs(nil) {
+			if d == in.Rb || (dScale != scalePlain && d == in.Ri) {
+				v.failc(fp.Entry, c, "address register redefined at %#x",
+					between.Addr)
+				return
+			}
+		}
+		switch between.Op {
+		case isa.OpCall, isa.OpCallI, isa.OpTrap, isa.OpSyscall:
+			v.failc(fp.Entry, c, "possible free at %#x between anchor and access",
+				between.Addr)
+			return
+		}
+	}
+}
+
 // Address-shape classes for dedup matching.
 const (
 	scalePlain = iota // [rb+disp]
@@ -424,6 +542,7 @@ func (v *verifier) crossCheck(ps *ProofSet, rf *rules.File, claimAt map[uint64]*
 	}
 	memAccessAt := map[uint64]bool{}
 	memDefStoreAt := map[uint64]bool{}
+	memGenCheckAt := map[uint64]bool{}
 	ruleAt := map[uint64]*rules.Rule{}
 	for i := range rf.Rules {
 		r := &rf.Rules[i]
@@ -432,9 +551,12 @@ func (v *verifier) crossCheck(ps *ProofSet, rf *rules.File, claimAt map[uint64]*
 			memAccessAt[r.Instr] = true
 		case rules.MemDefStore:
 			memDefStoreAt[r.Instr] = true
+		case rules.MemGenCheck:
+			memGenCheckAt[r.Instr] = true
 		case rules.MemAccessSafe:
 			switch r.Data[1] {
-			case rules.SafeFrame, rules.SafeGlobal, rules.SafeDedup, rules.SafeDefInit:
+			case rules.SafeFrame, rules.SafeGlobal, rules.SafeDedup,
+				rules.SafeDefInit, rules.SafeNoEscape:
 				ruleAt[r.Instr] = r
 				c := claimAt[r.Instr]
 				if c == nil {
@@ -442,17 +564,18 @@ func (v *verifier) crossCheck(ps *ProofSet, rf *rules.File, claimAt map[uint64]*
 					continue
 				}
 				want := map[uint64]ClaimKind{
-					rules.SafeFrame:   ClaimFrame,
-					rules.SafeGlobal:  ClaimGlobal,
-					rules.SafeDedup:   ClaimDedup,
-					rules.SafeDefInit: ClaimDefInit,
+					rules.SafeFrame:    ClaimFrame,
+					rules.SafeGlobal:   ClaimGlobal,
+					rules.SafeDedup:    ClaimDedup,
+					rules.SafeDefInit:  ClaimDefInit,
+					rules.SafeNoEscape: ClaimNoEscape,
 				}[r.Data[1]]
 				if c.Kind != want {
 					v.fail(0, r.Instr, "rule provenance %d vs claim kind %s",
 						r.Data[1], c.Kind)
 				}
-				if (r.Data[1] == rules.SafeDedup || r.Data[1] == rules.SafeDefInit) &&
-					c.Prev != r.Data[2] {
+				if (r.Data[1] == rules.SafeDedup || r.Data[1] == rules.SafeDefInit ||
+					r.Data[1] == rules.SafeNoEscape) && c.Prev != r.Data[2] {
 					v.fail(0, r.Instr, "%s anchor mismatch: rule %#x, claim %#x",
 						c.Kind, r.Data[2], c.Prev)
 				}
@@ -489,6 +612,9 @@ func (v *verifier) crossCheck(ps *ProofSet, rf *rules.File, claimAt map[uint64]*
 		}
 		if c.Kind == ClaimDefInit && !memDefStoreAt[c.Prev] {
 			v.fail(0, instr, "def-init anchor %#x carries no MEM_DEF_STORE rule", c.Prev)
+		}
+		if c.Kind == ClaimNoEscape && c.Prev != 0 && !memGenCheckAt[c.Prev] {
+			v.fail(0, instr, "no-escape anchor %#x carries no MEM_GEN_CHECK rule", c.Prev)
 		}
 	}
 }

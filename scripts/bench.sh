@@ -1,6 +1,7 @@
 #!/bin/sh
-# Benchmark gate: runs the Janitizer scheme sweep (jasan/jcfi/jmsan hybrid
-# and elision variants plus the combined jasan+jmsan+jcfi configuration)
+# Benchmark gate: runs the Janitizer scheme sweep (jasan/jcfi/jmsan/jtsan
+# hybrid and elision variants plus the comprehensive jasan+jmsan+jtsan+jcfi
+# configuration)
 # over the full workload suite through jexp, writing one deterministic
 # per-scheme geomean-slowdown row each to BENCH_JANITIZER.json, then reruns
 # the sweep with per-rule cost attribution to produce BENCH_PROFILE.json —
@@ -18,13 +19,20 @@
 # BENCH_SERVE.json (QPS, p50/p95/p99, cache tiers, per-shard balance, and
 # the fleet-vs-single hot-mix speedup).
 #
+# It then runs the temporal-sanitizer figure — jtsan hybrid/elide/dyn vs
+# the valgrind-temporal generation-tag memcheck model vs the comprehensive
+# jasan+jmsan+jtsan+jcfi stack over all 28 workloads — into
+# BENCH_JTSAN.json, one row per workload with per-cell weighted-cycle
+# slowdowns, elided-check counts, and the gen-check/quarantine/elided
+# telemetry cost centers.
+#
 # Finally it runs the static-vs-dynamic detection study — jlint's must and
 # must+may alarm tiers against sanitized execution over the CWE-457 and
 # CWE-122 suites and the planted fuzz bug classes — into BENCH_STATIC.json
 # (per-suite TP/FN/FP per tier plus analysis wall-time vs sanitized
 # execution time).
 #
-# Usage: scripts/bench.sh [output.json] [profile.json] [serve.json] [rewrite.json] [static.json]
+# Usage: scripts/bench.sh [output.json] [profile.json] [serve.json] [rewrite.json] [static.json] [jtsan.json]
 # BENCH_PARALLEL overrides the jexp worker count (default 8).
 set -eu
 
@@ -34,6 +42,7 @@ profile_out="${2:-BENCH_PROFILE.json}"
 serve_out="${3:-BENCH_SERVE.json}"
 rewrite_out="${4:-BENCH_REWRITE.json}"
 static_out="${5:-BENCH_STATIC.json}"
+jtsan_out="${6:-BENCH_JTSAN.json}"
 
 go run ./cmd/jexp -parallel "${BENCH_PARALLEL:-8}" bench > "$out"
 echo "bench: wrote $out"
@@ -43,6 +52,8 @@ go run ./cmd/jexp -parallel "${BENCH_PARALLEL:-8}" rewrite > "$rewrite_out"
 echo "bench: wrote $rewrite_out"
 go run ./cmd/jexp -parallel "${BENCH_PARALLEL:-8}" -o "$static_out" static > /dev/null
 echo "bench: wrote $static_out"
+go run ./cmd/jexp -parallel "${BENCH_PARALLEL:-8}" jtsan > "$jtsan_out"
+echo "bench: wrote $jtsan_out"
 
 # Serve trajectory. The whole fleet is colocated on this host, where
 # wall-clock CPU cannot tell one node from three; -service-time is the one

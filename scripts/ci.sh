@@ -29,16 +29,18 @@ echo "== janalyze determinism lint =="
 # nonzero on any finding.
 go run ./cmd/janalyze ./...
 
-echo "== focused vet + race: anserve, cluster, fuzz, rewrite, telemetry =="
+echo "== focused vet + race: anserve, cluster, fuzz, jtsan, rewrite, telemetry =="
 # The analysis service, the sharded fleet, and the fuzzing campaigns are the
 # heaviest concurrent subsystems; the telemetry layer is scraped concurrently
-# by daemon handlers, and the rewrite backends share plan caches across
-# worker goroutines. Vet and race-check them explicitly (count=1 defeats the
-# test cache so the race detector actually re-executes them).
+# by daemon handlers, the rewrite backends share plan caches across worker
+# goroutines, and jtsan's quarantine/generation runtime must stay strictly
+# per-machine (its parallel test runs detection on concurrent machines).
+# Vet and race-check them explicitly (count=1 defeats the test cache so the
+# race detector actually re-executes them).
 go vet ./internal/anserve ./internal/cluster ./internal/fuzz \
-	./internal/rewrite ./internal/telemetry
+	./internal/jtsan ./internal/rewrite ./internal/telemetry
 go test -race -count=1 ./internal/anserve ./internal/cluster ./internal/fuzz \
-	./internal/rewrite ./internal/telemetry
+	./internal/jtsan ./internal/rewrite ./internal/telemetry
 
 echo "== jfuzz smoke =="
 # Deterministic fuzz smoke: fixed seed, both domains, fails the build on any
@@ -47,10 +49,19 @@ go run ./cmd/jfuzz -seed 1 -n 200 -workers 4 -o /tmp/jfuzz-ci.json
 
 echo "== jvet proof replay =="
 # Independent replay of every VSA elision/narrowing proof over the checked-in
-# example modules, plus the structural verifier over every statically
-# rewritten module; exits nonzero on any claim that cannot be re-proven or
-# any rewrite that breaks a structural guarantee.
+# example modules and all 28 workload closures — including every no-escape
+# claim backing a jtsan-elide'd generation check — plus the structural
+# verifier over every statically rewritten module; exits nonzero on any
+# claim that cannot be re-proven or any rewrite that breaks a structural
+# guarantee.
 go run ./cmd/jvet
+
+echo "== juliet temporal suites (CWE-416/415) =="
+# Temporal-safety acceptance gate: the 24-case use-after-free and 24-case
+# double-free suites must show 0 false negatives and 0 false positives
+# under jtsan, and an identical confusion matrix under jtsan-elide (the
+# non-short elide reruns). count=1 defeats the cache so the gate re-runs.
+go test -count=1 -run 'CWE416|CWE415|Suite416|Suite415' ./internal/juliet
 
 echo "== jlint must-tier silence =="
 # Static bug detection over every module in all 28 safe workload closures:
@@ -154,10 +165,11 @@ echo "== bench + profile + rewrite bake-off =="
 # (Profile errors on any mismatch) and the bake-off's native-parity checks
 # (RunBackend hard-errors on any exit/output divergence).
 if [ "${CI_SHORT:-0}" = "1" ]; then
-	echo "bench: full sweep skipped (CI_SHORT=1); running profile + rewrite + static smokes"
+	echo "bench: full sweep skipped (CI_SHORT=1); running profile + rewrite + static + jtsan smokes"
 	go run ./cmd/jexp -parallel 4 -o /tmp/profile-smoke.json profile mcf lbm
 	go run ./cmd/jexp -parallel 4 rewrite mcf lbm > /tmp/rewrite-smoke.json
 	go run ./cmd/jexp -parallel 4 -o /tmp/static-smoke.json static
+	go run ./cmd/jexp -parallel 4 jtsan mcf lbm > /tmp/jtsan-smoke.json
 else
 	scripts/bench.sh
 fi
