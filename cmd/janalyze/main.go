@@ -32,6 +32,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"repro/internal/buildinfo"
 )
 
 // listedPkg is the subset of `go list -json` output janalyze needs.
@@ -43,7 +45,12 @@ type listedPkg struct {
 }
 
 func main() {
+	versionFlag := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *versionFlag {
+		fmt.Println(buildinfo.String("janalyze"))
+		return
+	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}

@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/jasan"
 	"repro/internal/jcfi"
@@ -26,7 +27,12 @@ func main() {
 	toolName := flag.String("tool", "jasan", "security technique: jasan, jmsan, jtsan or jcfi")
 	libdir := flag.String("libdir", "", "directory of dependency .jef modules")
 	outdir := flag.String("outdir", ".", "directory to write .jrw rule files into")
+	versionFlag := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *versionFlag {
+		fmt.Println(buildinfo.String("janitizer"))
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: janitizer -tool jasan|jmsan|jtsan|jcfi [flags] main.jef")
 		os.Exit(2)

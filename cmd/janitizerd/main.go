@@ -24,17 +24,30 @@
 //	    (X-Cache: local|peer|miss says where the answer came from)
 //	POST /analyze/batch
 //	    JSON batch: {"requests":[{"tool":...,"module":<base64>},...]}
+//	POST /run?tool=...
+//	    analyze (through the cache/fleet), then execute the module and
+//	    return structured, symbolized sanitizer violations
+//	GET /violations
+//	    the accumulated deduplicated violation log as JSON (byte-stable)
 //	GET /stats
 //	    cache and scheduler counters as JSON
 //	GET /metrics
-//	    the same counters plus latency histograms and (in fleet mode) the
-//	    janitizer_cluster_* family, in Prometheus text format
+//	    the same counters plus latency histograms (with trace-ID exemplars),
+//	    janitizer_build_info, and (in fleet mode) the janitizer_cluster_*
+//	    family, in Prometheus text format
 //	GET /healthz, GET /readyz
 //	    liveness / readiness (cache dir writable, scheduler accepting)
-//	GET /trace
-//	    recent pipeline span trees as JSON
+//	GET /trace?limit=N
+//	    recent pipeline span trees as JSON, newest first
+//	GET /trace/{id}
+//	    one retained trace by ID (spans on this node only; cross-node
+//	    segments are stitched by the requester from each node's export)
 //	GET /debug/pprof/   (only with -debug)
 //	    Go runtime profiling endpoints
+//
+// Every endpoint accepts a W3C Traceparent header and echoes the active
+// trace ID in X-Trace-Id; peer fills forward the requester's trace context
+// so one request yields one cross-node trace.
 //
 // Errors are typed JSON ({"error":{"code":...,"message":...}}): 413 for
 // oversized bodies/batches, 429 with Retry-After for backpressure and
@@ -62,6 +75,7 @@ import (
 	"time"
 
 	"repro/internal/anserve"
+	"repro/internal/buildinfo"
 	"repro/internal/cluster"
 	"repro/internal/telemetry"
 )
@@ -82,7 +96,12 @@ func main() {
 	self := flag.String("self", "", "this node's address in -peers (default: -addr)")
 	debug := flag.Bool("debug", false, "serve net/http/pprof under /debug/pprof/")
 	quiet := flag.Bool("quiet", false, "disable structured request logging")
+	versionFlag := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *versionFlag {
+		fmt.Println(buildinfo.String("janitizerd"))
+		return
+	}
 
 	// The daemon traces its pipeline: spans recorded during request
 	// handling surface on GET /trace.
@@ -99,6 +118,9 @@ func main() {
 		DiskCacheBytes: *disk << 20,
 		MaxQueue:       *maxqueue,
 	})
+	// Deploy identity for fleet dashboards: join any janitizer_* series
+	// against version/go/revision via janitizer_build_info.
+	buildinfo.Register(svc.Registry())
 
 	ctx, stop := signal.NotifyContext(context.Background(),
 		os.Interrupt, syscall.SIGTERM)

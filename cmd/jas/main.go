@@ -13,11 +13,17 @@ import (
 	"strings"
 
 	"repro/internal/asm"
+	"repro/internal/buildinfo"
 )
 
 func main() {
 	out := flag.String("o", "", "output path (default: input with .jef suffix)")
+	versionFlag := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *versionFlag {
+		fmt.Println(buildinfo.String("jas"))
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: jas [-o out.jef] file.jas")
 		os.Exit(2)

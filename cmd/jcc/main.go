@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/cc"
 )
 
@@ -23,7 +24,12 @@ func main() {
 	pic := flag.Bool("pic", false, "generate position-independent code")
 	shared := flag.Bool("shared", false, "build a shared object (implies -pic)")
 	module := flag.String("module", "", "module soname (default: file base name)")
+	versionFlag := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *versionFlag {
+		fmt.Println(buildinfo.String("jcc"))
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: jcc [flags] file.c")
 		flag.Usage()

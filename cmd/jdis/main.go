@@ -13,6 +13,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/buildinfo"
 	"repro/internal/cfg"
 	"repro/internal/isa"
 	"repro/internal/jefdir"
@@ -21,7 +22,12 @@ import (
 func main() {
 	dis := flag.Bool("d", true, "disassemble executable sections")
 	showCFG := flag.Bool("cfg", false, "annotate recovered blocks and functions")
+	versionFlag := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *versionFlag {
+		fmt.Println(buildinfo.String("jdis"))
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: jdis [-d] [-cfg] module.jef")
 		os.Exit(2)

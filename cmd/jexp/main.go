@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	jexp [-scale n] [-parallel n] [-stats] [-o file] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|elision|jmsan|jtsan|bench|rewrite|profile|static|all [benchmarks...]
+//	jexp [-scale n] [-parallel n] [-stats] [-o file] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|elision|jmsan|jtsan|bench|obs|rewrite|profile|static|all [benchmarks...]
 //
 // Workloads within a figure run concurrently (-parallel, default
 // GOMAXPROCS); static analysis is served by a shared content-addressed rule
@@ -17,6 +17,7 @@ import (
 	"os"
 	"runtime"
 
+	"repro/internal/buildinfo"
 	"repro/internal/experiments"
 )
 
@@ -27,11 +28,16 @@ func main() {
 	stats := flag.Bool("stats", false, "print analysis-service cache statistics at exit")
 	out := flag.String("o", "",
 		"profile/static: output path for the JSON artifact (\"-\" for stdout;\ndefault BENCH_PROFILE.json / BENCH_STATIC.json)")
+	versionFlag := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *versionFlag {
+		fmt.Println(buildinfo.String("jexp"))
+		return
+	}
 	args := flag.Args()
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr,
-			"usage: jexp [-scale n] [-parallel n] [-o file] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|elision|jmsan|jtsan|bench|rewrite|profile|static|all [benchmarks...]")
+			"usage: jexp [-scale n] [-parallel n] [-o file] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|soundness|elision|jmsan|jtsan|bench|obs|rewrite|profile|static|all [benchmarks...]")
 		os.Exit(2)
 	}
 	experiments.Parallel = *parallel
@@ -116,6 +122,17 @@ func main() {
 				return err
 			}
 			fmt.Print(experiments.FormatBenchJSON(rows))
+			return nil
+		case "obs":
+			// Observability overhead sweep: every cell runs plain and with
+			// the full tracing+diagnostics stack attached and must measure
+			// identical Cycles/Instrs/output (hard error otherwise — the
+			// zero-cost-when-disabled gate). Pure JSON for scripts/bench.sh.
+			rows, err := experiments.Obs(*scale, benches...)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatObsJSON(rows))
 			return nil
 		case "profile":
 			// Per-rule overhead attribution: decomposes each scheme's

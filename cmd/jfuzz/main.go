@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/fuzz"
 )
 
@@ -28,7 +29,12 @@ func main() {
 		minimize = flag.Bool("minimize", true, "minimise reproducers at campaign end")
 		plant    = flag.Int("plant-every", 8, "every n-th source case probes planted-bug detection")
 	)
+	versionFlag := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *versionFlag {
+		fmt.Println(buildinfo.String("jfuzz"))
+		return
+	}
 
 	cfg := fuzz.Config{
 		Seed:       *seed,

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/buildinfo"
 	"repro/internal/jlint"
 	"repro/internal/obj"
 	"repro/internal/spec"
@@ -30,7 +31,12 @@ func main() {
 	out := flag.String("o", "", "write the JSON report here (default stdout)")
 	failOnMust := flag.Bool("fail-on-must", false, "exit 1 when any must-alarm is found")
 	verbose := flag.Bool("v", false, "print per-module finding counts")
+	versionFlag := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *versionFlag {
+		fmt.Println(buildinfo.String("jlint"))
+		return
+	}
 
 	names := spec.Names()
 	if *bench != "" {

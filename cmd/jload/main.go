@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"repro/internal/anserve"
+	"repro/internal/buildinfo"
 	"repro/internal/cc"
 	"repro/internal/obj"
 	"repro/internal/telemetry"
@@ -136,7 +137,12 @@ func main() {
 	verify := flag.Bool("verify", false, "assert byte-identical responses across every node (and -single)")
 	requirePeerFill := flag.Bool("require-peer-fill", false, "fail unless fleet peer fills > 0")
 	flag.BoolVar(&quiet, "quiet", false, "suppress progress output")
+	versionFlag := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *versionFlag {
+		fmt.Println(buildinfo.String("jload"))
+		return
+	}
 
 	if *addrsFlag == "" {
 		fatalf("-addrs is required")

@@ -7,12 +7,17 @@
 // Usage:
 //
 //	jrun [-tool jasan|jmsan|jtsan|jcfi|none] [-libdir dir] [-rules dir] [-stats]
-//	     [-profile] main.jef
+//	     [-profile] [-report] main.jef
 //
 // -profile attributes every executed cycle to its originating rule kind and
 // prints the per-cost-center table to stderr after the run; attribution
 // observes the cycle model without changing it, so measurements with and
 // without -profile are identical.
+//
+// -report replaces the raw per-trap violation lines with structured
+// diagnostics: deduplicated, CWE-classified, and symbolized to
+// function+offset through the loaded modules' symbol tables, rendered as
+// ASan-style report blocks (internal/diag).
 package main
 
 import (
@@ -22,8 +27,10 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/dbm"
+	"repro/internal/diag"
 	"repro/internal/jasan"
 	"repro/internal/jcfi"
 	"repro/internal/jefdir"
@@ -41,8 +48,14 @@ func main() {
 	rulesDir := flag.String("rules", "", "directory of .jrw rewrite-rule files")
 	stats := flag.Bool("stats", false, "print cycle and coverage statistics")
 	profile := flag.Bool("profile", false, "print per-rule cost-center attribution")
+	reportFlag := flag.Bool("report", false, "print structured violations as an ASan-style symbolized report")
 	maxInstrs := flag.Uint64("max-instrs", 1_000_000_000, "instruction budget")
+	versionFlag := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *versionFlag {
+		fmt.Println(buildinfo.String("jrun"))
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: jrun [flags] main.jef")
 		os.Exit(2)
@@ -144,8 +157,16 @@ func main() {
 		fatal(err)
 	}
 	runErr := rt.Run(lm.RuntimeAddr(main.Entry))
-	for _, line := range report() {
-		fmt.Fprintln(os.Stderr, line)
+	if *reportFlag {
+		// Structured path: dedupe, symbolize against the loaded image, and
+		// render ASan-style blocks instead of the raw per-trap lines.
+		dlog := diag.NewLog()
+		diag.Collect(dlog, tool, diag.NewProcessSymbolizer(proc), telemetry.SpanContext{})
+		fmt.Fprint(os.Stderr, diag.Render(dlog))
+	} else {
+		for _, line := range report() {
+			fmt.Fprintln(os.Stderr, line)
+		}
 	}
 	if prof != nil {
 		fmt.Fprint(os.Stderr, prof.Table())

@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/jasan"
@@ -38,7 +39,12 @@ func main() {
 	parity := flag.Bool("parity", false,
 		"run dynamic/static/hybrid and cross-check verdicts and output")
 	verbose := flag.Bool("v", false, "print per-function refusal reasons")
+	versionFlag := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *versionFlag {
+		fmt.Println(buildinfo.String("jrw"))
+		return
+	}
 
 	newTool, ok := schemes[*scheme]
 	if !ok {

@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/buildinfo"
 	"repro/internal/cfg"
 	"repro/internal/core"
 	"repro/internal/isa"
@@ -46,7 +47,12 @@ import (
 func main() {
 	bench := flag.String("bench", "", "comma-separated workload names (default: all)")
 	verbose := flag.Bool("v", false, "print per-module claim counts")
+	versionFlag := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *versionFlag {
+		fmt.Println(buildinfo.String("jvet"))
+		return
+	}
 
 	names := spec.Names()
 	if *bench != "" {

@@ -1,6 +1,7 @@
 package anserve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -8,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/obj"
+	"repro/internal/telemetry"
 )
 
 // Batch API limits. A batch request is bounded twice: MaxBatch items per
@@ -62,39 +64,51 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request,
 		fanout = DefaultBatchFanout
 	}
 
+	sp := startServerSpan(s.Tracer(), r, "http.batch")
+	defer sp.End()
+	if id := sp.TraceID(); id != "" {
+		w.Header().Set("X-Trace-Id", id)
+	}
+	fail := func(status int, code, msg string, retryAfterSec int) {
+		sp.SetError(msg)
+		writeError(w, status, code, msg, retryAfterSec)
+	}
+
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
 	if err != nil {
-		writeError(w, http.StatusRequestEntityTooLarge, ErrCodeBodyTooLarge,
+		fail(http.StatusRequestEntityTooLarge, ErrCodeBodyTooLarge,
 			fmt.Sprintf("batch body exceeds %d bytes", maxBody), 0)
 		return
 	}
 	var req BatchRequest
 	if err := json.Unmarshal(body, &req); err != nil {
-		writeError(w, http.StatusBadRequest, ErrCodeBadRequest,
+		fail(http.StatusBadRequest, ErrCodeBadRequest,
 			"bad batch JSON: "+err.Error(), 0)
 		return
 	}
 	n := len(req.Requests)
+	sp.SetAttr(telemetry.Int("items", int64(n)))
 	if n == 0 {
-		writeError(w, http.StatusBadRequest, ErrCodeBadRequest,
+		fail(http.StatusBadRequest, ErrCodeBadRequest,
 			"empty batch", 0)
 		return
 	}
 	if n > maxBatch {
-		writeError(w, http.StatusRequestEntityTooLarge, ErrCodeBatchTooLarge,
+		fail(http.StatusRequestEntityTooLarge, ErrCodeBatchTooLarge,
 			fmt.Sprintf("batch of %d exceeds limit %d", n, maxBatch), 0)
 		return
 	}
 	if ok, wait := opts.Quota.Allow(r.Header.Get("X-Tenant"), n); !ok {
-		writeError(w, http.StatusTooManyRequests, ErrCodeQuotaExceeded,
+		fail(http.StatusTooManyRequests, ErrCodeQuotaExceeded,
 			"tenant quota exceeded", retryAfterSeconds(wait))
 		return
 	}
 	if !s.TryAdmit(n) {
-		writeError(w, http.StatusTooManyRequests, ErrCodeOverloaded,
+		fail(http.StatusTooManyRequests, ErrCodeOverloaded,
 			"scheduler queue full", 1)
 		return
 	}
+	sp.AddEvent("admitted")
 
 	results := make([]BatchResult, n)
 	sem := make(chan struct{}, fanout)
@@ -105,7 +119,15 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request,
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i] = s.batchItem(item, tools, an, opts)
+			isp := sp.Child("batch.item",
+				telemetry.Int("index", int64(i)),
+				telemetry.String("tool", item.Tool))
+			defer isp.End()
+			ictx := telemetry.ContextWithSpan(context.Background(), isp)
+			results[i] = s.batchItem(ictx, item, tools, an, opts)
+			if results[i].Error != nil {
+				isp.SetError(results[i].Error.Message)
+			}
 		}(i, item)
 	}
 	wg.Wait()
@@ -116,8 +138,8 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request,
 
 // batchItem runs one batch entry and releases its admission slot when the
 // underlying work (not just the wait) finishes.
-func (s *Service) batchItem(item BatchItem, tools map[string]ToolFactory,
-	an Analyzer, opts HandlerOpts) BatchResult {
+func (s *Service) batchItem(ctx context.Context, item BatchItem,
+	tools map[string]ToolFactory, an Analyzer, opts HandlerOpts) BatchResult {
 
 	factory, ok := tools[item.Tool]
 	if !ok {
@@ -136,7 +158,7 @@ func (s *Service) batchItem(item BatchItem, tools map[string]ToolFactory,
 		}}
 	}
 	res, timedOut := awaitAnalyze(
-		goAnalyze(an, item.Tool, mod, factory(), func() { s.Finish(1) }),
+		goAnalyze(ctx, an, item.Tool, mod, factory(), func() { s.Finish(1) }),
 		opts.Timeout)
 	if timedOut {
 		return BatchResult{Module: mod.Name, Error: &ErrorBody{

@@ -17,6 +17,8 @@ const (
 	ErrCodeQuotaExceeded  = "quota_exceeded"   // 429 (per-tenant token bucket)
 	ErrCodeAnalysisFailed = "analysis_failed"  // 500
 	ErrCodeTimeout        = "analysis_timeout" // 504
+	ErrCodeNotFound       = "not_found"        // 404 (trace lookup miss)
+	ErrCodeRunFailed      = "run_failed"       // 500 (POST /run execution error)
 )
 
 // ErrorBody is the typed JSON error payload: every non-2xx response from

@@ -11,10 +11,12 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/jasan"
 	"repro/internal/jcfi"
 	"repro/internal/jlint"
@@ -111,6 +113,14 @@ type HandlerOpts struct {
 	// machine's capacity is per-machine. 0 (the default) disables it;
 	// production deployments never set it.
 	ServiceTime time.Duration
+	// Diag is the violation log behind GET /violations, fed by POST /run
+	// executions. Nil creates a fresh log per handler, so the endpoints
+	// always work; daemons that want to inspect the log in-process pass
+	// their own.
+	Diag *diag.Log
+	// RunMaxInstrs bounds POST /run executions; 0 selects
+	// DefaultRunMaxInstrs.
+	RunMaxInstrs uint64
 }
 
 // PeerFillHeader marks fleet-internal cache-fill requests. A request
@@ -124,8 +134,18 @@ const PeerFillHeader = "X-Peer-Fill"
 //	POST /analyze?tool=<name>   body: serialized JEF module
 //	                            response: marshaled .jrw rule file
 //	POST /analyze/batch         JSON batch of the above
+//	POST /run?tool=<name>       analyze + execute a module, recording
+//	                            structured violation diagnostics
+//	GET  /violations            deduplicated diag.Violation records (JSON,
+//	                            byte-stable order)
 //	GET  /stats                 cache + scheduler counters as JSON
+//	GET  /metrics               Prometheus text exposition
+//	GET  /trace?limit=N         recent traces, newest first
+//	GET  /trace/{id}            one retained trace by trace ID
 //	GET  /healthz, /readyz      liveness and readiness probes
+//
+// Every request accepts a W3C Traceparent header; traced responses echo
+// the trace ID in X-Trace-Id.
 func (s *Service) Handler(tools map[string]ToolFactory) http.Handler {
 	return s.HandlerWith(tools, HandlerOpts{})
 }
@@ -140,16 +160,30 @@ type analyzeResult struct {
 // goAnalyze runs one analysis in its own goroutine so the caller can give
 // up waiting (per-request timeout) without cancelling the work: the result
 // still lands in the cache, and release (the admission slot) fires when the
-// work — not the wait — completes.
-func goAnalyze(an Analyzer, toolName string, mod *obj.Module, tool core.Tool,
-	release func()) <-chan analyzeResult {
+// work — not the wait — completes. ctx carries the request span only; it
+// must not be the (cancellable) request context.
+func goAnalyze(ctx context.Context, an Analyzer, toolName string, mod *obj.Module,
+	tool core.Tool, release func()) <-chan analyzeResult {
 	ch := make(chan analyzeResult, 1)
 	go func() {
 		defer release()
-		b, tier, err := an.AnalyzeBytesTier(toolName, mod, tool)
+		b, tier, err := an.AnalyzeBytesTier(ctx, toolName, mod, tool)
 		ch <- analyzeResult{b, tier, err}
 	}()
 	return ch
+}
+
+// startServerSpan begins the server half of a traced request: when the
+// request carries a Traceparent header (a traced client or a peer fill)
+// the new span joins that trace with the remote caller as its parent, so
+// the requester can stitch both nodes' exports into one tree; otherwise it
+// roots a fresh trace. A nil tracer yields a nil (inert) span.
+func startServerSpan(tr *telemetry.Tracer, r *http.Request, name string,
+	attrs ...telemetry.Attr) *telemetry.Span {
+	if sc, ok := telemetry.ParseTraceparent(r.Header.Get(telemetry.TraceparentHeader)); ok {
+		return tr.StartRemote(sc, name, attrs...)
+	}
+	return tr.Start(name, attrs...)
 }
 
 // awaitAnalyze waits for res up to timeout (0: forever). timedOut reports
@@ -179,9 +213,28 @@ func (s *Service) HandlerWith(tools map[string]ToolFactory, opts HandlerOpts) ht
 		maxBody = MaxModuleBytes
 	}
 
+	diagLog := opts.Diag
+	if diagLog == nil {
+		diagLog = diag.NewLog()
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /analyze", func(w http.ResponseWriter, r *http.Request) {
 		name := r.URL.Query().Get("tool")
+		peerFill := r.Header.Get(PeerFillHeader) != ""
+		sp := startServerSpan(s.Tracer(), r, "http.analyze",
+			telemetry.String("tool", name))
+		defer sp.End()
+		if id := sp.TraceID(); id != "" {
+			w.Header().Set("X-Trace-Id", id)
+		}
+		if peerFill {
+			sp.SetAttr(telemetry.String("peer_fill", "1"))
+		}
+		fail := func(status int, code, msg string, retryAfterSec int) {
+			sp.SetError(msg)
+			writeError(w, status, code, msg, retryAfterSec)
+		}
 		factory, ok := tools[name]
 		if !ok {
 			var known []string
@@ -189,14 +242,13 @@ func (s *Service) HandlerWith(tools map[string]ToolFactory, opts HandlerOpts) ht
 				known = append(known, n)
 			}
 			sort.Strings(known)
-			writeError(w, http.StatusBadRequest, ErrCodeUnknownTool,
+			fail(http.StatusBadRequest, ErrCodeUnknownTool,
 				fmt.Sprintf("unknown tool %q (have %v)", name, known), 0)
 			return
 		}
-		peerFill := r.Header.Get(PeerFillHeader) != ""
 		if !peerFill {
 			if ok, wait := opts.Quota.Allow(r.Header.Get("X-Tenant"), 1); !ok {
-				writeError(w, http.StatusTooManyRequests, ErrCodeQuotaExceeded,
+				fail(http.StatusTooManyRequests, ErrCodeQuotaExceeded,
 					"tenant quota exceeded", retryAfterSeconds(wait))
 				return
 			}
@@ -205,25 +257,27 @@ func (s *Service) HandlerWith(tools map[string]ToolFactory, opts HandlerOpts) ht
 		if err != nil {
 			var tooLarge *http.MaxBytesError
 			if errors.As(err, &tooLarge) {
-				writeError(w, http.StatusRequestEntityTooLarge, ErrCodeBodyTooLarge,
+				fail(http.StatusRequestEntityTooLarge, ErrCodeBodyTooLarge,
 					fmt.Sprintf("request body exceeds %d bytes", maxBody), 0)
 				return
 			}
-			writeError(w, http.StatusBadRequest, ErrCodeBadRequest,
+			fail(http.StatusBadRequest, ErrCodeBadRequest,
 				"read body: "+err.Error(), 0)
 			return
 		}
 		mod, err := obj.Unmarshal(body)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, ErrCodeBadModule,
+			fail(http.StatusBadRequest, ErrCodeBadModule,
 				"bad module: "+err.Error(), 0)
 			return
 		}
+		sp.SetAttr(telemetry.String("module", mod.Name))
 		if !s.TryAdmit(1) {
-			writeError(w, http.StatusTooManyRequests, ErrCodeOverloaded,
+			fail(http.StatusTooManyRequests, ErrCodeOverloaded,
 				"scheduler queue full", 1)
 			return
 		}
+		sp.AddEvent("admitted")
 		reqAn := an
 		if peerFill {
 			reqAn = s // peer fills are terminal: never re-forwarded
@@ -231,24 +285,37 @@ func (s *Service) HandlerWith(tools map[string]ToolFactory, opts HandlerOpts) ht
 		if opts.ServiceTime > 0 {
 			time.Sleep(opts.ServiceTime) // bench knob: slot held, see HandlerOpts
 		}
+		// The analysis outlives an abandoned wait, so it carries a detached
+		// context holding only the request span — never r.Context().
+		actx := telemetry.ContextWithSpan(context.Background(), sp)
 		res, timedOut := awaitAnalyze(
-			goAnalyze(reqAn, name, mod, factory(), func() { s.Finish(1) }),
+			goAnalyze(actx, reqAn, name, mod, factory(), func() { s.Finish(1) }),
 			opts.Timeout)
 		if timedOut {
-			writeError(w, http.StatusGatewayTimeout, ErrCodeTimeout,
+			fail(http.StatusGatewayTimeout, ErrCodeTimeout,
 				fmt.Sprintf("analysis exceeded %s (still running; retry to hit the cache)",
 					opts.Timeout), 0)
 			return
 		}
 		if res.err != nil {
-			writeError(w, http.StatusInternalServerError, ErrCodeAnalysisFailed,
+			fail(http.StatusInternalServerError, ErrCodeAnalysisFailed,
 				res.err.Error(), 0)
 			return
 		}
+		sp.SetAttr(telemetry.String("tier", string(res.tier)))
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Header().Set("X-Module", mod.Name)
 		w.Header().Set("X-Cache", string(res.tier))
 		_, _ = w.Write(res.b)
+	})
+	mux.HandleFunc("POST /run", func(w http.ResponseWriter, r *http.Request) {
+		s.handleRun(w, r, tools, an, opts, maxBody, diagLog)
+	})
+	mux.HandleFunc("GET /violations", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(diagLog)
 	})
 	mux.HandleFunc("POST /analyze/batch", func(w http.ResponseWriter, r *http.Request) {
 		s.handleBatch(w, r, tools, an, opts, maxBody)
@@ -286,7 +353,17 @@ func (s *Service) HandlerWith(tools map[string]ToolFactory, opts HandlerOpts) ht
 		s.reg.WritePrometheus(w)
 	})
 	mux.HandleFunc("GET /trace", func(w http.ResponseWriter, r *http.Request) {
-		recent := telemetry.T().Recent()
+		limit := 0
+		if v := r.URL.Query().Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				writeError(w, http.StatusBadRequest, ErrCodeBadRequest,
+					fmt.Sprintf("bad limit %q", v), 0)
+				return
+			}
+			limit = n
+		}
+		recent := s.Tracer().Snapshot(limit)
 		if recent == nil {
 			recent = []*telemetry.SpanRecord{} // tracer disabled: empty array, not null
 		}
@@ -294,6 +371,19 @@ func (s *Service) HandlerWith(tools map[string]ToolFactory, opts HandlerOpts) ht
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(recent)
+	})
+	mux.HandleFunc("GET /trace/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		rec := s.Tracer().Find(id)
+		if rec == nil {
+			writeError(w, http.StatusNotFound, ErrCodeNotFound,
+				fmt.Sprintf("no retained trace %q on this node", id), 0)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rec)
 	})
 	return mux
 }

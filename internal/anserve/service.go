@@ -1,6 +1,7 @@
 package anserve
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -35,6 +36,12 @@ type Config struct {
 	// flight, further submissions are rejected by TryAdmit and the HTTP
 	// layer answers 429. <= 0 disables admission control.
 	MaxQueue int
+	// Tracer is this service's span tracer — the store behind GET /trace
+	// and the parent of every request span. Nil falls back to the
+	// process-wide telemetry tracer (disabled by default), so existing
+	// single-node deployments are unchanged; in-process multi-node fleets
+	// (tests) pass distinct tracers to keep per-node trace stores apart.
+	Tracer *telemetry.Tracer
 }
 
 // Tier says where an analysis response came from. The HTTP layer echoes it
@@ -54,9 +61,13 @@ const (
 // straight from its Service; a fleet member routes through
 // internal/cluster's consistent-hash peer-fill wrapper. toolName is the
 // registry name of the tool (needed to forward the request to a sibling;
-// the plain Service ignores it).
+// the plain Service ignores it). ctx carries the request's telemetry span
+// (when tracing is enabled) so analysis and peer-fill spans nest under the
+// originating request — implementations must not use it for cancellation,
+// because an abandoned request's analysis still finishes and fills the
+// cache.
 type Analyzer interface {
-	AnalyzeBytesTier(toolName string, mod *obj.Module, tool core.Tool) ([]byte, Tier, error)
+	AnalyzeBytesTier(ctx context.Context, toolName string, mod *obj.Module, tool core.Tool) ([]byte, Tier, error)
 }
 
 // SchedStats are the scheduler counters, readable via Service.Stats and
@@ -105,6 +116,9 @@ type Service struct {
 	latency map[string]*telemetry.Histogram
 	latMu   sync.Mutex
 
+	// tr is the per-node tracer (nil: the process-wide one).
+	tr *telemetry.Tracer
+
 	// admitLimit caps concurrently admitted requests (0: unlimited);
 	// rejected counts submissions turned away at the admission gate.
 	admitLimit int64
@@ -135,6 +149,7 @@ func New(cfg Config) *Service {
 		inflight: map[string]*inflightCall{},
 		reg:      telemetry.NewRegistry(),
 		latency:  map[string]*telemetry.Histogram{},
+		tr:       cfg.Tracer,
 	}
 	if cfg.MaxQueue > 0 {
 		s.admitLimit = int64(workers + cfg.MaxQueue)
@@ -235,6 +250,16 @@ func (s *Service) toolLatency(tool string) *telemetry.Histogram {
 // GET /metrics; callers may register additional instruments on it.
 func (s *Service) Registry() *telemetry.Registry { return s.reg }
 
+// Tracer returns this service's span tracer: the per-node tracer from
+// Config.Tracer, or the process-wide telemetry tracer (possibly nil —
+// tracing disabled) when none was configured.
+func (s *Service) Tracer() *telemetry.Tracer {
+	if s.tr != nil {
+		return s.tr
+	}
+	return telemetry.T()
+}
+
 // Workers returns the worker-pool bound.
 func (s *Service) Workers() int { return cap(s.sem) }
 
@@ -305,7 +330,7 @@ func (s *Service) CacheInsert(key string, val []byte) { s.cache.Put(key, val) }
 // same (module, tool configuration) coalesce into one analysis. The
 // returned slice is shared — callers must not modify it.
 func (s *Service) AnalyzeModuleBytes(mod *obj.Module, tool core.Tool) ([]byte, error) {
-	b, _, err := s.AnalyzeBytesTier("", mod, tool)
+	b, _, err := s.AnalyzeBytesTier(context.Background(), "", mod, tool)
 	return b, err
 }
 
@@ -313,7 +338,7 @@ func (s *Service) AnalyzeModuleBytes(mod *obj.Module, tool core.Tool) ([]byte, e
 // answer came from (TierLocal for a cache hit, TierMiss for a computed
 // analysis; coalesced callers inherit the leader's tier). toolName is
 // ignored — a single node never forwards.
-func (s *Service) AnalyzeBytesTier(_ string, mod *obj.Module, tool core.Tool) ([]byte, Tier, error) {
+func (s *Service) AnalyzeBytesTier(ctx context.Context, _ string, mod *obj.Module, tool core.Tool) ([]byte, Tier, error) {
 	s.submitted.Add(1)
 	key := CacheKey(mod, tool)
 
@@ -328,7 +353,7 @@ func (s *Service) AnalyzeBytesTier(_ string, mod *obj.Module, tool core.Tool) ([
 	s.inflight[key] = c
 	s.mu.Unlock()
 
-	c.val, c.tier, c.err = s.analyze(key, mod, tool)
+	c.val, c.tier, c.err = s.analyze(ctx, key, mod, tool)
 
 	s.mu.Lock()
 	delete(s.inflight, key)
@@ -346,8 +371,8 @@ func (s *Service) AnalyzeModule(mod *obj.Module, tool core.Tool) (*rules.File, e
 	return rules.Unmarshal(b)
 }
 
-func (s *Service) analyze(key string, mod *obj.Module, tool core.Tool) ([]byte, Tier, error) {
-	sp := telemetry.StartSpan("anserve.analyze",
+func (s *Service) analyze(ctx context.Context, key string, mod *obj.Module, tool core.Tool) ([]byte, Tier, error) {
+	sp, ctx := s.Tracer().StartFrom(ctx, "anserve.analyze",
 		telemetry.String("module", mod.Name),
 		telemetry.String("tool", tool.Name()))
 	defer sp.End()
@@ -359,6 +384,7 @@ func (s *Service) analyze(key string, mod *obj.Module, tool core.Tool) ([]byte, 
 	sp.SetAttr(telemetry.String("cache", "miss"))
 	s.sem <- struct{}{} // worker-pool slot
 	defer func() { <-s.sem }()
+	sp.AddEvent("worker-acquired")
 	start := time.Now()
 	var b []byte
 	var err error
@@ -366,14 +392,17 @@ func (s *Service) analyze(key string, mod *obj.Module, tool core.Tool) ([]byte, 
 		b, err = at.AnalyzeArtifact(mod)
 	} else {
 		var f *rules.File
-		f, err = core.AnalyzeModule(mod, tool)
+		f, err = core.AnalyzeModuleCtx(ctx, mod, tool)
 		if err == nil {
 			b = f.Marshal()
 		}
 	}
-	s.toolLatency(tool.Name()).Observe(time.Since(start).Seconds())
+	// The exemplar links the slow bucket to the concrete trace that filled
+	// it; with tracing disabled TraceID is "" and this is a plain Observe.
+	s.toolLatency(tool.Name()).ObserveExemplar(time.Since(start).Seconds(), sp.TraceID())
 	if err != nil {
 		s.errors.Add(1)
+		sp.SetError(err.Error())
 		return nil, TierMiss, fmt.Errorf("anserve: %w", err)
 	}
 	s.analyzed.Add(1)

@@ -1,0 +1,63 @@
+// Package buildinfo identifies a janitizer binary: release version, Go
+// toolchain, and VCS revision. Every cmd exposes it through -version, and
+// serving processes export it as the janitizer_build_info gauge (constant
+// value 1, identity in the labels — the Prometheus convention for joining
+// fleet metrics against deploy metadata).
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+
+	"repro/internal/telemetry"
+)
+
+// Version is the release version, overridable at link time:
+//
+//	go build -ldflags "-X repro/internal/buildinfo.Version=1.2.3"
+var Version = "0.10.0-dev"
+
+// GoVersion returns the Go toolchain that built the binary.
+func GoVersion() string { return runtime.Version() }
+
+// GitRevision returns the VCS revision stamped into the binary by the Go
+// toolchain ("unknown" when built outside a checkout or with -buildvcs=off).
+func GitRevision() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "-dirty"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			return rev + dirty
+		}
+	}
+	return "unknown"
+}
+
+// String renders the one-line -version output for cmd.
+func String(cmd string) string {
+	return fmt.Sprintf("%s %s (%s, rev %s)", cmd, Version, GoVersion(), GitRevision())
+}
+
+// Register exports janitizer_build_info on r: a constant-1 gauge whose
+// labels carry the version identity.
+func Register(r *telemetry.Registry) {
+	r.GaugeFunc("janitizer_build_info",
+		"Build identity of this process; constant 1, identity in the labels.",
+		func() float64 { return 1 },
+		"version", Version,
+		"go_version", GoVersion(),
+		"revision", GitRevision())
+}

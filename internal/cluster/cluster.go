@@ -261,8 +261,11 @@ func (c *Cluster) probeAll(ctx context.Context) {
 //     from it (the sibling serves from cache or computes under its own
 //     singleflight — hop two) — success: TierPeer, cached locally;
 //  4. otherwise, or on any fill failure, compute locally — TierMiss.
-func (c *Cluster) AnalyzeBytesTier(toolName string, mod *obj.Module,
-	tool core.Tool) ([]byte, anserve.Tier, error) {
+//
+// ctx carries the request's trace span (not cancellation); a coalesced
+// request's result is attributed to the leader's trace.
+func (c *Cluster) AnalyzeBytesTier(ctx context.Context, toolName string,
+	mod *obj.Module, tool core.Tool) ([]byte, anserve.Tier, error) {
 
 	key := anserve.CacheKey(mod, tool)
 
@@ -277,7 +280,7 @@ func (c *Cluster) AnalyzeBytesTier(toolName string, mod *obj.Module,
 	c.inflight[key] = cl
 	c.mu.Unlock()
 
-	cl.val, cl.tier, cl.err = c.lookup(key, toolName, mod, tool)
+	cl.val, cl.tier, cl.err = c.lookup(ctx, key, toolName, mod, tool)
 
 	c.mu.Lock()
 	delete(c.inflight, key)
@@ -286,8 +289,8 @@ func (c *Cluster) AnalyzeBytesTier(toolName string, mod *obj.Module,
 	return cl.val, cl.tier, cl.err
 }
 
-func (c *Cluster) lookup(key, toolName string, mod *obj.Module,
-	tool core.Tool) ([]byte, anserve.Tier, error) {
+func (c *Cluster) lookup(ctx context.Context, key, toolName string,
+	mod *obj.Module, tool core.Tool) ([]byte, anserve.Tier, error) {
 
 	if b, ok := c.svc.CacheProbe(key); ok {
 		return b, anserve.TierLocal, nil
@@ -295,7 +298,7 @@ func (c *Cluster) lookup(key, toolName string, mod *obj.Module,
 	owner := c.ring.Owner(key)
 	if owner != c.self {
 		if c.Healthy(owner) {
-			if b, err := c.fillFromPeer(owner, toolName, mod, tool); err == nil {
+			if b, err := c.fillFromPeer(ctx, owner, toolName, mod, tool); err == nil {
 				c.svc.CacheInsert(key, b)
 				return b, anserve.TierPeer, nil
 			}
@@ -303,7 +306,7 @@ func (c *Cluster) lookup(key, toolName string, mod *obj.Module,
 		// Owner down or fill failed: slower, never wrong.
 		c.localFallback.Add(1)
 	}
-	b, tier, err := c.svc.AnalyzeBytesTier(toolName, mod, tool)
+	b, tier, err := c.svc.AnalyzeBytesTier(ctx, toolName, mod, tool)
 	return b, tier, err
 }
 
@@ -312,9 +315,14 @@ func (c *Cluster) lookup(key, toolName string, mod *obj.Module,
 // Any failure — transport, non-200, or bytes that do not validate as this
 // tool's artifact for this module — counts against the peer's health and
 // makes the caller fall back to local compute.
-func (c *Cluster) fillFromPeer(owner, toolName string, mod *obj.Module,
-	tool core.Tool) ([]byte, error) {
-	sp := telemetry.StartSpan("cluster.peer-fill",
+//
+// The fill rides the requester's trace: a child span covers the round trip
+// and its context travels to the owner as a Traceparent header, so the
+// owner's server span joins the same trace with this span as its remote
+// parent.
+func (c *Cluster) fillFromPeer(ctx context.Context, owner, toolName string,
+	mod *obj.Module, tool core.Tool) ([]byte, error) {
+	sp, _ := c.svc.Tracer().StartFrom(ctx, "cluster.peer-fill",
 		telemetry.String("module", mod.Name),
 		telemetry.String("owner", owner))
 	defer sp.End()
@@ -322,7 +330,7 @@ func (c *Cluster) fillFromPeer(owner, toolName string, mod *obj.Module,
 	fail := func(err error) ([]byte, error) {
 		c.peerFillErrs.Add(1)
 		c.markFailure(owner)
-		sp.SetAttr(telemetry.String("error", err.Error()))
+		sp.SetError(err.Error())
 		return nil, err
 	}
 
@@ -333,6 +341,9 @@ func (c *Cluster) fillFromPeer(owner, toolName string, mod *obj.Module,
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
 	req.Header.Set(anserve.PeerFillHeader, "1")
+	if sc := sp.Context(); sc.Valid() {
+		req.Header.Set(telemetry.TraceparentHeader, telemetry.FormatTraceparent(sc))
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return fail(fmt.Errorf("cluster: fill %s from %s: %w", mod.Name, owner, err))
@@ -373,6 +384,6 @@ func (c *Cluster) fillFromPeer(owner, toolName string, mod *obj.Module,
 	}
 	c.markSuccess(owner)
 	c.peerFills.Add(1)
-	c.fillLatency.Observe(time.Since(start).Seconds())
+	c.fillLatency.ObserveExemplar(time.Since(start).Seconds(), sp.TraceID())
 	return body, nil
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/anserve"
+	"repro/internal/buildinfo"
 	"repro/internal/cc"
 	"repro/internal/core"
 	"repro/internal/dbm"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/jlint"
 	"repro/internal/obj"
 	"repro/internal/rules"
+	"repro/internal/telemetry"
 )
 
 // testTool returns the tool configuration the test fleet serves as
@@ -42,12 +44,14 @@ func (g *gateTool) Instrument(bc *dbm.BlockContext, r map[uint64][]rules.Rule) [
 }
 
 // testNode is one fleet member: service, cluster wrapper, daemon,
-// listener.
+// listener. Each node carries its own tracer — exactly what janitizerd
+// does per process — so cross-node trace tests can inspect both sides.
 type testNode struct {
 	addr string
 	svc  *anserve.Service
 	clu  *Cluster
 	d    *anserve.Daemon
+	tr   *telemetry.Tracer
 	down bool
 }
 
@@ -79,7 +83,9 @@ func startFleet(t *testing.T, n int, gates map[int]<-chan struct{}) []*testNode 
 	}
 	nodes := make([]*testNode, n)
 	for i := range nodes {
-		svc := anserve.New(anserve.Config{Workers: 4})
+		tr := telemetry.NewTracer(64)
+		svc := anserve.New(anserve.Config{Workers: 4, Tracer: tr})
+		buildinfo.Register(svc.Registry())
 		clu, err := New(svc, Config{
 			Self:          addrs[i],
 			Members:       addrs,
@@ -102,7 +108,7 @@ func startFleet(t *testing.T, n int, gates map[int]<-chan struct{}) []*testNode 
 		d := anserve.NewDaemonOpts(svc, tools, anserve.DaemonOptions{
 			Handler: anserve.HandlerOpts{Analyzer: clu},
 		})
-		nodes[i] = &testNode{addr: addrs[i], svc: svc, clu: clu, d: d}
+		nodes[i] = &testNode{addr: addrs[i], svc: svc, clu: clu, d: d, tr: tr}
 		go d.Serve(lns[i])
 	}
 	t.Cleanup(func() {

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -96,12 +97,24 @@ func AnalyzeModule(mod *obj.Module, tool Tool) (*rules.File, error) {
 	return f, err
 }
 
+// AnalyzeModuleCtx is AnalyzeModule with trace-context propagation: when
+// ctx carries an active telemetry span (an anserve request), the
+// "core.analyze" span nests under it instead of starting a fresh trace.
+func AnalyzeModuleCtx(ctx context.Context, mod *obj.Module, tool Tool) (*rules.File, error) {
+	f, _, err := analyzeModuleProofs(ctx, mod, tool)
+	return f, err
+}
+
 // AnalyzeModuleProofs is AnalyzeModule, additionally returning the proof
 // artifact covering every VSA-backed elision/narrowing decision the tool
 // made. The artifact is finalized (sorted, per-function metadata attached)
 // and may be empty when the tool's configuration proves nothing.
 func AnalyzeModuleProofs(mod *obj.Module, tool Tool) (*rules.File, *vsa.ProofSet, error) {
-	sp := telemetry.StartSpan("core.analyze",
+	return analyzeModuleProofs(context.Background(), mod, tool)
+}
+
+func analyzeModuleProofs(ctx context.Context, mod *obj.Module, tool Tool) (*rules.File, *vsa.ProofSet, error) {
+	sp, _ := telemetry.StartSpanFrom(ctx, "core.analyze",
 		telemetry.String("module", mod.Name),
 		telemetry.String("tool", toolKey(tool)))
 	defer sp.End()

@@ -1,0 +1,104 @@
+package diag
+
+import (
+	"sort"
+
+	"repro/internal/loader"
+	"repro/internal/obj"
+)
+
+// Symbolizer resolves a run-time PC to (module, function, offset into the
+// function). ok is false when the PC falls outside every known module;
+// a covering module without a covering function symbol reports the module
+// with fn == "" (stripped or symbol-level-hidden code still attributes to
+// its module).
+type Symbolizer interface {
+	Symbolize(pc uint64) (module, fn string, off uint64, ok bool)
+}
+
+// ProcessSymbolizer symbolizes against a loaded process image, translating
+// run-time addresses back through each module's load base before searching
+// its link-time function symbols. Function symbol slices are cached per
+// module (FuncSymbols sorts on every call).
+type ProcessSymbolizer struct {
+	Proc *loader.Process
+	syms map[string][]obj.Symbol
+}
+
+// NewProcessSymbolizer returns a symbolizer over proc's loaded modules.
+func NewProcessSymbolizer(proc *loader.Process) *ProcessSymbolizer {
+	return &ProcessSymbolizer{Proc: proc, syms: map[string][]obj.Symbol{}}
+}
+
+// Symbolize implements Symbolizer.
+func (s *ProcessSymbolizer) Symbolize(pc uint64) (string, string, uint64, bool) {
+	if s == nil || s.Proc == nil {
+		return "", "", 0, false
+	}
+	lm := s.Proc.ModuleAt(pc)
+	if lm == nil {
+		return "", "", 0, false
+	}
+	link := lm.LinkAddr(pc)
+	syms, ok := s.syms[lm.Name]
+	if !ok {
+		syms = lm.FuncSymbols() // sorted by address
+		s.syms[lm.Name] = syms
+	}
+	fn, off := findFunc(syms, link)
+	return lm.Name, fn, off, true
+}
+
+// findFunc locates the function symbol covering link in a slice sorted by
+// address: the last symbol at or below link, accepted when link falls
+// inside its declared size (or, for zero-size symbols, before the next
+// symbol's start).
+func findFunc(syms []obj.Symbol, link uint64) (string, uint64) {
+	i := sort.Search(len(syms), func(i int) bool { return syms[i].Addr > link })
+	if i == 0 {
+		return "", 0
+	}
+	sym := syms[i-1]
+	off := link - sym.Addr
+	if sym.Size > 0 {
+		if off >= sym.Size {
+			return "", 0
+		}
+	} else if i < len(syms) && link >= syms[i].Addr {
+		return "", 0
+	}
+	return sym.Name, off
+}
+
+// ModuleSymbolizer symbolizes against a single unloaded module at its
+// link-time addresses — what cmd/jrun uses for the main module when the
+// process image is gone, and what tests use directly.
+type ModuleSymbolizer struct {
+	Mod  *obj.Module
+	Base uint64 // run-time load base (0 for non-PIC)
+
+	syms []obj.Symbol
+	init bool
+}
+
+// NewModuleSymbolizer returns a symbolizer for mod loaded at base.
+func NewModuleSymbolizer(mod *obj.Module, base uint64) *ModuleSymbolizer {
+	return &ModuleSymbolizer{Mod: mod, Base: base}
+}
+
+// Symbolize implements Symbolizer.
+func (s *ModuleSymbolizer) Symbolize(pc uint64) (string, string, uint64, bool) {
+	if s == nil || s.Mod == nil || pc < s.Base {
+		return "", "", 0, false
+	}
+	if !s.init {
+		s.syms = s.Mod.FuncSymbols()
+		s.init = true
+	}
+	link := pc - s.Base
+	fn, off := findFunc(s.syms, link)
+	if fn == "" {
+		return "", "", 0, false
+	}
+	return s.Mod.Name, fn, off, true
+}

@@ -7,12 +7,14 @@ package experiments
 import (
 	"bytes"
 	"fmt"
+	"time"
 
 	"repro/internal/anserve"
 	"repro/internal/baseline"
 	"repro/internal/cfg"
 	"repro/internal/core"
 	"repro/internal/dbm"
+	"repro/internal/diag"
 	"repro/internal/jasan"
 	"repro/internal/jcfi"
 	"repro/internal/jmsan"
@@ -149,7 +151,7 @@ func runNative(w *spec.Workload, pic bool) (*Result, error) {
 // Result.Failed set means the scheme cannot handle the benchmark — the
 // figures' x marks; hard errors are real harness problems.
 func Run(w *spec.Workload, scheme Scheme) (*Result, error) {
-	return runWith(w, scheme, nil)
+	return runWith(w, scheme, nil, nil)
 }
 
 // RunProfiled is Run with per-rule cost attribution: the DBM charges every
@@ -159,11 +161,23 @@ func Run(w *spec.Workload, scheme Scheme) (*Result, error) {
 // identical Cycles/Instrs.
 func RunProfiled(w *spec.Workload, scheme Scheme) (*Result, *telemetry.Profile, error) {
 	prof := &telemetry.Profile{}
-	res, err := runWith(w, scheme, prof)
+	res, err := runWith(w, scheme, prof, nil)
 	return res, prof, err
 }
 
-func runWith(w *spec.Workload, scheme Scheme, prof *telemetry.Profile) (*Result, error) {
+// obsSink wires the full observability stack into a run: a span per
+// execution (exported through tr), post-run structured-diagnostics
+// collection into dlog, and a trace-exemplared duration observation into
+// hist. All of it lives outside the VM's cycle model, so an observed run
+// must measure identical Cycles/Instrs to a plain one — the invariant the
+// Obs experiment gates.
+type obsSink struct {
+	tr   *telemetry.Tracer
+	dlog *diag.Log
+	hist *telemetry.Histogram
+}
+
+func runWith(w *spec.Workload, scheme Scheme, prof *telemetry.Profile, obs *obsSink) (*Result, error) {
 	native, err := runNative(w, scheme == Retrowrite)
 	if err != nil {
 		return nil, fmt.Errorf("%s: native: %w", w.Name, err)
@@ -248,8 +262,28 @@ func runWith(w *spec.Workload, scheme Scheme, prof *telemetry.Profile) (*Result,
 	if err != nil {
 		return nil, err
 	}
+	var sp *telemetry.Span
+	var started time.Time
+	if obs != nil {
+		sp = obs.tr.Start("exp.run",
+			telemetry.String("benchmark", w.Name),
+			telemetry.String("scheme", string(scheme)))
+		started = time.Now()
+	}
 	if err := rt.Run(lm.RuntimeAddr(main.Entry)); err != nil {
+		if sp != nil {
+			sp.SetError(err.Error())
+			sp.End()
+		}
 		return nil, fmt.Errorf("%s/%s: run: %w", w.Name, scheme, err)
+	}
+	if obs != nil {
+		sp.AddEvent("run-complete",
+			telemetry.Int("instrs", int64(m.Instrs)),
+			telemetry.Int("cycles", int64(m.Cycles)))
+		sp.End()
+		diag.Collect(obs.dlog, tool, diag.NewProcessSymbolizer(proc), sp.Context())
+		obs.hist.ObserveExemplar(time.Since(started).Seconds(), sp.TraceID())
 	}
 	if m.ExitStatus != native.ExitStatus {
 		return nil, fmt.Errorf("%s/%s: semantics broken: exit %d, native %d",

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/diag"
+	"repro/internal/metrics"
+	"repro/internal/telemetry"
+)
+
+// ObsRow is one scheme's observability-overhead summary, written by
+// scripts/bench.sh into BENCH_OBS.json. The row both reports the cost of
+// the full observability stack (per-run spans, structured-diagnostics
+// collection, exemplared duration histograms) and certifies the PR's
+// zero-cost-when-disabled invariant: the plain and observed runs of every
+// cell must agree cycle-exactly.
+type ObsRow struct {
+	Scheme Scheme `json:"scheme"`
+	// Benchmarks counts the workloads contributing to the row.
+	Benchmarks int `json:"benchmarks"`
+	// GeomeanSlowdown is the scheme's instrumented-vs-native geomean over
+	// the contributing workloads (context for the overhead column).
+	GeomeanSlowdown float64 `json:"geomean_slowdown"`
+	// CyclesIdentical certifies that every observed run measured exactly
+	// the same Cycles, Instrs, exit status and output bytes as its plain
+	// twin — observability lives entirely outside the VM's cycle model.
+	// Obs hard-errors on any divergence, so a written row is always true.
+	CyclesIdentical bool `json:"cycles_identical"`
+	// Spans is the number of root spans the scheme's tracer retained;
+	// ViolationRecords the structured diag records collected (zero on the
+	// safe benchmark suite — any nonzero value is tool noise).
+	Spans            int `json:"spans"`
+	ViolationRecords int `json:"violation_records"`
+	// MeanOverheadPct is the mean host wall-clock overhead of the observed
+	// run over the plain run per cell, measured with warm analysis caches.
+	// It is a host-side timing (the only nondeterministic column).
+	MeanOverheadPct float64 `json:"mean_overhead_pct"`
+}
+
+// obsSchemes are the configurations the observability overhead figure
+// tracks: each tool's hybrid variant, the elision ablation, and the
+// combined four-tool configuration.
+var obsSchemes = []Scheme{
+	JASanHybrid, JASanElide,
+	JCFIHybrid,
+	JMSanHybrid, JTSanHybrid,
+	Comprehensive,
+}
+
+// Obs measures the observability stack's cost over the workload suite and
+// gates the disabled-path invariant. Every (workload, scheme) cell runs
+// three times: once to warm the shared analysis cache, once plain (timed),
+// once with an obsSink attached (timed). The plain and observed runs must
+// agree on Cycles, Instrs, exit status and output bytes — any divergence
+// is a hard error, because it would mean tracing or diagnostics leaked
+// into the measured execution.
+func Obs(scale int, names ...string) ([]ObsRow, error) {
+	workloads := workloadSet(scale, names...)
+	sort.Slice(workloads, func(i, j int) bool {
+		return workloads[i].Name < workloads[j].Name
+	})
+	ns := len(obsSchemes)
+
+	sinks := make([]*obsSink, ns)
+	for i := range sinks {
+		reg := telemetry.NewRegistry()
+		sinks[i] = &obsSink{
+			tr:   telemetry.NewTracer(2 * len(workloads)),
+			dlog: diag.NewLog(),
+			hist: reg.Histogram("janitizer_exp_run_duration_seconds",
+				"Observed experiment run wall time.",
+				[]float64{0.01, 0.05, 0.25, 1, 5, 25}),
+		}
+	}
+
+	type cell struct {
+		plain, observed   *Result
+		plainS, observedS float64
+		err               error
+	}
+	cells := make([]cell, len(workloads)*ns)
+	runJobs(len(cells), func(i int) {
+		w, si := workloads[i/ns], i%ns
+		scheme := obsSchemes[si]
+		c := &cells[i]
+		// Warm-up run: pays the static-analysis cost into the shared cache
+		// so both timed runs below measure execution, not analysis.
+		if _, err := Run(w, scheme); err != nil {
+			c.err = err
+			return
+		}
+		start := time.Now()
+		c.plain, c.err = Run(w, scheme)
+		c.plainS = time.Since(start).Seconds()
+		if c.err != nil {
+			return
+		}
+		start = time.Now()
+		c.observed, c.err = runWith(w, scheme, nil, sinks[si])
+		c.observedS = time.Since(start).Seconds()
+	})
+
+	var rows []ObsRow
+	for si, s := range obsSchemes {
+		var slowdowns, overheads []float64
+		for wi, w := range workloads {
+			c := cells[wi*ns+si]
+			if c.err != nil {
+				return nil, c.err
+			}
+			if c.plain.Failed || c.observed.Failed {
+				continue
+			}
+			if c.plain.Cycles != c.observed.Cycles ||
+				c.plain.Instrs != c.observed.Instrs ||
+				c.plain.ExitStatus != c.observed.ExitStatus ||
+				!bytes.Equal(c.plain.Output, c.observed.Output) {
+				return nil, fmt.Errorf(
+					"%s/%s: observability perturbed the run: plain %d cycles %d instrs, observed %d cycles %d instrs",
+					w.Name, s, c.plain.Cycles, c.plain.Instrs,
+					c.observed.Cycles, c.observed.Instrs)
+			}
+			slowdowns = append(slowdowns, c.observed.Slowdown)
+			if c.plainS > 0 {
+				overheads = append(overheads, (c.observedS-c.plainS)/c.plainS*100)
+			}
+		}
+		var mean float64
+		for _, o := range overheads {
+			mean += o
+		}
+		if len(overheads) > 0 {
+			mean = math.Round(mean/float64(len(overheads))*100) / 100
+		}
+		rows = append(rows, ObsRow{
+			Scheme:           s,
+			Benchmarks:       len(slowdowns),
+			GeomeanSlowdown:  metrics.Geomean(slowdowns),
+			CyclesIdentical:  true,
+			Spans:            len(sinks[si].tr.Snapshot(0)),
+			ViolationRecords: sinks[si].dlog.Len(),
+			MeanOverheadPct:  mean,
+		})
+	}
+	return rows, nil
+}
+
+// FormatObsJSON renders the rows as an indented JSON array — the entire
+// BENCH_OBS.json artifact.
+func FormatObsJSON(rows []ObsRow) string {
+	j, _ := json.MarshalIndent(rows, "", "  ")
+	return string(j) + "\n"
+}

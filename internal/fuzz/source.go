@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/cc"
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/fuzz/gen"
 	"repro/internal/jasan"
 	"repro/internal/jcfi"
@@ -39,6 +40,7 @@ import (
 	"repro/internal/loader"
 	"repro/internal/metrics"
 	"repro/internal/obj"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
 
@@ -224,6 +226,24 @@ func CheckSource(p *gen.Prog, budget uint64) *SourceResult {
 		if !res.PlantedCaught && out.overBudget {
 			res.OverBudget = true
 			return res
+		}
+		// Structured-diagnostics oracle: every raw report must convert into
+		// a fully classified Violation record (kind, CWE, rule attribution)
+		// with the totals agreeing. Violation strings stay deterministic so
+		// campaign reports remain byte-identical across worker counts.
+		if res.PlantedCaught {
+			dlog := diag.NewLog()
+			if got := diag.Collect(dlog, plain, nil, telemetry.SpanContext{}); got != n {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("diag-oracle: %d structured records for %d raw reports", got, n))
+			}
+			for _, v := range dlog.Entries() {
+				if v.Kind == "" || v.CWE == "" || v.Rule == "" || v.CostCenter == "" {
+					res.Violations = append(res.Violations, fmt.Sprintf(
+						"diag-oracle: unclassified record tool=%s kind=%q cwe=%q rule=%q",
+						v.Tool, v.Kind, v.CWE, v.Rule))
+				}
+			}
 		}
 		// Oracle 3 under elision: the VSA proofs must never remove the
 		// check that catches the planted bug. Catching with elision off

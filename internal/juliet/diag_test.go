@@ -1,0 +1,102 @@
+package juliet
+
+import (
+	"testing"
+
+	"repro/internal/diag"
+)
+
+// checkStructured asserts the suite's structured-diagnostics contract on
+// one bad variant: the diag records must agree with the raw count, carry
+// the expected tool/CWE class, and symbolize to a function in the case
+// module or libj.
+func checkStructured(t *testing.T, id string, count uint64, ds []diag.Violation,
+	wantTool string, wantCWEs map[string]bool) {
+	t.Helper()
+	if count == 0 {
+		t.Fatalf("%s: detector silent on bad variant", id)
+	}
+	var total uint64
+	for _, v := range ds {
+		total += v.Count
+		if v.Tool != wantTool {
+			t.Fatalf("%s: violation tool = %q, want %q (%+v)", id, v.Tool, wantTool, v)
+		}
+		if !wantCWEs[v.CWE] {
+			t.Fatalf("%s: violation CWE = %q (kind %s), want one of %v", id, v.CWE, v.Kind, wantCWEs)
+		}
+		if v.Rule == "" || v.CostCenter == "" {
+			t.Fatalf("%s: violation lacks rule attribution: %+v", id, v)
+		}
+		if v.Module == "" {
+			t.Fatalf("%s: violation PC %#x not attributed to a module", id, v.PC)
+		}
+		if v.ID == "" {
+			t.Fatalf("%s: violation lacks content ID", id)
+		}
+	}
+	if total != count {
+		t.Fatalf("%s: structured records account for %d reports, raw count %d", id, total, count)
+	}
+}
+
+// TestStructuredDiagnosticsOracle runs one case from each suite through
+// RunCaseDiag and asserts on structured fields — the satellite replacing
+// count-only juliet oracles with field-level ones.
+func TestStructuredDiagnosticsOracle(t *testing.T) {
+	type probe struct {
+		det  Detector
+		c    Case
+		tool string
+		cwes map[string]bool
+	}
+	probes := []probe{
+		{JASan, Suite()[0], "jasan", map[string]bool{"CWE-122": true}},
+		{JMSan, Suite457()[0], "jmsan", map[string]bool{"CWE-457": true}},
+		{JTSan, Suite416()[0], "jtsan", map[string]bool{"CWE-416": true}},
+		// Double free fires the quarantine-time trap; an implementation may
+		// classify the second free as invalid instead, both are temporal
+		// free-path classes.
+		{JTSan, Suite415()[0], "jtsan", map[string]bool{"CWE-415": true, "CWE-590": true}},
+	}
+	for _, p := range probes {
+		// Good variant: zero raw reports AND zero structured records.
+		goodN, goodDs, err := RunCaseDiag(p.det, p.c.Good)
+		if err != nil {
+			t.Fatalf("%s good: %v", p.c.ID, err)
+		}
+		if goodN != 0 || len(goodDs) != 0 {
+			t.Fatalf("%s: good variant produced %d reports, %d records", p.c.ID, goodN, len(goodDs))
+		}
+		badN, badDs, err := RunCaseDiag(p.det, p.c.Bad)
+		if err != nil {
+			t.Fatalf("%s bad: %v", p.c.ID, err)
+		}
+		checkStructured(t, p.c.ID, badN, badDs, p.tool, p.cwes)
+	}
+}
+
+// TestStructuredDiagnosticsSymbolized: the trapping PC of a case-module
+// violation resolves to the function containing the bug.
+func TestStructuredDiagnosticsSymbolized(t *testing.T) {
+	c := Suite()[0] // heap-to-heap overflow in main
+	n, ds, err := RunCaseDiag(JASan, c.Bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || len(ds) == 0 {
+		t.Fatalf("detector silent: n=%d ds=%d", n, len(ds))
+	}
+	var inCase bool
+	for _, v := range ds {
+		if v.Module == "case" {
+			inCase = true
+			if v.Func != "main" {
+				t.Fatalf("case-module violation symbolized to %q, want main (%+v)", v.Func, v)
+			}
+		}
+	}
+	if !inCase {
+		t.Fatalf("no violation attributed to the case module: %+v", ds)
+	}
+}

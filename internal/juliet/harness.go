@@ -7,12 +7,14 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/cc"
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/jasan"
 	"repro/internal/jmsan"
 	"repro/internal/jtsan"
 	"repro/internal/libj"
 	"repro/internal/loader"
 	"repro/internal/rules"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
 
@@ -71,13 +73,24 @@ func libjRules(det Detector, mkTool func() core.Tool) (*rules.File, error) {
 // runCase executes one variant under the detector and returns the number of
 // reported violations.
 func runCase(det Detector, src string) (uint64, error) {
+	n, _, err := RunCaseDiag(det, src)
+	return n, err
+}
+
+// RunCaseDiag executes one variant under the detector and returns the raw
+// violation count plus the structured diagnostics the run produced —
+// deduplicated, CWE-classified and symbolized against the loaded process
+// image — so suite oracles can assert on fields (kind, CWE, rule,
+// function) instead of counts alone. The Valgrind baseline reports no
+// structured records (it is not a janitizer trap family).
+func RunCaseDiag(det Detector, src string) (uint64, []diag.Violation, error) {
 	main, err := cc.Compile(src, cc.Options{Module: "case", O2: true})
 	if err != nil {
-		return 0, fmt.Errorf("juliet: compile: %w", err)
+		return 0, nil, fmt.Errorf("juliet: compile: %w", err)
 	}
 	lj, err := libj.Module()
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	reg := loader.Registry{libj.Name: lj}
 
@@ -93,11 +106,11 @@ func runCase(det Detector, src string) (uint64, error) {
 			return jasan.New(jasan.Config{UseLiveness: true, UseSCEV: true})
 		})
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		mf, err := core.AnalyzeModule(main, jt)
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		files[libj.Name] = ljf
 		files[main.Name] = mf
@@ -108,11 +121,11 @@ func runCase(det Detector, src string) (uint64, error) {
 		reports = func() uint64 { return jt.Report.Total }
 		ljf, err := libjRules(det, func() core.Tool { return jmsan.New(cfg) })
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		mf, err := core.AnalyzeModule(main, jt)
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		files[libj.Name] = ljf
 		files[main.Name] = mf
@@ -123,11 +136,11 @@ func runCase(det Detector, src string) (uint64, error) {
 		reports = func() uint64 { return jt.Report.Total }
 		ljf, err := libjRules(det, func() core.Tool { return jtsan.New(cfg) })
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		mf, err := core.AnalyzeModule(main, jt)
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		files[libj.Name] = ljf
 		files[main.Name] = mf
@@ -136,7 +149,7 @@ func runCase(det Detector, src string) (uint64, error) {
 		tool = vt
 		reports = func() uint64 { return vt.Report.Total }
 	default:
-		return 0, fmt.Errorf("juliet: unknown detector %q", det)
+		return 0, nil, fmt.Errorf("juliet: unknown detector %q", det)
 	}
 
 	m := vm.New()
@@ -146,15 +159,16 @@ func runCase(det Detector, src string) (uint64, error) {
 	rt := core.NewRuntime(m, proc, tool, files)
 	lm, err := proc.LoadProgram(main)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	if err := rt.Run(lm.RuntimeAddr(main.Entry)); err != nil {
-		// Bad variants may crash after the detector reported (the
-		// canary-smash cases halt in the application's own check);
-		// reports gathered so far still count.
-		return reports(), nil
-	}
-	return reports(), nil
+	// Bad variants may crash after the detector reported (the canary-smash
+	// cases halt in the application's own check); reports gathered so far
+	// still count, and the structured records are collected regardless, so
+	// the run error is deliberately not propagated.
+	_ = rt.Run(lm.RuntimeAddr(main.Entry))
+	dlog := diag.NewLog()
+	diag.Collect(dlog, tool, diag.NewProcessSymbolizer(proc), telemetry.SpanContext{})
+	return reports(), dlog.Entries(), nil
 }
 
 // Evaluate runs the detector over the suite and tallies Fig. 10's metrics.

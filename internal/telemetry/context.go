@@ -1,0 +1,48 @@
+package telemetry
+
+import "context"
+
+// spanKey keys the active span in a context.Context.
+type spanKey struct{}
+
+// ContextWithSpan returns a context carrying s as the active span. A nil
+// span is carried as "no span" so SpanFromContext stays nil-safe.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the active span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartFrom begins a span parented under the span carried by ctx; when ctx
+// carries none it begins a root span on t. It returns the new span and a
+// derived context carrying it. Both a nil tracer and a nil context span
+// yield a nil (inert) span and the original context, so disabled tracing
+// costs one context lookup and nothing else.
+func (t *Tracer) StartFrom(ctx context.Context, name string, attrs ...Attr) (*Span, context.Context) {
+	if parent := SpanFromContext(ctx); parent != nil {
+		s := parent.Child(name, attrs...)
+		return s, ContextWithSpan(ctx, s)
+	}
+	s := t.Start(name, attrs...)
+	if s == nil {
+		return nil, ctx
+	}
+	return s, ContextWithSpan(ctx, s)
+}
+
+// StartSpanFrom is StartFrom on the process-wide tracer: a child of the
+// context's span when one is active, else a root span on the global tracer
+// (nil and inert when tracing is disabled).
+func StartSpanFrom(ctx context.Context, name string, attrs ...Attr) (*Span, context.Context) {
+	return global.Load().StartFrom(ctx, name, attrs...)
+}

@@ -113,12 +113,25 @@ func (f gaugeFunc) sample(w io.Writer, name, labels string) {
 }
 
 // Histogram is a fixed-bucket histogram of float64 observations; the +Inf
-// bucket is implicit. Nil histograms ignore observations.
+// bucket is implicit. Nil histograms ignore observations. Each bucket can
+// carry one exemplar — the trace ID of the most recent observation that
+// landed in it — rendered in OpenMetrics exemplar syntax so a slow bucket
+// links to a concrete trace.
 type Histogram struct {
 	uppers []float64
 	counts []atomic.Uint64 // len(uppers)+1; last is +Inf
 	sum    atomic.Uint64   // float64 bits
 	count  atomic.Uint64
+
+	exMu sync.Mutex
+	ex   []exemplar // len(uppers)+1, parallel to counts
+}
+
+// exemplar links one bucket to the trace that last landed in it.
+type exemplar struct {
+	traceID string
+	value   float64
+	set     bool
 }
 
 // Observe records one observation.
@@ -137,6 +150,23 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveExemplar records one observation and, when traceID is non-empty,
+// attaches it as the observed bucket's exemplar. An empty traceID is
+// exactly Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.uppers, v)
+	h.exMu.Lock()
+	h.ex[i] = exemplar{traceID: traceID, value: v, set: true}
+	h.exMu.Unlock()
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 {
 	if h == nil {
@@ -146,17 +176,30 @@ func (h *Histogram) Count() uint64 {
 }
 
 func (h *Histogram) sample(w io.Writer, name, labels string) {
+	h.exMu.Lock()
+	ex := append([]exemplar(nil), h.ex...)
+	h.exMu.Unlock()
 	cum := uint64(0)
 	for i, ub := range h.uppers {
 		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket%s %d\n", name,
-			mergeLabels(labels, `le="`+formatFloat(ub)+`"`), cum)
+		fmt.Fprintf(w, "%s_bucket%s %d%s\n", name,
+			mergeLabels(labels, `le="`+formatFloat(ub)+`"`), cum, renderExemplar(ex[i]))
 	}
 	cum += h.counts[len(h.uppers)].Load()
-	fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabels(labels, `le="+Inf"`), cum)
+	fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, mergeLabels(labels, `le="+Inf"`),
+		cum, renderExemplar(ex[len(h.uppers)]))
 	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels,
 		formatFloat(math.Float64frombits(h.sum.Load())))
 	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.count.Load())
+}
+
+// renderExemplar renders one bucket exemplar in OpenMetrics syntax
+// (` # {trace_id="..."} value`), or "" for an unset exemplar.
+func renderExemplar(e exemplar) string {
+	if !e.set {
+		return ""
+	}
+	return ` # {trace_id="` + escapeLabel(e.traceID) + `"} ` + formatFloat(e.value)
 }
 
 // Counter returns (registering on first use) the counter series for name
@@ -199,7 +242,11 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...str
 		if !sort.Float64sAreSorted(uppers) {
 			panic("telemetry: histogram buckets must be ascending: " + name)
 		}
-		return &Histogram{uppers: uppers, counts: make([]atomic.Uint64, len(uppers)+1)}
+		return &Histogram{
+			uppers: uppers,
+			counts: make([]atomic.Uint64, len(uppers)+1),
+			ex:     make([]exemplar, len(uppers)+1),
+		}
 	}).(*Histogram)
 	return h
 }

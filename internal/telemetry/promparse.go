@@ -11,6 +11,11 @@ type Sample struct {
 	Name   string
 	Labels map[string]string
 	Value  float64
+	// Exemplar holds the sample's OpenMetrics exemplar labels (for this
+	// repo's histograms: trace_id), nil when the line carries none.
+	Exemplar map[string]string
+	// ExemplarValue is the exemplar's observed value (0 without one).
+	ExemplarValue float64
 }
 
 // Label returns the sample's value for a label name ("" when absent).
@@ -88,6 +93,13 @@ func parseSample(line string) (Sample, error) {
 		rest = rest[end:]
 	}
 	rest = strings.TrimLeft(rest, " \t")
+	// An OpenMetrics exemplar (` # {labels} value`) may follow the sample
+	// value on histogram bucket lines; split it off before validating.
+	var exPart string
+	if idx := strings.Index(rest, " # "); idx >= 0 {
+		exPart = rest[idx+3:]
+		rest = rest[:idx]
+	}
 	// An optional timestamp would follow the value; the repo's exposition
 	// never emits one, so a second field is an error.
 	if rest == "" || strings.ContainsAny(rest, " \t") {
@@ -98,7 +110,36 @@ func parseSample(line string) (Sample, error) {
 		return s, fmt.Errorf("bad sample value %q", rest)
 	}
 	s.Value = v
+	if exPart != "" {
+		if err := parseExemplar(exPart, &s); err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+	}
 	return s, nil
+}
+
+// parseExemplar parses the `{labels} value` tail of an OpenMetrics
+// exemplar into s.
+func parseExemplar(part string, s *Sample) error {
+	if !strings.HasPrefix(part, "{") {
+		return fmt.Errorf("malformed exemplar %q", part)
+	}
+	labels := map[string]string{}
+	end, err := parseLabels(part, labels)
+	if err != nil {
+		return fmt.Errorf("exemplar: %w", err)
+	}
+	rest := strings.TrimSpace(part[end:])
+	if rest == "" || strings.ContainsAny(rest, " \t") {
+		return fmt.Errorf("expected exactly one exemplar value, got %q", rest)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return fmt.Errorf("bad exemplar value %q", rest)
+	}
+	s.Exemplar = labels
+	s.ExemplarValue = v
+	return nil
 }
 
 // parseLabels parses a `{k="v",...}` block at the head of rest, returning

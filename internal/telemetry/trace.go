@@ -1,7 +1,11 @@
 package telemetry
 
 import (
+	"crypto/rand"
+	"encoding/hex"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -25,13 +29,116 @@ func Uint(key string, value uint64) Attr {
 	return Attr{Key: key, Value: strconv.FormatUint(value, 10)}
 }
 
+// SpanContext identifies one span within one trace — the part of a span
+// that travels across process boundaries in the Traceparent header.
+// TraceID is 32 lowercase hex characters, SpanID 16; the zero value is
+// invalid and means "no propagated context".
+type SpanContext struct {
+	TraceID string `json:"trace_id"`
+	SpanID  string `json:"span_id"`
+	Sampled bool   `json:"sampled"`
+}
+
+// Valid reports whether sc carries well-formed trace and span IDs.
+func (sc SpanContext) Valid() bool {
+	return isHex(sc.TraceID, 32) && isHex(sc.SpanID, 16) &&
+		sc.TraceID != strings.Repeat("0", 32) &&
+		sc.SpanID != strings.Repeat("0", 16)
+}
+
+func isHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// TraceparentHeader is the HTTP header carrying the serialized SpanContext
+// between fleet nodes (W3C Trace Context field name).
+const TraceparentHeader = "Traceparent"
+
+// FormatTraceparent renders sc in W3C traceparent form:
+// "00-<32 hex trace id>-<16 hex span id>-<2 hex flags>".
+func FormatTraceparent(sc SpanContext) string {
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return "00-" + sc.TraceID + "-" + sc.SpanID + "-" + flags
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It accepts any
+// non-ff version (per spec, unknown versions parse by the version-00
+// layout) and reports ok=false for anything malformed.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	parts := strings.SplitN(strings.TrimSpace(s), "-", 4)
+	if len(parts) != 4 {
+		return SpanContext{}, false
+	}
+	if !isHex(parts[0], 2) || parts[0] == "ff" {
+		return SpanContext{}, false
+	}
+	if !isHex(parts[3], 2) {
+		return SpanContext{}, false
+	}
+	sc := SpanContext{
+		TraceID: parts[1],
+		SpanID:  parts[2],
+		Sampled: parts[3] == "01",
+	}
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+// newTraceID / newSpanID mint random W3C-shaped identifiers. Generation
+// happens only on traced paths (a nil tracer never mints IDs), so disabled
+// telemetry stays at exactly zero overhead.
+func newTraceID() string { return randHex(16) }
+func newSpanID() string  { return randHex(8) }
+
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand failure is unrecoverable; an all-zero ID would be
+		// invalid per W3C, so fall back to a fixed non-zero marker.
+		for i := range b {
+			b[i] = 0xfe
+		}
+	}
+	return hex.EncodeToString(b)
+}
+
+// Event is a timestamped point annotation on a span.
+type Event struct {
+	Name  string    `json:"name"`
+	Time  time.Time `json:"time"`
+	Attrs []Attr    `json:"attrs,omitempty"`
+}
+
 // SpanRecord is the serialisable form of one span: what GET /trace returns.
-// Duration marshals as nanoseconds.
+// Duration marshals as nanoseconds. ParentID names the parent span — a
+// local parent for child spans, a remote parent (with Remote set) for the
+// server half of a cross-node request — so a requester can stitch the
+// exported records of several nodes into one tree by (TraceID, ParentID).
 type SpanRecord struct {
 	Name     string        `json:"name"`
+	TraceID  string        `json:"trace_id,omitempty"`
+	SpanID   string        `json:"span_id,omitempty"`
+	ParentID string        `json:"parent_id,omitempty"`
+	Remote   bool          `json:"remote,omitempty"`
 	Start    time.Time     `json:"start"`
 	Duration time.Duration `json:"duration_ns"`
+	Status   string        `json:"status,omitempty"`
 	Attrs    []Attr        `json:"attrs,omitempty"`
+	Events   []Event       `json:"events,omitempty"`
 	Children []*SpanRecord `json:"children,omitempty"`
 }
 
@@ -41,6 +148,8 @@ type Tracer struct {
 	mu     sync.Mutex
 	cap    int
 	recent []*SpanRecord
+	seq    uint64 // arrival order, breaks Start-time ties in Snapshot
+	arrive map[*SpanRecord]uint64
 }
 
 // DefaultTraceCapacity is how many finished root traces NewTracer retains
@@ -53,15 +162,48 @@ func NewTracer(capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultTraceCapacity
 	}
-	return &Tracer{cap: capacity, recent: make([]*SpanRecord, 0, capacity)}
+	return &Tracer{
+		cap:    capacity,
+		recent: make([]*SpanRecord, 0, capacity),
+		arrive: make(map[*SpanRecord]uint64, capacity),
+	}
 }
 
-// Start begins a root span. A nil tracer returns a nil (inert) span.
+// Start begins a root span of a brand-new trace. A nil tracer returns a
+// nil (inert) span.
 func (t *Tracer) Start(name string, attrs ...Attr) *Span {
 	if t == nil {
 		return nil
 	}
-	return &Span{tracer: t, rec: &SpanRecord{Name: name, Start: time.Now(), Attrs: attrs}}
+	return &Span{tracer: t, rec: &SpanRecord{
+		Name:    name,
+		TraceID: newTraceID(),
+		SpanID:  newSpanID(),
+		Start:   time.Now(),
+		Attrs:   attrs,
+	}}
+}
+
+// StartRemote begins a local root span whose parent lives on another node:
+// the span joins parent's trace and records parent.SpanID as a remote
+// ParentID. An invalid parent context degrades to Start (a fresh trace).
+// A nil tracer returns a nil span.
+func (t *Tracer) StartRemote(parent SpanContext, name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	if !parent.Valid() {
+		return t.Start(name, attrs...)
+	}
+	return &Span{tracer: t, rec: &SpanRecord{
+		Name:     name,
+		TraceID:  parent.TraceID,
+		SpanID:   newSpanID(),
+		ParentID: parent.SpanID,
+		Remote:   true,
+		Start:    time.Now(),
+		Attrs:    attrs,
+	}}
 }
 
 // Recent returns copies of the retained finished root traces, oldest
@@ -78,11 +220,69 @@ func (t *Tracer) Recent() []*SpanRecord {
 	return out
 }
 
+// Snapshot returns up to limit retained root traces in deterministic
+// newest-first order: descending Start time, ties broken by ascending
+// span ID, then by arrival order. limit <= 0 returns everything retained.
+func (t *Tracer) Snapshot(limit int) []*SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]*SpanRecord, len(t.recent))
+	copy(out, t.recent)
+	arrive := make([]uint64, len(out))
+	for i, rec := range out {
+		arrive[i] = t.arrive[rec]
+	}
+	t.mu.Unlock()
+	order := make([]int, len(out))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := out[order[a]], out[order[b]]
+		if !ra.Start.Equal(rb.Start) {
+			return ra.Start.After(rb.Start)
+		}
+		if ra.SpanID != rb.SpanID {
+			return ra.SpanID < rb.SpanID
+		}
+		return arrive[order[a]] > arrive[order[b]]
+	})
+	sorted := make([]*SpanRecord, len(out))
+	for i, idx := range order {
+		sorted[i] = out[idx]
+	}
+	if limit > 0 && limit < len(sorted) {
+		sorted = sorted[:limit]
+	}
+	return sorted
+}
+
+// Find returns the most recently finished root span of the given trace, or
+// nil when the ring no longer (or never) holds it.
+func (t *Tracer) Find(traceID string) *SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := len(t.recent) - 1; i >= 0; i-- {
+		if t.recent[i].TraceID == traceID {
+			return t.recent[i]
+		}
+	}
+	return nil
+}
+
 // push retains a finished root trace, evicting the oldest past capacity.
 func (t *Tracer) push(rec *SpanRecord) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.seq++
+	t.arrive[rec] = t.seq
 	if len(t.recent) == t.cap {
+		delete(t.arrive, t.recent[0])
 		copy(t.recent, t.recent[1:])
 		t.recent[len(t.recent)-1] = rec
 		return
@@ -98,7 +298,26 @@ type Span struct {
 	rec    *SpanRecord
 }
 
-// Child begins a sub-span recorded under s.
+// Context returns the span's propagable identity. A nil span returns the
+// zero (invalid) context.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.rec.TraceID, SpanID: s.rec.SpanID, Sampled: true}
+}
+
+// TraceID returns the span's trace identifier ("" on a nil span) — the
+// value exported as a histogram exemplar and stamped on diag violations.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.rec.TraceID
+}
+
+// Child begins a sub-span recorded under s. It shares s's trace ID and
+// records s as its parent span.
 func (s *Span) Child(name string, attrs ...Attr) *Span {
 	if s == nil {
 		return nil
@@ -106,7 +325,14 @@ func (s *Span) Child(name string, attrs ...Attr) *Span {
 	c := &Span{
 		tracer: s.tracer,
 		parent: s,
-		rec:    &SpanRecord{Name: name, Start: time.Now(), Attrs: attrs},
+		rec: &SpanRecord{
+			Name:     name,
+			TraceID:  s.rec.TraceID,
+			SpanID:   newSpanID(),
+			ParentID: s.rec.SpanID,
+			Start:    time.Now(),
+			Attrs:    attrs,
+		},
 	}
 	s.tracer.mu.Lock()
 	s.rec.Children = append(s.rec.Children, c.rec)
@@ -121,6 +347,29 @@ func (s *Span) SetAttr(attrs ...Attr) {
 	}
 	s.tracer.mu.Lock()
 	s.rec.Attrs = append(s.rec.Attrs, attrs...)
+	s.tracer.mu.Unlock()
+}
+
+// AddEvent appends a timestamped point annotation to the span.
+func (s *Span) AddEvent(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	ev := Event{Name: name, Time: time.Now(), Attrs: attrs}
+	s.tracer.mu.Lock()
+	s.rec.Events = append(s.rec.Events, ev)
+	s.tracer.mu.Unlock()
+}
+
+// SetError marks the span failed and records the failure message as an
+// "error" attribute.
+func (s *Span) SetError(msg string) {
+	if s == nil {
+		return
+	}
+	s.tracer.mu.Lock()
+	s.rec.Status = "error"
+	s.rec.Attrs = append(s.rec.Attrs, Attr{Key: "error", Value: msg})
 	s.tracer.mu.Unlock()
 }
 

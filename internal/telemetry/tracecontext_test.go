@@ -1,0 +1,214 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := NewTracer(4)
+	sp := tr.Start("root")
+	sc := sp.Context()
+	if !sc.Valid() {
+		t.Fatalf("minted context invalid: %+v", sc)
+	}
+	hdr := FormatTraceparent(sc)
+	if !strings.HasPrefix(hdr, "00-") || !strings.HasSuffix(hdr, "-01") {
+		t.Fatalf("traceparent = %q, want 00-...-01", hdr)
+	}
+	got, ok := ParseTraceparent(hdr)
+	if !ok || got != sc {
+		t.Fatalf("round trip: got %+v ok=%v, want %+v", got, ok, sc)
+	}
+	// Unsampled flag round-trips too.
+	sc2 := sc
+	sc2.Sampled = false
+	got2, ok := ParseTraceparent(FormatTraceparent(sc2))
+	if !ok || got2.Sampled {
+		t.Fatalf("unsampled round trip: %+v ok=%v", got2, ok)
+	}
+	sp.End()
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	valid := "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	if _, ok := ParseTraceparent(valid); !ok {
+		t.Fatal("valid header rejected")
+	}
+	bad := []string{
+		"",
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331",    // missing flags
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // version ff
+		"00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01", // uppercase
+		"00-0af7651916cd43dd8448eb211c80319-b7ad6b7169203331-01",  // short trace id
+		"00-" + strings.Repeat("0", 32) + "-b7ad6b7169203331-01",  // zero trace id
+		"00-0af7651916cd43dd8448eb211c80319c-" + strings.Repeat("0", 16) + "-01",
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-0g",
+		"garbage",
+	}
+	for _, s := range bad {
+		if _, ok := ParseTraceparent(s); ok {
+			t.Errorf("accepted malformed traceparent %q", s)
+		}
+	}
+}
+
+func TestStartRemoteJoinsTrace(t *testing.T) {
+	tr := NewTracer(4)
+	parent := tr.Start("client")
+	sc := parent.Context()
+
+	sp := tr.StartRemote(sc, "server")
+	if sp.TraceID() != sc.TraceID {
+		t.Fatalf("remote span trace = %s, want %s", sp.TraceID(), sc.TraceID)
+	}
+	if sp.rec.ParentID != sc.SpanID || !sp.rec.Remote {
+		t.Fatalf("remote span parent = %q remote=%v, want %q/true",
+			sp.rec.ParentID, sp.rec.Remote, sc.SpanID)
+	}
+	sp.End()
+	parent.End()
+
+	// An invalid parent degrades to a fresh root trace.
+	fresh := tr.StartRemote(SpanContext{}, "orphan")
+	if fresh.TraceID() == sc.TraceID || fresh.TraceID() == "" {
+		t.Fatalf("invalid parent should mint a fresh trace, got %q", fresh.TraceID())
+	}
+	if fresh.rec.Remote || fresh.rec.ParentID != "" {
+		t.Fatal("degraded span must not claim a remote parent")
+	}
+	fresh.End()
+}
+
+func TestContextCarriesSpan(t *testing.T) {
+	tr := NewTracer(4)
+	root, ctx := tr.StartFrom(context.Background(), "root")
+	if SpanFromContext(ctx) != root {
+		t.Fatal("StartFrom did not store its span in the context")
+	}
+	child, _ := tr.StartFrom(ctx, "child")
+	if child.TraceID() != root.TraceID() {
+		t.Fatalf("child trace = %s, want %s", child.TraceID(), root.TraceID())
+	}
+	if child.rec.ParentID != root.rec.SpanID {
+		t.Fatal("child not parented under the context span")
+	}
+	child.End()
+	root.End()
+
+	// Nil-safety: a nil tracer and a bare context are inert.
+	var nilTr *Tracer
+	sp, ctx2 := nilTr.StartFrom(context.Background(), "inert")
+	if sp != nil {
+		t.Fatal("nil tracer minted a span")
+	}
+	if SpanFromContext(ctx2) != nil {
+		t.Fatal("nil span stored in context")
+	}
+}
+
+func TestSnapshotOrderLimitAndFind(t *testing.T) {
+	tr := NewTracer(8)
+	for _, name := range []string{"a", "b", "c"} {
+		sp := tr.Start(name)
+		sp.End()
+	}
+	all := tr.Snapshot(0)
+	if len(all) != 3 {
+		t.Fatalf("snapshot len = %d, want 3", len(all))
+	}
+	// Newest first: with equal timestamps the arrival tiebreak still puts
+	// the most recent first; with distinct timestamps Start ordering wins.
+	for i := 0; i+1 < len(all); i++ {
+		if all[i].Start.Before(all[i+1].Start) {
+			t.Fatalf("snapshot not newest-first at %d", i)
+		}
+	}
+	if lim := tr.Snapshot(2); len(lim) != 2 || lim[0] != all[0] {
+		t.Fatalf("Snapshot(2) = %d records, want prefix of full snapshot", len(lim))
+	}
+	want := all[1]
+	if got := tr.Find(want.TraceID); got != want {
+		t.Fatalf("Find(%s) = %v, want %v", want.TraceID, got, want)
+	}
+	if tr.Find("0af7651916cd43dd8448eb211c80319c") != nil {
+		t.Fatal("Find of unknown trace returned a record")
+	}
+}
+
+func TestSpanEventsAndError(t *testing.T) {
+	tr := NewTracer(2)
+	sp := tr.Start("work")
+	sp.AddEvent("admitted", String("queue", "fast"))
+	sp.SetError("boom")
+	sp.End()
+	rec := tr.Recent()[0]
+	if len(rec.Events) != 1 || rec.Events[0].Name != "admitted" {
+		t.Fatalf("events = %+v", rec.Events)
+	}
+	if rec.Status != "error" {
+		t.Fatalf("status = %q, want error", rec.Status)
+	}
+}
+
+func TestHistogramExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("req_seconds", "Request latency.", []float64{0.1, 1})
+	h.ObserveExemplar(0.05, "0af7651916cd43dd8448eb211c80319c")
+	h.Observe(0.5)
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	text := buf.String()
+	if !strings.Contains(text, `# {trace_id="0af7651916cd43dd8448eb211c80319c"} 0.05`) {
+		t.Fatalf("exposition lacks exemplar:\n%s", text)
+	}
+	samples, err := ParsePrometheus([]byte(text))
+	if err != nil {
+		t.Fatalf("exposition with exemplars does not parse: %v", err)
+	}
+	var withEx, without int
+	for _, s := range samples {
+		if !strings.HasSuffix(s.Name, "_bucket") {
+			continue
+		}
+		if s.Exemplar != nil {
+			withEx++
+			if got := s.Exemplar["trace_id"]; got != "0af7651916cd43dd8448eb211c80319c" {
+				t.Fatalf("exemplar trace_id = %q", got)
+			}
+			if s.ExemplarValue != 0.05 {
+				t.Fatalf("exemplar value = %v, want 0.05", s.ExemplarValue)
+			}
+		} else {
+			without++
+		}
+	}
+	if withEx == 0 {
+		t.Fatal("no bucket sample carried the exemplar")
+	}
+	if without == 0 {
+		t.Fatal("expected at least one bucket without an exemplar")
+	}
+}
+
+// TestExemplarDisabledBitIdentical is the PR 5 invariant extended to
+// exemplars: an untraced observation (empty trace ID) must render exactly
+// the bytes a plain Observe renders.
+func TestExemplarDisabledBitIdentical(t *testing.T) {
+	mk := func(observe func(*Histogram)) string {
+		r := NewRegistry()
+		h := r.Histogram("req_seconds", "Request latency.", []float64{0.1, 1})
+		observe(h)
+		var buf bytes.Buffer
+		r.WritePrometheus(&buf)
+		return buf.String()
+	}
+	plain := mk(func(h *Histogram) { h.Observe(0.05) })
+	empty := mk(func(h *Histogram) { h.ObserveExemplar(0.05, "") })
+	if plain != empty {
+		t.Fatalf("empty-trace exemplar changed exposition bytes:\n%s\n---\n%s", plain, empty)
+	}
+}

@@ -32,7 +32,13 @@
 # (per-suite TP/FN/FP per tier plus analysis wall-time vs sanitized
 # execution time).
 #
-# Usage: scripts/bench.sh [output.json] [profile.json] [serve.json] [rewrite.json] [static.json] [jtsan.json]
+# It also measures the observability stack's cost into BENCH_OBS.json: six
+# schemes over the full suite, each cell run plain and with tracing +
+# structured diagnostics attached. The two runs must agree cycle-exactly
+# (jexp obs hard-errors otherwise — the zero-cost-when-disabled gate); the
+# artifact records each scheme's span/record counts and host wall overhead.
+#
+# Usage: scripts/bench.sh [output.json] [profile.json] [serve.json] [rewrite.json] [static.json] [jtsan.json] [obs.json]
 # BENCH_PARALLEL overrides the jexp worker count (default 8).
 set -eu
 
@@ -43,6 +49,7 @@ serve_out="${3:-BENCH_SERVE.json}"
 rewrite_out="${4:-BENCH_REWRITE.json}"
 static_out="${5:-BENCH_STATIC.json}"
 jtsan_out="${6:-BENCH_JTSAN.json}"
+obs_out="${7:-BENCH_OBS.json}"
 
 go run ./cmd/jexp -parallel "${BENCH_PARALLEL:-8}" bench > "$out"
 echo "bench: wrote $out"
@@ -54,6 +61,8 @@ go run ./cmd/jexp -parallel "${BENCH_PARALLEL:-8}" -o "$static_out" static > /de
 echo "bench: wrote $static_out"
 go run ./cmd/jexp -parallel "${BENCH_PARALLEL:-8}" jtsan > "$jtsan_out"
 echo "bench: wrote $jtsan_out"
+go run ./cmd/jexp -parallel "${BENCH_PARALLEL:-8}" obs > "$obs_out"
+echo "bench: wrote $obs_out"
 
 # Serve trajectory. The whole fleet is colocated on this host, where
 # wall-clock CPU cannot tell one node from three; -service-time is the one

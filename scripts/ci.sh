@@ -78,9 +78,12 @@ echo "== rewrite bake-off smoke =="
 # the rewritten cells run at all. jrw exits nonzero on any violation.
 go run ./cmd/jrw -bench mcf,lbm,hmmer,omnetpp -verify -parity
 
-echo "== janitizerd /metrics smoke =="
-# Boot the daemon on an ephemeral port and check it serves Prometheus text
-# on GET /metrics. Requires curl; skipped where unavailable.
+echo "== janitizerd observability smoke =="
+# Boot the daemon on an ephemeral port and check its observability surface:
+# GET /metrics serves Prometheus text including the janitizer_build_info
+# deploy-identity gauge, GET /violations serves the (empty) structured
+# violation log, and GET /trace serves the span export. Requires curl;
+# skipped where unavailable.
 if command -v curl >/dev/null 2>&1; then
 	go build -o /tmp/janitizerd-ci ./cmd/janitizerd
 	/tmp/janitizerd-ci -addr 127.0.0.1:7749 -quiet &
@@ -94,10 +97,22 @@ if command -v curl >/dev/null 2>&1; then
 		fi
 		sleep 0.3
 	done
+	if [ "$ok" = "1" ]; then
+		if ! curl -sf http://127.0.0.1:7749/metrics | grep -q '^janitizer_build_info{'; then
+			echo "janitizerd: /metrics lacks janitizer_build_info" >&2
+			ok=0
+		elif [ "$(curl -sf http://127.0.0.1:7749/violations)" != "[]" ]; then
+			echo "janitizerd: GET /violations did not serve the empty log" >&2
+			ok=0
+		elif ! curl -sf 'http://127.0.0.1:7749/trace?limit=5' >/dev/null; then
+			echo "janitizerd: GET /trace?limit=5 failed" >&2
+			ok=0
+		fi
+	fi
 	kill "$JD_PID" 2>/dev/null || true
 	trap - EXIT
 	if [ "$ok" != "1" ]; then
-		echo "janitizerd: GET /metrics did not serve Prometheus text" >&2
+		echo "janitizerd: observability smoke failed" >&2
 		exit 1
 	fi
 else
@@ -165,11 +180,15 @@ echo "== bench + profile + rewrite bake-off =="
 # (Profile errors on any mismatch) and the bake-off's native-parity checks
 # (RunBackend hard-errors on any exit/output divergence).
 if [ "${CI_SHORT:-0}" = "1" ]; then
-	echo "bench: full sweep skipped (CI_SHORT=1); running profile + rewrite + static + jtsan smokes"
+	echo "bench: full sweep skipped (CI_SHORT=1); running profile + rewrite + static + jtsan + obs smokes"
 	go run ./cmd/jexp -parallel 4 -o /tmp/profile-smoke.json profile mcf lbm
 	go run ./cmd/jexp -parallel 4 rewrite mcf lbm > /tmp/rewrite-smoke.json
 	go run ./cmd/jexp -parallel 4 -o /tmp/static-smoke.json static
 	go run ./cmd/jexp -parallel 4 jtsan mcf lbm > /tmp/jtsan-smoke.json
+	# The obs smoke still enforces the full disabled-path invariant: every
+	# cell's plain and observed runs must be cycle-exact bit-identical (jexp
+	# obs hard-errors on any divergence).
+	go run ./cmd/jexp -parallel 4 obs mcf lbm > /tmp/obs-smoke.json
 else
 	scripts/bench.sh
 fi
